@@ -1,0 +1,101 @@
+"""§4.5 future-work extension: GP-UCB vs GP-EI vs GP-PI, multi-tenant.
+
+The paper's analysis covers GP-UCB only and lists the integration of
+GP-EI / GP-PI as future work.  Here all three acquisitions run inside
+the same HYBRID multi-tenant loop on DEEPLEARNING (cost-aware, EI/PI
+per unit cost) so their practical behaviour can be compared — no regret
+bound is claimed for EI/PI, matching the paper's framing.
+"""
+
+import numpy as np
+from conftest import bench_trials, save_report
+
+from repro.core.acquisitions import GPEIPicker, GPPIPicker
+from repro.core.model_picking import GPUCBPicker
+from repro.core.beta import TheoremBeta
+from repro.core.multitenant import MultiTenantScheduler
+from repro.core.oracles import MatrixOracle
+from repro.core.user_picking import HybridPicker
+from repro.datasets import load_deeplearning
+from repro.gp.covariance import empirical_model_covariance
+from repro.utils.rng import derive_seed
+from repro.utils.tables import ascii_table
+
+
+def _run(dataset, picker_factory, trial, budget_fraction=0.10):
+    split_seed = derive_seed(0, "acq-split", trial)
+    train, test = dataset.split_users(10, seed=split_seed)
+    cov = empirical_model_covariance(train.quality)
+    prior_mean = train.quality.mean(axis=0)
+    oracle = MatrixOracle(
+        test.quality, test.cost, noise_std=0.02,
+        seed=derive_seed(0, "acq-noise", trial),
+    )
+    pickers = [
+        picker_factory(cov, prior_mean, oracle.costs(i), test)
+        for i in range(test.n_users)
+    ]
+    sched = MultiTenantScheduler(oracle, pickers, HybridPicker())
+    sched.run(cost_budget=budget_fraction * float(np.sum(test.cost)))
+    best = np.zeros(test.n_users)
+    for record in sched.records:
+        quality = test.quality[record.user, record.arm]
+        best[record.user] = max(best[record.user], quality)
+    return float(np.mean(test.best_qualities() - best))
+
+
+def test_acquisition_comparison(once):
+    dataset = load_deeplearning(seed=0)
+    trials = bench_trials(10)
+
+    def ucb_factory(cov, mean, costs, test):
+        return GPUCBPicker(
+            cov,
+            TheoremBeta(
+                test.n_models,
+                c_star=float(np.max(costs)),
+                n_users=test.n_users,
+            ),
+            costs,
+            noise=0.05,
+            prior_mean=mean,
+        )
+
+    def ei_factory(cov, mean, costs, test):
+        return GPEIPicker(cov, costs, noise=0.05, prior_mean=mean)
+
+    def pi_factory(cov, mean, costs, test):
+        return GPPIPicker(cov, costs, noise=0.05, prior_mean=mean)
+
+    factories = {
+        "GP-UCB": ucb_factory,
+        "GP-EI": ei_factory,
+        "GP-PI": pi_factory,
+    }
+
+    def run_all():
+        return {
+            name: float(
+                np.mean(
+                    [_run(dataset, factory, t) for t in range(trials)]
+                )
+            )
+            for name, factory in factories.items()
+        }
+
+    losses = once(run_all)
+    save_report(
+        "ablation_acquisitions",
+        ascii_table(
+            ["acquisition", "final avg accuracy loss"],
+            [[name, loss] for name, loss in losses.items()],
+            title="§4.5 extension: acquisition functions under the "
+            "HYBRID multi-tenant loop (DEEPLEARNING, 10% budget)",
+        ),
+    )
+
+    # All three must be functional (far better than the no-model loss
+    # of ~0.89); GP-UCB — the analysed algorithm — must be competitive.
+    for name, loss in losses.items():
+        assert loss < 0.3, f"{name} failed to explore ({loss=})"
+    assert losses["GP-UCB"] <= min(losses.values()) + 0.05

@@ -1,0 +1,73 @@
+"""Ablation of this repository's extension: the informed GP prior mean.
+
+The paper's GPs are zero-mean (Appendix A convention).  We additionally
+support a prior mean equal to each model's average quality on the
+training users — the transferable half of the multi-task signal.  This
+bench quantifies what that extension buys on DEEPLEARNING and verifies
+the paper-faithful zero-mean configuration still beats the heuristics.
+"""
+
+from conftest import bench_trials, save_report
+
+from repro.datasets import load_deeplearning
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.metrics import area_under_loss
+from repro.utils.tables import ascii_table
+
+
+def test_prior_mean_ablation(once):
+    dataset = load_deeplearning(seed=0)
+    trials = bench_trials(10)
+
+    def run():
+        out = {}
+        for label, use_mean in (("informed", True), ("zero-mean", False)):
+            config = ExperimentConfig(
+                n_trials=trials, budget_fraction=0.10, cost_aware=True,
+                noise_std=0.02, n_checkpoints=41, base_seed=0,
+                use_prior_mean=use_mean,
+            )
+            out[label] = run_experiment(
+                dataset, ["easeml", "most_cited"], config
+            )
+        return out
+
+    results = once(run)
+
+    rows = []
+    for label, result in results.items():
+        grid = result.grid
+        for strategy, sr in result.strategies.items():
+            rows.append(
+                [
+                    label,
+                    strategy,
+                    area_under_loss(grid, sr.mean_curve),
+                    sr.final_mean_loss,
+                ]
+            )
+    save_report(
+        "ablation_prior_mean",
+        ascii_table(
+            ["prior", "strategy", "AUC(mean loss)", "final loss"],
+            rows,
+            title="Ablation: informed vs zero GP prior mean",
+        ),
+    )
+
+    # Paper-faithful zero-mean ease.ml still beats the heuristic.
+    zero = results["zero-mean"]
+    auc_easeml = area_under_loss(
+        zero.grid, zero.strategies["easeml"].mean_curve
+    )
+    auc_cited = area_under_loss(
+        zero.grid, zero.strategies["most_cited"].mean_curve
+    )
+    assert auc_easeml < auc_cited
+
+    # The informed mean should not hurt (it typically helps).
+    informed = results["informed"]
+    auc_informed = area_under_loss(
+        informed.grid, informed.strategies["easeml"].mean_curve
+    )
+    assert auc_informed <= auc_easeml * 1.05

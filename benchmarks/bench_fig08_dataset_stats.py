@@ -1,0 +1,44 @@
+"""Figure 8: the dataset-statistics table."""
+
+from conftest import save_report
+
+from repro.datasets import load_benchmark_suite
+from repro.experiments.figures import figure8
+from repro.utils.tables import ascii_table
+
+
+def test_fig08_dataset_statistics(once):
+    report = once(figure8, seed=0)
+
+    suite = load_benchmark_suite(seed=0)
+    rows = []
+    for name, ds in suite.items():
+        stats = ds.statistics()
+        rows.append(
+            [
+                stats["name"],
+                stats["n_users"],
+                stats["n_models"],
+                stats["quality"],
+                stats["cost"],
+            ]
+        )
+    table = ascii_table(
+        ["Dataset", "# Users", "# Models", "Quality", "Cost"],
+        rows,
+        title="Figure 8: Statistics of Datasets",
+    )
+    save_report("fig08_dataset_stats", table)
+
+    # The exact Figure 8 grid.
+    expected = {
+        "DEEPLEARNING": (22, 8),
+        "179CLASSIFIER": (121, 179),
+        "SYN(0.01,0.1)": (200, 100),
+        "SYN(0.01,1.0)": (200, 100),
+        "SYN(0.5,0.1)": (200, 100),
+        "SYN(0.5,1.0)": (200, 100),
+    }
+    for name, (n_users, n_models) in expected.items():
+        assert report.headline[f"{name} users"] == n_users
+        assert report.headline[f"{name} models"] == n_models

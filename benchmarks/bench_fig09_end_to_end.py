@@ -1,0 +1,44 @@
+"""Figure 9: end-to-end DEEPLEARNING — ease.ml vs user heuristics.
+
+Paper: ease.ml reaches the same average accuracy loss up to 9.8× faster
+than the better of MOSTCITED / MOSTRECENT, and up to 3.1× on the
+worst-case curve.  Protocol: 10 test users, budget = 10% of the total
+runtime of all models, 50 repetitions (scaled down here; see conftest).
+"""
+
+import math
+
+from conftest import bench_trials, save_report
+
+from repro.experiments.figures import figure9
+
+
+def test_fig09_end_to_end(once):
+    report = once(figure9, n_trials=bench_trials(20), seed=0)
+    save_report("fig09_end_to_end", report.render())
+
+    result = report.results["DEEPLEARNING"]
+    easeml = result.strategies["easeml"]
+    cited = result.strategies["most_cited"]
+    recent = result.strategies["most_recent"]
+
+    # Shape claim (a): ease.ml dominates both heuristics on the
+    # average-loss curve over the whole budget (allowing noise slack).
+    assert easeml.final_mean_loss <= cited.final_mean_loss + 0.01
+    assert easeml.final_mean_loss <= recent.final_mean_loss + 0.01
+
+    # Shape claim (b): a clear time-to-quality speedup against the
+    # citation heuristic (paper: up to 9.8x on its production trace;
+    # the factor is trace-dependent — see EXPERIMENTS.md).
+    speedup_cited = report.headline["avg speedup vs most_cited"]
+    assert math.isnan(speedup_cited) or speedup_cited >= 1.25
+
+    # Shape claim (c): the worst-case curve also improves (paper: 3.1x).
+    worst = report.headline["worst-case speedup vs most_cited"]
+    assert math.isnan(worst) or worst >= 1.1
+
+    # Mid-budget gap: the heuristics waste early budget on expensive /
+    # mediocre models, so ease.ml is clearly ahead at 50% of budget.
+    grid = result.grid
+    mid = int(0.5 * (len(grid) - 1))
+    assert easeml.mean_curve[mid] <= cited.mean_curve[mid]

@@ -1,0 +1,33 @@
+"""Figure 12: impact of model correlation and model-irrelevant noise.
+
+The four SYN datasets vary σ_M ∈ {0.01, 0.5} (correlation strength)
+and α ∈ {0.1, 1.0} (weight of the correlated term).  Paper: stronger
+model correlation ⇒ faster convergence for every algorithm, because an
+evaluation of one model informs the others.
+"""
+
+from conftest import bench_trials, save_report
+
+from repro.experiments.figures import figure12
+
+
+def test_fig12_model_correlation(once):
+    report = once(figure12, n_trials=bench_trials(6), seed=0)
+    save_report("fig12_model_correlation", report.render())
+
+    # Stronger correlation helps, for both α settings (worst-case loss
+    # at 50% of budget, as in the figure).
+    for alpha in ("0.1", "1.0"):
+        weak = report.headline[f"alpha={alpha} weak-corr easeml @50%"]
+        strong = report.headline[f"alpha={alpha} strong-corr easeml @50%"]
+        assert strong <= weak + 0.02, (
+            f"alpha={alpha}: strong-correlation run should converge "
+            f"faster (strong={strong:.4f}, weak={weak:.4f})"
+        )
+
+    # And the weak-correlation, low-alpha dataset is the slowest of
+    # all for ease.ml (hardest to generalise across models).
+    slowest = report.headline["alpha=0.1 weak-corr easeml @50%"]
+    for alpha in ("0.1", "1.0"):
+        other = report.headline[f"alpha={alpha} strong-corr easeml @50%"]
+        assert slowest >= other - 0.02

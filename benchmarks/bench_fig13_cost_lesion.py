@@ -1,0 +1,37 @@
+"""Figure 13: lesion study — disabling cost-awareness.
+
+ease.ml vs ease.ml with the cost term removed from GP-UCB (c ≡ 1),
+on DEEPLEARNING with real costs.  Paper: "considering the execution
+cost of the model significantly improves the performance" — fast
+models exist whose quality is only slightly below the best slow model.
+"""
+
+from conftest import bench_trials, save_report
+
+from repro.experiments.figures import figure13
+from repro.experiments.metrics import area_under_loss
+
+
+def test_fig13_cost_awareness_lesion(once):
+    report = once(figure13, n_trials=bench_trials(15), seed=0)
+    save_report("fig13_cost_lesion", report.render())
+
+    result = report.results["DEEPLEARNING"]
+    grid = result.grid
+    with_cost = result.strategies["easeml"]
+    without_cost = result.strategies["easeml_no_cost"]
+
+    auc_with = area_under_loss(grid, with_cost.mean_curve)
+    auc_without = area_under_loss(grid, without_cost.mean_curve)
+
+    # Cost-awareness must help overall...
+    assert auc_with < auc_without, (
+        f"cost-aware AUC {auc_with:.4f} should beat "
+        f"cost-oblivious {auc_without:.4f}"
+    )
+    # ...and visibly so at mid-budget (where the cost-oblivious variant
+    # is still stuck waiting for expensive models to finish).
+    mid = int(0.5 * (len(grid) - 1))
+    assert (
+        with_cost.mean_curve[mid] <= without_cost.mean_curve[mid] + 0.01
+    )

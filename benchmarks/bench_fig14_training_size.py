@@ -1,0 +1,32 @@
+"""Figure 14: impact of the kernel's training-set size.
+
+ease.ml computes the model kernel from the performance of models on
+*training users'* datasets.  The paper sweeps the fraction of training
+data available to the kernel (10% / 50% / 100%): more data helps, with
+diminishing returns (50% ≈ 100%).
+"""
+
+from conftest import bench_trials, save_report
+
+from repro.experiments.figures import figure14
+
+
+def test_fig14_training_set_size(once):
+    report = once(
+        figure14, n_trials=bench_trials(12), seed=0,
+        fractions=(0.1, 0.5, 1.0),
+    )
+    save_report("fig14_training_size", report.render())
+
+    loss10 = report.headline["final loss (train=10%)"]
+    loss50 = report.headline["final loss (train=50%)"]
+    loss100 = report.headline["final loss (train=100%)"]
+
+    # More kernel training data helps (10% worst), with slack for the
+    # small-trial noise floor.
+    assert loss100 <= loss10 + 0.01
+    assert loss50 <= loss10 + 0.01
+
+    # Diminishing returns: 50% is already close to 100% (the paper's
+    # explicit observation).
+    assert abs(loss50 - loss100) <= max(0.02, 0.5 * (loss10 - loss100))

@@ -1,0 +1,40 @@
+"""Figure 15: lesion study — the hybrid execution strategy.
+
+GREEDY vs ROUNDROBIN vs HYBRID (ease.ml) on 179CLASSIFIER, cost
+oblivious.  Paper: GREEDY wins early, ROUNDROBIN catches up after a
+crossover (the GP estimate degrades near the optimum), and HYBRID —
+greedy until the freezing stage, then round robin — is best overall.
+"""
+
+from conftest import bench_trials, save_report
+
+from repro.experiments.figures import figure15
+from repro.experiments.metrics import area_under_loss
+
+
+def test_fig15_hybrid_lesion(once):
+    report = once(figure15, n_trials=bench_trials(6), seed=0)
+    save_report("fig15_hybrid_lesion", report.render())
+
+    result = report.results["179CLASSIFIER"]
+    grid = result.grid
+    greedy = result.strategies["greedy"]
+    rr = result.strategies["round_robin"]
+    hybrid = result.strategies["easeml"]
+
+    # Early phase: greedy at least matches round robin.
+    early = int(0.1 * (len(grid) - 1))
+    assert greedy.mean_curve[early] <= rr.mean_curve[early] + 0.01
+
+    # Late phase: round robin is no longer behind greedy (the
+    # crossover the hybrid strategy exists to fix).
+    assert rr.final_mean_loss <= greedy.final_mean_loss + 0.005
+
+    # Overall: hybrid is within noise of the best of both at every
+    # phase, and at least matches the better baseline in AUC.
+    auc = {
+        "greedy": area_under_loss(grid, greedy.mean_curve),
+        "round_robin": area_under_loss(grid, rr.mean_curve),
+        "hybrid": area_under_loss(grid, hybrid.mean_curve),
+    }
+    assert auc["hybrid"] <= min(auc["greedy"], auc["round_robin"]) * 1.1

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These use pytest-benchmark's statistical timing (unlike the figure
+benches, which run their driver once): GP posterior updates, UCB
+scoring, scheduler steps and kernel evaluation are the operations a
+production deployment performs per training job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.beta import AlgorithmOneBeta
+from repro.core.model_picking import GPUCBPicker
+from repro.core.multitenant import MultiTenantScheduler
+from repro.core.oracles import MatrixOracle
+from repro.core.user_picking import GreedyPicker
+from repro.datasets import generate_syn
+from repro.gp.kernels import RBF, ConstantKernel
+from repro.gp.regression import FiniteArmGP
+
+
+@pytest.fixture(scope="module")
+def syn_dataset():
+    return generate_syn(0.5, 0.5, n_users=10, n_models=100, seed=0)
+
+
+def test_gp_update_100_arms(benchmark):
+    """One posterior update on a 100-arm GP with 50 prior observations."""
+    rng = np.random.default_rng(0)
+    cov = ConstantKernel(0.09) * RBF(1.0)
+    K = cov(rng.normal(size=(100, 5)))
+
+    def setup():
+        gp = FiniteArmGP(K, noise=0.05)
+        for _ in range(50):
+            gp.update(int(rng.integers(100)), float(rng.normal(0.5, 0.1)))
+        return (gp,), {}
+
+    def update(gp):
+        gp.update(3, 0.7)
+
+    benchmark.pedantic(update, setup=setup, rounds=30)
+
+
+def test_gp_posterior_query_100_arms(benchmark):
+    rng = np.random.default_rng(0)
+    K = (ConstantKernel(0.09) * RBF(1.0))(rng.normal(size=(100, 5)))
+    gp = FiniteArmGP(K, noise=0.05)
+    for _ in range(60):
+        gp.update(int(rng.integers(100)), float(rng.normal(0.5, 0.1)))
+
+    def query():
+        gp._posterior_cache = None  # force recompute
+        return gp.posterior()
+
+    benchmark(query)
+
+
+def test_kernel_gram_500_points(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(500, 20))
+    kernel = ConstantKernel(1.0) * RBF(1.5)
+    benchmark(kernel, X)
+
+
+def test_scheduler_step_greedy(benchmark, syn_dataset):
+    """One GREEDY scheduler round over 10 tenants x 100 models."""
+
+    def setup():
+        oracle = MatrixOracle(
+            syn_dataset.quality, syn_dataset.cost, noise_std=0.02, seed=0
+        )
+        from repro.gp.covariance import empirical_model_covariance
+
+        cov = empirical_model_covariance(syn_dataset.quality)
+        pickers = [
+            GPUCBPicker(
+                cov,
+                AlgorithmOneBeta(syn_dataset.n_models),
+                oracle.costs(i),
+                noise=0.05,
+            )
+            for i in range(syn_dataset.n_users)
+        ]
+        sched = MultiTenantScheduler(oracle, pickers, GreedyPicker())
+        sched.run(max_steps=syn_dataset.n_users + 5)  # past warm-up
+        return (sched,), {}
+
+    benchmark.pedantic(
+        lambda sched: sched.step(), setup=setup, rounds=20
+    )
+
+
+def test_full_trial_deeplearning(benchmark):
+    """A complete Figure-9-protocol trial (one split, one strategy)."""
+    from repro.datasets import load_deeplearning
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.harness import run_trial
+
+    ds = load_deeplearning(seed=0)
+    config = ExperimentConfig(
+        n_trials=1, budget_fraction=0.10, cost_aware=True,
+        n_checkpoints=41, base_seed=0, noise_std=0.02,
+    )
+    benchmark.pedantic(
+        run_trial, args=(ds, ["easeml"], config, 0), rounds=5
+    )

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure benchmark
+
+* runs its reproduction driver (``repro.experiments.figures``),
+* prints the same series the paper's figure plots,
+* writes the rendered report under ``benchmarks/reports/``, and
+* asserts the figure's *shape* claims (who wins, qualitatively by how
+  much) with generous margins — absolute numbers depend on the
+  simulated traces (see DESIGN.md §5).
+
+``REPRO_BENCH_TRIALS`` scales the number of repetitions (the paper uses
+50; the default here keeps a full benchmark run in minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_trials(default: int) -> int:
+    """Number of repetitions, overridable via REPRO_BENCH_TRIALS."""
+    value = os.environ.get("REPRO_BENCH_TRIALS")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a rendered figure report and echo it to stdout."""
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure driver exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+
+    return runner

@@ -1,0 +1,96 @@
+"""Tour of the declarative surface: DSL, templates, normalization (§2).
+
+Shows how every workload class of Figure 4 is declared in the Figure 2
+grammar, which candidate models each one matches, and how the automatic
+normalization family of Figure 5 expands the candidate set for
+image-shaped data with extreme dynamic range (the astrophysics
+motivation).
+
+Run:  python examples/declarative_workloads.py
+"""
+
+import numpy as np
+
+from repro.platform import (
+    generate_candidates,
+    match_template,
+    parse_program,
+)
+from repro.platform.normalization import (
+    default_normalization_family,
+    prescale_unit,
+)
+from repro.utils.tables import ascii_table
+
+PROGRAMS = {
+    "image classification": (
+        "{input: {[Tensor[256, 256, 3]], []}, output: {[Tensor[3]], []}}"
+    ),
+    "image recovery": (
+        "{input: {[Tensor[64, 64, 3]], []}, "
+        "output: {[Tensor[64, 64, 3]], []}}"
+    ),
+    "time-series classification": (
+        "{input: {[Tensor[10]], [next]}, output: {[Tensor[4]], []}}"
+    ),
+    "time-series translation": (
+        "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}"
+    ),
+    "tree classification": (
+        "{input: {[Tensor[8]], [left, right]}, output: {[Tensor[2]], []}}"
+    ),
+    "general classification": (
+        "{input: {[Tensor[7]], []}, output: {[Tensor[3]], []}}"
+    ),
+    "general auto-encoder": (
+        "{input: {[Tensor[4, 4]], []}, output: {[Tensor[2, 2]], []}}"
+    ),
+}
+
+rows = []
+for label, text in PROGRAMS.items():
+    program = parse_program(text)
+    template = match_template(program)
+    candidates = generate_candidates(program)
+    rows.append(
+        [
+            label,
+            template.kind.value,
+            len(candidates),
+            ", ".join(template.models[:3])
+            + (", ..." if len(template.models) > 3 else ""),
+        ]
+    )
+print(
+    ascii_table(
+        ["declared task", "matched template", "#candidates", "models"],
+        rows,
+        title="Figure 4 template matching (top-to-bottom, most "
+        "specific first)",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Automatic normalization: a galaxy-like tensor spanning ten orders of
+# magnitude becomes usable after f_k; each k is one extra candidate.
+# ----------------------------------------------------------------------
+print("\nautomatic normalization (Figure 5):")
+rng = np.random.default_rng(0)
+galaxy = 10.0 ** rng.uniform(-5, 5, size=(8,))  # huge dynamic range
+unit = prescale_unit(galaxy)
+print(f"  raw range: [{galaxy.min():.2e}, {galaxy.max():.2e}]")
+for func in default_normalization_family():
+    out = func(unit)
+    print(
+        f"  f_k(x) with k={func.k:<4} peaks at x={func.peak:.3f}; "
+        f"sample output: {np.round(out[:4], 3)}"
+    )
+
+image_program = parse_program(PROGRAMS["image classification"])
+with_norm = generate_candidates(image_program)
+without = generate_candidates(image_program, include_normalization=False)
+print(
+    f"\nimage candidates without normalization: {len(without)}; "
+    f"with the k-family: {len(with_norm)} "
+    f"(each (model, k) pair is one candidate)"
+)

@@ -1,0 +1,66 @@
+"""Quickstart: the ease.ml user experience in five steps.
+
+This is the paper's introduction scenario (Figures 1 and 3): declare a
+machine-learning task as a function approximator, feed examples, let
+the shared service explore candidate models, and serve predictions
+with the best model found so far.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ml import TaskSpec, make_task
+from repro.platform import EaseMLServer, program_from_shapes
+
+# ----------------------------------------------------------------------
+# 1. Declare the task.  The user only states input/output shapes —
+#    here, 2-feature vectors mapping to 3 classes.  (The paper's image
+#    users write Input = [256, 256, 3], Output = [3].)
+# ----------------------------------------------------------------------
+server = EaseMLServer(seed=0)
+app = server.register_app(program_from_shapes([2], [3]), name="myapp")
+print(f"declared app {app.name!r}: {app.program.render()}")
+print(f"matched workload template: {app.template.kind.value}")
+print(f"candidate models: {', '.join(app.candidate_names()[:6])}, ...")
+
+# ----------------------------------------------------------------------
+# 2. Feed supervision — input/output example pairs.  We hold the last
+#    ten points back to play the role of future inference requests.
+# ----------------------------------------------------------------------
+X_all, y_all = make_task(TaskSpec("blobs", 210, difficulty=0.3, seed=1))
+X, y = X_all[:-10], y_all[:-10]
+X_new, y_new = X_all[-10:], y_all[-10:]
+ids = app.feed(list(X), [int(label) for label in y])
+print(f"\nfed {len(ids)} labelled examples")
+
+# ----------------------------------------------------------------------
+# 3. (Optional) refine: inspect fed examples and disable noisy ones.
+# ----------------------------------------------------------------------
+app.set_example_enabled(ids[0], False)  # pretend example 0 was mislabelled
+print(f"refine: {app.store.n_enabled} examples enabled after cleanup")
+
+# ----------------------------------------------------------------------
+# 4. Let the service explore.  ease.ml's scheduler (HYBRID user
+#    picking + cost-aware GP-UCB model picking) trains candidates and
+#    always keeps the best model on hand.
+# ----------------------------------------------------------------------
+server.run(max_steps=8)
+print("\nexploration report (every improvement, like Figure 3d):")
+for outcome in app.report():
+    print(
+        f"  step {outcome.step:>2}: {outcome.candidate:<22} "
+        f"accuracy {outcome.accuracy:.3f}  (cost {outcome.cost:.3f})"
+    )
+print(
+    f"best model so far: {app.best_candidate} "
+    f"at accuracy {app.best_accuracy:.3f}"
+)
+
+# ----------------------------------------------------------------------
+# 5. Infer with the best model so far.
+# ----------------------------------------------------------------------
+predictions = [app.infer(x) for x in X_new]
+agreement = float(np.mean(np.array(predictions) == y_new))
+print(f"\ninfer on 10 fresh points -> {predictions}")
+print(f"agreement with true labels: {agreement:.0%}")

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``
+    Print the Figure 8 dataset-statistics table.
+``figure {6b,8,9,10,11,12,13,14,15}``
+    Run one paper-figure reproduction and print (and optionally save)
+    the rendered report.
+``compare``
+    Race a chosen set of strategies on a chosen dataset and print the
+    loss curves and speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets import load_benchmark_suite
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import figures as figure_drivers
+from repro.experiments.protocol import STRATEGY_NAMES
+from repro.experiments.report import save_curves_csv, save_result_json
+from repro.utils.tables import ascii_table
+
+_FIGURES = {
+    "6b": figure_drivers.figure6b,
+    "8": figure_drivers.figure8,
+    "9": figure_drivers.figure9,
+    "10": figure_drivers.figure10,
+    "11": figure_drivers.figure11,
+    "12": figure_drivers.figure12,
+    "13": figure_drivers.figure13,
+    "14": figure_drivers.figure14,
+    "15": figure_drivers.figure15,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ease.ml reproduction (VLDB 2018) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="print the Figure 8 dataset table")
+
+    fig = sub.add_parser("figure", help="reproduce one paper figure")
+    fig.add_argument("which", choices=sorted(_FIGURES))
+    fig.add_argument("--trials", type=int, default=None,
+                     help="number of repetitions (default: per-figure)")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--out", type=str, default=None,
+                     help="also write the rendered report to this file")
+
+    cmp_parser = sub.add_parser(
+        "compare", help="race strategies on one dataset"
+    )
+    cmp_parser.add_argument(
+        "--dataset", default="DEEPLEARNING",
+        help="a Figure 8 dataset name (default: DEEPLEARNING)",
+    )
+    cmp_parser.add_argument(
+        "--strategies", nargs="+", default=["easeml", "round_robin"],
+        choices=list(STRATEGY_NAMES), metavar="STRATEGY",
+    )
+    cmp_parser.add_argument("--trials", type=int, default=10)
+    cmp_parser.add_argument("--budget", type=float, default=0.3,
+                            help="budget fraction (default 0.3)")
+    cmp_parser.add_argument("--cost-aware", action="store_true")
+    cmp_parser.add_argument("--seed", type=int, default=0)
+    cmp_parser.add_argument("--json", type=str, default=None,
+                            help="save the raw result as JSON")
+    cmp_parser.add_argument("--csv", type=str, default=None,
+                            help="save the loss curves as CSV")
+    return parser
+
+
+def _cmd_stats() -> int:
+    suite = load_benchmark_suite(seed=0)
+    rows = []
+    for name, dataset in suite.items():
+        stats = dataset.statistics()
+        rows.append(
+            [
+                stats["name"],
+                stats["n_users"],
+                stats["n_models"],
+                stats["quality"],
+                stats["cost"],
+            ]
+        )
+    print(
+        ascii_table(
+            ["Dataset", "# Users", "# Models", "Quality", "Cost"],
+            rows,
+            title="Figure 8: Statistics of Datasets",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = _FIGURES[args.which]
+    kwargs = {"seed": args.seed}
+    if args.trials is not None and args.which != "8":
+        kwargs["n_trials"] = args.trials
+    report = driver(**kwargs)
+    rendered = report.render()
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    suite = load_benchmark_suite(seed=args.seed)
+    if args.dataset not in suite:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{sorted(suite)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ExperimentConfig(
+        n_trials=args.trials,
+        budget_fraction=args.budget,
+        cost_aware=args.cost_aware,
+        base_seed=args.seed,
+    )
+    result = run_experiment(suite[args.dataset], args.strategies, config)
+    print(result.render())
+    if len(args.strategies) > 1:
+        reference = args.strategies[0]
+        rows = [
+            [name, ratio, threshold]
+            for name, (ratio, threshold) in result.speedups(
+                reference
+            ).items()
+        ]
+        print()
+        print(
+            ascii_table(
+                ["competitor", "max speedup (x)", "at threshold"],
+                rows,
+                title=f"speedup of {reference}",
+                precision=2,
+            )
+        )
+    if args.json:
+        save_result_json(result, args.json)
+        print(f"raw result written to {args.json}")
+    if args.csv:
+        save_curves_csv(result, args.csv)
+        print(f"curves written to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The paper's primary contribution: multi-tenant, cost-aware model selection.
+
+Layout
+------
+* :mod:`repro.core.oracles` — the reward/cost oracle abstraction that
+  decouples schedulers from where observations come from (trace replay
+  or live training).
+* :mod:`repro.core.beta` — exploration schedules ``β_t`` (Algorithm 1
+  line 3 and the Theorem 1–3 settings).
+* :mod:`repro.core.ucb` — single-tenant GP-UCB (Algorithm 1), the
+  cost-aware twist of Section 3.2, and a classic UCB1 baseline.
+* :mod:`repro.core.regret` — single- and multi-tenant regret and
+  accuracy-loss accounting (Sections 3–4, Appendix A).
+* :mod:`repro.core.theory` — numeric evaluation of the regret bounds in
+  Theorems 1–3 (used to sanity-check runs in the test suite).
+* :mod:`repro.core.model_picking` — per-tenant arm-selection policies
+  (GP-UCB, MOSTCITED, MOSTRECENT, random, fixed order).
+* :mod:`repro.core.user_picking` — tenant-selection policies (FCFS,
+  ROUNDROBIN, RANDOM, GREEDY of Algorithm 2, HYBRID of Section 4.4).
+* :mod:`repro.core.multitenant` — the scheduler loop gluing the above
+  together, plus run records.
+"""
+
+from repro.core.acquisitions import GPEIPicker, GPPIPicker
+from repro.core.beta import (
+    AlgorithmOneBeta,
+    BetaSchedule,
+    ConstantBeta,
+    TheoremBeta,
+)
+from repro.core.model_picking import (
+    FixedOrderPicker,
+    GPUCBPicker,
+    ModelPicker,
+    MostCitedPicker,
+    MostRecentPicker,
+    RandomModelPicker,
+    Selection,
+    UCB1Picker,
+)
+from repro.core.multitenant import (
+    MultiTenantScheduler,
+    RunResult,
+    StepRecord,
+    TenantState,
+)
+from repro.core.oracles import MatrixOracle, Observation, RewardOracle
+from repro.core.regret import (
+    MultiTenantRegretTracker,
+    SingleTenantRegretTracker,
+    accuracy_loss_curve,
+)
+from repro.core.theory import (
+    theorem1_bound,
+    theorem2_bound,
+    theorem3_bound,
+)
+from repro.core.ucb import UCB1, GPUCB
+from repro.core.user_picking import (
+    FCFSPicker,
+    GreedyPicker,
+    HybridPicker,
+    RandomUserPicker,
+    RoundRobinPicker,
+    UserPicker,
+)
+
+__all__ = [
+    "BetaSchedule",
+    "AlgorithmOneBeta",
+    "TheoremBeta",
+    "ConstantBeta",
+    "GPUCB",
+    "UCB1",
+    "RewardOracle",
+    "MatrixOracle",
+    "Observation",
+    "SingleTenantRegretTracker",
+    "MultiTenantRegretTracker",
+    "accuracy_loss_curve",
+    "theorem1_bound",
+    "theorem2_bound",
+    "theorem3_bound",
+    "ModelPicker",
+    "Selection",
+    "GPUCBPicker",
+    "MostCitedPicker",
+    "MostRecentPicker",
+    "RandomModelPicker",
+    "FixedOrderPicker",
+    "UCB1Picker",
+    "GPEIPicker",
+    "GPPIPicker",
+    "UserPicker",
+    "FCFSPicker",
+    "RoundRobinPicker",
+    "RandomUserPicker",
+    "GreedyPicker",
+    "HybridPicker",
+    "MultiTenantScheduler",
+    "TenantState",
+    "StepRecord",
+    "RunResult",
+]

@@ -1,0 +1,110 @@
+"""Exploration schedules ``β_t`` for (GP-)UCB.
+
+Algorithm 1 (line 3) of the paper uses ``β_t = log(K t² / δ)``.  The
+theorems sharpen the constant: Theorem 1 (single tenant, cost-aware)
+sets ``β_t = 2 c* log(π² K t² / (6δ))`` and Theorems 2–3 (multi-tenant)
+set ``β_t = 2 c* log(π² n K* t² / (6δ))`` where ``c*`` is the maximum
+cost and ``K*`` the maximum number of arms over tenants.
+
+The schedule decides how aggressively the upper confidence bound
+``μ + sqrt(β_t) σ`` (or ``μ + sqrt(β_t / c_k) σ`` cost-aware) explores;
+the regret analysis needs it to grow like ``log t``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.utils.validation import check_positive, check_probability
+
+_PI_SQ_OVER_6 = math.pi**2 / 6.0
+
+
+class BetaSchedule(ABC):
+    """Callable mapping a (1-based) round index ``t`` to ``β_t``."""
+
+    @abstractmethod
+    def __call__(self, t: int) -> float:
+        """β for round ``t`` (``t >= 1``)."""
+
+    def _check_t(self, t: int) -> int:
+        t = int(t)
+        if t < 1:
+            raise ValueError(f"round index t must be >= 1, got {t}")
+        return t
+
+
+class ConstantBeta(BetaSchedule):
+    """Fixed exploration weight, useful for ablations and tests."""
+
+    def __init__(self, value: float) -> None:
+        self.value = check_positive(value, "value", strict=False)
+
+    def __call__(self, t: int) -> float:
+        self._check_t(t)
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantBeta({self.value:.4g})"
+
+
+class AlgorithmOneBeta(BetaSchedule):
+    """``β_t = log(K t² / δ)`` — Algorithm 1 line 3 / Algorithm 2 line 9."""
+
+    def __init__(self, n_arms: int, delta: float = 0.1) -> None:
+        self.n_arms = int(n_arms)
+        if self.n_arms < 1:
+            raise ValueError(f"n_arms must be >= 1, got {n_arms}")
+        self.delta = check_probability(delta, "delta")
+        if self.delta == 0.0:
+            raise ValueError("delta must be > 0")
+
+    def __call__(self, t: int) -> float:
+        t = self._check_t(t)
+        # max(..., 0): for K=1, t=1, delta→1 the log can dip negative,
+        # which would put a NaN under the sqrt in the UCB rule.
+        return max(math.log(self.n_arms * t * t / self.delta), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AlgorithmOneBeta(K={self.n_arms}, delta={self.delta})"
+
+
+class TheoremBeta(BetaSchedule):
+    """``β_t = 2 c* log(π² n K* t² / (6δ))`` — Theorems 1–3.
+
+    ``n_users=1`` recovers the Theorem 1 (single-tenant) setting; the
+    multi-tenant theorems use ``n`` tenants and ``K* = max_i K_i``.
+    ``c_star`` is the largest cost over every (tenant, model) pair; the
+    cost-oblivious analysis corresponds to ``c_star = 1``.
+    """
+
+    def __init__(
+        self,
+        n_arms: int,
+        delta: float = 0.1,
+        *,
+        c_star: float = 1.0,
+        n_users: int = 1,
+    ) -> None:
+        self.n_arms = int(n_arms)
+        if self.n_arms < 1:
+            raise ValueError(f"n_arms must be >= 1, got {n_arms}")
+        self.delta = check_probability(delta, "delta")
+        if self.delta == 0.0:
+            raise ValueError("delta must be > 0")
+        self.c_star = check_positive(c_star, "c_star")
+        self.n_users = int(n_users)
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+
+    def __call__(self, t: int) -> float:
+        t = self._check_t(t)
+        inner = _PI_SQ_OVER_6 * self.n_users * self.n_arms * t * t / self.delta
+        return max(2.0 * self.c_star * math.log(inner), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TheoremBeta(K={self.n_arms}, delta={self.delta}, "
+            f"c_star={self.c_star:.4g}, n={self.n_users})"
+        )

@@ -1,0 +1,303 @@
+"""Per-tenant model-picking policies (the "model-picking phase").
+
+Each tenant owns one picker instance; a picker decides which candidate
+model that tenant trains next and absorbs the resulting observation.
+
+* :class:`GPUCBPicker` — Algorithm 2 lines 9–12 (equivalently one step
+  of Algorithm 1), cost-aware when given costs.  This is what ease.ml
+  uses.
+* :class:`MostCitedPicker` / :class:`MostRecentPicker` — the two
+  heuristics the paper's users employed before ease.ml existed
+  (Section 5.2): train networks by descending Google-Scholar citation
+  count, or by descending publication date.
+* :class:`RandomModelPicker` and :class:`FixedOrderPicker` — additional
+  baselines for ablations.
+
+Non-GP pickers report an infinite UCB value in their
+:class:`Selection`; the greedy user-picking recurrence treats that as
+"no new bound information", which keeps the two phases composable even
+in unusual pairings.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.core.beta import BetaSchedule
+from repro.core.ucb import GPUCB
+from repro.gp.regression import FiniteArmGP
+from repro.utils.rng import RandomState, SeedLike
+
+
+class Selection(NamedTuple):
+    """A picker's choice, with the scores that produced it.
+
+    ``ucb_value`` is ``B_t(a)`` at selection time — the quantity the
+    greedy user-picking phase (Algorithm 2 line 6) feeds into its
+    empirical-confidence-bound recurrence.
+    """
+
+    arm: int
+    ucb_value: float
+    mean: float
+    std: float
+
+
+class ModelPicker(ABC):
+    """One tenant's strategy for choosing the next model to train."""
+
+    @property
+    @abstractmethod
+    def n_arms(self) -> int:
+        """Number of candidate models."""
+
+    @abstractmethod
+    def select(self) -> Selection:
+        """Choose the next arm (does not yet record anything)."""
+
+    @abstractmethod
+    def observe(self, arm: int, reward: float) -> None:
+        """Absorb the observed reward for ``arm``."""
+
+    @property
+    @abstractmethod
+    def n_observations(self) -> int:
+        """How many observations this tenant has made (``t_i``)."""
+
+    def best_ucb(self) -> float:
+        """``max_k B(k)`` under the current belief (∞ if undefined)."""
+        return math.inf
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every arm has been tried at least once."""
+        return len(self._tried()) >= self.n_arms
+
+    def _tried(self) -> set:
+        return set()
+
+
+class GPUCBPicker(ModelPicker):
+    """GP-UCB model picking (Algorithm 2 lines 9–12).
+
+    Parameters mirror :class:`repro.core.ucb.GPUCB`: pass ``costs`` for
+    the cost-aware variant (√(β/c_k) scaling), ``None`` for the
+    cost-oblivious one.
+    """
+
+    def __init__(
+        self,
+        prior_cov: np.ndarray,
+        beta: BetaSchedule,
+        costs: Optional[np.ndarray] = None,
+        *,
+        noise: float = 0.1,
+        prior_mean: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        gp = FiniteArmGP(prior_cov, prior_mean, noise=noise)
+        self._ucb = GPUCB(gp, beta, costs, seed=seed)
+
+    @property
+    def ucb(self) -> GPUCB:
+        """The wrapped single-tenant GP-UCB (exposes run records)."""
+        return self._ucb
+
+    @property
+    def n_arms(self) -> int:
+        return self._ucb.gp.n_arms
+
+    @property
+    def n_observations(self) -> int:
+        return self._ucb.gp.n_observations
+
+    def select(self) -> Selection:
+        scores = self._ucb.ucb_scores()
+        arm = int(np.argmax(scores))
+        mean = self._ucb.gp.posterior_mean(arm)
+        std = float(self._ucb.gp.posterior_std(arm))
+        return Selection(arm, float(scores[arm]), float(mean), std)
+
+    def observe(self, arm: int, reward: float) -> None:
+        self._ucb.observe(arm, reward)
+
+    def best_ucb(self) -> float:
+        return self._ucb.best_ucb()
+
+    def _tried(self) -> set:
+        return set(self._ucb.arms_played)
+
+
+class _OrderedHeuristicPicker(ModelPicker):
+    """Shared machinery: walk a fixed preference order once, then stick
+    with the best model found (the user has "finished exploring")."""
+
+    def __init__(self, order: Sequence[int], n_arms: int) -> None:
+        order_list = [int(a) for a in order]
+        if sorted(order_list) != list(range(n_arms)):
+            raise ValueError(
+                "order must be a permutation of range(n_arms); "
+                f"got {order_list} for {n_arms} arms"
+            )
+        self._order = order_list
+        self._n_arms = int(n_arms)
+        self._position = 0
+        self._rewards: List[float] = []
+        self._arms: List[int] = []
+
+    @property
+    def n_arms(self) -> int:
+        return self._n_arms
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._rewards)
+
+    def select(self) -> Selection:
+        if self._position < len(self._order):
+            arm = self._order[self._position]
+        else:
+            # Exploration finished: keep using (re-validating) the best
+            # model seen.  Loss curves are unaffected; cost keeps
+            # accruing, which is exactly the inefficiency the paper
+            # ascribes to these heuristics.
+            best_idx = int(np.argmax(self._rewards))
+            arm = self._arms[best_idx]
+        return Selection(arm, math.inf, math.nan, math.nan)
+
+    def observe(self, arm: int, reward: float) -> None:
+        if not 0 <= arm < self._n_arms:
+            raise IndexError(f"arm {arm} out of range [0, {self._n_arms})")
+        if (
+            self._position < len(self._order)
+            and arm == self._order[self._position]
+        ):
+            self._position += 1
+        self._arms.append(int(arm))
+        self._rewards.append(float(reward))
+
+    def _tried(self) -> set:
+        return set(self._arms)
+
+
+class MostCitedPicker(_OrderedHeuristicPicker):
+    """Try models in descending citation count (Section 5.2 heuristic)."""
+
+    def __init__(self, citations: Sequence[float]) -> None:
+        citations = np.asarray(citations, dtype=float)
+        order = list(np.argsort(-citations, kind="stable"))
+        super().__init__(order, citations.shape[0])
+        self.citations = citations.copy()
+
+
+class MostRecentPicker(_OrderedHeuristicPicker):
+    """Try models in descending publication date (Section 5.2 heuristic)."""
+
+    def __init__(self, years: Sequence[float]) -> None:
+        years = np.asarray(years, dtype=float)
+        order = list(np.argsort(-years, kind="stable"))
+        super().__init__(order, years.shape[0])
+        self.years = years.copy()
+
+
+class FixedOrderPicker(_OrderedHeuristicPicker):
+    """Try models in an explicit caller-supplied order."""
+
+    def __init__(self, order: Sequence[int]) -> None:
+        super().__init__(order, len(list(order)))
+
+
+class UCB1Picker(ModelPicker):
+    """Classic (correlation-blind) UCB1 model picking.
+
+    The baseline the paper contrasts GP-UCB with in Section 3.1: its
+    ``C·K log T`` regret scales with the number of arms because every
+    arm must be pulled at least once before the confidence terms are
+    defined — exactly the start-up cost GP-UCB's kernel avoids.
+    Wraps :class:`repro.core.ucb.UCB1` (cost-aware when given costs).
+    """
+
+    def __init__(
+        self,
+        n_arms: int,
+        costs: Optional[np.ndarray] = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        from repro.core.ucb import UCB1
+
+        self._ucb1 = UCB1(n_arms, costs, seed=seed)
+
+    @property
+    def n_arms(self) -> int:
+        return self._ucb1.n_arms
+
+    @property
+    def n_observations(self) -> int:
+        return self._ucb1.t
+
+    def select(self) -> Selection:
+        arm = self._ucb1.select()
+        if self._ucb1.counts[arm] == 0:
+            return Selection(arm, math.inf, math.nan, math.nan)
+        mean = float(self._ucb1.sums[arm] / self._ucb1.counts[arm])
+        bonus = math.sqrt(
+            2.0
+            * math.log(max(self._ucb1.t, 2))
+            / (self._ucb1.costs[arm] * self._ucb1.counts[arm])
+        )
+        return Selection(arm, mean + bonus, mean, bonus)
+
+    def observe(self, arm: int, reward: float) -> None:
+        self._ucb1.observe(arm, reward)
+
+    def best_ucb(self) -> float:
+        if np.any(self._ucb1.counts == 0):
+            return math.inf
+        means = self._ucb1.sums / self._ucb1.counts
+        bonus = np.sqrt(
+            2.0
+            * math.log(max(self._ucb1.t, 2))
+            / (self._ucb1.costs * self._ucb1.counts)
+        )
+        return float(np.max(means + bonus))
+
+    def _tried(self) -> set:
+        return set(self._ucb1.arms_played)
+
+
+class RandomModelPicker(ModelPicker):
+    """Uniformly random model choice (sanity-check baseline)."""
+
+    def __init__(self, n_arms: int, *, seed: SeedLike = None) -> None:
+        self._n_arms = int(n_arms)
+        if self._n_arms < 1:
+            raise ValueError(f"n_arms must be >= 1, got {n_arms}")
+        self._rng = RandomState(seed)
+        self._arms: List[int] = []
+        self._rewards: List[float] = []
+
+    @property
+    def n_arms(self) -> int:
+        return self._n_arms
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._rewards)
+
+    def select(self) -> Selection:
+        arm = int(self._rng.integers(self._n_arms))
+        return Selection(arm, math.inf, math.nan, math.nan)
+
+    def observe(self, arm: int, reward: float) -> None:
+        if not 0 <= arm < self._n_arms:
+            raise IndexError(f"arm {arm} out of range [0, {self._n_arms})")
+        self._arms.append(int(arm))
+        self._rewards.append(float(reward))
+
+    def _tried(self) -> set:
+        return set(self._arms)

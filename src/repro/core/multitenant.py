@@ -1,0 +1,272 @@
+"""The multi-tenant scheduler loop (Section 4).
+
+At each round the scheduler (1) asks its *user picker* which tenant to
+serve, (2) asks that tenant's *model picker* which candidate model to
+train, (3) trains it through the oracle, and (4) feeds the observation
+back into the tenant's state — including the empirical-confidence-bound
+recurrence of Algorithm 2 line 6 that the GREEDY/HYBRID user pickers
+consume.
+
+The scheduler is deliberately policy-agnostic: every named algorithm in
+the paper (FCFS, ROUNDROBIN, RANDOM, GREEDY, HYBRID, MOSTCITED,
+MOSTRECENT) is a combination of a user picker and a model picker; the
+experiment harness composes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model_picking import ModelPicker, Selection
+from repro.core.oracles import RewardOracle
+from repro.core.user_picking import UserPicker
+
+
+@dataclass
+class TenantState:
+    """Everything the scheduler tracks about one tenant.
+
+    Attributes
+    ----------
+    index:
+        Tenant id (row in the oracle).
+    picker:
+        The tenant's model-picking policy (owns the GP if GP-UCB).
+    costs:
+        Known per-model costs for this tenant (``c^i_k``).
+    serves:
+        Number of rounds this tenant has been served (``t_i``).
+    best_observed:
+        Best reward seen so far (what ``infer`` would serve).  A tenant
+        with no model yet has 0 — accuracy of "no model".
+    sigma_tilde:
+        Empirical potential estimate ``σ̃`` from Algorithm 2 line 6
+        (``inf`` until the first serve).
+    ecb_min:
+        Running minimum of the empirical confidence bound
+        ``min_{t'} (y_{t'} + σ̃_{t'})``.
+    """
+
+    index: int
+    picker: ModelPicker
+    costs: np.ndarray
+    serves: int = 0
+    best_observed: float = 0.0
+    sigma_tilde: float = math.inf
+    ecb_min: float = math.inf
+    total_cost: float = 0.0
+    rewards: List[float] = field(default_factory=list)
+    arms: List[int] = field(default_factory=list)
+
+    def absorb(
+        self, selection: Selection, reward: float, cost: float,
+        *, clamp_potential: bool = False,
+    ) -> None:
+        """Update tenant state after a serve (Algorithm 2 lines 6 & 13).
+
+        The empirical confidence bound after observing ``y`` at the arm
+        with selection-time UCB value ``B`` is
+        ``min(B, min_{t'} (y_{t'} + σ̃_{t'}))``; the potential ``σ̃`` is
+        that bound minus ``y``.  Because ``y + σ̃`` equals the bound,
+        the running minimum is simply the bound itself.
+        """
+        bound = min(selection.ucb_value, self.ecb_min)
+        sigma_tilde = bound - reward
+        if clamp_potential:
+            sigma_tilde = max(sigma_tilde, 0.0)
+        if math.isfinite(bound):
+            self.ecb_min = bound
+            self.sigma_tilde = sigma_tilde
+        else:
+            # Heuristic pickers report no bound; fall back to a neutral
+            # potential so greedy pairings degrade gracefully.
+            self.sigma_tilde = max(1.0 - reward, 0.0)
+        self.serves += 1
+        self.best_observed = max(self.best_observed, reward)
+        self.total_cost += cost
+        self.rewards.append(float(reward))
+        self.arms.append(int(selection.arm))
+
+    def potential_gap(self) -> float:
+        """ease.ml's line-8 rule: largest UCB minus best accuracy so far."""
+        return self.picker.best_ucb() - self.best_observed
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One scheduler round, as recorded for analysis."""
+
+    t: int
+    user: int
+    arm: int
+    reward: float
+    cost: float
+    cumulative_cost: float
+    ucb_value: float
+    sigma_tilde: float
+
+
+@dataclass
+class RunResult:
+    """Full history of a scheduler run."""
+
+    records: List[StepRecord]
+    n_users: int
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_cost(self) -> float:
+        return self.records[-1].cumulative_cost if self.records else 0.0
+
+    def users(self) -> np.ndarray:
+        return np.array([r.user for r in self.records], dtype=int)
+
+    def arms(self) -> np.ndarray:
+        return np.array([r.arm for r in self.records], dtype=int)
+
+    def rewards(self) -> np.ndarray:
+        return np.array([r.reward for r in self.records])
+
+    def costs(self) -> np.ndarray:
+        return np.array([r.cost for r in self.records])
+
+    def cumulative_costs(self) -> np.ndarray:
+        return np.array([r.cumulative_cost for r in self.records])
+
+    def serves_per_user(self) -> np.ndarray:
+        counts = np.zeros(self.n_users, dtype=int)
+        for record in self.records:
+            counts[record.user] += 1
+        return counts
+
+
+class MultiTenantScheduler:
+    """Serve ``n`` tenants sharing one device (Section 4).
+
+    Parameters
+    ----------
+    oracle:
+        Source of (reward, cost) observations.
+    pickers:
+        One :class:`ModelPicker` per tenant, aligned with oracle users.
+    user_picker:
+        The tenant-selection policy.
+    clamp_potential:
+        Clamp σ̃ at zero in the Algorithm 2 recurrence (off by default,
+        staying literal to the paper; see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        oracle: RewardOracle,
+        pickers: Sequence[ModelPicker],
+        user_picker: UserPicker,
+        *,
+        clamp_potential: bool = False,
+    ) -> None:
+        if len(pickers) != oracle.n_users:
+            raise ValueError(
+                f"need one picker per oracle user: got {len(pickers)} "
+                f"pickers for {oracle.n_users} users"
+            )
+        for i, picker in enumerate(pickers):
+            if picker.n_arms != oracle.n_models(i):
+                raise ValueError(
+                    f"picker {i} has {picker.n_arms} arms but the oracle "
+                    f"offers {oracle.n_models(i)} models for user {i}"
+                )
+        self.oracle = oracle
+        self.tenants = [
+            TenantState(index=i, picker=picker, costs=oracle.costs(i))
+            for i, picker in enumerate(pickers)
+        ]
+        self.user_picker = user_picker
+        self.clamp_potential = bool(clamp_potential)
+        self.step_count = 0
+        self.total_cost = 0.0
+        self.records: List[StepRecord] = []
+        self.user_picker.reset(self)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.tenants)
+
+    def potentials(self) -> np.ndarray:
+        """Current σ̃ vector across tenants (∞ for never-served)."""
+        return np.array([t.sigma_tilde for t in self.tenants])
+
+    def global_best_sum(self) -> float:
+        """Σ_i best accuracy so far — the progress signal HYBRID watches."""
+        return float(sum(t.best_observed for t in self.tenants))
+
+    # ------------------------------------------------------------------
+    # The serve loop
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord:
+        """Run one round: pick user, pick model, train, update."""
+        user = self.user_picker.pick(self)
+        if not 0 <= user < self.n_users:
+            raise IndexError(
+                f"user picker returned {user}, valid range [0, {self.n_users})"
+            )
+        tenant = self.tenants[user]
+        selection = tenant.picker.select()
+        observation = self.oracle.observe(user, selection.arm)
+        tenant.picker.observe(selection.arm, observation.reward)
+        tenant.absorb(
+            selection,
+            observation.reward,
+            observation.cost,
+            clamp_potential=self.clamp_potential,
+        )
+
+        self.step_count += 1
+        self.total_cost += observation.cost
+        record = StepRecord(
+            t=self.step_count,
+            user=user,
+            arm=selection.arm,
+            reward=observation.reward,
+            cost=observation.cost,
+            cumulative_cost=self.total_cost,
+            ucb_value=selection.ucb_value,
+            sigma_tilde=tenant.sigma_tilde,
+        )
+        self.records.append(record)
+        self.user_picker.notify(self, record)
+        return record
+
+    def run(
+        self,
+        *,
+        max_steps: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+        stop: Optional[Callable[["MultiTenantScheduler"], bool]] = None,
+    ) -> RunResult:
+        """Run until a step or cost budget is exhausted.
+
+        ``cost_budget`` stops *before* a step that would exceed it when
+        the next model's cost is already known to overflow; the final
+        partial overshoot of at most one model is allowed otherwise
+        (matching how a real cluster finishes its last job).
+        """
+        if max_steps is None and cost_budget is None and stop is None:
+            raise ValueError(
+                "provide max_steps, cost_budget or a stop predicate"
+            )
+        while True:
+            if max_steps is not None and self.step_count >= max_steps:
+                break
+            if cost_budget is not None and self.total_cost >= cost_budget:
+                break
+            if stop is not None and stop(self):
+                break
+            self.step()
+        return RunResult(records=list(self.records), n_users=self.n_users)

@@ -1,0 +1,173 @@
+"""Reward/cost oracles: where scheduler observations come from.
+
+A scheduler never touches datasets or trainers directly — it asks an
+oracle to *observe* a ``(user, model)`` pair and gets back a reward
+(accuracy) and the cost (execution time) it paid.  Two families of
+oracle exist in this repository:
+
+* :class:`MatrixOracle` (here) — replays a quality/cost matrix,
+  optionally perturbed by observation noise.  This mirrors the paper's
+  own evaluation protocol, which replays measured accuracies rather
+  than retraining 8 CNNs for every scheduler configuration.
+* ``LiveTrainerOracle`` (in :mod:`repro.engine.trainer`) — actually
+  trains models from the mini ML library, for end-to-end runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_matrix
+
+
+class Observation(NamedTuple):
+    """One oracle response: the reward earned and the cost paid."""
+
+    reward: float
+    cost: float
+
+
+class RewardOracle(ABC):
+    """Source of (reward, cost) observations for ``(user, model)`` pairs."""
+
+    @property
+    @abstractmethod
+    def n_users(self) -> int:
+        """Number of tenants this oracle can serve."""
+
+    @abstractmethod
+    def n_models(self, user: int) -> int:
+        """Number of candidate models for ``user`` (the paper's K_i)."""
+
+    @abstractmethod
+    def costs(self, user: int) -> np.ndarray:
+        """Known execution costs for each of ``user``'s models.
+
+        ease.ml assumes costs are known up front ("simple profiling and
+        submission" in Figure 1); cost-oblivious runs simply pass a
+        vector of ones.
+        """
+
+    @abstractmethod
+    def observe(self, user: int, model: int) -> Observation:
+        """Evaluate ``model`` for ``user``; return the reward and cost."""
+
+    def _check_pair(self, user: int, model: int) -> None:
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        if not 0 <= model < self.n_models(user):
+            raise IndexError(
+                f"model {model} out of range [0, {self.n_models(user)}) "
+                f"for user {user}"
+            )
+
+
+class MatrixOracle(RewardOracle):
+    """Trace-replay oracle over quality/cost matrices.
+
+    Parameters
+    ----------
+    quality:
+        ``(n_users, n_models)`` expected rewards (accuracies in [0, 1]).
+    cost:
+        Either ``None`` (all costs 1 — the cost-oblivious setting), a
+        ``(n_models,)`` per-model cost vector shared by every user, or a
+        full ``(n_users, n_models)`` matrix.
+    noise_std:
+        Standard deviation of i.i.d. Gaussian observation noise added
+        to the expected quality on every draw (machine-learning training
+        is stochastic; Section 3's ``x_{a_t,t}`` is a random reward).
+    clip:
+        When true (default), noisy rewards are clipped back to [0, 1],
+        matching the convention of Appendix B.
+    seed:
+        Seed / generator for the observation noise.
+    """
+
+    def __init__(
+        self,
+        quality: np.ndarray,
+        cost: Optional[np.ndarray] = None,
+        *,
+        noise_std: float = 0.0,
+        clip: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        self._quality = check_matrix(quality, "quality")
+        n_users, n_models = self._quality.shape
+        if cost is None:
+            self._cost = np.ones((n_users, n_models))
+        else:
+            cost_array = np.asarray(cost, dtype=float)
+            if cost_array.ndim == 1:
+                if cost_array.shape[0] != n_models:
+                    raise ValueError(
+                        f"cost vector must have length {n_models}, "
+                        f"got {cost_array.shape[0]}"
+                    )
+                self._cost = np.tile(cost_array, (n_users, 1))
+            else:
+                self._cost = check_matrix(
+                    cost, "cost", shape=(n_users, n_models)
+                )
+        if np.any(self._cost <= 0):
+            raise ValueError("all costs must be strictly positive")
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        self.noise_std = float(noise_std)
+        self.clip = bool(clip)
+        self._rng = RandomState(seed)
+        self.observation_count = 0
+
+    # ------------------------------------------------------------------
+    # RewardOracle interface
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return self._quality.shape[0]
+
+    def n_models(self, user: int) -> int:
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        return self._quality.shape[1]
+
+    def costs(self, user: int) -> np.ndarray:
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        return self._cost[user].copy()
+
+    def observe(self, user: int, model: int) -> Observation:
+        self._check_pair(user, model)
+        reward = self._quality[user, model]
+        if self.noise_std > 0:
+            reward = reward + self.noise_std * self._rng.normal()
+            if self.clip:
+                reward = min(max(reward, 0.0), 1.0)
+        self.observation_count += 1
+        return Observation(float(reward), float(self._cost[user, model]))
+
+    # ------------------------------------------------------------------
+    # Ground truth (for regret accounting by the harness, never used by
+    # schedulers)
+    # ------------------------------------------------------------------
+    def true_mean(self, user: int, model: int) -> float:
+        self._check_pair(user, model)
+        return float(self._quality[user, model])
+
+    def best_quality(self, user: int) -> float:
+        """The paper's ``μ*_i`` — best achievable expected quality."""
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        return float(np.max(self._quality[user]))
+
+    def total_cost(self, user: Optional[int] = None) -> float:
+        """Total runtime of all models (for one user or everyone)."""
+        if user is None:
+            return float(np.sum(self._cost))
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        return float(np.sum(self._cost[user]))

@@ -1,0 +1,249 @@
+"""Regret and accuracy-loss accounting.
+
+The paper uses four related quantities; all are implemented here with
+the exact definitions of Sections 3–4 and Appendix A:
+
+* classic cumulative regret ``R_T = Σ_t (μ* − μ_{a_t})``;
+* the "ease.ml regret" ``R'_T = Σ_t (μ* − E[max_{t'} x_{a_{t'},t'}])``
+  driven by the best model found so far (what ``infer`` serves);
+* cost-aware regret ``R̃_T = Σ_t c_{a_t} r_t`` (Theorem 1);
+* multi-tenant cost-aware regret
+  ``R_T = Σ_t C_t Σ_i r^i_{t_i}`` where an unserved user keeps paying
+  the regret of the model from the last round it was served (and pays
+  ``μ*_i`` before its first serve — "it does not have a model to use");
+* accuracy loss ``l_{i,T} = a*_i − max_{t≤T} a_{i,t}`` and its mean
+  across users (Appendix A eq. 2–3), the metric every figure plots.
+
+Trackers are fed *true means* by the harness (the scheduler never sees
+them) so the regret is exact rather than estimated from noisy draws.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_vector
+
+
+class SingleTenantRegretTracker:
+    """Regret bookkeeping for one user (Section 3).
+
+    Parameters
+    ----------
+    true_means:
+        ``(K,)`` expected rewards per arm — ``μ_k`` in the paper.  The
+        optimum ``μ*`` is their max.
+    """
+
+    def __init__(self, true_means: np.ndarray) -> None:
+        self.true_means = check_vector(true_means, "true_means")
+        self.mu_star = float(np.max(self.true_means))
+        self.instantaneous: List[float] = []
+        self.costs: List[float] = []
+        self._best_mean_so_far = float("-inf")
+        self._best_so_far_series: List[float] = []
+
+    def record(self, arm: int, cost: float = 1.0) -> float:
+        """Record playing ``arm``; return the instantaneous regret r_t."""
+        if not 0 <= arm < self.true_means.shape[0]:
+            raise IndexError(
+                f"arm {arm} out of range [0, {self.true_means.shape[0]})"
+            )
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        regret = self.mu_star - float(self.true_means[arm])
+        self.instantaneous.append(regret)
+        self.costs.append(float(cost))
+        self._best_mean_so_far = max(
+            self._best_mean_so_far, float(self.true_means[arm])
+        )
+        self._best_so_far_series.append(self._best_mean_so_far)
+        return regret
+
+    @property
+    def t(self) -> int:
+        return len(self.instantaneous)
+
+    @property
+    def cumulative(self) -> float:
+        """Classic ``R_T``."""
+        return float(np.sum(self.instantaneous))
+
+    @property
+    def cost_aware(self) -> float:
+        """Theorem 1's ``R̃_T = Σ_t c_{a_t} r_t``."""
+        return float(np.dot(self.instantaneous, self.costs))
+
+    @property
+    def easeml(self) -> float:
+        """``R'_T`` — regret of the best model so far at each round."""
+        if not self._best_so_far_series:
+            return 0.0
+        return float(
+            np.sum(self.mu_star - np.asarray(self._best_so_far_series))
+        )
+
+    @property
+    def minimum_instantaneous(self) -> float:
+        """``min_t r_t`` — the simple-regret quantity of Theorem 1."""
+        if not self.instantaneous:
+            return float("inf")
+        return float(np.min(self.instantaneous))
+
+    @property
+    def accuracy_loss(self) -> float:
+        """``μ* − best mean played so far`` (0 once the best arm is hit)."""
+        if self._best_mean_so_far == float("-inf"):
+            return self.mu_star
+        return self.mu_star - self._best_mean_so_far
+
+
+class MultiTenantRegretTracker:
+    """Regret bookkeeping across ``n`` tenants (Section 4.1).
+
+    Parameters
+    ----------
+    true_means_per_user:
+        Sequence of ``(K_i,)`` arrays of expected rewards.
+    initial_reward:
+        The reward a user "has" before its first serve.  The paper's
+        FCFS example charges the full ``μ*_i`` ("it does not have a
+        model to use"), i.e. treats the pre-serve reward as 0 — which
+        is the default here.
+    """
+
+    def __init__(
+        self,
+        true_means_per_user: Sequence[np.ndarray],
+        *,
+        initial_reward: float = 0.0,
+    ) -> None:
+        self.true_means = [
+            check_vector(m, f"true_means_per_user[{i}]")
+            for i, m in enumerate(true_means_per_user)
+        ]
+        if not self.true_means:
+            raise ValueError("at least one tenant is required")
+        self.mu_star = np.array([float(np.max(m)) for m in self.true_means])
+        self.n_users = len(self.true_means)
+        # Reward of the model from the last serve (X^i_t in the paper).
+        self._last_reward = np.full(self.n_users, float(initial_reward))
+        # Best expected reward obtained so far (for R'_T / accuracy loss).
+        self._best_reward = np.full(self.n_users, float(initial_reward))
+        self.steps = 0
+        self._cumulative = 0.0
+        self._cumulative_easeml = 0.0
+        self._cost_total = 0.0
+        self._history_cum: List[float] = []
+        self._history_cost: List[float] = []
+
+    def record(self, user: int, arm: int, cost: float = 1.0) -> float:
+        """Record that round ``t`` served ``user`` with ``arm``.
+
+        Returns the round's contribution ``C_t · Σ_i r^i_{t_i}`` (the
+        per-round regret of the whole tenant population).
+        """
+        if not 0 <= user < self.n_users:
+            raise IndexError(f"user {user} out of range [0, {self.n_users})")
+        means = self.true_means[user]
+        if not 0 <= arm < means.shape[0]:
+            raise IndexError(
+                f"arm {arm} out of range [0, {means.shape[0]}) for user {user}"
+            )
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+
+        # The served user's "current model" switches to the arm just
+        # played; everyone else sticks with their previous model.
+        self._last_reward[user] = float(means[arm])
+        self._best_reward[user] = max(
+            self._best_reward[user], float(means[arm])
+        )
+
+        per_user_regret = self.mu_star - self._last_reward
+        contribution = float(cost) * float(np.sum(per_user_regret))
+        easeml_contribution = float(cost) * float(
+            np.sum(self.mu_star - self._best_reward)
+        )
+        self.steps += 1
+        self._cumulative += contribution
+        self._cumulative_easeml += easeml_contribution
+        self._cost_total += float(cost)
+        self._history_cum.append(self._cumulative)
+        self._history_cost.append(self._cost_total)
+        return contribution
+
+    @property
+    def cumulative(self) -> float:
+        """``R_T = Σ_t C_t Σ_i r^i_{t_i}``."""
+        return self._cumulative
+
+    @property
+    def cumulative_easeml(self) -> float:
+        """``R'_T`` with best-so-far rewards (always ≤ ``cumulative``)."""
+        return self._cumulative_easeml
+
+    @property
+    def total_cost(self) -> float:
+        return self._cost_total
+
+    @property
+    def history(self) -> np.ndarray:
+        """Cumulative regret after each round, shape ``(steps,)``."""
+        return np.asarray(self._history_cum)
+
+    # ------------------------------------------------------------------
+    # Accuracy loss (Appendix A)
+    # ------------------------------------------------------------------
+    def accuracy_loss_per_user(self) -> np.ndarray:
+        """``l_{i,T} = a*_i − max_{t≤T} a_{i,t}`` for every user."""
+        return self.mu_star - self._best_reward
+
+    def average_accuracy_loss(self) -> float:
+        """``l_T = (1/n) Σ_i l_{i,T}`` (eq. 3)."""
+        return float(np.mean(self.accuracy_loss_per_user()))
+
+    def max_accuracy_loss(self) -> float:
+        """Worst single user's loss (not the paper's worst-case-of-runs,
+        which aggregates across repetitions — see the harness)."""
+        return float(np.max(self.accuracy_loss_per_user()))
+
+
+def accuracy_loss_curve(
+    checkpoint_axis: np.ndarray,
+    step_axis: np.ndarray,
+    losses_at_steps: np.ndarray,
+    *,
+    initial_loss: Optional[float] = None,
+) -> np.ndarray:
+    """Sample a per-step loss series onto a checkpoint grid.
+
+    ``step_axis`` (monotone, e.g. cumulative cost after each round) and
+    ``losses_at_steps`` describe the measured curve; the returned array
+    holds, for every checkpoint, the loss after the *last step not
+    exceeding it* (a right-continuous step function — accuracy loss only
+    changes when a training run finishes).
+
+    ``initial_loss`` is used for checkpoints before the first completed
+    step (defaults to the first measured loss).
+    """
+    checkpoints = np.asarray(checkpoint_axis, dtype=float)
+    steps = np.asarray(step_axis, dtype=float)
+    losses = np.asarray(losses_at_steps, dtype=float)
+    if steps.shape != losses.shape:
+        raise ValueError(
+            f"step_axis {steps.shape} and losses {losses.shape} must match"
+        )
+    if steps.size and np.any(np.diff(steps) < 0):
+        raise ValueError("step_axis must be non-decreasing")
+    if initial_loss is None:
+        initial_loss = float(losses[0]) if losses.size else float("nan")
+    # index of the last step with step_axis <= checkpoint
+    idx = np.searchsorted(steps, checkpoints, side="right") - 1
+    out = np.empty_like(checkpoints)
+    before = idx < 0
+    out[before] = initial_loss
+    out[~before] = losses[idx[~before]] if losses.size else initial_loss
+    return out

@@ -1,0 +1,245 @@
+"""User-picking policies (the "user-picking phase" of Section 4).
+
+* :class:`FCFSPicker` — first come, first served; the strategy whose
+  Θ(T) regret pathology motivates the paper's Section 4.1 example.
+* :class:`RoundRobinPicker` — Section 4.2, absolute fairness,
+  Theorem 2 regret bound.
+* :class:`RandomUserPicker` — uniform sampling with replacement; the
+  paper observes ROUNDROBIN beats it slightly (sampling without
+  replacement).
+* :class:`GreedyPicker` — Algorithm 2 lines 6–8: candidate set of
+  above-average empirical potentials σ̃, then a configurable line-8
+  rule (ease.ml default: max gap between largest UCB and best accuracy
+  so far).
+* :class:`HybridPicker` — Section 4.4: GREEDY until the freezing stage
+  (candidate set stable and no global progress for ``s`` steps), then
+  ROUNDROBIN.  This is ease.ml's default algorithm.
+
+Pickers are stateful and bound to one scheduler via ``reset``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.multitenant import MultiTenantScheduler, StepRecord
+
+
+class UserPicker(ABC):
+    """Strategy choosing which tenant to serve next."""
+
+    @abstractmethod
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        """Return the index of the tenant to serve this round."""
+
+    def notify(
+        self, scheduler: "MultiTenantScheduler", record: "StepRecord"
+    ) -> None:
+        """Hook called after each completed round (default: no-op)."""
+
+    def reset(self, scheduler: "MultiTenantScheduler") -> None:
+        """Hook called when the picker is attached to a scheduler."""
+
+
+class FCFSPicker(UserPicker):
+    """First come, first served (Section 4.1's strawman).
+
+    Serves tenant 0 until its exploration budget is spent — one serve
+    per candidate model, the "exhaustive search" behaviour the paper
+    ascribes to its users — then tenant 1, and so on.  (The quota
+    formulation rather than "all arms tried" keeps FCFS well-defined
+    under GP-UCB model picking, which deliberately never plays
+    hopeless arms.)  After every tenant's quota is spent it keeps
+    cycling so long runs remain well-defined.
+    """
+
+    def __init__(self) -> None:
+        self._current = 0
+
+    def reset(self, scheduler: "MultiTenantScheduler") -> None:
+        self._current = 0
+
+    @staticmethod
+    def _done(tenant) -> bool:
+        return (
+            tenant.picker.exhausted
+            or tenant.serves >= tenant.picker.n_arms
+        )
+
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        n = scheduler.n_users
+        for offset in range(n):
+            candidate = (self._current + offset) % n
+            if not self._done(scheduler.tenants[candidate]):
+                self._current = candidate
+                return candidate
+        # Everyone done: round-robin over all tenants.
+        candidate = self._current % n
+        self._current = (self._current + 1) % n
+        return candidate
+
+
+class RoundRobinPicker(UserPicker):
+    """Serve user ``t mod n`` (Section 4.2)."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def reset(self, scheduler: "MultiTenantScheduler") -> None:
+        self._counter = 0
+
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        user = self._counter % scheduler.n_users
+        self._counter += 1
+        return user
+
+
+class RandomUserPicker(UserPicker):
+    """Uniformly random tenant each round."""
+
+    def __init__(self, *, seed: SeedLike = None) -> None:
+        self._rng = RandomState(seed)
+
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        return int(self._rng.integers(scheduler.n_users))
+
+
+class GreedyPicker(UserPicker):
+    """Algorithm 2's user-picking phase.
+
+    Parameters
+    ----------
+    rule:
+        Line-8 rule for choosing among the candidate set ``V_t``:
+
+        * ``"max_gap"`` (ease.ml default) — the tenant with the largest
+          gap between its largest upper confidence bound and its best
+          accuracy so far;
+        * ``"max_potential"`` — the tenant with the largest σ̃;
+        * ``"random"`` — uniform among candidates (the theorem's
+          "any rule").
+    seed:
+        Used by the ``"random"`` rule and for tie-breaking.
+
+    Warm-up: Algorithm 2 lines 1–4 run one GP-UCB step per tenant
+    before the main loop; the picker realises that by serving any
+    never-served tenant first (in index order), so the warm-up consumes
+    scheduler budget exactly like the paper's initialisation does.
+    """
+
+    _RULES = ("max_gap", "max_potential", "random")
+
+    def __init__(self, rule: str = "max_gap", *, seed: SeedLike = None) -> None:
+        if rule not in self._RULES:
+            raise ValueError(f"rule must be one of {self._RULES}, got {rule!r}")
+        self.rule = rule
+        self._rng = RandomState(seed)
+        self.last_candidate_set: FrozenSet[int] = frozenset()
+
+    def candidate_set(self, scheduler: "MultiTenantScheduler") -> List[int]:
+        """``V_t = {i : σ̃_i ≥ mean(σ̃)}`` (Algorithm 2 line 7)."""
+        potentials = scheduler.potentials()
+        finite = potentials[np.isfinite(potentials)]
+        if finite.size == 0:
+            return list(range(scheduler.n_users))
+        threshold = float(np.mean(finite))
+        candidates = [
+            i
+            for i, value in enumerate(potentials)
+            if not math.isfinite(value) or value >= threshold
+        ]
+        return candidates if candidates else list(range(scheduler.n_users))
+
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        for tenant in scheduler.tenants:
+            if tenant.serves == 0:
+                return tenant.index
+
+        candidates = self.candidate_set(scheduler)
+        self.last_candidate_set = frozenset(candidates)
+        if self.rule == "random":
+            return int(self._rng.choice(candidates))
+        if self.rule == "max_potential":
+            scores = [scheduler.tenants[i].sigma_tilde for i in candidates]
+        else:  # max_gap
+            scores = [scheduler.tenants[i].potential_gap() for i in candidates]
+        best = int(np.argmax(scores))
+        return candidates[best]
+
+
+class HybridPicker(UserPicker):
+    """GREEDY with freezing-stage detection, then ROUNDROBIN (§4.4).
+
+    The freezing stage is declared when, for ``s`` consecutive rounds,
+    the greedy candidate set did not change *and* the global progress
+    signal (Σ_i best accuracy so far) did not improve.  After the
+    switch the picker behaves exactly like :class:`RoundRobinPicker`
+    for the rest of the run (the paper switches once; set
+    ``allow_reentry`` to let renewed progress switch back).
+    """
+
+    def __init__(
+        self,
+        s: int = 10,
+        rule: str = "max_gap",
+        *,
+        allow_reentry: bool = False,
+        progress_tolerance: float = 1e-12,
+        seed: SeedLike = None,
+    ) -> None:
+        if s < 1:
+            raise ValueError(f"s must be >= 1, got {s}")
+        self.s = int(s)
+        self.allow_reentry = bool(allow_reentry)
+        self.progress_tolerance = float(progress_tolerance)
+        self._greedy = GreedyPicker(rule, seed=seed)
+        self._round_robin = RoundRobinPicker()
+        self.switched = False
+        self.switch_step: Optional[int] = None
+        self._stall_rounds = 0
+        self._last_candidates: Optional[FrozenSet[int]] = None
+        self._last_progress = -math.inf
+
+    def reset(self, scheduler: "MultiTenantScheduler") -> None:
+        self._greedy.reset(scheduler)
+        self._round_robin.reset(scheduler)
+        self.switched = False
+        self.switch_step = None
+        self._stall_rounds = 0
+        self._last_candidates = None
+        self._last_progress = -math.inf
+
+    def pick(self, scheduler: "MultiTenantScheduler") -> int:
+        if self.switched:
+            return self._round_robin.pick(scheduler)
+        return self._greedy.pick(scheduler)
+
+    def notify(
+        self, scheduler: "MultiTenantScheduler", record: "StepRecord"
+    ) -> None:
+        progress = scheduler.global_best_sum()
+        candidates = frozenset(self._greedy.candidate_set(scheduler))
+        stalled = (
+            self._last_candidates is not None
+            and candidates == self._last_candidates
+            and progress <= self._last_progress + self.progress_tolerance
+        )
+        if stalled:
+            self._stall_rounds += 1
+        else:
+            self._stall_rounds = 0
+            if self.switched and self.allow_reentry:
+                self.switched = False
+                self.switch_step = None
+        self._last_candidates = candidates
+        self._last_progress = max(self._last_progress, progress)
+        if not self.switched and self._stall_rounds >= self.s:
+            self.switched = True
+            self.switch_step = record.t

@@ -1,0 +1,59 @@
+"""Datasets for the evaluation (Section 5.1, Figure 8).
+
+Six datasets, mirroring the paper's table:
+
+==================  =======  ========  =========  =========
+Dataset             # Users  # Models  Quality    Cost
+==================  =======  ========  =========  =========
+DEEPLEARNING        22       8         real*      real*
+179CLASSIFIER       121      179       real*      synthetic
+SYN(0.01, 0.1)      200      100       synthetic  synthetic
+SYN(0.01, 1.0)      200      100       synthetic  synthetic
+SYN(0.5, 0.1)       200      100       synthetic  synthetic
+SYN(0.5, 1.0)       200      100       synthetic  synthetic
+==================  =======  ========  =========  =========
+
+(*) The paper's "real" matrices come from the ease.ml production log
+and from Delgado et al.'s published benchmark; neither is available
+offline, so :mod:`repro.datasets.deeplearning` and
+:mod:`repro.datasets.classifier179` generate *calibrated simulations*
+with the same shape (marginal difficulty spread, model-ranking
+correlation, cost distribution).  DESIGN.md §5 documents the
+substitution in detail.
+"""
+
+from repro.datasets.base import ModelInfo, ModelSelectionDataset
+from repro.datasets.classifier179 import load_179classifier
+from repro.datasets.deeplearning import (
+    DEEP_ARCHITECTURES,
+    load_deeplearning,
+)
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    generate_full_synthetic,
+    generate_syn,
+    load_all_syn,
+)
+
+__all__ = [
+    "ModelInfo",
+    "ModelSelectionDataset",
+    "load_deeplearning",
+    "DEEP_ARCHITECTURES",
+    "load_179classifier",
+    "SyntheticSpec",
+    "generate_full_synthetic",
+    "generate_syn",
+    "load_all_syn",
+    "load_benchmark_suite",
+]
+
+
+def load_benchmark_suite(seed: int = 0):
+    """All six paper datasets, keyed by their Figure 8 names."""
+    suite = {
+        "DEEPLEARNING": load_deeplearning(seed=seed),
+        "179CLASSIFIER": load_179classifier(seed=seed),
+    }
+    suite.update(load_all_syn(seed=seed))
+    return suite

@@ -1,0 +1,235 @@
+"""The (users × models) quality/cost matrix abstraction.
+
+Every experiment in the paper runs over a dataset of this shape: for
+each (user, model) pair there is a *quality* (accuracy the model
+reaches on the user's task) and a *cost* (execution time of training
+it).  The canonical view is Figure 7 of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_matrix
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Metadata for one candidate model.
+
+    ``citations`` and ``year`` feed the MOSTCITED / MOSTRECENT
+    heuristics; ``family`` groups related algorithms (e.g. all SVM
+    variants in 179CLASSIFIER).
+    """
+
+    name: str
+    citations: float = 0.0
+    year: float = 0.0
+    family: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "citations": self.citations,
+            "year": self.year,
+            "family": self.family,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModelInfo":
+        return cls(
+            name=str(data["name"]),
+            citations=float(data.get("citations", 0.0)),
+            year=float(data.get("year", 0.0)),
+            family=str(data.get("family", "")),
+        )
+
+
+@dataclass
+class ModelSelectionDataset:
+    """A named quality/cost matrix with model metadata.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as used in Figure 8 (e.g. ``"DEEPLEARNING"``).
+    quality:
+        ``(n_users, n_models)`` expected accuracies in [0, 1].
+    cost:
+        ``(n_users, n_models)`` strictly positive execution times.
+    models:
+        One :class:`ModelInfo` per column.
+    user_names:
+        One label per row.
+    quality_kind / cost_kind:
+        ``"real"``, ``"synthetic"`` or ``"simulated"`` — the provenance
+        flags reported by the Figure 8 statistics table.
+    """
+
+    name: str
+    quality: np.ndarray
+    cost: np.ndarray
+    models: List[ModelInfo] = field(default_factory=list)
+    user_names: List[str] = field(default_factory=list)
+    quality_kind: str = "synthetic"
+    cost_kind: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        self.quality = check_matrix(self.quality, "quality")
+        n_users, n_models = self.quality.shape
+        self.cost = check_matrix(self.cost, "cost", shape=(n_users, n_models))
+        if np.any(self.cost <= 0):
+            raise ValueError("all costs must be strictly positive")
+        if np.any((self.quality < 0) | (self.quality > 1)):
+            raise ValueError("all qualities must lie in [0, 1]")
+        if not self.models:
+            self.models = [ModelInfo(f"model-{j}") for j in range(n_models)]
+        if len(self.models) != n_models:
+            raise ValueError(
+                f"got {len(self.models)} ModelInfo entries for "
+                f"{n_models} model columns"
+            )
+        if not self.user_names:
+            self.user_names = [f"user-{i}" for i in range(n_users)]
+        if len(self.user_names) != n_users:
+            raise ValueError(
+                f"got {len(self.user_names)} user names for {n_users} users"
+            )
+
+    # ------------------------------------------------------------------
+    # Shape and ground truth
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return self.quality.shape[0]
+
+    @property
+    def n_models(self) -> int:
+        return self.quality.shape[1]
+
+    def best_quality(self, user: int) -> float:
+        """``a*_i`` — best achievable accuracy for ``user``."""
+        return float(np.max(self.quality[user]))
+
+    def best_qualities(self) -> np.ndarray:
+        return np.max(self.quality, axis=1)
+
+    def best_model(self, user: int) -> int:
+        return int(np.argmax(self.quality[user]))
+
+    def total_cost(self) -> float:
+        """Total runtime of training every model for every user."""
+        return float(np.sum(self.cost))
+
+    def citations(self) -> np.ndarray:
+        return np.array([m.citations for m in self.models])
+
+    def years(self) -> np.ndarray:
+        return np.array([m.year for m in self.models])
+
+    # ------------------------------------------------------------------
+    # Splits and subsets (the paper's 90/10 user protocol)
+    # ------------------------------------------------------------------
+    def subset_users(
+        self, indices: Sequence[int], *, name: Optional[str] = None
+    ) -> "ModelSelectionDataset":
+        """New dataset restricted to the given user rows."""
+        indices = [int(i) for i in indices]
+        for i in indices:
+            if not 0 <= i < self.n_users:
+                raise IndexError(f"user index {i} out of range")
+        return ModelSelectionDataset(
+            name=name or self.name,
+            quality=self.quality[indices].copy(),
+            cost=self.cost[indices].copy(),
+            models=list(self.models),
+            user_names=[self.user_names[i] for i in indices],
+            quality_kind=self.quality_kind,
+            cost_kind=self.cost_kind,
+        )
+
+    def split_users(
+        self, n_test: int, seed: SeedLike = None
+    ) -> Tuple["ModelSelectionDataset", "ModelSelectionDataset"]:
+        """Random (train, test) user split.
+
+        The paper samples 10 test users and uses the rest as the
+        training set whose quality vectors define the model kernel.
+        """
+        if not 1 <= n_test < self.n_users:
+            raise ValueError(
+                f"n_test must be in [1, {self.n_users - 1}], got {n_test}"
+            )
+        rng = RandomState(seed)
+        order = rng.permutation(self.n_users)
+        test_idx = sorted(int(i) for i in order[:n_test])
+        train_idx = sorted(int(i) for i in order[n_test:])
+        return (
+            self.subset_users(train_idx, name=f"{self.name}-train"),
+            self.subset_users(test_idx, name=f"{self.name}-test"),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (the Figure 8 table row)
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_users": self.n_users,
+            "n_models": self.n_models,
+            "quality": self.quality_kind,
+            "cost": self.cost_kind,
+            "mean_quality": float(np.mean(self.quality)),
+            "mean_best_quality": float(np.mean(self.best_qualities())),
+            "total_cost": self.total_cost(),
+            "cost_spread": float(np.max(self.cost) / np.min(self.cost)),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "quality": self.quality.tolist(),
+            "cost": self.cost.tolist(),
+            "models": [m.to_dict() for m in self.models],
+            "user_names": list(self.user_names),
+            "quality_kind": self.quality_kind,
+            "cost_kind": self.cost_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModelSelectionDataset":
+        return cls(
+            name=str(data["name"]),
+            quality=np.asarray(data["quality"], dtype=float),
+            cost=np.asarray(data["cost"], dtype=float),
+            models=[ModelInfo.from_dict(m) for m in data.get("models", [])],
+            user_names=list(data.get("user_names", [])),
+            quality_kind=str(data.get("quality_kind", "synthetic")),
+            cost_kind=str(data.get("cost_kind", "synthetic")),
+        )
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "ModelSelectionDataset":
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelSelectionDataset({self.name!r}, "
+            f"{self.n_users} users x {self.n_models} models)"
+        )

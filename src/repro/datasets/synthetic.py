@@ -1,0 +1,292 @@
+"""Synthetic data generators (Section 5.1 and Appendix B).
+
+Two generators are provided:
+
+* :func:`generate_syn` — the two-factor model used for the four named
+  ``SYN(σ_M, α)`` datasets of Figure 8:
+  ``x_{i,j} = b_i + α · m_j`` with per-user baselines
+  ``b_i ~ N(μ_b, σ_b²)`` and, *for each user*, a correlated model
+  fluctuation vector ``[m_1 … m_K] ~ N(0, Σ_M)`` where
+  ``Σ_M[j, j'] = exp(-(f(j) - f(j'))² / σ_M²)`` over hidden model
+  features ``f(j) ~ U(0, 1)``.
+* :func:`generate_full_synthetic` — the full Appendix-B generative
+  model with baseline groups, model groups, user groups and white
+  noise: ``x_{i,j} = b_i + m_j + u_i + ε_{i,j}``.
+
+Both clip qualities into [0, 1] as Appendix B prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ModelInfo, ModelSelectionDataset
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_positive
+
+#: The four synthetic configurations evaluated in the paper (Figure 8).
+SYN_CONFIGS: Tuple[Tuple[float, float], ...] = (
+    (0.01, 0.1),
+    (0.01, 1.0),
+    (0.5, 0.1),
+    (0.5, 1.0),
+)
+
+
+def hidden_feature_covariance(
+    features: np.ndarray, sigma: float
+) -> np.ndarray:
+    """``Σ[i, j] = exp(-(f_i - f_j)² / σ²)`` over hidden features.
+
+    Larger ``σ`` ⇒ stronger correlation between items with different
+    hidden features (the paper increases σ_M from 0.01 to 0.5 to
+    strengthen model correlation).
+    """
+    sigma = check_positive(sigma, "sigma")
+    features = np.asarray(features, dtype=float).ravel()
+    delta = features[:, None] - features[None, :]
+    cov = np.exp(-(delta**2) / sigma**2)
+    # Tiny diagonal boost keeps Cholesky sampling stable when features
+    # nearly coincide.
+    return cov + 1e-9 * np.eye(features.shape[0])
+
+
+def _sample_correlated(
+    rng: np.random.Generator, cov: np.ndarray, n_samples: int
+) -> np.ndarray:
+    """``n_samples`` draws from ``N(0, cov)``, shape (n_samples, dim)."""
+    chol = np.linalg.cholesky(cov + 1e-9 * np.eye(cov.shape[0]))
+    raw = rng.standard_normal((n_samples, cov.shape[0]))
+    return raw @ chol.T
+
+
+def generate_syn(
+    sigma_m: float,
+    alpha: float,
+    *,
+    n_users: int = 200,
+    n_models: int = 100,
+    baseline_groups: Sequence[Tuple[float, float]] = ((0.75, 0.1), (0.25, 0.1)),
+    cost_low: float = 0.05,
+    cost_high: float = 1.0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> ModelSelectionDataset:
+    """One ``SYN(σ_M, α)`` dataset (Section 5.1's two-factor model).
+
+    Parameters
+    ----------
+    sigma_m:
+        Strength of the model correlation (σ_M).
+    alpha:
+        Weight of the model-correlation term in the final quality;
+        lowering it amplifies the model-irrelevant baseline spread.
+    baseline_groups:
+        ``(μ_b, σ_b)`` pairs; users are split evenly across groups
+        (Appendix B.2 uses {(0.75, σ_B), (0.25, σ_B)} — some tasks are
+        easy, some hard; "if all users' tasks are equally hard, why not
+        round-robin").
+    cost_low / cost_high:
+        Per-(user, model) costs are drawn ``U(cost_low, cost_high)``
+        (the paper "generates costs randomly" for synthetic datasets;
+        the lower bound stays positive so costs remain valid times).
+    """
+    sigma_m = check_positive(sigma_m, "sigma_m")
+    alpha = check_positive(alpha, "alpha", strict=False)
+    if n_users < 1 or n_models < 1:
+        raise ValueError("n_users and n_models must be >= 1")
+    rng = RandomState(seed)
+
+    # Per-user baselines from evenly assigned baseline groups.
+    baselines = np.empty(n_users)
+    group_of_user = np.arange(n_users) % len(baseline_groups)
+    for g, (mu_b, s_b) in enumerate(baseline_groups):
+        members = group_of_user == g
+        baselines[members] = rng.normal(mu_b, s_b, int(np.sum(members)))
+
+    # Hidden model features and their covariance.
+    features = rng.uniform(0.0, 1.0, n_models)
+    cov_m = hidden_feature_covariance(features, sigma_m)
+
+    # For each user, a correlated fluctuation vector over models.
+    fluctuations = _sample_correlated(rng, cov_m, n_users)
+
+    quality = np.clip(baselines[:, None] + alpha * fluctuations, 0.0, 1.0)
+    cost = rng.uniform(cost_low, cost_high, (n_users, n_models))
+
+    models = [
+        ModelInfo(
+            name=f"syn-model-{j}",
+            citations=float(rng.integers(1, 10_000)),
+            year=float(2008 + rng.integers(0, 10)),
+            family=f"feature-{features[j]:.2f}",
+        )
+        for j in range(n_models)
+    ]
+    return ModelSelectionDataset(
+        name=name or f"SYN({sigma_m:g},{alpha:.1f})",
+        quality=quality,
+        cost=cost,
+        models=models,
+        user_names=[f"syn-user-{i}" for i in range(n_users)],
+        quality_kind="synthetic",
+        cost_kind="synthetic",
+    )
+
+
+def load_all_syn(
+    seed: int = 0, *, n_users: int = 200, n_models: int = 100
+) -> Dict[str, ModelSelectionDataset]:
+    """The four named SYN datasets of Figure 8."""
+    out = {}
+    for k, (sigma_m, alpha) in enumerate(SYN_CONFIGS):
+        dataset = generate_syn(
+            sigma_m,
+            alpha,
+            n_users=n_users,
+            n_models=n_models,
+            seed=(seed, "syn", k) if seed is None else seed * 1000 + k,
+        )
+        out[dataset.name] = dataset
+    return out
+
+
+# ----------------------------------------------------------------------
+# Full Appendix-B generative model
+# ----------------------------------------------------------------------
+@dataclass
+class SyntheticSpec:
+    """The Appendix-B tuple ``(B, M, U, σ_W, p_U, p_M)``.
+
+    Attributes
+    ----------
+    baseline_groups:
+        ``(μ_b, σ_b)`` per baseline group B.
+    model_groups:
+        ``(σ_M, n_models)`` per model group M (p_M folded in).
+    user_groups:
+        ``σ_U`` per user group U.
+    users_per_combo:
+        ``p_U`` — users for every (baseline group × user group) cell.
+    sigma_w:
+        White-noise standard deviation σ_W.
+    alpha_m / alpha_u:
+        Optional weights of the model/user fluctuation terms (1.0
+        reproduces Appendix B literally; the SYN datasets use α on the
+        model term only).
+    """
+
+    baseline_groups: Sequence[Tuple[float, float]] = field(
+        default_factory=lambda: [(0.75, 0.05), (0.25, 0.05)]
+    )
+    model_groups: Sequence[Tuple[float, int]] = field(
+        default_factory=lambda: [(0.5, 100)]
+    )
+    user_groups: Sequence[float] = field(default_factory=lambda: [0.5])
+    users_per_combo: int = 50
+    sigma_w: float = 0.01
+    alpha_m: float = 1.0
+    alpha_u: float = 1.0
+
+    @property
+    def n_users(self) -> int:
+        return (
+            len(self.baseline_groups)
+            * len(self.user_groups)
+            * self.users_per_combo
+        )
+
+    @property
+    def n_models(self) -> int:
+        return sum(size for _, size in self.model_groups)
+
+
+def generate_full_synthetic(
+    spec: SyntheticSpec,
+    *,
+    cost_low: float = 0.05,
+    cost_high: float = 1.0,
+    seed: SeedLike = None,
+    name: str = "SYN-FULL",
+) -> ModelSelectionDataset:
+    """Sample a dataset from the full Appendix-B generative model.
+
+    ``x_{i,j} = b_i + α_m·m_j + α_u·u_i + ε_{i,j}`` clipped to [0, 1]:
+
+    * ``b_i`` from the user's baseline group;
+    * for each user, ``[m_1 … m_K] ~ N(0, Σ_M)`` blockwise per model
+      group, with hidden features ``f(M_j) ~ U(0, 1)``;
+    * for each model, ``[u_1 … u_N] ~ N(0, Σ_U)`` blockwise per user
+      group, with hidden user features;
+    * ``ε_{i,j} ~ N(0, σ_W²)`` i.i.d.
+    """
+    rng = RandomState(seed)
+    n_users, n_models = spec.n_users, spec.n_models
+    if n_users < 1 or n_models < 1:
+        raise ValueError("spec describes an empty dataset")
+
+    # --- assign users to (baseline, user-group) combos ------------------
+    baselines = np.empty(n_users)
+    user_group_of = np.empty(n_users, dtype=int)
+    idx = 0
+    for b, (mu_b, s_b) in enumerate(spec.baseline_groups):
+        for u, _sigma_u in enumerate(spec.user_groups):
+            block = slice(idx, idx + spec.users_per_combo)
+            baselines[block] = rng.normal(mu_b, s_b, spec.users_per_combo)
+            user_group_of[block] = u
+            idx += spec.users_per_combo
+
+    # --- model groups: per-user correlated fluctuations -----------------
+    model_term = np.zeros((n_users, n_models))
+    model_families: List[str] = []
+    col = 0
+    for g, (sigma_m, size) in enumerate(spec.model_groups):
+        features = rng.uniform(0.0, 1.0, size)
+        cov_m = hidden_feature_covariance(features, sigma_m)
+        model_term[:, col : col + size] = _sample_correlated(
+            rng, cov_m, n_users
+        )
+        model_families.extend(f"model-group-{g}" for _ in range(size))
+        col += size
+
+    # --- user groups: per-model correlated fluctuations -----------------
+    user_term = np.zeros((n_users, n_models))
+    for u, sigma_u in enumerate(spec.user_groups):
+        members = np.flatnonzero(user_group_of == u)
+        features = rng.uniform(0.0, 1.0, members.shape[0])
+        cov_u = hidden_feature_covariance(features, sigma_u)
+        draws = _sample_correlated(rng, cov_u, n_models)  # (models, members)
+        user_term[members[:, None], np.arange(n_models)[None, :]] = draws.T
+
+    noise = rng.normal(0.0, spec.sigma_w, (n_users, n_models))
+    quality = np.clip(
+        baselines[:, None]
+        + spec.alpha_m * model_term
+        + spec.alpha_u * user_term
+        + noise,
+        0.0,
+        1.0,
+    )
+    cost = rng.uniform(cost_low, cost_high, (n_users, n_models))
+
+    models = [
+        ModelInfo(
+            name=f"synfull-model-{j}",
+            citations=float(rng.integers(1, 10_000)),
+            year=float(2008 + rng.integers(0, 10)),
+            family=model_families[j],
+        )
+        for j in range(n_models)
+    ]
+    return ModelSelectionDataset(
+        name=name,
+        quality=quality,
+        cost=cost,
+        models=models,
+        user_names=[f"synfull-user-{i}" for i in range(n_users)],
+        quality_kind="synthetic",
+        cost_kind="synthetic",
+    )

@@ -1,0 +1,42 @@
+"""A virtual wall clock for discrete-event simulation."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically advancing simulated time.
+
+    Time is a float in arbitrary units (the benchmarks use "hours of
+    AlexNet-equivalent GPU work").  The clock refuses to move
+    backwards, which catches double-accounting bugs in simulators.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move forward by ``delta`` (must be ≥ 0); returns the new time."""
+        delta = float(delta)
+        if delta < 0:
+            raise ValueError(f"cannot advance time by a negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute ``timestamp`` (must be ≥ now)."""
+        timestamp = float(timestamp)
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, "
+                f"target={timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.4g})"

@@ -1,0 +1,60 @@
+"""The shared GPU pool with single-device discipline.
+
+ease.ml "uses all its GPUs to train a single model" (Section 2); the
+paper's Section 5.3.2 discussion argues this single-device discipline
+returns models to users faster than dedicating one GPU per user, given
+near-linear data-parallel scaling (InfiniBand + low-precision
+communication + the Goyal et al. learning-rate recipe).
+
+:class:`GPUPool` models that: a job representing ``gpu_time`` units of
+single-GPU work completes in ``gpu_time / speedup(n_gpus)`` wall-clock
+units, with a configurable scaling efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+class GPUPool:
+    """A pool of identical GPUs with a data-parallel scaling model.
+
+    Parameters
+    ----------
+    n_gpus:
+        Number of devices (the paper's deployment has 24).
+    scaling_efficiency:
+        Fraction of ideal linear speedup retained per added GPU:
+        ``speedup(g) = 1 + scaling_efficiency · (g - 1)``.
+        1.0 is perfect scaling; 0.0 means extra GPUs add nothing.
+    """
+
+    def __init__(self, n_gpus: int = 24, scaling_efficiency: float = 0.9):
+        self.n_gpus = int(n_gpus)
+        if self.n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+        self.scaling_efficiency = check_in_range(
+            scaling_efficiency, "scaling_efficiency", 0.0, 1.0
+        )
+
+    def speedup(self, n_gpus_used: int | None = None) -> float:
+        """Effective speedup when ``n_gpus_used`` devices co-train a job."""
+        g = self.n_gpus if n_gpus_used is None else int(n_gpus_used)
+        if not 1 <= g <= self.n_gpus:
+            raise ValueError(
+                f"n_gpus_used must be in [1, {self.n_gpus}], got {g}"
+            )
+        return 1.0 + self.scaling_efficiency * (g - 1)
+
+    def wall_clock_time(
+        self, gpu_time: float, n_gpus_used: int | None = None
+    ) -> float:
+        """Elapsed time to complete ``gpu_time`` units of 1-GPU work."""
+        gpu_time = check_positive(gpu_time, "gpu_time", strict=False)
+        return gpu_time / self.speedup(n_gpus_used)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GPUPool(n_gpus={self.n_gpus}, "
+            f"scaling_efficiency={self.scaling_efficiency})"
+        )

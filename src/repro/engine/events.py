@@ -1,0 +1,96 @@
+"""Typed event log for simulation runs.
+
+Every notable simulator action (job submitted / started / finished,
+model returned to a user, scheduler switches strategy, …) is appended
+as an :class:`Event`; experiments and tests query the log instead of
+scraping stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class EventKind(str, Enum):
+    """The vocabulary of simulator events."""
+
+    JOB_SUBMITTED = "job_submitted"
+    JOB_STARTED = "job_started"
+    JOB_FINISHED = "job_finished"
+    MODEL_RETURNED = "model_returned"
+    USER_PICKED = "user_picked"
+    STRATEGY_SWITCHED = "strategy_switched"
+    FEED = "feed"
+    REFINE = "refine"
+    INFER = "infer"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped event with a free-form payload."""
+
+    time: float
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(t={self.time:.4g}, {self.kind.value}, {self.payload})"
+
+
+class EventLog:
+    """Append-only, time-ordered event store."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def append(
+        self,
+        time: float,
+        kind: EventKind,
+        **payload: Any,
+    ) -> Event:
+        """Record an event; time must not precede the last event."""
+        if self._events and time < self._events[-1].time - 1e-12:
+            raise ValueError(
+                f"event at t={time} precedes the last event at "
+                f"t={self._events[-1].time}"
+            )
+        event = Event(float(time), EventKind(kind), dict(payload))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one kind, in time order."""
+        kind = EventKind(kind)
+        return [e for e in self._events if e.kind is kind]
+
+    def between(
+        self, start: float, end: float, kind: Optional[EventKind] = None
+    ) -> List[Event]:
+        """Events with ``start <= time < end``, optionally filtered."""
+        out = [e for e in self._events if start <= e.time < end]
+        if kind is not None:
+            kind = EventKind(kind)
+            out = [e for e in out if e.kind is kind]
+        return out
+
+    def last(self, kind: Optional[EventKind] = None) -> Optional[Event]:
+        """Most recent event (of a kind), or ``None``."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind is EventKind(kind):
+                return event
+        return None

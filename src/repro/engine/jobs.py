@@ -1,0 +1,72 @@
+"""Training-job lifecycle records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class JobState(str, Enum):
+    """Lifecycle of a training job on the shared cluster."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One (user, model) training run.
+
+    Times are simulated wall-clock; ``gpu_time`` is the single-GPU
+    work the job represents, while ``duration`` is the elapsed time
+    after the pool's data-parallel speedup.
+    """
+
+    job_id: int
+    user: int
+    model: int
+    submit_time: float
+    gpu_time: float
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    reward: Optional[float] = None
+    detail: dict = field(default_factory=dict)
+
+    def start(self, time: float) -> None:
+        if self.state is not JobState.PENDING:
+            raise ValueError(f"cannot start a job in state {self.state}")
+        self.state = JobState.RUNNING
+        self.start_time = float(time)
+
+    def finish(self, time: float, reward: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"cannot finish a job in state {self.state}")
+        if self.start_time is not None and time < self.start_time:
+            raise ValueError("job cannot finish before it started")
+        self.state = JobState.FINISHED
+        self.end_time = float(time)
+        self.reward = float(reward)
+
+    def fail(self, time: float, reason: str = "") -> None:
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"cannot fail a job in state {self.state}")
+        self.state = JobState.FAILED
+        self.end_time = float(time)
+        self.detail["failure_reason"] = reason
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Elapsed wall-clock time, if the job has ended."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job(#{self.job_id} u{self.user} m{self.model} "
+            f"{self.state.value})"
+        )

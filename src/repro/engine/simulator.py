@@ -1,0 +1,203 @@
+"""Oracle adapters and device-discipline simulations.
+
+:class:`ClusterOracle` is the glue between the scheduler core and the
+engine: it satisfies :class:`repro.core.oracles.RewardOracle` while a
+trainer produces observations, the GPU pool converts GPU-time into
+wall-clock, the clock advances, and every job lands in the event log.
+
+:func:`simulate_dedicated_devices` implements the *multi-device
+alternative* of the Section 5.3.2 discussion — one GPU per user, all
+users training concurrently — so the single- vs multi-device trade-off
+can be measured (benchmarks/bench_device_discipline.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.oracles import Observation, RewardOracle
+from repro.datasets.base import ModelSelectionDataset
+from repro.engine.clock import SimClock
+from repro.engine.cluster import GPUPool
+from repro.engine.events import EventKind, EventLog
+from repro.engine.jobs import Job, JobState
+from repro.engine.trainer import Trainer
+from repro.utils.rng import RandomState, SeedLike
+
+
+class ClusterOracle(RewardOracle):
+    """RewardOracle that executes jobs on a simulated cluster.
+
+    Each ``observe`` call submits, runs and completes one job under the
+    single-device discipline (the whole pool trains it), advancing the
+    shared clock by the job's wall-clock duration.  The *cost* reported
+    to the scheduler is the wall-clock time — that is the resource the
+    multi-tenant objective shares between users.
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        pool: Optional[GPUPool] = None,
+        clock: Optional[SimClock] = None,
+        log: Optional[EventLog] = None,
+    ) -> None:
+        self.trainer = trainer
+        self.pool = pool if pool is not None else GPUPool()
+        self.clock = clock if clock is not None else SimClock()
+        self.log = log if log is not None else EventLog()
+        self.jobs: List[Job] = []
+
+    @property
+    def n_users(self) -> int:
+        return self.trainer.n_users
+
+    def n_models(self, user: int) -> int:
+        return self.trainer.n_models(user)
+
+    def costs(self, user: int) -> np.ndarray:
+        # Planning costs are wall-clock under the single-device
+        # discipline: profiled GPU time divided by the pool speedup.
+        return self.trainer.expected_costs(user) / self.pool.speedup()
+
+    def observe(self, user: int, model: int) -> Observation:
+        self._check_pair(user, model)
+        job = Job(
+            job_id=len(self.jobs),
+            user=user,
+            model=model,
+            submit_time=self.clock.now,
+            gpu_time=0.0,
+        )
+        self.jobs.append(job)
+        self.log.append(
+            self.clock.now, EventKind.JOB_SUBMITTED, job_id=job.job_id,
+            user=user, model=model,
+        )
+        job.start(self.clock.now)
+        self.log.append(
+            self.clock.now, EventKind.JOB_STARTED, job_id=job.job_id,
+            user=user, model=model, n_gpus=self.pool.n_gpus,
+        )
+        reward, gpu_time = self.trainer.train(user, model)
+        job.gpu_time = gpu_time
+        duration = self.pool.wall_clock_time(gpu_time)
+        self.clock.advance(duration)
+        job.finish(self.clock.now, reward)
+        self.log.append(
+            self.clock.now, EventKind.JOB_FINISHED, job_id=job.job_id,
+            user=user, model=model, reward=reward, duration=duration,
+        )
+        self.log.append(
+            self.clock.now, EventKind.MODEL_RETURNED, user=user,
+            model=model, reward=reward,
+        )
+        return Observation(float(reward), float(duration))
+
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.jobs if j.state is JobState.FINISHED]
+
+
+@dataclass
+class DedicatedDeviceResult:
+    """Outcome of the one-GPU-per-user alternative.
+
+    ``completion_times[i][k]`` is the wall-clock time at which user
+    ``i``'s k-th training run finished; ``rewards[i][k]`` its accuracy.
+    """
+
+    completion_times: List[np.ndarray]
+    rewards: List[np.ndarray]
+    arms: List[np.ndarray]
+
+    def best_reward_at(self, user: int, time: float) -> float:
+        """Best accuracy user ``i`` holds at wall-clock ``time``."""
+        times = self.completion_times[user]
+        done = times <= time
+        if not np.any(done):
+            return 0.0
+        return float(np.max(self.rewards[user][done]))
+
+    def average_accuracy_loss_at(
+        self, time: float, best_qualities: Sequence[float]
+    ) -> float:
+        """Mean over users of ``a*_i − best accuracy held at time``."""
+        losses = [
+            float(best_qualities[i]) - self.best_reward_at(i, time)
+            for i in range(len(self.completion_times))
+        ]
+        return float(np.mean(losses))
+
+
+def simulate_dedicated_devices(
+    dataset: ModelSelectionDataset,
+    *,
+    horizon: float,
+    order: str = "ucb",
+    noise_std: float = 0.0,
+    gp_noise: float = 0.05,
+    seed: SeedLike = None,
+) -> DedicatedDeviceResult:
+    """Simulate one dedicated GPU per user until ``horizon``.
+
+    Every user trains continuously on their own device (no sharing, no
+    pool speedup).  ``order`` picks each user's exploration policy:
+    ``"ucb"`` runs an independent cost-aware GP-UCB per user (with an
+    empirical prior from the dataset itself), ``"random"`` explores
+    uniformly.  Used by the device-discipline benchmark to contrast
+    with the single-device :class:`ClusterOracle` runs.
+    """
+    from repro.core.beta import AlgorithmOneBeta
+    from repro.core.ucb import GPUCB
+    from repro.gp.covariance import empirical_model_covariance
+    from repro.gp.regression import FiniteArmGP
+
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if order not in ("ucb", "random"):
+        raise ValueError(f"order must be 'ucb' or 'random', got {order!r}")
+    rng = RandomState(seed)
+    cov = empirical_model_covariance(dataset.quality)
+
+    completion_times: List[np.ndarray] = []
+    rewards: List[np.ndarray] = []
+    arms: List[np.ndarray] = []
+    for user in range(dataset.n_users):
+        costs = dataset.cost[user]
+        policy: Optional[GPUCB] = None
+        if order == "ucb":
+            policy = GPUCB(
+                FiniteArmGP(cov, noise=gp_noise),
+                AlgorithmOneBeta(dataset.n_models),
+                costs,
+            )
+        t = 0.0
+        user_times: List[float] = []
+        user_rewards: List[float] = []
+        user_arms: List[int] = []
+        while True:
+            if policy is not None:
+                arm = policy.select()
+            else:
+                arm = int(rng.integers(dataset.n_models))
+            duration = float(costs[arm])
+            if t + duration > horizon:
+                break
+            t += duration
+            reward = float(dataset.quality[user, arm])
+            if noise_std > 0:
+                reward = float(
+                    np.clip(reward + noise_std * rng.normal(), 0.0, 1.0)
+                )
+            if policy is not None:
+                policy.observe(arm, reward)
+            user_times.append(t)
+            user_rewards.append(reward)
+            user_arms.append(arm)
+        completion_times.append(np.asarray(user_times))
+        rewards.append(np.asarray(user_rewards))
+        arms.append(np.asarray(user_arms, dtype=int))
+    return DedicatedDeviceResult(completion_times, rewards, arms)

@@ -1,0 +1,51 @@
+"""Experiment protocol, metrics and per-figure reproduction drivers.
+
+The paper's protocol (Sections 5.2–5.3, Appendix A):
+
+* sample ``n_test`` users as the test set; the remaining users are the
+  *training set* whose quality vectors define the model kernel;
+* run each scheduling strategy on the test users for a fixed budget
+  (a fraction of the number of runs when cost-oblivious, a fraction of
+  total runtime when cost-aware);
+* repeat with 50 random splits; report the *average* and the
+  *worst-case* accuracy loss across repetitions at every point of the
+  budget axis.
+
+:mod:`repro.experiments.figures` packages one driver per paper figure
+(F6b and F8–F15); the benchmark modules under ``benchmarks/`` call
+those drivers and print the series.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    StrategyResult,
+    run_experiment,
+    run_trial,
+)
+from repro.experiments.metrics import (
+    max_speedup,
+    speedup_at,
+    time_to_threshold,
+)
+from repro.experiments.protocol import (
+    STRATEGY_NAMES,
+    ExperimentConfig,
+    build_prior,
+    make_model_picker,
+    make_user_picker,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "STRATEGY_NAMES",
+    "build_prior",
+    "make_user_picker",
+    "make_model_picker",
+    "run_trial",
+    "run_experiment",
+    "StrategyResult",
+    "ExperimentResult",
+    "time_to_threshold",
+    "speedup_at",
+    "max_speedup",
+]

@@ -1,0 +1,377 @@
+"""One driver per paper figure (F6b, F8–F15).
+
+Each ``figure*`` function runs the corresponding experiment and returns
+a :class:`FigureReport` bundling the raw :class:`ExperimentResult`
+objects with the headline numbers the paper quotes, plus a ``render()``
+that prints the same series the figure plots.  The benchmark modules
+under ``benchmarks/`` are thin wrappers around these drivers.
+
+All drivers accept ``n_trials`` (the paper uses 50; benchmarks default
+lower to keep CI runtimes sane) and a ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import (
+    load_179classifier,
+    load_benchmark_suite,
+    load_deeplearning,
+    load_all_syn,
+)
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.protocol import ExperimentConfig
+from repro.utils.tables import ascii_table
+
+#: Loss-threshold band for the Figure 9 speedup metric.  The paper
+#: quotes the 0.02–0.1 band of its trace; we extend upward to cover the
+#: region our calibrated trace actually traverses (the metric only
+#: counts thresholds both curves reach).
+FIG9_THRESHOLDS: Tuple[float, ...] = tuple(np.linspace(0.02, 0.35, 34))
+
+
+@dataclass
+class FigureReport:
+    """The outcome of one figure reproduction."""
+
+    figure: str
+    description: str
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    headline: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, *, max_rows: int = 13) -> str:
+        parts = [f"=== {self.figure}: {self.description} ==="]
+        for key, result in self.results.items():
+            parts.append(f"--- {key} ---")
+            parts.append(result.render(max_rows=max_rows))
+            parts.append(result.render(worst_case=True, max_rows=max_rows))
+        if self.headline:
+            rows = [[k, v] for k, v in self.headline.items()]
+            parts.append(ascii_table(["headline metric", "value"], rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def _finite(value: float) -> float:
+    return float(value) if np.isfinite(value) else float("nan")
+
+
+def figure6b(*, n_trials: int = 10, seed: int = 0) -> FigureReport:
+    """Figure 6(b): GREEDY vs ROUNDROBIN accuracy loss (% of runs)."""
+    dataset = load_179classifier(seed=seed)
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.35,
+        cost_aware=False,
+        base_seed=seed,
+    )
+    result = run_experiment(dataset, ["greedy", "round_robin"], config)
+    greedy = result.strategies["greedy"].mean_curve
+    rr = result.strategies["round_robin"].mean_curve
+    early = int(0.2 * (len(greedy) - 1))
+    return FigureReport(
+        figure="Figure 6(b)",
+        description="GREEDY vs ROUNDROBIN illustration",
+        results={"179CLASSIFIER": result},
+        headline={
+            "greedy loss @20% budget": float(greedy[early]),
+            "round_robin loss @20% budget": float(rr[early]),
+            "greedy final loss": float(greedy[-1]),
+            "round_robin final loss": float(rr[-1]),
+        },
+    )
+
+
+def figure8(*, seed: int = 0) -> FigureReport:
+    """Figure 8: dataset statistics table."""
+    suite = load_benchmark_suite(seed=seed)
+    report = FigureReport(
+        figure="Figure 8",
+        description="Statistics of datasets",
+    )
+    for name, dataset in suite.items():
+        stats = dataset.statistics()
+        report.headline[f"{name} users"] = float(stats["n_users"])
+        report.headline[f"{name} models"] = float(stats["n_models"])
+    report.notes.append(
+        "quality/cost provenance: "
+        + "; ".join(
+            f"{name}: {ds.quality_kind} / {ds.cost_kind}"
+            for name, ds in suite.items()
+        )
+    )
+    return report
+
+
+def figure9(
+    *,
+    n_trials: int = 20,
+    seed: int = 0,
+    budget_fraction: float = 0.10,
+) -> FigureReport:
+    """Figure 9: end-to-end on DEEPLEARNING vs the user heuristics.
+
+    Paper headline: ease.ml up to 9.8× faster (average accuracy loss)
+    and up to 3.1× (worst-case) than the better of MOSTCITED /
+    MOSTRECENT.
+    """
+    dataset = load_deeplearning(seed=seed)
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=budget_fraction,
+        cost_aware=True,
+        noise_std=0.02,
+        n_checkpoints=81,
+        base_seed=seed,
+    )
+    result = run_experiment(
+        dataset, ["easeml", "most_cited", "most_recent"], config
+    )
+    avg = result.speedups(thresholds=FIG9_THRESHOLDS)
+    worst = result.speedups(worst_case=True, thresholds=FIG9_THRESHOLDS)
+    return FigureReport(
+        figure="Figure 9",
+        description="End-to-end DEEPLEARNING: ease.ml vs user heuristics",
+        results={"DEEPLEARNING": result},
+        headline={
+            "avg speedup vs most_cited": _finite(avg["most_cited"][0]),
+            "avg speedup vs most_recent": _finite(avg["most_recent"][0]),
+            "worst-case speedup vs most_cited": _finite(
+                worst["most_cited"][0]
+            ),
+            "worst-case speedup vs most_recent": _finite(
+                worst["most_recent"][0]
+            ),
+        },
+        notes=[
+            "paper: 9.8x (average) and 3.1x (worst-case) vs the better "
+            "heuristic; absolute factors depend on the simulated trace",
+        ],
+    )
+
+
+def _multi_dataset_report(
+    figure: str,
+    description: str,
+    datasets: Sequence,
+    strategies: Sequence[str],
+    config: ExperimentConfig,
+) -> FigureReport:
+    report = FigureReport(figure=figure, description=description)
+    for dataset in datasets:
+        result = run_experiment(dataset, strategies, config)
+        report.results[dataset.name] = result
+        grid = result.grid
+        early = int(0.2 * (len(grid) - 1))
+        for name, strategy in result.strategies.items():
+            report.headline[f"{dataset.name} {name} @20%"] = float(
+                strategy.mean_curve[early]
+            )
+            report.headline[f"{dataset.name} {name} final"] = float(
+                strategy.final_mean_loss
+            )
+    return report
+
+
+def figure10(
+    *,
+    n_trials: int = 10,
+    seed: int = 0,
+    dataset_names: Optional[Sequence[str]] = None,
+) -> FigureReport:
+    """Figure 10: cost-oblivious multi-tenant comparison on 6 datasets."""
+    suite = load_benchmark_suite(seed=seed)
+    if dataset_names is not None:
+        suite = {k: suite[k] for k in dataset_names}
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.5,
+        cost_aware=False,
+        noise_std=0.05,
+        base_seed=seed,
+    )
+    return _multi_dataset_report(
+        "Figure 10",
+        "Cost-oblivious: ease.ml vs ROUNDROBIN vs RANDOM (% of runs)",
+        list(suite.values()),
+        ["easeml", "round_robin", "random"],
+        config,
+    )
+
+
+def figure11(
+    *,
+    n_trials: int = 10,
+    seed: int = 0,
+    dataset_names: Optional[Sequence[str]] = None,
+) -> FigureReport:
+    """Figure 11: cost-aware multi-tenant comparison on 6 datasets."""
+    suite = load_benchmark_suite(seed=seed)
+    if dataset_names is not None:
+        suite = {k: suite[k] for k in dataset_names}
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.3,
+        cost_aware=True,
+        noise_std=0.05,
+        base_seed=seed,
+    )
+    return _multi_dataset_report(
+        "Figure 11",
+        "Cost-aware: ease.ml vs ROUNDROBIN vs RANDOM (% of total cost)",
+        list(suite.values()),
+        ["easeml", "round_robin", "random"],
+        config,
+    )
+
+
+def figure12(*, n_trials: int = 10, seed: int = 0) -> FigureReport:
+    """Figure 12: impact of model correlation (σ_M) and noise (α)."""
+    syn = load_all_syn(seed=seed)
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.5,
+        cost_aware=False,
+        noise_std=0.05,
+        base_seed=seed,
+    )
+    report = _multi_dataset_report(
+        "Figure 12",
+        "Worst-case loss under varying model correlation/noise",
+        list(syn.values()),
+        ["easeml", "round_robin", "random"],
+        config,
+    )
+    # The figure's claim: stronger correlation (σ_M 0.01 → 0.5) helps.
+    for alpha in ("0.1", "1.0"):
+        weak = report.results[f"SYN(0.01,{alpha})"]
+        strong = report.results[f"SYN(0.5,{alpha})"]
+        mid = int(0.5 * (len(weak.grid) - 1))
+        report.headline[f"alpha={alpha} weak-corr easeml @50%"] = float(
+            weak.strategies["easeml"].worst_curve[mid]
+        )
+        report.headline[f"alpha={alpha} strong-corr easeml @50%"] = float(
+            strong.strategies["easeml"].worst_curve[mid]
+        )
+    return report
+
+
+def figure13(*, n_trials: int = 20, seed: int = 0) -> FigureReport:
+    """Figure 13: lesion — cost-awareness on/off on DEEPLEARNING."""
+    dataset = load_deeplearning(seed=seed)
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.10,
+        cost_aware=True,
+        noise_std=0.02,
+        n_checkpoints=81,
+        base_seed=seed,
+    )
+    result = run_experiment(dataset, ["easeml", "easeml_no_cost"], config)
+    grid = result.grid
+    mid = int(0.5 * (len(grid) - 1))
+    return FigureReport(
+        figure="Figure 13",
+        description="Lesion: impact of cost-awareness",
+        results={"DEEPLEARNING": result},
+        headline={
+            "easeml loss @50% budget": float(
+                result.strategies["easeml"].mean_curve[mid]
+            ),
+            "easeml w/o cost loss @50% budget": float(
+                result.strategies["easeml_no_cost"].mean_curve[mid]
+            ),
+            "easeml final": result.strategies["easeml"].final_mean_loss,
+            "easeml w/o cost final": result.strategies[
+                "easeml_no_cost"
+            ].final_mean_loss,
+        },
+    )
+
+
+def figure14(
+    *,
+    n_trials: int = 15,
+    seed: int = 0,
+    fractions: Sequence[float] = (0.1, 0.5, 1.0),
+) -> FigureReport:
+    """Figure 14: impact of the kernel's training-set size."""
+    dataset = load_deeplearning(seed=seed)
+    report = FigureReport(
+        figure="Figure 14",
+        description="Impact of training-set size on the model kernel",
+    )
+    for fraction in fractions:
+        config = ExperimentConfig(
+            n_trials=n_trials,
+            budget_fraction=0.10,
+            cost_aware=True,
+            noise_std=0.02,
+            n_checkpoints=81,
+            train_fraction=fraction,
+            base_seed=seed,
+        )
+        result = run_experiment(dataset, ["easeml"], config)
+        label = f"{int(fraction * 100)}%"
+        report.results[f"train={label}"] = result
+        strategy = result.strategies["easeml"]
+        mid = int(0.5 * (len(result.grid) - 1))
+        report.headline[f"loss @50% budget (train={label})"] = float(
+            strategy.mean_curve[mid]
+        )
+        report.headline[f"final loss (train={label})"] = float(
+            strategy.final_mean_loss
+        )
+    report.notes.append(
+        "paper: more kernel training data helps, with diminishing "
+        "returns (50% close to 100%)"
+    )
+    return report
+
+
+def figure15(*, n_trials: int = 10, seed: int = 0) -> FigureReport:
+    """Figure 15: lesion — hybrid execution on 179CLASSIFIER.
+
+    The paper's story: GREEDY beats ROUNDROBIN early, ROUNDROBIN wins
+    after a crossover, HYBRID (ease.ml) tracks the better of both.
+    """
+    dataset = load_179classifier(seed=seed)
+    config = ExperimentConfig(
+        n_trials=n_trials,
+        budget_fraction=0.5,
+        cost_aware=False,
+        noise_std=0.05,
+        base_seed=seed,
+    )
+    result = run_experiment(
+        dataset, ["greedy", "round_robin", "easeml"], config
+    )
+    grid = result.grid
+    early = int(0.1 * (len(grid) - 1))
+    return FigureReport(
+        figure="Figure 15",
+        description="Lesion: hybrid execution (log-scale loss)",
+        results={"179CLASSIFIER": result},
+        headline={
+            "greedy loss @10% budget": float(
+                result.strategies["greedy"].mean_curve[early]
+            ),
+            "round_robin loss @10% budget": float(
+                result.strategies["round_robin"].mean_curve[early]
+            ),
+            "hybrid loss @10% budget": float(
+                result.strategies["easeml"].mean_curve[early]
+            ),
+            "greedy final": result.strategies["greedy"].final_mean_loss,
+            "round_robin final": result.strategies[
+                "round_robin"
+            ].final_mean_loss,
+            "hybrid final": result.strategies["easeml"].final_mean_loss,
+        },
+    )

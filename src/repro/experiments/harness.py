@@ -1,0 +1,229 @@
+"""The experiment harness: run strategies, collect loss curves.
+
+One *trial* = one random train/test user split, one prior built from
+the training users, and one scheduler run per strategy on the *same*
+split and the same observation-noise seed — so strategy differences
+are never split artefacts.  :func:`run_experiment` repeats trials and
+aggregates the average and worst-case accuracy-loss curves the paper
+plots in every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.multitenant import MultiTenantScheduler, RunResult
+from repro.core.oracles import MatrixOracle
+from repro.core.regret import accuracy_loss_curve
+from repro.datasets.base import ModelSelectionDataset
+from repro.experiments.metrics import max_speedup, summarize_speedups
+from repro.experiments.protocol import (
+    ExperimentConfig,
+    build_prior,
+    make_model_picker,
+    make_user_picker,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.tables import ascii_series
+
+
+@dataclass
+class StrategyResult:
+    """Aggregated loss curves for one strategy."""
+
+    name: str
+    grid: np.ndarray  # budget fractions in [0, 1]
+    trial_curves: np.ndarray  # (n_trials, n_checkpoints)
+
+    @property
+    def mean_curve(self) -> np.ndarray:
+        """Average accuracy loss across trials (figures' column a)."""
+        return self.trial_curves.mean(axis=0)
+
+    @property
+    def worst_curve(self) -> np.ndarray:
+        """Worst-case accuracy loss across trials (column b)."""
+        return self.trial_curves.max(axis=0)
+
+    @property
+    def final_mean_loss(self) -> float:
+        return float(self.mean_curve[-1])
+
+
+@dataclass
+class ExperimentResult:
+    """All strategies on one dataset under one config."""
+
+    dataset_name: str
+    config: ExperimentConfig
+    strategies: Dict[str, StrategyResult]
+
+    @property
+    def x_label(self) -> str:
+        return "% of total cost" if self.config.cost_aware else "% of runs"
+
+    @property
+    def grid(self) -> np.ndarray:
+        first = next(iter(self.strategies.values()))
+        return first.grid
+
+    def mean_curves(self) -> Dict[str, np.ndarray]:
+        return {n: r.mean_curve for n, r in self.strategies.items()}
+
+    def worst_curves(self) -> Dict[str, np.ndarray]:
+        return {n: r.worst_curve for n, r in self.strategies.items()}
+
+    def speedups(
+        self,
+        reference: str = "easeml",
+        *,
+        worst_case: bool = False,
+        thresholds: Optional[Sequence[float]] = None,
+    ) -> Dict[str, Tuple[float, float]]:
+        """Max speedup of ``reference`` vs each competitor."""
+        curves = self.worst_curves() if worst_case else self.mean_curves()
+        return summarize_speedups(
+            self.grid, curves, reference, thresholds
+        )
+
+    def render(self, *, worst_case: bool = False, max_rows: int = 15) -> str:
+        curves = self.worst_curves() if worst_case else self.mean_curves()
+        title = (
+            f"{self.dataset_name} — "
+            f"{'worst-case' if worst_case else 'average'} accuracy loss "
+            f"vs {self.x_label}"
+        )
+        return ascii_series(
+            100.0 * self.grid,
+            {k: v for k, v in curves.items()},
+            x_label=self.x_label,
+            title=title,
+            max_rows=max_rows,
+        )
+
+
+def _loss_series(
+    result: RunResult,
+    test_quality: np.ndarray,
+    *,
+    cost_axis: bool,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """(step positions, avg loss after each step, initial loss)."""
+    n_users = test_quality.shape[0]
+    a_star = test_quality.max(axis=1)
+    best = np.zeros(n_users)
+    losses = np.empty(result.n_steps)
+    for i, record in enumerate(result.records):
+        quality = test_quality[record.user, record.arm]
+        if quality > best[record.user]:
+            best[record.user] = quality
+        losses[i] = float(np.mean(a_star - best))
+    positions = (
+        result.cumulative_costs()
+        if cost_axis
+        else np.arange(1, result.n_steps + 1, dtype=float)
+    )
+    return positions, losses, float(np.mean(a_star))
+
+
+def run_trial(
+    dataset: ModelSelectionDataset,
+    strategies: Sequence[str],
+    config: ExperimentConfig,
+    trial_index: int,
+) -> Dict[str, np.ndarray]:
+    """One split, all strategies; returns checkpoint loss curves."""
+    split_seed = derive_seed(config.base_seed, "split", trial_index)
+    train_ds, test_ds = dataset.split_users(
+        min(config.n_test_users, dataset.n_users - 1), seed=split_seed
+    )
+    prior_seed = derive_seed(config.base_seed, "prior", trial_index)
+    prior_cov, prior_mean, gp_noise = build_prior(
+        train_ds.quality, config, prior_seed
+    )
+
+    if config.cost_aware:
+        budget = config.budget_fraction * float(np.sum(test_ds.cost))
+        max_steps: Optional[int] = None
+        cost_budget: Optional[float] = budget
+    else:
+        budget = float(
+            max(1, int(config.budget_fraction * test_ds.n_users
+                       * test_ds.n_models))
+        )
+        max_steps = int(budget)
+        cost_budget = None
+
+    grid = np.linspace(0.0, 1.0, config.n_checkpoints)
+    out: Dict[str, np.ndarray] = {}
+    for strategy in strategies:
+        noise_seed = derive_seed(
+            config.base_seed, "noise", trial_index, strategy
+        )
+        oracle = MatrixOracle(
+            test_ds.quality,
+            test_ds.cost if config.cost_aware else None,
+            noise_std=config.noise_std,
+            seed=noise_seed,
+        )
+        picker_seed = derive_seed(
+            config.base_seed, "picker", trial_index, strategy
+        )
+        pickers = [
+            make_model_picker(
+                strategy,
+                test_ds,
+                user,
+                prior_cov,
+                prior_mean,
+                gp_noise,
+                config,
+                seed=derive_seed(picker_seed, user),
+            )
+            for user in range(test_ds.n_users)
+        ]
+        user_picker = make_user_picker(strategy, config, seed=picker_seed)
+        scheduler = MultiTenantScheduler(
+            oracle,
+            pickers,
+            user_picker,
+            clamp_potential=config.clamp_potential,
+        )
+        result = scheduler.run(max_steps=max_steps, cost_budget=cost_budget)
+        positions, losses, initial = _loss_series(
+            result, test_ds.quality, cost_axis=config.cost_aware
+        )
+        out[strategy] = accuracy_loss_curve(
+            grid * budget, positions, losses, initial_loss=initial
+        )
+    return out
+
+
+def run_experiment(
+    dataset: ModelSelectionDataset,
+    strategies: Sequence[str],
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    """Repeat :func:`run_trial` ``config.n_trials`` times and aggregate."""
+    if not strategies:
+        raise ValueError("at least one strategy is required")
+    grid = np.linspace(0.0, 1.0, config.n_checkpoints)
+    per_strategy: Dict[str, List[np.ndarray]] = {s: [] for s in strategies}
+    for trial in range(config.n_trials):
+        curves = run_trial(dataset, strategies, config, trial)
+        for strategy in strategies:
+            per_strategy[strategy].append(curves[strategy])
+    results = {
+        strategy: StrategyResult(
+            name=strategy,
+            grid=grid,
+            trial_curves=np.vstack(curve_list),
+        )
+        for strategy, curve_list in per_strategy.items()
+    }
+    return ExperimentResult(
+        dataset_name=dataset.name, config=config, strategies=results
+    )

@@ -1,0 +1,129 @@
+"""Curve metrics: time-to-threshold and speedups (the 9.8× numbers).
+
+The paper's headline metric: "the time spent on taking the average
+accuracy loss down from 0.1 to 0.02 of MOSTCITED is about 9.8 times
+that of ease.ml".  :func:`speedup_at` computes exactly that ratio for
+one loss threshold; :func:`max_speedup` scans a threshold band and
+reports the largest (finite) ratio, which is how "up to N×" figures
+arise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def time_to_threshold(
+    grid: Sequence[float], curve: Sequence[float], threshold: float
+) -> float:
+    """First budget value at which ``curve`` drops to ``threshold``.
+
+    Returns ``inf`` when the curve never reaches it.  The curve is a
+    right-continuous step function over ``grid`` (accuracy loss only
+    changes when a run completes), so the answer is the first grid
+    point with ``curve <= threshold``.
+    """
+    grid = np.asarray(grid, dtype=float)
+    curve = np.asarray(curve, dtype=float)
+    if grid.shape != curve.shape:
+        raise ValueError(
+            f"grid {grid.shape} and curve {curve.shape} must match"
+        )
+    hits = np.flatnonzero(curve <= threshold)
+    if hits.size == 0:
+        return math.inf
+    return float(grid[hits[0]])
+
+
+def speedup_at(
+    grid: Sequence[float],
+    fast_curve: Sequence[float],
+    slow_curve: Sequence[float],
+    threshold: float,
+) -> float:
+    """``t_slow(threshold) / t_fast(threshold)``.
+
+    ``inf`` when only the fast curve reaches the threshold, ``nan``
+    when neither does (no comparison possible).
+    """
+    t_fast = time_to_threshold(grid, fast_curve, threshold)
+    t_slow = time_to_threshold(grid, slow_curve, threshold)
+    if math.isinf(t_fast) and math.isinf(t_slow):
+        return math.nan
+    if math.isinf(t_slow):
+        return math.inf
+    if math.isinf(t_fast):
+        return 0.0
+    if t_fast <= 0:
+        # Both reached the threshold instantly (e.g. at the first
+        # checkpoint); call it even.
+        return 1.0 if t_slow <= 0 else math.inf
+    return t_slow / t_fast
+
+
+def max_speedup(
+    grid: Sequence[float],
+    fast_curve: Sequence[float],
+    slow_curve: Sequence[float],
+    thresholds: Optional[Iterable[float]] = None,
+) -> Tuple[float, float]:
+    """Largest finite speedup over a threshold band.
+
+    Returns ``(speedup, threshold)``.  The default band spans the
+    paper's reported range (accuracy loss 0.02 … 0.1) extended to the
+    region both curves actually traverse.
+    """
+    grid = np.asarray(grid, dtype=float)
+    fast = np.asarray(fast_curve, dtype=float)
+    slow = np.asarray(slow_curve, dtype=float)
+    if thresholds is None:
+        lo = max(float(np.min(fast)), 1e-4)
+        hi = float(np.max(np.minimum(fast, slow)))
+        if hi <= lo:
+            hi = lo * 2.0
+        thresholds = np.linspace(lo, hi, 50)
+    best = (0.0, math.nan)
+    for threshold in thresholds:
+        ratio = speedup_at(grid, fast, slow, float(threshold))
+        if math.isfinite(ratio) and ratio > best[0]:
+            best = (ratio, float(threshold))
+    return best
+
+
+def area_under_loss(
+    grid: Sequence[float], curve: Sequence[float]
+) -> float:
+    """Trapezoidal area under the loss curve (lower is better).
+
+    A single-number summary used by regression assertions in the
+    benchmark suite: a uniformly better scheduler has smaller area.
+    """
+    grid = np.asarray(grid, dtype=float)
+    curve = np.asarray(curve, dtype=float)
+    if grid.shape != curve.shape:
+        raise ValueError(
+            f"grid {grid.shape} and curve {curve.shape} must match"
+        )
+    if grid.size < 2:
+        return 0.0
+    return float(np.trapezoid(curve, grid))
+
+
+def summarize_speedups(
+    grid: Sequence[float],
+    curves: Dict[str, Sequence[float]],
+    reference: str,
+    thresholds: Optional[Iterable[float]] = None,
+) -> Dict[str, Tuple[float, float]]:
+    """Max speedup of ``reference`` against every other curve."""
+    if reference not in curves:
+        raise KeyError(f"reference {reference!r} not among {list(curves)}")
+    out: Dict[str, Tuple[float, float]] = {}
+    for name, curve in curves.items():
+        if name == reference:
+            continue
+        out[name] = max_speedup(grid, curves[reference], curve, thresholds)
+    return out

@@ -1,0 +1,97 @@
+"""Serialisation of experiment results (JSON and CSV).
+
+A service operator wants scheduler comparisons to land somewhere a
+dashboard can read; these helpers turn :class:`ExperimentResult` and
+:class:`FigureReport` objects into plain dictionaries, JSON files and
+CSV curve tables, and back (for results; figure reports are write-only
+summaries).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, StrategyResult
+from repro.experiments.protocol import ExperimentConfig
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """Plain-dict form of an :class:`ExperimentResult` (JSON-safe)."""
+    return {
+        "dataset_name": result.dataset_name,
+        "config": {
+            field: getattr(result.config, field)
+            for field in ExperimentConfig.__dataclass_fields__
+        },
+        "strategies": {
+            name: {
+                "grid": strategy.grid.tolist(),
+                "trial_curves": strategy.trial_curves.tolist(),
+            }
+            for name, strategy in result.strategies.items()
+        },
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    config = ExperimentConfig(**data["config"])
+    strategies = {
+        name: StrategyResult(
+            name=name,
+            grid=np.asarray(payload["grid"], dtype=float),
+            trial_curves=np.asarray(payload["trial_curves"], dtype=float),
+        )
+        for name, payload in data["strategies"].items()
+    }
+    return ExperimentResult(
+        dataset_name=str(data["dataset_name"]),
+        config=config,
+        strategies=strategies,
+    )
+
+
+def save_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write an experiment result as JSON; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle)
+    return path
+
+
+def load_result_json(path: PathLike) -> ExperimentResult:
+    """Read an experiment result written by :func:`save_result_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return result_from_dict(json.load(handle))
+
+
+def save_curves_csv(result: ExperimentResult, path: PathLike) -> Path:
+    """Write the mean/worst loss curves as a tidy CSV.
+
+    Columns: budget_fraction, strategy, mean_loss, worst_loss — one row
+    per (checkpoint, strategy), ready for any plotting tool.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["budget_fraction", "strategy", "mean_loss", "worst_loss"]
+        )
+        grid = result.grid
+        for name, strategy in result.strategies.items():
+            mean = strategy.mean_curve
+            worst = strategy.worst_curve
+            for i, fraction in enumerate(grid):
+                writer.writerow(
+                    [f"{fraction:.6f}", name,
+                     f"{mean[i]:.8f}", f"{worst[i]:.8f}"]
+                )
+    return path

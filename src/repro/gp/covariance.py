@@ -1,0 +1,98 @@
+"""Construction of the prior covariance over candidate models.
+
+Appendix A of the paper: each model's feature vector is its *quality
+vector on the training users* ("we first evaluate the model on each
+user in the training set to get its quality, and we then pack these
+qualities into a 'quality vector' x indexed by the users").  A kernel
+over these vectors — or a shrunk empirical covariance of the model
+columns — yields the ``Σ`` consumed by :class:`repro.gp.FiniteArmGP`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gp.kernels import Kernel
+from repro.utils.validation import check_in_range, check_matrix
+
+
+def covariance_from_features(kernel: Kernel, features: np.ndarray) -> np.ndarray:
+    """Gram matrix of ``kernel`` over model feature rows, symmetrised."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features.reshape(-1, 1)
+    gram = kernel(features)
+    return 0.5 * (gram + gram.T)
+
+
+def empirical_model_covariance(
+    quality_matrix: np.ndarray,
+    *,
+    shrinkage: float = 0.1,
+    min_variance: float = 1e-6,
+) -> np.ndarray:
+    """Shrunk empirical covariance between model columns.
+
+    ``quality_matrix`` is (n_users, n_models); the covariance of model
+    qualities across users captures "the performance of a model on
+    other users' data sets defines the similarity between models"
+    (Section 5.3.2).  Ledoit–Wolf-style shrinkage toward the scaled
+    identity keeps the estimate positive definite when users are few.
+    """
+    matrix = check_matrix(quality_matrix, "quality_matrix")
+    shrinkage = check_in_range(shrinkage, "shrinkage", 0.0, 1.0)
+    if matrix.shape[0] < 2:
+        raise ValueError(
+            "empirical covariance requires at least 2 users (rows), "
+            f"got {matrix.shape[0]}"
+        )
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    cov = (centered.T @ centered) / (matrix.shape[0] - 1)
+    avg_var = max(float(np.trace(cov)) / cov.shape[0], min_variance)
+    target = avg_var * np.eye(cov.shape[0])
+    shrunk = (1.0 - shrinkage) * cov + shrinkage * target
+    # Guard the diagonal: a constant model column would otherwise have
+    # zero prior variance and the UCB term would never explore it.
+    diag = np.diag(shrunk).copy()
+    np.fill_diagonal(shrunk, np.maximum(diag, min_variance))
+    return 0.5 * (shrunk + shrunk.T)
+
+
+def nearest_positive_definite(
+    matrix: np.ndarray, *, eigenvalue_floor: float = 1e-8
+) -> np.ndarray:
+    """Project a symmetric matrix onto the PD cone by eigenvalue clipping."""
+    matrix = check_matrix(matrix, "matrix", square=True)
+    sym = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    clipped = np.maximum(eigenvalues, eigenvalue_floor)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def is_positive_semidefinite(
+    matrix: np.ndarray, *, tolerance: float = 1e-8
+) -> bool:
+    """True when all eigenvalues of the symmetrised matrix are ≥ -tol."""
+    sym = 0.5 * (np.asarray(matrix, dtype=float) + np.asarray(matrix).T)
+    eigenvalues = np.linalg.eigvalsh(sym)
+    return bool(np.all(eigenvalues >= -tolerance))
+
+
+def scale_covariance(
+    cov: np.ndarray, signal_variance: Optional[float] = None
+) -> np.ndarray:
+    """Rescale ``cov`` so its mean diagonal equals ``signal_variance``.
+
+    Useful to put empirical covariances on the same footing as unit
+    kernels before handing them to a beta schedule calibrated for
+    rewards in [0, 1].  ``None`` leaves the matrix untouched.
+    """
+    cov = check_matrix(cov, "cov", square=True)
+    if signal_variance is None:
+        return cov.copy()
+    current = float(np.mean(np.diag(cov)))
+    if current <= 0:
+        raise ValueError("cov has non-positive mean diagonal; cannot scale")
+    return cov * (float(signal_variance) / current)

@@ -1,0 +1,439 @@
+"""Covariance kernels with hyperparameters and analytic gradients.
+
+The design follows the conventions popularised by scikit-learn but is
+implemented from scratch:
+
+* a kernel is a callable ``k(X, Y=None) -> Gram matrix``;
+* hyperparameters live in *log space* (``theta``) so unconstrained
+  optimisers can tune them;
+* ``eval_with_gradient(X)`` returns the Gram matrix together with its
+  gradient with respect to ``theta`` for L-BFGS fitting of the log
+  marginal likelihood;
+* kernels compose with ``+`` and ``*``.
+
+Only stationary/dot-product kernels needed by the paper are provided:
+RBF (squared exponential), Matérn (ν ∈ {0.5, 1.5, 2.5}) and the linear
+dot-product kernel — the three kernel families the GP-UCB analysis of
+Srinivas et al. covers — plus constant and white-noise kernels for
+scaling and regularisation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Default optimisation bounds (natural space) for positive parameters.
+DEFAULT_BOUNDS: Tuple[float, float] = (1e-5, 1e5)
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Description of one kernel hyperparameter.
+
+    ``bounds`` are in natural (not log) space; ``None`` marks the
+    parameter as fixed, i.e. excluded from ``theta``.
+    """
+
+    name: str
+    bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS
+
+    @property
+    def fixed(self) -> bool:
+        return self.bounds is None
+
+
+def _as_2d(X: np.ndarray) -> np.ndarray:
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"kernel inputs must be 2-D, got {array.ndim}-D")
+    return array
+
+
+def squared_distances(X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pairwise squared Euclidean distances between rows of X and Y."""
+    X = _as_2d(X)
+    Y = X if Y is None else _as_2d(Y)
+    x_norms = np.sum(X * X, axis=1)[:, None]
+    y_norms = np.sum(Y * Y, axis=1)[None, :]
+    d2 = x_norms + y_norms - 2.0 * (X @ Y.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+class Kernel(ABC):
+    """Base class for covariance kernels."""
+
+    #: Subclasses fill this in with one spec per hyperparameter, in the
+    #: order they appear in ``theta``.
+    _specs: Tuple[ParameterSpec, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gram matrix ``k(X, Y)`` (``Y=None`` means ``Y=X``)."""
+
+    @abstractmethod
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """``diag(k(X, X))`` without forming the full Gram matrix."""
+
+    @abstractmethod
+    def eval_with_gradient(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(K, dK)`` where ``dK[:, :, j] = ∂K/∂theta_j``.
+
+        ``theta`` is the log-parameter vector; fixed parameters do not
+        appear in the gradient stack.
+        """
+
+    # ------------------------------------------------------------------
+    # Hyperparameter plumbing (log space)
+    # ------------------------------------------------------------------
+    def _free_specs(self) -> List[ParameterSpec]:
+        return [spec for spec in self._specs if not spec.fixed]
+
+    @property
+    def n_free_parameters(self) -> int:
+        return len(self._free_specs())
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Log-transformed free hyperparameters."""
+        return np.log([getattr(self, spec.name) for spec in self._free_specs()])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        specs = self._free_specs()
+        if value.shape != (len(specs),):
+            raise ValueError(
+                f"theta must have shape ({len(specs)},), got {value.shape}"
+            )
+        for spec, log_v in zip(specs, value):
+            setattr(self, spec.name, float(np.exp(log_v)))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Log-space bounds, one (low, high) row per free parameter."""
+        if not self._free_specs():
+            return np.empty((0, 2))
+        return np.log([spec.bounds for spec in self._free_specs()])
+
+    def clone_with_theta(self, theta: np.ndarray) -> "Kernel":
+        """Deep-copied kernel with ``theta`` installed."""
+        import copy
+
+        clone = copy.deepcopy(self)
+        clone.theta = np.asarray(theta, dtype=float)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: object) -> "Sum":
+        return Sum(self, _coerce(other))
+
+    def __radd__(self, other: object) -> "Sum":
+        return Sum(_coerce(other), self)
+
+    def __mul__(self, other: object) -> "Product":
+        return Product(self, _coerce(other))
+
+    def __rmul__(self, other: object) -> "Product":
+        return Product(_coerce(other), self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{spec.name}={getattr(self, spec.name):.4g}" for spec in self._specs
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def _coerce(value: object) -> Kernel:
+    if isinstance(value, Kernel):
+        return value
+    if isinstance(value, (int, float)):
+        return ConstantKernel(float(value), bounds=None)
+    raise TypeError(f"cannot combine kernel with {type(value).__name__}")
+
+
+class ConstantKernel(Kernel):
+    """``k(x, y) = constant_value`` — scales other kernels in products."""
+
+    def __init__(
+        self,
+        constant_value: float = 1.0,
+        *,
+        bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.constant_value = check_positive(constant_value, "constant_value")
+        self._specs = (ParameterSpec("constant_value", bounds),)
+
+    def __call__(self, X, Y=None):
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        return np.full((X.shape[0], Y.shape[0]), self.constant_value)
+
+    def diag(self, X):
+        X = _as_2d(X)
+        return np.full(X.shape[0], self.constant_value)
+
+    def eval_with_gradient(self, X):
+        K = self(X)
+        if self._specs[0].fixed:
+            return K, np.empty((K.shape[0], K.shape[1], 0))
+        return K, K[:, :, None].copy()
+
+
+class WhiteKernel(Kernel):
+    """``k(x, y) = noise_level`` iff ``x is y`` (i.i.d. observation noise)."""
+
+    def __init__(
+        self,
+        noise_level: float = 1.0,
+        *,
+        bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.noise_level = check_positive(noise_level, "noise_level")
+        self._specs = (ParameterSpec("noise_level", bounds),)
+
+    def __call__(self, X, Y=None):
+        X = _as_2d(X)
+        if Y is None:
+            return self.noise_level * np.eye(X.shape[0])
+        Y = _as_2d(Y)
+        return np.zeros((X.shape[0], Y.shape[0]))
+
+    def diag(self, X):
+        X = _as_2d(X)
+        return np.full(X.shape[0], self.noise_level)
+
+    def eval_with_gradient(self, X):
+        K = self(X)
+        if self._specs[0].fixed:
+            return K, np.empty((K.shape[0], K.shape[1], 0))
+        return K, K[:, :, None].copy()
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel ``exp(-d² / (2ℓ²))``.
+
+    The paper's default choice; Theorem 5 of Srinivas et al. gives the
+    O(log T) information-gain bound used by Theorems 1–3 for this
+    kernel.
+    """
+
+    def __init__(
+        self,
+        length_scale: float = 1.0,
+        *,
+        bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.length_scale = check_positive(length_scale, "length_scale")
+        self._specs = (ParameterSpec("length_scale", bounds),)
+
+    def __call__(self, X, Y=None):
+        d2 = squared_distances(X, Y)
+        return np.exp(-0.5 * d2 / (self.length_scale**2))
+
+    def diag(self, X):
+        X = _as_2d(X)
+        return np.ones(X.shape[0])
+
+    def eval_with_gradient(self, X):
+        d2 = squared_distances(X)
+        K = np.exp(-0.5 * d2 / (self.length_scale**2))
+        if self._specs[0].fixed:
+            return K, np.empty((K.shape[0], K.shape[1], 0))
+        # d/d(log ℓ) exp(-d²/2ℓ²) = K · d²/ℓ²
+        grad = K * (d2 / (self.length_scale**2))
+        return K, grad[:, :, None]
+
+
+class Matern(Kernel):
+    """Matérn kernel with ν ∈ {0.5, 1.5, 2.5}.
+
+    ν = 0.5 is the exponential kernel, ν → ∞ recovers the RBF.  Only
+    the three half-integer orders with closed forms are supported —
+    these are the cases the GP-UCB regret analysis covers.
+    """
+
+    _SUPPORTED_NU = (0.5, 1.5, 2.5)
+
+    def __init__(
+        self,
+        length_scale: float = 1.0,
+        nu: float = 1.5,
+        *,
+        bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.length_scale = check_positive(length_scale, "length_scale")
+        if nu not in self._SUPPORTED_NU:
+            raise ValueError(
+                f"nu must be one of {self._SUPPORTED_NU}, got {nu}"
+            )
+        self.nu = float(nu)
+        self._specs = (ParameterSpec("length_scale", bounds),)
+
+    def _scaled_distance(self, X, Y=None) -> np.ndarray:
+        d = np.sqrt(squared_distances(X, Y))
+        if self.nu == 0.5:
+            return d / self.length_scale
+        if self.nu == 1.5:
+            return math.sqrt(3.0) * d / self.length_scale
+        return math.sqrt(5.0) * d / self.length_scale
+
+    def __call__(self, X, Y=None):
+        s = self._scaled_distance(X, Y)
+        if self.nu == 0.5:
+            return np.exp(-s)
+        if self.nu == 1.5:
+            return (1.0 + s) * np.exp(-s)
+        return (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+    def diag(self, X):
+        X = _as_2d(X)
+        return np.ones(X.shape[0])
+
+    def eval_with_gradient(self, X):
+        s = self._scaled_distance(X)
+        exp_ns = np.exp(-s)
+        if self.nu == 0.5:
+            K = exp_ns
+            grad = s * exp_ns  # d/d(log ℓ) e^{-s} = s e^{-s}
+        elif self.nu == 1.5:
+            K = (1.0 + s) * exp_ns
+            grad = s * s * exp_ns  # d/d(log ℓ) (1+s)e^{-s} = s² e^{-s}
+        else:
+            K = (1.0 + s + s * s / 3.0) * exp_ns
+            grad = (s * s * (1.0 + s) / 3.0) * exp_ns
+        if self._specs[0].fixed:
+            return K, np.empty((K.shape[0], K.shape[1], 0))
+        return K, grad[:, :, None]
+
+
+class DotProduct(Kernel):
+    """Linear kernel ``k(x, y) = σ₀² + x·y`` (non-stationary)."""
+
+    def __init__(
+        self,
+        sigma_0: float = 1.0,
+        *,
+        bounds: Optional[Tuple[float, float]] = DEFAULT_BOUNDS,
+    ) -> None:
+        self.sigma_0 = check_positive(sigma_0, "sigma_0", strict=False)
+        if self.sigma_0 == 0.0 and bounds is not None:
+            raise ValueError("sigma_0 = 0 requires bounds=None (fixed)")
+        self._specs = (ParameterSpec("sigma_0", bounds),)
+
+    def __call__(self, X, Y=None):
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        return self.sigma_0**2 + X @ Y.T
+
+    def diag(self, X):
+        X = _as_2d(X)
+        return self.sigma_0**2 + np.sum(X * X, axis=1)
+
+    def eval_with_gradient(self, X):
+        K = self(X)
+        if self._specs[0].fixed:
+            return K, np.empty((K.shape[0], K.shape[1], 0))
+        grad = np.full_like(K, 2.0 * self.sigma_0**2)
+        return K, grad[:, :, None]
+
+
+class _Composite(Kernel):
+    """Shared plumbing for binary kernel combinations."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def n_free_parameters(self) -> int:
+        return self.left.n_free_parameters + self.right.n_free_parameters
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        n_left = self.left.n_free_parameters
+        if value.shape != (self.n_free_parameters,):
+            raise ValueError(
+                f"theta must have shape ({self.n_free_parameters},), "
+                f"got {value.shape}"
+            )
+        self.left.theta = value[:n_left]
+        self.right.theta = value[n_left:]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        blocks = [b for b in (self.left.bounds, self.right.bounds) if b.size]
+        if not blocks:
+            return np.empty((0, 2))
+        return np.vstack(blocks)
+
+    def eval_with_gradient(self, X):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        op = "+" if isinstance(self, Sum) else "*"
+        return f"({self.left!r} {op} {self.right!r})"
+
+
+class Sum(_Composite):
+    """``k = k_left + k_right``."""
+
+    def __call__(self, X, Y=None):
+        return self.left(X, Y) + self.right(X, Y)
+
+    def diag(self, X):
+        return self.left.diag(X) + self.right.diag(X)
+
+    def eval_with_gradient(self, X):
+        K1, G1 = self.left.eval_with_gradient(X)
+        K2, G2 = self.right.eval_with_gradient(X)
+        return K1 + K2, np.concatenate([G1, G2], axis=2)
+
+
+class Product(_Composite):
+    """``k = k_left · k_right`` (element-wise)."""
+
+    def __call__(self, X, Y=None):
+        return self.left(X, Y) * self.right(X, Y)
+
+    def diag(self, X):
+        return self.left.diag(X) * self.right.diag(X)
+
+    def eval_with_gradient(self, X):
+        K1, G1 = self.left.eval_with_gradient(X)
+        K2, G2 = self.right.eval_with_gradient(X)
+        G = np.concatenate(
+            [G1 * K2[:, :, None], G2 * K1[:, :, None]], axis=2
+        )
+        return K1 * K2, G
+
+
+def default_model_kernel(
+    signal_variance: float = 1.0, length_scale: float = 1.0
+) -> Kernel:
+    """The kernel family ease.ml fits over model feature vectors.
+
+    A scaled RBF — the shape used throughout the paper's experiments
+    (Appendix A), with both the output scale and the length scale tuned
+    by log-marginal-likelihood maximisation.
+    """
+    return ConstantKernel(signal_variance) * RBF(length_scale)

@@ -1,0 +1,254 @@
+"""Finite-arm Gaussian-process posterior with incremental updates.
+
+This implements exactly lines 6–7 of Algorithm 1 in the paper: given a
+prior covariance ``Σ`` over the K arms (candidate models) and noisy
+observations ``y_{1:t}`` at arms ``a_{1:t}``,
+
+.. math::
+
+    \\mu_t(k)    &= \\Sigma_t(k)^T (\\Sigma_t + \\sigma^2 I)^{-1} y_{1:t} \\\\
+    \\sigma_t^2(k) &= \\Sigma(k, k)
+                    - \\Sigma_t(k)^T (\\Sigma_t + \\sigma^2 I)^{-1} \\Sigma_t(k)
+
+The implementation grows a Cholesky factor of ``Σ_t + σ²I`` one row per
+observation, so an update costs O(tK) instead of the O(t³ + t²K) of a
+full refit.  ``refit()`` recomputes everything from scratch and is used
+by the test suite to validate the incremental path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class FiniteArmGP:
+    """Gaussian-process belief over a finite set of arms.
+
+    Parameters
+    ----------
+    prior_cov:
+        ``(K, K)`` symmetric positive semi-definite prior covariance
+        between the arms (the paper's ``Σ``).
+    prior_mean:
+        Optional ``(K,)`` prior mean vector (the paper assumes ``μ = 0``
+        as is conventional for GPs not conditioned on data).
+    noise:
+        Observation noise standard deviation ``σ`` (not variance).
+    jitter:
+        Numerical floor added when the incremental Cholesky pivot would
+        otherwise be non-positive (repeated arms with tiny noise).
+    """
+
+    def __init__(
+        self,
+        prior_cov: np.ndarray,
+        prior_mean: Optional[np.ndarray] = None,
+        *,
+        noise: float = 0.1,
+        jitter: float = 1e-10,
+    ) -> None:
+        self._cov = check_matrix(prior_cov, "prior_cov", square=True)
+        if not np.allclose(self._cov, self._cov.T, atol=1e-8):
+            raise ValueError("prior_cov must be symmetric")
+        self._n_arms = self._cov.shape[0]
+        if prior_mean is None:
+            self._prior_mean = np.zeros(self._n_arms)
+        else:
+            self._prior_mean = np.asarray(prior_mean, dtype=float)
+            if self._prior_mean.shape != (self._n_arms,):
+                raise ValueError(
+                    f"prior_mean must have shape ({self._n_arms},), "
+                    f"got {self._prior_mean.shape}"
+                )
+        self.noise = check_positive(noise, "noise")
+        self.jitter = check_positive(jitter, "jitter")
+
+        # Observation history.
+        self._obs_arms: List[int] = []
+        self._obs_y: List[float] = []
+
+        # Incremental state: L is the lower Cholesky factor of
+        # (Σ_t + σ²I) stored as a list of rows; V = L⁻¹ Σ_t(·) is
+        # (t, K); z = L⁻¹ (y - m(a)).
+        self._L_rows: List[np.ndarray] = []
+        self._V = np.empty((0, self._n_arms))
+        self._z = np.empty(0)
+
+        # Cached posterior (invalidated on update).
+        self._posterior_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_arms(self) -> int:
+        """Number of arms K."""
+        return self._n_arms
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations incorporated so far (the paper's t)."""
+        return len(self._obs_y)
+
+    @property
+    def observed_arms(self) -> Tuple[int, ...]:
+        return tuple(self._obs_arms)
+
+    @property
+    def observed_rewards(self) -> Tuple[float, ...]:
+        return tuple(self._obs_y)
+
+    @property
+    def prior_cov(self) -> np.ndarray:
+        return self._cov.copy()
+
+    def _check_arm(self, arm: int) -> int:
+        arm = int(arm)
+        if not 0 <= arm < self._n_arms:
+            raise IndexError(f"arm {arm} out of range [0, {self._n_arms})")
+        return arm
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, arm: int, reward: float) -> None:
+        """Incorporate one observation ``reward`` at ``arm`` (O(tK))."""
+        arm = self._check_arm(arm)
+        reward = float(reward)
+        if not np.isfinite(reward):
+            raise ValueError(f"reward must be finite, got {reward}")
+
+        t = self.n_observations
+        # New column of (Σ_t + σ²I): covariance of the new point with
+        # the already observed points, plus its own noisy variance.
+        b = self._cov[self._obs_arms, arm] if t else np.empty(0)
+        d = self._cov[arm, arm] + self.noise**2
+
+        # Forward-substitute w = L⁻¹ b using the stored rows.
+        w = np.empty(t)
+        for i, row in enumerate(self._L_rows):
+            w[i] = (b[i] - row[:i] @ w[:i]) / row[i]
+
+        pivot_sq = d - w @ w
+        pivot = math.sqrt(max(pivot_sq, self.jitter))
+
+        new_row = np.empty(t + 1)
+        new_row[:t] = w
+        new_row[t] = pivot
+        self._L_rows.append(new_row)
+
+        # V row: (Σ(a_new, ·) − wᵀ V) / pivot.
+        v_new = (self._cov[arm, :] - w @ self._V) / pivot
+        self._V = np.vstack([self._V, v_new])
+
+        # z entry: centred residual.
+        resid = reward - self._prior_mean[arm]
+        z_new = (resid - w @ self._z) / pivot
+        self._z = np.append(self._z, z_new)
+
+        self._obs_arms.append(arm)
+        self._obs_y.append(reward)
+        self._posterior_cache = None
+
+    # ------------------------------------------------------------------
+    # Posterior queries
+    # ------------------------------------------------------------------
+    def posterior(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior ``(mean, variance)`` vectors over all K arms."""
+        if self._posterior_cache is None:
+            mean = self._prior_mean + self._V.T @ self._z
+            variance = np.diag(self._cov) - np.einsum(
+                "tk,tk->k", self._V, self._V
+            )
+            np.maximum(variance, 0.0, out=variance)
+            self._posterior_cache = (mean, variance)
+        mean, variance = self._posterior_cache
+        return mean.copy(), variance.copy()
+
+    def posterior_mean(self, arm: Optional[int] = None):
+        """Posterior mean for one arm, or the full vector."""
+        mean, _ = self.posterior()
+        if arm is None:
+            return mean
+        return float(mean[self._check_arm(arm)])
+
+    def posterior_variance(self, arm: Optional[int] = None):
+        """Posterior variance for one arm, or the full vector."""
+        _, variance = self.posterior()
+        if arm is None:
+            return variance
+        return float(variance[self._check_arm(arm)])
+
+    def posterior_std(self, arm: Optional[int] = None):
+        """Posterior standard deviation for one arm, or the full vector."""
+        variance = self.posterior_variance(arm)
+        return np.sqrt(variance)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def log_marginal_likelihood(self) -> float:
+        """Log p(y | arms, Σ, σ) of the observations seen so far."""
+        t = self.n_observations
+        if t == 0:
+            return 0.0
+        log_det_half = sum(math.log(row[i]) for i, row in enumerate(self._L_rows))
+        return float(
+            -0.5 * (self._z @ self._z) - log_det_half - 0.5 * t * _LOG_2PI
+        )
+
+    def refit(self) -> "FiniteArmGP":
+        """Fresh GP replaying the full history (numerical ground truth)."""
+        clone = FiniteArmGP(
+            self._cov,
+            self._prior_mean,
+            noise=self.noise,
+            jitter=self.jitter,
+        )
+        if self.n_observations:
+            arms = np.array(self._obs_arms)
+            y = np.array(self._obs_y)
+            gram = self._cov[np.ix_(arms, arms)] + self.noise**2 * np.eye(
+                len(arms)
+            )
+            L = np.linalg.cholesky(
+                gram + self.jitter * np.eye(len(arms))
+            )
+            from scipy.linalg import solve_triangular
+
+            V = solve_triangular(L, self._cov[arms, :], lower=True)
+            z = solve_triangular(L, y - self._prior_mean[arms], lower=True)
+            clone._L_rows = [L[i, : i + 1].copy() for i in range(len(arms))]
+            clone._V = V
+            clone._z = z
+            clone._obs_arms = list(arms)
+            clone._obs_y = list(y)
+        return clone
+
+    def copy(self) -> "FiniteArmGP":
+        """Deep copy preserving the incremental state."""
+        clone = FiniteArmGP(
+            self._cov,
+            self._prior_mean,
+            noise=self.noise,
+            jitter=self.jitter,
+        )
+        clone._obs_arms = list(self._obs_arms)
+        clone._obs_y = list(self._obs_y)
+        clone._L_rows = [row.copy() for row in self._L_rows]
+        clone._V = self._V.copy()
+        clone._z = self._z.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FiniteArmGP(n_arms={self._n_arms}, "
+            f"t={self.n_observations}, noise={self.noise:.4g})"
+        )

@@ -1,0 +1,77 @@
+"""A compact, numpy-only machine-learning library.
+
+This is the substrate that substitutes for the paper's deep-learning
+stack: when examples and benchmarks run ease.ml "live" (instead of
+replaying a trace), the candidate models are genuinely trained and
+evaluated here, and the cost the scheduler pays is each model's
+measured work.
+
+Everything is implemented from scratch on numpy:
+
+* :mod:`repro.ml.base` — the estimator interface, accuracy metric,
+  train/test split, deterministic work accounting;
+* :mod:`repro.ml.data` — synthetic classification task generators with
+  controllable difficulty (blobs, moons, circles, spirals, xor,
+  high-dimensional sparse);
+* estimators: logistic regression and ridge (:mod:`linear`), k-NN
+  (:mod:`neighbors`), Gaussian naive Bayes (:mod:`naive_bayes`), CART
+  decision trees (:mod:`tree`), random forests (:mod:`forest`), linear
+  SVM via Pegasos (:mod:`svm`) and multilayer perceptrons
+  (:mod:`mlp`);
+* :mod:`repro.ml.zoo` — the named "model zoo" the platform's template
+  matcher hands to the scheduler, with per-model cost profiles.
+"""
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    accuracy_score,
+    train_test_split,
+)
+from repro.ml.data import (
+    TaskSpec,
+    make_blobs,
+    make_circles,
+    make_moons,
+    make_sparse_highdim,
+    make_spirals,
+    make_task,
+    make_xor,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression, RidgeClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.zoo import ModelZoo, ZooEntry, default_zoo
+
+__all__ = [
+    "Estimator",
+    "ClassifierMixin",
+    "accuracy_score",
+    "train_test_split",
+    "TaskSpec",
+    "make_task",
+    "make_blobs",
+    "make_moons",
+    "make_circles",
+    "make_spirals",
+    "make_xor",
+    "make_sparse_highdim",
+    "LogisticRegression",
+    "RidgeClassifier",
+    "KNeighborsClassifier",
+    "GaussianNB",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LinearSVM",
+    "MLPClassifier",
+    "StandardScaler",
+    "MinMaxScaler",
+    "ModelZoo",
+    "ZooEntry",
+    "default_zoo",
+]

@@ -1,0 +1,138 @@
+"""Estimator interface, metrics and deterministic work accounting.
+
+Cost matters throughout this repository (the whole point of Section
+3.2), so every estimator tracks the *work* it performed in
+``work_units`` — a deterministic arithmetic-operation proxy (counted,
+not timed) so that live runs are reproducible across machines while
+still exposing the real cost asymmetries between cheap and expensive
+models.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+
+
+def check_X_y(X: np.ndarray, y: Optional[np.ndarray] = None):
+    """Validate and coerce a feature matrix (and labels)."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got {X.ndim}-D")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X must contain only finite values")
+    if y is None:
+        return X
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got {y.ndim}-D")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+        )
+    return X, y
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape}, y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_fraction: float = 0.25,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    X, y = check_X_y(X, y)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = RandomState(seed)
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("split leaves no training data")
+    order = rng.permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class Estimator(ABC):
+    """Base class: ``fit`` then ``predict``, with work accounting."""
+
+    def __init__(self) -> None:
+        #: Deterministic work proxy accumulated by fit/predict.
+        self.work_units: float = 0.0
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator":
+        """Train on (X, y); returns self."""
+
+    @abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for X."""
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+
+    def _add_work(self, units: float) -> None:
+        self.work_units += float(units)
+
+
+class ClassifierMixin:
+    """Scoring shared by all classifiers."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on (X, y)."""
+        return accuracy_score(np.asarray(y), self.predict(X))
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """(n,) integer labels -> (n, n_classes) one-hot matrix."""
+    y = np.asarray(y, dtype=int)
+    if y.size and (y.min() < 0 or y.max() >= n_classes):
+        raise ValueError(
+            f"labels must be in [0, {n_classes}), got "
+            f"[{y.min()}, {y.max()}]"
+        )
+    out = np.zeros((y.shape[0], n_classes))
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out
+
+
+def encode_labels(y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary labels to 0..C-1; returns (encoded, classes)."""
+    classes, encoded = np.unique(np.asarray(y), return_inverse=True)
+    return encoded, classes
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilisation."""
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=1, keepdims=True)

@@ -1,0 +1,222 @@
+"""Synthetic classification-task generators with controllable difficulty.
+
+Each generator returns ``(X, y)``; :func:`make_task` builds a task from
+a :class:`TaskSpec`, which is how the live benchmarks create a
+population of "users" whose tasks differ in geometry, dimensionality
+and noise — the heterogeneity the multi-tenant scheduler exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, SeedLike
+
+Array2 = Tuple[np.ndarray, np.ndarray]
+
+
+def _finish(
+    X: np.ndarray, y: np.ndarray, rng: np.random.Generator, noise: float
+) -> Array2:
+    if noise > 0:
+        X = X + rng.normal(0.0, noise, X.shape)
+    order = rng.permutation(X.shape[0])
+    return X[order], y[order].astype(int)
+
+
+def make_blobs(
+    n_samples: int = 200,
+    n_classes: int = 3,
+    n_features: int = 2,
+    *,
+    separation: float = 3.0,
+    noise: float = 1.0,
+    seed: SeedLike = None,
+) -> Array2:
+    """Gaussian blobs; ``separation`` controls how easy the task is."""
+    if n_samples < n_classes:
+        raise ValueError("need at least one sample per class")
+    rng = RandomState(seed)
+    centers = rng.normal(0.0, separation, (n_classes, n_features))
+    counts = np.full(n_classes, n_samples // n_classes)
+    counts[: n_samples % n_classes] += 1
+    X = np.vstack(
+        [
+            centers[c] + rng.normal(0.0, noise, (counts[c], n_features))
+            for c in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), counts)
+    # Difficulty is the separation-to-noise ratio; the jitter is baked
+    # into the class clouds above, so no extra noise pass is needed.
+    return _finish(X, y, rng, 0.0)
+
+
+def make_moons(
+    n_samples: int = 200,
+    *,
+    noise: float = 0.15,
+    seed: SeedLike = None,
+) -> Array2:
+    """Two interleaving half-circles (binary, non-linear)."""
+    rng = RandomState(seed)
+    n_a = n_samples // 2
+    n_b = n_samples - n_a
+    theta_a = rng.uniform(0.0, np.pi, n_a)
+    theta_b = rng.uniform(0.0, np.pi, n_b)
+    Xa = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    Xb = np.column_stack([1.0 - np.cos(theta_b), 0.5 - np.sin(theta_b)])
+    X = np.vstack([Xa, Xb])
+    y = np.concatenate([np.zeros(n_a), np.ones(n_b)])
+    return _finish(X, y, rng, noise)
+
+
+def make_circles(
+    n_samples: int = 200,
+    *,
+    factor: float = 0.5,
+    noise: float = 0.1,
+    seed: SeedLike = None,
+) -> Array2:
+    """Two concentric circles (binary, radially separable)."""
+    if not 0.0 < factor < 1.0:
+        raise ValueError(f"factor must be in (0, 1), got {factor}")
+    rng = RandomState(seed)
+    n_a = n_samples // 2
+    n_b = n_samples - n_a
+    theta_a = rng.uniform(0.0, 2.0 * np.pi, n_a)
+    theta_b = rng.uniform(0.0, 2.0 * np.pi, n_b)
+    Xa = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    Xb = factor * np.column_stack([np.cos(theta_b), np.sin(theta_b)])
+    X = np.vstack([Xa, Xb])
+    y = np.concatenate([np.zeros(n_a), np.ones(n_b)])
+    return _finish(X, y, rng, noise)
+
+
+def make_spirals(
+    n_samples: int = 200,
+    *,
+    turns: float = 1.5,
+    noise: float = 0.1,
+    seed: SeedLike = None,
+) -> Array2:
+    """Two interleaved spirals (binary, hard for linear models)."""
+    rng = RandomState(seed)
+    n_a = n_samples // 2
+    n_b = n_samples - n_a
+    t_a = np.sqrt(rng.uniform(0.05, 1.0, n_a)) * turns * 2.0 * np.pi
+    t_b = np.sqrt(rng.uniform(0.05, 1.0, n_b)) * turns * 2.0 * np.pi
+    Xa = np.column_stack([t_a * np.cos(t_a), t_a * np.sin(t_a)]) / (
+        turns * 2.0 * np.pi
+    )
+    Xb = np.column_stack([t_b * np.cos(t_b + np.pi), t_b * np.sin(t_b + np.pi)]) / (
+        turns * 2.0 * np.pi
+    )
+    X = np.vstack([Xa, Xb])
+    y = np.concatenate([np.zeros(n_a), np.ones(n_b)])
+    return _finish(X, y, rng, noise)
+
+
+def make_xor(
+    n_samples: int = 200,
+    *,
+    noise: float = 0.2,
+    seed: SeedLike = None,
+) -> Array2:
+    """The XOR pattern (binary, requires interactions)."""
+    rng = RandomState(seed)
+    X = rng.uniform(-1.0, 1.0, (n_samples, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return _finish(X, y, rng, noise)
+
+
+def make_sparse_highdim(
+    n_samples: int = 200,
+    n_features: int = 50,
+    n_informative: int = 5,
+    *,
+    signal: float = 2.0,
+    noise: float = 1.0,
+    seed: SeedLike = None,
+) -> Array2:
+    """High-dimensional binary task with few informative features."""
+    if n_informative > n_features:
+        raise ValueError("n_informative cannot exceed n_features")
+    rng = RandomState(seed)
+    X = rng.normal(0.0, noise, (n_samples, n_features))
+    w = np.zeros(n_features)
+    informative = rng.choice(n_features, n_informative, replace=False)
+    w[informative] = rng.normal(0.0, 1.0, n_informative)
+    logits = signal * (X @ w)
+    y = (logits + rng.logistic(0.0, 1.0, n_samples) > 0).astype(int)
+    return _finish(X, y, rng, 0.0)
+
+
+#: Registered generator names for :func:`make_task`.
+TASK_KINDS = (
+    "blobs",
+    "moons",
+    "circles",
+    "spirals",
+    "xor",
+    "sparse_highdim",
+)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Description of one user's classification task.
+
+    ``difficulty`` in [0, 1] scales the task's intrinsic noise so a
+    population of users spans easy to hard — the "different users have
+    different degrees of difficulty" assumption of Appendix B.
+    """
+
+    kind: str = "blobs"
+    n_samples: int = 200
+    difficulty: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(
+                f"kind must be one of {TASK_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(
+                f"difficulty must be in [0, 1], got {self.difficulty}"
+            )
+        if self.n_samples < 8:
+            raise ValueError(f"n_samples must be >= 8, got {self.n_samples}")
+
+
+def make_task(spec: TaskSpec) -> Array2:
+    """Instantiate the (X, y) data for a :class:`TaskSpec`."""
+    d = spec.difficulty
+    if spec.kind == "blobs":
+        return make_blobs(
+            spec.n_samples,
+            n_classes=3,
+            separation=4.0 * (1.0 - d) + 1.0,
+            seed=spec.seed,
+        )
+    if spec.kind == "moons":
+        return make_moons(spec.n_samples, noise=0.05 + 0.4 * d, seed=spec.seed)
+    if spec.kind == "circles":
+        return make_circles(
+            spec.n_samples, noise=0.02 + 0.25 * d, seed=spec.seed
+        )
+    if spec.kind == "spirals":
+        return make_spirals(
+            spec.n_samples, noise=0.02 + 0.25 * d, seed=spec.seed
+        )
+    if spec.kind == "xor":
+        return make_xor(spec.n_samples, noise=0.05 + 0.4 * d, seed=spec.seed)
+    return make_sparse_highdim(
+        spec.n_samples,
+        signal=3.0 * (1.0 - d) + 0.3,
+        seed=spec.seed,
+    )

@@ -1,0 +1,66 @@
+"""Random forests: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, Estimator, check_X_y, encode_labels
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import RandomState, SeedLike
+
+
+class RandomForestClassifier(Estimator, ClassifierMixin):
+    """Majority vote over bootstrapped trees (``max_features='sqrt'``)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        *,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        self.n_estimators = int(n_estimators)
+        if self.n_estimators < 1:
+            raise ValueError(
+                f"n_estimators must be >= 1, got {n_estimators}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self._seed = seed
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        encoded, self.classes_ = encode_labels(y)
+        rng = RandomState(self._seed)
+        n = X.shape[0]
+        self.trees_ = []
+        for b in range(self.n_estimators):
+            idx = rng.integers(0, n, n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features="sqrt",
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], encoded[idx])
+            self.trees_.append(tree)
+            self._add_work(tree.work_units)
+        self._mark_fitted()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        n_classes = self.classes_.shape[0]
+        votes = np.zeros((X.shape[0], n_classes), dtype=int)
+        for tree in self.trees_:
+            pred = tree.predict(X)  # encoded labels (fitted on encoded y)
+            votes[np.arange(X.shape[0]), pred.astype(int)] += 1
+            self._add_work(float(X.shape[0]) * 16.0)
+        return self.classes_[np.argmax(votes, axis=1)]

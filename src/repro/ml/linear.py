@@ -1,0 +1,117 @@
+"""Linear classifiers: multinomial logistic regression and ridge.
+
+Both are fitted with plain numpy — softmax regression by full-batch
+gradient descent, ridge by a closed-form least-squares solve against
+one-hot targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    check_X_y,
+    encode_labels,
+    one_hot,
+    softmax,
+)
+from repro.utils.validation import check_positive
+
+
+class LogisticRegression(Estimator, ClassifierMixin):
+    """Multinomial logistic regression trained by gradient descent.
+
+    Parameters
+    ----------
+    learning_rate, n_epochs:
+        Full-batch gradient descent settings; more epochs cost more
+        work (tracked in ``work_units``) — the cheap-vs-thorough knob
+        the model zoo uses to create cost diversity.
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_epochs: int = 200,
+        l2: float = 1e-4,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.n_epochs = int(n_epochs)
+        if self.n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        self.l2 = check_positive(l2, "l2", strict=False)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        encoded, self.classes_ = encode_labels(y)
+        n, d = X.shape
+        c = self.classes_.shape[0]
+        targets = one_hot(encoded, c)
+        W = np.zeros((d, c))
+        b = np.zeros(c)
+        for _ in range(self.n_epochs):
+            probs = softmax(X @ W + b)
+            grad = probs - targets
+            W -= self.learning_rate * ((X.T @ grad) / n + self.l2 * W)
+            b -= self.learning_rate * grad.mean(axis=0)
+        self.coef_, self.intercept_ = W, b
+        # fwd+bwd pass per epoch: ~4 n d c multiply-adds.
+        self._add_work(4.0 * self.n_epochs * n * d * c)
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        self._add_work(float(X.shape[0] * X.shape[1]))
+        return softmax(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+
+class RidgeClassifier(Estimator, ClassifierMixin):
+    """Least-squares classifier on one-hot targets (closed form)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = check_positive(alpha, "alpha", strict=False)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeClassifier":
+        X, y = check_X_y(X, y)
+        encoded, self.classes_ = encode_labels(y)
+        n, d = X.shape
+        c = self.classes_.shape[0]
+        targets = one_hot(encoded, c) - 1.0 / c
+        mean = X.mean(axis=0)
+        Xc = X - mean
+        gram = Xc.T @ Xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ targets)
+        self.intercept_ = targets.mean(axis=0) - mean @ self.coef_
+        self._add_work(float(n * d * d + d**3 / 3.0 + n * d * c))
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        self._add_work(float(X.shape[0] * X.shape[1]))
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]

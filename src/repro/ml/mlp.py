@@ -1,0 +1,135 @@
+"""Multilayer perceptron with numpy backpropagation.
+
+The zoo instantiates several widths/depths of this class to mimic the
+"small cheap net … big expensive net" spectrum of the paper's eight
+CNN architectures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    check_X_y,
+    encode_labels,
+    one_hot,
+    softmax,
+)
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_positive
+
+
+class MLPClassifier(Estimator, ClassifierMixin):
+    """Fully connected ReLU network with a softmax head.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(32,)`` or ``(64, 64)``.
+    learning_rate / n_epochs / batch_size:
+        Mini-batch gradient descent settings.
+    l2:
+        Weight decay.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32,),
+        learning_rate: float = 0.05,
+        n_epochs: int = 100,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        *,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        self.hidden = tuple(int(h) for h in hidden)
+        if not self.hidden or any(h < 1 for h in self.hidden):
+            raise ValueError(
+                f"hidden must be non-empty positive widths, got {hidden}"
+            )
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.n_epochs = int(n_epochs)
+        if self.n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        self.batch_size = int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.l2 = check_positive(l2, "l2", strict=False)
+        self._seed = seed
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        self.classes_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def _forward(
+        self, X: np.ndarray
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [X]
+        a = X
+        for W, b in zip(self.weights_[:-1], self.biases_[:-1]):
+            a = np.maximum(a @ W + b, 0.0)
+            activations.append(a)
+        logits = a @ self.weights_[-1] + self.biases_[-1]
+        return activations, logits
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_X_y(X, y)
+        encoded, self.classes_ = encode_labels(y)
+        n, d = X.shape
+        c = self.classes_.shape[0]
+        sizes = (d, *self.hidden, c)
+        rng = RandomState(self._seed)
+        self.weights_ = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), (sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        targets = one_hot(encoded, c)
+
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb, Tb = X[batch], targets[batch]
+                activations, logits = self._forward(Xb)
+                probs = softmax(logits)
+                delta = (probs - Tb) / Xb.shape[0]
+                for layer in reversed(range(len(self.weights_))):
+                    a_prev = activations[layer]
+                    grad_W = a_prev.T @ delta + self.l2 * self.weights_[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (
+                            activations[layer] > 0
+                        )
+                    self.weights_[layer] -= self.learning_rate * grad_W
+                    self.biases_[layer] -= self.learning_rate * grad_b
+        params = sum(W.size for W in self.weights_)
+        self._add_work(6.0 * self.n_epochs * n * params / max(d, 1))
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        if X.shape[1] != self.weights_[0].shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, fitted on "
+                f"{self.weights_[0].shape[0]}"
+            )
+        _, logits = self._forward(X)
+        self._add_work(
+            float(X.shape[0]) * sum(W.size for W in self.weights_)
+        )
+        return softmax(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]

@@ -1,0 +1,69 @@
+"""Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, Estimator, check_X_y, encode_labels
+
+
+class GaussianNB(Estimator, ClassifierMixin):
+    """Per-class independent Gaussians with a variance floor."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        if var_smoothing < 0:
+            raise ValueError(
+                f"var_smoothing must be >= 0, got {var_smoothing}"
+            )
+        self.var_smoothing = float(var_smoothing)
+        self.theta_: Optional[np.ndarray] = None  # (C, d) means
+        self.var_: Optional[np.ndarray] = None  # (C, d) variances
+        self.class_log_prior_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        encoded, self.classes_ = encode_labels(y)
+        c = self.classes_.shape[0]
+        d = X.shape[1]
+        self.theta_ = np.empty((c, d))
+        self.var_ = np.empty((c, d))
+        counts = np.empty(c)
+        for k in range(c):
+            members = X[encoded == k]
+            if members.shape[0] == 0:  # pragma: no cover - encode ensures
+                raise ValueError(f"class {k} has no samples")
+            counts[k] = members.shape[0]
+            self.theta_[k] = members.mean(axis=0)
+            self.var_[k] = members.var(axis=0)
+        floor = self.var_smoothing * float(np.max(X.var(axis=0), initial=1.0))
+        self.var_ = np.maximum(self.var_, max(floor, 1e-12))
+        self.class_log_prior_ = np.log(counts / counts.sum())
+        self._add_work(float(X.size) * 2.0)
+        self._mark_fitted()
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty((X.shape[0], self.classes_.shape[0]))
+        for k in range(self.classes_.shape[0]):
+            log_det = np.sum(np.log(2.0 * np.pi * self.var_[k]))
+            maha = np.sum(
+                (X - self.theta_[k]) ** 2 / self.var_[k], axis=1
+            )
+            out[:, k] = self.class_log_prior_[k] - 0.5 * (log_det + maha)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        if X.shape[1] != self.theta_.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, fitted on "
+                f"{self.theta_.shape[1]}"
+            )
+        jll = self._joint_log_likelihood(X)
+        self._add_work(float(X.size) * self.classes_.shape[0])
+        return self.classes_[np.argmax(jll, axis=1)]

@@ -1,0 +1,64 @@
+"""k-nearest-neighbours classification (brute force)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import ClassifierMixin, Estimator, check_X_y, encode_labels
+
+
+class KNeighborsClassifier(Estimator, ClassifierMixin):
+    """Majority vote among the k nearest training points (L2)."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        super().__init__()
+        self.n_neighbors = int(n_neighbors)
+        if self.n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training "
+                f"points, got {X.shape[0]}"
+            )
+        encoded, self.classes_ = encode_labels(y)
+        self._X, self._y = X.copy(), encoded
+        self._add_work(float(X.size))  # memorisation pass
+        self._mark_fitted()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = check_X_y(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, fitted on {self._X.shape[1]}"
+            )
+        # Pairwise squared distances, blockwise to bound memory.
+        n_classes = self.classes_.shape[0]
+        predictions = np.empty(X.shape[0], dtype=int)
+        block = 256
+        for start in range(0, X.shape[0], block):
+            chunk = X[start : start + block]
+            d2 = (
+                np.sum(chunk**2, axis=1)[:, None]
+                + np.sum(self._X**2, axis=1)[None, :]
+                - 2.0 * chunk @ self._X.T
+            )
+            nearest = np.argpartition(d2, self.n_neighbors - 1, axis=1)[
+                :, : self.n_neighbors
+            ]
+            votes = self._y[nearest]
+            counts = np.zeros((chunk.shape[0], n_classes), dtype=int)
+            for k in range(self.n_neighbors):
+                counts[np.arange(chunk.shape[0]), votes[:, k]] += 1
+            predictions[start : start + block] = np.argmax(counts, axis=1)
+        self._add_work(float(X.shape[0]) * self._X.shape[0] * X.shape[1])
+        return self.classes_[predictions]

@@ -1,0 +1,66 @@
+"""Feature scaling transformers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X_y
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_X_y(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features scale to 1 so transform is a no-op there.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted first")
+        X = check_X_y(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_X_y(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted first")
+        X = check_X_y(X)
+        if X.shape[1] != self.min_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.min_.shape[0]}"
+            )
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

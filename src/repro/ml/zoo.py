@@ -1,0 +1,244 @@
+"""The model zoo: named, configured estimators with cost profiles.
+
+ease.ml's template matcher produces *named candidate models*
+("AlexNet", "ResNet-18", …).  In live runs those names resolve to
+entries of this zoo — numpy estimators spanning a wide cost/quality
+frontier, from a naive-Bayes fit (microseconds of work) to a deep MLP
+(five orders of magnitude more).  Each entry carries:
+
+* a factory building a fresh estimator,
+* an a-priori *cost estimate* formula (ease.ml's "simple profiling"),
+* citation/year metadata so the MOSTCITED / MOSTRECENT heuristics work
+  on live zoos exactly as on the CNN trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.trainer import CallableTrainer
+from repro.ml.base import Estimator, train_test_split
+from repro.ml.data import TaskSpec, make_task
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression, RidgeClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import RandomState, SeedLike
+
+#: Work units per abstract "cost unit" (keeps costs in a readable range).
+WORK_UNITS_PER_COST = 1e5
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One named model in the zoo."""
+
+    name: str
+    family: str
+    citations: float
+    year: float
+    make: Callable[[int], Estimator]
+    #: (n_samples, n_features, n_classes) -> expected work units.
+    cost_formula: Callable[[int, int, int], float]
+
+    def cost_estimate(self, n: int, d: int, c: int) -> float:
+        """Profiled cost in abstract cost units (strictly positive)."""
+        return max(
+            float(self.cost_formula(n, d, c)) / WORK_UNITS_PER_COST, 1e-6
+        )
+
+
+class ModelZoo:
+    """An ordered collection of :class:`ZooEntry` items."""
+
+    def __init__(self, entries: Sequence[ZooEntry]) -> None:
+        if not entries:
+            raise ValueError("a zoo needs at least one entry")
+        names = [e.name for e in entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate zoo entry names in {names}")
+        self._entries: List[ZooEntry] = list(entries)
+        self._by_name: Dict[str, ZooEntry] = {e.name: e for e in entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ZooEntry:
+        if name not in self._by_name:
+            raise KeyError(
+                f"no zoo entry named {name!r}; available: {self.names()}"
+            )
+        return self._by_name[name]
+
+    def names(self) -> List[str]:
+        return [e.name for e in self._entries]
+
+    def citations(self) -> np.ndarray:
+        return np.array([e.citations for e in self._entries])
+
+    def years(self) -> np.ndarray:
+        return np.array([e.year for e in self._entries])
+
+    def subset(self, names: Sequence[str]) -> "ModelZoo":
+        return ModelZoo([self[name] for name in names])
+
+    # ------------------------------------------------------------------
+    # Live-training task construction
+    # ------------------------------------------------------------------
+    def build_trainer(
+        self,
+        task_specs: Sequence[TaskSpec],
+        *,
+        test_fraction: float = 0.3,
+        standardize: bool = True,
+        seed: SeedLike = 0,
+    ) -> CallableTrainer:
+        """A :class:`CallableTrainer` training zoo models on real tasks.
+
+        For each user a dataset is generated once from its
+        :class:`TaskSpec` and split once; every training call fits a
+        *fresh* estimator (seeded per call so repeated training of the
+        same model is genuinely stochastic, like re-running Adam) and
+        reports test accuracy as reward and measured ``work_units`` as
+        GPU time.
+        """
+        rng = RandomState(seed)
+        tasks: List[List[Callable[[], Tuple[float, float]]]] = []
+        estimates: List[np.ndarray] = []
+        for spec in task_specs:
+            X, y = make_task(spec)
+            X_train, X_test, y_train, y_test = train_test_split(
+                X, y, test_fraction=test_fraction, seed=rng
+            )
+            if standardize:
+                scaler = StandardScaler().fit(X_train)
+                X_train = scaler.transform(X_train)
+                X_test = scaler.transform(X_test)
+            n, d = X_train.shape
+            c = int(np.unique(y_train).shape[0])
+            user_tasks = []
+            user_costs = []
+            for entry in self._entries:
+                user_tasks.append(
+                    _make_training_callable(
+                        entry, X_train, y_train, X_test, y_test, rng
+                    )
+                )
+                user_costs.append(entry.cost_estimate(n, d, c))
+            tasks.append(user_tasks)
+            estimates.append(np.asarray(user_costs))
+        return CallableTrainer(tasks, estimates)
+
+
+def _make_training_callable(
+    entry: ZooEntry,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    rng: np.random.Generator,
+) -> Callable[[], Tuple[float, float]]:
+    def train() -> Tuple[float, float]:
+        estimator = entry.make(int(rng.integers(0, 2**31 - 1)))
+        estimator.fit(X_train, y_train)
+        accuracy = estimator.score(X_test, y_test)
+        cost = max(estimator.work_units / WORK_UNITS_PER_COST, 1e-6)
+        return accuracy, cost
+
+    return train
+
+
+def default_zoo() -> ModelZoo:
+    """Thirteen models spanning the cost/quality frontier.
+
+    Citations/years are stylised (plausible magnitudes for the
+    underlying methods) so heuristic pickers behave realistically.
+    """
+    return ModelZoo(
+        [
+            ZooEntry(
+                "naive-bayes", "bayesian", 4500, 1960,
+                lambda s: GaussianNB(),
+                lambda n, d, c: 4.0 * n * d,
+            ),
+            ZooEntry(
+                "knn-5", "nearest-neighbor", 12000, 1967,
+                lambda s: KNeighborsClassifier(5),
+                lambda n, d, c: 1.0 * n * n * d,
+            ),
+            ZooEntry(
+                "ridge", "linear", 9000, 1970,
+                lambda s: RidgeClassifier(1.0),
+                lambda n, d, c: n * d * d + d**3 / 3.0 + n * d * c,
+            ),
+            ZooEntry(
+                "logreg-fast", "linear", 15000, 1958,
+                lambda s: LogisticRegression(n_epochs=60),
+                lambda n, d, c: 4.0 * 60 * n * d * c,
+            ),
+            ZooEntry(
+                "logreg", "linear", 15000, 1958,
+                lambda s: LogisticRegression(n_epochs=300),
+                lambda n, d, c: 4.0 * 300 * n * d * c,
+            ),
+            ZooEntry(
+                "svm-linear", "svm", 30000, 1995,
+                lambda s: LinearSVM(n_epochs=15, seed=s),
+                lambda n, d, c: 3.0 * 15 * n * d * max(c if c > 2 else 1, 1),
+            ),
+            ZooEntry(
+                "tree-d4", "decision-tree", 25000, 1984,
+                lambda s: DecisionTreeClassifier(max_depth=4, seed=s),
+                lambda n, d, c: 15.0 * n * d,
+            ),
+            ZooEntry(
+                "tree-deep", "decision-tree", 25000, 1984,
+                lambda s: DecisionTreeClassifier(max_depth=12, seed=s),
+                lambda n, d, c: 40.0 * n * d,
+            ),
+            ZooEntry(
+                "forest-10", "random-forest", 50000, 2001,
+                lambda s: RandomForestClassifier(
+                    10, max_depth=8, seed=s
+                ),
+                lambda n, d, c: 10 * 30.0 * n * max(np.sqrt(d), 1.0),
+            ),
+            ZooEntry(
+                "forest-40", "random-forest", 50000, 2001,
+                lambda s: RandomForestClassifier(
+                    40, max_depth=10, seed=s
+                ),
+                lambda n, d, c: 40 * 35.0 * n * max(np.sqrt(d), 1.0),
+            ),
+            ZooEntry(
+                "mlp-small", "neural-net", 40000, 1986,
+                lambda s: MLPClassifier((16,), n_epochs=60, seed=s),
+                lambda n, d, c: 6.0 * 60 * n * (16 + 16 * c / max(d, 1)) * d,
+            ),
+            ZooEntry(
+                "mlp-medium", "neural-net", 40000, 1986,
+                lambda s: MLPClassifier((64,), n_epochs=120, seed=s),
+                lambda n, d, c: 6.0 * 120 * n * (64 + 64 * c / max(d, 1)) * d,
+            ),
+            ZooEntry(
+                "mlp-deep", "neural-net", 60000, 2015,
+                lambda s: MLPClassifier(
+                    (64, 64), n_epochs=200, seed=s
+                ),
+                lambda n, d, c: 6.0 * 200 * n * (64 + 64 * 64 / max(d, 1)) * d,
+            ),
+        ]
+    )

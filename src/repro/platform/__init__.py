@@ -1,0 +1,65 @@
+"""The declarative ease.ml platform (Section 2).
+
+A user describes a machine-learning task as an arbitrary function
+approximator: the shapes of the input and output objects plus example
+pairs.  This subpackage implements that whole surface:
+
+* :mod:`repro.platform.schema` — typed data objects (constant-shape
+  tensors + recursive fields), the system data types of Figure 3;
+* :mod:`repro.platform.dsl` — the Figure 2 grammar: a tokenizer and
+  recursive-descent parser for programs like
+  ``{input: {[Tensor[256,256,3]], []}, output: {[Tensor[3]], []}}``;
+* :mod:`repro.platform.templates` — Figure 4's template table with
+  wildcard matching (top-to-bottom, most-specific first);
+* :mod:`repro.platform.normalization` — the automatic input
+  normalization family ``f_k(x) = -x^{2k} + x^k`` of Figure 5;
+* :mod:`repro.platform.candidates` — candidate-model generation
+  (template matches × normalization variants);
+* :mod:`repro.platform.storage` — the shared example store behind the
+  ``feed`` / ``refine`` operators;
+* :mod:`repro.platform.server` — the ease.ml server: registered apps,
+  the three user-facing operators (``feed``, ``refine``, ``infer``)
+  and the multi-tenant scheduling loop over live training.
+"""
+
+from repro.platform.candidates import CandidateModel, generate_candidates
+from repro.platform.dsl import parse_program, program_from_shapes
+from repro.platform.normalization import (
+    NormalizationFunction,
+    default_normalization_family,
+)
+from repro.platform.schema import (
+    DataType,
+    NonRecField,
+    Program,
+    TensorType,
+)
+from repro.platform.server import EaseMLApp, EaseMLServer
+from repro.platform.storage import ExampleStore, SharedStorage
+from repro.platform.templates import (
+    TEMPLATES,
+    Template,
+    WorkloadKind,
+    match_template,
+)
+
+__all__ = [
+    "TensorType",
+    "NonRecField",
+    "DataType",
+    "Program",
+    "parse_program",
+    "program_from_shapes",
+    "Template",
+    "WorkloadKind",
+    "TEMPLATES",
+    "match_template",
+    "NormalizationFunction",
+    "default_normalization_family",
+    "CandidateModel",
+    "generate_candidates",
+    "ExampleStore",
+    "SharedStorage",
+    "EaseMLServer",
+    "EaseMLApp",
+]

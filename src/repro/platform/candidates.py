@@ -1,0 +1,64 @@
+"""Candidate-model generation: templates × normalization variants.
+
+Given a parsed program, ease.ml (1) matches it against the Figure 4
+templates and (2), for image-shaped inputs, multiplies the matched
+models by the automatic-normalization family of Figure 5 — each
+``(model, f_k)`` pair is one additional candidate (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.platform.normalization import (
+    DEFAULT_KS,
+    NormalizationFunction,
+    default_normalization_family,
+)
+from repro.platform.schema import Program
+from repro.platform.templates import Template, WorkloadKind, match_template
+
+#: Workloads whose inputs are image-shaped and therefore eligible for
+#: the automatic-normalization expansion.
+_NORMALIZABLE_KINDS = (
+    WorkloadKind.IMAGE_CLASSIFICATION,
+    WorkloadKind.IMAGE_RECOVERY,
+)
+
+
+@dataclass(frozen=True)
+class CandidateModel:
+    """One runnable candidate: a base model plus optional normalization."""
+
+    base_model: str
+    normalization: Optional[NormalizationFunction] = None
+
+    @property
+    def name(self) -> str:
+        if self.normalization is None:
+            return self.base_model
+        return f"{self.base_model}+{self.normalization.name}"
+
+
+def generate_candidates(
+    program: Program,
+    *,
+    include_normalization: bool = True,
+    ks: Sequence[float] = DEFAULT_KS,
+    template: Optional[Template] = None,
+) -> List[CandidateModel]:
+    """All candidate models for ``program``, in deterministic order.
+
+    The plain (un-normalized) variants come first, in the template's
+    model order; normalization variants follow grouped by model then by
+    ``k``.  Pass ``template`` to skip re-matching.
+    """
+    matched = template if template is not None else match_template(program)
+    candidates = [CandidateModel(m) for m in matched.models]
+    if include_normalization and matched.kind in _NORMALIZABLE_KINDS:
+        family = default_normalization_family(ks)
+        for model in matched.models:
+            for func in family:
+                candidates.append(CandidateModel(model, func))
+    return candidates

@@ -1,0 +1,207 @@
+"""Tokenizer and recursive-descent parser for the ease.ml DSL.
+
+Grammar (Figure 2 of the paper)::
+
+    prog         ::= '{' 'input' ':' data_type ',' 'output' ':' data_type '}'
+    data_type    ::= '{' '[' nonrec_field* ']' ',' '[' rec_field* ']' '}'
+    nonrec_field ::= 'Tensor' '[' int+ ']'
+                   | field_name '::' 'Tensor' '[' int+ ']'
+    rec_field    ::= field_name
+    field_name   ::= [a-z0-9_]+
+
+Whitespace is insignificant; list items are comma-separated.  The
+parser produces :class:`repro.platform.schema.Program` values, and
+``Program.render()`` emits canonical text the parser round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.platform.schema import (
+    DataType,
+    NonRecField,
+    Program,
+    TensorType,
+)
+
+
+class DSLSyntaxError(ValueError):
+    """Raised on malformed ease.ml programs, with position context."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        snippet = text[max(0, position - 20) : position + 20]
+        super().__init__(
+            f"{message} at position {position}: ...{snippet!r}..."
+        )
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # one of: lbrace rbrace lbracket rbracket comma colon
+    #            dcolon ident int tensor input output
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dcolon>::)
+  | (?P<lbrace>\{) | (?P<rbrace>\})
+  | (?P<lbracket>\[) | (?P<rbracket>\])
+  | (?P<comma>,) | (?P<colon>:)
+  | (?P<int>\d+)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"Tensor": "tensor", "input": "input", "output": "output"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split DSL text into tokens; raises :class:`DSLSyntaxError`."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DSLSyntaxError(
+                f"unexpected character {text[position]!r}", position, text
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            if kind == "word":
+                kind = _KEYWORDS.get(value, "ident")
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: Sequence[Token], text: str) -> None:
+        self._tokens = list(tokens)
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise DSLSyntaxError(
+                "unexpected end of program", len(self._text), self._text
+            )
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise DSLSyntaxError(
+                f"expected {kind}, found {token.value!r}",
+                token.position,
+                self._text,
+            )
+        return token
+
+    def _check(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar productions -------------------------------------------
+    def parse_program(self) -> Program:
+        self._expect("lbrace")
+        self._expect("input")
+        self._expect("colon")
+        input_type = self.parse_data_type()
+        self._expect("comma")
+        self._expect("output")
+        self._expect("colon")
+        output_type = self.parse_data_type()
+        self._expect("rbrace")
+        trailing = self._peek()
+        if trailing is not None:
+            raise DSLSyntaxError(
+                f"unexpected trailing input {trailing.value!r}",
+                trailing.position,
+                self._text,
+            )
+        return Program(input_type, output_type)
+
+    def parse_data_type(self) -> DataType:
+        self._expect("lbrace")
+        self._expect("lbracket")
+        tensors: List[NonRecField] = []
+        while not self._check("rbracket"):
+            tensors.append(self.parse_nonrec_field())
+            if self._check("comma"):
+                self._advance()
+            else:
+                break
+        self._expect("rbracket")
+        self._expect("comma")
+        self._expect("lbracket")
+        rec: List[str] = []
+        while not self._check("rbracket"):
+            rec.append(self._expect("ident").value)
+            if self._check("comma"):
+                self._advance()
+            else:
+                break
+        self._expect("rbracket")
+        self._expect("rbrace")
+        return DataType(tuple(tensors), tuple(rec))
+
+    def parse_nonrec_field(self) -> NonRecField:
+        name: Optional[str] = None
+        if self._check("ident"):
+            name = self._advance().value
+            self._expect("dcolon")
+        self._expect("tensor")
+        self._expect("lbracket")
+        dims: List[int] = [int(self._expect("int").value)]
+        while self._check("comma"):
+            self._advance()
+            dims.append(int(self._expect("int").value))
+        self._expect("rbracket")
+        return NonRecField(TensorType(tuple(dims)), name)
+
+
+def parse_program(text: str, *, name: str = "") -> Program:
+    """Parse DSL text into a :class:`Program`.
+
+    >>> p = parse_program("{input: {[Tensor[256,256,3]], []}, "
+    ...                   "output: {[Tensor[3]], []}}")
+    >>> p.input.tensor_shapes()
+    ((256, 256, 3),)
+    """
+    program = _Parser(tokenize(text), text).parse_program()
+    if name:
+        program = Program(program.input, program.output, name=name)
+    return program
+
+
+def program_from_shapes(
+    input_shape: Iterable[int],
+    output_shape: Iterable[int],
+    *,
+    name: str = "",
+) -> Program:
+    """The introduction's shorthand: ``Input = [256,256,3] Output = [3]``."""
+    return Program(
+        DataType((NonRecField(TensorType(tuple(input_shape))),), ()),
+        DataType((NonRecField(TensorType(tuple(output_shape))),), ()),
+        name=name,
+    )

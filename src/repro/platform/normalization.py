@@ -1,0 +1,83 @@
+"""Automatic input normalization (Figure 5).
+
+Data that is image-*shaped* but not image-*ranged* — astrophysics and
+proteomics tensors spanning ten orders of magnitude — is unusable for
+models designed for pixel data.  ease.ml therefore augments the
+candidate set: every function in the family
+
+.. math:: f_k(x) = -x^{2k} + x^k
+
+(applied to inputs pre-scaled into [0, 1]) paired with every consistent
+model yields one additional candidate.  Each ``f_k`` is a concave bump
+peaking at ``x = 2^{-1/k}`` with maximum ¼; ``rescale=True`` (default)
+multiplies by 4 so outputs span [0, 1] like the figure's plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: The k values shown in Figure 5.
+DEFAULT_KS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+
+
+@dataclass(frozen=True)
+class NormalizationFunction:
+    """One member ``f_k`` of the normalization family."""
+
+    k: float
+    rescale: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.k, "k")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply ``f_k`` elementwise; input must lie in [0, 1]."""
+        x = np.asarray(x, dtype=float)
+        if np.any((x < 0.0) | (x > 1.0)):
+            raise ValueError(
+                "normalization input must be pre-scaled into [0, 1]"
+            )
+        xk = np.power(x, self.k)
+        out = -xk * xk + xk  # -x^{2k} + x^k
+        if self.rescale:
+            out = 4.0 * out
+        return out
+
+    @property
+    def peak(self) -> float:
+        """The input value where ``f_k`` attains its maximum."""
+        return float(2.0 ** (-1.0 / self.k))
+
+    @property
+    def name(self) -> str:
+        return f"norm(k={self.k:g})"
+
+
+def default_normalization_family(
+    ks: Sequence[float] = DEFAULT_KS, *, rescale: bool = True
+) -> Tuple[NormalizationFunction, ...]:
+    """The candidate-generating family, one function per ``k``."""
+    family = tuple(NormalizationFunction(float(k), rescale) for k in ks)
+    if len({f.k for f in family}) != len(family):
+        raise ValueError(f"duplicate k values in {list(ks)}")
+    return family
+
+
+def prescale_unit(x: np.ndarray) -> np.ndarray:
+    """Affinely map an arbitrary-range tensor into [0, 1].
+
+    This is the pre-step applied before ``f_k`` for data with a huge
+    dynamic range; constant tensors map to 0.
+    """
+    x = np.asarray(x, dtype=float)
+    lo = float(np.min(x))
+    hi = float(np.max(x))
+    if hi - lo < 1e-300:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)

@@ -1,0 +1,142 @@
+"""Typed data objects: the system data types of Figures 2–3.
+
+A ``data_type`` has two components (Section 2.1):
+
+* the *non-recursive* component — a list of constant-sized tensors,
+  optionally named;
+* the *recursive* component — a list of named fields of the same
+  object type ("pointers" building chains and trees; the translation
+  assumes no object reuse, i.e. DAGs without loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+_FIELD_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def is_valid_field_name(name: str) -> bool:
+    """``field_name ::= [a-z0-9_]*`` (non-empty in practice)."""
+    return bool(name) and all(ch in _FIELD_NAME_CHARS for ch in name)
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """A constant-shape tensor, e.g. ``Tensor[256, 256, 3]``."""
+
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        if not shape:
+            raise ValueError("a tensor needs at least one dimension")
+        if any(s < 1 for s in shape):
+            raise ValueError(f"tensor dimensions must be >= 1, got {shape}")
+        object.__setattr__(self, "shape", shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    def render(self) -> str:
+        return f"Tensor[{', '.join(str(s) for s in self.shape)}]"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class NonRecField:
+    """One non-recursive field: a tensor, optionally named."""
+
+    tensor: TensorType
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.name is not None and not is_valid_field_name(self.name):
+            raise ValueError(
+                f"invalid field name {self.name!r} "
+                "(must match [a-z0-9_]+)"
+            )
+
+    def render(self) -> str:
+        if self.name is None:
+            return self.tensor.render()
+        return f"{self.name} :: {self.tensor.render()}"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """``data_type ::= {nonrec_field list, rec_field list}``."""
+
+    tensors: Tuple[NonRecField, ...] = ()
+    rec_fields: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        tensors = tuple(self.tensors)
+        for item in tensors:
+            if not isinstance(item, NonRecField):
+                raise TypeError(
+                    "tensors entries must be NonRecField, got "
+                    f"{type(item).__name__}"
+                )
+        rec = tuple(str(name) for name in self.rec_fields)
+        for name in rec:
+            if not is_valid_field_name(name):
+                raise ValueError(
+                    f"invalid recursive field name {name!r} "
+                    "(must match [a-z0-9_]+)"
+                )
+        if len(set(rec)) != len(rec):
+            raise ValueError(f"duplicate recursive field names in {rec}")
+        object.__setattr__(self, "tensors", tensors)
+        object.__setattr__(self, "rec_fields", rec)
+
+    @property
+    def is_recursive(self) -> bool:
+        return bool(self.rec_fields)
+
+    @property
+    def flat_size(self) -> int:
+        """Total scalar count of the non-recursive component."""
+        return sum(f.tensor.size for f in self.tensors)
+
+    def tensor_shapes(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(f.tensor.shape for f in self.tensors)
+
+    def render(self) -> str:
+        nonrec = ", ".join(f.render() for f in self.tensors)
+        rec = ", ".join(self.rec_fields)
+        return f"{{[{nonrec}], [{rec}]}}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """``prog ::= {input: data_type, output: data_type}``."""
+
+    input: DataType
+    output: DataType
+    name: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        return (
+            f"{{input: {self.input.render()}, "
+            f"output: {self.output.render()}}}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def tensor(*shape: int, name: Optional[str] = None) -> NonRecField:
+    """Convenience builder: ``tensor(256, 256, 3, name="field1")``."""
+    return NonRecField(TensorType(tuple(shape)), name)

@@ -1,0 +1,484 @@
+"""The ease.ml server: declarative apps over multi-tenant scheduling.
+
+This is the end-to-end composition of Figure 1:
+
+1. users register *apps* by submitting a DSL program (schema matching
+   generates candidate models into the user-level task pool);
+2. users ``feed`` input/output pairs (stored centrally) and may
+   ``refine`` them (toggle noisy labels off);
+3. the server runs the multi-tenant model-selection loop — HYBRID
+   user-picking with cost-aware GP-UCB model-picking by default — and
+   live-trains candidates from the model zoo;
+4. ``infer`` answers with the best model found so far for that app.
+
+Substitution note (DESIGN.md §5): the paper's candidate models for
+image workloads are GPU-trained CNNs.  Live training here instantiates
+the numpy model zoo instead, while ``EaseMLApp.paper_candidates``
+still exposes the faithful Figure 4 candidate list (with normalization
+variants) for inspection and trace-driven experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.beta import AlgorithmOneBeta
+from repro.core.model_picking import GPUCBPicker
+from repro.core.multitenant import MultiTenantScheduler, StepRecord
+from repro.core.oracles import Observation, RewardOracle
+from repro.core.user_picking import (
+    GreedyPicker,
+    HybridPicker,
+    RandomUserPicker,
+    RoundRobinPicker,
+    UserPicker,
+)
+from repro.engine.clock import SimClock
+from repro.engine.events import EventKind, EventLog
+from repro.gp.covariance import covariance_from_features
+from repro.gp.kernels import RBF, ConstantKernel
+from repro.ml.base import Estimator, train_test_split
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.zoo import ModelZoo, default_zoo
+from repro.platform.candidates import CandidateModel, generate_candidates
+from repro.platform.dsl import parse_program
+from repro.platform.normalization import (
+    NormalizationFunction,
+    default_normalization_family,
+    prescale_unit,
+)
+from repro.platform.schema import Program
+from repro.platform.storage import ExampleStore, SharedStorage
+from repro.platform.templates import Template, WorkloadKind, match_template
+from repro.utils.rng import RandomState, SeedLike
+
+#: Workload kinds the live trainer can serve (classification-shaped).
+_TRAINABLE_KINDS = (
+    WorkloadKind.IMAGE_CLASSIFICATION,
+    WorkloadKind.TIMESERIES_CLASSIFICATION,
+    WorkloadKind.TREE_CLASSIFICATION,
+    WorkloadKind.GENERAL_CLASSIFICATION,
+)
+
+
+@dataclass(frozen=True)
+class LiveCandidate:
+    """One trainable candidate: a zoo entry plus optional normalization."""
+
+    zoo_name: str
+    normalization: Optional[NormalizationFunction] = None
+
+    @property
+    def name(self) -> str:
+        if self.normalization is None:
+            return self.zoo_name
+        return f"{self.zoo_name}+{self.normalization.name}"
+
+
+@dataclass
+class TrainingOutcome:
+    """One completed training run for an app."""
+
+    step: int
+    candidate: str
+    accuracy: float
+    cost: float
+    improved: bool
+
+
+class EaseMLApp:
+    """One registered user application (the generated "binaries")."""
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        store: ExampleStore,
+        server: "EaseMLServer",
+    ) -> None:
+        self.name = name
+        self.program = program
+        self.store = store
+        self._server = server
+        self.template: Template = match_template(program)
+        #: The faithful Figure 4 candidate list (paper model names).
+        self.paper_candidates: List[CandidateModel] = generate_candidates(
+            program
+        )
+        #: What the live trainer will actually run (zoo-backed).
+        self.live_candidates: List[LiveCandidate] = (
+            server._build_live_candidates(self)
+        )
+        self.history: List[TrainingOutcome] = []
+        self.best_accuracy: float = -math.inf
+        self.best_candidate: Optional[str] = None
+        self._best_estimator: Optional[Estimator] = None
+        self._best_transform: Optional[
+            Callable[[np.ndarray], np.ndarray]
+        ] = None
+        self.n_classes: int = program.output.flat_size
+
+    # ------------------------------------------------------------------
+    # The three operators
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        inputs: Sequence[np.ndarray],
+        outputs: Sequence[Union[int, np.ndarray]],
+    ) -> List[int]:
+        """Store input/output example pairs (the ``feed`` operator).
+
+        Outputs may be integer class labels (converted to one-hot of
+        the declared output size) or full output tensors.
+        """
+        if len(inputs) != len(outputs):
+            raise ValueError(
+                f"got {len(inputs)} inputs but {len(outputs)} outputs"
+            )
+        ids: List[int] = []
+        input_size = self.program.input.flat_size
+        for x, y in zip(inputs, outputs):
+            x = np.asarray(x, dtype=float)
+            if x.size != input_size:
+                raise ValueError(
+                    f"input has {x.size} scalars, schema declares "
+                    f"{input_size}"
+                )
+            y_vec = self._encode_output(y)
+            ids.append(self.store.add(x, y_vec))
+        self._server.log.append(
+            self._server.clock.now, EventKind.FEED, app=self.name,
+            count=len(ids),
+        )
+        return ids
+
+    def _encode_output(self, y: Union[int, np.ndarray]) -> np.ndarray:
+        if isinstance(y, (int, np.integer)):
+            label = int(y)
+            if not 0 <= label < self.n_classes:
+                raise ValueError(
+                    f"label {label} out of range [0, {self.n_classes})"
+                )
+            vec = np.zeros(self.n_classes)
+            vec[label] = 1.0
+            return vec
+        y = np.asarray(y, dtype=float)
+        if y.size != self.program.output.flat_size:
+            raise ValueError(
+                f"output has {y.size} scalars, schema declares "
+                f"{self.program.output.flat_size}"
+            )
+        return y.ravel()
+
+    def refine(self) -> List[Tuple[int, bool]]:
+        """All fed examples and their enabled flags (``refine`` view)."""
+        self._server.log.append(
+            self._server.clock.now, EventKind.REFINE, app=self.name,
+        )
+        return [(e.example_id, e.enabled) for e in self.store]
+
+    def set_example_enabled(self, example_id: int, enabled: bool) -> None:
+        """Toggle one example on/off (the ``refine`` action)."""
+        self.store.set_enabled(example_id, enabled)
+
+    def infer(self, x: np.ndarray) -> int:
+        """Predict with the best model so far (the ``infer`` operator)."""
+        if self._best_estimator is None:
+            raise RuntimeError(
+                f"app {self.name!r} has no trained model yet; run the "
+                "server first"
+            )
+        x = np.asarray(x, dtype=float).ravel()[None, :]
+        if self._best_transform is not None:
+            x = self._best_transform(x)
+        prediction = self._best_estimator.predict(x)
+        self._server.log.append(
+            self._server.clock.now, EventKind.INFER, app=self.name,
+        )
+        return int(prediction[0])
+
+    # ------------------------------------------------------------------
+    # Reporting (Figure 3d's "report")
+    # ------------------------------------------------------------------
+    def report(self) -> List[TrainingOutcome]:
+        """The improvement history (every run that beat the best)."""
+        return [h for h in self.history if h.improved]
+
+    def candidate_names(self) -> List[str]:
+        return [c.name for c in self.live_candidates]
+
+
+class _AppOracle(RewardOracle):
+    """RewardOracle that live-trains app candidates on fed examples."""
+
+    def __init__(self, server: "EaseMLServer") -> None:
+        self._server = server
+
+    @property
+    def n_users(self) -> int:
+        return len(self._server.apps)
+
+    def n_models(self, user: int) -> int:
+        return len(self._server.apps[user].live_candidates)
+
+    def costs(self, user: int) -> np.ndarray:
+        return self._server._cost_estimates[user].copy()
+
+    def observe(self, user: int, model: int) -> Observation:
+        self._check_pair(user, model)
+        return self._server._train_candidate(user, model)
+
+
+class EaseMLServer:
+    """The shared ease.ml service instance.
+
+    Parameters
+    ----------
+    zoo:
+        Model zoo used for live training (default: :func:`default_zoo`).
+    strategy:
+        User-picking strategy name: ``"hybrid"`` (ease.ml default),
+        ``"greedy"``, ``"round_robin"`` or ``"random"``.
+    cost_aware:
+        Use cost-aware GP-UCB model picking (the §3.2 twist).
+    test_fraction:
+        Held-out fraction of each app's enabled examples used to score
+        candidates.
+    include_normalization:
+        Expand image-shaped apps with the Figure 5 family.
+    """
+
+    _STRATEGIES = ("hybrid", "greedy", "round_robin", "random")
+
+    def __init__(
+        self,
+        zoo: Optional[ModelZoo] = None,
+        *,
+        strategy: str = "hybrid",
+        cost_aware: bool = True,
+        gp_noise: float = 0.05,
+        test_fraction: float = 0.3,
+        include_normalization: bool = True,
+        min_examples: int = 10,
+        seed: SeedLike = 0,
+    ) -> None:
+        if strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {self._STRATEGIES}, "
+                f"got {strategy!r}"
+            )
+        self.zoo = zoo if zoo is not None else default_zoo()
+        self.strategy = strategy
+        self.cost_aware = bool(cost_aware)
+        self.gp_noise = float(gp_noise)
+        self.test_fraction = float(test_fraction)
+        self.include_normalization = bool(include_normalization)
+        self.min_examples = int(min_examples)
+        self._rng = RandomState(seed)
+
+        self.storage = SharedStorage()
+        self.apps: List[EaseMLApp] = []
+        self.clock = SimClock()
+        self.log = EventLog()
+        self._scheduler: Optional[MultiTenantScheduler] = None
+        self._cost_estimates: List[np.ndarray] = []
+        self._splits: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_app(
+        self, program: Union[str, Program], name: str
+    ) -> EaseMLApp:
+        """Register a new user application from DSL text or a Program."""
+        if self._scheduler is not None:
+            raise RuntimeError(
+                "cannot register apps after scheduling has started; this "
+                "reproduction (like the paper's experiments) uses a fixed "
+                "tenant set per run"
+            )
+        if isinstance(program, str):
+            program = parse_program(program, name=name)
+        if name in self.storage:
+            raise ValueError(f"an app named {name!r} already exists")
+        store = self.storage.create(name)
+        app = EaseMLApp(name, program, store, self)
+        if app.template.kind not in _TRAINABLE_KINDS:
+            raise NotImplementedError(
+                f"live training for {app.template.kind.value!r} workloads "
+                "is not supported; use trace-driven experiments instead"
+            )
+        self.apps.append(app)
+        return app
+
+    def _build_live_candidates(self, app: EaseMLApp) -> List[LiveCandidate]:
+        kind = match_template(app.program).kind
+        candidates = [LiveCandidate(name) for name in self.zoo.names()]
+        image_shaped = kind in (WorkloadKind.IMAGE_CLASSIFICATION,)
+        if self.include_normalization and image_shaped:
+            for zoo_name in self.zoo.names():
+                for func in default_normalization_family():
+                    candidates.append(LiveCandidate(zoo_name, func))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _make_user_picker(self) -> UserPicker:
+        if self.strategy == "hybrid":
+            return HybridPicker(seed=self._rng)
+        if self.strategy == "greedy":
+            return GreedyPicker(seed=self._rng)
+        if self.strategy == "round_robin":
+            return RoundRobinPicker()
+        return RandomUserPicker(seed=self._rng)
+
+    def _candidate_features(self, app: EaseMLApp, n: int, d: int, c: int):
+        """Feature vectors for the GP prior over an app's candidates."""
+        families = sorted({self.zoo[lc.zoo_name].family for lc in
+                           app.live_candidates})
+        fam_index = {f: i for i, f in enumerate(families)}
+        rows = []
+        costs = []
+        for lc in app.live_candidates:
+            entry = self.zoo[lc.zoo_name]
+            cost = entry.cost_estimate(n, d, c)
+            one_hot = [0.0] * len(families)
+            one_hot[fam_index[entry.family]] = 1.0
+            k = lc.normalization.k if lc.normalization else 0.0
+            rows.append([np.log10(cost)] + one_hot + [k])
+            costs.append(cost)
+        features = np.asarray(rows)
+        scaler = StandardScaler().fit(features)
+        return scaler.transform(features), np.asarray(costs)
+
+    def _prepare(self) -> None:
+        """Freeze the tenant set and build the scheduler."""
+        if not self.apps:
+            raise RuntimeError("no apps registered")
+        self._cost_estimates = []
+        self._splits = []
+        pickers = []
+        oracle = _AppOracle(self)
+        for app in self.apps:
+            if app.store.n_enabled < self.min_examples:
+                raise RuntimeError(
+                    f"app {app.name!r} has {app.store.n_enabled} enabled "
+                    f"examples; at least {self.min_examples} are required "
+                    "before scheduling"
+                )
+            X, Y = app.store.enabled_arrays()
+            y = np.argmax(Y, axis=1) if Y.shape[1] > 1 else (
+                Y.ravel() > 0.5
+            ).astype(int)
+            X_train, X_test, y_train, y_test = train_test_split(
+                X, y, test_fraction=self.test_fraction, seed=self._rng
+            )
+            self._splits.append((X_train, X_test, y_train, y_test))
+            n, d = X_train.shape
+            c = max(int(np.unique(y_train).shape[0]), 2)
+            features, costs = self._candidate_features(app, n, d, c)
+            self._cost_estimates.append(costs)
+            prior = covariance_from_features(
+                ConstantKernel(0.09) * RBF(1.0), features
+            )
+            pickers.append(
+                GPUCBPicker(
+                    prior,
+                    AlgorithmOneBeta(len(app.live_candidates)),
+                    costs if self.cost_aware else None,
+                    noise=self.gp_noise,
+                    prior_mean=np.full(len(app.live_candidates), 0.5),
+                )
+            )
+        self._scheduler = MultiTenantScheduler(
+            oracle, pickers, self._make_user_picker()
+        )
+
+    def _train_candidate(self, user: int, model: int) -> Observation:
+        app = self.apps[user]
+        candidate = app.live_candidates[model]
+        X_train, X_test, y_train, y_test = self._splits[user]
+
+        transform = _make_transform(candidate.normalization)
+        Xtr = transform(X_train)
+        Xte = transform(X_test)
+
+        entry = self.zoo[candidate.zoo_name]
+        estimator = entry.make(int(self._rng.integers(0, 2**31 - 1)))
+        estimator.fit(Xtr, y_train)
+        accuracy = estimator.score(Xte, y_test)
+        cost = max(estimator.work_units / 1e5, 1e-6)
+        self.clock.advance(cost)
+
+        improved = accuracy > app.best_accuracy
+        if improved:
+            app.best_accuracy = accuracy
+            app.best_candidate = candidate.name
+            app._best_estimator = estimator
+            app._best_transform = transform
+            self.log.append(
+                self.clock.now, EventKind.MODEL_RETURNED, app=app.name,
+                candidate=candidate.name, accuracy=accuracy,
+            )
+        app.history.append(
+            TrainingOutcome(
+                step=len(app.history) + 1,
+                candidate=candidate.name,
+                accuracy=accuracy,
+                cost=cost,
+                improved=improved,
+            )
+        )
+        return Observation(float(accuracy), float(cost))
+
+    def run(
+        self,
+        *,
+        max_steps: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+    ) -> List[StepRecord]:
+        """Run the multi-tenant loop; returns the new step records."""
+        if self._scheduler is None:
+            self._prepare()
+        before = self._scheduler.step_count
+        self._scheduler.run(max_steps=(
+            before + max_steps if max_steps is not None else None
+        ), cost_budget=(
+            self._scheduler.total_cost + cost_budget
+            if cost_budget is not None
+            else None
+        ))
+        return self._scheduler.records[before:]
+
+    @property
+    def scheduler(self) -> Optional[MultiTenantScheduler]:
+        return self._scheduler
+
+    def get_app(self, name: str) -> EaseMLApp:
+        for app in self.apps:
+            if app.name == name:
+                return app
+        raise KeyError(f"no app named {name!r}")
+
+
+def _make_transform(
+    normalization: Optional[NormalizationFunction],
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Row-wise input transform for a candidate's normalization."""
+
+    if normalization is None:
+        return lambda X: np.asarray(X, dtype=float)
+
+    def transform(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.empty_like(X)
+        for i in range(X.shape[0]):
+            out[i] = normalization(prescale_unit(X[i]))
+        return out
+
+    return transform

@@ -1,0 +1,163 @@
+"""Template matching for candidate-model generation (Figure 4).
+
+Each template constrains the input/output data types with a small
+pattern language:
+
+* the non-recursive component is matched by a list of *rank patterns*
+  (a rank-3 entry matches any ``Tensor[A, B, C]``), optionally ending
+  in ``*`` ("arbitrary tail of the array");
+* the recursive component is matched by an exact field count, or ``*``
+  for any number of recursive fields.
+
+Matching proceeds **top to bottom** — from the most specific template
+to the most general — and the first hit wins, exactly as the figure
+prescribes.  The two "general" templates accept anything, so every
+well-formed program matches something.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.platform.schema import DataType, Program
+
+
+class WorkloadKind(str, Enum):
+    """The seven workload classes of Figure 4."""
+
+    IMAGE_CLASSIFICATION = "image/tensor classification"
+    IMAGE_RECOVERY = "image/tensor recovery"
+    TIMESERIES_CLASSIFICATION = "time series classification"
+    TIMESERIES_TRANSLATION = "time series translation"
+    TREE_CLASSIFICATION = "tree classification"
+    GENERAL_CLASSIFICATION = "general classification"
+    GENERAL_AUTOENCODER = "general auto-encoder"
+
+
+@dataclass(frozen=True)
+class TypePattern:
+    """Pattern for one data type.
+
+    ``tensor_ranks`` lists the required tensor ranks, in order;
+    ``tensor_tail`` allows any further tensors after them.  ``None``
+    for ``rec_count`` means "any number of recursive fields".
+    """
+
+    tensor_ranks: Tuple[int, ...] = ()
+    tensor_tail: bool = False
+    rec_count: Optional[int] = 0
+
+    def matches(self, data_type: DataType) -> bool:
+        shapes = data_type.tensor_shapes()
+        if self.tensor_tail:
+            if len(shapes) < len(self.tensor_ranks):
+                return False
+        else:
+            if len(shapes) != len(self.tensor_ranks):
+                return False
+        for rank, shape in zip(self.tensor_ranks, shapes):
+            if len(shape) != rank:
+                return False
+        if self.rec_count is not None:
+            if len(data_type.rec_fields) != self.rec_count:
+                return False
+        return True
+
+    def render(self) -> str:
+        parts = [f"Tensor[rank {r}]" for r in self.tensor_ranks]
+        if self.tensor_tail:
+            parts.append("*")
+        rec = "*" if self.rec_count is None else str(self.rec_count)
+        return f"{{[{', '.join(parts)}], [{rec} rec]}}"
+
+
+@dataclass(frozen=True)
+class Template:
+    """One row of the Figure 4 table."""
+
+    kind: WorkloadKind
+    input_pattern: TypePattern
+    output_pattern: TypePattern
+    models: Tuple[str, ...]
+
+    def matches(self, program: Program) -> bool:
+        return self.input_pattern.matches(
+            program.input
+        ) and self.output_pattern.matches(program.output)
+
+
+#: Figure 4 in code, in the figure's top-to-bottom matching order.
+#: The image-classification model list enumerates the concrete set the
+#: paper deploys (Section 5.1), which refines the figure's
+#: "AlexNet, ResNet, GoogLeNet, …" shorthand.
+TEMPLATES: Tuple[Template, ...] = (
+    Template(
+        WorkloadKind.IMAGE_CLASSIFICATION,
+        TypePattern(tensor_ranks=(3,)),
+        TypePattern(tensor_ranks=(1,)),
+        (
+            "NIN",
+            "GoogLeNet",
+            "ResNet-50",
+            "AlexNet",
+            "BN-AlexNet",
+            "ResNet-18",
+            "VGG-16",
+            "SqueezeNet",
+        ),
+    ),
+    Template(
+        WorkloadKind.IMAGE_RECOVERY,
+        TypePattern(tensor_ranks=(3,)),
+        TypePattern(tensor_ranks=(3,)),
+        ("Auto-encoder", "GAN", "pix2pix"),
+    ),
+    Template(
+        WorkloadKind.TIMESERIES_CLASSIFICATION,
+        TypePattern(tensor_ranks=(1,), tensor_tail=True, rec_count=1),
+        TypePattern(tensor_ranks=(1,)),
+        ("RNN", "LSTM", "bi-LSTM", "GRU"),
+    ),
+    Template(
+        WorkloadKind.TIMESERIES_TRANSLATION,
+        TypePattern(tensor_ranks=(1,), tensor_tail=True, rec_count=1),
+        TypePattern(tensor_ranks=(1,), tensor_tail=True, rec_count=1),
+        ("seq2seq",),
+    ),
+    Template(
+        WorkloadKind.TREE_CLASSIFICATION,
+        TypePattern(tensor_ranks=(1,), tensor_tail=True, rec_count=2),
+        TypePattern(tensor_ranks=(1,)),
+        ("Tree-RNN", "Tree-kernel-SVM"),
+    ),
+    Template(
+        WorkloadKind.GENERAL_CLASSIFICATION,
+        TypePattern(tensor_tail=True, rec_count=None),
+        TypePattern(tensor_ranks=(1,)),
+        ("Bit-level-RNN",),
+    ),
+    Template(
+        WorkloadKind.GENERAL_AUTOENCODER,
+        TypePattern(tensor_tail=True, rec_count=None),
+        TypePattern(tensor_tail=True, rec_count=None),
+        ("Bit-level-Auto-encoder",),
+    ),
+)
+
+
+def match_template(program: Program) -> Template:
+    """First matching template, top to bottom (always succeeds for
+    well-formed programs — the last template accepts everything)."""
+    for template in TEMPLATES:
+        if template.matches(program):
+            return template
+    raise ValueError(  # pragma: no cover - general templates catch all
+        f"no template matches program {program.render()}"
+    )
+
+
+def matching_templates(program: Program) -> List[Template]:
+    """All templates that match (the first is the canonical choice)."""
+    return [t for t in TEMPLATES if t.matches(program)]

@@ -1,0 +1,30 @@
+"""Shared utilities: seeded randomness, validation helpers, ASCII tables.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage (``repro.gp``, ``repro.core``, ``repro.datasets``, ...) can
+rely on them without import cycles.
+"""
+
+from repro.utils.rng import RandomState, derive_seed, spawn_rngs
+from repro.utils.tables import ascii_series, ascii_table, format_float
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RandomState",
+    "derive_seed",
+    "spawn_rngs",
+    "ascii_series",
+    "ascii_table",
+    "format_float",
+    "check_in_range",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,85 @@
+"""Deterministic random-number management.
+
+Every stochastic component in this repository draws randomness through a
+``numpy.random.Generator`` passed in explicitly (never the global numpy
+state).  The helpers here make it easy to
+
+* accept flexible ``seed`` arguments (``None``, ``int`` or an existing
+  generator) uniformly across the code base, and
+* derive independent child seeds for repeated trials so experiment
+  repetition ``i`` is reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+#: Anything accepted where a seed is expected.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def RandomState(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields a nondeterministic generator, an ``int`` a seeded
+    one, and an existing generator is passed through unchanged.  The
+    name mirrors the historical numpy spelling to read naturally at
+    call sites (``rng = RandomState(seed)``).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *labels: Union[int, str]) -> int:
+    """Derive a stable child seed from ``base_seed`` and a label path.
+
+    The derivation hashes the base seed together with the labels so
+    that, e.g., trial 3 of experiment "fig9" always receives the same
+    seed regardless of how many other experiments ran before it.
+
+    >>> derive_seed(42, "fig9", 3) == derive_seed(42, "fig9", 3)
+    True
+    >>> derive_seed(42, "fig9", 3) != derive_seed(42, "fig9", 4)
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(base_seed)).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "little")
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent generators.
+
+    Uses numpy's ``SeedSequence.spawn`` when an integer (or ``None``)
+    seed is supplied; an existing generator spawns children through its
+    own bit generator seed sequence.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        children = seed.bit_generator.seed_seq.spawn(count)
+    else:
+        children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]
+
+
+def permutation_without_replacement(
+    rng: np.random.Generator, items: Iterable[int], size: Optional[int] = None
+) -> List[int]:
+    """Sample ``size`` distinct items (all of them by default), shuffled."""
+    pool = list(items)
+    if size is None:
+        size = len(pool)
+    if size > len(pool):
+        raise ValueError(
+            f"cannot sample {size} distinct items from a pool of {len(pool)}"
+        )
+    index = rng.permutation(len(pool))[:size]
+    return [pool[i] for i in index]

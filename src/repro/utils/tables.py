@@ -1,0 +1,113 @@
+"""ASCII rendering for experiment tables and curve series.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module keeps that formatting in one place so benchmarks stay
+focused on the experiment logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_float(value: float, precision: int = 4) -> str:
+    """Format a float compactly: fixed-point for moderate magnitudes.
+
+    >>> format_float(0.123456)
+    '0.1235'
+    >>> format_float(12345.0, 2)
+    '12345.00'
+    """
+    return f"{float(value):.{precision}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell, precision))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(fmt_line(list(headers)))
+    lines.append(separator)
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    precision: int = 4,
+    max_rows: int = 25,
+) -> str:
+    """Render aligned columns of one x-axis against several named series.
+
+    Long grids are thinned down to ``max_rows`` evenly spaced rows so
+    console output stays readable.
+    """
+    n = len(x)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x-axis has {n}"
+            )
+    if n > max_rows:
+        step = max(1, (n - 1) // (max_rows - 1))
+        keep = list(range(0, n, step))
+        if keep[-1] != n - 1:
+            keep.append(n - 1)
+    else:
+        keep = list(range(n))
+
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i in keep:
+        rows.append([float(x[i])] + [float(series[name][i]) for name in series])
+    return ascii_table(headers, rows, title=title, precision=precision)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a one-line unicode sparkline of ``values`` (paper-figure feel)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return blocks[0] * len(vals)
+    scale = (len(blocks) - 1) / (hi - lo)
+    return "".join(blocks[int((v - lo) * scale)] for v in vals)

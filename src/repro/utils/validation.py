@@ -1,0 +1,106 @@
+"""Argument-validation helpers with consistent error messages.
+
+Raising early with a precise message is cheaper than debugging a shape
+mismatch three layers down a scheduler run; these helpers keep the
+checks one-liners at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Type
+
+import numpy as np
+
+
+def check_type(value: Any, expected: Type, name: str) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Raise ``ValueError`` unless ``value`` lies inside ``[low, high]``."""
+    value = float(value)
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_matrix(
+    value: Any,
+    name: str,
+    *,
+    shape: Optional[Tuple[Optional[int], Optional[int]]] = None,
+    square: bool = False,
+    finite: bool = True,
+) -> np.ndarray:
+    """Coerce ``value`` to a 2-D float array, validating shape constraints.
+
+    ``shape`` entries of ``None`` accept any extent along that axis.
+    """
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got {array.ndim}-D")
+    if square and array.shape[0] != array.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {array.shape}")
+    if shape is not None:
+        for axis, expected in enumerate(shape):
+            if expected is not None and array.shape[axis] != expected:
+                raise ValueError(
+                    f"{name} must have shape {shape}, got {array.shape}"
+                )
+    if finite and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array
+
+
+def check_vector(
+    value: Any, name: str, *, size: Optional[int] = None, finite: bool = True
+) -> np.ndarray:
+    """Coerce ``value`` to a 1-D float array, validating its length."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got {array.ndim}-D")
+    if size is not None and array.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {array.shape[0]}")
+    if finite and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ModelInfo, ModelSelectionDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset() -> ModelSelectionDataset:
+    """A hand-written 4-user × 5-model dataset with known structure.
+
+    User 0's best model is 3, user 1's is 0, user 2's is 4, user 3's
+    is 2.  Costs grow with the model index.
+    """
+    quality = np.array(
+        [
+            [0.50, 0.60, 0.70, 0.90, 0.55],
+            [0.85, 0.40, 0.60, 0.70, 0.65],
+            [0.30, 0.55, 0.60, 0.62, 0.80],
+            [0.45, 0.50, 0.95, 0.70, 0.66],
+        ]
+    )
+    cost = np.tile(np.array([1.0, 2.0, 3.0, 4.0, 5.0]), (4, 1))
+    models = [
+        ModelInfo(f"m{j}", citations=1000 - 100 * j, year=2010 + j)
+        for j in range(5)
+    ]
+    return ModelSelectionDataset(
+        name="tiny",
+        quality=quality,
+        cost=cost,
+        models=models,
+        quality_kind="synthetic",
+        cost_kind="synthetic",
+    )
+
+
+@pytest.fixture
+def identity_cov() -> np.ndarray:
+    return 0.09 * np.eye(5)

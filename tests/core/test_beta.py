@@ -1,0 +1,79 @@
+"""Tests for exploration schedules."""
+
+import math
+
+import pytest
+
+from repro.core.beta import AlgorithmOneBeta, BetaSchedule, ConstantBeta, TheoremBeta
+
+
+class TestConstantBeta:
+    def test_constant(self):
+        beta = ConstantBeta(2.5)
+        assert beta(1) == 2.5
+        assert beta(1000) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantBeta(-1.0)
+
+    def test_rejects_t_zero(self):
+        with pytest.raises(ValueError, match="t must be >= 1"):
+            ConstantBeta(1.0)(0)
+
+
+class TestAlgorithmOneBeta:
+    def test_formula(self):
+        beta = AlgorithmOneBeta(n_arms=8, delta=0.1)
+        assert beta(3) == pytest.approx(math.log(8 * 9 / 0.1))
+
+    def test_monotone_in_t(self):
+        beta = AlgorithmOneBeta(n_arms=5, delta=0.1)
+        values = [beta(t) for t in range(1, 50)]
+        assert all(b2 >= b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_never_negative(self):
+        # K=1, t=1, delta close to 1 would make the raw log negative.
+        beta = AlgorithmOneBeta(n_arms=1, delta=0.999)
+        assert beta(1) >= 0.0
+
+    def test_rejects_zero_delta(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneBeta(5, delta=0.0)
+
+    def test_rejects_zero_arms(self):
+        with pytest.raises(ValueError):
+            AlgorithmOneBeta(0)
+
+    def test_smaller_delta_means_more_exploration(self):
+        loose = AlgorithmOneBeta(4, delta=0.5)
+        tight = AlgorithmOneBeta(4, delta=0.01)
+        assert tight(10) > loose(10)
+
+
+class TestTheoremBeta:
+    def test_formula(self):
+        beta = TheoremBeta(n_arms=4, delta=0.1, c_star=2.0, n_users=3)
+        t = 5
+        expected = 2.0 * 2.0 * math.log(
+            math.pi**2 / 6.0 * 3 * 4 * t * t / 0.1
+        )
+        assert beta(t) == pytest.approx(expected)
+
+    def test_single_tenant_reduction(self):
+        """n_users=1 recovers Theorem 1's schedule."""
+        beta = TheoremBeta(n_arms=4, delta=0.1, c_star=1.0, n_users=1)
+        expected = 2.0 * math.log(math.pi**2 * 4 * 9 / (6 * 0.1))
+        assert beta(3) == pytest.approx(expected)
+
+    def test_cost_scales_linearly(self):
+        small = TheoremBeta(4, c_star=1.0)
+        large = TheoremBeta(4, c_star=3.0)
+        assert large(10) == pytest.approx(3.0 * small(10))
+
+    def test_rejects_bad_cost(self):
+        with pytest.raises(ValueError):
+            TheoremBeta(4, c_star=0.0)
+
+    def test_is_schedule(self):
+        assert isinstance(TheoremBeta(4), BetaSchedule)

@@ -1,0 +1,146 @@
+"""Tests for per-tenant model-picking policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.beta import AlgorithmOneBeta
+from repro.core.model_picking import (
+    FixedOrderPicker,
+    GPUCBPicker,
+    MostCitedPicker,
+    MostRecentPicker,
+    RandomModelPicker,
+    Selection,
+)
+
+
+class TestGPUCBPicker:
+    def make(self, costs=None):
+        return GPUCBPicker(
+            0.09 * np.eye(4), AlgorithmOneBeta(4), costs, noise=0.05
+        )
+
+    def test_selection_fields_consistent(self):
+        picker = self.make()
+        picker.observe(1, 0.8)
+        sel = picker.select()
+        assert isinstance(sel, Selection)
+        assert 0 <= sel.arm < 4
+        assert sel.ucb_value >= sel.mean  # bonus is non-negative
+        assert sel.std >= 0.0
+
+    def test_observe_advances_count(self):
+        picker = self.make()
+        assert picker.n_observations == 0
+        picker.observe(0, 0.5)
+        assert picker.n_observations == 1
+
+    def test_best_ucb_matches_wrapped(self):
+        picker = self.make()
+        picker.observe(2, 0.9)
+        assert picker.best_ucb() == pytest.approx(picker.ucb.best_ucb())
+
+    def test_exhausted_after_all_arms(self):
+        picker = self.make()
+        assert not picker.exhausted
+        for arm in range(4):
+            picker.observe(arm, 0.5)
+        assert picker.exhausted
+
+    def test_cost_aware_prefers_cheap(self):
+        picker = self.make(costs=np.array([1.0, 1.0, 1.0, 50.0]))
+        assert picker.select().arm != 3
+
+
+class TestHeuristicPickers:
+    def test_most_cited_order(self):
+        picker = MostCitedPicker([10, 500, 50, 300])
+        order = []
+        for _ in range(4):
+            sel = picker.select()
+            picker.observe(sel.arm, 0.5)
+            order.append(sel.arm)
+        assert order == [1, 3, 2, 0]
+
+    def test_most_recent_order(self):
+        picker = MostRecentPicker([2012, 2016, 2014, 2013])
+        order = []
+        for _ in range(4):
+            sel = picker.select()
+            picker.observe(sel.arm, 0.5)
+            order.append(sel.arm)
+        assert order == [1, 2, 3, 0]
+
+    def test_stable_tie_break(self):
+        picker = MostCitedPicker([100, 100, 100])
+        order = []
+        for _ in range(3):
+            sel = picker.select()
+            picker.observe(sel.arm, 0.5)
+            order.append(sel.arm)
+        assert order == [0, 1, 2]
+
+    def test_exhausted_picker_repeats_best(self):
+        picker = MostCitedPicker([3, 2, 1])
+        rewards = {0: 0.4, 1: 0.9, 2: 0.6}
+        for _ in range(3):
+            sel = picker.select()
+            picker.observe(sel.arm, rewards[sel.arm])
+        assert picker.exhausted
+        assert picker.select().arm == 1  # re-validates the best
+
+    def test_heuristic_reports_infinite_ucb(self):
+        picker = MostCitedPicker([1, 2])
+        assert math.isinf(picker.select().ucb_value)
+        assert math.isinf(picker.best_ucb())
+
+    def test_off_order_observation_does_not_advance(self):
+        picker = MostCitedPicker([10, 5])
+        # The scheduler trains arm 1 although the heuristic wanted 0.
+        picker.observe(1, 0.6)
+        assert picker.select().arm == 0  # still wants its first choice
+
+    def test_fixed_order(self):
+        picker = FixedOrderPicker([2, 0, 1])
+        order = []
+        for _ in range(3):
+            sel = picker.select()
+            picker.observe(sel.arm, 0.1)
+            order.append(sel.arm)
+        assert order == [2, 0, 1]
+
+    def test_fixed_order_validates_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            FixedOrderPicker([0, 0, 1])
+
+    def test_observe_bounds_checked(self):
+        picker = MostCitedPicker([1, 2])
+        with pytest.raises(IndexError):
+            picker.observe(5, 0.5)
+
+
+class TestRandomModelPicker:
+    def test_covers_all_arms(self):
+        picker = RandomModelPicker(4, seed=0)
+        arms = {picker.select().arm for _ in range(100)}
+        assert arms == {0, 1, 2, 3}
+
+    def test_seeded_reproducibility(self):
+        a = RandomModelPicker(5, seed=7)
+        b = RandomModelPicker(5, seed=7)
+        assert [a.select().arm for _ in range(10)] == [
+            b.select().arm for _ in range(10)
+        ]
+
+    def test_exhausted_tracking(self):
+        picker = RandomModelPicker(2, seed=0)
+        picker.observe(0, 0.5)
+        assert not picker.exhausted
+        picker.observe(1, 0.5)
+        assert picker.exhausted
+
+    def test_rejects_zero_arms(self):
+        with pytest.raises(ValueError):
+            RandomModelPicker(0)

@@ -1,0 +1,96 @@
+"""Tests for the trace-replay oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracles import MatrixOracle, Observation
+
+
+@pytest.fixture
+def quality():
+    return np.array([[0.5, 0.9], [0.7, 0.3]])
+
+
+class TestConstruction:
+    def test_default_costs_are_ones(self, quality):
+        oracle = MatrixOracle(quality)
+        assert np.allclose(oracle.costs(0), 1.0)
+
+    def test_cost_vector_broadcast(self, quality):
+        oracle = MatrixOracle(quality, np.array([1.0, 2.0]))
+        assert np.allclose(oracle.costs(1), [1.0, 2.0])
+
+    def test_full_cost_matrix(self, quality):
+        cost = np.array([[1.0, 2.0], [3.0, 4.0]])
+        oracle = MatrixOracle(quality, cost)
+        assert np.allclose(oracle.costs(1), [3.0, 4.0])
+
+    def test_rejects_nonpositive_costs(self, quality):
+        with pytest.raises(ValueError, match="positive"):
+            MatrixOracle(quality, np.array([0.0, 1.0]))
+
+    def test_rejects_wrong_cost_length(self, quality):
+        with pytest.raises(ValueError, match="length"):
+            MatrixOracle(quality, np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_negative_noise(self, quality):
+        with pytest.raises(ValueError):
+            MatrixOracle(quality, noise_std=-0.1)
+
+
+class TestObserve:
+    def test_noiseless_returns_matrix_value(self, quality):
+        oracle = MatrixOracle(quality)
+        obs = oracle.observe(0, 1)
+        assert obs == Observation(0.9, 1.0)
+
+    def test_noise_is_seeded(self, quality):
+        a = MatrixOracle(quality, noise_std=0.1, seed=5).observe(0, 0)
+        b = MatrixOracle(quality, noise_std=0.1, seed=5).observe(0, 0)
+        assert a == b
+
+    def test_noise_perturbs(self, quality):
+        oracle = MatrixOracle(quality, noise_std=0.1, seed=1)
+        rewards = {oracle.observe(0, 0).reward for _ in range(10)}
+        assert len(rewards) > 1
+
+    def test_clipping(self, quality):
+        oracle = MatrixOracle(quality, noise_std=5.0, seed=0)
+        for _ in range(50):
+            reward = oracle.observe(0, 1).reward
+            assert 0.0 <= reward <= 1.0
+
+    def test_no_clipping_when_disabled(self, quality):
+        oracle = MatrixOracle(quality, noise_std=5.0, clip=False, seed=0)
+        rewards = [oracle.observe(0, 1).reward for _ in range(50)]
+        assert any(r < 0.0 or r > 1.0 for r in rewards)
+
+    def test_observation_count(self, quality):
+        oracle = MatrixOracle(quality)
+        oracle.observe(0, 0)
+        oracle.observe(1, 1)
+        assert oracle.observation_count == 2
+
+    def test_bounds_checked(self, quality):
+        oracle = MatrixOracle(quality)
+        with pytest.raises(IndexError):
+            oracle.observe(2, 0)
+        with pytest.raises(IndexError):
+            oracle.observe(0, 2)
+
+
+class TestGroundTruth:
+    def test_best_quality(self, quality):
+        oracle = MatrixOracle(quality)
+        assert oracle.best_quality(0) == 0.9
+        assert oracle.best_quality(1) == 0.7
+
+    def test_true_mean_ignores_noise(self, quality):
+        oracle = MatrixOracle(quality, noise_std=0.5, seed=0)
+        assert oracle.true_mean(1, 0) == 0.7
+
+    def test_total_cost(self, quality):
+        cost = np.array([[1.0, 2.0], [3.0, 4.0]])
+        oracle = MatrixOracle(quality, cost)
+        assert oracle.total_cost() == 10.0
+        assert oracle.total_cost(0) == 3.0

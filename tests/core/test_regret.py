@@ -1,0 +1,193 @@
+"""Tests for regret accounting (Sections 3, 4.1, Appendix A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regret import (
+    MultiTenantRegretTracker,
+    SingleTenantRegretTracker,
+    accuracy_loss_curve,
+)
+
+
+class TestSingleTenant:
+    def test_instantaneous_regret(self):
+        tracker = SingleTenantRegretTracker([0.5, 0.9, 0.7])
+        assert tracker.record(0) == pytest.approx(0.4)
+        assert tracker.record(1) == pytest.approx(0.0)
+        assert tracker.cumulative == pytest.approx(0.4)
+
+    def test_cost_aware_regret(self):
+        tracker = SingleTenantRegretTracker([0.5, 1.0])
+        tracker.record(0, cost=3.0)
+        tracker.record(1, cost=2.0)
+        assert tracker.cost_aware == pytest.approx(3.0 * 0.5)
+
+    def test_easeml_regret_uses_best_so_far(self):
+        tracker = SingleTenantRegretTracker([0.5, 0.9, 0.7])
+        tracker.record(1)  # best found immediately
+        tracker.record(0)  # regression in played arm
+        # classic regret counts the bad replay; ease.ml regret does not
+        assert tracker.cumulative == pytest.approx(0.4)
+        assert tracker.easeml == pytest.approx(0.0)
+
+    def test_easeml_bounded_by_classic(self):
+        rng = np.random.default_rng(0)
+        tracker = SingleTenantRegretTracker(rng.uniform(0, 1, 6))
+        for _ in range(30):
+            tracker.record(int(rng.integers(6)))
+        assert tracker.easeml <= tracker.cumulative + 1e-12
+
+    def test_accuracy_loss(self):
+        tracker = SingleTenantRegretTracker([0.5, 0.9])
+        assert tracker.accuracy_loss == pytest.approx(0.9)  # no model yet
+        tracker.record(0)
+        assert tracker.accuracy_loss == pytest.approx(0.4)
+        tracker.record(1)
+        assert tracker.accuracy_loss == pytest.approx(0.0)
+
+    def test_minimum_instantaneous(self):
+        tracker = SingleTenantRegretTracker([0.5, 0.9])
+        assert tracker.minimum_instantaneous == float("inf")
+        tracker.record(0)
+        assert tracker.minimum_instantaneous == pytest.approx(0.4)
+
+    def test_invalid_inputs(self):
+        tracker = SingleTenantRegretTracker([0.5, 0.9])
+        with pytest.raises(IndexError):
+            tracker.record(2)
+        with pytest.raises(ValueError):
+            tracker.record(0, cost=0.0)
+
+
+class TestMultiTenant:
+    def test_unserved_users_keep_paying(self):
+        tracker = MultiTenantRegretTracker([[0.5, 1.0], [0.3, 0.8]])
+        # Serve user 0 with its best arm: user 1 still pays mu*_1.
+        contribution = tracker.record(0, 1, cost=1.0)
+        assert contribution == pytest.approx(0.0 + 0.8)
+
+    def test_cost_multiplies_whole_round(self):
+        tracker = MultiTenantRegretTracker([[0.5, 1.0], [0.3, 0.8]])
+        contribution = tracker.record(0, 0, cost=2.0)
+        # r_0 = 0.5, r_1 = 0.8, C_t = 2.
+        assert contribution == pytest.approx(2.0 * 1.3)
+
+    def test_easeml_bounded_by_classic(self):
+        rng = np.random.default_rng(1)
+        means = [rng.uniform(0, 1, 4) for _ in range(3)]
+        tracker = MultiTenantRegretTracker(means)
+        for _ in range(40):
+            tracker.record(
+                int(rng.integers(3)), int(rng.integers(4)),
+                cost=float(rng.uniform(0.5, 2.0)),
+            )
+        assert tracker.cumulative_easeml <= tracker.cumulative + 1e-9
+
+    def test_regret_monotone_nondecreasing(self):
+        rng = np.random.default_rng(2)
+        tracker = MultiTenantRegretTracker([rng.uniform(0, 1, 3)] * 2)
+        history = []
+        for _ in range(20):
+            tracker.record(int(rng.integers(2)), int(rng.integers(3)))
+            history.append(tracker.cumulative)
+        assert all(b >= a - 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_accuracy_loss_reaches_zero_when_best_found(self):
+        tracker = MultiTenantRegretTracker([[0.5, 1.0], [0.3, 0.8]])
+        tracker.record(0, 1)
+        tracker.record(1, 1)
+        assert tracker.average_accuracy_loss() == pytest.approx(0.0)
+        assert tracker.max_accuracy_loss() == pytest.approx(0.0)
+
+    def test_accuracy_loss_before_any_serve(self):
+        tracker = MultiTenantRegretTracker([[0.5, 1.0], [0.3, 0.8]])
+        assert tracker.average_accuracy_loss() == pytest.approx(0.9)
+
+    def test_fcfs_example_from_paper(self):
+        """The Section 4.1 worked example, verbatim.
+
+        U1 = {90, 95, 100}, U2 = {70, 95, 100}; serving U1 twice gives
+        total regret 215 after round 2; alternating gives 150.
+        """
+        means = [[90.0 / 100, 95.0 / 100, 100.0 / 100],
+                 [70.0 / 100, 95.0 / 100, 100.0 / 100]]
+
+        fcfs = MultiTenantRegretTracker(means)
+        fcfs.record(0, 0)  # U1 tries M1 (90): r1=10, r2=100
+        fcfs.record(0, 1)  # U1 tries M2 (95): r1=5, r2=100
+        assert fcfs.cumulative * 100 == pytest.approx(215.0)
+
+        fair = MultiTenantRegretTracker(means)
+        fair.record(0, 0)  # round 1 identical: 110
+        fair.record(1, 0)  # U2 tries M1 (70): r1=10, r2=30
+        assert fair.cumulative * 100 == pytest.approx(150.0)
+
+    def test_validation(self):
+        tracker = MultiTenantRegretTracker([[0.5], [0.6]])
+        with pytest.raises(IndexError):
+            tracker.record(2, 0)
+        with pytest.raises(IndexError):
+            tracker.record(0, 1)
+        with pytest.raises(ValueError):
+            tracker.record(0, 0, cost=-1.0)
+        with pytest.raises(ValueError):
+            MultiTenantRegretTracker([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        serves=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 3)),
+            min_size=1,
+            max_size=40,
+        ),
+        seed=st.integers(0, 50),
+    )
+    def test_property_loss_bounded_by_instantaneous_regret(
+        self, serves, seed
+    ):
+        """Appendix A: l_{i,T} <= r_{i,T} for each user at all times."""
+        rng = np.random.default_rng(seed)
+        means = [rng.uniform(0, 1, 4) for _ in range(3)]
+        tracker = MultiTenantRegretTracker(means)
+        for user, arm in serves:
+            tracker.record(user, arm)
+            losses = tracker.accuracy_loss_per_user()
+            current = tracker.mu_star - tracker._last_reward
+            assert np.all(losses <= current + 1e-12)
+
+
+class TestAccuracyLossCurve:
+    def test_step_function_sampling(self):
+        grid = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        steps = np.array([1.5, 3.0])
+        losses = np.array([0.5, 0.2])
+        curve = accuracy_loss_curve(grid, steps, losses, initial_loss=0.9)
+        assert np.allclose(curve, [0.9, 0.9, 0.5, 0.2, 0.2])
+
+    def test_default_initial_loss(self):
+        curve = accuracy_loss_curve(
+            np.array([0.0, 2.0]), np.array([1.0]), np.array([0.4])
+        )
+        assert curve[0] == pytest.approx(0.4)
+
+    def test_rejects_decreasing_steps(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            accuracy_loss_curve(
+                np.array([0.0]), np.array([2.0, 1.0]), np.array([0.5, 0.4])
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_loss_curve(
+                np.array([0.0]), np.array([1.0]), np.array([0.5, 0.4])
+            )
+
+    def test_exact_checkpoint_inclusive(self):
+        curve = accuracy_loss_curve(
+            np.array([1.0]), np.array([1.0]), np.array([0.3]),
+            initial_loss=0.9,
+        )
+        assert curve[0] == pytest.approx(0.3)

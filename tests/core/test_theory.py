@@ -1,0 +1,114 @@
+"""Tests for the Theorem 1–3 bound calculators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    asymptotic_rate,
+    information_gain_term,
+    theorem1_bound,
+    theorem1_simple_regret_bound,
+    theorem2_bound,
+    theorem3_bound,
+)
+
+
+class TestInformationGain:
+    def test_formula(self):
+        value = information_gain_term([0.04, 0.01], noise=0.1)
+        expected = math.log1p(0.04 / 0.01) + math.log1p(0.01 / 0.01)
+        assert value == pytest.approx(expected)
+
+    def test_zero_variances_give_zero(self):
+        assert information_gain_term([0.0, 0.0], 0.1) == 0.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            information_gain_term([-0.1], 0.1)
+
+    def test_monotone_in_variance(self):
+        small = information_gain_term([0.01], 0.1)
+        large = information_gain_term([0.04], 0.1)
+        assert large > small
+
+
+class TestTheorem1:
+    def test_empty_run_zero(self):
+        assert theorem1_bound([], 1.0, 0.1, 1.0) == 0.0
+
+    def test_scaling_with_t(self):
+        variances = [0.04] * 10
+        short = theorem1_bound(variances[:5], 2.0, 0.1, 1.0)
+        long = theorem1_bound(variances, 2.0, 0.1, 1.0)
+        assert long > short
+
+    def test_cost_increases_bound(self):
+        variances = [0.04] * 10
+        cheap = theorem1_bound(variances, 2.0, 0.1, 1.0)
+        costly = theorem1_bound(variances, 2.0, 0.1, 4.0)
+        assert costly == pytest.approx(2.0 * cheap)
+
+    def test_simple_regret_decreases_with_cost_spent(self):
+        variances = [0.04] * 20
+        few = theorem1_simple_regret_bound(
+            variances[:5], [1.0] * 5, 2.0, 0.1, 1.0
+        )
+        # Same total info but more cost paid => tighter simple regret.
+        many = theorem1_simple_regret_bound(
+            variances[:5], [10.0] * 5, 2.0, 0.1, 1.0
+        )
+        assert many < few
+
+    def test_simple_regret_validates_lengths(self):
+        with pytest.raises(ValueError):
+            theorem1_simple_regret_bound([0.1], [1.0, 2.0], 1.0, 0.1, 1.0)
+
+
+class TestMultiTenantBounds:
+    def test_empty_runs_zero(self):
+        assert theorem2_bound([], 1.0, [], 1.0, 1.0) == 0.0
+        assert theorem3_bound([], 1.0, [], 1.0) == 0.0
+
+    def test_noise_count_validated(self):
+        with pytest.raises(ValueError, match="noise"):
+            theorem2_bound([[0.1]], 1.0, [0.1, 0.1], 1.0, 1.0)
+        with pytest.raises(ValueError, match="noise"):
+            theorem3_bound([[0.1]], 1.0, [0.1, 0.1], 1.0)
+
+    def test_theorem3_grows_with_users(self):
+        per_user = [[0.04] * 10]
+        one = theorem3_bound(per_user, 2.0, [0.1], 1.0)
+        three = theorem3_bound(per_user * 3, 2.0, [0.1] * 3, 1.0)
+        assert three > one
+
+    def test_theorem2_cost_ratio_dependence(self):
+        per_user = [[0.04] * 5] * 2
+        balanced = theorem2_bound(per_user, 2.0, [0.1, 0.1], 1.0, 1.0)
+        skewed = theorem2_bound(per_user, 2.0, [0.1, 0.1], 4.0, 1.0)
+        assert skewed > balanced
+
+    def test_bounds_positive(self):
+        per_user = [[0.02, 0.01], [0.03]]
+        assert theorem2_bound(per_user, 1.5, [0.1, 0.1], 2.0, 0.5) > 0
+        assert theorem3_bound(per_user, 1.5, [0.1, 0.1], 2.0) > 0
+
+
+class TestAsymptoticRate:
+    def test_formula(self):
+        value = asymptotic_rate(4, 100, 2.0)
+        expected = 4**1.5 * math.sqrt(2.0 * 100 * math.log(25))
+        assert value == pytest.approx(expected)
+
+    def test_regret_free_property(self):
+        """R_T / T -> 0: the rate divided by T vanishes."""
+        rates = [asymptotic_rate(4, T, 2.0) / T for T in (10**3, 10**5, 10**7)]
+        assert rates[0] > rates[1] > rates[2]
+        assert rates[2] < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            asymptotic_rate(0, 10, 1.0)
+        with pytest.raises(ValueError):
+            asymptotic_rate(1, 0, 1.0)

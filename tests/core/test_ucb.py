@@ -1,0 +1,149 @@
+"""Tests for single-tenant GP-UCB and the classic UCB1 baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.beta import AlgorithmOneBeta, ConstantBeta
+from repro.core.ucb import UCB1, GPUCB
+from repro.gp.regression import FiniteArmGP
+
+
+def make_ucb(n_arms=5, noise=0.05, costs=None, beta=None):
+    gp = FiniteArmGP(0.09 * np.eye(n_arms), noise=noise)
+    return GPUCB(gp, beta or AlgorithmOneBeta(n_arms), costs)
+
+
+class TestGPUCBSelection:
+    def test_initial_scores_symmetric(self):
+        ucb = make_ucb()
+        scores = ucb.ucb_scores()
+        assert np.allclose(scores, scores[0])
+
+    def test_selects_argmax(self):
+        ucb = make_ucb()
+        ucb.observe(2, 0.9)  # lifts arm 2's mean, shrinks its variance
+        scores = ucb.ucb_scores()
+        assert ucb.select() == int(np.argmax(scores))
+
+    def test_cost_scaling_downweights_expensive_arms(self):
+        cheap_first = make_ucb(costs=np.array([1.0, 100.0, 1.0, 1.0, 1.0]))
+        # All else equal, the expensive arm must not be chosen first.
+        assert cheap_first.select() != 1
+
+    def test_cost_aware_formula(self):
+        costs = np.array([1.0, 4.0])
+        gp = FiniteArmGP(np.eye(2), noise=0.1)
+        ucb = GPUCB(gp, ConstantBeta(1.0), costs)
+        mean, var = gp.posterior()
+        expected = mean + np.sqrt(1.0 / costs) * np.sqrt(var)
+        assert np.allclose(ucb.ucb_scores(), expected)
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_ucb(costs=np.array([1.0, 0.0, 1.0, 1.0, 1.0]))
+        with pytest.raises(ValueError, match="shape"):
+            make_ucb(costs=np.array([1.0, 1.0]))
+
+    def test_random_tie_break(self):
+        gp = FiniteArmGP(np.eye(3), noise=0.1)
+        ucb = GPUCB(gp, ConstantBeta(1.0), tie_break="random", seed=0)
+        picks = {ucb.select() for _ in range(50)}
+        assert picks == {0, 1, 2}
+
+    def test_unknown_tie_break_rejected(self):
+        gp = FiniteArmGP(np.eye(3))
+        with pytest.raises(ValueError, match="tie_break"):
+            GPUCB(gp, tie_break="weird")
+
+
+class TestGPUCBLoop:
+    def test_finds_best_arm(self, rng):
+        means = np.array([0.3, 0.5, 0.9, 0.4, 0.6])
+        ucb = make_ucb()
+        draw = lambda a: means[a] + 0.05 * rng.normal()
+        ucb.run(draw, 60)
+        assert ucb.recommend() == 2
+
+    def test_records_lengths_consistent(self, rng):
+        ucb = make_ucb()
+        ucb.run(lambda a: rng.normal(0.5, 0.1), 20)
+        assert len(ucb.arms_played) == 20
+        assert len(ucb.selected_variances) == 20
+        assert len(ucb.selected_costs) == 20
+        assert len(ucb.betas_used) == 20
+        assert len(ucb.rewards_seen) == 20
+
+    def test_selected_variance_is_preupdate(self):
+        ucb = make_ucb()
+        prior_var = ucb.gp.posterior_variance(0)
+        ucb.observe(0, 0.5)
+        assert ucb.selected_variances[0] == pytest.approx(prior_var)
+
+    def test_best_observed(self):
+        ucb = make_ucb()
+        assert ucb.best_observed == -math.inf
+        ucb.observe(0, 0.4)
+        ucb.observe(1, 0.8)
+        ucb.observe(2, 0.6)
+        assert ucb.best_observed == 0.8
+
+    def test_best_ucb_upper_bounds_scores(self):
+        ucb = make_ucb()
+        ucb.observe(0, 0.7)
+        assert ucb.best_ucb() == pytest.approx(np.max(ucb.ucb_scores()))
+
+    def test_negative_rounds_rejected(self):
+        ucb = make_ucb()
+        with pytest.raises(ValueError):
+            ucb.run(lambda a: 0.5, -1)
+
+    def test_posterior_variance_of_played_arms_decreases(self, rng):
+        ucb = make_ucb()
+        ucb.run(lambda a: rng.normal(0.5, 0.05), 30)
+        variances = ucb.selected_variances
+        # Re-selected arms have smrunk variance: the running minimum of
+        # selected variances should trend down.
+        assert min(variances[-5:]) < max(variances[:5])
+
+
+class TestUCB1:
+    def test_plays_every_arm_once_first(self, rng):
+        ucb = UCB1(4)
+        arms = [ucb.step(lambda a: rng.normal())[0] for _ in range(4)]
+        assert sorted(arms) == [0, 1, 2, 3]
+
+    def test_converges_to_best_arm(self, rng):
+        means = np.array([0.2, 0.8, 0.5])
+        ucb = UCB1(3)
+        for _ in range(300):
+            ucb.step(lambda a: means[a] + 0.1 * rng.normal())
+        assert np.argmax(ucb.counts) == 1
+
+    def test_cost_scaling_shrinks_bonus(self):
+        ucb = UCB1(2, costs=np.array([1.0, 100.0]))
+        ucb.observe(0, 0.5)
+        ucb.observe(1, 0.5)
+        # Equal means: the cheap arm has the bigger bonus.
+        assert ucb.select() == 0
+
+    def test_rejects_bad_arm(self):
+        ucb = UCB1(2)
+        with pytest.raises(IndexError):
+            ucb.observe(5, 1.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            UCB1(0)
+        with pytest.raises(ValueError):
+            UCB1(2, costs=np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            UCB1(2, costs=np.array([1.0]))
+
+    def test_best_observed_tracking(self):
+        ucb = UCB1(2)
+        assert ucb.best_observed == -math.inf
+        ucb.observe(0, 0.3)
+        ucb.observe(1, 0.7)
+        assert ucb.best_observed == 0.7

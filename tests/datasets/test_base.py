@@ -1,0 +1,120 @@
+"""Tests for the quality/cost dataset abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ModelInfo, ModelSelectionDataset
+
+
+class TestValidation:
+    def test_quality_range_enforced(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            ModelSelectionDataset(
+                "bad", np.array([[1.5]]), np.array([[1.0]])
+            )
+
+    def test_cost_positive_enforced(self):
+        with pytest.raises(ValueError, match="positive"):
+            ModelSelectionDataset(
+                "bad", np.array([[0.5]]), np.array([[0.0]])
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSelectionDataset(
+                "bad", np.ones((2, 3)) * 0.5, np.ones((2, 2))
+            )
+
+    def test_model_info_count_enforced(self):
+        with pytest.raises(ValueError, match="ModelInfo"):
+            ModelSelectionDataset(
+                "bad",
+                np.ones((1, 2)) * 0.5,
+                np.ones((1, 2)),
+                models=[ModelInfo("only-one")],
+            )
+
+    def test_default_names_generated(self):
+        ds = ModelSelectionDataset(
+            "d", np.ones((2, 3)) * 0.5, np.ones((2, 3))
+        )
+        assert ds.user_names == ["user-0", "user-1"]
+        assert [m.name for m in ds.models] == [
+            "model-0", "model-1", "model-2"
+        ]
+
+
+class TestGroundTruth:
+    def test_best_quality_and_model(self, tiny_dataset):
+        assert tiny_dataset.best_quality(0) == 0.9
+        assert tiny_dataset.best_model(0) == 3
+        assert tiny_dataset.best_model(3) == 2
+
+    def test_best_qualities_vector(self, tiny_dataset):
+        assert np.allclose(
+            tiny_dataset.best_qualities(), [0.9, 0.85, 0.8, 0.95]
+        )
+
+    def test_total_cost(self, tiny_dataset):
+        assert tiny_dataset.total_cost() == pytest.approx(4 * 15.0)
+
+    def test_citations_and_years(self, tiny_dataset):
+        assert tiny_dataset.citations()[0] == 1000
+        assert tiny_dataset.years()[-1] == 2014
+
+
+class TestSubsetsAndSplits:
+    def test_subset_users(self, tiny_dataset):
+        sub = tiny_dataset.subset_users([2, 0])
+        assert sub.n_users == 2
+        assert np.allclose(sub.quality[0], tiny_dataset.quality[2])
+        assert sub.user_names == ["user-2", "user-0"]
+
+    def test_subset_validates_indices(self, tiny_dataset):
+        with pytest.raises(IndexError):
+            tiny_dataset.subset_users([5])
+
+    def test_split_partitions_users(self, tiny_dataset):
+        train, test = tiny_dataset.split_users(1, seed=0)
+        assert train.n_users == 3
+        assert test.n_users == 1
+        combined = sorted(train.user_names + test.user_names)
+        assert combined == sorted(tiny_dataset.user_names)
+
+    def test_split_seeded(self, tiny_dataset):
+        _, a = tiny_dataset.split_users(2, seed=7)
+        _, b = tiny_dataset.split_users(2, seed=7)
+        assert a.user_names == b.user_names
+
+    def test_split_bounds(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split_users(0)
+        with pytest.raises(ValueError):
+            tiny_dataset.split_users(4)
+
+    def test_subset_is_a_copy(self, tiny_dataset):
+        sub = tiny_dataset.subset_users([0])
+        sub.quality[0, 0] = 0.0
+        assert tiny_dataset.quality[0, 0] == 0.5
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self, tiny_dataset):
+        clone = ModelSelectionDataset.from_dict(tiny_dataset.to_dict())
+        assert clone.name == tiny_dataset.name
+        assert np.allclose(clone.quality, tiny_dataset.quality)
+        assert np.allclose(clone.cost, tiny_dataset.cost)
+        assert clone.models == tiny_dataset.models
+
+    def test_roundtrip_json_file(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        tiny_dataset.save_json(path)
+        clone = ModelSelectionDataset.load_json(path)
+        assert np.allclose(clone.quality, tiny_dataset.quality)
+        assert clone.user_names == tiny_dataset.user_names
+
+    def test_statistics_fields(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert stats["n_users"] == 4
+        assert stats["n_models"] == 5
+        assert stats["cost_spread"] == pytest.approx(5.0)

@@ -1,0 +1,90 @@
+"""Tests for the calibrated 179CLASSIFIER simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.classifier179 import (
+    CLASSIFIER_FAMILIES,
+    load_179classifier,
+)
+
+
+class TestStructure:
+    def test_figure8_shape(self):
+        ds = load_179classifier(seed=0)
+        assert ds.n_users == 121
+        assert ds.n_models == 179
+
+    def test_family_sizes_sum_to_179(self):
+        assert sum(size for _, size, _, _ in CLASSIFIER_FAMILIES) == 179
+
+    def test_deterministic(self):
+        a = load_179classifier(seed=4)
+        b = load_179classifier(seed=4)
+        assert np.allclose(a.quality, b.quality)
+
+    def test_costs_are_uniform_01(self):
+        """The paper draws synthetic costs from U(0, 1)."""
+        ds = load_179classifier(seed=0)
+        assert np.all(ds.cost > 0.0)
+        assert np.all(ds.cost <= 1.0)
+        # Roughly uniform: mean near 0.5.
+        assert abs(ds.cost.mean() - 0.5) < 0.05
+
+
+class TestFamilyStructure:
+    def test_within_family_correlation_exceeds_between(self):
+        ds = load_179classifier(seed=0)
+        families = np.array([m.family for m in ds.models])
+        corr = np.corrcoef(ds.quality.T)
+        same = []
+        different = []
+        rng = np.random.default_rng(0)
+        for _ in range(3000):
+            i, j = rng.integers(0, ds.n_models, 2)
+            if i == j:
+                continue
+            (same if families[i] == families[j] else different).append(
+                corr[i, j]
+            )
+        assert np.mean(same) > np.mean(different)
+
+    def test_random_forest_family_strong(self):
+        """Delgado et al.'s headline: random forests lead on average."""
+        ds = load_179classifier(seed=0)
+        families = np.array([m.family for m in ds.models])
+        rf_mean = ds.quality[:, families == "random-forest"].mean()
+        overall = ds.quality.mean()
+        assert rf_mean > overall + 0.03
+
+    def test_weak_baseline_family_weak(self):
+        ds = load_179classifier(seed=0)
+        families = np.array([m.family for m in ds.models])
+        marginal = ds.quality[:, families == "marginal"].mean()
+        assert marginal < ds.quality.mean() - 0.1
+
+    def test_quality_valid(self):
+        ds = load_179classifier(seed=0)
+        assert np.all((ds.quality >= 0) & (ds.quality <= 1))
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            load_179classifier(n_users=0)
+
+
+def test_benchmark_suite_contains_figure8_rows():
+    from repro.datasets import load_benchmark_suite
+
+    suite = load_benchmark_suite(seed=0)
+    expected = {
+        "DEEPLEARNING": (22, 8),
+        "179CLASSIFIER": (121, 179),
+        "SYN(0.01,0.1)": (200, 100),
+        "SYN(0.01,1.0)": (200, 100),
+        "SYN(0.5,0.1)": (200, 100),
+        "SYN(0.5,1.0)": (200, 100),
+    }
+    assert set(suite) == set(expected)
+    for name, (n_users, n_models) in expected.items():
+        assert suite[name].n_users == n_users, name
+        assert suite[name].n_models == n_models, name

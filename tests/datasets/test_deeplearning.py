@@ -1,0 +1,95 @@
+"""Tests for the calibrated DEEPLEARNING trace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.deeplearning import (
+    DEEP_ARCHITECTURES,
+    architecture_names,
+    load_deeplearning,
+)
+
+
+class TestStructure:
+    def test_figure8_shape(self):
+        ds = load_deeplearning(seed=0)
+        assert ds.n_users == 22
+        assert ds.n_models == 8
+
+    def test_paper_model_names(self):
+        names = architecture_names()
+        assert set(names) == {
+            "NIN", "GoogLeNet", "ResNet-50", "AlexNet",
+            "BN-AlexNet", "ResNet-18", "VGG-16", "SqueezeNet",
+        }
+
+    def test_deterministic(self):
+        a = load_deeplearning(seed=3)
+        b = load_deeplearning(seed=3)
+        assert np.allclose(a.quality, b.quality)
+        assert np.allclose(a.cost, b.cost)
+
+    def test_seed_changes_matrix(self):
+        a = load_deeplearning(seed=1)
+        b = load_deeplearning(seed=2)
+        assert not np.allclose(a.quality, b.quality)
+
+
+class TestCalibration:
+    def test_metadata_matches_architectures(self):
+        ds = load_deeplearning(seed=0)
+        by_name = {m.name: m for m in ds.models}
+        assert by_name["AlexNet"].citations > by_name["SqueezeNet"].citations
+        assert by_name["SqueezeNet"].year == 2016
+        assert by_name["AlexNet"].year == 2012
+
+    def test_citation_order_alexnet_first(self):
+        ds = load_deeplearning(seed=0)
+        assert int(np.argmax(ds.citations())) == [
+            m.name for m in ds.models
+        ].index("AlexNet")
+
+    def test_vgg_is_most_expensive_on_average(self):
+        ds = load_deeplearning(seed=0)
+        mean_costs = ds.cost.mean(axis=0)
+        names = [m.name for m in ds.models]
+        assert names[int(np.argmax(mean_costs))] == "VGG-16"
+
+    def test_squeezenet_cheapest_on_average(self):
+        ds = load_deeplearning(seed=0)
+        mean_costs = ds.cost.mean(axis=0)
+        names = [m.name for m in ds.models]
+        assert names[int(np.argmin(mean_costs))] == "SqueezeNet"
+
+    def test_heterogeneous_winners(self):
+        """No single architecture wins for every user (the crossover
+        structure that cost-awareness exploits)."""
+        ds = load_deeplearning(seed=0)
+        winners = {ds.best_model(i) for i in range(ds.n_users)}
+        assert len(winners) >= 3
+
+    def test_cheap_model_often_near_best(self):
+        """For most users some model in the cheaper half is within 0.05
+        of the best — Section 5.3.2's justification for Figure 13."""
+        ds = load_deeplearning(seed=0)
+        rel = np.array([a.relative_cost for a in DEEP_ARCHITECTURES])
+        cheap = rel <= np.median(rel)
+        hits = 0
+        for i in range(ds.n_users):
+            best = ds.best_quality(i)
+            if np.max(ds.quality[i, cheap]) >= best - 0.05:
+                hits += 1
+        assert hits >= ds.n_users // 2
+
+    def test_quality_valid(self):
+        ds = load_deeplearning(seed=0)
+        assert np.all((ds.quality >= 0) & (ds.quality <= 1))
+        assert np.all(ds.cost > 0)
+
+    def test_custom_user_count(self):
+        ds = load_deeplearning(n_users=5, seed=0)
+        assert ds.n_users == 5
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            load_deeplearning(n_users=0)

@@ -1,0 +1,159 @@
+"""Tests for the synthetic generators (Section 5.1, Appendix B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    SYN_CONFIGS,
+    SyntheticSpec,
+    generate_full_synthetic,
+    generate_syn,
+    hidden_feature_covariance,
+    load_all_syn,
+)
+
+
+class TestHiddenFeatureCovariance:
+    def test_unit_diagonal(self, rng):
+        f = rng.uniform(0, 1, 10)
+        cov = hidden_feature_covariance(f, 0.5)
+        assert np.allclose(np.diag(cov), 1.0, atol=1e-6)
+
+    def test_closer_features_more_correlated(self):
+        cov = hidden_feature_covariance(np.array([0.0, 0.1, 0.9]), 0.5)
+        assert cov[0, 1] > cov[0, 2]
+
+    def test_larger_sigma_stronger_correlation(self):
+        f = np.array([0.0, 0.5])
+        weak = hidden_feature_covariance(f, 0.01)[0, 1]
+        strong = hidden_feature_covariance(f, 0.5)[0, 1]
+        assert strong > weak
+
+    def test_cholesky_factorizable(self, rng):
+        f = rng.uniform(0, 1, 20)
+        cov = hidden_feature_covariance(f, 0.5)
+        np.linalg.cholesky(cov)  # must not raise
+
+
+class TestGenerateSyn:
+    def test_shape_and_name(self):
+        ds = generate_syn(0.5, 1.0, n_users=20, n_models=10, seed=0)
+        assert ds.n_users == 20
+        assert ds.n_models == 10
+        assert ds.name == "SYN(0.5,1.0)"
+
+    def test_quality_clipped(self):
+        ds = generate_syn(0.5, 1.0, n_users=50, n_models=30, seed=0)
+        assert np.all(ds.quality >= 0.0)
+        assert np.all(ds.quality <= 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_syn(0.5, 0.1, n_users=10, n_models=5, seed=9)
+        b = generate_syn(0.5, 0.1, n_users=10, n_models=5, seed=9)
+        assert np.allclose(a.quality, b.quality)
+        assert np.allclose(a.cost, b.cost)
+
+    def test_baseline_groups_create_difficulty_spread(self):
+        ds = generate_syn(
+            0.5, 0.1, n_users=100, n_models=20, seed=1,
+            baseline_groups=[(0.9, 0.01), (0.2, 0.01)],
+        )
+        means = ds.quality.mean(axis=1)
+        easy = means[::2]
+        hard = means[1::2]
+        assert easy.mean() > hard.mean() + 0.3
+
+    def test_alpha_scales_model_term(self):
+        flat = generate_syn(0.5, 0.0, n_users=30, n_models=10, seed=2,
+                            baseline_groups=[(0.5, 0.0)])
+        # With alpha=0 and zero baseline spread, all qualities equal.
+        assert np.allclose(flat.quality, 0.5, atol=1e-9)
+
+    def test_stronger_correlation_smoother_columns(self):
+        """With larger σ_M, neighbouring models correlate more."""
+
+        def mean_abs_corr(ds):
+            c = np.corrcoef(ds.quality.T)
+            off = c[~np.eye(c.shape[0], dtype=bool)]
+            return np.mean(np.abs(off))
+
+        weak = generate_syn(0.01, 1.0, n_users=100, n_models=20, seed=3,
+                            baseline_groups=[(0.5, 0.0)])
+        strong = generate_syn(0.5, 1.0, n_users=100, n_models=20, seed=3,
+                              baseline_groups=[(0.5, 0.0)])
+        assert mean_abs_corr(strong) > mean_abs_corr(weak)
+
+    def test_costs_in_range(self):
+        ds = generate_syn(0.5, 1.0, n_users=10, n_models=5, seed=0,
+                          cost_low=0.2, cost_high=0.9)
+        assert np.all(ds.cost >= 0.2)
+        assert np.all(ds.cost <= 0.9)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_syn(0.0, 1.0)
+        with pytest.raises(ValueError):
+            generate_syn(0.5, 1.0, n_users=0)
+
+
+class TestLoadAllSyn:
+    def test_four_figure8_datasets(self):
+        suite = load_all_syn(seed=0, n_users=20, n_models=10)
+        assert set(suite) == {
+            f"SYN({sm:g},{al:.1f})" for sm, al in SYN_CONFIGS
+        }
+        for ds in suite.values():
+            assert ds.n_users == 20
+            assert ds.n_models == 10
+
+
+class TestFullSynthetic:
+    def test_spec_shape_accounting(self):
+        spec = SyntheticSpec(
+            baseline_groups=[(0.75, 0.05), (0.25, 0.05)],
+            model_groups=[(0.5, 30), (0.01, 20)],
+            user_groups=[0.5, 0.1],
+            users_per_combo=10,
+        )
+        assert spec.n_users == 2 * 2 * 10
+        assert spec.n_models == 50
+
+    def test_generated_dataset_matches_spec(self):
+        spec = SyntheticSpec(users_per_combo=5,
+                             model_groups=[(0.5, 12)])
+        ds = generate_full_synthetic(spec, seed=0)
+        assert ds.n_users == spec.n_users
+        assert ds.n_models == 12
+        assert np.all((ds.quality >= 0) & (ds.quality <= 1))
+
+    def test_model_group_families_recorded(self):
+        spec = SyntheticSpec(model_groups=[(0.5, 3), (0.01, 2)],
+                             users_per_combo=3)
+        ds = generate_full_synthetic(spec, seed=0)
+        families = [m.family for m in ds.models]
+        assert families == ["model-group-0"] * 3 + ["model-group-1"] * 2
+
+    def test_white_noise_perturbs(self):
+        quiet = generate_full_synthetic(
+            SyntheticSpec(sigma_w=0.0, users_per_combo=4,
+                          model_groups=[(0.5, 6)]),
+            seed=5,
+        )
+        noisy = generate_full_synthetic(
+            SyntheticSpec(sigma_w=0.3, users_per_combo=4,
+                          model_groups=[(0.5, 6)]),
+            seed=5,
+        )
+        assert not np.allclose(quiet.quality, noisy.quality)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_valid_dataset_for_any_seed(self, seed):
+        ds = generate_full_synthetic(
+            SyntheticSpec(users_per_combo=3, model_groups=[(0.3, 5)]),
+            seed=seed,
+        )
+        assert np.all((ds.quality >= 0.0) & (ds.quality <= 1.0))
+        assert np.all(ds.cost > 0.0)

@@ -1,0 +1,128 @@
+"""Tests for the clock, event log and job lifecycle."""
+
+import pytest
+
+from repro.engine.clock import SimClock
+from repro.engine.events import Event, EventKind, EventLog
+from repro.engine.jobs import Job, JobState
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.0) == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(1.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(4.0)
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(0.0, EventKind.FEED, app="a")
+        log.append(1.0, EventKind.INFER, app="a")
+        assert len(log) == 2
+
+    def test_time_ordering_enforced(self):
+        log = EventLog()
+        log.append(5.0, EventKind.FEED)
+        with pytest.raises(ValueError, match="precedes"):
+            log.append(4.0, EventKind.FEED)
+
+    def test_of_kind_filter(self):
+        log = EventLog()
+        log.append(0.0, EventKind.FEED)
+        log.append(1.0, EventKind.INFER)
+        log.append(2.0, EventKind.FEED)
+        assert len(log.of_kind(EventKind.FEED)) == 2
+
+    def test_kind_accepts_string(self):
+        log = EventLog()
+        event = log.append(0.0, "feed")
+        assert event.kind is EventKind.FEED
+
+    def test_between_window(self):
+        log = EventLog()
+        for t in range(5):
+            log.append(float(t), EventKind.CUSTOM, i=t)
+        window = log.between(1.0, 3.0)
+        assert [e.payload["i"] for e in window] == [1, 2]
+
+    def test_last(self):
+        log = EventLog()
+        assert log.last() is None
+        log.append(0.0, EventKind.FEED)
+        log.append(1.0, EventKind.INFER)
+        assert log.last().kind is EventKind.INFER
+        assert log.last(EventKind.FEED).time == 0.0
+        assert log.last(EventKind.REFINE) is None
+
+    def test_indexing_and_iteration(self):
+        log = EventLog()
+        log.append(0.0, EventKind.FEED)
+        assert isinstance(log[0], Event)
+        assert list(log)[0] is log[0]
+
+
+class TestJobLifecycle:
+    def make_job(self):
+        return Job(job_id=0, user=1, model=2, submit_time=0.0,
+                   gpu_time=4.0)
+
+    def test_happy_path(self):
+        job = self.make_job()
+        assert job.state is JobState.PENDING
+        job.start(1.0)
+        assert job.state is JobState.RUNNING
+        job.finish(3.0, reward=0.8)
+        assert job.state is JobState.FINISHED
+        assert job.duration == pytest.approx(2.0)
+        assert job.reward == 0.8
+
+    def test_cannot_finish_pending(self):
+        job = self.make_job()
+        with pytest.raises(ValueError):
+            job.finish(1.0, 0.5)
+
+    def test_cannot_start_twice(self):
+        job = self.make_job()
+        job.start(0.0)
+        with pytest.raises(ValueError):
+            job.start(1.0)
+
+    def test_finish_before_start_rejected(self):
+        job = self.make_job()
+        job.start(2.0)
+        with pytest.raises(ValueError, match="before"):
+            job.finish(1.0, 0.5)
+
+    def test_failure_records_reason(self):
+        job = self.make_job()
+        job.start(0.0)
+        job.fail(1.0, reason="OOM")
+        assert job.state is JobState.FAILED
+        assert job.detail["failure_reason"] == "OOM"
+
+    def test_duration_none_until_done(self):
+        job = self.make_job()
+        assert job.duration is None
+        job.start(0.0)
+        assert job.duration is None

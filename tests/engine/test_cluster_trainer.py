@@ -1,0 +1,117 @@
+"""Tests for the GPU pool and trainer interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import GPUPool
+from repro.engine.trainer import CallableTrainer, TraceTrainer
+
+
+class TestGPUPool:
+    def test_single_gpu_no_speedup(self):
+        assert GPUPool(1).speedup() == 1.0
+
+    def test_linear_scaling_limit(self):
+        assert GPUPool(24, scaling_efficiency=1.0).speedup() == 24.0
+
+    def test_zero_efficiency(self):
+        assert GPUPool(24, scaling_efficiency=0.0).speedup() == 1.0
+
+    def test_default_deployment(self):
+        pool = GPUPool()  # the paper's 24 TITAN X pool
+        assert pool.n_gpus == 24
+        assert pool.speedup() == pytest.approx(1 + 0.9 * 23)
+
+    def test_partial_allocation(self):
+        pool = GPUPool(8, scaling_efficiency=0.5)
+        assert pool.speedup(4) == pytest.approx(2.5)
+
+    def test_wall_clock_time(self):
+        pool = GPUPool(4, scaling_efficiency=1.0)
+        assert pool.wall_clock_time(8.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUPool(0)
+        with pytest.raises(ValueError):
+            GPUPool(4, scaling_efficiency=1.5)
+        with pytest.raises(ValueError):
+            GPUPool(4).speedup(5)
+
+
+class TestTraceTrainer:
+    def test_replays_matrix(self, tiny_dataset):
+        trainer = TraceTrainer(tiny_dataset)
+        reward, gpu_time = trainer.train(0, 3)
+        assert reward == tiny_dataset.quality[0, 3]
+        assert gpu_time == tiny_dataset.cost[0, 3]
+
+    def test_expected_costs(self, tiny_dataset):
+        trainer = TraceTrainer(tiny_dataset)
+        assert np.allclose(
+            trainer.expected_costs(2), tiny_dataset.cost[2]
+        )
+
+    def test_noise_seeded_and_clipped(self, tiny_dataset):
+        a = TraceTrainer(tiny_dataset, noise_std=0.2, seed=1)
+        b = TraceTrainer(tiny_dataset, noise_std=0.2, seed=1)
+        assert a.train(0, 0) == b.train(0, 0)
+        for _ in range(30):
+            reward, _ = a.train(0, 0)
+            assert 0.0 <= reward <= 1.0
+
+    def test_bounds(self, tiny_dataset):
+        trainer = TraceTrainer(tiny_dataset)
+        with pytest.raises(IndexError):
+            trainer.train(99, 0)
+        with pytest.raises(IndexError):
+            trainer.train(0, 99)
+        with pytest.raises(ValueError):
+            TraceTrainer(tiny_dataset, noise_std=-1.0)
+
+
+class TestCallableTrainer:
+    def make(self):
+        tasks = [
+            [lambda: (0.8, 2.0), lambda: (0.6, 1.0)],
+            [lambda: (0.5, 3.0), lambda: (0.9, 0.5)],
+        ]
+        estimates = [np.array([2.0, 1.0]), np.array([3.0, 0.5])]
+        return CallableTrainer(tasks, estimates)
+
+    def test_invokes_callable(self):
+        trainer = self.make()
+        assert trainer.train(0, 0) == (0.8, 2.0)
+        assert trainer.train(1, 1) == (0.9, 0.5)
+
+    def test_shapes(self):
+        trainer = self.make()
+        assert trainer.n_users == 2
+        assert trainer.n_models(0) == 2
+        assert np.allclose(trainer.expected_costs(1), [3.0, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="per user"):
+            CallableTrainer([[lambda: (0.5, 1.0)]], [])
+        with pytest.raises(ValueError, match="cost estimates"):
+            CallableTrainer(
+                [[lambda: (0.5, 1.0)]], [np.array([1.0, 2.0])]
+            )
+        with pytest.raises(ValueError, match="> 0"):
+            CallableTrainer(
+                [[lambda: (0.5, 1.0)]], [np.array([0.0])]
+            )
+
+    def test_nonpositive_gpu_time_rejected(self):
+        trainer = CallableTrainer(
+            [[lambda: (0.5, 0.0)]], [np.array([1.0])]
+        )
+        with pytest.raises(ValueError, match="gpu_time"):
+            trainer.train(0, 0)
+
+    def test_bounds(self):
+        trainer = self.make()
+        with pytest.raises(IndexError):
+            trainer.train(2, 0)
+        with pytest.raises(IndexError):
+            trainer.train(0, 5)

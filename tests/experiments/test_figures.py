@@ -1,0 +1,75 @@
+"""Smoke tests for the per-figure drivers (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    FigureReport,
+    figure6b,
+    figure8,
+    figure9,
+    figure13,
+    figure14,
+    figure15,
+)
+
+
+class TestFigure8:
+    def test_headline_table(self):
+        report = figure8(seed=0)
+        assert report.headline["DEEPLEARNING users"] == 22
+        assert report.headline["179CLASSIFIER models"] == 179
+        assert "provenance" in report.notes[0]
+
+    def test_render(self):
+        out = figure8(seed=0).render()
+        assert "Figure 8" in out
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure9(n_trials=3, seed=0)
+
+    def test_structure(self, report):
+        assert isinstance(report, FigureReport)
+        assert set(report.results) == {"DEEPLEARNING"}
+        result = report.results["DEEPLEARNING"]
+        assert set(result.strategies) == {
+            "easeml", "most_cited", "most_recent"
+        }
+
+    def test_headline_keys(self, report):
+        assert "avg speedup vs most_cited" in report.headline
+        assert "worst-case speedup vs most_recent" in report.headline
+
+    def test_render_contains_series(self, report):
+        out = report.render()
+        assert "% of total cost" in out
+        assert "easeml" in out
+
+
+class TestLesionFigures:
+    def test_figure13_strategies(self):
+        report = figure13(n_trials=3, seed=0)
+        result = report.results["DEEPLEARNING"]
+        assert set(result.strategies) == {"easeml", "easeml_no_cost"}
+        assert "easeml final" in report.headline
+
+    def test_figure14_fractions(self):
+        report = figure14(n_trials=2, seed=0, fractions=(0.5, 1.0))
+        assert set(report.results) == {"train=50%", "train=100%"}
+        assert "final loss (train=50%)" in report.headline
+
+    def test_figure15_headline(self):
+        report = figure15(n_trials=2, seed=0)
+        for key in ("greedy final", "round_robin final", "hybrid final"):
+            assert key in report.headline
+
+    def test_figure6b_headline(self):
+        report = figure6b(n_trials=2, seed=0)
+        assert "greedy final loss" in report.headline
+        # Losses are probabilities of accuracy mass: finite, in range.
+        for value in report.headline.values():
+            assert np.isfinite(value)
+            assert 0.0 <= value <= 1.0

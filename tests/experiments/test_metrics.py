@@ -1,0 +1,108 @@
+"""Tests for curve metrics (time-to-threshold, speedups, AUC)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import (
+    area_under_loss,
+    max_speedup,
+    speedup_at,
+    summarize_speedups,
+    time_to_threshold,
+)
+
+GRID = np.linspace(0.0, 1.0, 11)
+FAST = np.array([0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.02, 0.02, 0.02, 0.02])
+SLOW = np.array([0.5, 0.48, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.1, 0.05, 0.02])
+
+
+class TestTimeToThreshold:
+    def test_first_crossing(self):
+        assert time_to_threshold(GRID, FAST, 0.1) == pytest.approx(0.4)
+        assert time_to_threshold(GRID, SLOW, 0.1) == pytest.approx(0.8)
+
+    def test_unreached_is_inf(self):
+        assert time_to_threshold(GRID, SLOW, 0.001) == math.inf
+
+    def test_already_below_at_zero(self):
+        assert time_to_threshold(GRID, FAST, 0.9) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            time_to_threshold(GRID, FAST[:5], 0.1)
+
+
+class TestSpeedupAt:
+    def test_ratio(self):
+        assert speedup_at(GRID, FAST, SLOW, 0.1) == pytest.approx(2.0)
+
+    def test_both_reach_the_floor(self):
+        # FAST bottoms at 0.02 (t=0.6), SLOW reaches 0.02 at t=1.0.
+        assert speedup_at(GRID, FAST, SLOW, 0.02) == pytest.approx(
+            1.0 / 0.6
+        )
+
+    def test_only_slow_fails_below_floor(self):
+        slow_floor = np.where(SLOW < 0.05, 0.05, SLOW)
+        assert speedup_at(GRID, FAST, slow_floor, 0.02) == math.inf
+
+    def test_neither_reaches_nan(self):
+        assert math.isnan(speedup_at(GRID, FAST, SLOW, 0.001))
+
+    def test_slow_never_reaches_inf(self):
+        slow = np.full_like(FAST, 0.5)
+        assert speedup_at(GRID, FAST, slow, 0.1) == math.inf
+
+    def test_both_instant(self):
+        assert speedup_at(GRID, FAST, SLOW, 0.6) == 1.0
+
+
+class TestMaxSpeedup:
+    def test_finds_band_maximum(self):
+        ratio, threshold = max_speedup(
+            GRID, FAST, SLOW, thresholds=[0.3, 0.1, 0.02]
+        )
+        # 0.3: 0.5/0.2=... t_fast(0.3)=0.2, t_slow(0.3)=0.5 -> 2.5
+        # 0.1: 0.8/0.4 = 2.0 ; 0.02: 1.0/0.6 = 1.67
+        assert ratio == pytest.approx(2.5)
+        assert threshold == pytest.approx(0.3)
+
+    def test_default_band_is_finite(self):
+        ratio, threshold = max_speedup(GRID, FAST, SLOW)
+        assert math.isfinite(ratio)
+        assert ratio >= 1.0
+
+    def test_identical_curves_speedup_one(self):
+        ratio, _ = max_speedup(GRID, FAST, FAST, thresholds=[0.1, 0.05])
+        assert ratio == pytest.approx(1.0)
+
+
+class TestAreaUnderLoss:
+    def test_lower_is_better(self):
+        assert area_under_loss(GRID, FAST) < area_under_loss(GRID, SLOW)
+
+    def test_constant_curve(self):
+        assert area_under_loss(GRID, np.full(11, 0.2)) == pytest.approx(
+            0.2
+        )
+
+    def test_degenerate_grid(self):
+        assert area_under_loss([0.0], [0.5]) == 0.0
+
+
+class TestSummarize:
+    def test_reference_excluded(self):
+        out = summarize_speedups(
+            GRID,
+            {"easeml": FAST, "rr": SLOW},
+            "easeml",
+            thresholds=[0.1],
+        )
+        assert set(out) == {"rr"}
+        assert out["rr"][0] == pytest.approx(2.0)
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            summarize_speedups(GRID, {"a": FAST}, "z")

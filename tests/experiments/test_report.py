@@ -1,0 +1,69 @@
+"""Tests for experiment-result serialisation."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate_syn
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.report import (
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    save_curves_csv,
+    save_result_json,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    dataset = generate_syn(0.5, 0.5, n_users=12, n_models=6, seed=0)
+    config = ExperimentConfig(
+        n_test_users=3, n_trials=2, budget_fraction=0.4,
+        n_checkpoints=7, base_seed=0,
+    )
+    return run_experiment(dataset, ["easeml", "random"], config)
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_curves(self, small_result):
+        clone = result_from_dict(result_to_dict(small_result))
+        assert clone.dataset_name == small_result.dataset_name
+        assert set(clone.strategies) == set(small_result.strategies)
+        for name in clone.strategies:
+            assert np.allclose(
+                clone.strategies[name].trial_curves,
+                small_result.strategies[name].trial_curves,
+            )
+
+    def test_roundtrip_preserves_config(self, small_result):
+        clone = result_from_dict(result_to_dict(small_result))
+        assert clone.config == small_result.config
+
+    def test_dict_is_json_safe(self, small_result):
+        json.dumps(result_to_dict(small_result))  # must not raise
+
+
+class TestFiles:
+    def test_json_file_roundtrip(self, small_result, tmp_path):
+        path = save_result_json(small_result, tmp_path / "r.json")
+        clone = load_result_json(path)
+        assert np.allclose(clone.grid, small_result.grid)
+        # Derived metrics identical after the round trip.
+        assert clone.speedups("easeml").keys() == {"random"}
+
+    def test_csv_structure(self, small_result, tmp_path):
+        path = save_curves_csv(small_result, tmp_path / "curves.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == [
+            "budget_fraction", "strategy", "mean_loss", "worst_loss"
+        ]
+        # one row per (checkpoint, strategy)
+        assert len(rows) - 1 == 7 * 2
+        strategies = {row[1] for row in rows[1:]}
+        assert strategies == {"easeml", "random"}
+        for row in rows[1:]:
+            assert 0.0 <= float(row[2]) <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for prior-covariance construction over models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gp.covariance import (
+    covariance_from_features,
+    empirical_model_covariance,
+    is_positive_semidefinite,
+    nearest_positive_definite,
+    scale_covariance,
+)
+from repro.gp.kernels import RBF
+
+
+class TestCovarianceFromFeatures:
+    def test_symmetric_psd(self, rng):
+        X = rng.normal(size=(7, 3))
+        cov = covariance_from_features(RBF(1.0), X)
+        assert np.allclose(cov, cov.T)
+        assert is_positive_semidefinite(cov)
+
+    def test_1d_features_promoted(self):
+        cov = covariance_from_features(RBF(1.0), np.array([0.0, 1.0]))
+        assert cov.shape == (2, 2)
+
+
+class TestEmpiricalModelCovariance:
+    def test_positive_definite_after_shrinkage(self, rng):
+        # More models than users: raw covariance is rank-deficient.
+        matrix = rng.normal(size=(4, 10))
+        cov = empirical_model_covariance(matrix, shrinkage=0.2)
+        assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_recovers_correlation_sign(self, rng):
+        base = rng.normal(size=200)
+        matrix = np.column_stack(
+            [base, base + 0.01 * rng.normal(size=200),
+             -base + 0.01 * rng.normal(size=200)]
+        )
+        cov = empirical_model_covariance(matrix, shrinkage=0.0)
+        assert cov[0, 1] > 0
+        assert cov[0, 2] < 0
+
+    def test_constant_column_gets_floor_variance(self, rng):
+        matrix = np.column_stack(
+            [np.full(30, 0.5), rng.normal(size=30)]
+        )
+        cov = empirical_model_covariance(matrix, shrinkage=0.0)
+        assert cov[0, 0] > 0
+
+    def test_requires_two_users(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            empirical_model_covariance(np.ones((1, 5)))
+
+    def test_shrinkage_bounds_validated(self, rng):
+        with pytest.raises(ValueError):
+            empirical_model_covariance(
+                rng.normal(size=(5, 3)), shrinkage=1.5
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        matrix=arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(3, 8), st.integers(2, 6)),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        ),
+        shrinkage=st.floats(0.05, 0.95),
+    )
+    def test_property_always_psd(self, matrix, shrinkage):
+        cov = empirical_model_covariance(matrix, shrinkage=shrinkage)
+        assert is_positive_semidefinite(cov, tolerance=1e-7)
+
+
+class TestNearestPositiveDefinite:
+    def test_clips_negative_eigenvalues(self):
+        bad = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        fixed = nearest_positive_definite(bad)
+        assert np.all(np.linalg.eigvalsh(fixed) > 0)
+
+    def test_already_pd_unchanged(self, rng):
+        A = rng.normal(size=(4, 4))
+        pd = A @ A.T + 4.0 * np.eye(4)
+        assert np.allclose(nearest_positive_definite(pd), pd, atol=1e-8)
+
+
+class TestScaleCovariance:
+    def test_mean_diagonal_targeted(self, rng):
+        A = rng.normal(size=(3, 3))
+        cov = A @ A.T + np.eye(3)
+        scaled = scale_covariance(cov, 0.25)
+        assert np.mean(np.diag(scaled)) == pytest.approx(0.25)
+
+    def test_none_is_copy(self, rng):
+        cov = np.eye(3)
+        out = scale_covariance(cov, None)
+        assert np.allclose(out, cov)
+        out[0, 0] = 5.0
+        assert cov[0, 0] == 1.0

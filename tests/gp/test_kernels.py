@@ -1,0 +1,250 @@
+"""Tests for repro.gp.kernels, incl. property-based PSD/gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gp.kernels import (
+    RBF,
+    ConstantKernel,
+    DotProduct,
+    Kernel,
+    Matern,
+    Product,
+    Sum,
+    WhiteKernel,
+    default_model_kernel,
+    squared_distances,
+)
+
+ALL_KERNELS = [
+    ConstantKernel(1.5),
+    WhiteKernel(0.3),
+    RBF(0.8),
+    Matern(1.2, nu=0.5),
+    Matern(1.2, nu=1.5),
+    Matern(1.2, nu=2.5),
+    DotProduct(0.7),
+    ConstantKernel(2.0) * RBF(1.1),
+    RBF(0.5) + WhiteKernel(0.1),
+]
+
+
+def feature_matrices():
+    return arrays(
+        dtype=float,
+        shape=st.tuples(
+            st.integers(2, 6), st.integers(1, 3)
+        ),
+        elements=st.floats(-3.0, 3.0, allow_nan=False),
+    )
+
+
+class TestSquaredDistances:
+    def test_zero_diagonal(self, rng):
+        X = rng.normal(size=(5, 3))
+        d2 = squared_distances(X)
+        assert np.allclose(np.diag(d2), 0.0)
+
+    def test_matches_naive(self, rng):
+        X = rng.normal(size=(4, 2))
+        Y = rng.normal(size=(3, 2))
+        d2 = squared_distances(X, Y)
+        naive = np.array(
+            [[np.sum((x - y) ** 2) for y in Y] for x in X]
+        )
+        assert np.allclose(d2, naive)
+
+    def test_never_negative(self, rng):
+        X = rng.normal(size=(6, 2)) * 1e-8
+        assert np.all(squared_distances(X) >= 0.0)
+
+
+class TestKernelBasics:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=repr)
+    def test_symmetry(self, kernel, rng):
+        X = rng.normal(size=(6, 2))
+        K = kernel(X)
+        assert np.allclose(K, K.T, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=repr)
+    def test_psd(self, kernel, rng):
+        X = rng.normal(size=(6, 2))
+        eigenvalues = np.linalg.eigvalsh(kernel(X))
+        assert np.all(eigenvalues >= -1e-8)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=repr)
+    def test_diag_consistency(self, kernel, rng):
+        X = rng.normal(size=(5, 2))
+        assert np.allclose(kernel.diag(X), np.diag(kernel(X)), atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=repr)
+    def test_cross_gram_shape(self, kernel, rng):
+        X = rng.normal(size=(4, 2))
+        Y = rng.normal(size=(7, 2))
+        assert kernel(X, Y).shape == (4, 7)
+
+    def test_1d_input_promoted(self):
+        K = RBF(1.0)(np.array([0.0, 1.0, 2.0]))
+        assert K.shape == (3, 3)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            RBF(1.0)(np.ones((2, 2, 2)))
+
+
+class TestIndividualKernels:
+    def test_rbf_unit_diagonal(self, rng):
+        X = rng.normal(size=(4, 3))
+        assert np.allclose(np.diag(RBF(2.0)(X)), 1.0)
+
+    def test_rbf_decays_with_distance(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = RBF(1.0)(X)
+        assert K[0, 1] > K[0, 2]
+
+    def test_matern_05_is_exponential(self):
+        X = np.array([[0.0], [2.0]])
+        K = Matern(1.0, nu=0.5)(X)
+        assert np.isclose(K[0, 1], np.exp(-2.0))
+
+    def test_matern_rejects_other_nu(self):
+        with pytest.raises(ValueError, match="nu"):
+            Matern(1.0, nu=2.0)
+
+    def test_matern_orders_toward_rbf(self):
+        # Larger nu is smoother: closer to the RBF value at moderate
+        # distance.
+        X = np.array([[0.0], [1.0]])
+        rbf = RBF(1.0)(X)[0, 1]
+        gaps = [
+            abs(Matern(1.0, nu=nu)(X)[0, 1] - rbf)
+            for nu in (0.5, 1.5, 2.5)
+        ]
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_white_kernel_off_diagonal_zero(self, rng):
+        X = rng.normal(size=(4, 2))
+        K = WhiteKernel(0.5)(X)
+        assert np.allclose(K, 0.5 * np.eye(4))
+
+    def test_white_kernel_cross_is_zero(self, rng):
+        X = rng.normal(size=(3, 2))
+        Y = rng.normal(size=(2, 2))
+        assert np.allclose(WhiteKernel(0.5)(X, Y), 0.0)
+
+    def test_dot_product_formula(self):
+        X = np.array([[1.0, 0.0], [0.0, 2.0]])
+        K = DotProduct(1.0)(X)
+        assert np.allclose(K, np.array([[2.0, 1.0], [1.0, 5.0]]))
+
+    def test_constant_kernel_value(self, rng):
+        X = rng.normal(size=(3, 2))
+        assert np.allclose(ConstantKernel(2.5)(X), 2.5)
+
+
+class TestHyperparameterPlumbing:
+    def test_theta_roundtrip(self):
+        kernel = ConstantKernel(2.0) * RBF(0.5)
+        theta = kernel.theta
+        clone = kernel.clone_with_theta(theta + np.log(2.0))
+        assert np.isclose(clone.left.constant_value, 4.0)
+        assert np.isclose(clone.right.length_scale, 1.0)
+        # The original is untouched.
+        assert np.isclose(kernel.left.constant_value, 2.0)
+
+    def test_fixed_parameters_excluded(self):
+        kernel = ConstantKernel(2.0, bounds=None) * RBF(0.5)
+        assert kernel.n_free_parameters == 1
+        assert kernel.bounds.shape == (1, 2)
+
+    def test_theta_shape_validation(self):
+        kernel = RBF(1.0)
+        with pytest.raises(ValueError, match="shape"):
+            kernel.theta = np.array([0.0, 1.0])
+
+    def test_scalar_multiplication_wraps_constant(self):
+        kernel = 2.0 * RBF(1.0)
+        assert isinstance(kernel, Product)
+        assert isinstance(kernel.left, ConstantKernel)
+
+    def test_scalar_addition_wraps_constant(self):
+        kernel = RBF(1.0) + 1.0
+        assert isinstance(kernel, Sum)
+
+    def test_invalid_combination_rejected(self):
+        with pytest.raises(TypeError):
+            RBF(1.0) * "nope"
+
+
+GRADIENT_KERNELS = [
+    ConstantKernel(1.3),
+    WhiteKernel(0.4),
+    RBF(0.7),
+    Matern(0.9, nu=0.5),
+    Matern(0.9, nu=1.5),
+    Matern(0.9, nu=2.5),
+    DotProduct(0.6),
+    ConstantKernel(1.1) * RBF(0.8),
+    ConstantKernel(0.9) * Matern(1.3, nu=1.5) + WhiteKernel(0.2),
+]
+
+
+class TestGradients:
+    @pytest.mark.parametrize("kernel", GRADIENT_KERNELS, ids=repr)
+    def test_matches_finite_differences(self, kernel, rng):
+        X = rng.normal(size=(5, 2))
+        K, grad = kernel.eval_with_gradient(X)
+        assert np.allclose(K, kernel(X), atol=1e-12)
+        theta = kernel.theta
+        eps = 1e-6
+        for j in range(len(theta)):
+            plus = theta.copy()
+            plus[j] += eps
+            minus = theta.copy()
+            minus[j] -= eps
+            numeric = (
+                kernel.clone_with_theta(plus)(X)
+                - kernel.clone_with_theta(minus)(X)
+            ) / (2.0 * eps)
+            assert np.allclose(numeric, grad[:, :, j], atol=1e-5), j
+
+    def test_gradient_stack_width(self, rng):
+        X = rng.normal(size=(3, 2))
+        kernel = ConstantKernel(1.0) * RBF(1.0) + WhiteKernel(0.1)
+        _, grad = kernel.eval_with_gradient(X)
+        assert grad.shape == (3, 3, 3)
+
+    def test_fixed_param_gradient_empty(self, rng):
+        X = rng.normal(size=(3, 2))
+        _, grad = ConstantKernel(1.0, bounds=None).eval_with_gradient(X)
+        assert grad.shape == (3, 3, 0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(X=feature_matrices(), length_scale=st.floats(0.1, 5.0))
+    def test_rbf_gram_psd_and_bounded(self, X, length_scale):
+        K = RBF(length_scale)(X)
+        assert np.all(K <= 1.0 + 1e-12)
+        assert np.all(np.linalg.eigvalsh(K) >= -1e-7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(X=feature_matrices())
+    def test_sum_of_kernels_is_sum_of_grams(self, X):
+        k1, k2 = RBF(1.0), DotProduct(0.5)
+        assert np.allclose((k1 + k2)(X), k1(X) + k2(X))
+
+    @settings(max_examples=30, deadline=None)
+    @given(X=feature_matrices())
+    def test_product_of_kernels_is_hadamard(self, X):
+        k1, k2 = RBF(1.0), ConstantKernel(2.0)
+        assert np.allclose((k1 * k2)(X), k1(X) * k2(X))
+
+
+def test_default_model_kernel_shape(rng):
+    kernel = default_model_kernel(0.04, 2.0)
+    X = rng.normal(size=(4, 3))
+    assert np.allclose(np.diag(kernel(X)), 0.04)

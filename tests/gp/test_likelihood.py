@@ -1,0 +1,141 @@
+"""Tests for log-marginal-likelihood computation and kernel fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gp.covariance import covariance_from_features
+from repro.gp.kernels import RBF, ConstantKernel
+from repro.gp.likelihood import (
+    FitResult,
+    fit_kernel,
+    fit_kernel_pooled,
+    log_marginal_likelihood,
+)
+from repro.gp.regression import FiniteArmGP
+
+
+class TestLogMarginalLikelihood:
+    def test_matches_finite_arm_gp(self, rng):
+        X = rng.normal(size=(5, 2))
+        kernel = ConstantKernel(1.0) * RBF(1.0)
+        cov = covariance_from_features(kernel, X)
+        gp = FiniteArmGP(cov, noise=0.2, jitter=1e-12)
+        arms = [0, 2, 4, 1]
+        y = [0.3, -0.1, 0.5, 0.2]
+        for arm, reward in zip(arms, y):
+            gp.update(arm, reward)
+        gram = cov[np.ix_(arms, arms)]
+        standalone = log_marginal_likelihood(
+            gram, np.array(y), 0.2, jitter=1e-12
+        )
+        assert standalone == pytest.approx(
+            gp.log_marginal_likelihood(), abs=1e-6
+        )
+
+    def test_univariate_gaussian_closed_form(self):
+        # One point: LML = log N(y; 0, k + σ²).
+        k, noise, y = 0.7, 0.3, 0.4
+        expected = (
+            -0.5 * y**2 / (k + noise**2)
+            - 0.5 * math.log(k + noise**2)
+            - 0.5 * math.log(2 * math.pi)
+        )
+        value = log_marginal_likelihood(
+            np.array([[k]]), np.array([y]), noise, jitter=0.0
+        )
+        assert value == pytest.approx(expected, abs=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            log_marginal_likelihood(np.eye(3), np.ones(2), 0.1)
+
+
+class TestFitKernel:
+    def test_fit_improves_lml(self, rng):
+        X = rng.normal(size=(25, 2))
+        true = ConstantKernel(2.0) * RBF(0.6)
+        cov = covariance_from_features(true, X)
+        y = rng.multivariate_normal(np.zeros(25), cov + 0.01 * np.eye(25))
+        template = ConstantKernel(1.0) * RBF(3.0)
+        start_lml = log_marginal_likelihood(template(X), y - y.mean(), 0.1)
+        result = fit_kernel(template, X, y, noise=0.1, seed=0, n_restarts=2)
+        assert isinstance(result, FitResult)
+        assert result.log_marginal_likelihood >= start_lml - 1e-6
+
+    def test_recovers_length_scale_roughly(self, rng):
+        X = np.linspace(-3, 3, 40).reshape(-1, 1)
+        true = RBF(0.5)
+        cov = true(X)
+        y = rng.multivariate_normal(np.zeros(40), cov + 1e-4 * np.eye(40))
+        result = fit_kernel(
+            ConstantKernel(1.0) * RBF(2.0),
+            X,
+            y,
+            noise=0.05,
+            seed=1,
+            n_restarts=2,
+        )
+        fitted_ls = result.kernel.right.length_scale
+        assert 0.15 < fitted_ls < 2.0
+
+    def test_template_not_mutated(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        template = ConstantKernel(1.0) * RBF(1.0)
+        theta_before = template.theta.copy()
+        fit_kernel(template, X, y, seed=0, n_restarts=0)
+        assert np.allclose(template.theta, theta_before)
+
+    def test_noise_can_be_fixed(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        result = fit_kernel(
+            ConstantKernel(1.0) * RBF(1.0),
+            X,
+            y,
+            noise=0.123,
+            optimize_noise=False,
+            seed=0,
+            n_restarts=0,
+        )
+        assert result.noise == pytest.approx(0.123)
+
+
+class TestFitKernelPooled:
+    def test_requires_targets(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError, match="at least one target"):
+            fit_kernel_pooled(RBF(1.0), X, [])
+
+    def test_target_length_validated(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError, match="length"):
+            fit_kernel_pooled(RBF(1.0), X, [np.ones(4)])
+
+    def test_pooled_beats_single_on_shared_structure(self, rng):
+        """More targets sharpen the fit toward the true length scale."""
+        X = np.linspace(-3, 3, 30).reshape(-1, 1)
+        true = RBF(0.7)
+        cov = true(X) + 1e-6 * np.eye(30)
+        targets = [
+            rng.multivariate_normal(np.zeros(30), cov) for _ in range(6)
+        ]
+        result = fit_kernel_pooled(
+            ConstantKernel(1.0) * RBF(5.0),
+            X,
+            targets,
+            noise=0.05,
+            seed=2,
+            n_restarts=1,
+        )
+        assert 0.2 < result.kernel.right.length_scale < 2.5
+
+    def test_restart_count_reported(self, rng):
+        X = rng.normal(size=(6, 1))
+        result = fit_kernel_pooled(
+            RBF(1.0), X, [rng.normal(size=6)], n_restarts=3, seed=0
+        )
+        # Template start + 3 restarts + heuristic starts.
+        assert result.n_restarts_used >= 4

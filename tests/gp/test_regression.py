@@ -1,0 +1,191 @@
+"""Tests for the finite-arm GP posterior (Algorithm 1 lines 6–7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.kernels import RBF, ConstantKernel
+from repro.gp.covariance import covariance_from_features
+from repro.gp.regression import FiniteArmGP
+
+
+def make_gp(n_arms=6, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_arms, 3))
+    cov = covariance_from_features(ConstantKernel(1.0) * RBF(1.5), X)
+    return FiniteArmGP(cov, noise=noise), cov, rng
+
+
+class TestConstruction:
+    def test_prior_posterior_is_prior(self):
+        gp, cov, _ = make_gp()
+        mean, var = gp.posterior()
+        assert np.allclose(mean, 0.0)
+        assert np.allclose(var, np.diag(cov))
+
+    def test_prior_mean_respected(self):
+        cov = np.eye(3)
+        gp = FiniteArmGP(cov, prior_mean=[0.5, 0.6, 0.7])
+        assert gp.posterior_mean(1) == pytest.approx(0.6)
+
+    def test_asymmetric_cov_rejected(self):
+        bad = np.array([[1.0, 0.5], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            FiniteArmGP(bad)
+
+    def test_wrong_mean_shape_rejected(self):
+        with pytest.raises(ValueError, match="prior_mean"):
+            FiniteArmGP(np.eye(3), prior_mean=[0.0, 1.0])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            FiniteArmGP(np.ones((2, 3)))
+
+
+class TestUpdates:
+    def test_observation_count(self):
+        gp, _, _ = make_gp()
+        gp.update(0, 0.5)
+        gp.update(3, 0.7)
+        assert gp.n_observations == 2
+        assert gp.observed_arms == (0, 3)
+        assert gp.observed_rewards == (0.5, 0.7)
+
+    def test_out_of_range_arm_rejected(self):
+        gp, _, _ = make_gp(n_arms=4)
+        with pytest.raises(IndexError):
+            gp.update(4, 0.5)
+        with pytest.raises(IndexError):
+            gp.update(-1, 0.5)
+
+    def test_nan_reward_rejected(self):
+        gp, _, _ = make_gp()
+        with pytest.raises(ValueError, match="finite"):
+            gp.update(0, float("nan"))
+
+    def test_observing_shrinks_variance(self):
+        gp, cov, _ = make_gp()
+        before = gp.posterior_variance(2)
+        gp.update(2, 0.8)
+        after = gp.posterior_variance(2)
+        assert after < before
+
+    def test_mean_moves_toward_observation(self):
+        gp, _, _ = make_gp(noise=0.01)
+        gp.update(1, 0.9)
+        assert gp.posterior_mean(1) == pytest.approx(0.9, abs=0.05)
+
+    def test_correlated_arm_learns_too(self):
+        # Two identical feature rows => perfectly correlated arms.
+        X = np.array([[0.0, 0.0], [0.0, 0.0], [10.0, 10.0]])
+        cov = covariance_from_features(RBF(1.0), X)
+        gp = FiniteArmGP(cov, noise=0.05)
+        gp.update(0, 0.8)
+        assert gp.posterior_mean(1) == pytest.approx(
+            gp.posterior_mean(0), abs=1e-6
+        )
+        # The distant arm stays at the prior.
+        assert abs(gp.posterior_mean(2)) < 0.05
+
+    def test_repeated_arm_observations_stable(self):
+        gp, _, _ = make_gp(noise=0.05)
+        for _ in range(50):
+            gp.update(0, 0.6)
+        assert gp.posterior_mean(0) == pytest.approx(0.6, abs=0.01)
+        assert np.isfinite(gp.posterior_variance()).all()
+
+
+class TestIncrementalMatchesRefit:
+    @pytest.mark.parametrize("noise", [0.01, 0.1, 0.5])
+    def test_posterior_agreement(self, noise):
+        gp, _, rng = make_gp(noise=noise, seed=3)
+        for _ in range(40):
+            gp.update(int(rng.integers(6)), float(rng.normal(0.5, 0.2)))
+        ref = gp.refit()
+        mean_a, var_a = gp.posterior()
+        mean_b, var_b = ref.posterior()
+        assert np.allclose(mean_a, mean_b, atol=1e-7)
+        assert np.allclose(var_a, var_b, atol=1e-7)
+
+    def test_lml_agreement(self):
+        gp, _, rng = make_gp(seed=5)
+        for _ in range(25):
+            gp.update(int(rng.integers(6)), float(rng.normal()))
+        assert gp.log_marginal_likelihood() == pytest.approx(
+            gp.refit().log_marginal_likelihood(), rel=1e-7, abs=1e-4
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arms=st.lists(st.integers(0, 4), min_size=1, max_size=30),
+        seed=st.integers(0, 100),
+    )
+    def test_property_incremental_equals_refit(self, arms, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(5, 2))
+        cov = covariance_from_features(RBF(1.0), X) + 0.01 * np.eye(5)
+        gp = FiniteArmGP(cov, noise=0.1)
+        for arm in arms:
+            gp.update(arm, float(rng.normal()))
+        ref = gp.refit()
+        mean_a, var_a = gp.posterior()
+        mean_b, var_b = ref.posterior()
+        assert np.allclose(mean_a, mean_b, atol=1e-6)
+        assert np.allclose(var_a, var_b, atol=1e-6)
+
+
+class TestPosteriorProperties:
+    def test_variance_never_negative(self):
+        gp, _, rng = make_gp(noise=0.01, seed=9)
+        for _ in range(80):
+            gp.update(int(rng.integers(6)), float(rng.normal()))
+        _, var = gp.posterior()
+        assert np.all(var >= 0.0)
+
+    def test_zero_noise_limit_interpolates(self):
+        gp, _, _ = make_gp(noise=1e-4)
+        gp.update(2, 0.73)
+        assert gp.posterior_mean(2) == pytest.approx(0.73, abs=1e-3)
+        assert gp.posterior_std(2) < 1e-2
+
+    def test_copy_is_independent(self):
+        gp, _, _ = make_gp()
+        gp.update(0, 0.5)
+        clone = gp.copy()
+        clone.update(1, 0.9)
+        assert gp.n_observations == 1
+        assert clone.n_observations == 2
+        assert gp.posterior_mean(1) != pytest.approx(
+            clone.posterior_mean(1)
+        )
+
+    def test_posterior_returns_copies(self):
+        gp, _, _ = make_gp()
+        mean, _ = gp.posterior()
+        mean[:] = 99.0
+        assert not np.allclose(gp.posterior_mean(), 99.0)
+
+    def test_lml_empty_is_zero(self):
+        gp, _, _ = make_gp()
+        assert gp.log_marginal_likelihood() == 0.0
+
+
+class TestAgainstClosedForm:
+    def test_single_observation_closed_form(self):
+        """One observation: posterior has the textbook 1-point form."""
+        cov = np.array([[1.0, 0.6], [0.6, 1.0]])
+        noise = 0.3
+        gp = FiniteArmGP(cov, noise=noise)
+        y = 0.8
+        gp.update(0, y)
+        denom = cov[0, 0] + noise**2
+        assert gp.posterior_mean(0) == pytest.approx(
+            cov[0, 0] / denom * y
+        )
+        assert gp.posterior_mean(1) == pytest.approx(
+            cov[1, 0] / denom * y
+        )
+        assert gp.posterior_variance(1) == pytest.approx(
+            cov[1, 1] - cov[1, 0] ** 2 / denom
+        )

@@ -1,0 +1,191 @@
+"""Tests for ml.base, ml.data and ml.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.base import (
+    accuracy_score,
+    check_X_y,
+    encode_labels,
+    one_hot,
+    softmax,
+    train_test_split,
+)
+from repro.ml.data import (
+    TASK_KINDS,
+    TaskSpec,
+    make_blobs,
+    make_circles,
+    make_moons,
+    make_sparse_highdim,
+    make_spirals,
+    make_task,
+    make_xor,
+)
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestBaseHelpers:
+    def test_accuracy_score(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_range_checked(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_encode_labels(self):
+        encoded, classes = encode_labels(np.array(["b", "a", "b"]))
+        assert list(classes) == ["a", "b"]
+        assert list(encoded) == [1, 0, 1]
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 3)) * 50)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(np.isfinite(probs))
+
+    def test_check_X_y_promotes_1d(self):
+        X = check_X_y(np.array([1.0, 2.0]))
+        assert X.shape == (2, 1)
+
+    def test_check_X_y_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.array([[np.nan]]))
+
+
+class TestTrainTestSplit:
+    def test_partition(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = rng.integers(0, 2, 20)
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            X, y, test_fraction=0.25, seed=0
+        )
+        assert X_tr.shape[0] == 15
+        assert X_te.shape[0] == 5
+        assert y_tr.shape[0] == 15
+        assert y_te.shape[0] == 5
+
+    def test_seeded(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.integers(0, 2, 10)
+        a = train_test_split(X, y, seed=1)
+        b = train_test_split(X, y, seed=1)
+        assert np.allclose(a[0], b[0])
+
+    def test_fraction_bounds(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.integers(0, 2, 10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=1.0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "maker",
+        [make_moons, make_circles, make_spirals, make_xor],
+    )
+    def test_binary_generators(self, maker):
+        X, y = maker(100, seed=0)
+        assert X.shape == (100, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_blobs_multiclass(self):
+        X, y = make_blobs(90, n_classes=3, seed=0)
+        assert X.shape == (90, 2)
+        assert set(np.unique(y)) == {0, 1, 2}
+
+    def test_blobs_separation_controls_difficulty(self):
+        from repro.ml.linear import RidgeClassifier
+
+        def accuracy(separation):
+            X, y = make_blobs(
+                200, n_classes=3, separation=separation, seed=3
+            )
+            return RidgeClassifier().fit(X, y).score(X, y)
+
+        assert accuracy(8.0) > accuracy(0.5)
+
+    def test_sparse_highdim_shape(self):
+        X, y = make_sparse_highdim(50, n_features=30, seed=0)
+        assert X.shape == (50, 30)
+
+    def test_sparse_highdim_validates(self):
+        with pytest.raises(ValueError):
+            make_sparse_highdim(50, n_features=5, n_informative=10)
+
+    def test_generators_deterministic(self):
+        a = make_moons(50, seed=5)
+        b = make_moons(50, seed=5)
+        assert np.allclose(a[0], b[0])
+
+
+class TestTaskSpec:
+    def test_all_kinds_instantiable(self):
+        for kind in TASK_KINDS:
+            X, y = make_task(TaskSpec(kind, 64, 0.4, seed=1))
+            assert X.shape[0] == 64
+            assert len(np.unique(y)) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("nonsense")
+        with pytest.raises(ValueError):
+            TaskSpec("blobs", difficulty=1.5)
+        with pytest.raises(ValueError):
+            TaskSpec("blobs", n_samples=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kind=st.sampled_from(TASK_KINDS),
+        difficulty=st.floats(0.0, 1.0),
+        seed=st.integers(0, 50),
+    )
+    def test_property_tasks_always_valid(self, kind, difficulty, seed):
+        X, y = make_task(TaskSpec(kind, 40, difficulty, seed=seed))
+        assert np.all(np.isfinite(X))
+        assert y.dtype.kind in "iu"
+
+
+class TestScalers:
+    def test_standard_scaler(self, rng):
+        X = rng.normal(5.0, 3.0, (100, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_feature(self):
+        X = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_minmax_scaler(self, rng):
+        X = rng.normal(size=(50, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0
+        assert Z.max() <= 1.0 + 1e-12
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_checked(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.normal(size=(5, 4)))

@@ -1,0 +1,213 @@
+"""Behavioural tests shared across all classifiers, plus specifics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import train_test_split
+from repro.ml.data import TaskSpec, make_blobs, make_task
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression, RidgeClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+ESTIMATOR_FACTORIES = {
+    "logreg": lambda: LogisticRegression(n_epochs=150),
+    "ridge": lambda: RidgeClassifier(),
+    "gnb": lambda: GaussianNB(),
+    "knn": lambda: KNeighborsClassifier(5),
+    "tree": lambda: DecisionTreeClassifier(max_depth=6),
+    "forest": lambda: RandomForestClassifier(12, max_depth=6, seed=0),
+    "svm": lambda: LinearSVM(n_epochs=12, seed=0),
+    "mlp": lambda: MLPClassifier((24,), n_epochs=80, seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def easy_task():
+    X, y = make_blobs(240, n_classes=3, separation=6.0, seed=0)
+    return train_test_split(X, y, test_fraction=0.25, seed=1)
+
+
+#: Linear one-vs-rest models suffer from class masking on 3 random
+#: Gaussian clouds; hold them to a softer bar than the non-linear ones.
+ACCURACY_FLOORS = {"ridge": 0.75, "svm": 0.72}
+
+
+@pytest.mark.parametrize("name", ESTIMATOR_FACTORIES, ids=str)
+class TestCommonBehaviour:
+    def test_beats_chance_on_easy_task(self, name, easy_task):
+        X_tr, X_te, y_tr, y_te = easy_task
+        model = ESTIMATOR_FACTORIES[name]()
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > ACCURACY_FLOORS.get(name, 0.85)
+
+    def test_predict_before_fit_rejected(self, name):
+        model = ESTIMATOR_FACTORIES[name]()
+        with pytest.raises(RuntimeError):
+            model.predict(np.ones((2, 2)))
+
+    def test_work_units_accumulate(self, name, easy_task):
+        X_tr, _, y_tr, _ = easy_task
+        model = ESTIMATOR_FACTORIES[name]()
+        assert model.work_units == 0.0
+        model.fit(X_tr, y_tr)
+        assert model.work_units > 0.0
+
+    def test_prediction_labels_come_from_training(self, name, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        model = ESTIMATOR_FACTORIES[name]()
+        # Shift the label alphabet: predictions must use it.
+        model.fit(X_tr, y_tr + 10)
+        predictions = model.predict(X_te)
+        assert set(np.unique(predictions)) <= {10, 11, 12}
+
+    def test_single_class_degenerates_gracefully(self, name):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.zeros(20, dtype=int)
+        model = ESTIMATOR_FACTORIES[name]()
+        model.fit(X, y)
+        assert np.all(model.predict(X) == 0)
+
+
+class TestLogisticRegression:
+    def test_predict_proba_simplex(self, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        model = LogisticRegression(n_epochs=100).fit(X_tr, y_tr)
+        probs = model.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(n_epochs=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+
+
+class TestRidge:
+    def test_decision_function_shape(self, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        model = RidgeClassifier().fit(X_tr, y_tr)
+        assert model.decision_function(X_te).shape == (
+            X_te.shape[0], 3
+        )
+
+
+class TestKNN:
+    def test_memorizes_training_set(self):
+        X = np.array([[0.0], [1.0], [5.0], [6.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNeighborsClassifier(1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(5).fit(np.ones((3, 1)), [0, 1, 0])
+
+    def test_feature_mismatch_rejected(self, easy_task):
+        X_tr, _, y_tr, _ = easy_task
+        model = KNeighborsClassifier(3).fit(X_tr, y_tr)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 9)))
+
+
+class TestGaussianNB:
+    def test_recovers_gaussian_classes(self, rng):
+        X = np.vstack([
+            rng.normal(-3, 1, (100, 2)),
+            rng.normal(3, 1, (100, 2)),
+        ])
+        y = np.repeat([0, 1], 100)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.95
+        assert np.allclose(model.theta_[0], [-3, -3], atol=0.5)
+
+    def test_prior_reflects_imbalance(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNB().fit(X, y)
+        assert model.class_log_prior_[0] > model.class_log_prior_[1]
+
+
+class TestDecisionTree:
+    def test_max_depth_respected(self, easy_task):
+        X_tr, _, y_tr, _ = easy_task
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X_tr, y_tr)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X_tr, y_tr)
+        assert shallow.n_nodes_ <= 3
+        assert deep.n_nodes_ > shallow.n_nodes_
+
+    def test_pure_leaves_on_separable_data(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_predict_proba_rows_sum_to_one(self, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        model = DecisionTreeClassifier(max_depth=4).fit(X_tr, y_tr)
+        probs = model.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_xor_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features="all")
+
+
+class TestRandomForest:
+    def test_seeded_reproducibility(self, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        a = RandomForestClassifier(8, max_depth=4, seed=3).fit(X_tr, y_tr)
+        b = RandomForestClassifier(8, max_depth=4, seed=3).fit(X_tr, y_tr)
+        assert np.array_equal(a.predict(X_te), b.predict(X_te))
+
+    def test_more_trees_more_work(self, easy_task):
+        X_tr, _, y_tr, _ = easy_task
+        small = RandomForestClassifier(4, max_depth=4).fit(X_tr, y_tr)
+        large = RandomForestClassifier(16, max_depth=4).fit(X_tr, y_tr)
+        assert large.work_units > small.work_units
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(0)
+
+
+class TestLinearSVMAndMLP:
+    def test_svm_binary_margins(self):
+        X = np.vstack([np.full((20, 2), -2.0), np.full((20, 2), 2.0)])
+        X += np.random.default_rng(0).normal(0, 0.1, X.shape)
+        y = np.repeat([0, 1], 20)
+        model = LinearSVM(n_epochs=20, seed=0).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_mlp_solves_xor_family(self):
+        X, y = make_task(TaskSpec("xor", 300, 0.1, seed=4))
+        model = MLPClassifier((32,), n_epochs=150, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(())
+        with pytest.raises(ValueError):
+            MLPClassifier((8,), n_epochs=0)
+        with pytest.raises(ValueError):
+            MLPClassifier((8,), batch_size=0)
+
+    def test_mlp_proba_simplex(self, easy_task):
+        X_tr, X_te, y_tr, _ = easy_task
+        model = MLPClassifier((16,), n_epochs=30, seed=0).fit(X_tr, y_tr)
+        probs = model.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)

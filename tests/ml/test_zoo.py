@@ -1,0 +1,91 @@
+"""Tests for the model zoo and live-trainer construction."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import TaskSpec
+from repro.ml.zoo import ModelZoo, ZooEntry, default_zoo
+
+
+class TestZooBasics:
+    def test_default_zoo_nonempty_unique(self):
+        zoo = default_zoo()
+        assert len(zoo) >= 10
+        assert len(set(zoo.names())) == len(zoo)
+
+    def test_lookup(self):
+        zoo = default_zoo()
+        entry = zoo["naive-bayes"]
+        assert entry.family == "bayesian"
+        assert "naive-bayes" in zoo
+        assert "quantum-cnn" not in zoo
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError, match="quantum"):
+            default_zoo()["quantum-cnn"]
+
+    def test_subset_preserves_order(self):
+        zoo = default_zoo()
+        sub = zoo.subset(["ridge", "knn-5"])
+        assert sub.names() == ["ridge", "knn-5"]
+
+    def test_metadata_vectors(self):
+        zoo = default_zoo()
+        assert zoo.citations().shape == (len(zoo),)
+        assert zoo.years().shape == (len(zoo),)
+
+    def test_duplicate_names_rejected(self):
+        entry = default_zoo()["ridge"]
+        with pytest.raises(ValueError, match="duplicate"):
+            ModelZoo([entry, entry])
+
+    def test_empty_zoo_rejected(self):
+        with pytest.raises(ValueError):
+            ModelZoo([])
+
+    def test_cost_estimates_positive_and_varied(self):
+        zoo = default_zoo()
+        costs = [e.cost_estimate(200, 10, 3) for e in zoo]
+        assert all(c > 0 for c in costs)
+        assert max(costs) / min(costs) > 100  # wide cost frontier
+
+
+class TestLiveTrainer:
+    @pytest.fixture(scope="class")
+    def trainer(self):
+        zoo = default_zoo().subset(
+            ["naive-bayes", "ridge", "tree-d4", "knn-5"]
+        )
+        specs = [
+            TaskSpec("blobs", 120, 0.3, seed=0),
+            TaskSpec("moons", 120, 0.3, seed=1),
+        ]
+        return zoo.build_trainer(specs, seed=0)
+
+    def test_shapes(self, trainer):
+        assert trainer.n_users == 2
+        assert trainer.n_models(0) == 4
+
+    def test_training_returns_valid_observation(self, trainer):
+        reward, cost = trainer.train(0, 0)
+        assert 0.0 <= reward <= 1.0
+        assert cost > 0.0
+
+    def test_repeated_training_is_stochastic_for_seeded_models(self):
+        zoo = default_zoo().subset(["forest-10"])
+        trainer = zoo.build_trainer(
+            [TaskSpec("moons", 150, 0.5, seed=0)], seed=0
+        )
+        rewards = {trainer.train(0, 0)[0] for _ in range(8)}
+        assert len(rewards) > 1  # fresh seeds per call
+
+    def test_estimates_track_measured_magnitude(self, trainer):
+        estimate = trainer.expected_costs(0)
+        for model in range(4):
+            _, measured = trainer.train(0, model)
+            ratio = measured / estimate[model]
+            assert 0.05 < ratio < 20.0, (model, ratio)
+
+    def test_good_model_beats_chance(self, trainer):
+        best = max(trainer.train(0, m)[0] for m in range(4))
+        assert best > 0.6

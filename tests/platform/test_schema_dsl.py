@@ -1,0 +1,174 @@
+"""Tests for the typed schemas and the Figure 2 DSL parser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.dsl import (
+    DSLSyntaxError,
+    parse_program,
+    program_from_shapes,
+    tokenize,
+)
+from repro.platform.schema import (
+    DataType,
+    NonRecField,
+    Program,
+    TensorType,
+    is_valid_field_name,
+    tensor,
+)
+
+
+class TestTensorType:
+    def test_shape_and_size(self):
+        t = TensorType((256, 256, 3))
+        assert t.rank == 3
+        assert t.size == 256 * 256 * 3
+        assert t.render() == "Tensor[256, 256, 3]"
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            TensorType(())
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorType((3, 0))
+
+
+class TestDataType:
+    def test_flat_size(self):
+        dt = DataType((tensor(4, 4), tensor(2)), ())
+        assert dt.flat_size == 18
+
+    def test_recursive_flag(self):
+        assert DataType((tensor(3),), ("next",)).is_recursive
+        assert not DataType((tensor(3),), ()).is_recursive
+
+    def test_duplicate_rec_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataType((), ("next", "next"))
+
+    def test_invalid_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            DataType((), ("Next",))  # uppercase not in [a-z0-9_]
+        with pytest.raises(ValueError):
+            NonRecField(TensorType((3,)), "BAD")
+
+    def test_field_name_validation(self):
+        assert is_valid_field_name("field_1")
+        assert not is_valid_field_name("")
+        assert not is_valid_field_name("Field")
+
+
+class TestParser:
+    def test_image_classification_example(self):
+        p = parse_program(
+            "{input: {[Tensor[256, 256, 3]], []}, "
+            "output: {[Tensor[3]], []}}"
+        )
+        assert p.input.tensor_shapes() == ((256, 256, 3),)
+        assert p.output.tensor_shapes() == ((3,),)
+        assert not p.input.is_recursive
+
+    def test_time_series_example(self):
+        p = parse_program(
+            "{input: {[Tensor[10]], [next]}, "
+            "output: {[Tensor[10]], [next]}}"
+        )
+        assert p.input.rec_fields == ("next",)
+        assert p.output.rec_fields == ("next",)
+
+    def test_named_fields(self):
+        p = parse_program(
+            "{input: {[field1 :: Tensor[8]], []}, "
+            "output: {[Tensor[2]], []}}"
+        )
+        assert p.input.tensors[0].name == "field1"
+
+    def test_multiple_tensors_and_recs(self):
+        p = parse_program(
+            "{input: {[Tensor[4], Tensor[2, 2]], [left, right]}, "
+            "output: {[Tensor[1]], []}}"
+        )
+        assert len(p.input.tensors) == 2
+        assert p.input.rec_fields == ("left", "right")
+
+    def test_whitespace_insensitive(self):
+        compact = parse_program(
+            "{input:{[Tensor[3]],[]},output:{[Tensor[2]],[]}}"
+        )
+        spaced = parse_program(
+            "{ input : { [ Tensor[ 3 ] ] , [ ] } , "
+            "output : { [ Tensor[ 2 ] ] , [ ] } }"
+        )
+        assert compact == spaced
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "{input: {[Tensor[3]], []}}",  # missing output
+            "{output: {[Tensor[3]], []}, input: {[Tensor[3]], []}}",
+            "{input: {[Tensor[]], []}, output: {[Tensor[2]], []}}",
+            "{input: {[Tensor[3]], []}, output: {[Tensor[2]], []}} junk",
+            "{input: {[Tensor[3]]}, output: {[Tensor[2]], []}}",
+            "{input: {[Tensor[3]], []}, output: {[Tensor[-2]], []}}",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises((DSLSyntaxError, ValueError)):
+            parse_program(bad)
+
+    def test_error_reports_position(self):
+        with pytest.raises(DSLSyntaxError, match="position"):
+            parse_program("{input: ???}")
+
+    def test_tokenize_kinds(self):
+        tokens = tokenize("{input: Tensor[3] :: , x}")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "lbrace", "input", "colon", "tensor", "lbracket", "int",
+            "rbracket", "dcolon", "comma", "ident", "rbrace",
+        ]
+
+
+class TestRoundTrip:
+    def test_render_parse_roundtrip_examples(self):
+        examples = [
+            program_from_shapes([256, 256, 3], [3]),
+            Program(
+                DataType((tensor(10),), ("next",)),
+                DataType((tensor(10),), ("next",)),
+            ),
+            Program(
+                DataType((tensor(4), tensor(2, 2)), ("left", "right")),
+                DataType((tensor(1),), ()),
+            ),
+        ]
+        for program in examples:
+            assert parse_program(program.render()) == program
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        in_shape=st.lists(st.integers(1, 64), min_size=1, max_size=3),
+        out_shape=st.lists(st.integers(1, 64), min_size=1, max_size=3),
+        rec=st.lists(
+            st.sampled_from(["next", "left", "right", "a0"]),
+            max_size=2,
+            unique=True,
+        ),
+    )
+    def test_property_roundtrip(self, in_shape, out_shape, rec):
+        program = Program(
+            DataType((tensor(*in_shape),), tuple(rec)),
+            DataType((tensor(*out_shape),), ()),
+        )
+        assert parse_program(program.render()) == program
+
+    def test_program_from_shapes_named(self):
+        p = program_from_shapes([5], [2], name="myapp")
+        assert p.name == "myapp"
+        # name is excluded from equality
+        assert p == program_from_shapes([5], [2])

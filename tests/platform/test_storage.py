@@ -1,0 +1,91 @@
+"""Tests for the shared example store (feed/refine backing)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.storage import ExampleStore, SharedStorage
+
+
+class TestExampleStore:
+    def test_add_and_len(self):
+        store = ExampleStore("app")
+        eid = store.add(np.ones(4), np.array([1.0, 0.0]))
+        assert len(store) == 1
+        assert eid == 0
+
+    def test_add_pairs(self):
+        store = ExampleStore()
+        ids = store.add_pairs([(np.ones(2), np.zeros(2))] * 3)
+        assert ids == [0, 1, 2]
+
+    def test_enable_disable(self):
+        store = ExampleStore()
+        store.add(np.ones(2), np.zeros(1))
+        store.add(np.ones(2), np.zeros(1))
+        store.set_enabled(0, False)
+        assert store.n_enabled == 1
+        assert not store.get(0).enabled
+        store.set_enabled(0, True)
+        assert store.n_enabled == 2
+
+    def test_enabled_arrays_filters(self):
+        store = ExampleStore()
+        store.add(np.array([1.0, 2.0]), np.array([1.0]))
+        store.add(np.array([3.0, 4.0]), np.array([0.0]))
+        store.set_enabled(0, False)
+        X, Y = store.enabled_arrays()
+        assert X.shape == (1, 2)
+        assert np.allclose(X[0], [3.0, 4.0])
+
+    def test_enabled_arrays_flattens(self):
+        store = ExampleStore()
+        store.add(np.ones((2, 2)), np.ones((1, 3)))
+        X, Y = store.enabled_arrays()
+        assert X.shape == (1, 4)
+        assert Y.shape == (1, 3)
+
+    def test_empty_enabled_rejected(self):
+        store = ExampleStore("empty")
+        with pytest.raises(ValueError, match="enabled"):
+            store.enabled_arrays()
+
+    def test_bad_id_rejected(self):
+        store = ExampleStore()
+        with pytest.raises(IndexError):
+            store.get(0)
+
+    def test_summary(self):
+        store = ExampleStore()
+        store.add(np.ones(1), np.ones(1))
+        store.add(np.ones(1), np.ones(1))
+        store.set_enabled(1, False)
+        assert store.summary() == {
+            "total": 2, "enabled": 1, "disabled": 1
+        }
+
+
+class TestSharedStorage:
+    def test_create_and_get(self):
+        shared = SharedStorage()
+        store = shared.create("app1")
+        assert shared.get("app1") is store
+        assert "app1" in shared
+
+    def test_duplicate_rejected(self):
+        shared = SharedStorage()
+        shared.create("app1")
+        with pytest.raises(ValueError, match="already"):
+            shared.create("app1")
+
+    def test_missing_rejected(self):
+        with pytest.raises(KeyError):
+            SharedStorage().get("ghost")
+
+    def test_totals(self):
+        shared = SharedStorage()
+        a = shared.create("a")
+        b = shared.create("b")
+        a.add(np.ones(1), np.ones(1))
+        b.add_pairs([(np.ones(1), np.ones(1))] * 2)
+        assert shared.total_examples() == 3
+        assert shared.names() == ["a", "b"]

@@ -1,0 +1,186 @@
+"""Tests for Figure 4 template matching and Figure 5 normalization."""
+
+import numpy as np
+import pytest
+
+from repro.platform.candidates import generate_candidates
+from repro.platform.dsl import parse_program, program_from_shapes
+from repro.platform.normalization import (
+    DEFAULT_KS,
+    NormalizationFunction,
+    default_normalization_family,
+    prescale_unit,
+)
+from repro.platform.schema import DataType, Program, tensor
+from repro.platform.templates import (
+    TEMPLATES,
+    WorkloadKind,
+    match_template,
+    matching_templates,
+)
+
+
+class TestTemplateTable:
+    def test_seven_templates_in_order(self):
+        kinds = [t.kind for t in TEMPLATES]
+        assert kinds == [
+            WorkloadKind.IMAGE_CLASSIFICATION,
+            WorkloadKind.IMAGE_RECOVERY,
+            WorkloadKind.TIMESERIES_CLASSIFICATION,
+            WorkloadKind.TIMESERIES_TRANSLATION,
+            WorkloadKind.TREE_CLASSIFICATION,
+            WorkloadKind.GENERAL_CLASSIFICATION,
+            WorkloadKind.GENERAL_AUTOENCODER,
+        ]
+
+    def test_image_classification_models(self):
+        template = TEMPLATES[0]
+        assert set(template.models) == {
+            "NIN", "GoogLeNet", "ResNet-50", "AlexNet",
+            "BN-AlexNet", "ResNet-18", "VGG-16", "SqueezeNet",
+        }
+
+
+class TestMatching:
+    def test_image_classification(self):
+        p = program_from_shapes([256, 256, 3], [3])
+        assert match_template(p).kind is WorkloadKind.IMAGE_CLASSIFICATION
+
+    def test_image_recovery(self):
+        p = program_from_shapes([64, 64, 3], [64, 64, 3])
+        assert match_template(p).kind is WorkloadKind.IMAGE_RECOVERY
+
+    def test_timeseries_classification(self):
+        p = parse_program(
+            "{input: {[Tensor[10]], [next]}, output: {[Tensor[4]], []}}"
+        )
+        assert (
+            match_template(p).kind
+            is WorkloadKind.TIMESERIES_CLASSIFICATION
+        )
+
+    def test_timeseries_translation(self):
+        p = parse_program(
+            "{input: {[Tensor[10]], [next]}, "
+            "output: {[Tensor[10]], [next]}}"
+        )
+        assert (
+            match_template(p).kind is WorkloadKind.TIMESERIES_TRANSLATION
+        )
+
+    def test_tree_classification(self):
+        p = parse_program(
+            "{input: {[Tensor[8]], [left, right]}, "
+            "output: {[Tensor[2]], []}}"
+        )
+        assert match_template(p).kind is WorkloadKind.TREE_CLASSIFICATION
+
+    def test_general_classification_fallback(self):
+        p = program_from_shapes([7], [3])  # rank-1 in, rank-1 out
+        assert (
+            match_template(p).kind is WorkloadKind.GENERAL_CLASSIFICATION
+        )
+
+    def test_general_autoencoder_fallback(self):
+        p = program_from_shapes([4, 4], [2, 2])
+        assert match_template(p).kind is WorkloadKind.GENERAL_AUTOENCODER
+
+    def test_top_to_bottom_priority(self):
+        """An image-classification-shaped program also matches the
+        general templates; the first (most specific) must win."""
+        p = program_from_shapes([32, 32, 3], [10])
+        matches = matching_templates(p)
+        assert len(matches) >= 2
+        assert matches[0].kind is WorkloadKind.IMAGE_CLASSIFICATION
+
+    def test_every_program_matches_something(self):
+        odd = Program(
+            DataType((tensor(2), tensor(3), tensor(4)), ("a", "b")),
+            DataType((tensor(2, 2, 2, 2),), ("z",)),
+        )
+        assert match_template(odd).kind is WorkloadKind.GENERAL_AUTOENCODER
+
+
+class TestNormalization:
+    def test_figure5_family_ks(self):
+        family = default_normalization_family()
+        assert tuple(f.k for f in family) == DEFAULT_KS
+
+    def test_formula_unscaled(self):
+        f = NormalizationFunction(0.5, rescale=False)
+        x = np.array([0.25])
+        # -x^{2k} + x^k with k=0.5: -(0.25^1) + 0.25^0.5 = 0.25
+        assert f(x)[0] == pytest.approx(0.25)
+
+    def test_rescaled_peak_is_one(self):
+        for k in DEFAULT_KS:
+            f = NormalizationFunction(k)
+            assert f(np.array([f.peak]))[0] == pytest.approx(1.0)
+
+    def test_endpoints_map_to_zero(self):
+        f = NormalizationFunction(0.4)
+        assert f(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert f(np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_output_range(self):
+        f = NormalizationFunction(0.6)
+        x = np.linspace(0, 1, 101)
+        out = f(x)
+        assert np.all(out >= -1e-12)
+        assert np.all(out <= 1.0 + 1e-12)
+
+    def test_input_range_enforced(self):
+        f = NormalizationFunction(0.5)
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            f(np.array([1.5]))
+
+    def test_duplicate_ks_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            default_normalization_family([0.2, 0.2])
+
+    def test_prescale_unit(self):
+        x = np.array([-5.0, 0.0, 15.0])
+        out = prescale_unit(x)
+        assert out[0] == 0.0
+        assert out[-1] == 1.0
+
+    def test_prescale_constant_input(self):
+        assert np.allclose(prescale_unit(np.full(4, 7.0)), 0.0)
+
+    def test_prescale_huge_dynamic_range(self):
+        """The astrophysics motivation: ten orders of magnitude."""
+        x = np.array([1e-5, 1.0, 1e5])
+        out = prescale_unit(x)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+
+class TestCandidates:
+    def test_image_program_gets_normalization_variants(self):
+        p = program_from_shapes([64, 64, 3], [5])
+        candidates = generate_candidates(p)
+        # 8 plain + 8 * 4 normalized
+        assert len(candidates) == 8 + 8 * len(DEFAULT_KS)
+        plain = [c for c in candidates if c.normalization is None]
+        assert len(plain) == 8
+
+    def test_tabular_program_gets_no_normalization(self):
+        p = program_from_shapes([7], [3])
+        candidates = generate_candidates(p)
+        assert all(c.normalization is None for c in candidates)
+        assert [c.base_model for c in candidates] == ["Bit-level-RNN"]
+
+    def test_normalization_can_be_disabled(self):
+        p = program_from_shapes([64, 64, 3], [5])
+        candidates = generate_candidates(p, include_normalization=False)
+        assert len(candidates) == 8
+
+    def test_candidate_names_unique(self):
+        p = program_from_shapes([64, 64, 3], [5])
+        names = [c.name for c in generate_candidates(p)]
+        assert len(set(names)) == len(names)
+
+    def test_candidate_name_format(self):
+        p = program_from_shapes([64, 64, 3], [5])
+        names = {c.name for c in generate_candidates(p)}
+        assert "NIN" in names
+        assert "NIN+norm(k=0.2)" in names

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_prints_figure8_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "DEEPLEARNING" in out
+        assert "179CLASSIFIER" in out
+        assert "SYN(0.5,1.0)" in out
+
+
+class TestFigure:
+    def test_figure8(self, capsys):
+        assert main(["figure", "8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_figure13_with_trials_and_out(self, capsys, tmp_path):
+        out_file = tmp_path / "fig13.txt"
+        code = main(
+            ["figure", "13", "--trials", "2", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "Figure 13" in out_file.read_text()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+
+class TestCompare:
+    def test_compare_with_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "curves.csv"
+        code = main(
+            [
+                "compare",
+                "--dataset", "DEEPLEARNING",
+                "--strategies", "easeml", "most_cited",
+                "--trials", "2",
+                "--budget", "0.1",
+                "--cost-aware",
+                "--json", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "easeml" in out
+        assert "speedup of easeml" in out
+        assert json_path.exists()
+        assert csv_path.exists()
+
+    def test_unknown_dataset_errors(self, capsys):
+        assert main(["compare", "--dataset", "NOPE", "--trials", "1"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--strategies", "psychic"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

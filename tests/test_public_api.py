@@ -1,0 +1,42 @@
+"""The top-level package surface stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_docstring_quickstart_runs():
+    """The workflow advertised in the package docstring works."""
+    result = repro.run_experiment(
+        repro.load_deeplearning(seed=0),
+        ["easeml", "most_cited"],
+        repro.ExperimentConfig(
+            n_trials=2, cost_aware=True, budget_fraction=0.10,
+            n_checkpoints=11,
+        ),
+    )
+    rendered = result.render()
+    assert "easeml" in rendered
+    speedups = result.speedups()
+    assert "most_cited" in speedups
+
+
+def test_subpackages_importable():
+    import repro.core
+    import repro.datasets
+    import repro.engine
+    import repro.experiments
+    import repro.gp
+    import repro.ml
+    import repro.platform
+    import repro.utils
+
+    assert repro.core.__doc__
+    assert repro.platform.__doc__

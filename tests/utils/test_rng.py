@@ -1,0 +1,92 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RandomState,
+    derive_seed,
+    permutation_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(RandomState(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = RandomState(42).integers(0, 1000, 10)
+        b = RandomState(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).integers(0, 10**9)
+        b = RandomState(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert RandomState(gen) is gen
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "fig9", 3) == derive_seed(42, "fig9", 3)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "fig9", 3) != derive_seed(42, "fig9", 4)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_path_not_concatenation(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_returns_nonnegative_int(self):
+        value = derive_seed(7, "anything")
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_and_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(0, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(0, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestPermutationWithoutReplacement:
+    def test_full_permutation(self):
+        result = permutation_without_replacement(
+            np.random.default_rng(0), range(10)
+        )
+        assert sorted(result) == list(range(10))
+
+    def test_subset_is_distinct(self):
+        result = permutation_without_replacement(
+            np.random.default_rng(0), range(10), size=4
+        )
+        assert len(result) == 4
+        assert len(set(result)) == 4
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_without_replacement(
+                np.random.default_rng(0), range(3), size=4
+            )

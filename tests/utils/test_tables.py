@@ -1,0 +1,77 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import (
+    ascii_series,
+    ascii_table,
+    format_float,
+    sparkline,
+)
+
+
+class TestFormatFloat:
+    def test_default_precision(self):
+        assert format_float(0.123456) == "0.1235"
+
+    def test_custom_precision(self):
+        assert format_float(1.0, 2) == "1.00"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        out = ascii_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "a" in out and "b" in out
+        assert "2.5000" in out
+        assert "x" in out
+
+    def test_title_rendered(self):
+        out = ascii_table(["a"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_alignment_width(self):
+        out = ascii_table(["col"], [["longvalue"]])
+        lines = out.splitlines()
+        # header line padded to widest cell
+        assert len(lines[0]) == len("longvalue")
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestAsciiSeries:
+    def test_basic_rendering(self):
+        out = ascii_series(
+            [0.0, 1.0, 2.0],
+            {"loss": [0.3, 0.2, 0.1]},
+            x_label="t",
+        )
+        assert "t" in out and "loss" in out
+        assert "0.1000" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_series([0.0, 1.0], {"s": [1.0]})
+
+    def test_thinning_keeps_endpoints(self):
+        x = list(range(100))
+        out = ascii_series(x, {"y": [float(v) for v in x]}, max_rows=10)
+        assert "99.0000" in out  # the final point survives thinning
+        assert "0.0000" in out
+
+
+class TestSparkline:
+    def test_constant_series(self):
+        assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_width_cap(self):
+        assert len(sparkline(list(range(200)), width=40)) == 40

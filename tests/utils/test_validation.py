@@ -1,0 +1,107 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_type,
+    check_vector,
+)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_one_sided(self):
+        assert check_in_range(5.0, "x", low=1.0) == 5.0
+        with pytest.raises(ValueError):
+            check_in_range(0.5, "x", low=1.0)
+
+
+class TestCheckMatrix:
+    def test_coerces_to_float_2d(self):
+        out = check_matrix([[1, 2], [3, 4]], "m")
+        assert out.dtype == float
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix([1, 2, 3], "m")
+
+    def test_square_constraint(self):
+        with pytest.raises(ValueError, match="square"):
+            check_matrix(np.ones((2, 3)), "m", square=True)
+
+    def test_shape_constraint_partial(self):
+        out = check_matrix(np.ones((2, 3)), "m", shape=(2, None))
+        assert out.shape == (2, 3)
+        with pytest.raises(ValueError):
+            check_matrix(np.ones((2, 3)), "m", shape=(3, None))
+
+    def test_rejects_nan(self):
+        bad = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix(bad, "m")
+
+
+class TestCheckVector:
+    def test_length_constraint(self):
+        out = check_vector([1.0, 2.0], "v", size=2)
+        assert out.shape == (2,)
+        with pytest.raises(ValueError):
+            check_vector([1.0, 2.0], "v", size=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.ones((2, 2)), "v")
