@@ -1,0 +1,112 @@
+"""Placement policies under one recorded workload: makespan vs regret.
+
+The same recorded arrival trace (Poisson job arrivals over the
+DEEPLEARNING matrices) is replayed through the discrete-event runtime
+under each placement discipline:
+
+* ``single``    — the paper's whole-pool-per-job policy;
+* ``dedicated`` — one GPU per user (the Section 5.3.2 alternative);
+* ``partition`` — Dorm-style dynamic equal-share (arXiv:1704.06738).
+
+The disciplines trade throughput for per-tenant latency: the shared
+pool burns through the queue fastest (lowest makespan), dedicated
+devices return *every* tenant something sooner under backlog (lowest
+time-averaged regret), and dynamic partitioning sits between, paying
+preemptions for its adaptivity.  Replaying the recorded trace twice
+must reproduce the execution event log bit for bit.
+"""
+
+from conftest import save_report
+
+from repro.datasets import load_deeplearning
+from repro.engine import GPUPool
+from repro.runtime import (
+    ClusterRuntime,
+    WorkloadGenerator,
+    events_to_jsonl,
+    make_placement,
+    makespan,
+    replay_trace,
+    time_averaged_regret,
+)
+from repro.utils.tables import ascii_table
+
+POLICIES = ("single", "dedicated", "partition")
+N_JOBS = 60
+N_GPUS = 8
+ARRIVAL_RATE = 4.0
+
+
+def _run(trace, policy):
+    runtime = ClusterRuntime(
+        GPUPool(N_GPUS, scaling_efficiency=0.9), make_placement(policy)
+    )
+    replay_trace(trace, runtime)
+    return runtime
+
+
+def test_placement_policies_on_recorded_trace(once):
+    dataset = load_deeplearning(seed=0)
+    trace = WorkloadGenerator.from_dataset(
+        dataset, arrival="poisson", rate=ARRIVAL_RATE, seed=0
+    ).generate(N_JOBS)
+
+    def run():
+        rows = []
+        for policy in POLICIES:
+            runtime = _run(trace, policy)
+            rows.append(
+                [
+                    policy,
+                    len(runtime.finished_jobs()),
+                    runtime.preemption_count,
+                    makespan(runtime.log),
+                    time_averaged_regret(
+                        runtime.log, dataset.best_qualities()
+                    ),
+                ]
+            )
+        return rows
+
+    rows = once(run)
+    save_report(
+        "runtime_placement",
+        ascii_table(
+            ["placement", "finished", "preemptions", "makespan",
+             "time-avg regret"],
+            rows,
+            title=f"Runtime placement comparison ({N_JOBS} jobs, "
+            f"{N_GPUS} GPUs, Poisson rate {ARRIVAL_RATE})",
+            precision=4,
+        ),
+    )
+
+    by_policy = {row[0]: row for row in rows}
+    # Every discipline drains the same recorded workload.
+    for row in rows:
+        assert row[1] == N_JOBS
+    # The three disciplines produce genuinely different schedules.
+    makespans = [row[3] for row in rows]
+    regrets = [row[4] for row in rows]
+    assert len(set(makespans)) == len(POLICIES)
+    assert len(set(regrets)) == len(POLICIES)
+    # Only the Dorm-style policy preempts; the other two are
+    # run-to-completion by construction.
+    assert by_policy["partition"][2] > 0
+    assert by_policy["single"][2] == 0
+    assert by_policy["dedicated"][2] == 0
+    # The shared pool's data-parallel speedup beats one-GPU-per-user
+    # throughput on the same workload.
+    assert by_policy["single"][3] < by_policy["dedicated"][3]
+
+
+def test_trace_replay_is_bit_for_bit():
+    dataset = load_deeplearning(seed=0)
+    trace = WorkloadGenerator.from_dataset(
+        dataset, arrival="poisson", rate=ARRIVAL_RATE, seed=0
+    ).generate(N_JOBS)
+    for policy in POLICIES:
+        first = events_to_jsonl(_run(trace, policy).log)
+        second = events_to_jsonl(_run(trace, policy).log)
+        assert first == second
+        assert first  # non-empty log

@@ -11,7 +11,8 @@ cover the common workflow:
    :mod:`repro.datasets`),
 2. schedule multi-tenant model selection (:mod:`repro.core`),
 3. execute on the simulated cluster or live trainers
-   (:mod:`repro.engine`, :mod:`repro.ml`),
+   (:mod:`repro.engine`, :mod:`repro.ml`), synchronously or on the
+   event-driven concurrent runtime (:mod:`repro.runtime`),
 4. reproduce the paper's evaluation (:mod:`repro.experiments`).
 
 Quickstart::
@@ -68,6 +69,14 @@ from repro.platform import (
     parse_program,
     program_from_shapes,
 )
+from repro.runtime import (
+    AsyncClusterOracle,
+    ClusterRuntime,
+    WorkloadGenerator,
+    WorkloadTrace,
+    make_placement,
+    replay_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -100,6 +109,13 @@ __all__ = [
     "ClusterOracle",
     "GPUPool",
     "TraceTrainer",
+    # runtime
+    "ClusterRuntime",
+    "AsyncClusterOracle",
+    "WorkloadGenerator",
+    "WorkloadTrace",
+    "make_placement",
+    "replay_trace",
     # gp
     "FiniteArmGP",
     "RBF",

@@ -10,6 +10,10 @@ Commands
 ``compare``
     Race a chosen set of strategies on a chosen dataset and print the
     loss curves and speedups.
+``runtime``
+    Run a workload (generated or replayed from a JSONL trace) on the
+    discrete-event cluster runtime under a chosen placement policy,
+    and optionally dump the workload trace and execution event log.
 """
 
 from __future__ import annotations
@@ -19,10 +23,23 @@ import sys
 from typing import List, Optional
 
 from repro.datasets import load_benchmark_suite
+from repro.engine import GPUPool
+from repro.engine.events import EventKind
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.experiments import figures as figure_drivers
 from repro.experiments.protocol import STRATEGY_NAMES
 from repro.experiments.report import save_curves_csv, save_result_json
+from repro.runtime import (
+    PLACEMENT_POLICIES,
+    ClusterRuntime,
+    WorkloadGenerator,
+    WorkloadTrace,
+    make_placement,
+    makespan,
+    replay_trace,
+    time_averaged_regret,
+    write_events_jsonl,
+)
 from repro.utils.tables import ascii_table
 
 _FIGURES = {
@@ -75,6 +92,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="save the raw result as JSON")
     cmp_parser.add_argument("--csv", type=str, default=None,
                             help="save the loss curves as CSV")
+
+    rt = sub.add_parser(
+        "runtime",
+        help="run a workload on the discrete-event cluster runtime",
+    )
+    rt.add_argument(
+        "--dataset", default="DEEPLEARNING",
+        help="Figure 8 dataset backing job costs/accuracies "
+        "(default: DEEPLEARNING)",
+    )
+    rt.add_argument(
+        "--policy", default="partition", choices=sorted(PLACEMENT_POLICIES),
+        help="device-placement policy (default: partition)",
+    )
+    rt.add_argument("--arrival", default="poisson",
+                    choices=["poisson", "deterministic"])
+    rt.add_argument("--rate", type=float, default=4.0,
+                    help="job arrivals per unit time (default 4.0)")
+    rt.add_argument("--jobs", type=int, default=40,
+                    help="number of job submissions (default 40)")
+    rt.add_argument("--n-gpus", type=int, default=24,
+                    help="pool size (default 24, as deployed)")
+    rt.add_argument("--scaling-efficiency", type=float, default=0.9)
+    rt.add_argument("--seed", type=int, default=0)
+    rt.add_argument("--trace-in", type=str, default=None,
+                    help="replay a recorded workload trace (JSONL)")
+    rt.add_argument("--trace-out", type=str, default=None,
+                    help="write the workload trace (JSONL)")
+    rt.add_argument("--events-out", type=str, default=None,
+                    help="write the execution event log (JSONL)")
     return parser
 
 
@@ -160,6 +207,74 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    suite = load_benchmark_suite(seed=args.seed)
+    if args.dataset not in suite:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from "
+            f"{sorted(suite)}",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = suite[args.dataset]
+    if args.trace_in:
+        try:
+            trace = WorkloadTrace.load(args.trace_in)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(
+                f"cannot load trace {args.trace_in!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        trace = WorkloadGenerator.from_dataset(
+            dataset, arrival=args.arrival, rate=args.rate, seed=args.seed
+        ).generate(args.jobs)
+    runtime = ClusterRuntime(
+        GPUPool(args.n_gpus, scaling_efficiency=args.scaling_efficiency),
+        make_placement(args.policy),
+    )
+    replay_trace(trace, runtime)
+
+    finished = runtime.finished_jobs()
+    span = makespan(runtime.log)
+    rows = [
+        ["jobs submitted", trace.n_jobs],
+        ["jobs finished", len(finished)],
+        ["jobs failed", len(runtime.failed_jobs())],
+        ["preemptions", runtime.preemption_count],
+        ["makespan", round(span, 4)],
+    ]
+    trace_users = trace.users()
+    if span > 0 and trace_users and max(trace_users) < dataset.n_users:
+        rows.append([
+            "time-averaged regret",
+            round(
+                time_averaged_regret(runtime.log, dataset.best_qualities()),
+                4,
+            ),
+        ])
+    print(
+        ascii_table(
+            ["metric", "value"],
+            rows,
+            title=f"runtime: {args.policy} placement on "
+            f"{args.dataset} workload",
+        )
+    )
+    if args.trace_out:
+        trace.save(args.trace_out)
+        print(f"workload trace written to {args.trace_out}")
+    if args.events_out:
+        write_events_jsonl(runtime.log, args.events_out)
+        n_failed = len(runtime.log.filter(EventKind.JOB_FAILED))
+        print(
+            f"event log ({len(runtime.log)} events, {n_failed} failures) "
+            f"written to {args.events_out}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -167,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats()
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "runtime":
+        return _cmd_runtime(args)
     return _cmd_compare(args)
 
 

@@ -2,17 +2,24 @@
 
 from __future__ import annotations
 
+import math
+
 
 class SimClock:
     """Monotonically advancing simulated time.
 
     Time is a float in arbitrary units (the benchmarks use "hours of
     AlexNet-equivalent GPU work").  The clock refuses to move
-    backwards, which catches double-accounting bugs in simulators.
+    backwards or to a non-finite instant, which catches
+    double-accounting bugs in simulators (``NaN < 0`` is False, so an
+    unchecked NaN delta would silently corrupt the clock forever).
     """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
+        start = float(start)
+        if not math.isfinite(start):
+            raise ValueError(f"start time must be finite, got {start}")
+        self._now = start
 
     @property
     def now(self) -> float:
@@ -22,6 +29,8 @@ class SimClock:
     def advance(self, delta: float) -> float:
         """Move forward by ``delta`` (must be ≥ 0); returns the new time."""
         delta = float(delta)
+        if not math.isfinite(delta):
+            raise ValueError(f"delta must be finite, got {delta}")
         if delta < 0:
             raise ValueError(f"cannot advance time by a negative delta {delta}")
         self._now += delta
@@ -30,6 +39,8 @@ class SimClock:
     def advance_to(self, timestamp: float) -> float:
         """Jump to an absolute ``timestamp`` (must be ≥ now)."""
         timestamp = float(timestamp)
+        if not math.isfinite(timestamp):
+            raise ValueError(f"timestamp must be finite, got {timestamp}")
         if timestamp < self._now:
             raise ValueError(
                 f"cannot move clock backwards: now={self._now}, "

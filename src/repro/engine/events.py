@@ -10,7 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
 
 
 class EventKind(str, Enum):
@@ -19,6 +28,11 @@ class EventKind(str, Enum):
     JOB_SUBMITTED = "job_submitted"
     JOB_STARTED = "job_started"
     JOB_FINISHED = "job_finished"
+    JOB_FAILED = "job_failed"
+    JOB_PREEMPTED = "job_preempted"
+    JOB_REQUEUED = "job_requeued"
+    USER_ARRIVED = "user_arrived"
+    USER_DEPARTED = "user_departed"
     MODEL_RETURNED = "model_returned"
     USER_PICKED = "user_picked"
     STRATEGY_SWITCHED = "strategy_switched"
@@ -73,8 +87,42 @@ class EventLog:
 
     def of_kind(self, kind: EventKind) -> List[Event]:
         """All events of one kind, in time order."""
-        kind = EventKind(kind)
-        return [e for e in self._events if e.kind is kind]
+        return self.filter(kind)
+
+    def filter(
+        self,
+        kind: Union[EventKind, str, Iterable[EventKind], None] = None,
+        *,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        **payload: Any,
+    ) -> List[Event]:
+        """Events matching a kind (or several), payload values and predicate.
+
+        ``kind`` may be a single :class:`EventKind` (or its string
+        value) or an iterable of them; keyword arguments must match the
+        event payload exactly (``log.filter(EventKind.JOB_FINISHED,
+        user=3)``).  The trace tooling in :mod:`repro.runtime.trace`
+        uses this to slice execution logs before serialising them.
+        """
+        if kind is None:
+            kinds = None
+        elif isinstance(kind, (EventKind, str)):
+            kinds = {EventKind(kind)}
+        else:
+            kinds = {EventKind(k) for k in kind}
+        out = []
+        for event in self._events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            if any(
+                key not in event.payload or event.payload[key] != value
+                for key, value in payload.items()
+            ):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
 
     def between(
         self, start: float, end: float, kind: Optional[EventKind] = None

@@ -82,7 +82,18 @@ class ClusterOracle(RewardOracle):
             self.clock.now, EventKind.JOB_STARTED, job_id=job.job_id,
             user=user, model=model, n_gpus=self.pool.n_gpus,
         )
-        reward, gpu_time = self.trainer.train(user, model)
+        try:
+            reward, gpu_time = self.trainer.train(user, model)
+        except Exception as exc:
+            # Trainer blew up (OOM, bad data, …): the job fails, the
+            # event log records it, and the error propagates so the
+            # caller can decide whether the run survives.
+            job.fail(self.clock.now, reason=str(exc))
+            self.log.append(
+                self.clock.now, EventKind.JOB_FAILED, job_id=job.job_id,
+                user=user, model=model, reason=str(exc),
+            )
+            raise
         job.gpu_time = gpu_time
         duration = self.pool.wall_clock_time(gpu_time)
         self.clock.advance(duration)

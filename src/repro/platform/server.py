@@ -250,6 +250,18 @@ class EaseMLServer:
         candidates.
     include_normalization:
         Expand image-shaped apps with the Figure 5 family.
+    runtime_placement:
+        Opt-in event-driven execution backend.  ``None`` (default)
+        keeps the seed's synchronous loop; a placement-policy name
+        (``"single"``, ``"dedicated"``, ``"partition"``) routes
+        training jobs through :class:`repro.runtime.ClusterRuntime`
+        via :class:`repro.runtime.AsyncClusterOracle`, so the
+        scheduler dispatches concurrently and absorbs results in
+        completion order.  Training outcomes are computed at dispatch
+        (the simulated job then occupies the cluster for its cost);
+        the shared clock and event log record the concurrent timeline.
+    n_gpus, scaling_efficiency:
+        Pool shape for the runtime backend (ignored when synchronous).
     """
 
     _STRATEGIES = ("hybrid", "greedy", "round_robin", "random")
@@ -264,6 +276,9 @@ class EaseMLServer:
         test_fraction: float = 0.3,
         include_normalization: bool = True,
         min_examples: int = 10,
+        runtime_placement: Optional[str] = None,
+        n_gpus: int = 24,
+        scaling_efficiency: float = 0.9,
         seed: SeedLike = 0,
     ) -> None:
         if strategy not in self._STRATEGIES:
@@ -271,6 +286,15 @@ class EaseMLServer:
                 f"strategy must be one of {self._STRATEGIES}, "
                 f"got {strategy!r}"
             )
+        if runtime_placement is not None:
+            from repro.runtime.placement import PLACEMENT_POLICIES
+
+            if runtime_placement not in PLACEMENT_POLICIES:
+                raise ValueError(
+                    f"runtime_placement must be None or one of "
+                    f"{sorted(PLACEMENT_POLICIES)}, "
+                    f"got {runtime_placement!r}"
+                )
         self.zoo = zoo if zoo is not None else default_zoo()
         self.strategy = strategy
         self.cost_aware = bool(cost_aware)
@@ -278,6 +302,9 @@ class EaseMLServer:
         self.test_fraction = float(test_fraction)
         self.include_normalization = bool(include_normalization)
         self.min_examples = int(min_examples)
+        self.runtime_placement = runtime_placement
+        self.n_gpus = int(n_gpus)
+        self.scaling_efficiency = float(scaling_efficiency)
         self._rng = RandomState(seed)
 
         self.storage = SharedStorage()
@@ -285,6 +312,7 @@ class EaseMLServer:
         self.clock = SimClock()
         self.log = EventLog()
         self._scheduler: Optional[MultiTenantScheduler] = None
+        self._runtime_oracle = None
         self._cost_estimates: List[np.ndarray] = []
         self._splits: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
 
@@ -395,11 +423,45 @@ class EaseMLServer:
                     prior_mean=np.full(len(app.live_candidates), 0.5),
                 )
             )
+        if self.runtime_placement is not None:
+            oracle = self._build_runtime_oracle()
         self._scheduler = MultiTenantScheduler(
             oracle, pickers, self._make_user_picker()
         )
 
-    def _train_candidate(self, user: int, model: int) -> Observation:
+    def _build_runtime_oracle(self):
+        """Route training through the event-driven cluster runtime."""
+        from repro.engine.cluster import GPUPool
+        from repro.engine.trainer import CallableTrainer
+        from repro.runtime.oracle import AsyncClusterOracle
+        from repro.runtime.placement import make_placement
+
+        def task(user: int, model: int):
+            def run() -> Tuple[float, float]:
+                observation = self._train_candidate(
+                    user, model, synchronous=False
+                )
+                return observation.reward, observation.cost
+
+            return run
+
+        tasks = [
+            [task(u, m) for m in range(len(app.live_candidates))]
+            for u, app in enumerate(self.apps)
+        ]
+        trainer = CallableTrainer(tasks, self._cost_estimates)
+        self._runtime_oracle = AsyncClusterOracle(
+            trainer,
+            GPUPool(self.n_gpus, scaling_efficiency=self.scaling_efficiency),
+            make_placement(self.runtime_placement),
+            clock=self.clock,
+            log=self.log,
+        )
+        return self._runtime_oracle
+
+    def _train_candidate(
+        self, user: int, model: int, *, synchronous: bool = True
+    ) -> Observation:
         app = self.apps[user]
         candidate = app.live_candidates[model]
         X_train, X_test, y_train, y_test = self._splits[user]
@@ -413,7 +475,11 @@ class EaseMLServer:
         estimator.fit(Xtr, y_train)
         accuracy = estimator.score(Xte, y_test)
         cost = max(estimator.work_units / 1e5, 1e-6)
-        self.clock.advance(cost)
+        if synchronous:
+            # The runtime backend advances the shared clock through its
+            # own completion events instead, and logs the concurrent
+            # timeline itself.
+            self.clock.advance(cost)
 
         improved = accuracy > app.best_accuracy
         if improved:
@@ -421,6 +487,8 @@ class EaseMLServer:
             app.best_candidate = candidate.name
             app._best_estimator = estimator
             app._best_transform = transform
+            # App-level improvement event, identical for both backends
+            # (the runtime additionally logs the per-job lifecycle).
             self.log.append(
                 self.clock.now, EventKind.MODEL_RETURNED, app=app.name,
                 candidate=candidate.name, accuracy=accuracy,
@@ -442,17 +510,34 @@ class EaseMLServer:
         max_steps: Optional[int] = None,
         cost_budget: Optional[float] = None,
     ) -> List[StepRecord]:
-        """Run the multi-tenant loop; returns the new step records."""
+        """Run the multi-tenant loop; returns the new step records.
+
+        With the synchronous backend steps execute one at a time; with
+        ``runtime_placement`` set, up to one job per app is in flight
+        on the simulated cluster and observations land in completion
+        order.
+        """
         if self._scheduler is None:
             self._prepare()
         before = self._scheduler.step_count
-        self._scheduler.run(max_steps=(
-            before + max_steps if max_steps is not None else None
-        ), cost_budget=(
-            self._scheduler.total_cost + cost_budget
-            if cost_budget is not None
-            else None
-        ))
+        if self._runtime_oracle is not None:
+            self._runtime_oracle.run_concurrent(
+                self._scheduler,
+                max_jobs=max_steps,
+                cost_budget=(
+                    self._scheduler.total_cost + cost_budget
+                    if cost_budget is not None
+                    else None
+                ),
+            )
+        else:
+            self._scheduler.run(max_steps=(
+                before + max_steps if max_steps is not None else None
+            ), cost_budget=(
+                self._scheduler.total_cost + cost_budget
+                if cost_budget is not None
+                else None
+            ))
         return self._scheduler.records[before:]
 
     @property

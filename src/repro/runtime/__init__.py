@@ -1,0 +1,72 @@
+"""Discrete-event cluster runtime: concurrency the seed engine lacks.
+
+The :mod:`repro.engine` substrate executes exactly one job at a time.
+This package is the event-driven runtime on top of it, the foundation
+for cluster dynamics the paper's Section 5.3.2 discussion only gestures
+at (and that Dorm, arXiv:1704.06738, and "No DNN Left Behind",
+arXiv:1901.06887, argue multi-tenant ML systems need):
+
+* :mod:`repro.runtime.queue` — the heap-based discrete-event kernel
+  queue, ordered by ``(time, seq)`` with deterministic FIFO
+  tie-breaking;
+* :mod:`repro.runtime.placement` — pluggable device-placement
+  policies: single-device (the paper), per-user dedicated devices, and
+  Dorm-style dynamic equal-share partitioning;
+* :mod:`repro.runtime.kernel` — :class:`ClusterRuntime`, a
+  preemption-capable executor multiplexing concurrent jobs over the
+  shared :class:`~repro.engine.cluster.GPUPool`;
+* :mod:`repro.runtime.workload` — Poisson/deterministic tenant
+  arrival/departure generation and JSONL trace record/replay;
+* :mod:`repro.runtime.oracle` — :class:`AsyncClusterOracle`, which
+  lets the :class:`~repro.core.multitenant.MultiTenantScheduler` keep
+  dispatching while jobs complete out of order;
+* :mod:`repro.runtime.trace` — execution-log JSONL serialisation plus
+  makespan / time-averaged-regret metrics for the placement benchmark.
+"""
+
+from repro.runtime.kernel import ClusterRuntime
+from repro.runtime.oracle import AsyncClusterOracle
+from repro.runtime.placement import (
+    PLACEMENT_POLICIES,
+    DedicatedDevicePlacement,
+    DynamicPartitionPlacement,
+    PlacementPolicy,
+    SingleDevicePlacement,
+    make_placement,
+)
+from repro.runtime.queue import EventQueue, ScheduledEvent
+from repro.runtime.trace import (
+    events_to_jsonl,
+    makespan,
+    read_events_jsonl,
+    time_averaged_regret,
+    write_events_jsonl,
+)
+from repro.runtime.workload import (
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadTrace,
+    replay_trace,
+)
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "PlacementPolicy",
+    "SingleDevicePlacement",
+    "DedicatedDevicePlacement",
+    "DynamicPartitionPlacement",
+    "PLACEMENT_POLICIES",
+    "make_placement",
+    "ClusterRuntime",
+    "AsyncClusterOracle",
+    "WorkloadGenerator",
+    "WorkloadItem",
+    "WorkloadTrace",
+    "replay_trace",
+    "events_to_jsonl",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "makespan",
+    "time_averaged_regret",
+]

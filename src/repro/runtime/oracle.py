@@ -1,0 +1,268 @@
+"""Async execution driver: the scheduler keeps dispatching while jobs run.
+
+The seed's :class:`~repro.engine.simulator.ClusterOracle` executes one
+job per ``observe`` call, so the multi-tenant loop only ever sees a
+fully synchronous cluster.  :class:`AsyncClusterOracle` runs the same
+trainer through the event-driven :class:`ClusterRuntime` instead:
+``run_concurrent`` drives a :class:`MultiTenantScheduler`'s pickers
+directly, submitting new jobs whenever dispatch slots are free and
+feeding observations back *in completion order* — which, under
+concurrent placement policies, is not submission order.  That is the
+regime where GREEDY/HYBRID user-picking meets genuine cluster
+concurrency (queueing delay, out-of-order returns, stale confidence
+bounds at dispatch time).
+
+``observe`` still satisfies the synchronous :class:`RewardOracle`
+contract (submit one job, run the kernel until it completes), so the
+class drops into every existing harness unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.multitenant import MultiTenantScheduler, RunResult, StepRecord
+from repro.core.oracles import Observation, RewardOracle
+from repro.engine.clock import SimClock
+from repro.engine.cluster import GPUPool
+from repro.engine.events import EventKind, EventLog
+from repro.engine.jobs import Job, JobState
+from repro.engine.trainer import Trainer
+from repro.runtime.kernel import ClusterRuntime
+from repro.runtime.placement import PlacementPolicy
+
+
+class AsyncClusterOracle(RewardOracle):
+    """RewardOracle executing jobs on the event-driven runtime.
+
+    Parameters
+    ----------
+    trainer:
+        Produces ``(reward, gpu_time)`` pairs.  Training outcomes are
+        computed at dispatch (trace-replay style) and revealed to the
+        scheduler only when the simulated job completes.
+    pool, policy, clock, log:
+        Forwarded to the underlying :class:`ClusterRuntime`.
+    max_in_flight:
+        Dispatch-ahead window for ``run_concurrent`` (default: one job
+        per tenant, capped by pool size).
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer,
+        pool: Optional[GPUPool] = None,
+        policy: Optional[PlacementPolicy] = None,
+        *,
+        clock: Optional[SimClock] = None,
+        log: Optional[EventLog] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        self.trainer = trainer
+        self.runtime = ClusterRuntime(pool, policy, clock=clock, log=log)
+        self.pool = self.runtime.pool
+        self.clock = self.runtime.clock
+        self.log = self.runtime.log
+        if max_in_flight is not None and int(max_in_flight) < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.max_in_flight = (
+            None if max_in_flight is None else int(max_in_flight)
+        )
+        #: Dispatches skipped because the picked tenant was busy.
+        self.stalled_picks = 0
+        # A busy-tenant pick deferred across run_concurrent calls, so
+        # budget-bounded runs never drop a stateful picker's choice.
+        self._deferred_user: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # RewardOracle interface (synchronous fallback)
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return self.trainer.n_users
+
+    def n_models(self, user: int) -> int:
+        return self.trainer.n_models(user)
+
+    def costs(self, user: int) -> np.ndarray:
+        # Same planning convention as the synchronous ClusterOracle:
+        # profiled GPU-time under the full-pool speedup.  Policies that
+        # slice the pool change realised durations, not the (relative)
+        # planning costs GP-UCB consumes.
+        return self.trainer.expected_costs(user) / self.pool.speedup()
+
+    def observe(self, user: int, model: int) -> Observation:
+        """Submit one job and run the kernel until it completes."""
+        self._check_pair(user, model)
+        try:
+            reward, gpu_time = self.trainer.train(user, model)
+        except Exception as exc:
+            # Training is computed at dispatch, so the failure happens
+            # before any Job exists; job_id is None (never absent) to
+            # keep the JOB_FAILED payload schema uniform.
+            self.log.append(
+                self.clock.now, EventKind.JOB_FAILED, job_id=None,
+                user=user, model=model, reason=str(exc),
+            )
+            raise
+        job = self.runtime.submit(user, model, gpu_time, reward)
+        while job.state not in (JobState.FINISHED, JobState.FAILED):
+            if not self.runtime.queue:
+                raise RuntimeError(
+                    f"runtime stalled before job {job.job_id} completed "
+                    f"(policy {self.runtime.policy.name!r} never "
+                    "allocated it devices)"
+                )
+            self.runtime.step()
+        self.log.append(
+            self.clock.now, EventKind.MODEL_RETURNED, user=user,
+            model=model, reward=job.reward,
+        )
+        return Observation(float(job.reward), self._service_time(job))
+
+    # ------------------------------------------------------------------
+    # The concurrent driver
+    # ------------------------------------------------------------------
+    def run_concurrent(
+        self,
+        scheduler: MultiTenantScheduler,
+        *,
+        max_jobs: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> RunResult:
+        """Drive the scheduler with out-of-order job completions.
+
+        Dispatch: while fewer than ``max_in_flight`` jobs are in
+        flight (and budgets permit), ask the user picker for a tenant
+        and its model picker for an arm, then submit the job to the
+        runtime.  A tenant keeps at most one job in flight — if the
+        picker selects a busy tenant, that pick is *deferred* (not
+        discarded, so stateful pickers like ROUNDROBIN keep their
+        documented sequence) and dispatch pauses until the next
+        completion (counted in :attr:`stalled_picks`).
+
+        Completion: each finished job is fed back exactly like a
+        synchronous :meth:`MultiTenantScheduler.step` — picker
+        observation, the Algorithm 2 line-6 recurrence, a
+        :class:`StepRecord` (with the job's *service time* as cost) and
+        the user picker's ``notify`` hook — but in completion order.
+
+        ``max_jobs`` counts new dispatches in this call;
+        ``cost_budget`` is an absolute ceiling on the scheduler's
+        cumulative cost.  Returns a :class:`RunResult` covering the
+        records appended by this call.
+        """
+        if max_jobs is None and cost_budget is None:
+            raise ValueError("provide max_jobs and/or cost_budget")
+        if scheduler.oracle is not self:
+            raise ValueError(
+                "scheduler was built against a different oracle"
+            )
+        window = max_in_flight or self.max_in_flight or max(
+            1, min(scheduler.n_users, self.pool.n_gpus)
+        )
+        records_before = len(scheduler.records)
+        in_flight = {}  # job_id -> (tenant, selection)
+        busy_users = set()
+        dispatched = 0
+
+        def may_dispatch() -> bool:
+            if len(in_flight) >= window:
+                return False
+            if max_jobs is not None and dispatched >= max_jobs:
+                return False
+            if cost_budget is not None and (
+                scheduler.total_cost >= cost_budget
+            ):
+                return False
+            return True
+
+        while True:
+            while may_dispatch():
+                if self._deferred_user is not None:
+                    user, self._deferred_user = self._deferred_user, None
+                else:
+                    user = scheduler.user_picker.pick(scheduler)
+                if not 0 <= user < scheduler.n_users:
+                    raise IndexError(
+                        f"user picker returned {user}, valid range "
+                        f"[0, {scheduler.n_users})"
+                    )
+                if user in busy_users:
+                    self._deferred_user = user
+                    self.stalled_picks += 1
+                    break
+                tenant = scheduler.tenants[user]
+                selection = tenant.picker.select()
+                reward, gpu_time = self.trainer.train(user, selection.arm)
+                job = self.runtime.submit(
+                    user, selection.arm, gpu_time, reward
+                )
+                in_flight[job.job_id] = (tenant, selection)
+                busy_users.add(user)
+                dispatched += 1
+            if not in_flight:
+                break
+            completed = self.runtime.run_until_next_completion()
+            if not completed:
+                raise RuntimeError(
+                    f"runtime stalled with {len(in_flight)} jobs in "
+                    f"flight (policy {self.runtime.policy.name!r})"
+                )
+            for job in completed:
+                if job.job_id not in in_flight:
+                    continue
+                tenant, selection = in_flight.pop(job.job_id)
+                busy_users.discard(job.user)
+                self._absorb(scheduler, tenant, selection, job)
+        return RunResult(
+            records=list(scheduler.records[records_before:]),
+            n_users=scheduler.n_users,
+        )
+
+    def _absorb(
+        self,
+        scheduler: MultiTenantScheduler,
+        tenant,
+        selection,
+        job: Job,
+    ) -> None:
+        cost = self._service_time(job)
+        tenant.picker.observe(selection.arm, job.reward)
+        tenant.absorb(
+            selection, job.reward, cost,
+            clamp_potential=scheduler.clamp_potential,
+        )
+        scheduler.step_count += 1
+        scheduler.total_cost += cost
+        record = StepRecord(
+            t=scheduler.step_count,
+            user=tenant.index,
+            arm=selection.arm,
+            reward=job.reward,
+            cost=cost,
+            cumulative_cost=scheduler.total_cost,
+            ucb_value=selection.ucb_value,
+            sigma_tilde=tenant.sigma_tilde,
+        )
+        scheduler.records.append(record)
+        self.log.append(
+            self.clock.now, EventKind.MODEL_RETURNED, user=tenant.index,
+            model=selection.arm, reward=job.reward,
+        )
+        scheduler.user_picker.notify(scheduler, record)
+
+    @staticmethod
+    def _service_time(job: Job) -> float:
+        """Wall-clock the job spent from first start to completion."""
+        if job.start_time is None or job.end_time is None:
+            return 0.0
+        return float(job.end_time - job.start_time)
+
+    def finished_jobs(self) -> List[Job]:
+        return self.runtime.finished_jobs()

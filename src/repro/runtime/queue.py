@@ -1,0 +1,105 @@
+"""The discrete-event priority queue at the heart of the runtime.
+
+A classic simulation kernel: events are ordered by ``(time, seq)``
+where ``seq`` is a monotonically increasing insertion counter, so two
+events scheduled for the same instant pop in FIFO order.  That makes
+every run of the kernel a *deterministic* function of the pushed
+events — the property the trace record/replay tooling relies on for
+bit-for-bit reproducibility.
+
+The queue also refuses time travel: once an event at time ``t`` has
+been popped, pushing an event earlier than ``t`` raises.  A runtime
+that schedules into the past has a causality bug; failing loudly beats
+silently reordering history.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.events import EventKind
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One future occurrence: a kind, a payload, and its slot in time.
+
+    ``seq`` is assigned by the queue at push time and provides the
+    deterministic tie-break for simultaneous events.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduledEvent(t={self.time:.4g}, #{self.seq}, "
+            f"{self.kind.value}, {self.payload})"
+        )
+
+
+class EventQueue:
+    """Heap-based future-event list with deterministic tie-breaking."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        start = float(start)
+        if not math.isfinite(start):
+            raise ValueError(f"start time must be finite, got {start}")
+        self._heap: List[Tuple[float, int, ScheduledEvent]] = []
+        self._seq = 0
+        self._horizon = start
+
+    @property
+    def horizon(self) -> float:
+        """Time of the latest event popped so far (the causal frontier)."""
+        return self._horizon
+
+    def push(
+        self, time: float, kind: EventKind, **payload: Any
+    ) -> ScheduledEvent:
+        """Schedule an event; ``time`` must not precede the horizon."""
+        time = float(time)
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        if time < self._horizon:
+            raise ValueError(
+                f"cannot schedule an event at t={time} before the "
+                f"causal horizon t={self._horizon} (time travel)"
+            )
+        event = ScheduledEvent(time, self._seq, EventKind(kind), dict(payload))
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest event (FIFO on time ties)."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        time, _, event = heapq.heappop(self._heap)
+        self._horizon = time
+        return event
+
+    def peek(self) -> Optional[ScheduledEvent]:
+        """The earliest event without removing it, or ``None``."""
+        return self._heap[0][2] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventQueue(pending={len(self._heap)}, "
+            f"horizon={self._horizon:.4g})"
+        )

@@ -1,0 +1,132 @@
+"""Execution-trace tooling: event-log JSONL and runtime metrics.
+
+A :class:`~repro.engine.events.EventLog` produced by the runtime is the
+authoritative record of a simulated run.  This module serialises logs
+to JSONL (so two runs can be diffed line-by-line — replaying a recorded
+workload trace must reproduce the execution log *bit for bit*) and
+derives the two numbers the placement benchmark compares:
+
+* **makespan** — when the last job finished;
+* **time-averaged regret** — the paper's "average accuracy loss",
+  integrated over the run: for each tenant, ``μ*_i − best_i(t)`` as a
+  step function of completions, averaged over time and tenants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.events import Event, EventKind, EventLog
+
+
+def _jsonify(value):
+    """Coerce numpy scalars (and containers of them) to JSON types."""
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def event_to_dict(event: Event) -> Dict:
+    """A stable dict form of one event (used for JSONL lines)."""
+    return {
+        "time": _jsonify(event.time),
+        "kind": event.kind.value,
+        "payload": _jsonify(event.payload),
+    }
+
+
+def events_to_jsonl(
+    log: EventLog,
+    kinds: Optional[Sequence[EventKind]] = None,
+) -> str:
+    """Serialise a log (optionally only some kinds) as sorted-key JSONL."""
+    events = log.filter(kinds) if kinds is not None else list(log)
+    return "".join(
+        json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+        for event in events
+    )
+
+
+def write_events_jsonl(
+    log: EventLog,
+    path: Union[str, Path],
+    kinds: Optional[Sequence[EventKind]] = None,
+) -> Path:
+    """Write the JSONL form of a log to ``path``."""
+    path = Path(path)
+    path.write_text(events_to_jsonl(log, kinds), encoding="utf-8")
+    return path
+
+
+def read_events_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Parse an events JSONL file back into dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def makespan(log: EventLog) -> float:
+    """Time of the last job completion (0.0 if nothing finished)."""
+    finished = log.filter(EventKind.JOB_FINISHED)
+    return float(finished[-1].time) if finished else 0.0
+
+
+def completion_curve(log: EventLog, user: int) -> List[tuple]:
+    """``(time, best reward so far)`` steps for one tenant."""
+    best = 0.0
+    curve = []
+    for event in log.filter(EventKind.JOB_FINISHED, user=user):
+        reward = float(event.payload.get("reward") or 0.0)
+        if reward > best:
+            best = reward
+            curve.append((float(event.time), best))
+    return curve
+
+
+def time_averaged_regret(
+    log: EventLog,
+    best_qualities: Sequence[float],
+    *,
+    horizon: Optional[float] = None,
+) -> float:
+    """Mean over tenants of ``∫ (μ*_i − best_i(t)) dt / horizon``.
+
+    ``best_qualities[i]`` is tenant ``i``'s best achievable accuracy
+    (``μ*_i``); ``best_i(t)`` is the best accuracy tenant ``i`` holds
+    at time ``t`` (0 before their first completion — the accuracy of
+    "no model").  The default horizon is the log's makespan.
+    """
+    if horizon is None:
+        horizon = makespan(log)
+    horizon = float(horizon)
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    losses = []
+    for user, target in enumerate(best_qualities):
+        target = float(target)
+        integral = 0.0
+        prev_time, prev_best = 0.0, 0.0
+        for time, best in completion_curve(log, user):
+            if time >= horizon:
+                break
+            integral += (time - prev_time) * (target - prev_best)
+            prev_time, prev_best = time, best
+        integral += (horizon - prev_time) * (target - prev_best)
+        losses.append(integral / horizon)
+    return float(np.mean(losses)) if losses else 0.0

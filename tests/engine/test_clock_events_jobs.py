@@ -33,6 +33,33 @@ class TestSimClock:
         with pytest.raises(ValueError, match="backwards"):
             clock.advance_to(4.0)
 
+    def test_advance_nan_rejected(self):
+        # Regression: float("nan") < 0 is False, so an unchecked NaN
+        # delta silently corrupted the clock to NaN forever.
+        clock = SimClock(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            clock.advance(float("nan"))
+        assert clock.now == 1.0
+
+    def test_advance_infinite_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="finite"):
+            clock.advance(float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            clock.advance(float("-inf"))
+        assert clock.now == 0.0
+
+    def test_advance_to_non_finite_rejected(self):
+        clock = SimClock(2.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                clock.advance_to(bad)
+        assert clock.now == 2.0
+
+    def test_non_finite_start_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            SimClock(float("nan"))
+
 
 class TestEventLog:
     def test_append_and_len(self):
@@ -81,6 +108,33 @@ class TestEventLog:
         assert isinstance(log[0], Event)
         assert list(log)[0] is log[0]
 
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.append(0.0, EventKind.JOB_FINISHED, user=0)
+        log.append(1.0, EventKind.JOB_FAILED, user=0)
+        log.append(2.0, EventKind.JOB_FINISHED, user=1)
+        assert len(log.filter(EventKind.JOB_FINISHED)) == 2
+        assert len(log.filter("job_failed")) == 1
+        assert len(log.filter()) == 3
+
+    def test_filter_by_multiple_kinds(self):
+        log = EventLog()
+        log.append(0.0, EventKind.JOB_FINISHED)
+        log.append(1.0, EventKind.JOB_FAILED)
+        log.append(2.0, EventKind.FEED)
+        both = log.filter([EventKind.JOB_FINISHED, EventKind.JOB_FAILED])
+        assert len(both) == 2
+
+    def test_filter_by_payload_and_predicate(self):
+        log = EventLog()
+        log.append(0.0, EventKind.JOB_FINISHED, user=0, reward=0.5)
+        log.append(1.0, EventKind.JOB_FINISHED, user=1, reward=0.9)
+        assert len(log.filter(EventKind.JOB_FINISHED, user=1)) == 1
+        good = log.filter(predicate=lambda e: e.payload["reward"] > 0.6)
+        assert len(good) == 1 and good[0].payload["user"] == 1
+        # A payload key an event lacks never matches.
+        assert log.filter(EventKind.JOB_FINISHED, missing=3) == []
+
 
 class TestJobLifecycle:
     def make_job(self):
@@ -126,3 +180,55 @@ class TestJobLifecycle:
         assert job.duration is None
         job.start(0.0)
         assert job.duration is None
+
+    def test_preempt_resume_cycle(self):
+        job = self.make_job()
+        job.start(0.0)
+        job.account_progress(1.5)
+        job.preempt(1.5)
+        assert job.state is JobState.PREEMPTED
+        assert job.preemptions == 1
+        assert job.remaining_gpu_time == pytest.approx(2.5)
+        job.resume(3.0)
+        assert job.state is JobState.RUNNING
+        job.finish(5.5, reward=0.7)
+        assert job.remaining_gpu_time == 0.0
+        assert job.work_done == job.gpu_time
+
+    def test_preempt_requires_running(self):
+        job = self.make_job()
+        with pytest.raises(ValueError, match="preempt"):
+            job.preempt(0.0)
+
+    def test_resume_requires_preempted(self):
+        job = self.make_job()
+        job.start(0.0)
+        with pytest.raises(ValueError, match="resume"):
+            job.resume(1.0)
+
+    def test_progress_clamped_to_gpu_time(self):
+        job = self.make_job()
+        job.start(0.0)
+        job.account_progress(100.0)
+        assert job.work_done == job.gpu_time
+        assert job.remaining_gpu_time == 0.0
+        with pytest.raises(ValueError, match="work"):
+            job.account_progress(-1.0)
+
+    def test_fail_from_pending_and_preempted(self):
+        queued = self.make_job()
+        queued.fail(1.0, reason="user departed")
+        assert queued.state is JobState.FAILED
+
+        preempted = self.make_job()
+        preempted.start(0.0)
+        preempted.preempt(1.0)
+        preempted.fail(2.0, reason="user departed")
+        assert preempted.state is JobState.FAILED
+
+    def test_cannot_fail_terminal_states(self):
+        job = self.make_job()
+        job.start(0.0)
+        job.finish(1.0, 0.5)
+        with pytest.raises(ValueError, match="fail"):
+            job.fail(2.0)

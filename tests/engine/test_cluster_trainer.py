@@ -38,6 +38,38 @@ class TestGPUPool:
         with pytest.raises(ValueError):
             GPUPool(4).speedup(5)
 
+    def test_partial_pool_speedup_bounds(self):
+        pool = GPUPool(8, scaling_efficiency=0.9)
+        assert pool.speedup(1) == 1.0
+        assert pool.speedup(8) == pool.speedup()
+        # Monotone in the number of devices used.
+        speedups = [pool.speedup(g) for g in range(1, 9)]
+        assert speedups == sorted(speedups)
+        assert all(1.0 <= s <= pool.speedup() for s in speedups)
+
+    def test_partial_pool_speedup_out_of_range(self):
+        pool = GPUPool(8)
+        with pytest.raises(ValueError, match="n_gpus_used"):
+            pool.speedup(0)
+        with pytest.raises(ValueError, match="n_gpus_used"):
+            pool.speedup(-1)
+        with pytest.raises(ValueError, match="n_gpus_used"):
+            pool.speedup(9)
+
+    def test_wall_clock_time_partial_pool(self):
+        pool = GPUPool(8, scaling_efficiency=1.0)
+        assert pool.wall_clock_time(8.0, n_gpus_used=2) == pytest.approx(4.0)
+        assert pool.wall_clock_time(8.0, n_gpus_used=1) == pytest.approx(8.0)
+
+    def test_wall_clock_time_zero_gpu_time(self):
+        pool = GPUPool(8, scaling_efficiency=0.9)
+        assert pool.wall_clock_time(0.0) == 0.0
+        assert pool.wall_clock_time(0.0, n_gpus_used=3) == 0.0
+
+    def test_wall_clock_time_negative_rejected(self):
+        with pytest.raises(ValueError, match="gpu_time"):
+            GPUPool(8).wall_clock_time(-1.0)
+
 
 class TestTraceTrainer:
     def test_replays_matrix(self, tiny_dataset):

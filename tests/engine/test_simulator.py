@@ -60,6 +60,30 @@ class TestClusterOracle:
         with pytest.raises(IndexError):
             oracle.observe(99, 0)
 
+    def test_trainer_failure_emits_job_failed(self, tiny_dataset):
+        class ExplodingTrainer(TraceTrainer):
+            def train(self, user, model):
+                raise RuntimeError("CUDA OOM")
+
+        oracle = ClusterOracle(ExplodingTrainer(tiny_dataset), GPUPool(4))
+        with pytest.raises(RuntimeError, match="CUDA OOM"):
+            oracle.observe(0, 1)
+        job = oracle.jobs[0]
+        assert job.state.value == "failed"
+        assert job.detail["failure_reason"] == "CUDA OOM"
+        failed = oracle.log.filter(EventKind.JOB_FAILED)
+        assert len(failed) == 1
+        assert failed[0].payload == {
+            "job_id": 0, "user": 0, "model": 1, "reason": "CUDA OOM",
+        }
+        # The EventLog.filter helper slices the failure out of the
+        # full lifecycle record.
+        assert [e.kind for e in oracle.log] == [
+            EventKind.JOB_SUBMITTED,
+            EventKind.JOB_STARTED,
+            EventKind.JOB_FAILED,
+        ]
+
 
 class TestDedicatedDevices:
     def test_every_user_progresses(self, tiny_dataset):

@@ -198,3 +198,67 @@ class TestSchedulingLoop:
         feed_task(app, "moons")
         server.run(max_steps=4)
         assert server.clock.now > 0.0
+
+
+class TestRuntimeBackend:
+    def register_two(self, server):
+        apps = []
+        for i, kind in enumerate(["blobs", "moons"]):
+            n_classes = 3 if kind == "blobs" else 2
+            app = server.register_app(
+                program_from_shapes([2], [n_classes]), kind
+            )
+            feed_task(app, kind, seed=i)
+            apps.append(app)
+        return apps
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="runtime_placement"):
+            make_server(runtime_placement="psychic")
+
+    def test_runtime_backend_end_to_end(self):
+        server = make_server(
+            runtime_placement="partition", n_gpus=4,
+            scaling_efficiency=1.0,
+        )
+        apps = self.register_two(server)
+        records = server.run(max_steps=10)
+        assert len(records) == 10
+        total_runs = sum(len(a.history) for a in server.apps)
+        assert total_runs == 10
+        for app in apps:
+            assert app.best_accuracy > 0.5
+        # The concurrent timeline is on the shared clock and log.
+        assert server.clock.now > 0.0
+        assert len(server.log.filter(EventKind.JOB_FINISHED)) == 10
+        # Per-completion events (oracle-level, {user, model, reward})
+        # plus the app-level improvement events the synchronous
+        # backend also emits ({app, candidate, accuracy}).
+        returned = server.log.filter(EventKind.MODEL_RETURNED)
+        assert len([e for e in returned if "user" in e.payload]) == 10
+        improvements = [e for e in returned if "app" in e.payload]
+        assert improvements
+        assert {"app", "candidate", "accuracy"} <= set(
+            improvements[0].payload
+        )
+
+    def test_runtime_backend_overlaps_jobs(self):
+        server = make_server(
+            runtime_placement="dedicated", n_gpus=4, strategy="round_robin",
+        )
+        self.register_two(server)
+        server.run(max_steps=8)
+        jobs = server._runtime_oracle.finished_jobs()
+        assert len(jobs) == 8
+        spans = sorted((j.start_time, j.end_time) for j in jobs)
+        assert any(
+            later_start < earlier_end
+            for (_, earlier_end), (later_start, _) in zip(spans, spans[1:])
+        )
+
+    def test_runtime_backend_cost_budget(self):
+        server = make_server(runtime_placement="single", n_gpus=2)
+        self.register_two(server)
+        records = server.run(cost_budget=0.05)
+        assert records
+        assert server.scheduler.total_cost > 0.0

@@ -1,0 +1,120 @@
+"""Placement policies: desired allocations under each discipline."""
+
+import pytest
+
+from repro.engine.cluster import GPUPool
+from repro.engine.jobs import Job
+from repro.runtime.placement import (
+    PLACEMENT_POLICIES,
+    DedicatedDevicePlacement,
+    DynamicPartitionPlacement,
+    SingleDevicePlacement,
+    make_placement,
+)
+
+
+def jobs_for(users):
+    return [
+        Job(job_id=i, user=u, model=0, submit_time=0.0, gpu_time=1.0)
+        for i, u in enumerate(users)
+    ]
+
+
+class TestSingleDevice:
+    def test_first_job_gets_whole_pool(self):
+        pool = GPUPool(8)
+        desired = SingleDevicePlacement().allocate(jobs_for([0, 1]), {}, pool)
+        assert desired == {0: 8}
+
+    def test_running_job_is_kept(self):
+        pool = GPUPool(8)
+        desired = SingleDevicePlacement().allocate(
+            jobs_for([0, 1]), {1: 8}, pool
+        )
+        assert desired == {1: 8}
+
+    def test_empty(self):
+        assert SingleDevicePlacement().allocate([], {}, GPUPool(8)) == {}
+
+
+class TestDedicated:
+    def test_one_job_per_user(self):
+        pool = GPUPool(8)
+        desired = DedicatedDevicePlacement().allocate(
+            jobs_for([0, 0, 1, 2]), {}, pool
+        )
+        assert desired == {0: 1, 2: 1, 3: 1}
+
+    def test_pool_exhaustion(self):
+        pool = GPUPool(2)
+        desired = DedicatedDevicePlacement().allocate(
+            jobs_for([0, 1, 2]), {}, pool
+        )
+        assert desired == {0: 1, 1: 1}
+
+    def test_running_jobs_never_preempted(self):
+        pool = GPUPool(2)
+        desired = DedicatedDevicePlacement().allocate(
+            jobs_for([0, 1, 2]), {1: 1, 2: 1}, pool
+        )
+        assert desired == {1: 1, 2: 1}
+
+    def test_gpus_per_user(self):
+        pool = GPUPool(8)
+        desired = DedicatedDevicePlacement(gpus_per_user=4).allocate(
+            jobs_for([0, 1, 2]), {}, pool
+        )
+        assert desired == {0: 4, 1: 4}
+
+    def test_invalid_gpus_per_user(self):
+        with pytest.raises(ValueError, match="gpus_per_user"):
+            DedicatedDevicePlacement(gpus_per_user=0)
+
+
+class TestDynamicPartition:
+    def test_equal_share_with_remainder_to_earlier(self):
+        pool = GPUPool(8)
+        desired = DynamicPartitionPlacement().allocate(
+            jobs_for([0, 1, 2]), {}, pool
+        )
+        assert desired == {0: 3, 1: 3, 2: 2}
+        assert sum(desired.values()) == 8
+
+    def test_more_jobs_than_gpus(self):
+        pool = GPUPool(2)
+        desired = DynamicPartitionPlacement().allocate(
+            jobs_for([0, 1, 2, 3]), {}, pool
+        )
+        assert desired == {0: 1, 1: 1}
+
+    def test_single_job_gets_everything(self):
+        pool = GPUPool(24)
+        desired = DynamicPartitionPlacement().allocate(
+            jobs_for([5]), {}, pool
+        )
+        assert desired == {0: 24}
+
+    def test_max_parallel_cap(self):
+        pool = GPUPool(8)
+        desired = DynamicPartitionPlacement(max_parallel=2).allocate(
+            jobs_for([0, 1, 2]), {}, pool
+        )
+        assert desired == {0: 4, 1: 4}
+
+    def test_invalid_max_parallel(self):
+        with pytest.raises(ValueError, match="max_parallel"):
+            DynamicPartitionPlacement(max_parallel=0)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in PLACEMENT_POLICIES:
+            assert make_placement(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            make_placement("psychic")
+
+    def test_kwargs_forwarded(self):
+        policy = make_placement("dedicated", gpus_per_user=3)
+        assert policy.gpus_per_user == 3

@@ -1,0 +1,94 @@
+"""EventQueue invariants: ordering, FIFO ties, no time travel."""
+
+import pytest
+
+from repro.engine.events import EventKind
+from repro.runtime.queue import EventQueue, ScheduledEvent
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, EventKind.CUSTOM, i=3)
+        queue.push(1.0, EventKind.CUSTOM, i=1)
+        queue.push(2.0, EventKind.CUSTOM, i=2)
+        assert [queue.pop().payload["i"] for _ in range(3)] == [1, 2, 3]
+
+    def test_fifo_on_time_ties(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.push(1.0, EventKind.CUSTOM, i=i)
+        assert [queue.pop().payload["i"] for _ in range(10)] == list(range(10))
+
+    def test_seq_is_global_not_per_time(self):
+        queue = EventQueue()
+        a = queue.push(5.0, EventKind.CUSTOM)
+        b = queue.push(1.0, EventKind.CUSTOM)
+        assert a.seq < b.seq
+        assert queue.pop() is b
+
+    def test_interleaved_push_pop_keeps_order(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.CUSTOM, i=0)
+        queue.push(4.0, EventKind.CUSTOM, i=2)
+        assert queue.pop().payload["i"] == 0
+        queue.push(2.0, EventKind.CUSTOM, i=1)
+        assert queue.pop().payload["i"] == 1
+        assert queue.pop().payload["i"] == 2
+
+
+class TestNoTimeTravel:
+    def test_push_before_horizon_rejected(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.CUSTOM)
+        queue.pop()
+        with pytest.raises(ValueError, match="time travel"):
+            queue.push(4.0, EventKind.CUSTOM)
+
+    def test_push_at_horizon_allowed(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.CUSTOM)
+        queue.pop()
+        assert queue.push(5.0, EventKind.CUSTOM).time == 5.0
+
+    def test_horizon_tracks_pops_not_pushes(self):
+        queue = EventQueue()
+        queue.push(9.0, EventKind.CUSTOM)
+        assert queue.horizon == 0.0
+        queue.push(1.0, EventKind.CUSTOM)
+        queue.pop()
+        assert queue.horizon == 1.0
+
+    def test_start_offset(self):
+        queue = EventQueue(start=10.0)
+        with pytest.raises(ValueError, match="time travel"):
+            queue.push(9.0, EventKind.CUSTOM)
+
+    def test_non_finite_times_rejected(self):
+        queue = EventQueue()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                queue.push(bad, EventKind.CUSTOM)
+        with pytest.raises(ValueError, match="finite"):
+            EventQueue(start=float("nan"))
+
+
+class TestProtocol:
+    def test_len_bool_peek(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        assert queue.peek() is None and queue.peek_time() is None
+        event = queue.push(2.0, EventKind.CUSTOM)
+        assert queue and len(queue) == 1
+        assert queue.peek() is event
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError, match="empty"):
+            EventQueue().pop()
+
+    def test_kind_coerced(self):
+        event = EventQueue().push(0.0, "custom")
+        assert isinstance(event, ScheduledEvent)
+        assert event.kind is EventKind.CUSTOM

@@ -1,0 +1,156 @@
+"""Workload generation and JSONL trace record/replay."""
+
+import pytest
+
+from repro.datasets import generate_syn
+from repro.engine.cluster import GPUPool
+from repro.runtime.kernel import ClusterRuntime
+from repro.runtime.placement import make_placement
+from repro.runtime.trace import events_to_jsonl, makespan
+from repro.runtime.workload import (
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadTrace,
+    replay_trace,
+)
+
+
+class TestWorkloadItem:
+    def test_submit_requires_model_and_gpu_time(self):
+        with pytest.raises(ValueError, match="submit"):
+            WorkloadItem(time=0.0, action="submit", user=0)
+
+    def test_unknown_action(self):
+        with pytest.raises(ValueError, match="action"):
+            WorkloadItem(time=0.0, action="explode", user=0)
+
+    def test_dict_round_trip(self):
+        item = WorkloadItem(
+            time=1.5, action="submit", user=2, model=3, gpu_time=0.5,
+            reward=0.8,
+        )
+        assert WorkloadItem.from_dict(item.to_dict()) == item
+
+
+class TestGenerator:
+    def test_same_seed_same_trace(self):
+        make = lambda: WorkloadGenerator(
+            n_users=4, arrival="poisson", rate=2.0, seed=7
+        ).generate(20)
+        assert make() == make()
+        assert make().dumps() == make().dumps()
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(n_users=4, seed=0).generate(20)
+        b = WorkloadGenerator(n_users=4, seed=1).generate(20)
+        assert a != b
+
+    def test_deterministic_spacing(self):
+        trace = WorkloadGenerator(
+            n_users=2, arrival="deterministic", rate=4.0, seed=0
+        ).generate(8)
+        submits = [i.time for i in trace if i.action == "submit"]
+        deltas = [b - a for a, b in zip(submits, submits[1:])]
+        assert all(d == pytest.approx(0.25) for d in deltas)
+
+    def test_arrivals_precede_first_submit(self):
+        trace = WorkloadGenerator(n_users=3, seed=0).generate(15)
+        arrived = set()
+        for item in trace:
+            if item.action == "submit":
+                assert item.user in arrived
+            elif item.action == "arrive":
+                arrived.add(item.user)
+
+    def test_departures_follow_last_submit(self):
+        trace = WorkloadGenerator(
+            n_users=3, seed=0, departure_delay=0.5
+        ).generate(15)
+        last_submit = {}
+        for item in trace:
+            if item.action == "submit":
+                last_submit[item.user] = item.time
+        for item in trace:
+            if item.action == "depart":
+                assert item.time == pytest.approx(
+                    last_submit[item.user] + 0.5
+                )
+        assert sum(1 for i in trace if i.action == "depart") == len(
+            last_submit
+        )
+
+    def test_dataset_backed_jobs(self):
+        dataset = generate_syn(0.5, 1.0, seed=0)
+        trace = WorkloadGenerator.from_dataset(dataset, seed=0).generate(25)
+        for item in trace:
+            if item.action == "submit":
+                assert item.gpu_time == dataset.cost[item.user, item.model]
+                assert item.reward == dataset.quality[item.user, item.model]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_users"):
+            WorkloadGenerator(n_users=0)
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadGenerator(n_users=1, arrival="bursty")
+        with pytest.raises(ValueError, match="rate"):
+            WorkloadGenerator(n_users=1, rate=0.0)
+        with pytest.raises(ValueError, match="both"):
+            WorkloadGenerator(n_users=1, quality=[[1.0]])
+        with pytest.raises(ValueError, match="n_jobs"):
+            WorkloadGenerator(n_users=1, seed=0).generate(0)
+
+
+class TestTraceSerialisation:
+    def test_jsonl_round_trip(self):
+        trace = WorkloadGenerator(
+            n_users=3, seed=0, departure_delay=1.0
+        ).generate(12)
+        assert WorkloadTrace.loads(trace.dumps()) == trace
+
+    def test_file_round_trip(self, tmp_path):
+        trace = WorkloadGenerator(n_users=3, seed=0).generate(12)
+        path = trace.save(tmp_path / "trace.jsonl")
+        assert WorkloadTrace.load(path) == trace
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError, match="out of order"):
+            WorkloadTrace([
+                WorkloadItem(time=2.0, action="arrive", user=0),
+                WorkloadItem(time=1.0, action="arrive", user=1),
+            ])
+
+    def test_counts(self):
+        trace = WorkloadGenerator(n_users=3, seed=0).generate(12)
+        assert trace.n_jobs == 12
+        assert set(trace.users()) <= set(range(3))
+
+
+class TestDeterministicReplay:
+    def run_once(self, trace, policy):
+        runtime = ClusterRuntime(
+            GPUPool(4, scaling_efficiency=0.9), make_placement(policy)
+        )
+        return replay_trace(trace, runtime)
+
+    @pytest.mark.parametrize("policy", ["single", "dedicated", "partition"])
+    def test_replay_is_bit_for_bit(self, policy):
+        trace = WorkloadGenerator(n_users=4, rate=3.0, seed=3).generate(20)
+        first = self.run_once(trace, policy)
+        second = self.run_once(trace, policy)
+        assert events_to_jsonl(first.log) == events_to_jsonl(second.log)
+        assert makespan(first.log) == makespan(second.log)
+
+    def test_replay_through_serialised_trace(self, tmp_path):
+        trace = WorkloadGenerator(n_users=4, rate=3.0, seed=3).generate(20)
+        reloaded = WorkloadTrace.load(trace.save(tmp_path / "w.jsonl"))
+        direct = self.run_once(trace, "partition")
+        replayed = self.run_once(reloaded, "partition")
+        assert events_to_jsonl(direct.log) == events_to_jsonl(replayed.log)
+
+    def test_departure_cancellations_replay(self):
+        trace = WorkloadGenerator(
+            n_users=4, rate=8.0, seed=5, departure_delay=0.01
+        ).generate(30)
+        first = self.run_once(trace, "single")
+        second = self.run_once(trace, "single")
+        assert events_to_jsonl(first.log) == events_to_jsonl(second.log)

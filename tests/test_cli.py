@@ -67,3 +67,64 @@ class TestCompare:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRuntime:
+    def test_generated_workload_with_dumps(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "runtime",
+                "--jobs", "12",
+                "--n-gpus", "4",
+                "--policy", "partition",
+                "--seed", "3",
+                "--trace-out", str(trace_path),
+                "--events-out", str(events_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "partition placement" in out
+        assert trace_path.exists() and events_path.exists()
+
+    def test_trace_replay_reproduces_events(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        first = tmp_path / "events1.jsonl"
+        second = tmp_path / "events2.jsonl"
+        args = ["runtime", "--jobs", "10", "--n-gpus", "4", "--seed", "1"]
+        assert main(
+            args + ["--trace-out", str(trace_path),
+                    "--events-out", str(first)]
+        ) == 0
+        assert main(
+            ["runtime", "--n-gpus", "4",
+             "--trace-in", str(trace_path), "--events-out", str(second)]
+        ) == 0
+        assert first.read_text() == second.read_text()
+
+    def test_policies_accepted(self, capsys):
+        for policy in ("single", "dedicated"):
+            assert main(
+                ["runtime", "--jobs", "5", "--policy", policy]
+            ) == 0
+
+    def test_unknown_dataset_errors(self, capsys):
+        assert main(["runtime", "--dataset", "NOPE"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["runtime", "--policy", "psychic"])
+
+    def test_unreadable_trace_errors_cleanly(self, capsys, tmp_path):
+        assert main(
+            ["runtime", "--trace-in", str(tmp_path / "missing.jsonl")]
+        ) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"action": "explode", "time": 0, "user": 0}\n')
+        assert main(["runtime", "--trace-in", str(bad)]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
