@@ -37,9 +37,17 @@ N_GPUS = 8
 ARRIVAL_RATE = 4.0
 
 
-def _run(trace, policy):
+#: Checkpoint/restore costs charged per preemption (single-GPU work
+#: units).  0 is the flattering "free preemption" baseline; the paid
+#: variants expose what Dorm-style repartitioning actually trades.
+PREEMPTION_OVERHEADS = (0.0, 0.05, 0.2)
+
+
+def _run(trace, policy, overhead=0.0):
     runtime = ClusterRuntime(
-        GPUPool(N_GPUS, scaling_efficiency=0.9), make_placement(policy)
+        GPUPool(N_GPUS, scaling_efficiency=0.9),
+        make_placement(policy),
+        preemption_overhead=overhead,
     )
     replay_trace(trace, runtime)
     return runtime
@@ -54,26 +62,33 @@ def test_placement_policies_on_recorded_trace(once):
     def run():
         rows = []
         for policy in POLICIES:
-            runtime = _run(trace, policy)
-            rows.append(
-                [
-                    policy,
-                    len(runtime.finished_jobs()),
-                    runtime.preemption_count,
-                    makespan(runtime.log),
-                    time_averaged_regret(
-                        runtime.log, dataset.best_qualities()
-                    ),
-                ]
+            # Only the partition policy preempts, so the overhead
+            # dimension is swept for it alone.
+            overheads = (
+                PREEMPTION_OVERHEADS if policy == "partition" else (0.0,)
             )
+            for overhead in overheads:
+                runtime = _run(trace, policy, overhead)
+                rows.append(
+                    [
+                        policy,
+                        overhead,
+                        len(runtime.finished_jobs()),
+                        runtime.preemption_count,
+                        makespan(runtime.log),
+                        time_averaged_regret(
+                            runtime.log, dataset.best_qualities()
+                        ),
+                    ]
+                )
         return rows
 
     rows = once(run)
     save_report(
         "runtime_placement",
         ascii_table(
-            ["placement", "finished", "preemptions", "makespan",
-             "time-avg regret"],
+            ["placement", "overhead", "finished", "preemptions",
+             "makespan", "time-avg regret"],
             rows,
             title=f"Runtime placement comparison ({N_JOBS} jobs, "
             f"{N_GPUS} GPUs, Poisson rate {ARRIVAL_RATE})",
@@ -81,23 +96,25 @@ def test_placement_policies_on_recorded_trace(once):
         ),
     )
 
-    by_policy = {row[0]: row for row in rows}
+    by_key = {(row[0], row[1]): row for row in rows}
     # Every discipline drains the same recorded workload.
     for row in rows:
-        assert row[1] == N_JOBS
+        assert row[2] == N_JOBS
     # The three disciplines produce genuinely different schedules.
-    makespans = [row[3] for row in rows]
-    regrets = [row[4] for row in rows]
-    assert len(set(makespans)) == len(POLICIES)
-    assert len(set(regrets)) == len(POLICIES)
+    free_rows = [row for row in rows if row[1] == 0.0]
+    assert len({row[4] for row in free_rows}) == len(POLICIES)
+    assert len({row[5] for row in free_rows}) == len(POLICIES)
     # Only the Dorm-style policy preempts; the other two are
     # run-to-completion by construction.
-    assert by_policy["partition"][2] > 0
-    assert by_policy["single"][2] == 0
-    assert by_policy["dedicated"][2] == 0
+    assert by_key[("partition", 0.0)][3] > 0
+    assert by_key[("single", 0.0)][3] == 0
+    assert by_key[("dedicated", 0.0)][3] == 0
     # The shared pool's data-parallel speedup beats one-GPU-per-user
     # throughput on the same workload.
-    assert by_policy["single"][3] < by_policy["dedicated"][3]
+    assert by_key[("single", 0.0)][4] < by_key[("dedicated", 0.0)][4]
+    # Charging checkpoint overhead can only slow the partition policy.
+    paid = PREEMPTION_OVERHEADS[-1]
+    assert by_key[("partition", paid)][4] >= by_key[("partition", 0.0)][4]
 
 
 def test_trace_replay_is_bit_for_bit():

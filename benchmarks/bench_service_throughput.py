@@ -1,0 +1,175 @@
+"""Service throughput: requests/sec and latency percentiles over HTTP.
+
+Spins up the versioned v1 service (gateway + stdlib HTTP frontend) in
+process, onboards N tenants (register app, feed examples, train a
+couple of async jobs to completion), then drives N concurrent
+:class:`~repro.service.client.EaseMLClient` threads through a
+read-heavy request mix (infer / app-status / refine / events, with a
+periodic async submit+poll training cycle).  Reports aggregate
+requests/sec and per-request latency percentiles — the serving-path
+numbers later PRs optimize against.
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick
+
+or under pytest like the figure benchmarks::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest \
+        bench_service_throughput.py -q
+"""
+
+import argparse
+import threading
+import time
+
+import numpy as np
+
+from conftest import save_report
+
+from repro.ml.data import TaskSpec, make_task
+from repro.ml.zoo import default_zoo
+from repro.service import ServiceGateway, TenantQuota, serve_background
+from repro.service.client import EaseMLClient
+from repro.utils.tables import ascii_table
+
+PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+ZOO = ["naive-bayes", "ridge", "tree-d4"]
+#: One periodic async training cycle per this many measured requests.
+TRAIN_EVERY = 10
+
+
+def _onboard(server, gateway, index):
+    """Create a tenant with a registered, fed app.
+
+    Registration is frozen once training starts (the backend keeps a
+    fixed tenant set per run), so all tenants onboard before the first
+    submit.
+    """
+    token = gateway.create_tenant(f"tenant-{index}")
+    client = EaseMLClient(server.url, token)
+    app = f"app-{index}"
+    client.register_app(app, PROGRAM)
+    X, y = make_task(TaskSpec("moons", 60, 0.3, seed=index))
+    client.feed(app, X.tolist(), [int(v) for v in y])
+    return client, app, [float(v) for v in X[0]]
+
+
+def _drive(client, app, probe, n_requests, latencies):
+    """One tenant's measured request loop; appends per-request seconds."""
+    for i in range(n_requests):
+        start = time.perf_counter()
+        step = i % 4
+        if step == 0:
+            client.infer(app, probe)
+        elif step == 1:
+            client.app_status(app)
+        elif step == 2:
+            client.refine(app)
+        else:
+            client.events(kinds=["job_finished"])
+        latencies.append(time.perf_counter() - start)
+        if (i + 1) % TRAIN_EVERY == 0:
+            start = time.perf_counter()
+            client.wait_all(client.submit_training(app, steps=1))
+            latencies.append(time.perf_counter() - start)
+
+
+def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0):
+    """Returns the report rows; prints nothing."""
+    gateway = ServiceGateway(
+        placement="partition",
+        n_gpus=n_gpus,
+        seed=seed,
+        zoo=default_zoo().subset(ZOO),
+        default_quota=TenantQuota(
+            max_apps=2, max_pending_jobs=8,
+            max_store_bytes=64 * 1024 * 1024,
+        ),
+    )
+    server, _ = serve_background(gateway)
+    try:
+        tenants = [
+            _onboard(server, gateway, i) for i in range(n_clients)
+        ]
+        for client, app, _ in tenants:
+            client.wait_all(client.submit_training(app, steps=2))
+        per_thread = [[] for _ in tenants]
+        threads = [
+            threading.Thread(
+                target=_drive,
+                args=(client, app, probe, n_requests, latencies),
+            )
+            for (client, app, probe), latencies in zip(
+                tenants, per_thread
+            )
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    latencies = np.array(
+        [value for bucket in per_thread for value in bucket]
+    )
+    assert latencies.size > 0, "no requests were measured"
+    total = int(latencies.size)
+    return [
+        ["concurrent clients", n_clients],
+        ["requests (total)", total],
+        ["wall time (s)", round(wall, 3)],
+        ["requests/sec", round(total / wall, 1)],
+        ["latency p50 (ms)", round(1e3 * np.percentile(latencies, 50), 2)],
+        ["latency p99 (ms)", round(1e3 * np.percentile(latencies, 99), 2)],
+        ["latency max (ms)", round(1e3 * latencies.max(), 2)],
+    ]
+
+
+def render(rows):
+    return ascii_table(
+        ["metric", "value"],
+        rows,
+        title="Service throughput (HTTP frontend, v1 API)",
+    )
+
+
+def test_service_throughput(once):
+    """Pytest entry point, sized like the other figure benchmarks."""
+    rows = once(run_benchmark, n_clients=2, n_requests=40)
+    save_report("service_throughput", render(rows))
+    by_name = {name: value for name, value in rows}
+    assert by_name["requests (total)"] >= 80
+    assert by_name["requests/sec"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=100,
+                        help="measured requests per client")
+    parser.add_argument("--n-gpus", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke configuration (2 clients x 20 requests)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients, args.requests = 2, 20
+    rows = run_benchmark(
+        n_clients=args.clients,
+        n_requests=args.requests,
+        n_gpus=args.n_gpus,
+        seed=args.seed,
+    )
+    save_report("service_throughput", render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""The multi-tenant service, end to end over a real socket.
+
+Starts the versioned v1 HTTP service in-process, onboards two tenants
+with their own auth tokens, and drives them through the SDK: declare
+apps, feed examples, submit *asynchronous* training (job handles come
+back immediately), poll the handles while the shared cluster
+interleaves the two tenants' jobs, and serve predictions.  Also shows
+the typed error model — the service answers failures with ApiError
+codes, never raw tracebacks.
+
+Run:  PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+from repro.ml import TaskSpec, make_task
+from repro.service import ApiError, EaseMLClient, ServiceGateway
+from repro.service.http import serve_background
+
+# ----------------------------------------------------------------------
+# 1. Operator side: start the service and mint tenant tokens.
+#    (`python -m repro serve` does exactly this from the shell.)
+# ----------------------------------------------------------------------
+gateway = ServiceGateway(placement="partition", n_gpus=4, seed=0)
+alice_token = gateway.create_tenant("alice")
+bob_token = gateway.create_tenant("bob")
+server, _ = serve_background(gateway)
+print(f"service listening on {server.url} (API v1)")
+
+# ----------------------------------------------------------------------
+# 2. Tenant side: each tenant declares an app and feeds supervision
+#    through its own client.
+# ----------------------------------------------------------------------
+alice = EaseMLClient(server.url, alice_token)
+bob = EaseMLClient(server.url, bob_token)
+
+alice.register_app(
+    "moons", "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+)
+bob.register_app(
+    "blobs", "{input: {[Tensor[2]], []}, output: {[Tensor[3]], []}}"
+)
+Xa, ya = make_task(TaskSpec("moons", 80, 0.3, seed=0))
+Xb, yb = make_task(TaskSpec("blobs", 80, 0.3, seed=1))
+alice.feed("moons", Xa.tolist(), [int(v) for v in ya])
+bob.feed("blobs", Xb.tolist(), [int(v) for v in yb])
+
+# ----------------------------------------------------------------------
+# 3. Async training: handles return immediately; completions land out
+#    of submission order as the cluster schedules both tenants.
+# ----------------------------------------------------------------------
+handles_a = alice.submit_training("moons", steps=3)
+handles_b = bob.submit_training("blobs", steps=3)
+print(f"alice submitted {[h.job_id for h in handles_a]}")
+print(f"bob submitted   {[h.job_id for h in handles_b]}")
+
+for status in alice.wait_all(handles_a):
+    print(f"alice {status.job_id}: {status.candidate} "
+          f"acc={status.accuracy:.3f} improved={status.improved}")
+for status in bob.wait_all(handles_b):
+    print(f"bob   {status.job_id}: {status.candidate} "
+          f"acc={status.accuracy:.3f} improved={status.improved}")
+
+# ----------------------------------------------------------------------
+# 4. Inference with the best model so far.
+# ----------------------------------------------------------------------
+print(f"alice infer -> {alice.infer('moons', Xa[0].tolist()).prediction} "
+      f"(true {int(ya[0])})")
+print(f"bob infer   -> {bob.infer('blobs', Xb[0].tolist()).prediction} "
+      f"(true {int(yb[0])})")
+
+# ----------------------------------------------------------------------
+# 5. The typed error model: tenants are isolated, failures are coded.
+# ----------------------------------------------------------------------
+try:
+    bob.app_status("moons")  # alice's app — invisible to bob
+except ApiError as error:
+    print(f"bob reading alice's app -> {error.code.value}: {error}")
+
+server.shutdown()
+server.server_close()

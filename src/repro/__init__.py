@@ -74,11 +74,21 @@ from repro.runtime import (
     ClusterRuntime,
     WorkloadGenerator,
     WorkloadTrace,
+    diff_event_logs,
+    first_divergence,
     make_placement,
     replay_trace,
 )
+from repro.service import (
+    API_VERSION,
+    ApiError,
+    ApiErrorCode,
+    EaseMLClient,
+    ServiceGateway,
+    TenantQuota,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -116,6 +126,15 @@ __all__ = [
     "WorkloadTrace",
     "make_placement",
     "replay_trace",
+    "first_divergence",
+    "diff_event_logs",
+    # service
+    "API_VERSION",
+    "ApiError",
+    "ApiErrorCode",
+    "ServiceGateway",
+    "TenantQuota",
+    "EaseMLClient",
     # gp
     "FiniteArmGP",
     "RBF",

@@ -14,6 +14,12 @@ Commands
     Run a workload (generated or replayed from a JSONL trace) on the
     discrete-event cluster runtime under a chosen placement policy,
     and optionally dump the workload trace and execution event log.
+``trace diff``
+    First-divergence report between two recorded event logs (JSONL) —
+    the determinism debugging tool.
+``serve``
+    Start the multi-tenant HTTP service (the versioned v1 API) and
+    print the created tenant tokens.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.runtime import (
     ClusterRuntime,
     WorkloadGenerator,
     WorkloadTrace,
+    first_divergence,
     make_placement,
     makespan,
     replay_trace,
@@ -115,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--n-gpus", type=int, default=24,
                     help="pool size (default 24, as deployed)")
     rt.add_argument("--scaling-efficiency", type=float, default=0.9)
+    rt.add_argument("--preemption-overhead", type=float, default=0.0,
+                    help="single-GPU work units lost per preemption "
+                    "(checkpoint/restore cost; default 0.0)")
     rt.add_argument("--seed", type=int, default=0)
     rt.add_argument("--trace-in", type=str, default=None,
                     help="replay a recorded workload trace (JSONL)")
@@ -122,6 +132,39 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="write the workload trace (JSONL)")
     rt.add_argument("--events-out", type=str, default=None,
                     help="write the execution event log (JSONL)")
+
+    trace = sub.add_parser(
+        "trace", help="tools over recorded JSONL event logs"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_diff = trace_sub.add_parser(
+        "diff",
+        help="first-divergence report between two event logs",
+    )
+    trace_diff.add_argument("left", help="first event-log JSONL file")
+    trace_diff.add_argument("right", help="second event-log JSONL file")
+
+    srv = sub.add_parser(
+        "serve", help="start the multi-tenant HTTP service (v1 API)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="listen port (0 picks a free one)")
+    srv.add_argument(
+        "--placement", default="partition",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="device-placement policy for training jobs",
+    )
+    srv.add_argument("--n-gpus", type=int, default=8)
+    srv.add_argument("--scaling-efficiency", type=float, default=0.9)
+    srv.add_argument("--preemption-overhead", type=float, default=0.0)
+    srv.add_argument("--min-examples", type=int, default=10)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME",
+        help="create a tenant and print its token (repeatable; "
+        "default: one tenant named 'default')",
+    )
     return parser
 
 
@@ -233,6 +276,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     runtime = ClusterRuntime(
         GPUPool(args.n_gpus, scaling_efficiency=args.scaling_efficiency),
         make_placement(args.policy),
+        preemption_overhead=args.preemption_overhead,
     )
     replay_trace(trace, runtime)
 
@@ -275,6 +319,67 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.runtime import read_events_jsonl
+
+    try:
+        left = read_events_jsonl(args.left)
+        right = read_events_jsonl(args.right)
+    except (OSError, ValueError) as exc:
+        print(f"cannot diff event logs: {exc}", file=sys.stderr)
+        return 2
+    divergence = first_divergence(left, right)
+    if divergence is None:
+        print(f"event logs are identical ({len(left)} events)")
+        return 0
+    print(divergence.describe())
+    return 1
+
+
+def build_service(args: argparse.Namespace):
+    """Construct (gateway, {tenant: token}, http server) for ``serve``.
+
+    Split out of :func:`_cmd_serve` so tests can exercise the whole
+    wiring without blocking on ``serve_forever``.
+    """
+    from repro.service import ServiceGateway, serve as bind_http
+
+    gateway = ServiceGateway(
+        placement=args.placement,
+        n_gpus=args.n_gpus,
+        scaling_efficiency=args.scaling_efficiency,
+        preemption_overhead=args.preemption_overhead,
+        min_examples=args.min_examples,
+        seed=args.seed,
+    )
+    tokens = {
+        name: gateway.create_tenant(name)
+        for name in (args.tenant or ["default"])
+    }
+    server = bind_http(gateway, host=args.host, port=args.port)
+    return gateway, tokens, server
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        _, tokens, server = build_service(args)
+    except (ValueError, OSError) as exc:
+        # OSError covers bind failures (port in use, bad host).
+        print(f"cannot start the service: {exc}", file=sys.stderr)
+        return 2
+    print(f"ease.ml service listening on {server.url} (API v1)")
+    for name, token in tokens.items():
+        print(f"tenant {name}: {token}")
+    print("press Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -284,6 +389,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "runtime":
         return _cmd_runtime(args)
+    if args.command == "trace":
+        return _cmd_trace_diff(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_compare(args)
 
 

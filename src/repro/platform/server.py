@@ -54,6 +54,7 @@ from repro.platform.normalization import (
 from repro.platform.schema import Program
 from repro.platform.storage import ExampleStore, SharedStorage
 from repro.platform.templates import Template, WorkloadKind, match_template
+from repro.errors import ApiError, ApiErrorCode
 from repro.utils.rng import RandomState, SeedLike
 
 #: Workload kinds the live trainer can serve (classification-shaped).
@@ -183,7 +184,17 @@ class EaseMLApp:
 
     def set_example_enabled(self, example_id: int, enabled: bool) -> None:
         """Toggle one example on/off (the ``refine`` action)."""
-        self.store.set_enabled(example_id, enabled)
+        try:
+            self.store.set_enabled(example_id, enabled)
+        except IndexError:
+            raise ApiError(
+                ApiErrorCode.NOT_FOUND,
+                f"app {self.name!r} has no example {example_id}; "
+                f"{len(self.store)} example(s) are stored, with ids "
+                f"0..{len(self.store) - 1} — list them with refine()",
+                app=self.name,
+                example_id=int(example_id),
+            ) from None
 
     def infer(self, x: np.ndarray) -> int:
         """Predict with the best model so far (the ``infer`` operator)."""
@@ -258,10 +269,16 @@ class EaseMLServer:
         via :class:`repro.runtime.AsyncClusterOracle`, so the
         scheduler dispatches concurrently and absorbs results in
         completion order.  Training outcomes are computed at dispatch
-        (the simulated job then occupies the cluster for its cost);
-        the shared clock and event log record the concurrent timeline.
+        (the simulated job then occupies the cluster for its cost)
+        but applied to app state — best model, history, improvement
+        events — only when the simulated job *completes*, so app
+        status and ``infer`` never reflect jobs still in flight; the
+        shared clock and event log record the concurrent timeline.
     n_gpus, scaling_efficiency:
         Pool shape for the runtime backend (ignored when synchronous).
+    preemption_overhead:
+        Single-GPU work units lost per preemption on the runtime
+        backend (checkpoint/restore cost; ignored when synchronous).
     """
 
     _STRATEGIES = ("hybrid", "greedy", "round_robin", "random")
@@ -279,6 +296,7 @@ class EaseMLServer:
         runtime_placement: Optional[str] = None,
         n_gpus: int = 24,
         scaling_efficiency: float = 0.9,
+        preemption_overhead: float = 0.0,
         seed: SeedLike = 0,
     ) -> None:
         if strategy not in self._STRATEGIES:
@@ -305,6 +323,7 @@ class EaseMLServer:
         self.runtime_placement = runtime_placement
         self.n_gpus = int(n_gpus)
         self.scaling_efficiency = float(scaling_efficiency)
+        self.preemption_overhead = float(preemption_overhead)
         self._rng = RandomState(seed)
 
         self.storage = SharedStorage()
@@ -313,6 +332,9 @@ class EaseMLServer:
         self.log = EventLog()
         self._scheduler: Optional[MultiTenantScheduler] = None
         self._runtime_oracle = None
+        # Runtime backend: outcomes banked at dispatch, keyed by the
+        # job id the imminent submit will create, applied on completion.
+        self._deferred_outcomes: Dict[int, Tuple] = {}
         self._cost_estimates: List[np.ndarray] = []
         self._splits: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
 
@@ -456,6 +478,10 @@ class EaseMLServer:
             make_placement(self.runtime_placement),
             clock=self.clock,
             log=self.log,
+            preemption_overhead=self.preemption_overhead,
+        )
+        self._runtime_oracle.runtime.on_completion(
+            self._apply_completed_outcome
         )
         return self._runtime_oracle
 
@@ -476,11 +502,30 @@ class EaseMLServer:
         accuracy = estimator.score(Xte, y_test)
         cost = max(estimator.work_units / 1e5, 1e-6)
         if synchronous:
-            # The runtime backend advances the shared clock through its
-            # own completion events instead, and logs the concurrent
-            # timeline itself.
             self.clock.advance(cost)
+            self._apply_outcome(
+                user, model, estimator, transform, accuracy, cost
+            )
+        else:
+            # Runtime backend: the outcome is computed now (the
+            # simulated job occupies the cluster for its cost) but
+            # applied only at job completion, so app state never
+            # reflects jobs still in flight.  Every trainer call is
+            # immediately followed by the runtime submit that creates
+            # job id len(jobs) — that adjacency is the keying
+            # invariant here.
+            next_job_id = len(self._runtime_oracle.runtime.jobs)
+            self._deferred_outcomes[next_job_id] = (
+                user, model, estimator, transform, accuracy, cost
+            )
+        return Observation(float(accuracy), float(cost))
 
+    def _apply_outcome(
+        self, user, model, estimator, transform, accuracy, cost
+    ) -> None:
+        """Land one training result in app state (best model, history)."""
+        app = self.apps[user]
+        candidate = app.live_candidates[model]
         improved = accuracy > app.best_accuracy
         if improved:
             app.best_accuracy = accuracy
@@ -502,7 +547,12 @@ class EaseMLServer:
                 improved=improved,
             )
         )
-        return Observation(float(accuracy), float(cost))
+
+    def _apply_completed_outcome(self, job) -> None:
+        """Runtime completion hook: apply the job's banked outcome."""
+        pending = self._deferred_outcomes.pop(job.job_id, None)
+        if pending is not None:
+            self._apply_outcome(*pending)
 
     def run(
         self,
@@ -548,7 +598,13 @@ class EaseMLServer:
         for app in self.apps:
             if app.name == name:
                 return app
-        raise KeyError(f"no app named {name!r}")
+        raise ApiError(
+            ApiErrorCode.NOT_FOUND,
+            f"no app named {name!r}; registered apps: "
+            f"{sorted(a.name for a in self.apps)} — register it first "
+            "with register_app()",
+            app=name,
+        )
 
 
 def _make_transform(

@@ -36,7 +36,11 @@ from repro.runtime.placement import (
 )
 from repro.runtime.queue import EventQueue, ScheduledEvent
 from repro.runtime.trace import (
+    TraceDivergence,
+    diff_event_files,
+    diff_event_logs,
     events_to_jsonl,
+    first_divergence,
     makespan,
     read_events_jsonl,
     time_averaged_regret,
@@ -69,4 +73,8 @@ __all__ = [
     "read_events_jsonl",
     "makespan",
     "time_averaged_regret",
+    "TraceDivergence",
+    "first_divergence",
+    "diff_event_logs",
+    "diff_event_files",
 ]

@@ -60,6 +60,12 @@ class ClusterRuntime:
         Optionally shared with an outer system (e.g. the platform
         server), so runtime events interleave with application events
         on one timeline.
+    preemption_overhead:
+        Single-GPU work units a job *loses* every time it is
+        preempted (checkpoint/restore cost).  The default 0 keeps
+        preemption free — which flatters preemption-happy policies
+        like the Dorm-style dynamic partition; realistic values make
+        the throughput/adaptivity trade-off visible.
     """
 
     def __init__(
@@ -69,9 +75,16 @@ class ClusterRuntime:
         *,
         clock: Optional[SimClock] = None,
         log: Optional[EventLog] = None,
+        preemption_overhead: float = 0.0,
     ) -> None:
         self.pool = pool if pool is not None else GPUPool()
         self.policy = policy if policy is not None else SingleDevicePlacement()
+        self.preemption_overhead = float(preemption_overhead)
+        if self.preemption_overhead < 0:
+            raise ValueError(
+                f"preemption_overhead must be >= 0, got "
+                f"{self.preemption_overhead}"
+            )
         self.clock = clock if clock is not None else SimClock()
         self.log = log if log is not None else EventLog()
         self.queue = EventQueue(start=self.clock.now)
@@ -334,12 +347,18 @@ class ClusterRuntime:
             (self.clock.now - slice_.resumed_at)
             * self.pool.speedup(slice_.n_gpus)
         )
+        # Checkpoint/restore is not free: charge the configured
+        # overhead by un-banking completed work (never below zero, so
+        # a job can always still finish).
+        overhead = min(self.preemption_overhead, job.work_done)
+        job.work_done -= overhead
         job.preempt(self.clock.now)
         self.preemption_count += 1
         self.log.append(
             self.clock.now, EventKind.JOB_PREEMPTED, job_id=jid,
             user=job.user, model=job.model,
             remaining_gpu_time=job.remaining_gpu_time,
+            overhead=overhead,
         )
         self._pending.append(jid)
         if requeued:

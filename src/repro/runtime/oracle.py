@@ -43,7 +43,7 @@ class AsyncClusterOracle(RewardOracle):
         Produces ``(reward, gpu_time)`` pairs.  Training outcomes are
         computed at dispatch (trace-replay style) and revealed to the
         scheduler only when the simulated job completes.
-    pool, policy, clock, log:
+    pool, policy, clock, log, preemption_overhead:
         Forwarded to the underlying :class:`ClusterRuntime`.
     max_in_flight:
         Dispatch-ahead window for ``run_concurrent`` (default: one job
@@ -58,10 +58,14 @@ class AsyncClusterOracle(RewardOracle):
         *,
         clock: Optional[SimClock] = None,
         log: Optional[EventLog] = None,
+        preemption_overhead: float = 0.0,
         max_in_flight: Optional[int] = None,
     ) -> None:
         self.trainer = trainer
-        self.runtime = ClusterRuntime(pool, policy, clock=clock, log=log)
+        self.runtime = ClusterRuntime(
+            pool, policy, clock=clock, log=log,
+            preemption_overhead=preemption_overhead,
+        )
         self.pool = self.runtime.pool
         self.clock = self.runtime.clock
         self.log = self.runtime.log
@@ -219,19 +223,28 @@ class AsyncClusterOracle(RewardOracle):
                     continue
                 tenant, selection = in_flight.pop(job.job_id)
                 busy_users.discard(job.user)
-                self._absorb(scheduler, tenant, selection, job)
+                self.absorb(scheduler, tenant, selection, job)
         return RunResult(
             records=list(scheduler.records[records_before:]),
             n_users=scheduler.n_users,
         )
 
-    def _absorb(
+    def absorb(
         self,
         scheduler: MultiTenantScheduler,
         tenant,
         selection,
         job: Job,
     ) -> None:
+        """Feed one completed job back into the scheduler state.
+
+        Exactly what a synchronous :meth:`MultiTenantScheduler.step`
+        does after its oracle call — picker observation, the
+        Algorithm 2 line-6 recurrence, a :class:`StepRecord` with the
+        job's service time as cost, and the user picker's ``notify``
+        hook.  External drivers (the service gateway) call this once
+        per completion, in completion order.
+        """
         cost = self._service_time(job)
         tenant.picker.observe(selection.arm, job.reward)
         tenant.absorb(

@@ -15,37 +15,22 @@ derives the two numbers the placement benchmark compares:
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.engine.events import Event, EventKind, EventLog
-
-
-def _jsonify(value):
-    """Coerce numpy scalars (and containers of them) to JSON types."""
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
-    if isinstance(value, np.ndarray):
-        return [_jsonify(v) for v in value.tolist()]
-    if isinstance(value, dict):
-        return {str(k): _jsonify(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonify(v) for v in value]
-    return value
+from repro.errors import jsonify
 
 
 def event_to_dict(event: Event) -> Dict:
     """A stable dict form of one event (used for JSONL lines)."""
     return {
-        "time": _jsonify(event.time),
+        "time": jsonify(event.time),
         "kind": event.kind.value,
-        "payload": _jsonify(event.payload),
+        "payload": jsonify(event.payload),
     }
 
 
@@ -79,6 +64,87 @@ def read_events_jsonl(path: Union[str, Path]) -> List[Dict]:
         for line in Path(path).read_text(encoding="utf-8").splitlines()
         if line.strip()
     ]
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """Where two event streams first disagree.
+
+    ``index`` is the 0-based event position; ``left``/``right`` are the
+    event dicts at that position (``None`` when one stream ended
+    early); ``fields`` names the top-level keys that differ.
+    """
+
+    index: int
+    left: Optional[Dict]
+    right: Optional[Dict]
+    fields: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """A short human-readable first-divergence report."""
+        lines = [f"first divergence at event #{self.index}"]
+        if self.left is None:
+            lines.append("  left:  <stream ended>")
+        else:
+            lines.append(f"  left:  {json.dumps(self.left, sort_keys=True)}")
+        if self.right is None:
+            lines.append("  right: <stream ended>")
+        else:
+            lines.append(f"  right: {json.dumps(self.right, sort_keys=True)}")
+        if self.fields:
+            lines.append(f"  differing fields: {', '.join(self.fields)}")
+        return "\n".join(lines)
+
+
+def first_divergence(
+    left: Sequence[Dict], right: Sequence[Dict]
+) -> Optional[TraceDivergence]:
+    """First position where two event-dict streams differ, or ``None``.
+
+    The streams compare equal only if they have the same length and
+    every event dict matches exactly — the determinism contract the
+    runtime makes for replayed traces.
+    """
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            fields = tuple(
+                sorted(
+                    key
+                    for key in set(a) | set(b)
+                    if a.get(key) != b.get(key)
+                )
+            )
+            return TraceDivergence(index, a, b, fields)
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        return TraceDivergence(
+            index,
+            left[index] if index < len(left) else None,
+            right[index] if index < len(right) else None,
+            (),
+        )
+    return None
+
+
+def diff_event_logs(
+    left: Union[EventLog, Sequence[Dict]],
+    right: Union[EventLog, Sequence[Dict]],
+) -> Optional[TraceDivergence]:
+    """Compare two logs (or pre-parsed event-dict lists)."""
+    if isinstance(left, EventLog):
+        left = [event_to_dict(e) for e in left]
+    if isinstance(right, EventLog):
+        right = [event_to_dict(e) for e in right]
+    return first_divergence(left, right)
+
+
+def diff_event_files(
+    left: Union[str, Path], right: Union[str, Path]
+) -> Optional[TraceDivergence]:
+    """Compare two recorded event-log JSONL files."""
+    return first_divergence(
+        read_events_jsonl(left), read_events_jsonl(right)
+    )
 
 
 def makespan(log: EventLog) -> float:

@@ -1,0 +1,362 @@
+"""The versioned service API: typed requests, responses, and errors.
+
+Everything that crosses the service boundary is declared here as a
+frozen dataclass with an explicit schema version, so the gateway, the
+HTTP frontend, and the client SDK all speak one vocabulary.  The wire
+form is plain JSON: :func:`to_wire` tags an object with its type name,
+:func:`from_wire` reconstructs it, and a round trip is the identity —
+the HTTP layer adds nothing but transport.
+
+Errors are part of the API, not an implementation detail.  Every
+failure a caller can trigger maps to an :class:`ApiError` with a code
+from :class:`ApiErrorCode`, a human-actionable message, and optional
+structured details; raw ``KeyError``/``ValueError`` tracebacks never
+cross the boundary.  (The error types themselves live in the
+layer-neutral :mod:`repro.errors` so the platform can raise them; this
+module is their canonical public home.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.errors import (  # noqa: F401 - canonical re-export
+    HTTP_STATUS,
+    ApiError,
+    ApiErrorCode,
+    jsonify,
+)
+
+#: The one schema version this server generation speaks.
+API_VERSION = "v1"
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, kw_only=True)
+class Request:
+    """Base of every service request: version + tenant identity."""
+
+    auth_token: str
+    api_version: str = API_VERSION
+
+
+@dataclass(frozen=True, kw_only=True)
+class RegisterAppRequest(Request):
+    """Declare a new app from DSL program text."""
+
+    app: str
+    program: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class FeedRequest(Request):
+    """Store input/output example pairs for an app.
+
+    ``inputs`` is a list of flat (or nested) numeric lists; ``outputs``
+    holds integer class labels or full output vectors.
+    """
+
+    app: str
+    inputs: Tuple = ()
+    outputs: Tuple = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class RefineRequest(Request):
+    """List all fed examples and their enabled flags."""
+
+    app: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class SetExampleEnabledRequest(Request):
+    """Toggle one stored example on/off (the ``refine`` action)."""
+
+    app: str
+    example_id: int
+    enabled: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class InferRequest(Request):
+    """Predict with the app's best model so far."""
+
+    app: str
+    x: Tuple = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class SubmitTrainingRequest(Request):
+    """Submit ``steps`` asynchronous training jobs for an app.
+
+    Returns immediately with job handles; completions land out of
+    order as the shared cluster schedules them.
+    """
+
+    app: str
+    steps: int = 1
+
+
+@dataclass(frozen=True, kw_only=True)
+class JobStatusRequest(Request):
+    """Poll one async job handle (advances the cluster as needed)."""
+
+    job_id: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class ListJobsRequest(Request):
+    """List this tenant's jobs, optionally for one app."""
+
+    app: Optional[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class AppStatusRequest(Request):
+    """Best model, accuracy, and store stats for one app."""
+
+    app: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class ListAppsRequest(Request):
+    """Names of this tenant's registered apps."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class EventsRequest(Request):
+    """Slice the server's event log (timeline introspection).
+
+    Only events attributable to the requesting tenant's own apps are
+    returned.  ``kinds`` filters by event-kind value strings;
+    ``since`` drops events before that simulated time.
+    """
+
+    kinds: Optional[Tuple[str, ...]] = None
+    since: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServerInfoRequest(Request):
+    """Service metadata: version, cluster shape, clock, counts."""
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, kw_only=True)
+class Response:
+    """Base of every service response."""
+
+    api_version: str = API_VERSION
+
+
+#: Job lifecycle states a handle can report (mirrors JobState values).
+JOB_STATES = ("pending", "running", "preempted", "finished", "failed")
+
+#: Terminal handle states — polling past these is a no-op.
+TERMINAL_JOB_STATES = ("finished", "failed")
+
+
+@dataclass(frozen=True, kw_only=True)
+class JobHandle:
+    """An async training job as the API sees it."""
+
+    job_id: str
+    app: str
+    candidate: str
+    state: str
+    submitted_at: float
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_JOB_STATES
+
+
+@dataclass(frozen=True, kw_only=True)
+class RegisterAppResponse(Response):
+    app: str
+    workload_kind: str
+    n_candidates: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class FeedResponse(Response):
+    app: str
+    example_ids: Tuple[int, ...]
+    n_total: int
+    n_enabled: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class RefineResponse(Response):
+    app: str
+    examples: Tuple[Tuple[int, bool], ...]
+
+
+@dataclass(frozen=True, kw_only=True)
+class SetExampleEnabledResponse(Response):
+    app: str
+    example_id: int
+    enabled: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class InferResponse(Response):
+    app: str
+    prediction: int
+    model: Optional[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class SubmitTrainingResponse(Response):
+    handles: Tuple[JobHandle, ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class JobStatusResponse(Response):
+    job_id: str
+    app: str
+    candidate: str
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    accuracy: Optional[float] = None
+    preemptions: int = 0
+    improved: Optional[bool] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_JOB_STATES
+
+
+@dataclass(frozen=True, kw_only=True)
+class ListJobsResponse(Response):
+    jobs: Tuple[JobHandle, ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class AppStatusResponse(Response):
+    app: str
+    workload_kind: str
+    n_examples: int
+    n_enabled: int
+    n_candidates: int
+    training_runs: int
+    best_accuracy: Optional[float] = None
+    best_candidate: Optional[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class ListAppsResponse(Response):
+    apps: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class EventsResponse(Response):
+    events: Tuple[Dict[str, Any], ...] = ()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServerInfoResponse(Response):
+    placement: str
+    n_gpus: int
+    n_apps: int
+    n_jobs: int
+    clock: float
+    training_started: bool
+
+
+# ----------------------------------------------------------------------
+# Wire form
+# ----------------------------------------------------------------------
+def _message_types() -> Dict[str, Type]:
+    types: Dict[str, Type] = {}
+    for obj in list(globals().values()):
+        if (
+            isinstance(obj, type)
+            and dataclasses.is_dataclass(obj)
+            and (issubclass(obj, (Request, Response)) or obj is JobHandle)
+        ):
+            types[obj.__name__] = obj
+    return types
+
+
+#: Registry of every wire-serialisable message type, by class name.
+MESSAGE_TYPES: Dict[str, Type] = {}
+
+
+def _tuplify(value: Any) -> Any:
+    """Recursively turn JSON lists back into the API's tuples."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def _coerce(cls: Type, body: Dict[str, Any]) -> Any:
+    """Build a dataclass from a wire dict, recursing into handles."""
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(body) - set(fields)
+    if unknown:
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            f"{cls.__name__} does not accept field(s) "
+            f"{sorted(unknown)}; valid fields: {sorted(fields)}",
+            type=cls.__name__,
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in body.items():
+        if name in ("handles", "jobs") and isinstance(value, list):
+            value = tuple(
+                _coerce(JobHandle, dict(v)) if isinstance(v, dict) else v
+                for v in value
+            )
+        else:
+            value = _tuplify(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            f"cannot build {cls.__name__}: {exc}",
+            type=cls.__name__,
+        ) from None
+
+
+def to_wire(message: Any) -> Dict[str, Any]:
+    """``{"type": <class name>, "body": <json-safe fields>}``."""
+    if not dataclasses.is_dataclass(message):
+        raise TypeError(f"not an API message: {message!r}")
+    return {
+        "type": type(message).__name__,
+        "body": jsonify(dataclasses.asdict(message)),
+    }
+
+
+def from_wire(data: Dict[str, Any]) -> Any:
+    """Reconstruct a typed message from its :func:`to_wire` form."""
+    try:
+        type_name = data["type"]
+        body = data.get("body", {})
+    except (TypeError, KeyError):
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            "wire message must be a dict with 'type' and 'body' keys",
+        ) from None
+    cls = MESSAGE_TYPES.get(type_name)
+    if cls is None:
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            f"unknown message type {type_name!r}; known types: "
+            f"{sorted(MESSAGE_TYPES)}",
+        )
+    return _coerce(cls, dict(body))
+
+
+MESSAGE_TYPES.update(_message_types())

@@ -1,0 +1,271 @@
+"""EaseMLClient: the Python SDK for the HTTP service.
+
+The client speaks the same typed vocabulary as the gateway — every
+method returns a response dataclass from :mod:`repro.service.api`, and
+every service failure raises the original :class:`ApiError`
+reconstructed from the wire (code, message, and details intact), so
+in-process and over-the-socket callers handle errors identically.
+
+Quickstart::
+
+    client = EaseMLClient("http://127.0.0.1:8080", token)
+    client.register_app("moons", "{input: {[Tensor[2]], []}, "
+                                 "output: {[Tensor[2]], []}}")
+    client.feed("moons", X.tolist(), [int(v) for v in y])
+    handles = client.submit_training("moons", steps=4)
+    for handle in handles:
+        status = client.wait(handle.job_id)
+        print(status.candidate, status.accuracy)
+    print(client.infer("moons", X[0].tolist()).prediction)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from urllib.parse import urlencode, urlparse
+
+from repro.service.api import (
+    API_VERSION,
+    ApiError,
+    ApiErrorCode,
+    AppStatusResponse,
+    EventsResponse,
+    FeedResponse,
+    InferResponse,
+    JobHandle,
+    JobStatusResponse,
+    ListAppsResponse,
+    ListJobsResponse,
+    RefineResponse,
+    RegisterAppResponse,
+    ServerInfoResponse,
+    SetExampleEnabledResponse,
+    SubmitTrainingResponse,
+    from_wire,
+)
+
+
+class EaseMLClient:
+    """HTTP client for the versioned multi-tenant service.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8080"``.
+    token:
+        The tenant auth token issued by the operator.
+    timeout:
+        Socket timeout in seconds for each request.
+    """
+
+    def __init__(
+        self, base_url: str, token: str, *, timeout: float = 30.0
+    ) -> None:
+        parsed = urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(
+                f"only http:// endpoints are supported, got {base_url!r}"
+            )
+        self.host = parsed.hostname or base_url
+        self.port = parsed.port or 80
+        self.token = token
+        self.timeout = float(timeout)
+        # One keep-alive connection, reused across requests (and
+        # re-established transparently if the server closed it).  The
+        # lock makes a shared client safe to use from threads, though
+        # one client per thread parallelises better.
+        self._connection: Optional[HTTPConnection] = None
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        payload = None
+        headers = {"Authorization": f"Bearer {self.token}"}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        with self._lock:
+            response, raw = self._exchange(method, path, payload, headers)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ApiError(
+                ApiErrorCode.INTERNAL,
+                f"server returned a non-JSON body (HTTP {response.status})",
+            ) from None
+        if "error" in data:
+            raise ApiError.from_dict(data["error"])
+        return from_wire(data)
+
+    def _exchange(self, method, path, payload, headers):
+        """One HTTP exchange over the persistent connection.
+
+        A stale keep-alive socket (server closed it between requests)
+        surfaces as a connection error on the first attempt; reconnect
+        once before giving up.
+        """
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(
+                    method, path, body=payload, headers=headers
+                )
+                response = self._connection.getresponse()
+                return response, response.read()
+            except (ConnectionError, HTTPException, OSError):
+                self._connection.close()
+                self._connection = None
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _get(self, path: str, **query: Any) -> Any:
+        return self._request(
+            "GET", path, query={k: v for k, v in query.items() if v is not None}
+        )
+
+    def _post(self, path: str, **body: Any) -> Any:
+        body.setdefault("api_version", API_VERSION)
+        return self._request("POST", path, body=body)
+
+    # ------------------------------------------------------------------
+    # The verbs
+    # ------------------------------------------------------------------
+    def info(self) -> ServerInfoResponse:
+        """Service metadata (placement, pool size, clock, counts)."""
+        return self._get(f"/{API_VERSION}/info")
+
+    def register_app(self, app: str, program: str) -> RegisterAppResponse:
+        """Declare a new app from DSL program text."""
+        return self._post(f"/{API_VERSION}/apps", app=app, program=program)
+
+    def list_apps(self) -> ListAppsResponse:
+        """This tenant's registered app names."""
+        return self._get(f"/{API_VERSION}/apps")
+
+    def app_status(self, app: str) -> AppStatusResponse:
+        """Best model, accuracy, and store stats for one app."""
+        return self._get(f"/{API_VERSION}/apps/{app}")
+
+    def feed(
+        self,
+        app: str,
+        inputs: Sequence[Sequence[float]],
+        outputs: Sequence[Any],
+    ) -> FeedResponse:
+        """Store input/output example pairs."""
+        return self._post(
+            f"/{API_VERSION}/apps/{app}/examples",
+            inputs=[list(x) for x in inputs],
+            outputs=[
+                list(y) if isinstance(y, (list, tuple)) else int(y)
+                for y in outputs
+            ],
+        )
+
+    def refine(self, app: str) -> RefineResponse:
+        """All fed examples and their enabled flags."""
+        return self._get(f"/{API_VERSION}/apps/{app}/examples")
+
+    def set_example_enabled(
+        self, app: str, example_id: int, enabled: bool
+    ) -> SetExampleEnabledResponse:
+        """Toggle one stored example on/off."""
+        return self._post(
+            f"/{API_VERSION}/apps/{app}/examples/{int(example_id)}",
+            enabled=bool(enabled),
+        )
+
+    def infer(self, app: str, x: Sequence[float]) -> InferResponse:
+        """Predict with the app's best model so far."""
+        return self._post(f"/{API_VERSION}/apps/{app}/infer", x=list(x))
+
+    def submit_training(
+        self, app: str, steps: int = 1
+    ) -> Tuple[JobHandle, ...]:
+        """Submit async training jobs; returns their handles."""
+        response: SubmitTrainingResponse = self._post(
+            f"/{API_VERSION}/jobs", app=app, steps=int(steps)
+        )
+        return response.handles
+
+    def job_status(self, job_id: str) -> JobStatusResponse:
+        """Poll one job handle (advances the cluster when live)."""
+        return self._get(f"/{API_VERSION}/jobs/{job_id}")
+
+    def list_jobs(self, app: Optional[str] = None) -> ListJobsResponse:
+        """This tenant's job handles, optionally for one app."""
+        return self._get(f"/{API_VERSION}/jobs", app=app)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_interval: float = 0.0,
+    ) -> JobStatusResponse:
+        """Poll ``job_id`` until it reaches a terminal state.
+
+        ``poll_interval`` sleeps between polls (0 spins — fine against
+        the simulated cluster, where each poll makes progress).
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            status = self.job_status(job_id)
+            if status.done:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {status.state!r} after "
+                    f"{timeout}s"
+                )
+            if poll_interval > 0:
+                time.sleep(poll_interval)
+
+    def wait_all(
+        self, handles: Iterable[Any], *, timeout: float = 60.0
+    ) -> Tuple[JobStatusResponse, ...]:
+        """Wait for every handle (or handle id); returns final statuses."""
+        return tuple(
+            self.wait(
+                h.job_id if isinstance(h, JobHandle) else str(h),
+                timeout=timeout,
+            )
+            for h in handles
+        )
+
+    def events(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        since: float = 0.0,
+    ) -> EventsResponse:
+        """Slice the server's event log."""
+        return self._get(
+            f"/{API_VERSION}/events",
+            kinds=",".join(kinds) if kinds else None,
+            since=since if since else None,
+        )

@@ -1,0 +1,717 @@
+"""The service gateway: validation, tenancy, quotas, async job handles.
+
+:class:`ServiceGateway` is the transport-agnostic router every
+frontend (the HTTP server, the Python SDK used in-process, tests)
+dispatches through.  It owns:
+
+* **tenant identity** — auth tokens map to named tenants; every app
+  belongs to the tenant that registered it, and cross-tenant access
+  reports ``NOT_FOUND`` (names are not leaked across tenants);
+* **quotas** — per-tenant ceilings on registered apps, jobs in
+  flight, and example-store bytes, enforced *before* state changes;
+* **async training** — ``SubmitTrainingRequest`` returns job handles
+  immediately; the jobs run on the PR-1 discrete-event
+  :class:`~repro.runtime.kernel.ClusterRuntime` under the server's
+  placement policy, so many tenants keep work in flight and
+  completions land out of submission order.  Each
+  ``JobStatusRequest`` poll of a live job advances the simulated
+  cluster by one completion event, and every completion is absorbed
+  into the scheduler exactly once (picker observation, Algorithm 2
+  recurrence, step record) in completion order.
+
+The backend is the existing :class:`~repro.platform.server.EaseMLServer`
+with its event-driven runtime enabled; the gateway never exposes it
+directly — everything in and out is a typed message from
+:mod:`repro.service.api`, and every failure is an
+:class:`~repro.service.api.ApiError`.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.events import EventKind
+from repro.engine.jobs import Job, JobState
+from repro.platform.server import EaseMLApp, EaseMLServer
+from repro.runtime.trace import event_to_dict
+from repro.service.api import (
+    API_VERSION,
+    ApiError,
+    ApiErrorCode,
+    AppStatusRequest,
+    AppStatusResponse,
+    EventsRequest,
+    EventsResponse,
+    FeedRequest,
+    FeedResponse,
+    InferRequest,
+    InferResponse,
+    JobHandle,
+    JobStatusRequest,
+    JobStatusResponse,
+    ListAppsRequest,
+    ListAppsResponse,
+    ListJobsRequest,
+    ListJobsResponse,
+    RefineRequest,
+    RefineResponse,
+    RegisterAppRequest,
+    RegisterAppResponse,
+    Request,
+    Response,
+    ServerInfoRequest,
+    ServerInfoResponse,
+    SetExampleEnabledRequest,
+    SetExampleEnabledResponse,
+    SubmitTrainingRequest,
+    SubmitTrainingResponse,
+)
+
+#: Job states that still count against the pending-jobs quota.
+_LIVE_STATES = (JobState.PENDING, JobState.RUNNING, JobState.PREEMPTED)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource ceilings the gateway enforces."""
+
+    max_apps: int = 4
+    max_pending_jobs: int = 8
+    max_store_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        for name in ("max_apps", "max_pending_jobs", "max_store_bytes"):
+            if int(getattr(self, name)) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+@dataclass
+class Tenant:
+    """One authenticated principal and its resources."""
+
+    name: str
+    token: str
+    quota: TenantQuota
+    apps: List[str] = field(default_factory=list)
+    #: Running example-store usage (updated on feed; stores are
+    #: append-only, so this never needs recomputing).
+    store_bytes: int = 0
+
+
+@dataclass
+class _JobRecord:
+    """Gateway-side bookkeeping for one async training job."""
+
+    handle_id: str
+    tenant: str
+    app: str
+    candidate: str
+    job: Job
+    tenant_state: Any  # core.multitenant.TenantState
+    selection: Any  # core.model_picking.Selection
+    #: Row in the app's TrainingOutcome history — assigned when the
+    #: job completes (outcomes land in completion order).
+    history_index: Optional[int] = None
+
+
+class ServiceGateway:
+    """Typed request router over a runtime-backed :class:`EaseMLServer`.
+
+    Parameters
+    ----------
+    server:
+        An :class:`EaseMLServer` with ``runtime_placement`` set.  When
+        omitted, one is built from the keyword arguments below.
+    placement, n_gpus, scaling_efficiency, preemption_overhead, seed,
+    min_examples:
+        Backend shape used only when ``server`` is None.
+    default_quota:
+        Quota applied to tenants created without an explicit one.
+    """
+
+    def __init__(
+        self,
+        server: Optional[EaseMLServer] = None,
+        *,
+        placement: str = "partition",
+        n_gpus: int = 8,
+        scaling_efficiency: float = 0.9,
+        preemption_overhead: float = 0.0,
+        seed: int = 0,
+        min_examples: int = 10,
+        default_quota: Optional[TenantQuota] = None,
+        zoo=None,
+    ) -> None:
+        if server is None:
+            server = EaseMLServer(
+                zoo,
+                runtime_placement=placement,
+                n_gpus=n_gpus,
+                scaling_efficiency=scaling_efficiency,
+                preemption_overhead=preemption_overhead,
+                min_examples=min_examples,
+                seed=seed,
+            )
+        if server.runtime_placement is None:
+            raise ValueError(
+                "the gateway needs an event-driven backend; construct "
+                "the server with runtime_placement set (e.g. 'partition')"
+            )
+        self.server = server
+        self.default_quota = default_quota or TenantQuota()
+        self._tenants: Dict[str, Tenant] = {}  # token -> tenant
+        self._tenant_names: Dict[str, Tenant] = {}
+        self._jobs: Dict[str, _JobRecord] = {}  # handle id -> record
+        self._jobs_by_runtime_id: Dict[int, _JobRecord] = {}
+        self._lock = threading.RLock()
+        self._absorb_hook_installed = False
+        if self.server._runtime_oracle is not None:
+            # Wrapping a server whose scheduler already started: hook
+            # completions now, or job results would never be absorbed.
+            self._install_absorb_hook()
+        self._handlers = {
+            RegisterAppRequest: self._register_app,
+            FeedRequest: self._feed,
+            RefineRequest: self._refine,
+            SetExampleEnabledRequest: self._set_example_enabled,
+            InferRequest: self._infer,
+            SubmitTrainingRequest: self._submit_training,
+            JobStatusRequest: self._job_status,
+            ListJobsRequest: self._list_jobs,
+            AppStatusRequest: self._app_status,
+            ListAppsRequest: self._list_apps,
+            EventsRequest: self._events,
+            ServerInfoRequest: self._server_info,
+        }
+
+    # ------------------------------------------------------------------
+    # Tenant management (operator-side, not part of the request API)
+    # ------------------------------------------------------------------
+    def create_tenant(
+        self,
+        name: str,
+        quota: Optional[TenantQuota] = None,
+        *,
+        apps: Optional[List[str]] = None,
+    ) -> str:
+        """Register a tenant; returns its auth token.
+
+        ``apps`` adopts apps already registered on the backing server
+        (the pre-started-server path), making them this tenant's.
+        """
+        with self._lock:
+            if name in self._tenant_names:
+                raise ValueError(f"tenant {name!r} already exists")
+            token = f"tok-{secrets.token_hex(12)}"
+            tenant = Tenant(name, token, quota or self.default_quota)
+            for app_name in apps or ():
+                owner = next(
+                    (
+                        t.name
+                        for t in self._tenants.values()
+                        if app_name in t.apps
+                    ),
+                    None,
+                )
+                if owner is not None:
+                    raise ValueError(
+                        f"app {app_name!r} already belongs to tenant "
+                        f"{owner!r}"
+                    )
+                app = self.server.get_app(app_name)  # NOT_FOUND if absent
+                tenant.apps.append(app_name)
+                tenant.store_bytes += sum(
+                    e.x.nbytes + e.y.nbytes for e in app.store
+                )
+            self._tenants[token] = tenant
+            self._tenant_names[name] = tenant
+            return token
+
+    def tenant_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenant_names)
+
+    # ------------------------------------------------------------------
+    # The single entry point
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Validate, authenticate, dispatch; all failures are ApiError."""
+        if not isinstance(request, Request):
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"expected a service Request, got {type(request).__name__}",
+            )
+        if request.api_version != API_VERSION:
+            raise ApiError(
+                ApiErrorCode.UNSUPPORTED_VERSION,
+                f"this server speaks api_version {API_VERSION!r}, the "
+                f"request declares {request.api_version!r}",
+                supported=API_VERSION,
+            )
+        handler = self._handlers.get(type(request))
+        if handler is None:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"no handler for request type {type(request).__name__}",
+            )
+        with self._lock:
+            tenant = self._authenticate(request)
+            try:
+                return handler(tenant, request)
+            except ApiError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - boundary catch-all
+                # Nothing below the gateway may leak a raw traceback
+                # across the service boundary.
+                raise ApiError(
+                    ApiErrorCode.INTERNAL,
+                    f"unexpected {type(exc).__name__} while handling "
+                    f"{type(request).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                ) from exc
+
+    def _authenticate(self, request: Request) -> Tenant:
+        tenant = self._tenants.get(request.auth_token)
+        if tenant is None:
+            raise ApiError(
+                ApiErrorCode.UNAUTHORIZED,
+                "unknown auth token; ask the operator for a tenant "
+                "token (created via ServiceGateway.create_tenant)",
+            )
+        return tenant
+
+    # ------------------------------------------------------------------
+    # App lifecycle
+    # ------------------------------------------------------------------
+    def _register_app(
+        self, tenant: Tenant, request: RegisterAppRequest
+    ) -> RegisterAppResponse:
+        name = request.app
+        if not name or not isinstance(name, str):
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                "app name must be a non-empty string",
+            )
+        if len(tenant.apps) >= tenant.quota.max_apps:
+            raise ApiError(
+                ApiErrorCode.QUOTA_EXCEEDED,
+                f"tenant {tenant.name!r} already has "
+                f"{len(tenant.apps)} apps (quota: "
+                f"{tenant.quota.max_apps}); delete is not supported, "
+                "so raise the quota or reuse an existing app",
+                limit=tenant.quota.max_apps,
+            )
+        if name in self.server.storage:
+            raise ApiError(
+                ApiErrorCode.CONFLICT,
+                f"an app named {name!r} already exists; app names are "
+                "global across tenants — pick another name",
+                app=name,
+            )
+        try:
+            app = self.server.register_app(request.program, name)
+        except NotImplementedError as exc:
+            raise ApiError(
+                ApiErrorCode.UNSUPPORTED, str(exc), app=name
+            ) from None
+        except RuntimeError as exc:
+            # Registration frozen once training has started.
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION, str(exc), app=name
+            ) from None
+        except ValueError as exc:
+            raise ApiError(
+                ApiErrorCode.INVALID_PROGRAM,
+                f"cannot parse DSL program for app {name!r}: {exc}",
+                app=name,
+            ) from None
+        tenant.apps.append(name)
+        return RegisterAppResponse(
+            app=name,
+            workload_kind=app.template.kind.value,
+            n_candidates=len(app.live_candidates),
+        )
+
+    def _get_app(self, tenant: Tenant, name: str) -> EaseMLApp:
+        if name not in tenant.apps:
+            raise ApiError(
+                ApiErrorCode.NOT_FOUND,
+                f"tenant {tenant.name!r} has no app named {name!r}; "
+                f"its apps are {sorted(tenant.apps)}",
+                app=name,
+            )
+        return self.server.get_app(name)
+
+    def _feed(self, tenant: Tenant, request: FeedRequest) -> FeedResponse:
+        app = self._get_app(tenant, request.app)
+        if len(request.inputs) != len(request.outputs):
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"got {len(request.inputs)} inputs but "
+                f"{len(request.outputs)} outputs",
+            )
+        if not request.inputs:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                "feed requires at least one example pair",
+            )
+        # Quota check before any state changes: stored examples are
+        # float64 rows of declared input+output size.
+        incoming = (
+            len(request.inputs)
+            * (app.program.input.flat_size + app.program.output.flat_size)
+            * 8
+        )
+        used = tenant.store_bytes
+        if used + incoming > tenant.quota.max_store_bytes:
+            raise ApiError(
+                ApiErrorCode.QUOTA_EXCEEDED,
+                f"feeding {incoming} bytes would exceed tenant "
+                f"{tenant.name!r}'s example-store quota "
+                f"({used} of {tenant.quota.max_store_bytes} bytes used); "
+                "disable and re-feed smaller batches or raise the quota",
+                used=used,
+                incoming=incoming,
+                limit=tenant.quota.max_store_bytes,
+            )
+        try:
+            inputs = [np.asarray(x, dtype=float) for x in request.inputs]
+            outputs = [
+                int(y) if np.isscalar(y) or isinstance(y, (int, float))
+                else np.asarray(y, dtype=float)
+                for y in request.outputs
+            ]
+            ids = app.feed(inputs, outputs)
+        except (ValueError, TypeError) as exc:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"cannot feed app {request.app!r}: {exc}",
+                app=request.app,
+            ) from None
+        tenant.store_bytes += incoming
+        return FeedResponse(
+            app=request.app,
+            example_ids=tuple(ids),
+            n_total=len(app.store),
+            n_enabled=app.store.n_enabled,
+        )
+
+    def _refine(
+        self, tenant: Tenant, request: RefineRequest
+    ) -> RefineResponse:
+        app = self._get_app(tenant, request.app)
+        return RefineResponse(
+            app=request.app,
+            examples=tuple(app.refine()),
+        )
+
+    def _set_example_enabled(
+        self, tenant: Tenant, request: SetExampleEnabledRequest
+    ) -> SetExampleEnabledResponse:
+        app = self._get_app(tenant, request.app)
+        app.set_example_enabled(int(request.example_id), request.enabled)
+        return SetExampleEnabledResponse(
+            app=request.app,
+            example_id=int(request.example_id),
+            enabled=bool(request.enabled),
+        )
+
+    def _infer(self, tenant: Tenant, request: InferRequest) -> InferResponse:
+        app = self._get_app(tenant, request.app)
+        try:
+            x = np.asarray(request.x, dtype=float)
+        except (ValueError, TypeError) as exc:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"infer input is not numeric: {exc}",
+            ) from None
+        if x.size != app.program.input.flat_size:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"infer input has {x.size} scalars, app {request.app!r} "
+                f"declares {app.program.input.flat_size}",
+                expected=app.program.input.flat_size,
+                got=int(x.size),
+            )
+        try:
+            prediction = app.infer(x)
+        except RuntimeError as exc:
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                f"{exc}; submit training and poll the job handle first",
+                app=request.app,
+            ) from None
+        return InferResponse(
+            app=request.app,
+            prediction=int(prediction),
+            model=app.best_candidate,
+        )
+
+    # ------------------------------------------------------------------
+    # Async training
+    # ------------------------------------------------------------------
+    def _install_absorb_hook(self) -> None:
+        if not self._absorb_hook_installed:
+            self.server._runtime_oracle.runtime.on_completion(
+                self._on_job_completed
+            )
+            self._absorb_hook_installed = True
+
+    def _ensure_training_started(self, tenant: Tenant) -> None:
+        if self.server.scheduler is not None:
+            self._install_absorb_hook()
+            return
+        # Pre-check the fixed-tenant-set precondition ourselves so the
+        # error never leaks another tenant's app names.
+        not_ready = [
+            app.name
+            for app in self.server.apps
+            if app.store.n_enabled < self.server.min_examples
+        ]
+        mine = sorted(n for n in not_ready if n in tenant.apps)
+        if mine:
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                f"cannot start training: app(s) {mine} have fewer than "
+                f"{self.server.min_examples} enabled examples — feed "
+                "more first",
+                apps=mine,
+                min_examples=self.server.min_examples,
+            )
+        if not_ready:
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                "cannot start training: the cluster uses a fixed "
+                "tenant set per run, and another tenant's app is "
+                "still awaiting examples",
+                pending_apps=len(not_ready),
+            )
+        try:
+            self.server._prepare()
+        except RuntimeError as exc:
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                f"cannot start training: {exc}",
+            ) from None
+        self._install_absorb_hook()
+
+    def _submit_training(
+        self, tenant: Tenant, request: SubmitTrainingRequest
+    ) -> SubmitTrainingResponse:
+        app = self._get_app(tenant, request.app)
+        steps = int(request.steps)
+        if steps < 1:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"steps must be >= 1, got {steps}",
+            )
+        pending = sum(
+            1
+            for record in self._jobs.values()
+            if record.tenant == tenant.name
+            and record.job.state in _LIVE_STATES
+        )
+        if pending + steps > tenant.quota.max_pending_jobs:
+            raise ApiError(
+                ApiErrorCode.QUOTA_EXCEEDED,
+                f"tenant {tenant.name!r} has {pending} jobs in flight; "
+                f"submitting {steps} more would exceed the quota of "
+                f"{tenant.quota.max_pending_jobs} — poll existing job "
+                "handles to completion first",
+                pending=pending,
+                requested=steps,
+                limit=tenant.quota.max_pending_jobs,
+            )
+        self._ensure_training_started(tenant)
+        scheduler = self.server.scheduler
+        oracle = self.server._runtime_oracle
+        user = self.server.apps.index(app)
+        tenant_state = scheduler.tenants[user]
+        handles = []
+        for _ in range(steps):
+            selection = tenant_state.picker.select()
+            reward, gpu_time = oracle.trainer.train(user, selection.arm)
+            job = oracle.runtime.submit(user, selection.arm, gpu_time, reward)
+            record = _JobRecord(
+                handle_id=f"job-{len(self._jobs):05d}",
+                tenant=tenant.name,
+                app=request.app,
+                candidate=app.live_candidates[selection.arm].name,
+                job=job,
+                tenant_state=tenant_state,
+                selection=selection,
+            )
+            self._jobs[record.handle_id] = record
+            self._jobs_by_runtime_id[job.job_id] = record
+            handles.append(self._handle_of(record))
+        return SubmitTrainingResponse(handles=tuple(handles))
+
+    def _on_job_completed(self, job: Job) -> None:
+        """Absorb one runtime completion into the scheduler state.
+
+        Runs after the server's own completion hook has applied the
+        training outcome to app state, so the freshly-appended history
+        row is this job's.
+        """
+        record = self._jobs_by_runtime_id.get(job.job_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        app = self.server.get_app(record.app)
+        record.history_index = len(app.history) - 1
+        self.server._runtime_oracle.absorb(
+            self.server.scheduler,
+            record.tenant_state,
+            record.selection,
+            job,
+        )
+
+    def _handle_of(self, record: _JobRecord) -> JobHandle:
+        return JobHandle(
+            job_id=record.handle_id,
+            app=record.app,
+            candidate=record.candidate,
+            state=record.job.state.value,
+            submitted_at=float(record.job.submit_time),
+        )
+
+    def _get_job(self, tenant: Tenant, handle_id: str) -> _JobRecord:
+        record = self._jobs.get(handle_id)
+        if record is None or record.tenant != tenant.name:
+            raise ApiError(
+                ApiErrorCode.NOT_FOUND,
+                f"tenant {tenant.name!r} has no job {handle_id!r}; "
+                "list jobs to see valid handles",
+                job_id=handle_id,
+            )
+        return record
+
+    def _job_status(
+        self, tenant: Tenant, request: JobStatusRequest
+    ) -> JobStatusResponse:
+        record = self._get_job(tenant, request.job_id)
+        runtime = self.server._runtime_oracle.runtime
+        if record.job.state in _LIVE_STATES:
+            # Each poll of a live job advances the simulated cluster by
+            # (at most) one completion event — possibly someone else's,
+            # which is exactly how out-of-order completions surface.
+            completed = runtime.run_until_next_completion()
+            if not completed and not runtime.queue and (
+                record.job.state in _LIVE_STATES
+            ):
+                raise ApiError(
+                    ApiErrorCode.INTERNAL,
+                    f"runtime stalled before job {request.job_id} "
+                    f"completed (policy "
+                    f"{runtime.policy.name!r} never scheduled it)",
+                    job_id=request.job_id,
+                )
+        job = record.job
+        outcome = None
+        if job.state is JobState.FINISHED and record.history_index is not None:
+            app = self.server.get_app(record.app)
+            outcome = app.history[record.history_index]
+        return JobStatusResponse(
+            job_id=record.handle_id,
+            app=record.app,
+            candidate=record.candidate,
+            state=job.state.value,
+            submitted_at=float(job.submit_time),
+            started_at=job.start_time,
+            finished_at=job.end_time,
+            accuracy=None if outcome is None else float(outcome.accuracy),
+            improved=None if outcome is None else bool(outcome.improved),
+            preemptions=int(job.preemptions),
+        )
+
+    def _list_jobs(
+        self, tenant: Tenant, request: ListJobsRequest
+    ) -> ListJobsResponse:
+        if request.app is not None:
+            self._get_app(tenant, request.app)
+        handles = tuple(
+            self._handle_of(record)
+            for record in self._jobs.values()
+            if record.tenant == tenant.name
+            and (request.app is None or record.app == request.app)
+        )
+        return ListJobsResponse(jobs=handles)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _app_status(
+        self, tenant: Tenant, request: AppStatusRequest
+    ) -> AppStatusResponse:
+        app = self._get_app(tenant, request.app)
+        trained = app.best_candidate is not None
+        return AppStatusResponse(
+            app=request.app,
+            workload_kind=app.template.kind.value,
+            n_examples=len(app.store),
+            n_enabled=app.store.n_enabled,
+            n_candidates=len(app.live_candidates),
+            training_runs=len(app.history),
+            best_accuracy=float(app.best_accuracy) if trained else None,
+            best_candidate=app.best_candidate,
+        )
+
+    def _list_apps(
+        self, tenant: Tenant, request: ListAppsRequest
+    ) -> ListAppsResponse:
+        return ListAppsResponse(apps=tuple(sorted(tenant.apps)))
+
+    def _events(
+        self, tenant: Tenant, request: EventsRequest
+    ) -> EventsResponse:
+        kinds = None
+        if request.kinds is not None:
+            valid = {k.value for k in EventKind}
+            bad = [k for k in request.kinds if k not in valid]
+            if bad:
+                raise ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"unknown event kind(s) {bad}; valid kinds: "
+                    f"{sorted(valid)}",
+                )
+            kinds = {EventKind(k) for k in request.kinds}
+        # Tenant isolation: only events attributable to this tenant's
+        # apps are visible — by app name (platform events) or by the
+        # app's user index (runtime job-lifecycle events).
+        apps = set(tenant.apps)
+        users = {
+            i for i, app in enumerate(self.server.apps) if app.name in apps
+        }
+
+        def visible(event) -> bool:
+            payload = event.payload
+            if "app" in payload:
+                return payload["app"] in apps
+            if "user" in payload:
+                return payload["user"] in users
+            return False
+
+        events = tuple(
+            event_to_dict(event)
+            for event in self.server.log
+            if event.time >= float(request.since)
+            and (kinds is None or event.kind in kinds)
+            and visible(event)
+        )
+        return EventsResponse(events=events)
+
+    def _server_info(
+        self, tenant: Tenant, request: ServerInfoRequest
+    ) -> ServerInfoResponse:
+        return ServerInfoResponse(
+            placement=self.server.runtime_placement,
+            n_gpus=self.server.n_gpus,
+            n_apps=len(self.server.apps),
+            n_jobs=len(self._jobs),
+            clock=float(self.server.clock.now),
+            training_started=self.server.scheduler is not None,
+        )

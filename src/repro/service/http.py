@@ -1,0 +1,296 @@
+"""Stdlib HTTP frontend: the typed API over REST-ish JSON routes.
+
+A thin transport over :class:`~repro.service.gateway.ServiceGateway`:
+each route builds one typed request, dispatches it, and writes the
+response's wire form.  Errors — including anything unexpected — come
+back as a JSON ``{"error": {code, message, details}}`` body with the
+matching HTTP status; a raw traceback never crosses the socket.
+
+Routes (all under ``/v1``)::
+
+    GET    /v1/info                           server metadata
+    POST   /v1/apps                           register an app
+    GET    /v1/apps                           list this tenant's apps
+    GET    /v1/apps/{app}                     app status
+    POST   /v1/apps/{app}/examples            feed example pairs
+    GET    /v1/apps/{app}/examples            refine view
+    POST   /v1/apps/{app}/examples/{id}       toggle an example
+    POST   /v1/apps/{app}/infer               predict
+    POST   /v1/jobs                           submit async training
+    GET    /v1/jobs[?app=NAME]                list job handles
+    GET    /v1/jobs/{job_id}                  poll one handle
+    GET    /v1/events[?kinds=a,b&since=T]     event-log slice
+
+Authentication is ``Authorization: Bearer <token>``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.api import (
+    API_VERSION,
+    ApiError,
+    ApiErrorCode,
+    AppStatusRequest,
+    EventsRequest,
+    FeedRequest,
+    InferRequest,
+    JobStatusRequest,
+    ListAppsRequest,
+    ListJobsRequest,
+    RefineRequest,
+    RegisterAppRequest,
+    ServerInfoRequest,
+    SetExampleEnabledRequest,
+    SubmitTrainingRequest,
+    to_wire,
+)
+from repro.service.gateway import ServiceGateway
+
+_PREFIX = f"/{API_VERSION}"
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the gateway for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, gateway: ServiceGateway) -> None:
+        super().__init__(address, _Handler)
+        self.gateway = gateway
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def serve(
+    gateway: ServiceGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) an HTTP server for ``gateway``.
+
+    ``port=0`` picks a free port.  Call ``serve_forever()`` to block,
+    or :func:`serve_background` to run it on a daemon thread.
+    """
+    return ServiceHTTPServer((host, port), gateway)
+
+
+def serve_background(
+    gateway: ServiceGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start the HTTP server on a daemon thread; returns (server, thread)."""
+    server = serve(gateway, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="easeml-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps routes onto typed gateway requests."""
+
+    protocol_version = "HTTP/1.1"
+    #: Nagle + delayed-ACK stalls keep-alive round trips by ~40ms;
+    #: responses are single small JSON writes, so push them at once.
+    disable_nagle_algorithm = True
+    #: Silence per-request stderr logging (set True for debugging).
+    verbose = False
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    @property
+    def gateway(self) -> ServiceGateway:
+        return self.server.gateway
+
+    def _token(self) -> str:
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer "):
+            return header[len("Bearer "):].strip()
+        return ""
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                "request body is not valid JSON",
+            ) from None
+        if not isinstance(data, dict):
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                "request body must be a JSON object",
+            )
+        return data
+
+    def _write(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _finish(self, request) -> None:
+        response = self.gateway.handle(request)
+        self._write(200, to_wire(response))
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            query = parse_qs(url.query)
+            request = self._route(method, parts, query)
+            self._finish(request)
+        except ApiError as exc:
+            self._write(
+                exc.http_status,
+                {"api_version": API_VERSION, "error": exc.to_dict()},
+            )
+        except Exception as exc:  # noqa: BLE001 - transport boundary
+            # The request stream may be in an unknown state; don't let
+            # a keep-alive reuse parse leftover bytes as a request.
+            self.close_connection = True
+            error = ApiError(
+                ApiErrorCode.INTERNAL,
+                f"unexpected {type(exc).__name__} in the HTTP frontend",
+                error_type=type(exc).__name__,
+            )
+            self._write(
+                error.http_status,
+                {"api_version": API_VERSION, "error": error.to_dict()},
+            )
+
+    # -- routing -------------------------------------------------------
+    def _route(self, method: str, parts, query):
+        # Read the body before any routing decision: an unread body
+        # would desync this keep-alive connection (the next request
+        # would be parsed out of the leftover bytes).
+        body = self._body() if method == "POST" else {}
+        if not parts or parts[0] != API_VERSION:
+            raise ApiError(
+                ApiErrorCode.NOT_FOUND,
+                f"unknown path {self.path!r}; routes live under "
+                f"{_PREFIX}/ (see the API reference in the README)",
+            )
+        token = self._token()
+        rest = parts[1:]
+        version = body.pop("api_version", API_VERSION)
+        common = dict(auth_token=token, api_version=version)
+
+        route = (method, *rest)
+        try:
+            return self._build(route, body, query, common)
+        except ApiError:
+            raise
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"malformed request for {method} {self.path!r}: {exc}",
+            ) from None
+
+    def _build(self, route, body, query, common):
+        method, *rest = route
+        if rest == ["info"] and method == "GET":
+            return ServerInfoRequest(**common)
+        if rest == ["apps"]:
+            if method == "POST":
+                return RegisterAppRequest(
+                    app=body["app"], program=body["program"], **common
+                )
+            if method == "GET":
+                return ListAppsRequest(**common)
+        if len(rest) == 2 and rest[0] == "apps" and method == "GET":
+            return AppStatusRequest(app=rest[1], **common)
+        if len(rest) == 3 and rest[0] == "apps" and rest[2] == "examples":
+            if method == "POST":
+                return FeedRequest(
+                    app=rest[1],
+                    inputs=tuple(body.get("inputs", ())),
+                    outputs=tuple(body.get("outputs", ())),
+                    **common,
+                )
+            if method == "GET":
+                return RefineRequest(app=rest[1], **common)
+        if (
+            len(rest) == 4
+            and rest[0] == "apps"
+            and rest[2] == "examples"
+            and method == "POST"
+        ):
+            enabled = body["enabled"]
+            if not isinstance(enabled, bool):
+                # bool("false") is True — reject instead of guessing.
+                raise ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"'enabled' must be a JSON boolean, got "
+                    f"{enabled!r}",
+                )
+            return SetExampleEnabledRequest(
+                app=rest[1],
+                example_id=int(rest[3]),
+                enabled=enabled,
+                **common,
+            )
+        if (
+            len(rest) == 3
+            and rest[0] == "apps"
+            and rest[2] == "infer"
+            and method == "POST"
+        ):
+            return InferRequest(
+                app=rest[1], x=tuple(body.get("x", ())), **common
+            )
+        if rest == ["jobs"]:
+            if method == "POST":
+                return SubmitTrainingRequest(
+                    app=body["app"],
+                    steps=int(body.get("steps", 1)),
+                    **common,
+                )
+            if method == "GET":
+                app = query.get("app", [None])[0]
+                return ListJobsRequest(app=app, **common)
+        if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+            return JobStatusRequest(job_id=rest[1], **common)
+        if rest == ["events"] and method == "GET":
+            kinds = query.get("kinds", [None])[0]
+            return EventsRequest(
+                kinds=tuple(kinds.split(",")) if kinds else None,
+                since=float(query.get("since", ["0"])[0]),
+                **common,
+            )
+        raise ApiError(
+            ApiErrorCode.NOT_FOUND,
+            f"no route for {method} {self.path!r}; see the API "
+            "reference table in the README",
+        )
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")

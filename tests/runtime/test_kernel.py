@@ -112,6 +112,44 @@ class TestPreemption:
             assert job.work_done == pytest.approx(job.gpu_time)
 
 
+class TestPreemptionOverhead:
+    def _run(self, overhead):
+        rt = ClusterRuntime(
+            perfect_pool(4),
+            DynamicPartitionPlacement(),
+            preemption_overhead=overhead,
+        )
+        a = rt.submit(0, 0, gpu_time=8.0, time=0.0)
+        b = rt.submit(1, 0, gpu_time=4.0, time=1.0)
+        rt.run_until_idle()
+        return rt, a, b
+
+    def test_free_preemption_is_the_default(self):
+        rt, a, _ = self._run(0.0)
+        assert a.end_time == pytest.approx(3.0)
+        for event in rt.log.filter(EventKind.JOB_PREEMPTED):
+            assert event.payload["overhead"] == 0.0
+
+    def test_overhead_delays_completion(self):
+        _, a_free, _ = self._run(0.0)
+        rt, a_paid, _ = self._run(1.0)
+        assert rt.preemption_count >= 1
+        assert a_paid.end_time > a_free.end_time
+        # The charged overhead lands in the event log.
+        preempted = rt.log.filter(EventKind.JOB_PREEMPTED)
+        assert any(e.payload["overhead"] > 0 for e in preempted)
+
+    def test_overhead_never_unbanks_below_zero(self):
+        # Overhead far larger than any banked work: jobs still finish.
+        rt, a, b = self._run(100.0)
+        assert a.state is JobState.FINISHED
+        assert b.state is JobState.FINISHED
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="preemption_overhead"):
+            ClusterRuntime(perfect_pool(2), preemption_overhead=-0.1)
+
+
 class TestArrivalsAndDepartures:
     def test_departure_cancels_queued_jobs(self):
         rt = ClusterRuntime(perfect_pool(1), SingleDevicePlacement())

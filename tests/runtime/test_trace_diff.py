@@ -1,0 +1,105 @@
+"""First-divergence reporting between recorded event logs."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine.cluster import GPUPool
+from repro.runtime import (
+    ClusterRuntime,
+    diff_event_files,
+    diff_event_logs,
+    first_divergence,
+    make_placement,
+    write_events_jsonl,
+)
+
+
+def _run(seed_jobs, policy="partition", overhead=0.0):
+    rt = ClusterRuntime(
+        GPUPool(2, scaling_efficiency=1.0),
+        make_placement(policy),
+        preemption_overhead=overhead,
+    )
+    for user, gpu_time, time in seed_jobs:
+        rt.submit(user, 0, gpu_time=gpu_time, time=time)
+    rt.run_until_idle()
+    return rt
+
+
+JOBS = [(0, 4.0, 0.0), (1, 2.0, 1.0), (0, 1.0, 2.0)]
+
+
+class TestFirstDivergence:
+    def test_identical_streams(self):
+        assert first_divergence([{"a": 1}], [{"a": 1}]) is None
+
+    def test_value_difference_reports_fields(self):
+        left = [{"time": 0.0, "kind": "x", "payload": {"u": 1}}]
+        right = [{"time": 0.0, "kind": "y", "payload": {"u": 1}}]
+        divergence = first_divergence(left, right)
+        assert divergence.index == 0
+        assert divergence.fields == ("kind",)
+        assert "first divergence at event #0" in divergence.describe()
+
+    def test_length_difference(self):
+        left = [{"a": 1}, {"a": 2}]
+        divergence = first_divergence(left, left[:1])
+        assert divergence.index == 1
+        assert divergence.left == {"a": 2}
+        assert divergence.right is None
+        assert "<stream ended>" in divergence.describe()
+
+    def test_divergence_index_is_first(self):
+        left = [{"a": 1}, {"a": 2}, {"a": 3}]
+        right = [{"a": 1}, {"a": 9}, {"a": 8}]
+        assert first_divergence(left, right).index == 1
+
+
+class TestDiffEventLogs:
+    def test_identical_runs_do_not_diverge(self):
+        assert diff_event_logs(_run(JOBS).log, _run(JOBS).log) is None
+
+    def test_parameter_change_diverges(self):
+        divergence = diff_event_logs(
+            _run(JOBS, overhead=0.0).log, _run(JOBS, overhead=0.5).log
+        )
+        assert divergence is not None
+
+    def test_file_roundtrip(self, tmp_path):
+        left = tmp_path / "a.jsonl"
+        right = tmp_path / "b.jsonl"
+        write_events_jsonl(_run(JOBS).log, left)
+        write_events_jsonl(_run(JOBS).log, right)
+        assert diff_event_files(left, right) is None
+        write_events_jsonl(_run(JOBS, policy="single").log, right)
+        assert diff_event_files(left, right) is not None
+
+
+class TestTraceDiffCli:
+    def _write(self, path, policy="partition"):
+        write_events_jsonl(_run(JOBS, policy=policy).log, path)
+
+    def test_identical_logs_exit_zero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a)
+        self._write(b)
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_logs_exit_one(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a)
+        self._write(b, policy="single")
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        a = tmp_path / "a.jsonl"
+        self._write(a)
+        code = main(["trace", "diff", str(a), str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_diff_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

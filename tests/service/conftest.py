@@ -1,0 +1,16 @@
+"""Fixtures for the service-layer tests (helpers: service_helpers.py)."""
+
+import pytest
+
+from service_helpers import make_gateway
+from repro.service.gateway import TenantQuota
+
+
+@pytest.fixture
+def gateway():
+    return make_gateway()
+
+
+@pytest.fixture
+def tight_quota():
+    return TenantQuota(max_apps=1, max_pending_jobs=2, max_store_bytes=2048)

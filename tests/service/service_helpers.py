@@ -1,0 +1,31 @@
+"""Shared helpers for the service-layer tests."""
+
+from repro.ml.data import TaskSpec, make_task
+from repro.ml.zoo import default_zoo
+from repro.service.gateway import ServiceGateway
+
+SMALL_ZOO = ["naive-bayes", "ridge", "tree-d4"]
+
+MOONS_PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+BLOBS_PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[3]], []}}"
+
+
+def make_gateway(**kwargs):
+    defaults = dict(
+        placement="partition",
+        n_gpus=4,
+        min_examples=10,
+        seed=0,
+        zoo=default_zoo().subset(SMALL_ZOO),
+    )
+    defaults.update(kwargs)
+    return ServiceGateway(**defaults)
+
+
+def task_payload(kind, n=60, seed=0):
+    """(inputs, outputs) wire payloads for one synthetic task."""
+    X, y = make_task(TaskSpec(kind, n, 0.3, seed=seed))
+    return (
+        tuple(tuple(float(v) for v in row) for row in X),
+        tuple(int(v) for v in y),
+    )

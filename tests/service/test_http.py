@@ -1,0 +1,309 @@
+"""The HTTP frontend and client SDK: round trips, errors, concurrency."""
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from service_helpers import (
+    BLOBS_PROGRAM,
+    MOONS_PROGRAM,
+    make_gateway,
+    task_payload,
+)
+from repro.service.api import ApiError, ApiErrorCode
+from repro.service.client import EaseMLClient
+from repro.service.http import serve_background
+
+
+@pytest.fixture
+def service():
+    """A live HTTP service; yields (gateway, server)."""
+    gateway = make_gateway()
+    server, _ = serve_background(gateway)
+    yield gateway, server
+    server.shutdown()
+    server.server_close()
+
+
+def make_client(server, token):
+    return EaseMLClient(server.url, token, timeout=30.0)
+
+
+def raw_request(server, method, path, body=None, token=None):
+    """A bare HTTP exchange, bypassing the SDK."""
+    connection = HTTPConnection("127.0.0.1", server.port, timeout=30.0)
+    headers = {}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    payload = None
+    if body is not None:
+        payload = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    raw = response.read()
+    connection.close()
+    return response.status, json.loads(raw.decode("utf-8"))
+
+
+def onboard(gateway, server, tenant, app, program, kind, seed=0):
+    token = gateway.create_tenant(tenant)
+    client = make_client(server, token)
+    client.register_app(app, program)
+    inputs, outputs = task_payload(kind, seed=seed)
+    client.feed(app, inputs, outputs)
+    return client, inputs
+
+
+class TestRoundTrips:
+    def test_full_verb_surface(self, service):
+        gateway, server = service
+        client, inputs = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        info = client.info()
+        assert info.placement == "partition"
+        assert client.list_apps().apps == ("moons",)
+        status = client.app_status("moons")
+        assert status.n_examples == 60
+        assert status.best_candidate is None
+        view = client.refine("moons")
+        assert view.examples[0] == (0, True)
+        toggled = client.set_example_enabled("moons", 0, False)
+        assert toggled.enabled is False
+        assert client.refine("moons").examples[0] == (0, False)
+
+        handles = client.submit_training("moons", steps=2)
+        assert len(handles) == 2
+        statuses = client.wait_all(handles)
+        assert all(s.state == "finished" for s in statuses)
+        assert all(0.0 <= s.accuracy <= 1.0 for s in statuses)
+
+        answer = client.infer("moons", inputs[0])
+        assert answer.prediction in (0, 1)
+        assert answer.model is not None
+
+        listed = client.list_jobs("moons")
+        assert len(listed.jobs) == 2
+        events = client.events(kinds=["job_finished"])
+        assert len(events.events) == 2
+
+    def test_events_since_filter(self, service):
+        gateway, server = service
+        client, _ = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        client.wait_all(client.submit_training("moons", steps=1))
+        horizon = client.info().clock
+        assert client.events(since=horizon + 1.0).events == ()
+
+
+class TestErrorModel:
+    def test_not_found_has_status_and_code(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        status, body = raw_request(
+            server, "GET", "/v1/apps/ghost", token=token
+        )
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+        assert "ghost" in body["error"]["message"]
+        # No traceback fragments cross the wire.
+        assert "Traceback" not in json.dumps(body)
+
+    def test_unauthorized_is_401(self, service):
+        _, server = service
+        status, body = raw_request(server, "GET", "/v1/apps", token="bad")
+        assert status == 401
+        assert body["error"]["code"] == "unauthorized"
+
+    def test_unknown_route_is_404(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        status, body = raw_request(
+            server, "GET", "/v1/nonsense", token=token
+        )
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_unversioned_path_is_404(self, service):
+        _, server = service
+        status, body = raw_request(server, "GET", "/apps", token="x")
+        assert status == 404
+        assert "/v1" in body["error"]["message"]
+
+    def test_unknown_path_post_keeps_connection_usable(self, service):
+        """The unread body of a 404'd POST must not desync keep-alive."""
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        connection = HTTPConnection("127.0.0.1", server.port, timeout=30.0)
+        try:
+            payload = json.dumps({"some": "body"}).encode("utf-8")
+            connection.request(
+                "POST",
+                "/bogus",
+                body=payload,
+                headers={"Authorization": f"Bearer {token}",
+                         "Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 404
+            assert body["error"]["code"] == "not_found"
+            # Same connection, next request: still a clean JSON API.
+            connection.request(
+                "GET",
+                "/v1/info",
+                headers={"Authorization": f"Bearer {token}"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200
+            assert body["type"] == "ServerInfoResponse"
+        finally:
+            connection.close()
+
+    def test_malformed_json_is_400(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        connection = HTTPConnection("127.0.0.1", server.port, timeout=30.0)
+        connection.request(
+            "POST",
+            "/v1/apps",
+            body=b"{not json",
+            headers={"Authorization": f"Bearer {token}"},
+        )
+        response = connection.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        connection.close()
+        assert response.status == 400
+        assert body["error"]["code"] == "invalid_argument"
+
+    def test_missing_body_field_is_400(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        status, body = raw_request(
+            server, "POST", "/v1/apps", body={"app": "x"}, token=token
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_argument"
+
+    def test_enabled_must_be_a_json_boolean(self, service):
+        gateway, server = service
+        client, _ = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        status, body = raw_request(
+            server,
+            "POST",
+            "/v1/apps/moons/examples/0",
+            body={"enabled": "false"},  # bool("false") is True — reject
+            token=client.token,
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_argument"
+        assert client.refine("moons").examples[0] == (0, True)
+
+    def test_wrong_api_version_rejected(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        status, body = raw_request(
+            server,
+            "POST",
+            "/v1/apps",
+            body={"app": "x", "program": MOONS_PROGRAM,
+                  "api_version": "v9"},
+            token=token,
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unsupported_version"
+
+    def test_client_reconstructs_typed_error(self, service):
+        gateway, server = service
+        client = make_client(server, gateway.create_tenant("alice"))
+        with pytest.raises(ApiError) as excinfo:
+            client.app_status("ghost")
+        assert excinfo.value.code is ApiErrorCode.NOT_FOUND
+        assert excinfo.value.details["app"] == "ghost"
+
+    def test_quota_error_maps_to_429(self, service):
+        gateway, server = service
+        from repro.service.gateway import TenantQuota
+
+        token = gateway.create_tenant(
+            "tiny", TenantQuota(max_apps=1, max_pending_jobs=1,
+                                max_store_bytes=1024)
+        )
+        client = make_client(server, token)
+        client.register_app("one", MOONS_PROGRAM)
+        status, body = raw_request(
+            server,
+            "POST",
+            "/v1/apps",
+            body={"app": "two", "program": MOONS_PROGRAM},
+            token=token,
+        )
+        assert status == 429
+        assert body["error"]["code"] == "quota_exceeded"
+
+
+class TestConcurrentClients:
+    def test_two_clients_interleave_training(self, service):
+        """Two tenants drive the service from separate threads."""
+        gateway, server = service
+        client_a, inputs_a = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        client_b, inputs_b = onboard(
+            gateway, server, "bob", "blobs", BLOBS_PROGRAM, "blobs", seed=1
+        )
+
+        results = {}
+        errors = []
+
+        def drive(name, client, app):
+            try:
+                handles = client.submit_training(app, steps=3)
+                statuses = client.wait_all(handles)
+                results[name] = statuses
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=drive, args=("a", client_a, "moons")),
+            threading.Thread(target=drive, args=("b", client_b, "blobs")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert all(
+            s.state == "finished" for s in results["a"] + results["b"]
+        )
+
+        # The shared cluster genuinely overlapped the tenants' jobs.
+        jobs = gateway.server._runtime_oracle.finished_jobs()
+        assert len(jobs) == 6
+        assert {j.user for j in jobs} == {0, 1}
+        spans = sorted((j.start_time, j.end_time) for j in jobs)
+        assert any(
+            later_start < earlier_end
+            for (_, earlier_end), (later_start, _) in zip(spans, spans[1:])
+        )
+        # Each tenant still ends with a working model.
+        assert client_a.infer("moons", inputs_a[0]).prediction in (0, 1)
+        assert client_b.infer("blobs", inputs_b[0]).prediction in (0, 1, 2)
+
+    def test_tenants_cannot_see_each_other(self, service):
+        gateway, server = service
+        client_a, _ = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        client_b = make_client(server, gateway.create_tenant("bob"))
+        assert client_b.list_apps().apps == ()
+        with pytest.raises(ApiError) as excinfo:
+            client_b.refine("moons")
+        assert excinfo.value.code is ApiErrorCode.NOT_FOUND

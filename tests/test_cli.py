@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _build_parser, build_service, main
 
 
 class TestStats:
@@ -128,3 +128,53 @@ class TestRuntime:
         bad.write_text('{"action": "explode", "time": 0, "user": 0}\n')
         assert main(["runtime", "--trace-in", str(bad)]) == 2
         assert "cannot load trace" in capsys.readouterr().err
+
+    def test_preemption_overhead_flag(self, capsys, tmp_path):
+        """The checkpoint-cost knob changes the replayed schedule."""
+        trace_path = tmp_path / "trace.jsonl"
+        free = tmp_path / "free.jsonl"
+        paid = tmp_path / "paid.jsonl"
+        base = ["runtime", "--jobs", "12", "--n-gpus", "4",
+                "--policy", "partition", "--seed", "3"]
+        assert main(
+            base + ["--trace-out", str(trace_path),
+                    "--events-out", str(free)]
+        ) == 0
+        assert main(
+            ["runtime", "--n-gpus", "4", "--policy", "partition",
+             "--preemption-overhead", "0.5",
+             "--trace-in", str(trace_path), "--events-out", str(paid)]
+        ) == 0
+        assert main(["trace", "diff", str(free), str(paid)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+
+class TestServe:
+    def _args(self, extra=()):
+        return _build_parser().parse_args(
+            ["serve", "--port", "0", "--n-gpus", "2", *extra]
+        )
+
+    def test_build_service_wires_gateway_and_tenants(self):
+        gateway, tokens, server = build_service(
+            self._args(["--tenant", "alice", "--tenant", "bob"])
+        )
+        try:
+            assert gateway.tenant_names() == ["alice", "bob"]
+            assert set(tokens) == {"alice", "bob"}
+            assert all(t.startswith("tok-") for t in tokens.values())
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+        finally:
+            server.server_close()
+
+    def test_build_service_default_tenant(self):
+        _, tokens, server = build_service(self._args())
+        try:
+            assert list(tokens) == ["default"]
+        finally:
+            server.server_close()
+
+    def test_serve_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve", "--placement", "psychic"])

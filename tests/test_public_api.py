@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_all_exports_resolve():
@@ -36,7 +36,9 @@ def test_subpackages_importable():
     import repro.gp
     import repro.ml
     import repro.platform
+    import repro.service
     import repro.utils
 
     assert repro.core.__doc__
     assert repro.platform.__doc__
+    assert repro.service.__doc__
