@@ -42,9 +42,9 @@ TRAIN_EVERY = 10
 def _onboard(server, gateway, index):
     """Create a tenant with a registered, fed app.
 
-    Registration is frozen once training starts (the backend keeps a
-    fixed tenant set per run), so all tenants onboard before the first
-    submit.
+    Registration stays open for the lifetime of the service (dynamic
+    tenant membership); onboarding everyone up front just keeps the
+    measured section free of admission work.
     """
     token = gateway.create_tenant(f"tenant-{index}")
     client = EaseMLClient(server.url, token)
@@ -55,10 +55,25 @@ def _onboard(server, gateway, index):
     return client, app, [float(v) for v in X[0]]
 
 
-def _drive(client, app, probe, n_requests, latencies):
-    """One tenant's measured request loop; appends per-request seconds."""
+def _drive(client, app, probe, n_requests, latencies, read_only=False):
+    """One tenant's measured request loop; appends per-request seconds.
+
+    ``read_only`` restricts the mix to the endpoints served under
+    per-tenant shard locks (app-status / refine / events), which is the
+    apples-to-apples workload for comparing locking disciplines.
+    """
     for i in range(n_requests):
         start = time.perf_counter()
+        if read_only:
+            step = i % 3
+            if step == 0:
+                client.app_status(app)
+            elif step == 1:
+                client.refine(app)
+            else:
+                client.events(kinds=["job_finished"])
+            latencies.append(time.perf_counter() - start)
+            continue
         step = i % 4
         if step == 0:
             client.infer(app, probe)
@@ -75,7 +90,8 @@ def _drive(client, app, probe, n_requests, latencies):
             latencies.append(time.perf_counter() - start)
 
 
-def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0):
+def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0,
+                  *, shard_read_locks=True, read_only=False):
     """Returns the report rows; prints nothing."""
     gateway = ServiceGateway(
         placement="partition",
@@ -86,6 +102,7 @@ def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0):
             max_apps=2, max_pending_jobs=8,
             max_store_bytes=64 * 1024 * 1024,
         ),
+        shard_read_locks=shard_read_locks,
     )
     server, _ = serve_background(gateway)
     try:
@@ -98,7 +115,8 @@ def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0):
         threads = [
             threading.Thread(
                 target=_drive,
-                args=(client, app, probe, n_requests, latencies),
+                args=(client, app, probe, n_requests, latencies,
+                      read_only),
             )
             for (client, app, probe), latencies in zip(
                 tenants, per_thread
@@ -138,6 +156,40 @@ def render(rows):
     )
 
 
+def run_lock_comparison(n_clients=4, n_requests=100, n_gpus=4, seed=0):
+    """Race the two locking disciplines on the read-only mix.
+
+    Same server shape, same request mix (app-status / refine / events —
+    exactly the endpoints the per-tenant shard locks cover); the only
+    variable is whether reads serialise on the gateway-wide RLock or
+    run under per-tenant locks.
+    """
+    rows = []
+    for label, shard in (("single lock", False),
+                         ("per-tenant locks", True)):
+        result = run_benchmark(
+            n_clients=n_clients, n_requests=n_requests, n_gpus=n_gpus,
+            seed=seed, shard_read_locks=shard, read_only=True,
+        )
+        by_name = {name: value for name, value in result}
+        rows.append([
+            label,
+            by_name["requests/sec"],
+            by_name["latency p50 (ms)"],
+            by_name["latency p99 (ms)"],
+        ])
+    return rows
+
+
+def render_lock_comparison(rows, n_clients):
+    return ascii_table(
+        ["locking", "requests/sec", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"Read-only mix: gateway lock discipline "
+        f"({n_clients} concurrent tenants)",
+    )
+
+
 def test_service_throughput(once):
     """Pytest entry point, sized like the other figure benchmarks."""
     rows = once(run_benchmark, n_clients=2, n_requests=40)
@@ -167,7 +219,18 @@ def main(argv=None):
         n_gpus=args.n_gpus,
         seed=args.seed,
     )
-    save_report("service_throughput", render(rows))
+    comparison = run_lock_comparison(
+        n_clients=args.clients,
+        n_requests=args.requests,
+        n_gpus=args.n_gpus,
+        seed=args.seed,
+    )
+    report = (
+        render(rows)
+        + "\n\n"
+        + render_lock_comparison(comparison, args.clients)
+    )
+    save_report("service_throughput", report)
     return 0
 
 

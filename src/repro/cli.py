@@ -37,6 +37,7 @@ from repro.experiments.protocol import STRATEGY_NAMES
 from repro.experiments.report import save_curves_csv, save_result_json
 from repro.runtime import (
     PLACEMENT_POLICIES,
+    AsyncClusterOracle,
     ClusterRuntime,
     WorkloadGenerator,
     WorkloadTrace,
@@ -126,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="single-GPU work units lost per preemption "
                     "(checkpoint/restore cost; default 0.0)")
     rt.add_argument("--seed", type=int, default=0)
+    rt.add_argument("--arrivals", type=str, default=None, metavar="TRACE",
+                    help="drive the multi-tenant scheduler (HYBRID user "
+                    "picking + GP-UCB model picking) over the runtime, "
+                    "consuming tenant arrive/depart items from this "
+                    "workload trace (JSONL) mid-run; job submissions "
+                    "come from the live scheduler, not the trace")
     rt.add_argument("--trace-in", type=str, default=None,
                     help="replay a recorded workload trace (JSONL)")
     rt.add_argument("--trace-out", type=str, default=None,
@@ -250,6 +257,102 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime_arrivals(args: argparse.Namespace, dataset) -> int:
+    """Live scheduler + membership churn from a recorded trace."""
+    import numpy as np
+
+    from repro.core.beta import AlgorithmOneBeta
+    from repro.core.model_picking import GPUCBPicker
+    from repro.core.multitenant import MultiTenantScheduler
+    from repro.core.user_picking import HybridPicker
+    from repro.engine.trainer import TraceTrainer
+
+    try:
+        trace = WorkloadTrace.load(args.arrivals)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"cannot load arrivals trace {args.arrivals!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    membership = trace.membership()
+    if not len(membership):
+        print(
+            f"trace {args.arrivals!r} contains no arrive/depart items",
+            file=sys.stderr,
+        )
+        return 2
+    bad = [u for u in membership.users() if u >= dataset.n_users]
+    if bad:
+        print(
+            f"trace names tenant(s) {bad} but dataset {args.dataset} "
+            f"only has {dataset.n_users} users",
+            file=sys.stderr,
+        )
+        return 2
+    trainer = TraceTrainer(dataset)
+    oracle = AsyncClusterOracle(
+        trainer,
+        GPUPool(args.n_gpus, scaling_efficiency=args.scaling_efficiency),
+        make_placement(args.policy),
+        preemption_overhead=args.preemption_overhead,
+    )
+    n_models = dataset.n_models
+
+    def picker_factory(user: int) -> GPUCBPicker:
+        return GPUCBPicker(
+            0.09 * np.eye(n_models),
+            AlgorithmOneBeta(n_models),
+            oracle.costs(user),
+            noise=0.05,
+            seed=args.seed * 10_000 + user,
+        )
+
+    # The run starts with an empty active set; every tenant joins (and
+    # leaves) through the trace's membership events.
+    scheduler = MultiTenantScheduler(
+        oracle, {}, HybridPicker(seed=args.seed)
+    )
+    result = oracle.run_concurrent(
+        scheduler,
+        max_jobs=args.jobs,
+        arrivals=membership,
+        picker_factory=picker_factory,
+    )
+    serves = result.serves_by_tenant()
+    n_arrive = sum(1 for i in membership if i.action == "arrive")
+    n_depart = sum(1 for i in membership if i.action == "depart")
+    rows = [
+        ["jobs completed", result.n_steps],
+        ["tenant arrivals (trace)", n_arrive],
+        ["tenant departures (trace)", n_depart],
+        ["tenants served", len(serves)],
+        ["tenants active at end", len(scheduler.active_ids())],
+        ["stalled picks", oracle.stalled_picks],
+        ["preemptions", oracle.runtime.preemption_count],
+        ["makespan", round(makespan(oracle.log), 4)],
+    ]
+    print(
+        ascii_table(
+            ["metric", "value"],
+            rows,
+            title=f"runtime: churn workload ({args.policy} placement, "
+            f"{args.dataset})",
+        )
+    )
+    print(
+        "serves by tenant: "
+        + ", ".join(f"{u}:{n}" for u, n in sorted(serves.items()))
+    )
+    if args.events_out:
+        write_events_jsonl(oracle.log, args.events_out)
+        print(
+            f"event log ({len(oracle.log)} events) written to "
+            f"{args.events_out}"
+        )
+    return 0
+
+
 def _cmd_runtime(args: argparse.Namespace) -> int:
     suite = load_benchmark_suite(seed=args.seed)
     if args.dataset not in suite:
@@ -260,6 +363,8 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         )
         return 2
     dataset = suite[args.dataset]
+    if args.arrivals:
+        return _cmd_runtime_arrivals(args, dataset)
     if args.trace_in:
         try:
             trace = WorkloadTrace.load(args.trace_in)

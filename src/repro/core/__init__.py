@@ -42,6 +42,7 @@ from repro.core.multitenant import (
     MultiTenantScheduler,
     RunResult,
     StepRecord,
+    TenantRegistry,
     TenantState,
 )
 from repro.core.oracles import MatrixOracle, Observation, RewardOracle
@@ -98,6 +99,7 @@ __all__ = [
     "GreedyPicker",
     "HybridPicker",
     "MultiTenantScheduler",
+    "TenantRegistry",
     "TenantState",
     "StepRecord",
     "RunResult",

@@ -1,4 +1,4 @@
-"""The multi-tenant scheduler loop (Section 4).
+"""The multi-tenant scheduler loop (Section 4), with live membership.
 
 At each round the scheduler (1) asks its *user picker* which tenant to
 serve, (2) asks that tenant's *model picker* which candidate model to
@@ -6,6 +6,14 @@ train, (3) trains it through the oracle, and (4) feeds the observation
 back into the tenant's state — including the empirical-confidence-bound
 recurrence of Algorithm 2 line 6 that the GREEDY/HYBRID user pickers
 consume.
+
+Tenant identity is a **stable id**, not a position: the scheduler owns
+a :class:`TenantRegistry` whose *active set* can change mid-run.
+``add_tenant`` admits a late arrival (its id is a row the oracle must
+already serve), ``retire_tenant`` removes a tenant from scheduling
+while preserving its full history, and every picker iterates the
+active set rather than ``range(n_users)``.  A paper-style fixed-tenant
+run is simply a registry whose membership never changes.
 
 The scheduler is deliberately policy-agnostic: every named algorithm in
 the paper (FCFS, ROUNDROBIN, RANDOM, GREEDY, HYBRID, MOSTCITED,
@@ -15,9 +23,19 @@ experiment harness composes them.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -33,7 +51,9 @@ class TenantState:
     Attributes
     ----------
     index:
-        Tenant id (row in the oracle).
+        The tenant's **stable id** — the row this tenant occupies in
+        the oracle.  Ids are never reused, so histories keyed by id
+        survive membership churn.
     picker:
         The tenant's model-picking policy (owns the GP if GP-UCB).
     costs:
@@ -61,6 +81,11 @@ class TenantState:
     total_cost: float = 0.0
     rewards: List[float] = field(default_factory=list)
     arms: List[int] = field(default_factory=list)
+
+    @property
+    def tenant_id(self) -> int:
+        """Alias for :attr:`index` — the stable tenant id."""
+        return self.index
 
     def absorb(
         self, selection: Selection, reward: float, cost: float,
@@ -96,9 +121,122 @@ class TenantState:
         return self.picker.best_ucb() - self.best_observed
 
 
+class TenantRegistry:
+    """Live tenant membership: stable ids, an active subset, full history.
+
+    The registry is the scheduler's identity model.  Indexing
+    (``registry[tenant_id]``) resolves **any** known tenant — active or
+    retired — so histories survive churn; iteration and ``len`` cover
+    only the *active* set, in ascending id order, which is what every
+    scheduling decision ranges over.
+    """
+
+    def __init__(self) -> None:
+        self._states: Dict[int, TenantState] = {}
+        self._active: List[int] = []  # sorted ascending
+
+    # -- membership ----------------------------------------------------
+    def add(self, state: TenantState) -> TenantState:
+        """Register a brand-new tenant under its stable id.
+
+        A known id is an error — re-admitting a retired tenant goes
+        through :meth:`reactivate`, which keeps its history rather than
+        silently discarding the caller's replacement state.
+        """
+        tenant_id = int(state.index)
+        if tenant_id in self._states:
+            hint = (
+                "" if self.is_active(tenant_id)
+                else " (retired; use reactivate())"
+            )
+            raise ValueError(
+                f"tenant {tenant_id} is already registered{hint}"
+            )
+        self._states[tenant_id] = state
+        self._activate(tenant_id)
+        return state
+
+    def reactivate(self, tenant_id: int) -> TenantState:
+        """Return a retired tenant to the active set, history intact."""
+        tenant_id = int(tenant_id)
+        if tenant_id not in self._states:
+            raise KeyError(f"unknown tenant id {tenant_id}")
+        if self.is_active(tenant_id):
+            raise ValueError(f"tenant {tenant_id} is already active")
+        self._activate(tenant_id)
+        return self._states[tenant_id]
+
+    def retire(self, tenant_id: int) -> TenantState:
+        """Remove a tenant from the active set; its state is preserved."""
+        tenant_id = int(tenant_id)
+        if tenant_id not in self._states:
+            raise KeyError(f"unknown tenant id {tenant_id}")
+        if not self.is_active(tenant_id):
+            raise ValueError(f"tenant {tenant_id} is not active")
+        self._active.remove(tenant_id)
+        return self._states[tenant_id]
+
+    def _activate(self, tenant_id: int) -> None:
+        bisect.insort(self._active, tenant_id)
+
+    # -- views ---------------------------------------------------------
+    def __getitem__(self, tenant_id: int) -> TenantState:
+        """Any known tenant by id (active or retired)."""
+        return self._states[tenant_id]
+
+    def get(
+        self, tenant_id: int, default: Optional[TenantState] = None
+    ) -> Optional[TenantState]:
+        return self._states.get(tenant_id, default)
+
+    def __contains__(self, tenant_id: object) -> bool:
+        """``id in registry`` — is this tenant *active*?"""
+        return tenant_id in self._active
+
+    def __iter__(self) -> Iterator[TenantState]:
+        """Active tenants, in ascending id order."""
+        return iter([self._states[i] for i in self._active])
+
+    def __len__(self) -> int:
+        """Number of *active* tenants."""
+        return len(self._active)
+
+    def is_active(self, tenant_id: int) -> bool:
+        return tenant_id in self._active
+
+    def is_known(self, tenant_id: int) -> bool:
+        return tenant_id in self._states
+
+    def active_ids(self) -> List[int]:
+        """Stable ids of the active tenants, ascending."""
+        return list(self._active)
+
+    def known_ids(self) -> List[int]:
+        """Every id ever registered, ascending."""
+        return sorted(self._states)
+
+    def all_states(self) -> List[TenantState]:
+        """Every tenant ever registered (active and retired), by id."""
+        return [self._states[i] for i in sorted(self._states)]
+
+    def next_id(self) -> int:
+        """The smallest never-used id (ids are never recycled)."""
+        return max(self._states, default=-1) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantRegistry(active={self._active}, "
+            f"known={len(self._states)})"
+        )
+
+
 @dataclass(frozen=True)
 class StepRecord:
-    """One scheduler round, as recorded for analysis."""
+    """One scheduler round, as recorded for analysis.
+
+    ``user`` is the tenant's stable id, so records remain attributable
+    after membership churn.
+    """
 
     t: int
     user: int
@@ -112,7 +250,13 @@ class StepRecord:
 
 @dataclass
 class RunResult:
-    """Full history of a scheduler run."""
+    """Full history of a scheduler run.
+
+    ``n_users`` is the number of tenants known to the scheduler when
+    the result was cut; under membership churn the records may name ids
+    up to the largest ever admitted, and the per-tenant accessors are
+    keyed by stable id.
+    """
 
     records: List[StepRecord]
     n_users: int
@@ -141,21 +285,41 @@ class RunResult:
         return np.array([r.cumulative_cost for r in self.records])
 
     def serves_per_user(self) -> np.ndarray:
-        counts = np.zeros(self.n_users, dtype=int)
+        """Serve counts indexed by stable tenant id.
+
+        Sized to cover the largest id appearing in the records (at
+        least ``n_users``), so late arrivals are counted rather than
+        overflowing a positional array.
+        """
+        size = self.n_users
+        if self.records:
+            size = max(size, max(r.user for r in self.records) + 1)
+        counts = np.zeros(size, dtype=int)
         for record in self.records:
             counts[record.user] += 1
         return counts
 
+    def serves_by_tenant(self) -> Dict[int, int]:
+        """``{tenant_id: serve count}`` over the recorded rounds."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            counts[record.user] = counts.get(record.user, 0) + 1
+        return counts
+
 
 class MultiTenantScheduler:
-    """Serve ``n`` tenants sharing one device (Section 4).
+    """Serve a changing set of tenants sharing one device (Section 4).
 
     Parameters
     ----------
     oracle:
         Source of (reward, cost) observations.
     pickers:
-        One :class:`ModelPicker` per tenant, aligned with oracle users.
+        The initial tenant set.  A sequence assigns ids ``0..n-1`` and
+        must provide exactly one picker per oracle row (the paper's
+        fixed-membership setting); a mapping ``{tenant_id: picker}``
+        admits any subset of oracle rows, leaving the rest to arrive
+        later via :meth:`add_tenant` (and may be empty).
     user_picker:
         The tenant-selection policy.
     clamp_potential:
@@ -166,44 +330,127 @@ class MultiTenantScheduler:
     def __init__(
         self,
         oracle: RewardOracle,
-        pickers: Sequence[ModelPicker],
+        pickers: Union[Sequence[ModelPicker], Mapping[int, ModelPicker]],
         user_picker: UserPicker,
         *,
         clamp_potential: bool = False,
     ) -> None:
-        if len(pickers) != oracle.n_users:
-            raise ValueError(
-                f"need one picker per oracle user: got {len(pickers)} "
-                f"pickers for {oracle.n_users} users"
-            )
-        for i, picker in enumerate(pickers):
-            if picker.n_arms != oracle.n_models(i):
+        if isinstance(pickers, Mapping):
+            initial = {int(i): p for i, p in pickers.items()}
+        else:
+            if len(pickers) != oracle.n_users:
                 raise ValueError(
-                    f"picker {i} has {picker.n_arms} arms but the oracle "
-                    f"offers {oracle.n_models(i)} models for user {i}"
+                    f"need one picker per oracle user: got {len(pickers)} "
+                    f"pickers for {oracle.n_users} users (pass a "
+                    "{tenant_id: picker} mapping to start with a subset)"
                 )
+            initial = dict(enumerate(pickers))
         self.oracle = oracle
-        self.tenants = [
-            TenantState(index=i, picker=picker, costs=oracle.costs(i))
-            for i, picker in enumerate(pickers)
-        ]
+        self.tenants = TenantRegistry()
         self.user_picker = user_picker
         self.clamp_potential = bool(clamp_potential)
         self.step_count = 0
         self.total_cost = 0.0
         self.records: List[StepRecord] = []
+        for tenant_id in sorted(initial):
+            self._admit(tenant_id, initial[tenant_id], None)
         self.user_picker.reset(self)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        tenant_id: int,
+        picker: ModelPicker,
+        costs: Optional[np.ndarray],
+    ) -> TenantState:
+        if not 0 <= tenant_id < self.oracle.n_users:
+            raise ValueError(
+                f"tenant id {tenant_id} has no oracle row (the oracle "
+                f"serves users [0, {self.oracle.n_users})); grow the "
+                "oracle first (e.g. MatrixOracle.add_user)"
+            )
+        if picker.n_arms != self.oracle.n_models(tenant_id):
+            raise ValueError(
+                f"picker for tenant {tenant_id} has {picker.n_arms} arms "
+                f"but the oracle offers {self.oracle.n_models(tenant_id)} "
+                f"models for user {tenant_id}"
+            )
+        if costs is None:
+            costs = self.oracle.costs(tenant_id)
+        return self.tenants.add(
+            TenantState(index=tenant_id, picker=picker,
+                        costs=np.asarray(costs, dtype=float))
+        )
+
+    def add_tenant(
+        self,
+        picker: Optional[ModelPicker] = None,
+        costs: Optional[np.ndarray] = None,
+        *,
+        tenant_id: Optional[int] = None,
+    ) -> TenantState:
+        """Admit a tenant mid-run (a ``USER_ARRIVED`` in kernel terms).
+
+        ``tenant_id`` defaults to the smallest never-used id; the
+        oracle must already serve that row (grow it first for a truly
+        new tenant).  Re-adding a retired id re-activates it with its
+        history (and GP posterior) intact — pass ``picker=None`` to
+        keep the tenant's existing picker.  The user picker is notified
+        through its ``on_arrival`` hook.
+        """
+        if tenant_id is None:
+            tenant_id = self.tenants.next_id()
+        tenant_id = int(tenant_id)
+        if self.tenants.is_active(tenant_id):
+            raise ValueError(f"tenant {tenant_id} is already active")
+        if self.tenants.is_known(tenant_id):
+            state = self.tenants.reactivate(tenant_id)
+            if picker is not None:
+                state.picker = picker
+        else:
+            if picker is None:
+                raise ValueError(
+                    f"tenant {tenant_id} is new: a model picker is required"
+                )
+            state = self._admit(tenant_id, picker, costs)
+        self.user_picker.on_arrival(self, tenant_id)
+        return state
+
+    def retire_tenant(self, tenant_id: int) -> TenantState:
+        """Remove a tenant from scheduling (``USER_DEPARTED``).
+
+        The tenant's state, history and step records are preserved —
+        only the active set shrinks.  The user picker is notified
+        through its ``on_departure`` hook.
+        """
+        state = self.tenants.retire(int(tenant_id))
+        self.user_picker.on_departure(self, int(tenant_id))
+        return state
 
     @property
     def n_users(self) -> int:
+        """Number of *active* tenants."""
         return len(self.tenants)
 
+    @property
+    def n_known(self) -> int:
+        """Number of tenants ever admitted (active + retired)."""
+        return len(self.tenants.known_ids())
+
+    def active_ids(self) -> List[int]:
+        """Stable ids of the active tenants, ascending."""
+        return self.tenants.active_ids()
+
     def potentials(self) -> np.ndarray:
-        """Current σ̃ vector across tenants (∞ for never-served)."""
+        """Current σ̃ across *active* tenants (∞ for never-served),
+        aligned with :meth:`active_ids`."""
         return np.array([t.sigma_tilde for t in self.tenants])
 
     def global_best_sum(self) -> float:
-        """Σ_i best accuracy so far — the progress signal HYBRID watches."""
+        """Σ_i best accuracy so far over active tenants — the progress
+        signal HYBRID watches."""
         return float(sum(t.best_observed for t in self.tenants))
 
     # ------------------------------------------------------------------
@@ -211,10 +458,15 @@ class MultiTenantScheduler:
     # ------------------------------------------------------------------
     def step(self) -> StepRecord:
         """Run one round: pick user, pick model, train, update."""
+        if not len(self.tenants):
+            raise RuntimeError(
+                "no active tenants to serve; admit one with add_tenant()"
+            )
         user = self.user_picker.pick(self)
-        if not 0 <= user < self.n_users:
+        if not self.tenants.is_active(user):
             raise IndexError(
-                f"user picker returned {user}, valid range [0, {self.n_users})"
+                f"user picker returned {user}, which is not an active "
+                f"tenant (active ids: {self.active_ids()})"
             )
         tenant = self.tenants[user]
         selection = tenant.picker.select()
@@ -269,4 +521,4 @@ class MultiTenantScheduler:
             if stop is not None and stop(self):
                 break
             self.step()
-        return RunResult(records=list(self.records), n_users=self.n_users)
+        return RunResult(records=list(self.records), n_users=self.n_known)

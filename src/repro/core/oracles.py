@@ -56,6 +56,19 @@ class RewardOracle(ABC):
     def observe(self, user: int, model: int) -> Observation:
         """Evaluate ``model`` for ``user``; return the reward and cost."""
 
+    def add_user(self, *args, **kwargs) -> int:
+        """Grow the oracle by one user row; returns the new user id.
+
+        Dynamic tenant arrival needs somewhere for the newcomer's
+        observations to come from.  Oracles that replay fixed data
+        (:class:`MatrixOracle`) override this; oracles that are
+        inherently fixed raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} serves a fixed user set and cannot "
+            "grow rows for late arrivals"
+        )
+
     def _check_pair(self, user: int, model: int) -> None:
         if not 0 <= user < self.n_users:
             raise IndexError(f"user {user} out of range [0, {self.n_users})")
@@ -139,6 +152,39 @@ class MatrixOracle(RewardOracle):
         if not 0 <= user < self.n_users:
             raise IndexError(f"user {user} out of range [0, {self.n_users})")
         return self._cost[user].copy()
+
+    def add_user(
+        self,
+        quality_row: np.ndarray,
+        cost_row: Optional[np.ndarray] = None,
+    ) -> int:
+        """Append one user's quality (and cost) row; returns its id.
+
+        This is how a late arrival gets an oracle row: the matrices
+        grow downward, existing user ids are untouched, and the new
+        tenant id is the fresh row index.
+        """
+        quality_row = np.asarray(quality_row, dtype=float).ravel()
+        n_models = self._quality.shape[1]
+        if quality_row.shape[0] != n_models:
+            raise ValueError(
+                f"quality row must have length {n_models}, "
+                f"got {quality_row.shape[0]}"
+            )
+        if cost_row is None:
+            cost_row = np.ones(n_models)
+        else:
+            cost_row = np.asarray(cost_row, dtype=float).ravel()
+            if cost_row.shape[0] != n_models:
+                raise ValueError(
+                    f"cost row must have length {n_models}, "
+                    f"got {cost_row.shape[0]}"
+                )
+            if np.any(cost_row <= 0):
+                raise ValueError("all costs must be strictly positive")
+        self._quality = np.vstack([self._quality, quality_row[None, :]])
+        self._cost = np.vstack([self._cost, cost_row[None, :]])
+        return self._quality.shape[0] - 1
 
     def observe(self, user: int, model: int) -> Observation:
         self._check_pair(user, model)

@@ -15,7 +15,14 @@
   (candidate set stable and no global progress for ``s`` steps), then
   ROUNDROBIN.  This is ease.ml's default algorithm.
 
-Pickers are stateful and bound to one scheduler via ``reset``.
+Pickers are stateful and bound to one scheduler via ``reset``.  Every
+policy ranges over the scheduler's **active tenant set** (stable ids
+from :meth:`~repro.core.multitenant.MultiTenantScheduler.active_ids`),
+never ``range(n_users)``, so membership can change between any two
+picks: arrivals join the rotation, departures drop out of it, and the
+``on_arrival`` / ``on_departure`` hooks let stateful pickers adjust.
+With a fixed membership the active ids are ``0..n-1`` and every policy
+behaves exactly as in the paper.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ class UserPicker(ABC):
 
     @abstractmethod
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
-        """Return the index of the tenant to serve this round."""
+        """Return the stable id of the tenant to serve this round."""
 
     def notify(
         self, scheduler: "MultiTenantScheduler", record: "StepRecord"
@@ -47,17 +54,28 @@ class UserPicker(ABC):
     def reset(self, scheduler: "MultiTenantScheduler") -> None:
         """Hook called when the picker is attached to a scheduler."""
 
+    def on_arrival(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        """Hook called after a tenant joins the active set (no-op)."""
+
+    def on_departure(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        """Hook called after a tenant leaves the active set (no-op)."""
+
 
 class FCFSPicker(UserPicker):
     """First come, first served (Section 4.1's strawman).
 
-    Serves tenant 0 until its exploration budget is spent — one serve
-    per candidate model, the "exhaustive search" behaviour the paper
-    ascribes to its users — then tenant 1, and so on.  (The quota
-    formulation rather than "all arms tried" keeps FCFS well-defined
-    under GP-UCB model picking, which deliberately never plays
-    hopeless arms.)  After every tenant's quota is spent it keeps
-    cycling so long runs remain well-defined.
+    Serves the lowest-id active tenant until its exploration budget is
+    spent — one serve per candidate model, the "exhaustive search"
+    behaviour the paper ascribes to its users — then the next, and so
+    on.  (The quota formulation rather than "all arms tried" keeps FCFS
+    well-defined under GP-UCB model picking, which deliberately never
+    plays hopeless arms.)  After every active tenant's quota is spent
+    it keeps cycling so long runs remain well-defined.  Departures
+    simply drop out of the scan; arrivals join it at their id position.
     """
 
     def __init__(self) -> None:
@@ -74,20 +92,28 @@ class FCFSPicker(UserPicker):
         )
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
-        n = scheduler.n_users
+        ids = scheduler.active_ids()
+        n = len(ids)
+        # Resume scanning from the remembered id (or the next surviving
+        # one after it, if that tenant departed).
+        start = 0
+        while start < n and ids[start] < self._current:
+            start += 1
+        if start == n:
+            start = 0
         for offset in range(n):
-            candidate = (self._current + offset) % n
+            candidate = ids[(start + offset) % n]
             if not self._done(scheduler.tenants[candidate]):
                 self._current = candidate
                 return candidate
-        # Everyone done: round-robin over all tenants.
-        candidate = self._current % n
-        self._current = (self._current + 1) % n
+        # Everyone done: round-robin over the active tenants.
+        candidate = ids[start]
+        self._current = ids[(start + 1) % n]
         return candidate
 
 
 class RoundRobinPicker(UserPicker):
-    """Serve user ``t mod n`` (Section 4.2)."""
+    """Serve user ``t mod n`` over the active set (Section 4.2)."""
 
     def __init__(self) -> None:
         self._counter = 0
@@ -96,19 +122,21 @@ class RoundRobinPicker(UserPicker):
         self._counter = 0
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
-        user = self._counter % scheduler.n_users
+        ids = scheduler.active_ids()
+        user = ids[self._counter % len(ids)]
         self._counter += 1
         return user
 
 
 class RandomUserPicker(UserPicker):
-    """Uniformly random tenant each round."""
+    """Uniformly random active tenant each round."""
 
     def __init__(self, *, seed: SeedLike = None) -> None:
         self._rng = RandomState(seed)
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
-        return int(self._rng.integers(scheduler.n_users))
+        ids = scheduler.active_ids()
+        return ids[int(self._rng.integers(len(ids)))]
 
 
 class GreedyPicker(UserPicker):
@@ -130,8 +158,10 @@ class GreedyPicker(UserPicker):
 
     Warm-up: Algorithm 2 lines 1–4 run one GP-UCB step per tenant
     before the main loop; the picker realises that by serving any
-    never-served tenant first (in index order), so the warm-up consumes
-    scheduler budget exactly like the paper's initialisation does.
+    never-served tenant first (in id order), so the warm-up consumes
+    scheduler budget exactly like the paper's initialisation does.  A
+    tenant arriving mid-run is warm-started the same way: its first
+    serve takes priority at the next pick.
     """
 
     _RULES = ("max_gap", "max_potential", "random")
@@ -144,18 +174,20 @@ class GreedyPicker(UserPicker):
         self.last_candidate_set: FrozenSet[int] = frozenset()
 
     def candidate_set(self, scheduler: "MultiTenantScheduler") -> List[int]:
-        """``V_t = {i : σ̃_i ≥ mean(σ̃)}`` (Algorithm 2 line 7)."""
-        potentials = scheduler.potentials()
+        """``V_t = {i : σ̃_i ≥ mean(σ̃)}`` over active tenants
+        (Algorithm 2 line 7)."""
+        ids = scheduler.active_ids()
+        potentials = scheduler.potentials()  # aligned with ids
         finite = potentials[np.isfinite(potentials)]
         if finite.size == 0:
-            return list(range(scheduler.n_users))
+            return ids
         threshold = float(np.mean(finite))
         candidates = [
-            i
-            for i, value in enumerate(potentials)
+            tenant_id
+            for tenant_id, value in zip(ids, potentials)
             if not math.isfinite(value) or value >= threshold
         ]
-        return candidates if candidates else list(range(scheduler.n_users))
+        return candidates if candidates else ids
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
         for tenant in scheduler.tenants:
@@ -182,7 +214,11 @@ class HybridPicker(UserPicker):
     signal (Σ_i best accuracy so far) did not improve.  After the
     switch the picker behaves exactly like :class:`RoundRobinPicker`
     for the rest of the run (the paper switches once; set
-    ``allow_reentry`` to let renewed progress switch back).
+    ``allow_reentry`` to let renewed progress switch back).  Membership
+    churn resets the freeze detector — a new arrival (whose warm-up
+    serve is genuine exploration) or a departure changes the candidate
+    set, so the stall counter naturally restarts; an arrival after the
+    switch re-enters GREEDY so the newcomer gets its exploration phase.
     """
 
     def __init__(
@@ -215,6 +251,24 @@ class HybridPicker(UserPicker):
         self._stall_rounds = 0
         self._last_candidates = None
         self._last_progress = -math.inf
+
+    def on_arrival(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        # A newcomer deserves the GREEDY exploration phase: re-enter it
+        # and restart the freeze detector.
+        self.switched = False
+        self.switch_step = None
+        self._stall_rounds = 0
+        self._last_candidates = None
+
+    def on_departure(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        # The candidate set shrank; don't let a stale stall streak
+        # carry over the membership change.
+        self._stall_rounds = 0
+        self._last_candidates = None
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
         if self.switched:

@@ -135,6 +135,45 @@ class CallableTrainer(Trainer):
         self._check_user(user)
         return self._costs[user].copy()
 
+    def add_user(
+        self,
+        tasks: Sequence[Callable[[], Tuple[float, float]]],
+        cost_estimates: np.ndarray,
+    ) -> int:
+        """Append one user's task row; returns the new user id.
+
+        This is how a tenant arriving mid-run gets trainable work:
+        existing user ids are untouched and the newcomer takes the
+        fresh row index.
+        """
+        costs = np.asarray(cost_estimates, dtype=float).copy()
+        if len(tasks) != costs.shape[0]:
+            raise ValueError(
+                f"{len(tasks)} tasks but {costs.shape[0]} cost estimates"
+            )
+        if np.any(costs <= 0):
+            raise ValueError("cost estimates must be > 0")
+        self._tasks.append(list(tasks))
+        self._costs.append(costs)
+        return len(self._tasks) - 1
+
+    def update_costs(self, user: int, cost_estimates: np.ndarray) -> None:
+        """Replace one user's planning-cost estimates.
+
+        Used when a provisional row (a registered-but-not-yet-admitted
+        tenant) gets its real profiling estimates at admission time.
+        """
+        self._check_user(user)
+        costs = np.asarray(cost_estimates, dtype=float).copy()
+        if costs.shape[0] != len(self._tasks[user]):
+            raise ValueError(
+                f"user {user}: {len(self._tasks[user])} tasks but "
+                f"{costs.shape[0]} cost estimates"
+            )
+        if np.any(costs <= 0):
+            raise ValueError("cost estimates must be > 0")
+        self._costs[user] = costs
+
     def train(self, user: int, model: int) -> Tuple[float, float]:
         self._check_user(user)
         if not 0 <= model < len(self._tasks[user]):

@@ -117,6 +117,13 @@ class EaseMLApp:
         self.history: List[TrainingOutcome] = []
         self.best_accuracy: float = -math.inf
         self.best_candidate: Optional[str] = None
+        #: ``step`` of the training run that produced the served model
+        #: (the versioning half of batch inference: clients can tell
+        #: which run answered).
+        self.best_version: Optional[int] = None
+        #: A closed app is retired from scheduling (its tenant departed)
+        #: but keeps serving ``infer`` from its best model.
+        self.closed: bool = False
         self._best_estimator: Optional[Estimator] = None
         self._best_transform: Optional[
             Callable[[np.ndarray], np.ndarray]
@@ -335,8 +342,13 @@ class EaseMLServer:
         # Runtime backend: outcomes banked at dispatch, keyed by the
         # job id the imminent submit will create, applied on completion.
         self._deferred_outcomes: Dict[int, Tuple] = {}
-        self._cost_estimates: List[np.ndarray] = []
-        self._splits: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        # Keyed by stable tenant id (the app's index in self.apps) so
+        # membership can be sparse: late arrivals fill their slot when
+        # admitted, never shifting anyone else's.
+        self._cost_estimates: Dict[int, np.ndarray] = {}
+        self._splits: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -344,13 +356,14 @@ class EaseMLServer:
     def register_app(
         self, program: Union[str, Program], name: str
     ) -> EaseMLApp:
-        """Register a new user application from DSL text or a Program."""
-        if self._scheduler is not None:
-            raise RuntimeError(
-                "cannot register apps after scheduling has started; this "
-                "reproduction (like the paper's experiments) uses a fixed "
-                "tenant set per run"
-            )
+        """Register a new user application from DSL text or a Program.
+
+        Registration is open for the lifetime of the server: an app
+        registered after scheduling has started simply becomes a
+        not-yet-admitted tenant — feed it past ``min_examples`` and it
+        joins the live run (a ``USER_ARRIVED`` event) at the next
+        :meth:`admit_app` / :meth:`run` / training submit.
+        """
         if isinstance(program, str):
             program = parse_program(program, name=name)
         if name in self.storage:
@@ -363,6 +376,15 @@ class EaseMLServer:
                 "is not supported; use trace-driven experiments instead"
             )
         self.apps.append(app)
+        if self._runtime_oracle is not None:
+            # The trainer is already live: grow a row for the newcomer
+            # now (placeholder planning costs until admission profiles
+            # the real ones; inactive tenants are never dispatched).
+            user = len(self.apps) - 1
+            self._runtime_oracle.trainer.add_user(
+                self._app_tasks(user, app),
+                np.ones(len(app.live_candidates)),
+            )
         return app
 
     def _build_live_candidates(self, app: EaseMLApp) -> List[LiveCandidate]:
@@ -406,44 +428,66 @@ class EaseMLServer:
         scaler = StandardScaler().fit(features)
         return scaler.transform(features), np.asarray(costs)
 
-    def _prepare(self) -> None:
-        """Freeze the tenant set and build the scheduler."""
+    def _build_picker(self, user: int, app: EaseMLApp) -> GPUCBPicker:
+        """Profile one app and build its GP-UCB picker.
+
+        Fills the per-tenant split and planning-cost tables under the
+        app's stable id as a side effect.
+        """
+        X, Y = app.store.enabled_arrays()
+        y = np.argmax(Y, axis=1) if Y.shape[1] > 1 else (
+            Y.ravel() > 0.5
+        ).astype(int)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=self.test_fraction, seed=self._rng
+        )
+        self._splits[user] = (X_train, X_test, y_train, y_test)
+        n, d = X_train.shape
+        c = max(int(np.unique(y_train).shape[0]), 2)
+        features, costs = self._candidate_features(app, n, d, c)
+        self._cost_estimates[user] = costs
+        prior = covariance_from_features(
+            ConstantKernel(0.09) * RBF(1.0), features
+        )
+        return GPUCBPicker(
+            prior,
+            AlgorithmOneBeta(len(app.live_candidates)),
+            costs if self.cost_aware else None,
+            noise=self.gp_noise,
+            prior_mean=np.full(len(app.live_candidates), 0.5),
+        )
+
+    def _prepare(self, *, only_ready: bool = False) -> None:
+        """Build the scheduler over the current tenant membership.
+
+        By default every (open) app must be ready — the strict
+        paper-style start, where forgetting to feed an app is an error.
+        With ``only_ready`` the ready subset starts scheduling and the
+        rest remain unadmitted until :meth:`admit_app` brings them in
+        as live arrivals (the service gateway's policy).
+        """
         if not self.apps:
             raise RuntimeError("no apps registered")
-        self._cost_estimates = []
-        self._splits = []
-        pickers = []
+        self._cost_estimates = {}
+        self._splits = {}
+        pickers: Dict[int, GPUCBPicker] = {}
         oracle = _AppOracle(self)
-        for app in self.apps:
+        for user, app in enumerate(self.apps):
+            if app.closed:
+                continue
             if app.store.n_enabled < self.min_examples:
+                if only_ready:
+                    continue
                 raise RuntimeError(
                     f"app {app.name!r} has {app.store.n_enabled} enabled "
                     f"examples; at least {self.min_examples} are required "
                     "before scheduling"
                 )
-            X, Y = app.store.enabled_arrays()
-            y = np.argmax(Y, axis=1) if Y.shape[1] > 1 else (
-                Y.ravel() > 0.5
-            ).astype(int)
-            X_train, X_test, y_train, y_test = train_test_split(
-                X, y, test_fraction=self.test_fraction, seed=self._rng
-            )
-            self._splits.append((X_train, X_test, y_train, y_test))
-            n, d = X_train.shape
-            c = max(int(np.unique(y_train).shape[0]), 2)
-            features, costs = self._candidate_features(app, n, d, c)
-            self._cost_estimates.append(costs)
-            prior = covariance_from_features(
-                ConstantKernel(0.09) * RBF(1.0), features
-            )
-            pickers.append(
-                GPUCBPicker(
-                    prior,
-                    AlgorithmOneBeta(len(app.live_candidates)),
-                    costs if self.cost_aware else None,
-                    noise=self.gp_noise,
-                    prior_mean=np.full(len(app.live_candidates), 0.5),
-                )
+            pickers[user] = self._build_picker(user, app)
+        if not pickers:
+            raise RuntimeError(
+                f"no app has {self.min_examples} enabled examples yet; "
+                "feed more before scheduling"
             )
         if self.runtime_placement is not None:
             oracle = self._build_runtime_oracle()
@@ -451,14 +495,10 @@ class EaseMLServer:
             oracle, pickers, self._make_user_picker()
         )
 
-    def _build_runtime_oracle(self):
-        """Route training through the event-driven cluster runtime."""
-        from repro.engine.cluster import GPUPool
-        from repro.engine.trainer import CallableTrainer
-        from repro.runtime.oracle import AsyncClusterOracle
-        from repro.runtime.placement import make_placement
+    def _app_tasks(self, user: int, app: EaseMLApp):
+        """Per-candidate training callables for the runtime trainer."""
 
-        def task(user: int, model: int):
+        def task(model: int):
             def run() -> Tuple[float, float]:
                 observation = self._train_candidate(
                     user, model, synchronous=False
@@ -467,11 +507,26 @@ class EaseMLServer:
 
             return run
 
+        return [task(m) for m in range(len(app.live_candidates))]
+
+    def _build_runtime_oracle(self):
+        """Route training through the event-driven cluster runtime."""
+        from repro.engine.cluster import GPUPool
+        from repro.engine.trainer import CallableTrainer
+        from repro.runtime.oracle import AsyncClusterOracle
+        from repro.runtime.placement import make_placement
+
+        # Every registered app gets a trainer row (ids are app
+        # positions); apps not yet admitted carry placeholder planning
+        # costs that admission replaces with profiled ones.
         tasks = [
-            [task(u, m) for m in range(len(app.live_candidates))]
+            self._app_tasks(u, app) for u, app in enumerate(self.apps)
+        ]
+        cost_rows = [
+            self._cost_estimates.get(u, np.ones(len(app.live_candidates)))
             for u, app in enumerate(self.apps)
         ]
-        trainer = CallableTrainer(tasks, self._cost_estimates)
+        trainer = CallableTrainer(tasks, cost_rows)
         self._runtime_oracle = AsyncClusterOracle(
             trainer,
             GPUPool(self.n_gpus, scaling_efficiency=self.scaling_efficiency),
@@ -484,6 +539,99 @@ class EaseMLServer:
             self._apply_completed_outcome
         )
         return self._runtime_oracle
+
+    # ------------------------------------------------------------------
+    # Dynamic tenant lifecycle
+    # ------------------------------------------------------------------
+    def is_admitted(self, name: str) -> bool:
+        """Is this app an *active* tenant of the running scheduler?"""
+        app = self.get_app(name)
+        if self._scheduler is None:
+            return False
+        return self._scheduler.tenants.is_active(self.apps.index(app))
+
+    def admit_app(self, name: str) -> int:
+        """Admit an app to the live scheduler; returns its tenant id.
+
+        Idempotent for already-active tenants.  The newcomer is
+        profiled (split, planning costs, GP prior) exactly like an
+        initial tenant, joins the scheduler's active set, and — on the
+        runtime backend — lands in the event log as ``USER_ARRIVED``.
+        """
+        app = self.get_app(name)
+        user = self.apps.index(app)
+        if self._scheduler is None:
+            raise RuntimeError(
+                "scheduling has not started; call run() (or the "
+                "gateway's submit path) first"
+            )
+        if self._scheduler.tenants.is_active(user):
+            return user
+        if app.closed:
+            raise RuntimeError(f"app {name!r} is closed")
+        if app.store.n_enabled < self.min_examples:
+            raise RuntimeError(
+                f"app {app.name!r} has {app.store.n_enabled} enabled "
+                f"examples; at least {self.min_examples} are required "
+                "before scheduling"
+            )
+        picker = self._build_picker(user, app)
+        costs = self._cost_estimates[user]
+        self._scheduler.add_tenant(picker, costs, tenant_id=user)
+        if self._runtime_oracle is not None:
+            self._runtime_oracle.trainer.update_costs(user, costs)
+            runtime = self._runtime_oracle.runtime
+            runtime.user_arrives(user)
+            runtime.run_until(self.clock.now)
+        else:
+            self.log.append(
+                self.clock.now, EventKind.USER_ARRIVED, user=user
+            )
+        return user
+
+    def retire_app(self, name: str) -> List[int]:
+        """Close an app: retire its tenant from the live run.
+
+        Emits ``USER_DEPARTED``; the departed tenant's queued jobs are
+        cancelled (returned as job ids), running jobs drain through the
+        normal completion path, and its share of the pool is released
+        at the next placement re-cut.  The app keeps serving ``infer``
+        from its best model — closing only stops training.
+        """
+        app = self.get_app(name)
+        if app.closed:
+            raise RuntimeError(f"app {name!r} is already closed")
+        app.closed = True
+        user = self.apps.index(app)
+        cancelled: List[int] = []
+        if self._scheduler is None or not self._scheduler.tenants.is_active(
+            user
+        ):
+            return cancelled
+        self._scheduler.retire_tenant(user)
+        if self._runtime_oracle is not None:
+            runtime = self._runtime_oracle.runtime
+            before = {j.job_id for j in runtime.failed_jobs()}
+            runtime.user_departs(user)
+            runtime.run_until(self.clock.now)
+            cancelled = sorted(
+                j.job_id
+                for j in runtime.failed_jobs()
+                if j.job_id not in before and j.user == user
+            )
+        else:
+            self.log.append(
+                self.clock.now, EventKind.USER_DEPARTED, user=user
+            )
+        return cancelled
+
+    def _admit_ready(self) -> None:
+        """Admit every fed-past-threshold app not yet in the live run."""
+        for user, app in enumerate(self.apps):
+            if app.closed or self._scheduler.tenants.is_active(user):
+                continue
+            if app.store.n_enabled >= self.min_examples:
+                self.admit_app(app.name)
 
     def _train_candidate(
         self, user: int, model: int, *, synchronous: bool = True
@@ -530,6 +678,7 @@ class EaseMLServer:
         if improved:
             app.best_accuracy = accuracy
             app.best_candidate = candidate.name
+            app.best_version = len(app.history) + 1
             app._best_estimator = estimator
             app._best_transform = transform
             # App-level improvement event, identical for both backends
@@ -569,6 +718,10 @@ class EaseMLServer:
         """
         if self._scheduler is None:
             self._prepare()
+        else:
+            # Dynamic membership: apps registered (and fed) since the
+            # last run join as live arrivals before this one.
+            self._admit_ready()
         before = self._scheduler.step_count
         if self._runtime_oracle is not None:
             self._runtime_oracle.run_concurrent(

@@ -97,6 +97,8 @@ class ClusterRuntime:
         self._epochs: Dict[int, int] = {}
         self._rewards: Dict[int, float] = {}
         self._completion_callbacks: List[Callable[[Job], None]] = []
+        self._arrival_callbacks: List[Callable[[int], None]] = []
+        self._departure_callbacks: List[Callable[[int], None]] = []
         self.preemption_count = 0
         self._handlers = {
             EventKind.JOB_SUBMITTED: self._on_submitted,
@@ -197,6 +199,21 @@ class ClusterRuntime:
         """Register a callback fired after each job completes."""
         self._completion_callbacks.append(callback)
 
+    def on_arrival(self, callback: Callable[[int], None]) -> None:
+        """Register a callback fired when a ``USER_ARRIVED`` event lands.
+
+        This is the hook that lets the kernel's membership events reach
+        a live scheduler: :class:`~repro.runtime.oracle.
+        AsyncClusterOracle` wires it to
+        :meth:`~repro.core.multitenant.MultiTenantScheduler.add_tenant`.
+        """
+        self._arrival_callbacks.append(callback)
+
+    def on_departure(self, callback: Callable[[int], None]) -> None:
+        """Register a callback fired when a ``USER_DEPARTED`` event lands
+        (after the departed tenant's queued jobs are cancelled)."""
+        self._departure_callbacks.append(callback)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -244,6 +261,8 @@ class ClusterRuntime:
         user = event.payload["user"]
         self.active_users.add(user)
         self.log.append(self.clock.now, EventKind.USER_ARRIVED, user=user)
+        for callback in self._arrival_callbacks:
+            callback(user)
         self._reschedule()
         return []
 
@@ -252,7 +271,10 @@ class ClusterRuntime:
         self.active_users.discard(user)
         self.log.append(self.clock.now, EventKind.USER_DEPARTED, user=user)
         # Cancel the departed tenant's queued jobs; running jobs are
-        # allowed to drain (their results are simply never collected).
+        # allowed to drain (their results land through the normal
+        # completion path).  The reschedule below releases the
+        # departed tenant's share of the pool to the survivors —
+        # partition-style policies re-cut on the new membership.
         for jid in [j for j in self._pending if self.jobs[j].user == user]:
             self._pending.remove(jid)
             job = self.jobs[jid]
@@ -261,6 +283,8 @@ class ClusterRuntime:
                 self.clock.now, EventKind.JOB_FAILED, job_id=jid,
                 user=job.user, model=job.model, reason="user departed",
             )
+        for callback in self._departure_callbacks:
+            callback(user)
         self._reschedule()
         return []
 

@@ -19,10 +19,11 @@ class drops into every existing harness unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.model_picking import ModelPicker
 from repro.core.multitenant import MultiTenantScheduler, RunResult, StepRecord
 from repro.core.oracles import Observation, RewardOracle
 from repro.engine.clock import SimClock
@@ -81,6 +82,42 @@ class AsyncClusterOracle(RewardOracle):
         # A busy-tenant pick deferred across run_concurrent calls, so
         # budget-bounded runs never drop a stateful picker's choice.
         self._deferred_user: Optional[int] = None
+        # Membership wiring: while run_concurrent is live, kernel
+        # USER_ARRIVED / USER_DEPARTED events call back into the
+        # scheduler's registry through these hooks.
+        self._membership_ctx: Optional[
+            Tuple[MultiTenantScheduler, Optional[Callable[[int], ModelPicker]]]
+        ] = None
+        self.runtime.on_arrival(self._handle_arrival)
+        self.runtime.on_departure(self._handle_departure)
+
+    # ------------------------------------------------------------------
+    # Membership callbacks (fired by the kernel's event handlers)
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, user: int) -> None:
+        ctx = self._membership_ctx
+        if ctx is None:
+            return
+        scheduler, picker_factory = ctx
+        if scheduler.tenants.is_active(user):
+            return
+        if scheduler.tenants.is_known(user):
+            scheduler.add_tenant(tenant_id=user)  # returning tenant
+            return
+        if picker_factory is None:
+            raise RuntimeError(
+                f"tenant {user} arrived but run_concurrent was given no "
+                "picker_factory to build its model picker"
+            )
+        scheduler.add_tenant(picker_factory(user), tenant_id=user)
+
+    def _handle_departure(self, user: int) -> None:
+        ctx = self._membership_ctx
+        if ctx is None:
+            return
+        scheduler, _ = ctx
+        if scheduler.tenants.is_active(user):
+            scheduler.retire_tenant(user)
 
     # ------------------------------------------------------------------
     # RewardOracle interface (synchronous fallback)
@@ -98,6 +135,16 @@ class AsyncClusterOracle(RewardOracle):
         # slice the pool change realised durations, not the (relative)
         # planning costs GP-UCB consumes.
         return self.trainer.expected_costs(user) / self.pool.speedup()
+
+    def add_user(self, *args, **kwargs) -> int:
+        """Grow the tenant set by delegating to the trainer's rows."""
+        add = getattr(self.trainer, "add_user", None)
+        if add is None:
+            raise NotImplementedError(
+                f"{type(self.trainer).__name__} cannot grow rows for "
+                "late arrivals"
+            )
+        return add(*args, **kwargs)
 
     def observe(self, user: int, model: int) -> Observation:
         """Submit one job and run the kernel until it completes."""
@@ -138,8 +185,10 @@ class AsyncClusterOracle(RewardOracle):
         max_jobs: Optional[int] = None,
         cost_budget: Optional[float] = None,
         max_in_flight: Optional[int] = None,
+        arrivals: Optional[Iterable] = None,
+        picker_factory: Optional[Callable[[int], ModelPicker]] = None,
     ) -> RunResult:
-        """Drive the scheduler with out-of-order job completions.
+        """Drive the scheduler with out-of-order completions and churn.
 
         Dispatch: while fewer than ``max_in_flight`` jobs are in
         flight (and budgets permit), ask the user picker for a tenant
@@ -156,10 +205,27 @@ class AsyncClusterOracle(RewardOracle):
         :class:`StepRecord` (with the job's *service time* as cost) and
         the user picker's ``notify`` hook — but in completion order.
 
+        Membership: ``arrivals`` is an optional schedule of tenant
+        ``arrive`` / ``depart`` :class:`~repro.runtime.workload.
+        WorkloadItem` entries (e.g. ``WorkloadTrace.membership()``);
+        job submissions come from the live scheduler, never the trace.
+        Each item is queued as a kernel ``USER_ARRIVED`` /
+        ``USER_DEPARTED`` event at its trace time, and when the kernel
+        processes it the membership flows back into the scheduler: an
+        unknown arriving tenant is admitted with a picker from
+        ``picker_factory(user)`` (a known retired one resumes with its
+        history), and a departing tenant is retired — its queued jobs
+        are cancelled by the kernel, its running jobs drain and are
+        absorbed normally, and its share of the pool is released to the
+        survivors at the next re-cut.  The run may even start with an
+        empty active set; dispatch begins at the first arrival.
+
         ``max_jobs`` counts new dispatches in this call;
         ``cost_budget`` is an absolute ceiling on the scheduler's
-        cumulative cost.  Returns a :class:`RunResult` covering the
-        records appended by this call.
+        cumulative cost.  Membership events scheduled beyond the point
+        where the budget runs out stay queued for a later call.
+        Returns a :class:`RunResult` covering the records appended by
+        this call.
         """
         if max_jobs is None and cost_budget is None:
             raise ValueError("provide max_jobs and/or cost_budget")
@@ -167,16 +233,33 @@ class AsyncClusterOracle(RewardOracle):
             raise ValueError(
                 "scheduler was built against a different oracle"
             )
-        window = max_in_flight or self.max_in_flight or max(
-            1, min(scheduler.n_users, self.pool.n_gpus)
-        )
+        if arrivals is not None:
+            for item in arrivals:
+                if item.action == "submit":
+                    raise ValueError(
+                        "the arrivals schedule is membership-only; got a "
+                        "'submit' item (pass trace.membership(), not the "
+                        "full trace)"
+                    )
+                when = max(float(item.time), self.clock.now)
+                if item.action == "arrive":
+                    self.runtime.user_arrives(item.user, time=when)
+                else:
+                    self.runtime.user_departs(item.user, time=when)
         records_before = len(scheduler.records)
         in_flight = {}  # job_id -> (tenant, selection)
         busy_users = set()
         dispatched = 0
 
+        def window() -> int:
+            if max_in_flight is not None:
+                return max_in_flight
+            if self.max_in_flight is not None:
+                return self.max_in_flight
+            return max(1, min(scheduler.n_users, self.pool.n_gpus))
+
         def may_dispatch() -> bool:
-            if len(in_flight) >= window:
+            if len(in_flight) >= window():
                 return False
             if max_jobs is not None and dispatched >= max_jobs:
                 return False
@@ -186,47 +269,82 @@ class AsyncClusterOracle(RewardOracle):
                 return False
             return True
 
-        while True:
-            while may_dispatch():
-                if self._deferred_user is not None:
-                    user, self._deferred_user = self._deferred_user, None
-                else:
-                    user = scheduler.user_picker.pick(scheduler)
-                if not 0 <= user < scheduler.n_users:
-                    raise IndexError(
-                        f"user picker returned {user}, valid range "
-                        f"[0, {scheduler.n_users})"
+        def scrub_cancelled() -> bool:
+            """Drop in-flight jobs a departure cancelled; free slots."""
+            cancelled = [
+                jid for jid in in_flight
+                if self.runtime.jobs[jid].state is JobState.FAILED
+            ]
+            for jid in cancelled:
+                in_flight.pop(jid)
+                busy_users.discard(self.runtime.jobs[jid].user)
+            return bool(cancelled)
+
+        self._membership_ctx = (scheduler, picker_factory)
+        try:
+            while True:
+                while scheduler.n_users > 0 and may_dispatch():
+                    if self._deferred_user is not None:
+                        user, self._deferred_user = self._deferred_user, None
+                        if not scheduler.tenants.is_active(user):
+                            continue  # deferred tenant has departed
+                    else:
+                        user = scheduler.user_picker.pick(scheduler)
+                    if not scheduler.tenants.is_active(user):
+                        raise IndexError(
+                            f"user picker returned {user}, which is not an "
+                            f"active tenant (active: "
+                            f"{scheduler.active_ids()})"
+                        )
+                    if user in busy_users:
+                        self._deferred_user = user
+                        self.stalled_picks += 1
+                        break
+                    tenant = scheduler.tenants[user]
+                    selection = tenant.picker.select()
+                    reward, gpu_time = self.trainer.train(
+                        user, selection.arm
                     )
-                if user in busy_users:
-                    self._deferred_user = user
-                    self.stalled_picks += 1
-                    break
-                tenant = scheduler.tenants[user]
-                selection = tenant.picker.select()
-                reward, gpu_time = self.trainer.train(user, selection.arm)
-                job = self.runtime.submit(
-                    user, selection.arm, gpu_time, reward
-                )
-                in_flight[job.job_id] = (tenant, selection)
-                busy_users.add(user)
-                dispatched += 1
-            if not in_flight:
-                break
-            completed = self.runtime.run_until_next_completion()
-            if not completed:
-                raise RuntimeError(
-                    f"runtime stalled with {len(in_flight)} jobs in "
-                    f"flight (policy {self.runtime.policy.name!r})"
-                )
-            for job in completed:
-                if job.job_id not in in_flight:
+                    job = self.runtime.submit(
+                        user, selection.arm, gpu_time, reward
+                    )
+                    in_flight[job.job_id] = (tenant, selection)
+                    busy_users.add(user)
+                    dispatched += 1
+                if in_flight:
+                    completed: List[Job] = []
+                    freed = False
+                    while self.runtime.queue and not completed and not freed:
+                        completed = self.runtime.step()
+                        freed = scrub_cancelled()
+                    if not completed and not freed and in_flight:
+                        raise RuntimeError(
+                            f"runtime stalled with {len(in_flight)} jobs "
+                            f"in flight (policy "
+                            f"{self.runtime.policy.name!r})"
+                        )
+                    for job in completed:
+                        if job.job_id not in in_flight:
+                            continue
+                        tenant, selection = in_flight.pop(job.job_id)
+                        busy_users.discard(job.user)
+                        self.absorb(scheduler, tenant, selection, job)
                     continue
-                tenant, selection = in_flight.pop(job.job_id)
-                busy_users.discard(job.user)
-                self.absorb(scheduler, tenant, selection, job)
+                if (
+                    may_dispatch()
+                    and scheduler.n_users == 0
+                    and self.runtime.queue
+                ):
+                    # Nobody to serve yet (or everybody left): advance
+                    # to the next membership event.
+                    self.runtime.step()
+                    continue
+                break
+        finally:
+            self._membership_ctx = None
         return RunResult(
             records=list(scheduler.records[records_before:]),
-            n_users=scheduler.n_users,
+            n_users=scheduler.n_known,
         )
 
     def absorb(

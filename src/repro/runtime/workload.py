@@ -107,6 +107,18 @@ class WorkloadTrace:
         """Distinct users appearing in the trace, ascending."""
         return sorted({item.user for item in self.items})
 
+    def membership(self) -> "WorkloadTrace":
+        """Just the tenant arrival/departure items, as a sub-trace.
+
+        This is the schedule :meth:`~repro.runtime.oracle.
+        AsyncClusterOracle.run_concurrent` consumes: membership changes
+        come from the trace while job submissions come from the live
+        scheduler.
+        """
+        return WorkloadTrace(
+            [item for item in self.items if item.action != "submit"]
+        )
+
     # ------------------------------------------------------------------
     # JSONL record / replay
     # ------------------------------------------------------------------

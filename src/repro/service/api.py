@@ -90,6 +90,20 @@ class InferRequest(Request):
 
 
 @dataclass(frozen=True, kw_only=True)
+class CloseAppRequest(Request):
+    """Retire an app from the live cluster run (tenant departure).
+
+    The app's tenant leaves the scheduler's active set (a
+    ``USER_DEPARTED`` event): queued training jobs are cancelled,
+    running jobs drain and still land, and the tenant's share of the
+    pool is released.  The app keeps serving ``infer`` from its best
+    model — closing stops training, not serving.
+    """
+
+    app: str
+
+
+@dataclass(frozen=True, kw_only=True)
 class SubmitTrainingRequest(Request):
     """Submit ``steps`` asynchronous training jobs for an app.
 
@@ -207,9 +221,28 @@ class SetExampleEnabledResponse(Response):
 
 @dataclass(frozen=True, kw_only=True)
 class InferResponse(Response):
+    """A prediction, stamped with which training run produced it.
+
+    ``model_version`` is the job handle id of the run that trained the
+    served model (``run-<n>`` when the model landed outside the async
+    job path), so clients can tell which run answered.
+    """
+
     app: str
     prediction: int
     model: Optional[str] = None
+    model_version: Optional[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class CloseAppResponse(Response):
+    """Outcome of a tenant departure."""
+
+    app: str
+    #: Job handle ids of queued jobs the departure cancelled.
+    cancelled_jobs: Tuple[str, ...] = ()
+    #: Whether the app was an active tenant of a live run when closed.
+    was_admitted: bool = False
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -33,6 +33,7 @@ from repro.service.api import (
     ApiError,
     ApiErrorCode,
     AppStatusResponse,
+    CloseAppResponse,
     EventsResponse,
     FeedResponse,
     InferResponse,
@@ -170,6 +171,15 @@ class EaseMLClient:
     def app_status(self, app: str) -> AppStatusResponse:
         """Best model, accuracy, and store stats for one app."""
         return self._get(f"/{API_VERSION}/apps/{app}")
+
+    def close_app(self, app: str) -> CloseAppResponse:
+        """Retire an app from the live run (tenant departure).
+
+        Queued training jobs are cancelled (their handle ids come back
+        in ``cancelled_jobs``), running jobs drain, and the app keeps
+        serving ``infer`` from its best model.  Closing is permanent.
+        """
+        return self._request("DELETE", f"/{API_VERSION}/apps/{app}")
 
     def feed(
         self,

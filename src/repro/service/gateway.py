@@ -45,6 +45,8 @@ from repro.service.api import (
     ApiErrorCode,
     AppStatusRequest,
     AppStatusResponse,
+    CloseAppRequest,
+    CloseAppResponse,
     EventsRequest,
     EventsResponse,
     FeedRequest,
@@ -75,6 +77,23 @@ from repro.service.api import (
 #: Job states that still count against the pending-jobs quota.
 _LIVE_STATES = (JobState.PENDING, JobState.RUNNING, JobState.PREEMPTED)
 
+#: Request types served under the tenant's own lock instead of the
+#: gateway-wide one: they only read tenant-scoped state (plus
+#: GIL-atomic snapshots of shared structures), so concurrent readers
+#: from different tenants no longer serialise on one RLock.  Anything
+#: that mutates shared state — registration, feeds, submits, closes,
+#: and the runtime advance inside a live job poll — still takes the
+#: global lock.
+_SHARDED_REQUESTS = (
+    AppStatusRequest,
+    EventsRequest,
+    JobStatusRequest,
+    ListAppsRequest,
+    ListJobsRequest,
+    RefineRequest,
+    ServerInfoRequest,
+)
+
 
 @dataclass(frozen=True)
 class TenantQuota:
@@ -101,6 +120,11 @@ class Tenant:
     #: Running example-store usage (updated on feed; stores are
     #: append-only, so this never needs recomputing).
     store_bytes: int = 0
+    #: Per-tenant lock for read-only requests (see _SHARDED_REQUESTS);
+    #: different tenants' reads proceed concurrently.
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -132,6 +156,11 @@ class ServiceGateway:
         Backend shape used only when ``server`` is None.
     default_quota:
         Quota applied to tenants created without an explicit one.
+    shard_read_locks:
+        Serve read-only requests under per-tenant locks instead of the
+        gateway-wide one (see ``_SHARDED_REQUESTS``).  On by default;
+        the switch exists so the throughput benchmark can race the two
+        locking disciplines against each other.
     """
 
     def __init__(
@@ -145,6 +174,7 @@ class ServiceGateway:
         seed: int = 0,
         min_examples: int = 10,
         default_quota: Optional[TenantQuota] = None,
+        shard_read_locks: bool = True,
         zoo=None,
     ) -> None:
         if server is None:
@@ -164,10 +194,14 @@ class ServiceGateway:
             )
         self.server = server
         self.default_quota = default_quota or TenantQuota()
+        self.shard_read_locks = bool(shard_read_locks)
         self._tenants: Dict[str, Tenant] = {}  # token -> tenant
         self._tenant_names: Dict[str, Tenant] = {}
         self._jobs: Dict[str, _JobRecord] = {}  # handle id -> record
         self._jobs_by_runtime_id: Dict[int, _JobRecord] = {}
+        #: ``(app, history index) -> job handle id`` so infer can name
+        #: the training run that produced the served model.
+        self._handles_by_outcome: Dict[tuple, str] = {}
         self._lock = threading.RLock()
         self._absorb_hook_installed = False
         if self.server._runtime_oracle is not None:
@@ -181,6 +215,7 @@ class ServiceGateway:
             SetExampleEnabledRequest: self._set_example_enabled,
             InferRequest: self._infer,
             SubmitTrainingRequest: self._submit_training,
+            CloseAppRequest: self._close_app,
             JobStatusRequest: self._job_status,
             ListJobsRequest: self._list_jobs,
             AppStatusRequest: self._app_status,
@@ -259,8 +294,20 @@ class ServiceGateway:
                 ApiErrorCode.INVALID_ARGUMENT,
                 f"no handler for request type {type(request).__name__}",
             )
-        with self._lock:
-            tenant = self._authenticate(request)
+        # Token -> tenant is a single dict read (tenants are never
+        # deleted), safe without the lock; the request then runs under
+        # the tenant's own lock when it is read-only, or the gateway
+        # lock when it can mutate shared state.  Lock order is always
+        # tenant -> global (a live job poll upgrades), never the
+        # reverse, so the two tiers cannot deadlock.
+        tenant = self._authenticate(request)
+        lock = (
+            tenant.lock
+            if self.shard_read_locks
+            and isinstance(request, _SHARDED_REQUESTS)
+            else self._lock
+        )
+        with lock:
             try:
                 return handler(tenant, request)
             except ApiError:
@@ -318,11 +365,6 @@ class ServiceGateway:
         except NotImplementedError as exc:
             raise ApiError(
                 ApiErrorCode.UNSUPPORTED, str(exc), app=name
-            ) from None
-        except RuntimeError as exc:
-            # Registration frozen once training has started.
-            raise ApiError(
-                ApiErrorCode.FAILED_PRECONDITION, str(exc), app=name
             ) from None
         except ValueError as exc:
             raise ApiError(
@@ -450,6 +492,49 @@ class ServiceGateway:
             app=request.app,
             prediction=int(prediction),
             model=app.best_candidate,
+            model_version=self._model_version(app),
+        )
+
+    def _model_version(self, app) -> Optional[str]:
+        """The job handle (or run number) that trained the served model."""
+        if app.best_version is None:
+            return None
+        return self._handles_by_outcome.get(
+            (app.name, app.best_version - 1),
+            f"run-{app.best_version:05d}",
+        )
+
+    def _close_app(
+        self, tenant: Tenant, request: CloseAppRequest
+    ) -> CloseAppResponse:
+        app = self._get_app(tenant, request.app)
+        if app.closed:
+            raise ApiError(
+                ApiErrorCode.CONFLICT,
+                f"app {request.app!r} is already closed",
+                app=request.app,
+            )
+        was_admitted = self.server.is_admitted(request.app)
+        try:
+            cancelled_ids = self.server.retire_app(request.app)
+        except RuntimeError as exc:  # pragma: no cover - defensive
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                f"cannot close app {request.app!r}: {exc}",
+                app=request.app,
+            ) from None
+        cancelled = tuple(
+            sorted(
+                record.handle_id
+                for jid in cancelled_ids
+                for record in [self._jobs_by_runtime_id.get(jid)]
+                if record is not None
+            )
+        )
+        return CloseAppResponse(
+            app=request.app,
+            cancelled_jobs=cancelled,
+            was_admitted=was_admitted,
         )
 
     # ------------------------------------------------------------------
@@ -462,43 +547,54 @@ class ServiceGateway:
             )
             self._absorb_hook_installed = True
 
-    def _ensure_training_started(self, tenant: Tenant) -> None:
-        if self.server.scheduler is not None:
-            self._install_absorb_hook()
-            return
-        # Pre-check the fixed-tenant-set precondition ourselves so the
-        # error never leaks another tenant's app names.
-        not_ready = [
-            app.name
-            for app in self.server.apps
-            if app.store.n_enabled < self.server.min_examples
-        ]
-        mine = sorted(n for n in not_ready if n in tenant.apps)
-        if mine:
+    def _require_enough_examples(self, app) -> None:
+        if app.store.n_enabled < self.server.min_examples:
             raise ApiError(
                 ApiErrorCode.FAILED_PRECONDITION,
-                f"cannot start training: app(s) {mine} have fewer than "
-                f"{self.server.min_examples} enabled examples — feed "
-                "more first",
-                apps=mine,
+                f"cannot train app {app.name!r}: it has "
+                f"{app.store.n_enabled} enabled examples and at least "
+                f"{self.server.min_examples} are required — feed more "
+                "first",
+                app=app.name,
                 min_examples=self.server.min_examples,
             )
-        if not_ready:
+
+    def _ensure_app_scheduled(self, tenant: Tenant, app) -> None:
+        """Start the cluster run and/or admit this app to it.
+
+        Membership is dynamic: the first submit starts scheduling over
+        every app that is already fed past the threshold, and any app
+        fed later — registered before or after that first submit —
+        joins the live run as a ``USER_ARRIVED`` tenant at its own
+        first submit.  No tenant is ever blocked on another tenant's
+        unfed app.
+        """
+        if app.closed:
             raise ApiError(
                 ApiErrorCode.FAILED_PRECONDITION,
-                "cannot start training: the cluster uses a fixed "
-                "tenant set per run, and another tenant's app is "
-                "still awaiting examples",
-                pending_apps=len(not_ready),
+                f"app {app.name!r} is closed; closing is permanent — "
+                "register a new app to keep training",
+                app=app.name,
             )
-        try:
-            self.server._prepare()
-        except RuntimeError as exc:
-            raise ApiError(
-                ApiErrorCode.FAILED_PRECONDITION,
-                f"cannot start training: {exc}",
-            ) from None
+        self._require_enough_examples(app)
+        if self.server.scheduler is None:
+            try:
+                self.server._prepare(only_ready=True)
+            except RuntimeError as exc:
+                raise ApiError(
+                    ApiErrorCode.FAILED_PRECONDITION,
+                    f"cannot start training: {exc}",
+                ) from None
         self._install_absorb_hook()
+        if not self.server.is_admitted(app.name):
+            try:
+                self.server.admit_app(app.name)
+            except RuntimeError as exc:
+                raise ApiError(
+                    ApiErrorCode.FAILED_PRECONDITION,
+                    f"cannot admit app {app.name!r}: {exc}",
+                    app=app.name,
+                ) from None
 
     def _submit_training(
         self, tenant: Tenant, request: SubmitTrainingRequest
@@ -527,7 +623,7 @@ class ServiceGateway:
                 requested=steps,
                 limit=tenant.quota.max_pending_jobs,
             )
-        self._ensure_training_started(tenant)
+        self._ensure_app_scheduled(tenant, app)
         scheduler = self.server.scheduler
         oracle = self.server._runtime_oracle
         user = self.server.apps.index(app)
@@ -563,6 +659,9 @@ class ServiceGateway:
             return
         app = self.server.get_app(record.app)
         record.history_index = len(app.history) - 1
+        self._handles_by_outcome[(record.app, record.history_index)] = (
+            record.handle_id
+        )
         self.server._runtime_oracle.absorb(
             self.server.scheduler,
             record.tenant_state,
@@ -596,21 +695,35 @@ class ServiceGateway:
         record = self._get_job(tenant, request.job_id)
         runtime = self.server._runtime_oracle.runtime
         if record.job.state in _LIVE_STATES:
-            # Each poll of a live job advances the simulated cluster by
-            # (at most) one completion event — possibly someone else's,
-            # which is exactly how out-of-order completions surface.
-            completed = runtime.run_until_next_completion()
-            if not completed and not runtime.queue and (
-                record.job.state in _LIVE_STATES
-            ):
-                raise ApiError(
-                    ApiErrorCode.INTERNAL,
-                    f"runtime stalled before job {request.job_id} "
-                    f"completed (policy "
-                    f"{runtime.policy.name!r} never scheduled it)",
-                    job_id=request.job_id,
-                )
+            # Advancing the shared cluster mutates global state, so a
+            # live-job poll upgrades from the tenant's shard lock to
+            # the gateway lock (tenant -> global, never the reverse).
+            with self._lock:
+                if record.job.state in _LIVE_STATES:
+                    # Each poll of a live job advances the simulated
+                    # cluster by (at most) one completion event —
+                    # possibly someone else's, which is exactly how
+                    # out-of-order completions surface.
+                    completed = runtime.run_until_next_completion()
+                    if not completed and not runtime.queue and (
+                        record.job.state in _LIVE_STATES
+                    ):
+                        raise ApiError(
+                            ApiErrorCode.INTERNAL,
+                            f"runtime stalled before job "
+                            f"{request.job_id} completed (policy "
+                            f"{runtime.policy.name!r} never scheduled "
+                            "it)",
+                            job_id=request.job_id,
+                        )
         job = record.job
+        if job.state is JobState.FINISHED and record.history_index is None:
+            # A concurrent global-lock holder finished this job but has
+            # not yet run the outcome hooks.  Taking (and releasing)
+            # the global lock waits them out, so a finished job never
+            # reports a missing accuracy.
+            with self._lock:
+                pass
         outcome = None
         if job.state is JobState.FINISHED and record.history_index is not None:
             app = self.server.get_app(record.app)
@@ -633,9 +746,13 @@ class ServiceGateway:
     ) -> ListJobsResponse:
         if request.app is not None:
             self._get_app(tenant, request.app)
+        # list(dict.values()) is a single C-level snapshot, safe
+        # against a concurrent global-lock writer inserting new jobs;
+        # iterating the live view here could raise "dictionary changed
+        # size during iteration" under the shard-lock discipline.
         handles = tuple(
             self._handle_of(record)
-            for record in self._jobs.values()
+            for record in list(self._jobs.values())
             if record.tenant == tenant.name
             and (request.app is None or record.app == request.app)
         )

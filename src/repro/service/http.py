@@ -12,6 +12,7 @@ Routes (all under ``/v1``)::
     POST   /v1/apps                           register an app
     GET    /v1/apps                           list this tenant's apps
     GET    /v1/apps/{app}                     app status
+    DELETE /v1/apps/{app}                     close (retire the tenant)
     POST   /v1/apps/{app}/examples            feed example pairs
     GET    /v1/apps/{app}/examples            refine view
     POST   /v1/apps/{app}/examples/{id}       toggle an example
@@ -37,6 +38,7 @@ from repro.service.api import (
     ApiError,
     ApiErrorCode,
     AppStatusRequest,
+    CloseAppRequest,
     EventsRequest,
     FeedRequest,
     InferRequest,
@@ -224,6 +226,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return ListAppsRequest(**common)
         if len(rest) == 2 and rest[0] == "apps" and method == "GET":
             return AppStatusRequest(app=rest[1], **common)
+        if len(rest) == 2 and rest[0] == "apps" and method == "DELETE":
+            return CloseAppRequest(app=rest[1], **common)
         if len(rest) == 3 and rest[0] == "apps" and rest[2] == "examples":
             if method == "POST":
                 return FeedRequest(
@@ -294,3 +298,6 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")

@@ -200,3 +200,139 @@ class TestRunResult:
         # Rewards recorded by tenants match the run records.
         total_rewards = sum(len(t.rewards) for t in sched.tenants)
         assert total_rewards == steps
+
+
+def make_picker(n_models=2, seed=None):
+    return GPUCBPicker(
+        0.09 * np.eye(n_models), AlgorithmOneBeta(n_models),
+        noise=0.05, seed=seed,
+    )
+
+
+class TestDynamicMembership:
+    """The tenant registry: stable ids, arrivals, retirements."""
+
+    def test_subset_start_via_mapping(self):
+        oracle = MatrixOracle(np.asarray(QUALITY, dtype=float))
+        sched = MultiTenantScheduler(
+            oracle, {1: make_picker()}, RoundRobinPicker()
+        )
+        assert sched.active_ids() == [1]
+        record = sched.step()
+        assert record.user == 1
+
+    def test_add_tenant_joins_rotation(self):
+        oracle = MatrixOracle(np.asarray(QUALITY, dtype=float))
+        sched = MultiTenantScheduler(
+            oracle, {0: make_picker()}, RoundRobinPicker()
+        )
+        sched.run(max_steps=2)
+        sched.add_tenant(make_picker(), tenant_id=1)
+        assert sched.active_ids() == [0, 1]
+        result = sched.run(max_steps=6)
+        assert set(result.users()) == {0, 1}
+
+    def test_retire_tenant_preserves_history(self):
+        sched = make_sched(QUALITY)
+        sched.run(max_steps=4)
+        state = sched.retire_tenant(0)
+        assert state.serves == 2
+        assert sched.active_ids() == [1]
+        # Retired state stays reachable by id; records keep its rounds.
+        assert sched.tenants[0].serves == 2
+        result = sched.run(max_steps=8)
+        assert all(r.user == 1 for r in sched.records[4:])
+        assert result.serves_per_user()[0] == 2
+
+    def test_reactivation_keeps_state(self):
+        sched = make_sched(QUALITY)
+        sched.run(max_steps=4)
+        before = sched.tenants[0]
+        sched.retire_tenant(0)
+        state = sched.add_tenant(tenant_id=0)  # no picker: resume
+        assert state is before
+        assert state.serves == 2
+        assert sched.active_ids() == [0, 1]
+
+    def test_new_tenant_without_picker_rejected(self):
+        oracle = MatrixOracle(np.asarray(QUALITY, dtype=float))
+        sched = MultiTenantScheduler(
+            oracle, {0: make_picker()}, RoundRobinPicker()
+        )
+        with pytest.raises(ValueError, match="picker is required"):
+            sched.add_tenant(tenant_id=1)
+
+    def test_add_without_oracle_row_rejected(self):
+        sched = make_sched(QUALITY)
+        with pytest.raises(ValueError, match="oracle row"):
+            sched.add_tenant(make_picker(), tenant_id=5)
+
+    def test_oracle_add_user_unlocks_new_id(self):
+        quality = np.asarray(QUALITY, dtype=float)
+        oracle = MatrixOracle(quality)
+        sched = MultiTenantScheduler(
+            oracle, [make_picker(), make_picker()], RoundRobinPicker()
+        )
+        new_id = oracle.add_user([0.3, 0.7])
+        assert new_id == 2
+        state = sched.add_tenant(make_picker())
+        assert state.index == 2
+        result = sched.run(max_steps=6)
+        assert set(result.users()) == {0, 1, 2}
+
+    def test_double_activation_rejected(self):
+        sched = make_sched(QUALITY)
+        with pytest.raises(ValueError, match="already active"):
+            sched.add_tenant(make_picker(), tenant_id=0)
+
+    def test_retire_unknown_rejected(self):
+        sched = make_sched(QUALITY)
+        with pytest.raises(KeyError):
+            sched.retire_tenant(9)
+
+    def test_step_with_no_active_tenants_rejected(self):
+        sched = make_sched(QUALITY)
+        sched.retire_tenant(0)
+        sched.retire_tenant(1)
+        with pytest.raises(RuntimeError, match="no active tenants"):
+            sched.step()
+
+    def test_serves_per_user_sized_to_max_id(self):
+        quality = np.asarray(QUALITY, dtype=float)
+        oracle = MatrixOracle(quality)
+        sched = MultiTenantScheduler(
+            oracle, {1: make_picker()}, RoundRobinPicker()
+        )
+        result = sched.run(max_steps=3)
+        counts = result.serves_per_user()
+        assert counts.shape == (2,)
+        assert counts[1] == 3
+        assert result.serves_by_tenant() == {1: 3}
+
+    def test_n_users_tracks_active_set(self):
+        sched = make_sched(QUALITY)
+        assert sched.n_users == 2
+        sched.retire_tenant(1)
+        assert sched.n_users == 1
+        assert sched.n_known == 2
+
+
+class TestTenantRegistry:
+    def test_iteration_is_active_only_in_id_order(self):
+        sched = make_sched(QUALITY)
+        sched.retire_tenant(0)
+        assert [t.index for t in sched.tenants] == [1]
+        assert sched.tenants.known_ids() == [0, 1]
+        assert [t.index for t in sched.tenants.all_states()] == [0, 1]
+
+    def test_contains_means_active(self):
+        sched = make_sched(QUALITY)
+        assert 0 in sched.tenants
+        sched.retire_tenant(0)
+        assert 0 not in sched.tenants
+        assert sched.tenants.is_known(0)
+
+    def test_next_id_never_recycles(self):
+        sched = make_sched(QUALITY)
+        sched.retire_tenant(1)
+        assert sched.tenants.next_id() == 2

@@ -168,3 +168,75 @@ class TestHybrid:
     def test_invalid_s_rejected(self):
         with pytest.raises(ValueError):
             HybridPicker(s=0)
+
+
+class TestMembershipChurn:
+    """Pickers range over the live active set, not range(n_users)."""
+
+    def test_round_robin_skips_retired(self):
+        sched = make_scheduler(QUALITY, RoundRobinPicker())
+        sched.run(max_steps=3)
+        sched.retire_tenant(1)
+        result = sched.run(max_steps=7)
+        assert set(result.users()[3:]) == {0, 2}
+
+    def test_round_robin_includes_arrival(self):
+        sched = make_scheduler(QUALITY, RoundRobinPicker())
+        sched.run(max_steps=3)
+        sched.oracle.add_user([0.2, 0.5, 0.9])
+        sched.add_tenant(
+            GPUCBPicker(
+                0.09 * np.eye(3), AlgorithmOneBeta(3), noise=0.05, seed=9
+            )
+        )
+        result = sched.run(max_steps=11)
+        assert 3 in set(result.users())
+
+    def test_random_only_picks_active(self):
+        sched = make_scheduler(QUALITY, RandomUserPicker(seed=0))
+        sched.retire_tenant(0)
+        result = sched.run(max_steps=40)
+        assert set(result.users()) == {1, 2}
+
+    def test_fcfs_survives_departure_of_current(self):
+        sched = make_scheduler(QUALITY, FCFSPicker())
+        sched.run(max_steps=2)  # serving tenant 0
+        sched.retire_tenant(0)
+        result = sched.run(max_steps=5)
+        assert set(result.users()[2:]) <= {1, 2}
+
+    def test_greedy_warm_starts_arrival(self):
+        sched = make_scheduler(QUALITY, GreedyPicker())
+        sched.run(max_steps=6)
+        sched.oracle.add_user([0.1, 0.5, 0.8])
+        sched.add_tenant(
+            GPUCBPicker(
+                0.09 * np.eye(3), AlgorithmOneBeta(3), noise=0.05, seed=4
+            )
+        )
+        # The newcomer has never been served: warm-up picks it next.
+        assert sched.step().user == 3
+
+    def test_hybrid_reenters_greedy_on_arrival(self):
+        quality = [[0.5] * 3, [0.5] * 3, [0.5] * 3]
+        picker = HybridPicker(s=4)
+        sched = make_scheduler(quality, picker)
+        sched.run(max_steps=20)
+        assert picker.switched
+        sched.oracle.add_user([0.2, 0.9, 0.4])
+        sched.add_tenant(
+            GPUCBPicker(
+                0.09 * np.eye(3), AlgorithmOneBeta(3), noise=0.05, seed=5
+            )
+        )
+        assert not picker.switched  # newcomer gets an exploration phase
+        assert sched.step().user == 3  # greedy warm-up serves it first
+
+    def test_candidate_set_uses_stable_ids(self):
+        sched = make_scheduler(QUALITY, GreedyPicker())
+        sched.run(max_steps=6)
+        sched.retire_tenant(0)
+        picker = sched.user_picker
+        candidates = picker.candidate_set(sched)
+        assert candidates
+        assert set(candidates) <= {1, 2}

@@ -86,13 +86,43 @@ def test_service_end_to_end(stack):
     )
     assert correct_b >= 12  # well above the 33% chance level
 
+    # --- infer answers are stamped with the run that trained them ---
+    stamped = alice.infer("moons", Xa[0].tolist())
+    assert stamped.model_version is not None
+    assert stamped.model_version in {h.job_id for h in handles_a}
+
+    # --- dynamic membership: a tenant joins the live run -------------
+    late = EaseMLClient(server.url, gateway.create_tenant("carol"))
+    assert late.register_app("late", MOONS).n_candidates == 3
+    Xl, yl = make_task(TaskSpec("moons", 60, 0.3, seed=2))
+    late.feed("late", Xl.tolist(), [int(v) for v in yl])
+    late_handles = late.submit_training("late", steps=2)
+    late_statuses = late.wait_all(late_handles)
+    assert all(s.state == "finished" for s in late_statuses)
+    arrived = late.events(kinds=["user_arrived"]).events
+    assert len(arrived) == 1  # the USER_ARRIVED of carol's admission
+
+    # --- and departs mid-run, draining its in-flight work ------------
+    closing = late.submit_training("late", steps=2)
+    closed = late.close_app("late")
+    assert closed.was_admitted
+    final = late.wait_all(closing)
+    assert all(s.state in ("finished", "failed") for s in final)
+    departed = late.events(kinds=["user_departed"]).events
+    assert len(departed) == 1
+    with pytest.raises(ApiError) as excinfo:
+        late.submit_training("late")
+    assert excinfo.value.code is ApiErrorCode.FAILED_PRECONDITION
+    # A closed app keeps serving infer from its best model.
+    assert late.infer("late", Xl[0].tolist()).prediction in (0, 1)
+
     # --- every error path is a typed ApiError ------------------------
     cases = [
         (lambda: alice.app_status("ghost"), ApiErrorCode.NOT_FOUND),
         (lambda: bob.refine("moons"), ApiErrorCode.NOT_FOUND),
         (
-            lambda: alice.register_app("late", MOONS),
-            ApiErrorCode.FAILED_PRECONDITION,
+            lambda: late.close_app("late"),
+            ApiErrorCode.CONFLICT,
         ),
         (
             lambda: alice.feed("moons", [[1.0, 2.0, 3.0]], [0]),

@@ -54,13 +54,39 @@ class TestRegistration:
                 program_from_shapes([4, 4], [2, 2]), "ae"
             )
 
-    def test_registration_frozen_after_run(self):
+    def test_registration_open_after_run(self):
+        # Dynamic membership: an app registered after scheduling has
+        # started joins the live run once it is fed past the threshold.
         server = make_server()
         app = server.register_app(program_from_shapes([2], [2]), "a")
         feed_task(app, "moons")
         server.run(max_steps=2)
-        with pytest.raises(RuntimeError, match="fixed tenant set"):
-            server.register_app(program_from_shapes([2], [2]), "b")
+        late = server.register_app(program_from_shapes([2], [2]), "b")
+        assert not server.is_admitted("b")
+        feed_task(late, "moons", seed=1)
+        records = server.run(max_steps=4)
+        assert server.is_admitted("b")
+        late_user = server.apps.index(late)
+        assert any(r.user == late_user for r in records)
+        arrivals = server.log.filter(EventKind.USER_ARRIVED, user=late_user)
+        assert len(arrivals) == 1
+
+    def test_retire_app_leaves_run(self):
+        server = make_server()
+        a = server.register_app(program_from_shapes([2], [2]), "a")
+        b = server.register_app(program_from_shapes([2], [2]), "b")
+        feed_task(a, "moons")
+        feed_task(b, "moons", seed=1)
+        server.run(max_steps=4)
+        server.retire_app("a")
+        assert a.closed
+        assert not server.is_admitted("a")
+        records = server.run(max_steps=4)
+        assert all(r.user != server.apps.index(a) for r in records)
+        departures = server.log.filter(EventKind.USER_DEPARTED, user=0)
+        assert len(departures) == 1
+        with pytest.raises(RuntimeError, match="already closed"):
+            server.retire_app("a")
 
     def test_image_app_gets_normalization_candidates(self):
         server = make_server()

@@ -239,3 +239,36 @@ class TestKernelGuards:
         assert not rt.is_idle
         rt.run_until_idle()
         assert rt.is_idle
+
+
+class TestMembershipCallbacks:
+    def test_arrival_and_departure_callbacks_fire(self):
+        from repro.runtime.kernel import ClusterRuntime
+
+        runtime = ClusterRuntime()
+        seen = []
+        runtime.on_arrival(lambda user: seen.append(("arrive", user)))
+        runtime.on_departure(lambda user: seen.append(("depart", user)))
+        runtime.user_arrives(3, time=1.0)
+        runtime.user_departs(3, time=2.0)
+        runtime.run_until_idle()
+        assert seen == [("arrive", 3), ("depart", 3)]
+
+    def test_departure_callback_fires_after_cancellations(self):
+        from repro.engine.cluster import GPUPool
+        from repro.engine.jobs import JobState
+        from repro.runtime.kernel import ClusterRuntime
+        from repro.runtime.placement import SingleDevicePlacement
+
+        runtime = ClusterRuntime(GPUPool(1), SingleDevicePlacement())
+        blocker = runtime.submit(0, 0, gpu_time=10.0)
+        queued = runtime.submit(1, 0, gpu_time=1.0)
+        states = []
+        runtime.on_departure(
+            lambda user: states.append(runtime.jobs[queued.job_id].state)
+        )
+        runtime.user_departs(1, time=0.5)
+        runtime.run_until(0.5)
+        # By the time the callback ran, the queued job was cancelled.
+        assert states == [JobState.FAILED]
+        assert blocker.state is JobState.RUNNING

@@ -427,7 +427,10 @@ class TestAsyncTraining:
         assert status.training_runs == 2
         assert status.best_candidate is not None
 
-    def test_precondition_does_not_leak_other_tenants_apps(self, gateway):
+    def test_unfed_app_never_blocks_another_tenant(self, gateway):
+        # Dynamic membership: bob's unfed app is simply not admitted;
+        # alice's submit proceeds (the old fixed-tenant-set gateway
+        # returned FAILED_PRECONDITION here).
         token_a = gateway.create_tenant("alice")
         token_b = gateway.create_tenant("bob")
         register_and_feed(gateway, token_a, "moons", MOONS_PROGRAM, "moons")
@@ -437,20 +440,18 @@ class TestAsyncTraining:
                 program=BLOBS_PROGRAM,
             )
         )  # bob never feeds it
-        with pytest.raises(ApiError) as excinfo:
-            gateway.handle(
-                SubmitTrainingRequest(auth_token=token_a, app="moons")
-            )
-        assert code_of(excinfo) is ApiErrorCode.FAILED_PRECONDITION
-        assert "secret-project" not in excinfo.value.message
-        assert "secret-project" not in str(excinfo.value.details)
-        # Bob, by contrast, is told exactly which of his apps is short.
+        response = gateway.handle(
+            SubmitTrainingRequest(auth_token=token_a, app="moons")
+        )
+        assert len(response.handles) == 1
+        # Bob's own submit is still rejected, naming his app.
         with pytest.raises(ApiError) as excinfo:
             gateway.handle(
                 SubmitTrainingRequest(
                     auth_token=token_b, app="secret-project"
                 )
             )
+        assert code_of(excinfo) is ApiErrorCode.FAILED_PRECONDITION
         assert "secret-project" in excinfo.value.message
 
     def test_job_status_reports_accuracy_and_candidate(self, gateway):
@@ -632,3 +633,170 @@ class TestDeterministicReplay:
     def test_identical_sessions_produce_identical_event_logs(self):
         divergence = diff_event_logs(self._session(), self._session())
         assert divergence is None, divergence.describe()
+
+
+def drain(gateway, token, handles):
+    """Poll every handle to a terminal state; returns final statuses."""
+    statuses = []
+    for handle in handles:
+        status = gateway.handle(
+            JobStatusRequest(auth_token=token, job_id=handle.job_id)
+        )
+        while not status.done:
+            status = gateway.handle(
+                JobStatusRequest(auth_token=token, job_id=handle.job_id)
+            )
+        statuses.append(status)
+    return statuses
+
+
+class TestDynamicTenants:
+    """ISSUE 3: register-after-submit joins the live run; close leaves."""
+
+    def test_register_after_submit_is_admitted(self, gateway):
+        token_a = gateway.create_tenant("alice")
+        register_and_feed(gateway, token_a, "moons", MOONS_PROGRAM, "moons")
+        first = gateway.handle(
+            SubmitTrainingRequest(auth_token=token_a, app="moons", steps=2)
+        )
+        drain(gateway, token_a, first.handles)
+        # The cluster run is live; a new app registers, feeds, trains.
+        token_b = gateway.create_tenant("bob")
+        register_and_feed(
+            gateway, token_b, "blobs", BLOBS_PROGRAM, "blobs", seed=1
+        )
+        late = gateway.handle(
+            SubmitTrainingRequest(auth_token=token_b, app="blobs", steps=2)
+        )
+        statuses = drain(gateway, token_b, late.handles)
+        assert all(s.state == "finished" for s in statuses)
+        # Admission surfaced as USER_ARRIVED in bob's event slice.
+        events = gateway.handle(
+            EventsRequest(auth_token=token_b, kinds=("user_arrived",))
+        )
+        assert len(events.events) == 1
+
+    def test_close_app_retires_tenant(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=2)
+        ).handles
+        from repro.service.api import CloseAppRequest
+
+        response = gateway.handle(
+            CloseAppRequest(auth_token=token, app="moons")
+        )
+        assert response.was_admitted
+        # In-flight work resolves: drained or cancelled, never stuck.
+        statuses = drain(gateway, token, handles)
+        assert all(s.state in ("finished", "failed") for s in statuses)
+        cancelled = {s.job_id for s in statuses if s.state == "failed"}
+        assert set(response.cancelled_jobs) == cancelled
+        departed = gateway.handle(
+            EventsRequest(auth_token=token, kinds=("user_departed",))
+        )
+        assert len(departed.events) == 1
+
+    def test_submit_after_close_fails_precondition(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        from repro.service.api import CloseAppRequest
+
+        gateway.handle(CloseAppRequest(auth_token=token, app="moons"))
+        with pytest.raises(ApiError) as excinfo:
+            gateway.handle(
+                SubmitTrainingRequest(auth_token=token, app="moons")
+            )
+        assert code_of(excinfo) is ApiErrorCode.FAILED_PRECONDITION
+        assert "closed" in excinfo.value.message
+
+    def test_double_close_conflicts(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        from repro.service.api import CloseAppRequest
+
+        gateway.handle(CloseAppRequest(auth_token=token, app="moons"))
+        with pytest.raises(ApiError) as excinfo:
+            gateway.handle(CloseAppRequest(auth_token=token, app="moons"))
+        assert code_of(excinfo) is ApiErrorCode.CONFLICT
+
+    def test_close_before_any_training(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        from repro.service.api import CloseAppRequest
+
+        response = gateway.handle(
+            CloseAppRequest(auth_token=token, app="moons")
+        )
+        assert not response.was_admitted
+        assert response.cancelled_jobs == ()
+
+    def test_closed_app_still_serves_infer(self, gateway):
+        token = gateway.create_tenant("alice")
+        inputs = register_and_feed(
+            gateway, token, "moons", MOONS_PROGRAM, "moons"
+        )
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=2)
+        ).handles
+        drain(gateway, token, handles)
+        from repro.service.api import CloseAppRequest
+
+        gateway.handle(CloseAppRequest(auth_token=token, app="moons"))
+        response = gateway.handle(
+            InferRequest(auth_token=token, app="moons", x=inputs[0])
+        )
+        assert response.prediction in (0, 1)
+
+    def test_cross_tenant_close_not_found(self, gateway):
+        token_a = gateway.create_tenant("alice")
+        token_b = gateway.create_tenant("bob")
+        register_and_feed(gateway, token_a, "moons", MOONS_PROGRAM, "moons")
+        from repro.service.api import CloseAppRequest
+
+        with pytest.raises(ApiError) as excinfo:
+            gateway.handle(CloseAppRequest(auth_token=token_b, app="moons"))
+        assert code_of(excinfo) is ApiErrorCode.NOT_FOUND
+
+
+class TestModelVersion:
+    def test_infer_names_the_training_run(self, gateway):
+        token = gateway.create_tenant("alice")
+        inputs = register_and_feed(
+            gateway, token, "moons", MOONS_PROGRAM, "moons"
+        )
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=3)
+        ).handles
+        drain(gateway, token, handles)
+        response = gateway.handle(
+            InferRequest(auth_token=token, app="moons", x=inputs[0])
+        )
+        assert response.model_version in {h.job_id for h in handles}
+        # The named run is the one whose candidate is being served.
+        status = gateway.handle(
+            JobStatusRequest(
+                auth_token=token, job_id=response.model_version
+            )
+        )
+        assert status.candidate == response.model
+
+
+class TestLockSharding:
+    def test_single_lock_mode_still_works(self):
+        gateway = make_gateway(shard_read_locks=False)
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=1)
+        ).handles
+        statuses = drain(gateway, token, handles)
+        assert all(s.state == "finished" for s in statuses)
+
+    def test_sharded_reads_by_default(self, gateway):
+        assert gateway.shard_read_locks
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        response = gateway.handle(ListAppsRequest(auth_token=token))
+        assert response.apps == ("moons",)

@@ -307,3 +307,53 @@ class TestConcurrentClients:
         with pytest.raises(ApiError) as excinfo:
             client_b.refine("moons")
         assert excinfo.value.code is ApiErrorCode.NOT_FOUND
+
+
+class TestDynamicTenantsOverHTTP:
+    def test_close_app_route(self, service):
+        gateway, server = service
+        client, inputs = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        handles = client.submit_training("moons", steps=1)
+        client.wait_all(handles)
+        response = client.close_app("moons")
+        assert response.app == "moons"
+        assert response.was_admitted
+        # Closed apps still serve infer, but reject further training.
+        assert client.infer("moons", inputs[0]).prediction in (0, 1)
+        with pytest.raises(ApiError) as excinfo:
+            client.submit_training("moons")
+        assert excinfo.value.code is ApiErrorCode.FAILED_PRECONDITION
+
+    def test_delete_unknown_app_not_found(self, service):
+        gateway, server = service
+        token = gateway.create_tenant("alice")
+        status, body = raw_request(
+            server, "DELETE", "/v1/apps/ghost", token=token
+        )
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_register_after_submit_over_http(self, service):
+        gateway, server = service
+        alice, _ = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        alice.wait_all(alice.submit_training("moons", steps=1))
+        # Training is live; a second tenant onboards and trains.
+        bob, _ = onboard(
+            gateway, server, "bob", "blobs", BLOBS_PROGRAM, "blobs", seed=1
+        )
+        statuses = bob.wait_all(bob.submit_training("blobs", steps=1))
+        assert all(s.state == "finished" for s in statuses)
+
+    def test_infer_carries_model_version(self, service):
+        gateway, server = service
+        client, inputs = onboard(
+            gateway, server, "alice", "moons", MOONS_PROGRAM, "moons"
+        )
+        handles = client.submit_training("moons", steps=2)
+        client.wait_all(handles)
+        response = client.infer("moons", inputs[0])
+        assert response.model_version in {h.job_id for h in handles}

@@ -178,3 +178,55 @@ class TestServe:
     def test_serve_rejects_unknown_placement(self):
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["serve", "--placement", "psychic"])
+
+
+class TestRuntimeArrivals:
+    """The --arrivals churn path (ISSUE 3)."""
+
+    DEMO = "examples/arrivals_demo.jsonl"
+
+    def test_bundled_demo_trace_runs(self, capsys):
+        assert main(
+            ["runtime", "--arrivals", self.DEMO,
+             "--jobs", "12", "--n-gpus", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "churn workload" in out
+        assert "tenant arrivals (trace)" in out
+        assert "serves by tenant" in out
+
+    def test_churn_replay_diff_is_empty(self, capsys, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        args = ["runtime", "--arrivals", self.DEMO,
+                "--jobs", "16", "--n-gpus", "4", "--seed", "2"]
+        assert main(args + ["--events-out", str(first)]) == 0
+        assert main(args + ["--events-out", str(second)]) == 0
+        capsys.readouterr()
+        # The acceptance criterion: `repro trace diff` reports no
+        # divergence between two replays of the same churn schedule.
+        assert main(["trace", "diff", str(first), str(second)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_arrivals_trace_missing_errors(self, capsys, tmp_path):
+        assert main(
+            ["runtime", "--arrivals", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "cannot load arrivals trace" in capsys.readouterr().err
+
+    def test_arrivals_without_membership_items_errors(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "subs.jsonl"
+        trace.write_text(
+            '{"action": "submit", "time": 0.0, "user": 0, '
+            '"model": 1, "gpu_time": 1.0}\n'
+        )
+        assert main(["runtime", "--arrivals", str(trace)]) == 2
+        assert "no arrive/depart" in capsys.readouterr().err
+
+    def test_arrivals_unknown_user_errors(self, capsys, tmp_path):
+        trace = tmp_path / "big.jsonl"
+        trace.write_text('{"action": "arrive", "time": 0.0, "user": 99}\n')
+        assert main(["runtime", "--arrivals", str(trace)]) == 2
+        assert "only has" in capsys.readouterr().err
