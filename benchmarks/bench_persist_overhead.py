@@ -1,0 +1,202 @@
+"""Write-ahead journaling overhead on the mutating request path.
+
+Drives the gateway in process (no HTTP, so transport cost does not
+mask the journal) through a mutation-heavy mix — feed a batch, toggle
+an example, submit async training, poll handles to completion — under
+three durability modes:
+
+* ``off``       — no state store attached (the PR-3 baseline);
+* ``buffered``  — journal appends flushed to the OS, fsync left to
+  the kernel (a host crash may lose the tail; a process crash not);
+* ``fsync``     — every record fsynced before the request acks (the
+  full WAL guarantee; the default for ``repro serve --state-dir``).
+
+Run standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_persist_overhead.py --quick
+
+or under pytest like the figure benchmarks::
+
+    cd benchmarks && PYTHONPATH=../src python -m pytest \
+        bench_persist_overhead.py -q
+"""
+
+import argparse
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import save_report
+
+from repro.ml.data import TaskSpec, make_task
+from repro.ml.zoo import default_zoo
+from repro.service import ServiceGateway
+from repro.service.api import (
+    FeedRequest,
+    JobStatusRequest,
+    RegisterAppRequest,
+    SetExampleEnabledRequest,
+    SubmitTrainingRequest,
+)
+from repro.utils.tables import ascii_table
+
+PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+ZOO = ["naive-bayes", "ridge", "tree-d4"]
+MODES = ("off", "buffered", "fsync")
+
+
+def _gateway_kwargs(seed):
+    return dict(
+        placement="partition",
+        n_gpus=4,
+        min_examples=10,
+        seed=seed,
+        zoo=default_zoo().subset(ZOO),
+    )
+
+
+def _build(mode, state_dir, seed):
+    if mode == "off":
+        return ServiceGateway(**_gateway_kwargs(seed))
+    from repro.persist import open_gateway
+
+    gateway, _ = open_gateway(
+        state_dir, sync=mode, snapshot_every=0, **_gateway_kwargs(seed)
+    )
+    return gateway
+
+
+def _drive(gateway, token, app, rows, labels, n_cycles, latencies):
+    """One mutation cycle = feed + toggle + submit + poll-to-done."""
+    fed = 0
+    for i in range(n_cycles):
+        start = time.perf_counter()
+        response = gateway.handle(
+            FeedRequest(
+                auth_token=token, app=app,
+                inputs=rows[i % len(rows)], outputs=labels[i % len(rows)],
+            )
+        )
+        fed += len(response.example_ids)
+        gateway.handle(
+            SetExampleEnabledRequest(
+                auth_token=token, app=app,
+                example_id=response.example_ids[0], enabled=(i % 2 == 0),
+            )
+        )
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app=app, steps=1)
+        ).handles
+        polls = 0
+        while not gateway.handle(
+            JobStatusRequest(auth_token=token, job_id=handles[0].job_id)
+        ).done:
+            polls += 1
+        latencies.append(time.perf_counter() - start)
+    return fed
+
+
+def run_benchmark(mode, n_cycles=30, seed=0, state_dir=None):
+    """Returns report rows for one durability mode; prints nothing."""
+    own_dir = state_dir is None
+    if own_dir:
+        state_dir = Path(tempfile.mkdtemp(prefix="bench-persist-"))
+    gateway = _build(mode, Path(state_dir) / mode, seed)
+    try:
+        token = gateway.create_tenant("bench")
+        gateway.handle(
+            RegisterAppRequest(auth_token=token, app="app", program=PROGRAM)
+        )
+        X, y = make_task(TaskSpec("moons", 200, 0.3, seed=seed))
+        batch = 5
+        rows = [
+            tuple(tuple(float(v) for v in r) for r in X[i:i + batch])
+            for i in range(0, 100, batch)
+        ]
+        labels = [
+            tuple(int(v) for v in y[i:i + batch])
+            for i in range(0, 100, batch)
+        ]
+        # Seed the store past min_examples, then warm up: the first
+        # submit profiles the app and starts the cluster run.
+        gateway.handle(
+            FeedRequest(
+                auth_token=token, app="app",
+                inputs=tuple(tuple(float(v) for v in r) for r in X[100:160]),
+                outputs=tuple(int(v) for v in y[100:160]),
+            )
+        )
+        warm = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="app", steps=1)
+        ).handles[0]
+        while not gateway.handle(
+            JobStatusRequest(auth_token=token, job_id=warm.job_id)
+        ).done:
+            pass
+        latencies = []
+        wall_start = time.perf_counter()
+        _drive(gateway, token, "app", rows, labels, n_cycles, latencies)
+        wall = time.perf_counter() - wall_start
+        journaled = 0 if gateway.store is None else gateway.store.last_seq
+    finally:
+        if gateway.store is not None:
+            gateway.store.close()
+        if own_dir:
+            shutil.rmtree(state_dir, ignore_errors=True)
+    latencies = np.asarray(latencies)
+    # ~4+ requests per cycle (feed, toggle, submit, >=1 poll).
+    return [
+        mode,
+        n_cycles,
+        journaled,
+        round(n_cycles / wall, 1),
+        round(1e3 * float(np.percentile(latencies, 50)), 3),
+        round(1e3 * float(np.percentile(latencies, 99)), 3),
+    ]
+
+
+def run_comparison(n_cycles=30, seed=0):
+    return [run_benchmark(mode, n_cycles, seed) for mode in MODES]
+
+
+def render(rows):
+    return ascii_table(
+        [
+            "journal", "cycles", "records",
+            "cycles/sec", "p50 (ms)", "p99 (ms)",
+        ],
+        rows,
+        title="Journaling overhead on the mutating path "
+        "(feed+toggle+submit+poll cycles)",
+    )
+
+
+def test_persist_overhead(once):
+    """Pytest entry point, sized like the other benchmarks."""
+    rows = once(run_comparison, n_cycles=10)
+    save_report("persist_overhead", render(rows))
+    by_mode = {row[0]: row for row in rows}
+    assert set(by_mode) == set(MODES)
+    assert by_mode["off"][2] == 0  # no records without a store
+    assert by_mode["fsync"][2] > 0
+    assert all(row[3] > 0 for row in rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="10 cycles per mode"
+    )
+    args = parser.parse_args()
+    n_cycles = 10 if args.quick else args.cycles
+    rows = run_comparison(n_cycles=n_cycles, seed=args.seed)
+    print(render(rows))
+
+
+if __name__ == "__main__":
+    main()

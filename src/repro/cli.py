@@ -19,7 +19,14 @@ Commands
     the determinism debugging tool.
 ``serve``
     Start the multi-tenant HTTP service (the versioned v1 API) and
-    print the created tenant tokens.
+    print the created tenant tokens.  With ``--state-dir`` the control
+    plane is durable: every mutation is journaled before it is acked,
+    and a restart from the same directory recovers tenants, tokens,
+    quotas, apps, and job handles.
+``state {inspect,compact}``
+    Operator tools over a ``--state-dir``: summarise the journal /
+    snapshots (and print tenant tokens), or replay-verify and compact
+    the history into a fresh snapshot.
 """
 
 from __future__ import annotations
@@ -172,6 +179,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="create a tenant and print its token (repeatable; "
         "default: one tenant named 'default')",
     )
+    srv.add_argument(
+        "--state-dir", type=str, default=None, metavar="DIR",
+        help="durable control plane: journal every mutation under DIR "
+        "and recover tenants/tokens/apps/job handles on restart.  On "
+        "recovery the backend shape stored in DIR (placement, pool "
+        "size, seed, ...) wins over the flags above — deterministic "
+        "replay must match the journal",
+    )
+    srv.add_argument(
+        "--sync", default=None, choices=["fsync", "buffered"],
+        help="journal durability (fsync: every record hits disk "
+        "before the ack; buffered: OS-buffered writes; default fsync, "
+        "or whatever the state dir was created with)",
+    )
+    srv.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="compact the journal into a snapshot every N records "
+        "(default 256; 0 disables automatic snapshots)",
+    )
+    srv.add_argument(
+        "--in-flight", default="requeue",
+        choices=["requeue", "mark-lost"],
+        help="what recovery does with jobs that were in flight at the "
+        "crash: requeue them on the rebuilt cluster, or mark them "
+        "lost (terminal 'cancelled', disposition 'lost')",
+    )
+
+    st = sub.add_parser(
+        "state", help="operator tools over a durable state directory"
+    )
+    state_sub = st.add_subparsers(dest="state_command", required=True)
+    inspect = state_sub.add_parser(
+        "inspect",
+        help="summarise a state directory (snapshots, journal, "
+        "tenants and their tokens, job handles)",
+    )
+    inspect.add_argument("--state-dir", required=True, metavar="DIR")
+    inspect.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (includes tenant tokens)",
+    )
+    compact = state_sub.add_parser(
+        "compact",
+        help="replay-verify the history and compact it into a fresh "
+        "snapshot (truncates the journal)",
+    )
+    compact.add_argument("--state-dir", required=True, metavar="DIR")
     return parser
 
 
@@ -445,11 +499,13 @@ def build_service(args: argparse.Namespace):
     """Construct (gateway, {tenant: token}, http server) for ``serve``.
 
     Split out of :func:`_cmd_serve` so tests can exercise the whole
-    wiring without blocking on ``serve_forever``.
+    wiring without blocking on ``serve_forever``.  Returns a fourth
+    element — the :class:`~repro.persist.RecoveryReport` or None —
+    when ``--state-dir`` is set.
     """
     from repro.service import ServiceGateway, serve as bind_http
 
-    gateway = ServiceGateway(
+    kwargs = dict(
         placement=args.placement,
         n_gpus=args.n_gpus,
         scaling_efficiency=args.scaling_efficiency,
@@ -457,21 +513,58 @@ def build_service(args: argparse.Namespace):
         min_examples=args.min_examples,
         seed=args.seed,
     )
+    report = None
+    if getattr(args, "state_dir", None):
+        from repro.persist import open_gateway
+
+        gateway, report = open_gateway(
+            args.state_dir,
+            sync=args.sync,
+            snapshot_every=args.snapshot_every,
+            in_flight=args.in_flight,
+            **kwargs,
+        )
+        if report is not None and gateway.persist_config is not None:
+            # Recovery honoured the stored backend shape; say so when
+            # the command line asked for something different.
+            stored = gateway.persist_config
+            ignored = {
+                key: (value, stored[key])
+                for key, value in kwargs.items()
+                if key in stored and stored[key] != value
+            }
+            for key, (asked, kept) in sorted(ignored.items()):
+                print(
+                    f"note: --{key.replace('_', '-')} {asked} ignored; "
+                    f"the state directory was created with {key}="
+                    f"{kept} and replay must match it (start a fresh "
+                    "--state-dir to change the backend shape)",
+                    file=sys.stderr,
+                )
+    else:
+        gateway = ServiceGateway(**kwargs)
+    existing = set(gateway.tenant_names())
+    for name in args.tenant or ["default"]:
+        if name not in existing:
+            gateway.create_tenant(name)
     tokens = {
-        name: gateway.create_tenant(name)
-        for name in (args.tenant or ["default"])
+        name: gateway.tenant_token(name) for name in gateway.tenant_names()
     }
     server = bind_http(gateway, host=args.host, port=args.port)
-    return gateway, tokens, server
+    return gateway, tokens, server, report
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.persist import JournalError
+
     try:
-        _, tokens, server = build_service(args)
-    except (ValueError, OSError) as exc:
+        gateway, tokens, server, report = build_service(args)
+    except (ValueError, OSError, JournalError) as exc:
         # OSError covers bind failures (port in use, bad host).
         print(f"cannot start the service: {exc}", file=sys.stderr)
         return 2
+    if report is not None:
+        print(report.describe())
     print(f"ease.ml service listening on {server.url} (API v1)")
     for name, token in tokens.items():
         print(f"tenant {name}: {token}")
@@ -482,6 +575,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        if gateway.store is not None:
+            gateway.store.close()
+    return 0
+
+
+def _cmd_state(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.persist import (
+        JOURNAL_NAME,
+        JournalError,
+        has_state,
+        list_snapshots,
+        load_latest_snapshot,
+        read_config,
+        read_journal,
+        recover_gateway,
+    )
+    from repro.persist.digest import state_digest
+
+    state_dir = args.state_dir
+    if not has_state(state_dir):
+        print(
+            f"{state_dir} is not a state directory (no config.json)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.state_command == "compact":
+        try:
+            gateway, report = recover_gateway(state_dir)
+            path = gateway.store.snapshot(state_digest(gateway))
+            gateway.store.close()
+        except JournalError as exc:
+            print(f"cannot compact {state_dir}: {exc}", file=sys.stderr)
+            return 2
+        print(report.describe())
+        print(
+            f"compacted {report.final_seq} record(s) into {path.name}; "
+            "journal truncated"
+        )
+        return 0
+
+    # inspect: summarise without replaying (cheap, read-only).
+    try:
+        config = read_config(state_dir)
+        snapshot = load_latest_snapshot(state_dir)
+        from pathlib import Path
+
+        journal_records, dropped = read_journal(
+            Path(state_dir) / JOURNAL_NAME
+        )
+    except JournalError as exc:
+        print(f"cannot inspect {state_dir}: {exc}", file=sys.stderr)
+        return 2
+    snap_seq = snapshot.seq if snapshot else 0
+    records = (snapshot.records if snapshot else []) + [
+        r for r in journal_records if r.seq > snap_seq
+    ]
+    histogram: dict = {}
+    tenants: dict = {}
+    jobs: dict = {}
+    for record in records:
+        histogram[record.type] = histogram.get(record.type, 0) + 1
+        p = record.payload
+        if record.type == "tenant_created":
+            tenants[p["name"]] = {"token": p["token"], "retired": False}
+        elif record.type == "token_rotated":
+            tenants[p["name"]]["token"] = p["token"]
+        elif record.type == "tenant_retired":
+            tenants[p["name"]]["retired"] = True
+        elif record.type == "job_submitted":
+            for handle in p["handles"]:
+                jobs[handle] = "in_flight"
+        elif record.type == "job_completed":
+            jobs[p["handle"]] = "finished"
+        elif record.type == "job_cancelled":
+            for handle in p["handles"]:
+                jobs[handle] = "cancelled"
+    summary = {
+        "state_dir": str(state_dir),
+        "config": config,
+        "snapshots": [p.name for p in list_snapshots(state_dir)],
+        "snapshot_seq": snap_seq,
+        "n_journal_records": len(journal_records),
+        "dropped_tail": dropped,
+        "last_seq": records[-1].seq if records else snap_seq,
+        "record_types": dict(sorted(histogram.items())),
+        "tenants": tenants,
+        "jobs": jobs,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["snapshots", ", ".join(summary["snapshots"]) or "(none)"],
+        ["snapshot seq", snap_seq],
+        ["journal records", len(journal_records)],
+        ["last seq", summary["last_seq"]],
+        ["tenants", len(tenants)],
+        ["job handles", len(jobs)],
+    ]
+    print(
+        ascii_table(
+            ["field", "value"], rows, title=f"state: {state_dir}"
+        )
+    )
+    for rtype, count in sorted(histogram.items()):
+        print(f"  {rtype}: {count}")
+    for name, info in sorted(tenants.items()):
+        retired = " (retired)" if info["retired"] else ""
+        print(f"tenant {name}{retired}: {info['token']}")
     return 0
 
 
@@ -498,6 +703,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_diff(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "state":
+        return _cmd_state(args)
     return _cmd_compare(args)
 
 

@@ -56,6 +56,10 @@ class ApiErrorCode(str, Enum):
     UNSUPPORTED = "unsupported"
     #: The request's schema version does not match the server's.
     UNSUPPORTED_VERSION = "unsupported_version"
+    #: The gateway is replaying its journal after a restart; retry
+    #: once recovery completes (the only retryable error in the
+    #: taxonomy).
+    UNAVAILABLE_RECOVERING = "unavailable_recovering"
     #: Anything the service failed to classify (a bug, by definition).
     INTERNAL = "internal"
 
@@ -71,6 +75,7 @@ HTTP_STATUS: Dict[ApiErrorCode, int] = {
     ApiErrorCode.FAILED_PRECONDITION: 409,
     ApiErrorCode.UNSUPPORTED: 422,
     ApiErrorCode.UNSUPPORTED_VERSION: 400,
+    ApiErrorCode.UNAVAILABLE_RECOVERING: 503,
     ApiErrorCode.INTERNAL: 500,
 }
 

@@ -1,0 +1,91 @@
+"""The durable control plane: journal, snapshots, crash recovery.
+
+``repro serve`` keeps all control-plane state — tenants, tokens,
+quotas, app tables, job handles, scheduler histories — in process
+memory; this package makes it survive a restart:
+
+* :mod:`repro.persist.journal` — an append-only, fsync-disciplined
+  JSONL write-ahead log with sequenced, checksummed records drawn from
+  a closed type registry;
+* :mod:`repro.persist.snapshot` — periodic compacted snapshots with
+  atomic rename-into-place, after which the journal is truncated past
+  the snapshot's sequence number;
+* :mod:`repro.persist.recovery` — rebuilds a
+  :class:`~repro.service.gateway.ServiceGateway` by replaying the
+  latest valid snapshot plus the journal tail, re-admitting tenants
+  into the live scheduler and re-queueing (or marking lost) in-flight
+  jobs with an explicit disposition on each handle;
+* :mod:`repro.persist.store` — the per-directory orchestrator
+  (config, snapshot cadence, journal truncation);
+* :mod:`repro.persist.digest` — the replay-determinism tripwire.
+
+Everything here is deterministic by construction: replaying the same
+journal twice yields byte-identical recovered snapshots.
+"""
+
+from repro.persist.digest import state_digest, state_view
+from repro.persist.journal import (
+    EFFECT_TYPES,
+    JOURNAL_NAME,
+    Journal,
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    RECORD_TYPES,
+    canonical_json,
+    read_journal,
+    record_checksum,
+    rewrite_journal,
+)
+from repro.persist.recovery import (
+    IN_FLIGHT_POLICIES,
+    RecoveryError,
+    RecoveryReport,
+    open_gateway,
+    recover_gateway,
+)
+from repro.persist.snapshot import (
+    Snapshot,
+    SnapshotError,
+    compact_records,
+    list_snapshots,
+    load_latest_snapshot,
+    write_snapshot,
+)
+from repro.persist.store import (
+    StateStore,
+    has_state,
+    read_config,
+    write_config,
+)
+
+__all__ = [
+    "EFFECT_TYPES",
+    "IN_FLIGHT_POLICIES",
+    "JOURNAL_NAME",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "JournalRecord",
+    "RECORD_TYPES",
+    "RecoveryError",
+    "RecoveryReport",
+    "Snapshot",
+    "SnapshotError",
+    "StateStore",
+    "canonical_json",
+    "compact_records",
+    "has_state",
+    "list_snapshots",
+    "load_latest_snapshot",
+    "open_gateway",
+    "read_config",
+    "read_journal",
+    "record_checksum",
+    "recover_gateway",
+    "rewrite_journal",
+    "state_digest",
+    "state_view",
+    "write_config",
+    "write_snapshot",
+]

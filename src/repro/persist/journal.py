@@ -1,0 +1,279 @@
+"""The write-ahead journal: an append-only, checksummed JSONL log.
+
+Every control-plane mutation the gateway performs lands here as one
+:class:`JournalRecord` — a monotonically increasing sequence number, a
+type from the *closed* :data:`RECORD_TYPES` registry, and a JSON-safe
+payload — protected by a CRC32 over the record's canonical JSON form.
+The file format is one JSON object per line::
+
+    {"seq": 7, "type": "job_submitted", "payload": {...}, "crc": "9a1b2c3d"}
+
+Durability discipline
+---------------------
+``sync="fsync"`` flushes *and* fsyncs after every append (a record is
+on disk before the gateway acks the request — the WAL guarantee);
+``sync="buffered"`` flushes to the OS after every append but leaves the
+fsync to the kernel (a host crash may lose the tail, a process crash
+does not).  The trade-off is measured in
+``benchmarks/bench_persist_overhead.py``.
+
+Crash tolerance on read
+-----------------------
+A *torn tail* — the final line is incomplete or unparseable because the
+process died mid-write — is expected and silently dropped (the request
+it belonged to was never acked).  Anything else — a bad checksum, an
+out-of-order sequence number, an unknown record type — means the file
+was corrupted after the fact, and :func:`read_journal` refuses to load
+it with a :class:`JournalCorruptionError` naming the offending line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import jsonify
+
+#: File name of the live journal inside a state directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: The closed registry of record types the journal accepts.  Primary
+#: records are written by the gateway's mutating operations; *effect*
+#: records (see :data:`EFFECT_TYPES`) describe deterministic
+#: side-effects fired while a primary executed, and are verified —
+#: not re-driven — during replay.
+RECORD_TYPES = frozenset(
+    {
+        # Operator-side tenant lifecycle.
+        "tenant_created",
+        "tenant_retired",
+        "token_rotated",
+        "quota_changed",
+        # App lifecycle through the request API.
+        "app_registered",
+        "app_closed",
+        # Example-store mutations.
+        "examples_fed",
+        "example_toggled",
+        # Async training.
+        "job_submitted",
+        "job_completed",
+        "job_cancelled",
+        # Scheduler-membership effects (emitted by the platform
+        # server's admit/retire hooks).
+        "app_admitted",
+        "app_retired",
+    }
+)
+
+#: Record types that describe side-effects of a primary operation.
+#: ``job_completed`` additionally appears at the top level when a job
+#: poll advanced the simulated cluster, and ``job_cancelled`` when
+#: recovery marked an in-flight job lost.
+EFFECT_TYPES = frozenset(
+    {"app_admitted", "app_retired", "job_completed", "job_cancelled"}
+)
+
+#: Journal sync modes (``"off"`` means "no journal at all" and is only
+#: meaningful to the benchmark; a constructed Journal is never off).
+SYNC_MODES = ("fsync", "buffered")
+
+
+class JournalError(Exception):
+    """Base class for persistence failures."""
+
+
+class JournalCorruptionError(JournalError):
+    """The journal file fails validation (checksum, order, registry)."""
+
+
+def canonical_json(value: Any) -> str:
+    """The one serialisation used for checksums and snapshots.
+
+    Sorted keys and minimal separators make the byte form a pure
+    function of the value, so equal records always hash equal.
+    """
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+def record_checksum(seq: int, rtype: str, payload: Dict[str, Any]) -> str:
+    """CRC32 (hex) over the record's canonical JSON form."""
+    blob = canonical_json({"seq": seq, "type": rtype, "payload": payload})
+    return f"{zlib.crc32(blob.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled control-plane mutation."""
+
+    seq: int
+    type: str
+    payload: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.type not in RECORD_TYPES:
+            raise JournalError(
+                f"record type {self.type!r} is not in the closed "
+                f"registry; known types: {sorted(RECORD_TYPES)}"
+            )
+
+    @property
+    def crc(self) -> str:
+        return record_checksum(self.seq, self.type, self.payload)
+
+    def to_line(self) -> str:
+        return canonical_json(
+            {
+                "seq": self.seq,
+                "type": self.type,
+                "payload": self.payload,
+                "crc": self.crc,
+            }
+        )
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any], *, line_no: int) -> "JournalRecord":
+        try:
+            seq = int(data["seq"])
+            rtype = str(data["type"])
+            payload = dict(data["payload"])
+            crc = str(data["crc"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalCorruptionError(
+                f"journal line {line_no} is not a record "
+                f"({type(exc).__name__}: {exc})"
+            ) from None
+        if rtype not in RECORD_TYPES:
+            raise JournalCorruptionError(
+                f"journal line {line_no} has unknown record type "
+                f"{rtype!r}; this journal was written by a newer (or "
+                f"foreign) server — known types: {sorted(RECORD_TYPES)}"
+            )
+        expected = record_checksum(seq, rtype, payload)
+        if crc != expected:
+            raise JournalCorruptionError(
+                f"journal line {line_no} (seq {seq}, type {rtype!r}) "
+                f"fails its checksum: recorded {crc}, computed "
+                f"{expected} — the file was modified or damaged after "
+                "it was written; restore from a snapshot"
+            )
+        return cls(seq=seq, type=rtype, payload=payload)
+
+
+class Journal:
+    """Append-only writer over the journal file.
+
+    Appends are thread-safe and sequenced; the caller (the gateway)
+    serialises them anyway under its global lock, which is what makes
+    the journal a total order over control-plane mutations.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        sync: str = "fsync",
+        start_seq: int = 0,
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                f"sync must be one of {SYNC_MODES}, got {sync!r}"
+            )
+        self.path = Path(path)
+        self.sync = sync
+        self._seq = int(start_seq)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def append(self, rtype: str, payload: Dict[str, Any]) -> JournalRecord:
+        """Durably append one record; returns it with its sequence."""
+        with self._lock:
+            if self._handle is None:
+                raise JournalError("journal is closed")
+            record = JournalRecord(
+                seq=self._seq + 1, type=rtype, payload=jsonify(payload)
+            )
+            self._handle.write(record.to_line() + "\n")
+            self._handle.flush()
+            if self.sync == "fsync":
+                os.fsync(self._handle.fileno())
+            self._seq = record.seq
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_journal(
+    path: Union[str, Path]
+) -> Tuple[List[JournalRecord], int]:
+    """Load and validate a journal file.
+
+    Returns ``(records, dropped)`` where ``dropped`` counts torn tail
+    lines discarded (0 or 1 — only the final line may legally be
+    torn).  Raises :class:`JournalCorruptionError` for anything worse.
+    """
+    path = Path(path)
+    records: List[JournalRecord] = []
+    if not path.exists():
+        return records, 0
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    dropped = 0
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("not a JSON object")
+        except ValueError:
+            if line_no == len(lines):
+                dropped = 1  # torn tail: the process died mid-write
+                break
+            raise JournalCorruptionError(
+                f"journal line {line_no} is not valid JSON but is not "
+                "the final line — the file is damaged beyond a torn "
+                "tail; restore from a snapshot"
+            ) from None
+        record = JournalRecord.from_wire(data, line_no=line_no)
+        if records and record.seq != records[-1].seq + 1:
+            raise JournalCorruptionError(
+                f"journal line {line_no} has seq {record.seq} but the "
+                f"previous record was seq {records[-1].seq}; records "
+                "must be contiguous"
+            )
+        records.append(record)
+    return records, dropped
+
+
+def rewrite_journal(
+    path: Union[str, Path], records: List[JournalRecord]
+) -> None:
+    """Atomically replace the journal with exactly ``records``.
+
+    Used to truncate past a snapshot's sequence number and to shed a
+    torn tail after recovery: write a temp file, fsync, rename into
+    place (the same atomic-publish discipline snapshots use).
+    """
+    path = Path(path)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_line() + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,563 @@
+"""Crash recovery: rebuild a live ServiceGateway from a state directory.
+
+Recovery loads the latest valid snapshot, replays its records through
+a freshly-built gateway (verifying the snapshot's state digest at the
+boundary), then replays the journal tail past the snapshot's sequence
+number.  Because the whole control plane is deterministic — randomness
+flows through the server's seeded generator in operation order, the
+cluster is a discrete-event kernel, and tokens are journaled rather
+than regenerated — replay rebuilds the *identical* state the dead
+process had: tenants re-admitted into the live
+:class:`~repro.core.multitenant.TenantRegistry`, trained models
+reconstructed, terminal job results intact.
+
+Jobs that were still in flight when the process died get an explicit
+disposition on their handle:
+
+* ``in_flight="requeue"`` (default) — the replayed cluster still holds
+  them; they complete on future polls.  Disposition ``"recovered"``.
+* ``in_flight="mark-lost"`` — they are cancelled (terminal
+  ``cancelled`` state), journaled as a ``job_cancelled`` record so the
+  *next* recovery agrees.  Disposition ``"lost"``.
+
+While replay runs, the gateway answers every request with
+``UNAVAILABLE_RECOVERING`` (HTTP 503).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine.jobs import JobState
+from repro.persist.digest import state_digest
+from repro.persist.journal import (
+    EFFECT_TYPES,
+    JOURNAL_NAME,
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    canonical_json,
+    read_journal,
+    rewrite_journal,
+)
+from repro.persist.snapshot import load_latest_snapshot
+from repro.persist.store import (
+    StateStore,
+    acquire_lock,
+    has_state,
+    read_config,
+    write_config,
+)
+from repro.service.api import (
+    CloseAppRequest,
+    FeedRequest,
+    RegisterAppRequest,
+    SetExampleEnabledRequest,
+    SubmitTrainingRequest,
+)
+from repro.service.gateway import ServiceGateway, TenantQuota
+
+#: In-flight job policies.
+IN_FLIGHT_POLICIES = ("requeue", "mark-lost")
+
+_LIVE_STATES = (JobState.PENDING, JobState.RUNNING, JobState.PREEMPTED)
+
+
+class RecoveryError(JournalError):
+    """Replay diverged from the journal (or the journal is unusable)."""
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did; ``describe()`` renders it."""
+
+    state_dir: str
+    snapshot_seq: int
+    n_snapshot_records: int
+    n_journal_records: int
+    final_seq: int
+    dropped_tail: int
+    skipped_snapshots: List[str] = field(default_factory=list)
+    tenants: List[str] = field(default_factory=list)
+    n_jobs: int = 0
+    recovered: List[str] = field(default_factory=list)
+    lost: List[str] = field(default_factory=list)
+    digest_verified: bool = False
+
+    def describe(self) -> str:
+        lines = [
+            f"recovered control plane from {self.state_dir}",
+            f"  snapshot: seq {self.snapshot_seq} "
+            f"({self.n_snapshot_records} records"
+            + (", digest verified)" if self.digest_verified else ")"),
+            f"  journal tail: {self.n_journal_records} records"
+            + (
+                f" ({self.dropped_tail} torn tail record dropped)"
+                if self.dropped_tail
+                else ""
+            ),
+            f"  tenants: {', '.join(self.tenants) or '(none)'}",
+            f"  job handles: {self.n_jobs} "
+            f"({len(self.recovered)} requeued, {len(self.lost)} lost)",
+        ]
+        for skipped in self.skipped_snapshots:
+            lines.append(f"  skipped invalid snapshot: {skipped}")
+        return "\n".join(lines)
+
+
+def _build_gateway(
+    config: Dict[str, Any],
+    gateway_factory: Optional[Callable[[Optional[dict]], ServiceGateway]],
+) -> ServiceGateway:
+    if gateway_factory is not None:
+        return gateway_factory(config)
+    kwargs: Dict[str, Any] = {}
+    for key in (
+        "placement",
+        "n_gpus",
+        "scaling_efficiency",
+        "preemption_overhead",
+        "seed",
+        "min_examples",
+        "shard_read_locks",
+    ):
+        if config.get(key) is not None:
+            kwargs[key] = config[key]
+    if config.get("default_quota"):
+        kwargs["default_quota"] = TenantQuota(**config["default_quota"])
+    names = config.get("zoo_names")
+    if names is not None:
+        from repro.ml.zoo import default_zoo
+
+        try:
+            kwargs["zoo"] = default_zoo().subset(names)
+        except (KeyError, ValueError) as exc:
+            raise RecoveryError(
+                f"the state directory was written against a zoo "
+                f"({names}) this build cannot reconstruct ({exc}); "
+                "pass gateway_factory to rebuild it"
+            ) from None
+    return ServiceGateway(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def _tenant_for(gateway: ServiceGateway, name: str):
+    tenant = gateway._tenant_names.get(name)
+    if tenant is None:
+        raise RecoveryError(
+            f"journal references tenant {name!r} before its "
+            "tenant_created record"
+        )
+    return tenant
+
+
+def _consume_effect(gateway: ServiceGateway, record: JournalRecord) -> None:
+    """Match one journaled effect against the replay's fired effects."""
+    if not gateway._pending_effects:
+        raise RecoveryError(
+            f"seq {record.seq}: journal records a {record.type!r} "
+            "effect but replay fired none — the journal and this "
+            "build have diverged"
+        )
+    rtype, payload = gateway._pending_effects.pop(0)
+    if rtype != record.type or (
+        canonical_json(payload) != canonical_json(record.payload)
+    ):
+        raise RecoveryError(
+            f"seq {record.seq}: journal records {record.type!r} "
+            f"{canonical_json(record.payload)} but replay fired "
+            f"{rtype!r} {canonical_json(payload)}"
+        )
+
+
+def _apply_cancellation(
+    gateway: ServiceGateway,
+    handles: List[str],
+    *,
+    seq: int,
+    disposition: Optional[str] = None,
+) -> None:
+    runtime_oracle = gateway.server._runtime_oracle
+    for handle in handles:
+        record = gateway._jobs.get(handle)
+        if record is None:
+            raise RecoveryError(
+                f"seq {seq}: job_cancelled names unknown handle "
+                f"{handle!r}"
+            )
+        if record.job.state is JobState.FINISHED:
+            raise RecoveryError(
+                f"seq {seq}: job_cancelled names handle {handle!r} "
+                "but replay already finished it — the journal and "
+                "this build have diverged"
+            )
+        if runtime_oracle is not None:
+            runtime_oracle.runtime.cancel(
+                record.job.job_id, reason="lost at recovery"
+            )
+        gateway.server._deferred_outcomes.pop(record.job.job_id, None)
+        record.cancelled = True
+        if disposition is not None:
+            record.disposition = disposition
+
+
+def _apply_primary(gateway: ServiceGateway, record: JournalRecord) -> None:
+    rtype, p = record.type, record.payload
+    if rtype == "tenant_created":
+        gateway.create_tenant(
+            p["name"], TenantQuota(**p["quota"]), token=p["token"]
+        )
+    elif rtype == "tenant_retired":
+        gateway.retire_tenant(p["name"])
+    elif rtype == "token_rotated":
+        gateway.rotate_token(p["name"], token=p["token"])
+    elif rtype == "quota_changed":
+        gateway.set_quota(p["name"], TenantQuota(**p["quota"]))
+    elif rtype == "app_registered":
+        tenant = _tenant_for(gateway, p["tenant"])
+        gateway._register_app(
+            tenant,
+            RegisterAppRequest(
+                auth_token=tenant.token, app=p["app"], program=p["program"]
+            ),
+        )
+    elif rtype == "examples_fed":
+        _replay_feed(gateway, record)
+    elif rtype == "example_toggled":
+        tenant = _tenant_for(gateway, p["tenant"])
+        gateway._set_example_enabled(
+            tenant,
+            SetExampleEnabledRequest(
+                auth_token=tenant.token,
+                app=p["app"],
+                example_id=int(p["example_id"]),
+                enabled=bool(p["enabled"]),
+            ),
+        )
+    elif rtype == "app_closed":
+        tenant = _tenant_for(gateway, p["tenant"])
+        gateway._close_app(
+            tenant, CloseAppRequest(auth_token=tenant.token, app=p["app"])
+        )
+    elif rtype == "job_submitted":
+        tenant = _tenant_for(gateway, p["tenant"])
+        response = gateway._submit_training(
+            tenant,
+            SubmitTrainingRequest(
+                auth_token=tenant.token, app=p["app"], steps=int(p["steps"])
+            ),
+        )
+        replayed = [handle.job_id for handle in response.handles]
+        if replayed != list(p["handles"]):
+            raise RecoveryError(
+                f"seq {record.seq}: replayed submit produced handles "
+                f"{replayed}, journal says {list(p['handles'])}"
+            )
+    else:  # pragma: no cover - registry is closed upstream
+        raise RecoveryError(f"seq {record.seq}: unhandled type {rtype!r}")
+
+
+def _replay_feed(gateway: ServiceGateway, record: JournalRecord) -> None:
+    import numpy as np
+
+    p = record.payload
+    if p.get("via") == "gateway" and p.get("tenant"):
+        tenant = _tenant_for(gateway, p["tenant"])
+        response = gateway._feed(
+            tenant,
+            FeedRequest(
+                auth_token=tenant.token,
+                app=p["app"],
+                inputs=tuple(p["inputs"]),
+                outputs=tuple(p["outputs"]),
+            ),
+        )
+        replayed = list(response.example_ids)
+    else:
+        # A feed performed directly on the backing server (no tenant
+        # accounting happened live, so none is replayed).
+        app = gateway.server.get_app(p["app"])
+        replayed = app.feed(
+            [np.asarray(row, dtype=float) for row in p["inputs"]],
+            [
+                int(y) if isinstance(y, (int, float)) else
+                np.asarray(y, dtype=float)
+                for y in p["outputs"]
+            ],
+        )
+    if list(replayed) != list(p["example_ids"]):
+        raise RecoveryError(
+            f"seq {record.seq}: replayed feed assigned example ids "
+            f"{list(replayed)}, journal says {list(p['example_ids'])}"
+        )
+
+
+def _replay_records(
+    gateway: ServiceGateway, records: List[JournalRecord]
+) -> None:
+    for record in records:
+        try:
+            if record.type in EFFECT_TYPES:
+                if gateway._pending_effects:
+                    _consume_effect(gateway, record)
+                elif record.type == "job_completed":
+                    # A poll advanced the cluster: re-advance until the
+                    # next completion is absorbed, then match it.
+                    oracle = gateway.server._runtime_oracle
+                    if oracle is None:
+                        raise RecoveryError(
+                            f"seq {record.seq}: job_completed before "
+                            "any training started"
+                        )
+                    oracle.runtime.run_until_next_completion()
+                    _consume_effect(gateway, record)
+                elif record.type == "job_cancelled":
+                    # Top-level cancellation: a previous recovery
+                    # marked these handles lost.
+                    _apply_cancellation(
+                        gateway,
+                        list(record.payload["handles"]),
+                        seq=record.seq,
+                        disposition=None,
+                    )
+                elif record.type == "app_admitted":
+                    gateway.server.admit_app(record.payload["app"])
+                    _consume_effect(gateway, record)
+                else:  # app_retired at top level
+                    gateway.server.retire_app(record.payload["app"])
+                    _consume_effect(gateway, record)
+            else:
+                if gateway._pending_effects:
+                    raise RecoveryError(
+                        f"seq {record.seq}: replay fired "
+                        f"{len(gateway._pending_effects)} effect(s) the "
+                        "journal does not record before this primary — "
+                        "the journal and this build have diverged"
+                    )
+                _apply_primary(gateway, record)
+        except RecoveryError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - replay boundary
+            raise RecoveryError(
+                f"seq {record.seq} ({record.type}): replay failed with "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def recover_gateway(
+    state_dir: Union[str, Path],
+    *,
+    in_flight: str = "requeue",
+    sync: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    gateway_factory: Optional[
+        Callable[[Optional[dict]], ServiceGateway]
+    ] = None,
+) -> Tuple[ServiceGateway, RecoveryReport]:
+    """Rebuild a gateway from ``state_dir`` and re-attach its store.
+
+    ``sync`` / ``snapshot_every`` default to the values stored in the
+    directory's config.  Raises :class:`RecoveryError` (or a journal /
+    snapshot corruption error) rather than serving diverged state.
+    """
+    if in_flight not in IN_FLIGHT_POLICIES:
+        raise ValueError(
+            f"in_flight must be one of {IN_FLIGHT_POLICIES}, "
+            f"got {in_flight!r}"
+        )
+    state_dir = Path(state_dir)
+    config = read_config(state_dir)
+    if config is None:
+        raise RecoveryError(
+            f"{state_dir} has no config.json — not a state directory "
+            "(or one from before its first request)"
+        )
+    # Lock before reading: a live writer appending mid-replay would
+    # hand us a moving journal.
+    lock_handle = acquire_lock(state_dir)
+    try:
+        return _recover_locked(
+            state_dir,
+            config,
+            lock_handle,
+            in_flight=in_flight,
+            sync=sync,
+            snapshot_every=snapshot_every,
+            gateway_factory=gateway_factory,
+        )
+    except BaseException:
+        lock_handle.close()
+        raise
+
+
+def _recover_locked(
+    state_dir: Path,
+    config: Dict[str, Any],
+    lock_handle,
+    *,
+    in_flight: str,
+    sync: Optional[str],
+    snapshot_every: Optional[int],
+    gateway_factory,
+) -> Tuple[ServiceGateway, RecoveryReport]:
+    snapshot = load_latest_snapshot(state_dir)
+    journal_records, dropped = read_journal(state_dir / JOURNAL_NAME)
+    snap_seq = snapshot.seq if snapshot else 0
+    snap_records = snapshot.records if snapshot else []
+    overlap = [r for r in journal_records if r.seq <= snap_seq]
+    tail = [r for r in journal_records if r.seq > snap_seq]
+    if tail and tail[0].seq != snap_seq + 1:
+        raise JournalCorruptionError(
+            f"journal tail starts at seq {tail[0].seq} but the "
+            f"snapshot covers through seq {snap_seq}; records "
+            f"{snap_seq + 1}..{tail[0].seq - 1} are missing"
+        )
+
+    gateway = _build_gateway(config, gateway_factory)
+    gateway._recovering = True
+    gateway._replaying = True
+    digest_verified = False
+    try:
+        _replay_records(gateway, snap_records)
+        if snapshot is not None and snapshot.state_digest:
+            if gateway._pending_effects:
+                raise RecoveryError(
+                    "snapshot boundary splits an operation group "
+                    "(unconsumed effects at the digest checkpoint)"
+                )
+            actual = state_digest(gateway)
+            if actual != snapshot.state_digest:
+                raise RecoveryError(
+                    f"replayed state digest {actual[:16]}… does not "
+                    f"match the snapshot's "
+                    f"{snapshot.state_digest[:16]}… — refusing to "
+                    "serve diverged state (journal tampering, a "
+                    "changed environment, or a replay bug)"
+                )
+            digest_verified = True
+        _replay_records(gateway, tail)
+        # Effects fired by the final operation may have been torn off
+        # the journal tail with the crash.  State already reflects
+        # them, so they are not re-verified — but they MUST be
+        # re-journaled below (once the store is attached), or the
+        # next recovery would find the same effects fired with no
+        # record and refuse the directory forever.
+        torn_effects = list(gateway._pending_effects)
+        gateway._pending_effects.clear()
+    finally:
+        gateway._replaying = False
+
+    # Dispositions for jobs that were in flight at the crash.
+    recovered: List[str] = []
+    lost: List[str] = []
+    for handle, record in sorted(gateway._jobs.items()):
+        if record.cancelled or record.job.state not in _LIVE_STATES:
+            continue
+        if in_flight == "requeue":
+            record.disposition = "recovered"
+            recovered.append(handle)
+        else:
+            lost.append(handle)
+
+    last_seq = tail[-1].seq if tail else snap_seq
+    if dropped or overlap:
+        # Shed the torn tail / pre-snapshot overlap so appends resume
+        # on a clean file.
+        rewrite_journal(state_dir / JOURNAL_NAME, tail)
+    store = StateStore(
+        state_dir,
+        sync=sync if sync is not None else config.get("sync", "fsync"),
+        snapshot_every=(
+            snapshot_every
+            if snapshot_every is not None
+            else int(config.get("snapshot_every", 256))
+        ),
+        history=snap_records + tail,
+        start_seq=last_seq,
+        snapshot_seq=snap_seq,
+        lock_handle=lock_handle,
+    )
+    gateway.attach_store(store)
+    for rtype, payload in torn_effects:
+        store.append(rtype, payload)
+    if lost:
+        _apply_cancellation(
+            gateway, lost, seq=last_seq, disposition="lost"
+        )
+        gateway._persist("job_cancelled", {"handles": lost})
+    gateway._recovering = False
+
+    report = RecoveryReport(
+        state_dir=str(state_dir),
+        snapshot_seq=snap_seq,
+        n_snapshot_records=len(snap_records),
+        n_journal_records=len(tail),
+        final_seq=store.last_seq,
+        dropped_tail=dropped,
+        skipped_snapshots=list(snapshot.skipped) if snapshot else [],
+        tenants=sorted(gateway._tenant_names),
+        n_jobs=len(gateway._jobs),
+        recovered=recovered,
+        lost=lost,
+        digest_verified=digest_verified,
+    )
+    return gateway, report
+
+
+def open_gateway(
+    state_dir: Union[str, Path],
+    *,
+    sync: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    in_flight: str = "requeue",
+    gateway_factory: Optional[
+        Callable[[Optional[dict]], ServiceGateway]
+    ] = None,
+    **gateway_kwargs: Any,
+) -> Tuple[ServiceGateway, Optional[RecoveryReport]]:
+    """Open a durable gateway: recover if state exists, else start fresh.
+
+    The fresh path writes ``config.json`` (the backend shape recovery
+    will rebuild) and attaches an empty store; the recover path honours
+    the stored config and ignores ``gateway_kwargs``.
+    """
+    state_dir = Path(state_dir)
+    if has_state(state_dir):
+        return recover_gateway(
+            state_dir,
+            in_flight=in_flight,
+            sync=sync,
+            snapshot_every=snapshot_every,
+            gateway_factory=gateway_factory,
+        )
+    gateway = (
+        gateway_factory(None)
+        if gateway_factory is not None
+        else ServiceGateway(**gateway_kwargs)
+    )
+    config = gateway.persist_config
+    if config is None:
+        raise RecoveryError(
+            "this gateway wraps an externally-built server, so its "
+            "backend shape (seed, zoo) cannot be recorded for "
+            "recovery; build the gateway from keyword arguments to "
+            "use --state-dir"
+        )
+    sync = sync if sync is not None else "fsync"
+    snapshot_every = 256 if snapshot_every is None else int(snapshot_every)
+    config = dict(config)
+    config["sync"] = sync
+    config["snapshot_every"] = snapshot_every
+    write_config(state_dir, config)
+    store = StateStore(
+        state_dir, sync=sync, snapshot_every=snapshot_every
+    )
+    gateway.attach_store(store)
+    return gateway, None

@@ -1,0 +1,219 @@
+"""Compacted snapshots: the durable basis the journal tail extends.
+
+A snapshot is the *authoritative command history* up to a sequence
+number, written as one canonical-JSON document with an atomic
+rename-into-place.  Recovery loads the latest valid snapshot and
+replays its records, then the journal tail past the snapshot's
+sequence number — so after every snapshot the live journal is
+truncated to only the records the snapshot does not cover.
+
+Why command history and not serialised object state?  The control
+plane's state includes trained estimators, GP posteriors, a discrete-
+event queue, and closures wired through callbacks — an object graph
+that cannot be serialised faithfully.  But the whole system is
+deterministic: all randomness flows through the server's seeded
+generator in operation order, the simulated cluster is an event
+kernel, and token generation (the one true nondeterminism) is captured
+*in* the record.  Replaying the same records therefore rebuilds
+byte-identical state — which is also what makes the determinism check
+in the recovery tests possible.  Compaction drops records that are
+provably dead under replay (superseded token rotations — tokens are
+never consumed by replay, only the final binding matters); anything
+that feeds the RNG or the scheduler (feeds, submits, completions) must
+be kept, because dropping it would change every draw after it.
+
+Each snapshot embeds a digest of the gateway state its records
+produce, so recovery can verify the replay reached the same state the
+live process had when it snapshotted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.persist.journal import (
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    canonical_json,
+)
+
+#: Bumped when the snapshot document shape changes incompatibly.
+SNAPSHOT_FORMAT = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
+
+
+class SnapshotError(JournalError):
+    """No snapshot could be loaded from a state directory."""
+
+
+def snapshot_path(state_dir: Union[str, Path], seq: int) -> Path:
+    return Path(state_dir) / f"snapshot-{int(seq):012d}.json"
+
+
+@dataclass
+class Snapshot:
+    """A loaded (or about-to-be-written) snapshot document."""
+
+    seq: int
+    records: List[JournalRecord]
+    state_digest: Optional[str] = None
+    path: Optional[Path] = None
+    #: Snapshot files that failed validation and were skipped while
+    #: looking for the latest *valid* one.
+    skipped: List[str] = field(default_factory=list)
+
+
+def _records_checksum(records: List[JournalRecord]) -> str:
+    hasher = hashlib.sha256()
+    for record in records:
+        hasher.update(record.to_line().encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def write_snapshot(
+    state_dir: Union[str, Path],
+    seq: int,
+    records: List[JournalRecord],
+    *,
+    state_digest: Optional[str] = None,
+    keep: int = 2,
+) -> Path:
+    """Write ``snapshot-<seq>.json`` atomically; prune old snapshots.
+
+    The document is canonical JSON (so two snapshots of the same
+    records are byte-identical), written to a temp file, fsynced, and
+    renamed into place — a reader never observes a half-written
+    snapshot.  The newest ``keep`` snapshots are retained as fallbacks.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "seq": int(seq),
+        "n_records": len(records),
+        "checksum": _records_checksum(records),
+        "state_digest": state_digest,
+        "records": [
+            {
+                "seq": r.seq,
+                "type": r.type,
+                "payload": r.payload,
+                "crc": r.crc,
+            }
+            for r in records
+        ],
+    }
+    path = snapshot_path(state_dir, seq)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(document) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    for stale in list_snapshots(state_dir)[:-max(int(keep), 1)]:
+        stale.unlink(missing_ok=True)
+    return path
+
+
+def list_snapshots(state_dir: Union[str, Path]) -> List[Path]:
+    """Snapshot files in a state directory, oldest first."""
+    state_dir = Path(state_dir)
+    if not state_dir.is_dir():
+        return []
+    return sorted(
+        p for p in state_dir.iterdir() if _SNAPSHOT_RE.match(p.name)
+    )
+
+
+def _load_one(path: Path) -> Snapshot:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot read {path.name}: {exc}") from None
+    if not isinstance(document, dict):
+        raise SnapshotError(f"{path.name} is not a snapshot document")
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path.name} declares format {document.get('format')!r}; "
+            f"this server reads format {SNAPSHOT_FORMAT}"
+        )
+    raw = document.get("records")
+    if not isinstance(raw, list) or len(raw) != document.get("n_records"):
+        raise SnapshotError(
+            f"{path.name} record count does not match its header"
+        )
+    records: List[JournalRecord] = []
+    for i, data in enumerate(raw, start=1):
+        try:
+            records.append(JournalRecord.from_wire(dict(data), line_no=i))
+        except JournalCorruptionError as exc:
+            raise SnapshotError(f"{path.name}: {exc}") from None
+    if _records_checksum(records) != document.get("checksum"):
+        raise SnapshotError(
+            f"{path.name} fails its whole-document checksum"
+        )
+    return Snapshot(
+        seq=int(document["seq"]),
+        records=records,
+        state_digest=document.get("state_digest"),
+        path=path,
+    )
+
+
+def load_latest_snapshot(
+    state_dir: Union[str, Path]
+) -> Optional[Snapshot]:
+    """The newest snapshot that validates, or None when none exist.
+
+    A corrupt newest snapshot falls back to the previous one (they are
+    retained for exactly this); when snapshots exist but *none*
+    validates, loading fails loudly rather than silently replaying
+    from genesis with records the snapshots were supposed to hold.
+    """
+    paths = list_snapshots(state_dir)
+    if not paths:
+        return None
+    skipped: List[str] = []
+    for path in reversed(paths):
+        try:
+            snapshot = _load_one(path)
+        except SnapshotError as exc:
+            skipped.append(f"{path.name}: {exc}")
+            continue
+        snapshot.skipped = skipped
+        return snapshot
+    raise SnapshotError(
+        "no snapshot in the state directory validates: "
+        + "; ".join(skipped)
+    )
+
+
+def compact_records(records: List[JournalRecord]) -> List[JournalRecord]:
+    """Drop records that are provably dead under replay.
+
+    Safe today: superseded ``token_rotated`` records (replay resolves
+    tenants by name, never by token, so only the last binding per
+    tenant is live state).  Everything else — feeds, submits,
+    completions, quota changes — either feeds the seeded RNG, the
+    scheduler, or a validation decision, and must be kept in order.
+    """
+    last_rotation: Dict[str, int] = {}
+    for record in records:
+        if record.type == "token_rotated":
+            last_rotation[record.payload["name"]] = record.seq
+    return [
+        r
+        for r in records
+        if r.type != "token_rotated"
+        or last_rotation[r.payload["name"]] == r.seq
+    ]

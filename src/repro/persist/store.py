@@ -1,0 +1,225 @@
+"""StateStore: one state directory = config + journal + snapshots.
+
+The store owns the on-disk layout::
+
+    <state_dir>/
+        config.json            backend shape (placement, seed, zoo, ...)
+        journal.jsonl          the live write-ahead journal tail
+        snapshot-<seq>.json    compacted history up to <seq> (newest
+                               plus one fallback retained)
+
+and the snapshot cadence: every ``snapshot_every`` appended records —
+checked only at operation-group boundaries, so a snapshot never splits
+a primary record from its effect records — the full history is
+compacted, snapshotted with a digest of the live gateway state, and
+the journal is truncated past the snapshot's sequence number.
+
+The config document pins everything recovery needs to rebuild an
+identical backend: replaying the journal against a differently-shaped
+server (another seed, pool size, or zoo) would diverge immediately, so
+``repro serve --state-dir`` always honours the stored config over its
+command-line flags when recovering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.persist.journal import (
+    JOURNAL_NAME,
+    Journal,
+    JournalError,
+    JournalRecord,
+    SYNC_MODES,
+    canonical_json,
+)
+from repro.persist.snapshot import compact_records, write_snapshot
+
+CONFIG_NAME = "config.json"
+
+#: Token-file permissions: the journal carries tenant auth tokens.
+_PRIVATE_MODE = 0o600
+
+
+def write_config(state_dir: Union[str, Path], config: Dict[str, Any]) -> Path:
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    path = state_dir / CONFIG_NAME
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(config) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_config(state_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    path = Path(state_dir) / CONFIG_NAME
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise JournalError(
+            f"cannot read {path}: {exc}; the state directory is "
+            "damaged — restore config.json or start a fresh directory"
+        ) from None
+    if not isinstance(config, dict):
+        raise JournalError(f"{path} is not a config document")
+    return config
+
+
+def has_state(state_dir: Union[str, Path]) -> bool:
+    """Does this directory hold a durable control plane to recover?"""
+    return (Path(state_dir) / CONFIG_NAME).exists()
+
+
+def acquire_lock(state_dir: Union[str, Path]):
+    """Take the directory's exclusive single-writer lock.
+
+    Returns the open lock handle (closing it releases the lock).
+    Raises :class:`JournalError` when another process holds it.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    handle = open(state_dir / "lock", "a+")
+    try:
+        import fcntl
+
+        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except ImportError:  # pragma: no cover - non-posix fallback
+        pass
+    except OSError:
+        handle.close()
+        raise JournalError(
+            f"state directory {state_dir} is locked by another "
+            "process (a running `repro serve`?); exactly one writer "
+            "may own a journal"
+        ) from None
+    return handle
+
+
+class StateStore:
+    """The gateway's handle on its durable state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory to own (created if missing).
+    sync:
+        Journal durability mode (``"fsync"`` or ``"buffered"``).
+    snapshot_every:
+        Take a snapshot (and truncate the journal) after this many
+        appended records.  ``0`` disables automatic snapshots —
+        ``repro state compact`` still takes manual ones.
+    history:
+        The full record basis (snapshot records + journal tail) when
+        reopening after recovery; empty for a fresh directory.
+    start_seq:
+        Sequence number the journal continues from.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        *,
+        sync: str = "fsync",
+        snapshot_every: int = 256,
+        history: Optional[List[JournalRecord]] = None,
+        start_seq: int = 0,
+        snapshot_seq: int = 0,
+        lock_handle=None,
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                f"sync must be one of {SYNC_MODES}, got {sync!r}"
+            )
+        if int(snapshot_every) < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self.snapshot_every = int(snapshot_every)
+        self.snapshot_seq = int(snapshot_seq)
+        self._history: List[JournalRecord] = list(history or [])
+        # Single-writer guard: two processes appending to one journal
+        # interleave sequence numbers and corrupt the directory beyond
+        # recovery, so the second opener must fail fast (this also
+        # stops `repro state compact` against a live server).  A
+        # caller that already locked the directory (recovery locks
+        # before it reads) hands its handle over.
+        self._lock_handle = (
+            lock_handle
+            if lock_handle is not None
+            else acquire_lock(self.state_dir)
+        )
+        self.journal = Journal(
+            self.journal_path, sync=sync, start_seq=start_seq
+        )
+        try:  # best-effort: tokens live in these files
+            os.chmod(self.journal_path, _PRIVATE_MODE)
+        except OSError:  # pragma: no cover - permissions are advisory
+            pass
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / JOURNAL_NAME
+
+    @property
+    def last_seq(self) -> int:
+        return self.journal.last_seq
+
+    @property
+    def history(self) -> List[JournalRecord]:
+        """The full record basis (snapshot + live journal), in order."""
+        return list(self._history)
+
+    def append(self, rtype: str, payload: Dict[str, Any]) -> JournalRecord:
+        record = self.journal.append(rtype, payload)
+        self._history.append(record)
+        return record
+
+    @property
+    def records_since_snapshot(self) -> int:
+        return self.last_seq - self.snapshot_seq
+
+    def due_for_snapshot(self) -> bool:
+        return (
+            self.snapshot_every > 0
+            and self.records_since_snapshot >= self.snapshot_every
+        )
+
+    def snapshot(self, state_digest: Optional[str] = None) -> Path:
+        """Compact history, publish a snapshot, truncate the journal."""
+        records = compact_records(self._history)
+        path = write_snapshot(
+            self.state_dir,
+            self.last_seq,
+            records,
+            state_digest=state_digest,
+        )
+        self._history = records
+        self.snapshot_seq = self.last_seq
+        # The snapshot now covers every journaled record: restart the
+        # journal empty (crash between the rename above and this
+        # rewrite is safe — recovery skips journal records at or below
+        # the snapshot's seq).
+        self.journal.close()
+        self.journal_path.write_text("", encoding="utf-8")
+        self.journal = Journal(
+            self.journal_path, sync=self.sync, start_seq=self.last_seq
+        )
+        return path
+
+    def close(self) -> None:
+        self.journal.close()
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # releases the flock
+            self._lock_handle = None

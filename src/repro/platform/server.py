@@ -162,6 +162,10 @@ class EaseMLApp:
             self._server.clock.now, EventKind.FEED, app=self.name,
             count=len(ids),
         )
+        self._server._notify_persist(
+            "feed", app=self.name, inputs=inputs, outputs=outputs,
+            example_ids=list(ids),
+        )
         return ids
 
     def _encode_output(self, y: Union[int, np.ndarray]) -> np.ndarray:
@@ -337,6 +341,10 @@ class EaseMLServer:
         self.apps: List[EaseMLApp] = []
         self.clock = SimClock()
         self.log = EventLog()
+        #: Persistence observers: callbacks fired on feed / admit /
+        #: retire so a write-ahead journal (repro.persist) can record
+        #: platform mutations even when they bypass the gateway.
+        self._persist_hooks: List[Callable[[str, dict], None]] = []
         self._scheduler: Optional[MultiTenantScheduler] = None
         self._runtime_oracle = None
         # Runtime backend: outcomes banked at dispatch, keyed by the
@@ -349,6 +357,25 @@ class EaseMLServer:
         self._splits: Dict[
             int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    def on_persist(self, callback: Callable[[str, dict], None]) -> None:
+        """Observe platform mutations for write-ahead journaling.
+
+        ``callback(kind, info)`` fires after a mutation lands:
+        ``"feed"`` (info: app, inputs, outputs, example_ids),
+        ``"admit"`` (info: app, user) and ``"retire"`` (info: app,
+        user, cancelled).  The service gateway's durable control plane
+        (:mod:`repro.persist`) registers here so these records reach
+        the journal in the order they happened.
+        """
+        self._persist_hooks.append(callback)
+
+    def _notify_persist(self, kind: str, **info) -> None:
+        for callback in self._persist_hooks:
+            callback(kind, info)
 
     # ------------------------------------------------------------------
     # Registration
@@ -587,6 +614,7 @@ class EaseMLServer:
             self.log.append(
                 self.clock.now, EventKind.USER_ARRIVED, user=user
             )
+        self._notify_persist("admit", app=name, user=user)
         return user
 
     def retire_app(self, name: str) -> List[int]:
@@ -623,6 +651,9 @@ class EaseMLServer:
             self.log.append(
                 self.clock.now, EventKind.USER_DEPARTED, user=user
             )
+        self._notify_persist(
+            "retire", app=name, user=user, cancelled=list(cancelled)
+        )
         return cancelled
 
     def _admit_ready(self) -> None:

@@ -214,6 +214,36 @@ class ClusterRuntime:
         (after the departed tenant's queued jobs are cancelled)."""
         self._departure_callbacks.append(callback)
 
+    def cancel(self, job_id: int, *, reason: str = "cancelled") -> bool:
+        """Cancel one non-terminal job immediately (no queued event).
+
+        Pending and preempted jobs leave the queue; a running job's
+        slice is torn down (its stale completion event is ignored via
+        the epoch check) and its devices return to the pool at the
+        reschedule.  Returns False when the job is already terminal.
+        Used by crash recovery's mark-lost policy — a departure-style
+        cancellation that does *not* retire the owning tenant.
+        """
+        job = self.jobs[int(job_id)]
+        if job.state in (JobState.FINISHED, JobState.FAILED):
+            return False
+        if job.job_id in self._running:
+            slice_ = self._running.pop(job.job_id)
+            job.account_progress(
+                (self.clock.now - slice_.resumed_at)
+                * self.pool.speedup(slice_.n_gpus)
+            )
+        if job.job_id in self._pending:
+            self._pending.remove(job.job_id)
+        job.fail(self.clock.now, reason=reason)
+        self.log.append(
+            self.clock.now, EventKind.JOB_FAILED, job_id=job.job_id,
+            user=job.user, model=job.model, reason=reason,
+        )
+        if job.job_id in self._arrival_order:
+            self._reschedule()
+        return True
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -246,6 +276,10 @@ class ClusterRuntime:
     # ------------------------------------------------------------------
     def _on_submitted(self, event: ScheduledEvent) -> List[Job]:
         job = self.jobs[event.payload["job_id"]]
+        if job.state is not JobState.PENDING:
+            # Cancelled between submission and admission (recovery's
+            # mark-lost policy): the job never joins the queue.
+            return []
         self._arrival_order[job.job_id] = self._arrival_counter
         self._arrival_counter += 1
         self._pending.append(job.job_id)

@@ -88,6 +88,11 @@ class AsyncClusterOracle(RewardOracle):
         self._membership_ctx: Optional[
             Tuple[MultiTenantScheduler, Optional[Callable[[int], ModelPicker]]]
         ] = None
+        # Absorption observers: each completed job fed back into a
+        # scheduler is announced here, *after* its StepRecord landed.
+        # The durable control plane (repro.persist) journals these so
+        # replay re-absorbs completions in the exact original order.
+        self._absorb_callbacks: List[Callable[[Job], None]] = []
         self.runtime.on_arrival(self._handle_arrival)
         self.runtime.on_departure(self._handle_departure)
 
@@ -387,6 +392,12 @@ class AsyncClusterOracle(RewardOracle):
             model=selection.arm, reward=job.reward,
         )
         scheduler.user_picker.notify(scheduler, record)
+        for callback in self._absorb_callbacks:
+            callback(job)
+
+    def on_absorb(self, callback: Callable[[Job], None]) -> None:
+        """Register a callback fired after each completion is absorbed."""
+        self._absorb_callbacks.append(callback)
 
     @staticmethod
     def _service_time(job: Job) -> float:

@@ -83,10 +83,17 @@ class SetExampleEnabledRequest(Request):
 
 @dataclass(frozen=True, kw_only=True)
 class InferRequest(Request):
-    """Predict with the app's best model so far."""
+    """Predict with the app's best model so far.
+
+    Single-row (the v1 shape, still accepted): set ``x`` to one flat
+    input.  Batch: set ``rows`` to a list of inputs instead and read
+    per-row ``predictions`` off the response.  Exactly one of the two
+    may be non-empty.
+    """
 
     app: str
     x: Tuple = ()
+    rows: Tuple = ()
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -169,11 +176,22 @@ class Response:
     api_version: str = API_VERSION
 
 
-#: Job lifecycle states a handle can report (mirrors JobState values).
-JOB_STATES = ("pending", "running", "preempted", "finished", "failed")
+#: Job lifecycle states a handle can report (mirrors JobState values,
+#: plus the gateway-level ``cancelled`` — the owning app/tenant was
+#: retired, or recovery marked the job lost).
+JOB_STATES = (
+    "pending", "running", "preempted", "finished", "failed", "cancelled",
+)
 
 #: Terminal handle states — polling past these is a no-op.
-TERMINAL_JOB_STATES = ("finished", "failed")
+TERMINAL_JOB_STATES = ("finished", "failed", "cancelled")
+
+#: What crash recovery did to a handle that was in flight when the
+#: process died: ``"recovered"`` (re-queued on the rebuilt cluster) or
+#: ``"lost"`` (marked cancelled under the mark-lost policy).  ``None``
+#: for handles that were never at risk.  Advisory and session-local:
+#: it describes *this* process's recovery action.
+JOB_DISPOSITIONS = ("recovered", "lost")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -185,6 +203,7 @@ class JobHandle:
     candidate: str
     state: str
     submitted_at: float
+    disposition: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -221,15 +240,18 @@ class SetExampleEnabledResponse(Response):
 
 @dataclass(frozen=True, kw_only=True)
 class InferResponse(Response):
-    """A prediction, stamped with which training run produced it.
+    """Predictions, stamped with which training run produced them.
 
     ``model_version`` is the job handle id of the run that trained the
     served model (``run-<n>`` when the model landed outside the async
-    job path), so clients can tell which run answered.
+    job path), so clients can tell which run answered.  Single-row
+    requests fill ``prediction`` (the v1 shape) *and* ``predictions``;
+    batch requests fill only ``predictions``, one per input row.
     """
 
     app: str
-    prediction: int
+    prediction: Optional[int] = None
+    predictions: Tuple[int, ...] = ()
     model: Optional[str] = None
     model_version: Optional[str] = None
 
@@ -262,6 +284,7 @@ class JobStatusResponse(Response):
     accuracy: Optional[float] = None
     preemptions: int = 0
     improved: Optional[bool] = None
+    disposition: Optional[str] = None
 
     @property
     def done(self) -> bool:

@@ -211,8 +211,17 @@ class EaseMLClient:
         )
 
     def infer(self, app: str, x: Sequence[float]) -> InferResponse:
-        """Predict with the app's best model so far."""
+        """Predict one row with the app's best model so far."""
         return self._post(f"/{API_VERSION}/apps/{app}/infer", x=list(x))
+
+    def infer_batch(
+        self, app: str, rows: Sequence[Sequence[float]]
+    ) -> InferResponse:
+        """Predict many rows in one request; read ``predictions``."""
+        return self._post(
+            f"/{API_VERSION}/apps/{app}/infer",
+            rows=[list(row) for row in rows],
+        )
 
     def submit_training(
         self, app: str, steps: int = 1

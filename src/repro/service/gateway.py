@@ -30,13 +30,15 @@ from __future__ import annotations
 
 import secrets
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.events import EventKind
 from repro.engine.jobs import Job, JobState
+from repro.errors import jsonify
 from repro.platform.server import EaseMLApp, EaseMLServer
 from repro.runtime.trace import event_to_dict
 from repro.service.api import (
@@ -120,6 +122,10 @@ class Tenant:
     #: Running example-store usage (updated on feed; stores are
     #: append-only, so this never needs recomputing).
     store_bytes: int = 0
+    #: A retired tenant keeps its token for reads (job polls answer
+    #: ``cancelled``, infer keeps serving) but every mutation fails
+    #: with FAILED_PRECONDITION.
+    retired: bool = False
     #: Per-tenant lock for read-only requests (see _SHARDED_REQUESTS);
     #: different tenants' reads proceed concurrently.
     lock: threading.RLock = field(
@@ -141,6 +147,14 @@ class _JobRecord:
     #: Row in the app's TrainingOutcome history — assigned when the
     #: job completes (outcomes land in completion order).
     history_index: Optional[int] = None
+    #: Cancelled at the gateway level: the owning app/tenant was
+    #: retired while the job was queued, or recovery marked it lost.
+    #: The API reports state ``"cancelled"`` (terminal) — never
+    #: NOT_FOUND, even across a restart, because handles are journaled.
+    cancelled: bool = False
+    #: What crash recovery did to this handle (``"recovered"`` /
+    #: ``"lost"``); session-local, never persisted.
+    disposition: Optional[str] = None
 
 
 class ServiceGateway:
@@ -177,6 +191,7 @@ class ServiceGateway:
         shard_read_locks: bool = True,
         zoo=None,
     ) -> None:
+        server_provided = server is not None
         if server is None:
             server = EaseMLServer(
                 zoo,
@@ -204,6 +219,41 @@ class ServiceGateway:
         self._handles_by_outcome: Dict[tuple, str] = {}
         self._lock = threading.RLock()
         self._absorb_hook_installed = False
+        # --- durable control plane (repro.persist) ------------------
+        #: The attached StateStore (journal + snapshots), or None for
+        #: an in-memory-only gateway.
+        self._store: Any = None
+        #: True while crash recovery replays the journal through this
+        #: gateway: journaling is suppressed, side-effects are queued
+        #: for verification, and handle() answers 503.
+        self._replaying = False
+        self._recovering = False
+        #: Side-effect records (admissions, retirements, completions,
+        #: cancellations) fired while a journaled operation executes;
+        #: drained to the journal right after the operation's primary
+        #: record, so replay sees them in emission order.
+        self._pending_effects: List[Tuple[str, Dict[str, Any]]] = []
+        self._op_depth = 0
+        self._feed_ctx: Optional[str] = None  # tenant name mid-_feed
+        #: Backend shape recovery needs to rebuild an identical
+        #: gateway; None when wrapping an externally-built server
+        #: (whose seed and zoo the gateway cannot know).
+        self.persist_config: Optional[Dict[str, Any]] = (
+            None
+            if server_provided
+            else {
+                "placement": placement,
+                "n_gpus": int(n_gpus),
+                "scaling_efficiency": float(scaling_efficiency),
+                "preemption_overhead": float(preemption_overhead),
+                "seed": int(seed),
+                "min_examples": int(min_examples),
+                "default_quota": asdict(self.default_quota),
+                "shard_read_locks": self.shard_read_locks,
+                "zoo_names": None if zoo is None else list(zoo.names()),
+            }
+        )
+        self.server.on_persist(self._on_server_persist_event)
         if self.server._runtime_oracle is not None:
             # Wrapping a server whose scheduler already started: hook
             # completions now, or job results would never be absorbed.
@@ -225,6 +275,124 @@ class ServiceGateway:
         }
 
     # ------------------------------------------------------------------
+    # Durable control plane (write-ahead journal wiring)
+    # ------------------------------------------------------------------
+    def attach_store(self, store: Any) -> None:
+        """Attach a :class:`~repro.persist.StateStore`.
+
+        From this point every mutating operation is journaled before
+        it is acked; with a store attached, mutations must flow
+        through the gateway (direct feeds on the backing server are
+        still captured via the server's persist hook, but direct
+        ``server.run()`` / registration calls are not replayable).
+        """
+        with self._lock:
+            if self._store is not None:
+                raise ValueError("a state store is already attached")
+            self._store = store
+
+    @property
+    def store(self) -> Any:
+        return self._store
+
+    @contextmanager
+    def _persisted_op(self):
+        """Marks a journaled operation: side-effects buffer until the
+        primary record is appended (see ``_pending_effects``)."""
+        self._op_depth += 1
+        try:
+            yield
+        finally:
+            self._op_depth -= 1
+
+    def _push_effect(self, rtype: str, payload: Dict[str, Any]) -> None:
+        if self._store is None and not self._replaying:
+            return
+        self._pending_effects.append((rtype, jsonify(payload)))
+
+    def _append_record(self, rtype: str, payload: Dict[str, Any]) -> None:
+        self._store.append(rtype, payload)
+
+    def _op_boundary(self) -> None:
+        """Drain buffered effects; maybe snapshot.  Ends every op."""
+        if self._replaying:
+            return  # the recovery replayer consumes the buffer itself
+        if self._store is None:
+            self._pending_effects.clear()
+            return
+        for rtype, payload in self._pending_effects:
+            self._append_record(rtype, payload)
+        self._pending_effects.clear()
+        if self._store.due_for_snapshot():
+            from repro.persist.digest import state_digest
+
+            self._store.snapshot(state_digest(self))
+
+    def _persist(self, rtype: str, payload: Dict[str, Any]) -> None:
+        """Journal one primary record, then its buffered effects."""
+        if self._replaying or self._store is None:
+            return
+        self._append_record(rtype, jsonify(payload))
+        self._op_boundary()
+
+    def _on_server_persist_event(self, kind: str, info: Dict[str, Any]) -> None:
+        """Platform-server hook: feeds/admissions/retirements."""
+        if self._store is None and not self._replaying:
+            return
+        if kind == "feed":
+            if self._replaying:
+                return  # replay verifies example ids via the response
+            owner = self._feed_ctx or next(
+                (
+                    t.name
+                    for t in self._tenant_names.values()
+                    if info["app"] in t.apps
+                ),
+                None,
+            )
+            self._append_record(
+                "examples_fed",
+                jsonify(
+                    {
+                        "app": info["app"],
+                        "tenant": owner,
+                        "via": "gateway" if self._feed_ctx else "server",
+                        "inputs": info["inputs"],
+                        "outputs": info["outputs"],
+                        "example_ids": info["example_ids"],
+                    }
+                ),
+            )
+            return
+        rtype = "app_admitted" if kind == "admit" else "app_retired"
+        payload = {"app": info["app"], "user": info["user"]}
+        if kind == "retire":
+            payload["cancelled"] = info["cancelled"]
+        if self._replaying or self._op_depth > 0:
+            self._push_effect(rtype, payload)
+        else:
+            # Direct server-level admit/retire with a store attached:
+            # journal it top-level so replay can re-apply it.
+            self._append_record(rtype, jsonify(payload))
+            self._op_boundary()
+
+    def _on_absorbed(self, job: Job) -> None:
+        """Oracle absorb hook: one completion fed to the scheduler."""
+        if self._store is None and not self._replaying:
+            return
+        record = self._jobs_by_runtime_id.get(job.job_id)
+        if record is None:  # pragma: no cover - non-gateway job
+            return
+        self._push_effect(
+            "job_completed",
+            {
+                "handle": record.handle_id,
+                "reward": job.reward,
+                "at": self.server.clock.now,
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Tenant management (operator-side, not part of the request API)
     # ------------------------------------------------------------------
     def create_tenant(
@@ -233,16 +401,27 @@ class ServiceGateway:
         quota: Optional[TenantQuota] = None,
         *,
         apps: Optional[List[str]] = None,
+        token: Optional[str] = None,
     ) -> str:
         """Register a tenant; returns its auth token.
 
         ``apps`` adopts apps already registered on the backing server
         (the pre-started-server path), making them this tenant's.
+        ``token`` pins the auth token instead of generating one — used
+        by crash recovery to re-issue the journaled token, since token
+        generation is the one genuinely nondeterministic step.
         """
         with self._lock:
             if name in self._tenant_names:
                 raise ValueError(f"tenant {name!r} already exists")
-            token = f"tok-{secrets.token_hex(12)}"
+            if apps and self._store is not None:
+                raise ValueError(
+                    "create_tenant(apps=...) adopts server-side state "
+                    "the journal never saw and cannot replay; with a "
+                    "state store attached, register apps through the "
+                    "gateway instead"
+                )
+            token = token or f"tok-{secrets.token_hex(12)}"
             tenant = Tenant(name, token, quota or self.default_quota)
             for app_name in apps or ():
                 owner = next(
@@ -265,11 +444,86 @@ class ServiceGateway:
                 )
             self._tenants[token] = tenant
             self._tenant_names[name] = tenant
+            self._persist(
+                "tenant_created",
+                {"name": name, "token": token, "quota": asdict(tenant.quota)},
+            )
             return token
 
     def tenant_names(self) -> List[str]:
         with self._lock:
             return sorted(self._tenant_names)
+
+    def tenant_token(self, name: str) -> str:
+        """The current auth token for a tenant (operator-side)."""
+        with self._lock:
+            return self._require_tenant(name).token
+
+    def _require_tenant(self, name: str) -> Tenant:
+        tenant = self._tenant_names.get(name)
+        if tenant is None:
+            raise ValueError(
+                f"no tenant named {name!r}; known tenants: "
+                f"{sorted(self._tenant_names)}"
+            )
+        return tenant
+
+    def rotate_token(self, name: str, *, token: Optional[str] = None) -> str:
+        """Issue a fresh auth token for a tenant; the old one dies now.
+
+        ``token`` pins the replacement (crash-recovery replay only).
+        """
+        with self._lock:
+            tenant = self._require_tenant(name)
+            new_token = token or f"tok-{secrets.token_hex(12)}"
+            del self._tenants[tenant.token]
+            tenant.token = new_token
+            self._tenants[new_token] = tenant
+            self._persist(
+                "token_rotated", {"name": name, "token": new_token}
+            )
+            return new_token
+
+    def set_quota(self, name: str, quota: TenantQuota) -> None:
+        """Replace a tenant's quota (takes effect on the next request)."""
+        if not isinstance(quota, TenantQuota):
+            raise TypeError(f"expected a TenantQuota, got {type(quota)}")
+        with self._lock:
+            tenant = self._require_tenant(name)
+            tenant.quota = quota
+            self._persist(
+                "quota_changed", {"name": name, "quota": asdict(quota)}
+            )
+
+    def retire_tenant(self, name: str) -> List[str]:
+        """Retire a tenant: close its open apps, cancel queued jobs.
+
+        The token keeps answering reads — in particular, a job poll
+        that races the retirement gets a terminal ``cancelled`` status,
+        never NOT_FOUND — but every further mutation fails with
+        FAILED_PRECONDITION.  Returns the cancelled job handle ids.
+        """
+        with self._lock:
+            tenant = self._require_tenant(name)
+            if tenant.retired:
+                raise ValueError(f"tenant {name!r} is already retired")
+            cancelled: List[str] = []
+            with self._persisted_op():
+                for app_name in list(tenant.apps):
+                    app = self.server.get_app(app_name)
+                    if app.closed:
+                        continue
+                    for jid in self.server.retire_app(app_name):
+                        record = self._jobs_by_runtime_id.get(jid)
+                        if record is not None:
+                            record.cancelled = True
+                            cancelled.append(record.handle_id)
+            tenant.retired = True
+            cancelled.sort()
+            if cancelled:
+                self._push_effect("job_cancelled", {"handles": cancelled})
+            self._persist("tenant_retired", {"name": name})
+            return cancelled
 
     # ------------------------------------------------------------------
     # The single entry point
@@ -280,6 +534,12 @@ class ServiceGateway:
             raise ApiError(
                 ApiErrorCode.INVALID_ARGUMENT,
                 f"expected a service Request, got {type(request).__name__}",
+            )
+        if self._recovering:
+            raise ApiError(
+                ApiErrorCode.UNAVAILABLE_RECOVERING,
+                "the gateway is replaying its journal after a restart; "
+                "retry shortly — handles survive recovery",
             )
         if request.api_version != API_VERSION:
             raise ApiError(
@@ -321,6 +581,16 @@ class ServiceGateway:
                     f"{type(request).__name__}: {exc}",
                     error_type=type(exc).__name__,
                 ) from exc
+            finally:
+                if self._pending_effects and not self._replaying:
+                    # A handler failed *after* side-effects (say, an
+                    # admission) already mutated shared state.  Those
+                    # mutations happened, so their records must land:
+                    # journal them top-level — replay re-applies
+                    # top-level effects — instead of letting them
+                    # desync the next operation's record group.
+                    with self._lock:
+                        self._op_boundary()
 
     def _authenticate(self, request: Request) -> Tenant:
         tenant = self._tenants.get(request.auth_token)
@@ -332,12 +602,22 @@ class ServiceGateway:
             )
         return tenant
 
+    def _require_active(self, tenant: Tenant) -> None:
+        if tenant.retired:
+            raise ApiError(
+                ApiErrorCode.FAILED_PRECONDITION,
+                f"tenant {tenant.name!r} is retired; its apps keep "
+                "serving infer and its job handles stay pollable, but "
+                "no further mutations are accepted",
+            )
+
     # ------------------------------------------------------------------
     # App lifecycle
     # ------------------------------------------------------------------
     def _register_app(
         self, tenant: Tenant, request: RegisterAppRequest
     ) -> RegisterAppResponse:
+        self._require_active(tenant)
         name = request.app
         if not name or not isinstance(name, str):
             raise ApiError(
@@ -373,6 +653,10 @@ class ServiceGateway:
                 app=name,
             ) from None
         tenant.apps.append(name)
+        self._persist(
+            "app_registered",
+            {"tenant": tenant.name, "app": name, "program": request.program},
+        )
         return RegisterAppResponse(
             app=name,
             workload_kind=app.template.kind.value,
@@ -390,6 +674,7 @@ class ServiceGateway:
         return self.server.get_app(name)
 
     def _feed(self, tenant: Tenant, request: FeedRequest) -> FeedResponse:
+        self._require_active(tenant)
         app = self._get_app(tenant, request.app)
         if len(request.inputs) != len(request.outputs):
             raise ApiError(
@@ -428,7 +713,13 @@ class ServiceGateway:
                 else np.asarray(y, dtype=float)
                 for y in request.outputs
             ]
-            ids = app.feed(inputs, outputs)
+            # The server's feed hook journals the examples_fed record
+            # mid-call; the context names the owning tenant for it.
+            self._feed_ctx = tenant.name
+            try:
+                ids = app.feed(inputs, outputs)
+            finally:
+                self._feed_ctx = None
         except (ValueError, TypeError) as exc:
             raise ApiError(
                 ApiErrorCode.INVALID_ARGUMENT,
@@ -436,6 +727,7 @@ class ServiceGateway:
                 app=request.app,
             ) from None
         tenant.store_bytes += incoming
+        self._op_boundary()
         return FeedResponse(
             app=request.app,
             example_ids=tuple(ids),
@@ -455,8 +747,18 @@ class ServiceGateway:
     def _set_example_enabled(
         self, tenant: Tenant, request: SetExampleEnabledRequest
     ) -> SetExampleEnabledResponse:
+        self._require_active(tenant)
         app = self._get_app(tenant, request.app)
         app.set_example_enabled(int(request.example_id), request.enabled)
+        self._persist(
+            "example_toggled",
+            {
+                "tenant": tenant.name,
+                "app": request.app,
+                "example_id": int(request.example_id),
+                "enabled": bool(request.enabled),
+            },
+        )
         return SetExampleEnabledResponse(
             app=request.app,
             example_id=int(request.example_id),
@@ -465,23 +767,37 @@ class ServiceGateway:
 
     def _infer(self, tenant: Tenant, request: InferRequest) -> InferResponse:
         app = self._get_app(tenant, request.app)
-        try:
-            x = np.asarray(request.x, dtype=float)
-        except (ValueError, TypeError) as exc:
+        batch = bool(request.rows)
+        if batch and request.x:
             raise ApiError(
                 ApiErrorCode.INVALID_ARGUMENT,
-                f"infer input is not numeric: {exc}",
-            ) from None
-        if x.size != app.program.input.flat_size:
-            raise ApiError(
-                ApiErrorCode.INVALID_ARGUMENT,
-                f"infer input has {x.size} scalars, app {request.app!r} "
-                f"declares {app.program.input.flat_size}",
-                expected=app.program.input.flat_size,
-                got=int(x.size),
+                "provide either 'x' (one row, the v1 shape) or 'rows' "
+                "(a batch), not both",
             )
+        rows = request.rows if batch else (request.x,)
+        arrays = []
+        for i, row in enumerate(rows):
+            try:
+                x = np.asarray(row, dtype=float)
+            except (ValueError, TypeError) as exc:
+                raise ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"infer input row {i} is not numeric: {exc}",
+                    row=i,
+                ) from None
+            if x.size != app.program.input.flat_size:
+                raise ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"infer input row {i} has {x.size} scalars, app "
+                    f"{request.app!r} declares "
+                    f"{app.program.input.flat_size}",
+                    expected=app.program.input.flat_size,
+                    got=int(x.size),
+                    row=i,
+                )
+            arrays.append(x)
         try:
-            prediction = app.infer(x)
+            predictions = tuple(int(app.infer(x)) for x in arrays)
         except RuntimeError as exc:
             raise ApiError(
                 ApiErrorCode.FAILED_PRECONDITION,
@@ -490,7 +806,8 @@ class ServiceGateway:
             ) from None
         return InferResponse(
             app=request.app,
-            prediction=int(prediction),
+            prediction=None if batch else predictions[0],
+            predictions=predictions,
             model=app.best_candidate,
             model_version=self._model_version(app),
         )
@@ -507,6 +824,7 @@ class ServiceGateway:
     def _close_app(
         self, tenant: Tenant, request: CloseAppRequest
     ) -> CloseAppResponse:
+        self._require_active(tenant)
         app = self._get_app(tenant, request.app)
         if app.closed:
             raise ApiError(
@@ -516,20 +834,27 @@ class ServiceGateway:
             )
         was_admitted = self.server.is_admitted(request.app)
         try:
-            cancelled_ids = self.server.retire_app(request.app)
+            with self._persisted_op():
+                cancelled_ids = self.server.retire_app(request.app)
         except RuntimeError as exc:  # pragma: no cover - defensive
             raise ApiError(
                 ApiErrorCode.FAILED_PRECONDITION,
                 f"cannot close app {request.app!r}: {exc}",
                 app=request.app,
             ) from None
-        cancelled = tuple(
-            sorted(
-                record.handle_id
-                for jid in cancelled_ids
-                for record in [self._jobs_by_runtime_id.get(jid)]
-                if record is not None
-            )
+        records = [
+            record
+            for jid in cancelled_ids
+            for record in [self._jobs_by_runtime_id.get(jid)]
+            if record is not None
+        ]
+        for record in records:
+            record.cancelled = True
+        cancelled = tuple(sorted(r.handle_id for r in records))
+        if cancelled:
+            self._push_effect("job_cancelled", {"handles": list(cancelled)})
+        self._persist(
+            "app_closed", {"tenant": tenant.name, "app": request.app}
         )
         return CloseAppResponse(
             app=request.app,
@@ -545,6 +870,7 @@ class ServiceGateway:
             self.server._runtime_oracle.runtime.on_completion(
                 self._on_job_completed
             )
+            self.server._runtime_oracle.on_absorb(self._on_absorbed)
             self._absorb_hook_installed = True
 
     def _require_enough_examples(self, app) -> None:
@@ -599,6 +925,7 @@ class ServiceGateway:
     def _submit_training(
         self, tenant: Tenant, request: SubmitTrainingRequest
     ) -> SubmitTrainingResponse:
+        self._require_active(tenant)
         app = self._get_app(tenant, request.app)
         steps = int(request.steps)
         if steps < 1:
@@ -623,28 +950,40 @@ class ServiceGateway:
                 requested=steps,
                 limit=tenant.quota.max_pending_jobs,
             )
-        self._ensure_app_scheduled(tenant, app)
-        scheduler = self.server.scheduler
-        oracle = self.server._runtime_oracle
-        user = self.server.apps.index(app)
-        tenant_state = scheduler.tenants[user]
-        handles = []
-        for _ in range(steps):
-            selection = tenant_state.picker.select()
-            reward, gpu_time = oracle.trainer.train(user, selection.arm)
-            job = oracle.runtime.submit(user, selection.arm, gpu_time, reward)
-            record = _JobRecord(
-                handle_id=f"job-{len(self._jobs):05d}",
-                tenant=tenant.name,
-                app=request.app,
-                candidate=app.live_candidates[selection.arm].name,
-                job=job,
-                tenant_state=tenant_state,
-                selection=selection,
-            )
-            self._jobs[record.handle_id] = record
-            self._jobs_by_runtime_id[job.job_id] = record
-            handles.append(self._handle_of(record))
+        with self._persisted_op():
+            self._ensure_app_scheduled(tenant, app)
+            scheduler = self.server.scheduler
+            oracle = self.server._runtime_oracle
+            user = self.server.apps.index(app)
+            tenant_state = scheduler.tenants[user]
+            handles = []
+            for _ in range(steps):
+                selection = tenant_state.picker.select()
+                reward, gpu_time = oracle.trainer.train(user, selection.arm)
+                job = oracle.runtime.submit(
+                    user, selection.arm, gpu_time, reward
+                )
+                record = _JobRecord(
+                    handle_id=f"job-{len(self._jobs):05d}",
+                    tenant=tenant.name,
+                    app=request.app,
+                    candidate=app.live_candidates[selection.arm].name,
+                    job=job,
+                    tenant_state=tenant_state,
+                    selection=selection,
+                )
+                self._jobs[record.handle_id] = record
+                self._jobs_by_runtime_id[job.job_id] = record
+                handles.append(self._handle_of(record))
+        self._persist(
+            "job_submitted",
+            {
+                "tenant": tenant.name,
+                "app": request.app,
+                "steps": steps,
+                "handles": [h.job_id for h in handles],
+            },
+        )
         return SubmitTrainingResponse(handles=tuple(handles))
 
     def _on_job_completed(self, job: Job) -> None:
@@ -669,13 +1008,19 @@ class ServiceGateway:
             job,
         )
 
+    @staticmethod
+    def _record_state(record: _JobRecord) -> str:
+        """The API-visible state: gateway cancellation wins."""
+        return "cancelled" if record.cancelled else record.job.state.value
+
     def _handle_of(self, record: _JobRecord) -> JobHandle:
         return JobHandle(
             job_id=record.handle_id,
             app=record.app,
             candidate=record.candidate,
-            state=record.job.state.value,
+            state=self._record_state(record),
             submitted_at=float(record.job.submit_time),
+            disposition=record.disposition,
         )
 
     def _get_job(self, tenant: Tenant, handle_id: str) -> _JobRecord:
@@ -694,19 +1039,26 @@ class ServiceGateway:
     ) -> JobStatusResponse:
         record = self._get_job(tenant, request.job_id)
         runtime = self.server._runtime_oracle.runtime
-        if record.job.state in _LIVE_STATES:
+        if record.job.state in _LIVE_STATES and not record.cancelled:
             # Advancing the shared cluster mutates global state, so a
             # live-job poll upgrades from the tenant's shard lock to
             # the gateway lock (tenant -> global, never the reverse).
             with self._lock:
-                if record.job.state in _LIVE_STATES:
+                if record.job.state in _LIVE_STATES and not record.cancelled:
                     # Each poll of a live job advances the simulated
                     # cluster by (at most) one completion event —
                     # possibly someone else's, which is exactly how
                     # out-of-order completions surface.
-                    completed = runtime.run_until_next_completion()
+                    with self._persisted_op():
+                        completed = runtime.run_until_next_completion()
+                    # A poll is the one mutation with no primary
+                    # record: the absorbed completions ARE the journal
+                    # entries (replay re-advances the cluster once per
+                    # leading job_completed record).
+                    self._op_boundary()
                     if not completed and not runtime.queue and (
                         record.job.state in _LIVE_STATES
+                        and not record.cancelled
                     ):
                         raise ApiError(
                             ApiErrorCode.INTERNAL,
@@ -732,13 +1084,14 @@ class ServiceGateway:
             job_id=record.handle_id,
             app=record.app,
             candidate=record.candidate,
-            state=job.state.value,
+            state=self._record_state(record),
             submitted_at=float(job.submit_time),
             started_at=job.start_time,
             finished_at=job.end_time,
             accuracy=None if outcome is None else float(outcome.accuracy),
             improved=None if outcome is None else bool(outcome.improved),
             preemptions=int(job.preemptions),
+            disposition=record.disposition,
         )
 
     def _list_jobs(

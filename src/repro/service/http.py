@@ -264,8 +264,14 @@ class _Handler(BaseHTTPRequestHandler):
             and rest[2] == "infer"
             and method == "POST"
         ):
+            # Single-row ({"x": [...]}, the v1 shape) and batch
+            # ({"rows": [[...], ...]}) share one route; the gateway
+            # validates that exactly one is present.
             return InferRequest(
-                app=rest[1], x=tuple(body.get("x", ())), **common
+                app=rest[1],
+                x=tuple(body.get("x", ())),
+                rows=tuple(tuple(row) for row in body.get("rows", ())),
+                **common,
             )
         if rest == ["jobs"]:
             if method == "POST":

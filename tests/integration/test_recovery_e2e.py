@@ -1,0 +1,207 @@
+"""The acceptance scenario for the durable control plane (ISSUE 4).
+
+Runs the HTTP service against a state directory, does real multi-
+tenant work through the SDK, kills the process state (server shut
+down, gateway dropped), restarts from the same ``--state-dir``, and
+proves that tenants, tokens, quotas, apps, and terminal job results
+all survive — plus the journal-corruption behaviours: a truncated
+tail record is dropped, a bad checksum refuses to load loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.ml.data import TaskSpec, make_task
+from repro.ml.zoo import default_zoo
+from repro.persist import (
+    JournalCorruptionError,
+    open_gateway,
+    state_digest,
+)
+from repro.persist.journal import record_checksum
+from repro.service import (
+    ApiError,
+    ApiErrorCode,
+    EaseMLClient,
+    TenantQuota,
+    serve_background,
+)
+
+MOONS = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+BLOBS = "{input: {[Tensor[2]], []}, output: {[Tensor[3]], []}}"
+ZOO = ["naive-bayes", "ridge", "tree-d4"]
+
+
+def _open(state_dir):
+    return open_gateway(
+        state_dir,
+        placement="partition",
+        n_gpus=4,
+        min_examples=10,
+        seed=0,
+        zoo=default_zoo().subset(ZOO),
+        default_quota=TenantQuota(
+            max_apps=2, max_pending_jobs=8, max_store_bytes=1 << 22
+        ),
+    )
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "state"
+
+
+def test_kill_and_restart_end_to_end(state_dir):
+    # ---------------- first life: real work over HTTP ----------------
+    gateway, report = _open(state_dir)
+    assert report is None
+    server, _ = serve_background(gateway)
+    alice_token = gateway.create_tenant("alice")
+    bob_token = gateway.create_tenant("bob")
+    alice = EaseMLClient(server.url, alice_token)
+    bob = EaseMLClient(server.url, bob_token)
+
+    alice.register_app("moons", MOONS)
+    bob.register_app("blobs", BLOBS)
+    Xa, ya = make_task(TaskSpec("moons", 80, 0.3, seed=0))
+    Xb, yb = make_task(TaskSpec("blobs", 80, 0.3, seed=1))
+    alice.feed("moons", Xa.tolist(), [int(v) for v in ya])
+    bob.feed("blobs", Xb.tolist(), [int(v) for v in yb])
+    handles_a = alice.submit_training("moons", steps=3)
+    handles_b = bob.submit_training("blobs", steps=2)
+    first_life = {
+        s.job_id: s
+        for s in list(alice.wait_all(handles_a)) + list(
+            bob.wait_all(handles_b)
+        )
+    }
+    assert all(s.state == "finished" for s in first_life.values())
+    predictions = [
+        alice.infer("moons", x.tolist()).prediction for x in Xa[:10]
+    ]
+    # One more submit left in flight across the "crash".
+    in_flight = alice.submit_training("moons", steps=1)[0]
+
+    live_digest = state_digest(gateway)
+    server.shutdown()
+    server.server_close()
+    gateway.store.close()
+    del gateway  # the process is gone; only the state dir remains
+
+    # ---------------- second life: recover and keep serving ----------
+    recovered, report = _open(state_dir)
+    assert report is not None
+    assert report.tenants == ["alice", "bob"]
+    assert report.recovered == [in_flight.job_id]
+    assert state_digest(recovered) == live_digest
+    server2, _ = serve_background(recovered)
+    alice2 = EaseMLClient(server2.url, alice_token)  # same tokens work
+    bob2 = EaseMLClient(server2.url, bob_token)
+
+    # Terminal job results survived, accuracy and all.
+    for job_id, before in first_life.items():
+        client = alice2 if before.app == "moons" else bob2
+        after = client.job_status(job_id)
+        assert after.state == "finished"
+        assert after.accuracy == before.accuracy
+        assert after.candidate == before.candidate
+    # The trained models survived: identical predictions.
+    assert [
+        alice2.infer("moons", x.tolist()).prediction for x in Xa[:10]
+    ] == predictions
+    # Batch inference agrees with the single-row path (satellite).
+    batch = alice2.infer_batch("moons", [x.tolist() for x in Xa[:10]])
+    assert list(batch.predictions) == predictions
+    assert batch.model_version is not None
+    # The in-flight job was requeued and completes post-restart.
+    status = alice2.wait(in_flight.job_id)
+    assert status.state == "finished"
+    assert status.accuracy is not None
+    # Quotas survived: alice (max_apps=2) can register exactly one
+    # more app, then hits the recovered ceiling.
+    alice2.register_app("moons2", MOONS)
+    with pytest.raises(ApiError) as excinfo:
+        alice2.register_app("moons3", MOONS)
+    assert excinfo.value.code is ApiErrorCode.QUOTA_EXCEEDED
+
+    server2.shutdown()
+    server2.server_close()
+    recovered.store.close()
+
+
+def test_truncated_tail_record_is_dropped(state_dir):
+    gateway, _ = _open(state_dir)
+    token = gateway.create_tenant("alice")
+    client_less_register(gateway, token)
+    gateway.store.close()
+    journal = state_dir / "journal.jsonl"
+    intact = journal.read_text()
+    journal.write_text(intact + '{"seq": 99, "type": "app_clo')
+    recovered, report = _open(state_dir)
+    assert report.dropped_tail == 1
+    assert recovered.tenant_names() == ["alice"]
+    recovered.store.close()
+
+
+def test_bad_checksum_refuses_to_load_with_clear_error(state_dir):
+    gateway, _ = _open(state_dir)
+    token = gateway.create_tenant("alice")
+    client_less_register(gateway, token)
+    gateway.store.close()
+    journal = state_dir / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    data = json.loads(lines[0])
+    data["payload"]["name"] = "mallory"  # tamper, keep the stale crc
+    lines[0] = json.dumps(data)
+    journal.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalCorruptionError) as excinfo:
+        _open(state_dir)
+    message = str(excinfo.value)
+    assert "checksum" in message and "seq 1" in message
+
+
+def test_checksum_fixed_tamper_is_caught_as_divergence(state_dir):
+    """Even a crc-consistent edit cannot smuggle state past replay."""
+    gateway, _ = _open(state_dir)
+    token = gateway.create_tenant("alice")
+    client_less_register(gateway, token)
+    X, y = make_task(TaskSpec("moons", 60, 0.3, seed=0))
+    from repro.service.api import FeedRequest, SubmitTrainingRequest
+
+    gateway.handle(
+        FeedRequest(
+            auth_token=token,
+            app="moons",
+            inputs=tuple(map(tuple, X.tolist())),
+            outputs=tuple(int(v) for v in y),
+        )
+    )
+    gateway.handle(
+        SubmitTrainingRequest(auth_token=token, app="moons", steps=1)
+    )
+    gateway.store.close()
+    journal = state_dir / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    index, data = next(
+        (i, json.loads(line))
+        for i, line in enumerate(lines)
+        if json.loads(line)["type"] == "job_submitted"
+    )
+    data["payload"]["handles"] = ["job-31337"]
+    data["crc"] = record_checksum(data["seq"], data["type"], data["payload"])
+    lines[index] = json.dumps(data)
+    journal.write_text("\n".join(lines) + "\n")
+    from repro.persist import RecoveryError
+
+    with pytest.raises(RecoveryError):
+        _open(state_dir)
+
+
+def client_less_register(gateway, token):
+    """Register alice's app without spinning up HTTP (corruption tests)."""
+    from repro.service.api import RegisterAppRequest
+
+    gateway.handle(
+        RegisterAppRequest(auth_token=token, app="moons", program=MOONS)
+    )

@@ -1,0 +1,18 @@
+"""Fixtures for the durable-control-plane tests (helpers:
+persist_helpers.py)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import TaskSpec, make_task
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "state"
+
+
+@pytest.fixture
+def probe():
+    X, _ = make_task(TaskSpec("moons", 60, 0.3, seed=0))
+    return tuple(float(v) for v in np.asarray(X)[0])

@@ -1,0 +1,36 @@
+"""Shared helpers for the durable-control-plane tests.
+
+Importable by name (unlike conftest, whose module name collides with
+other test directories' conftests under subset pytest invocations).
+"""
+
+from repro.ml.data import TaskSpec, make_task
+
+#: Small zoo + shapes shared across the persistence tests (kept in
+#: sync with tests/service/service_helpers.py).
+SMALL_ZOO = ["naive-bayes", "ridge", "tree-d4"]
+MOONS_PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+BLOBS_PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[3]], []}}"
+
+
+def gateway_kwargs(**overrides):
+    """Keyword arguments for open_gateway's fresh-start path."""
+    from repro.ml.zoo import default_zoo
+
+    kwargs = dict(
+        placement="partition",
+        n_gpus=4,
+        min_examples=10,
+        seed=0,
+        zoo=default_zoo().subset(SMALL_ZOO),
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def task_payload(kind, n=60, seed=0):
+    X, y = make_task(TaskSpec(kind, n, 0.3, seed=seed))
+    return (
+        tuple(tuple(float(v) for v in row) for row in X),
+        tuple(int(v) for v in y),
+    )

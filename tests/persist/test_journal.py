@@ -1,0 +1,145 @@
+"""The write-ahead journal: format, checksums, crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.persist import (
+    Journal,
+    JournalCorruptionError,
+    JournalError,
+    JournalRecord,
+    RECORD_TYPES,
+    read_journal,
+    record_checksum,
+    rewrite_journal,
+)
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "journal.jsonl"
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, journal_path):
+        journal = Journal(journal_path, sync="buffered")
+        first = journal.append("tenant_created", {"name": "a", "token": "t"})
+        second = journal.append("app_registered", {"app": "m"})
+        journal.close()
+        assert (first.seq, second.seq) == (1, 2)
+        records, dropped = read_journal(journal_path)
+        assert dropped == 0
+        assert [r.type for r in records] == [
+            "tenant_created", "app_registered",
+        ]
+        assert records[0].payload == {"name": "a", "token": "t"}
+
+    def test_sequencing_continues_from_start_seq(self, journal_path):
+        journal = Journal(journal_path, sync="buffered", start_seq=41)
+        assert journal.append("app_closed", {}).seq == 42
+
+    def test_fsync_mode_appends(self, journal_path):
+        journal = Journal(journal_path, sync="fsync")
+        journal.append("quota_changed", {"name": "a"})
+        journal.close()
+        records, _ = read_journal(journal_path)
+        assert len(records) == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, dropped = read_journal(tmp_path / "nope.jsonl")
+        assert records == [] and dropped == 0
+
+    def test_closed_registry_rejects_unknown_type(self, journal_path):
+        journal = Journal(journal_path, sync="buffered")
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("psychic_event", {})
+        assert "psychic_event" not in RECORD_TYPES
+
+    def test_invalid_sync_mode(self, journal_path):
+        with pytest.raises(ValueError, match="sync"):
+            Journal(journal_path, sync="psychic")
+
+    def test_append_after_close_fails(self, journal_path):
+        journal = Journal(journal_path, sync="buffered")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("app_closed", {})
+
+
+class TestCrashTolerance:
+    def _write(self, journal_path, n=3):
+        journal = Journal(journal_path, sync="buffered")
+        for i in range(n):
+            journal.append("example_toggled", {"i": i})
+        journal.close()
+
+    def test_torn_tail_record_is_dropped(self, journal_path):
+        self._write(journal_path)
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "type": "app_clo')
+        records, dropped = read_journal(journal_path)
+        assert dropped == 1
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_bad_checksum_refuses_to_load(self, journal_path):
+        self._write(journal_path)
+        lines = journal_path.read_text().splitlines()
+        data = json.loads(lines[1])
+        data["payload"]["i"] = 99  # tamper without fixing the crc
+        lines[1] = json.dumps(data)
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError, match="checksum"):
+            read_journal(journal_path)
+
+    def test_mid_file_garbage_refuses_to_load(self, journal_path):
+        self._write(journal_path)
+        lines = journal_path.read_text().splitlines()
+        lines[0] = "not json at all"
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError, match="not the final"):
+            read_journal(journal_path)
+
+    def test_sequence_gap_refuses_to_load(self, journal_path):
+        self._write(journal_path)
+        lines = journal_path.read_text().splitlines()
+        data = json.loads(lines[2])
+        data["seq"] = 9
+        data["crc"] = record_checksum(9, data["type"], data["payload"])
+        lines[2] = json.dumps(data)
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError, match="contiguous"):
+            read_journal(journal_path)
+
+    def test_unknown_type_on_disk_refuses_to_load(self, journal_path):
+        self._write(journal_path, n=1)
+        lines = journal_path.read_text().splitlines()
+        data = json.loads(lines[0])
+        data["type"] = "from_the_future"
+        data["crc"] = record_checksum(
+            data["seq"], data["type"], data["payload"]
+        )
+        lines[0] = json.dumps(data)
+        journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError, match="unknown record"):
+            read_journal(journal_path)
+
+
+class TestRewrite:
+    def test_rewrite_replaces_atomically(self, journal_path):
+        journal = Journal(journal_path, sync="buffered")
+        for i in range(4):
+            journal.append("example_toggled", {"i": i})
+        journal.close()
+        records, _ = read_journal(journal_path)
+        rewrite_journal(journal_path, records[2:])
+        kept, dropped = read_journal(journal_path)
+        assert dropped == 0
+        assert [r.seq for r in kept] == [3, 4]
+
+    def test_record_checksum_is_payload_sensitive(self):
+        a = record_checksum(1, "app_closed", {"app": "x"})
+        b = record_checksum(1, "app_closed", {"app": "y"})
+        assert a != b
+        record = JournalRecord(seq=1, type="app_closed", payload={"app": "x"})
+        assert record.crc == a

@@ -1,0 +1,105 @@
+"""Snapshots: atomic publish, validation, fallback, compaction."""
+
+import pytest
+
+from repro.persist import (
+    JournalRecord,
+    Snapshot,
+    SnapshotError,
+    compact_records,
+    list_snapshots,
+    load_latest_snapshot,
+    write_snapshot,
+)
+
+
+def _records(n=4, rtype="example_toggled"):
+    return [
+        JournalRecord(seq=i + 1, type=rtype, payload={"i": i})
+        for i in range(n)
+    ]
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        records = _records()
+        path = write_snapshot(tmp_path, 4, records, state_digest="abc")
+        assert path.name == "snapshot-000000000004.json"
+        snapshot = load_latest_snapshot(tmp_path)
+        assert isinstance(snapshot, Snapshot)
+        assert snapshot.seq == 4
+        assert snapshot.state_digest == "abc"
+        assert [r.payload for r in snapshot.records] == [
+            {"i": i} for i in range(4)
+        ]
+
+    def test_no_snapshots_returns_none(self, tmp_path):
+        assert load_latest_snapshot(tmp_path) is None
+        assert load_latest_snapshot(tmp_path / "missing") is None
+
+    def test_identical_records_write_identical_bytes(self, tmp_path):
+        a = write_snapshot(tmp_path / "a", 4, _records(), state_digest="d")
+        b = write_snapshot(tmp_path / "b", 4, _records(), state_digest="d")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_prune_keeps_newest_two(self, tmp_path):
+        for seq in (2, 4, 6, 8):
+            write_snapshot(tmp_path, seq, _records(seq))
+        names = [p.name for p in list_snapshots(tmp_path)]
+        assert names == [
+            "snapshot-000000000006.json", "snapshot-000000000008.json",
+        ]
+
+
+class TestValidation:
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        write_snapshot(tmp_path, 2, _records(2))
+        newest = write_snapshot(tmp_path, 4, _records(4))
+        newest.write_text(newest.read_text()[:-40], encoding="utf-8")
+        snapshot = load_latest_snapshot(tmp_path)
+        assert snapshot.seq == 2
+        assert len(snapshot.skipped) == 1
+
+    def test_all_corrupt_raises(self, tmp_path):
+        path = write_snapshot(tmp_path, 2, _records(2))
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            load_latest_snapshot(tmp_path)
+
+    def test_tampered_record_rejected(self, tmp_path):
+        path = write_snapshot(tmp_path, 2, _records(2))
+        text = path.read_text().replace('"i":0', '"i":7')
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_latest_snapshot(tmp_path)
+
+
+class TestCompaction:
+    def test_superseded_token_rotations_dropped(self):
+        records = [
+            JournalRecord(
+                seq=1, type="tenant_created",
+                payload={"name": "a", "token": "t0", "quota": {}},
+            ),
+            JournalRecord(
+                seq=2, type="token_rotated",
+                payload={"name": "a", "token": "t1"},
+            ),
+            JournalRecord(
+                seq=3, type="examples_fed", payload={"app": "m"},
+            ),
+            JournalRecord(
+                seq=4, type="token_rotated",
+                payload={"name": "a", "token": "t2"},
+            ),
+            JournalRecord(
+                seq=5, type="token_rotated",
+                payload={"name": "b", "token": "u1"},
+            ),
+        ]
+        compacted = compact_records(records)
+        assert [r.seq for r in compacted] == [1, 3, 4, 5]
+
+    def test_everything_else_kept_in_order(self):
+        records = _records(5)
+        assert compact_records(records) == records

@@ -1,0 +1,68 @@
+"""ClusterRuntime.cancel: the recovery-time cancellation primitive."""
+
+import pytest
+
+from repro.engine.cluster import GPUPool
+from repro.engine.jobs import JobState
+from repro.runtime.kernel import ClusterRuntime
+from repro.runtime.placement import make_placement
+
+
+@pytest.fixture
+def runtime():
+    return ClusterRuntime(GPUPool(2), make_placement("partition"))
+
+
+class TestCancel:
+    def test_cancel_pending_job_releases_its_slot(self, runtime):
+        jobs = [runtime.submit(0, m, gpu_time=4.0) for m in range(3)]
+        runtime.step()
+        runtime.step()
+        runtime.step()  # all submitted: 2 running, 1 pending
+        pending = runtime.pending_jobs
+        assert pending
+        assert runtime.cancel(pending[0].job_id, reason="lost")
+        assert pending[0].state is JobState.FAILED
+        assert pending[0].detail["failure_reason"] == "lost"
+        assert pending[0] not in runtime.pending_jobs
+        # Everyone else drains normally.
+        runtime.run_until_idle()
+        done = {j.job_id for j in runtime.finished_jobs()}
+        assert done == {j.job_id for j in jobs} - {pending[0].job_id}
+
+    def test_cancel_running_job_ignores_stale_completion(self, runtime):
+        job = runtime.submit(0, 0, gpu_time=4.0)
+        runtime.step()
+        assert job.state is JobState.RUNNING
+        assert runtime.cancel(job.job_id)
+        assert job.state is JobState.FAILED
+        # The queued JOB_FINISHED event for the torn-down slice must
+        # not resurrect the job.
+        runtime.run_until_idle()
+        assert job.state is JobState.FAILED
+        assert runtime.finished_jobs() == []
+
+    def test_cancel_terminal_job_is_a_no_op(self, runtime):
+        job = runtime.submit(0, 0, gpu_time=1.0)
+        runtime.run_until_idle()
+        assert job.state is JobState.FINISHED
+        assert not runtime.cancel(job.job_id)
+        assert job.state is JobState.FINISHED
+
+    def test_cancel_before_admission_never_queues(self, runtime):
+        job = runtime.submit(0, 0, gpu_time=1.0)
+        # The JOB_SUBMITTED event has not been processed yet.
+        assert runtime.cancel(job.job_id)
+        runtime.run_until_idle()
+        assert job.state is JobState.FAILED
+        assert not runtime.pending_jobs
+        assert not runtime.running_jobs
+
+    def test_cancelled_job_frees_devices_for_successors(self, runtime):
+        first = runtime.submit(0, 0, gpu_time=100.0)
+        runtime.step()
+        second = runtime.submit(0, 1, gpu_time=1.0)
+        runtime.step()
+        runtime.cancel(first.job_id)
+        runtime.run_until_idle()
+        assert second.state is JobState.FINISHED

@@ -1,0 +1,107 @@
+"""Batch inference (ISSUE 4 satellite): many rows, v1 shape intact."""
+
+import pytest
+
+from service_helpers import MOONS_PROGRAM, make_gateway, task_payload
+
+from repro.service.api import (
+    ApiError,
+    ApiErrorCode,
+    FeedRequest,
+    InferRequest,
+    JobStatusRequest,
+    RegisterAppRequest,
+    SubmitTrainingRequest,
+    from_wire,
+    to_wire,
+)
+
+
+@pytest.fixture
+def trained(gateway):
+    token = gateway.create_tenant("alice")
+    gateway.handle(
+        RegisterAppRequest(
+            auth_token=token, app="moons", program=MOONS_PROGRAM
+        )
+    )
+    inputs, outputs = task_payload("moons")
+    gateway.handle(
+        FeedRequest(
+            auth_token=token, app="moons", inputs=inputs, outputs=outputs
+        )
+    )
+    handles = gateway.handle(
+        SubmitTrainingRequest(auth_token=token, app="moons", steps=2)
+    ).handles
+    for handle in handles:
+        while not gateway.handle(
+            JobStatusRequest(auth_token=token, job_id=handle.job_id)
+        ).done:
+            pass
+    return gateway, token, inputs
+
+
+class TestSingleRow:
+    def test_v1_shape_still_served(self, trained):
+        gateway, token, inputs = trained
+        response = gateway.handle(
+            InferRequest(auth_token=token, app="moons", x=inputs[0])
+        )
+        assert response.prediction in (0, 1)
+        assert response.predictions == (response.prediction,)
+        assert response.model is not None
+
+    def test_wire_round_trip_keeps_x(self, trained):
+        _, token, inputs = trained
+        request = InferRequest(auth_token=token, app="moons", x=inputs[0])
+        assert from_wire(to_wire(request)) == request
+
+
+class TestBatch:
+    def test_batch_matches_single_row(self, trained):
+        gateway, token, inputs = trained
+        rows = inputs[:8]
+        batch = gateway.handle(
+            InferRequest(auth_token=token, app="moons", rows=rows)
+        )
+        singles = [
+            gateway.handle(
+                InferRequest(auth_token=token, app="moons", x=row)
+            ).prediction
+            for row in rows
+        ]
+        assert list(batch.predictions) == singles
+        assert batch.prediction is None
+        assert batch.model_version is not None
+
+    def test_wire_round_trip_keeps_rows(self, trained):
+        _, token, inputs = trained
+        request = InferRequest(
+            auth_token=token, app="moons", rows=inputs[:3]
+        )
+        assert from_wire(to_wire(request)) == request
+
+    def test_both_x_and_rows_rejected(self, trained):
+        gateway, token, inputs = trained
+        with pytest.raises(ApiError) as excinfo:
+            gateway.handle(
+                InferRequest(
+                    auth_token=token, app="moons",
+                    x=inputs[0], rows=inputs[:2],
+                )
+            )
+        assert excinfo.value.code is ApiErrorCode.INVALID_ARGUMENT
+
+    def test_bad_row_names_its_index(self, trained):
+        gateway, token, inputs = trained
+        with pytest.raises(ApiError) as excinfo:
+            gateway.handle(
+                InferRequest(
+                    auth_token=token, app="moons",
+                    rows=(inputs[0], (1.0, 2.0, 3.0)),
+                )
+            )
+        error = excinfo.value
+        assert error.code is ApiErrorCode.INVALID_ARGUMENT
+        assert error.details["row"] == 1

@@ -156,20 +156,21 @@ class TestServe:
         )
 
     def test_build_service_wires_gateway_and_tenants(self):
-        gateway, tokens, server = build_service(
+        gateway, tokens, server, report = build_service(
             self._args(["--tenant", "alice", "--tenant", "bob"])
         )
         try:
             assert gateway.tenant_names() == ["alice", "bob"]
             assert set(tokens) == {"alice", "bob"}
             assert all(t.startswith("tok-") for t in tokens.values())
+            assert report is None
             assert server.port > 0
             assert server.url.startswith("http://127.0.0.1:")
         finally:
             server.server_close()
 
     def test_build_service_default_tenant(self):
-        _, tokens, server = build_service(self._args())
+        _, tokens, server, _ = build_service(self._args())
         try:
             assert list(tokens) == ["default"]
         finally:
@@ -178,6 +179,67 @@ class TestServe:
     def test_serve_rejects_unknown_placement(self):
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["serve", "--placement", "psychic"])
+
+    def test_build_service_durable_restart(self, tmp_path):
+        """--state-dir round trip: tokens and tenants survive."""
+        state = str(tmp_path / "state")
+        gateway, tokens, server, report = build_service(
+            self._args(["--tenant", "alice", "--state-dir", state])
+        )
+        server.server_close()
+        gateway.store.close()
+        assert report is None
+        gateway2, tokens2, server2, report2 = build_service(
+            self._args(["--tenant", "alice", "--state-dir", state])
+        )
+        try:
+            assert report2 is not None
+            assert tokens2 == tokens
+            assert gateway2.tenant_names() == ["alice"]
+        finally:
+            server2.server_close()
+            gateway2.store.close()
+
+
+class TestStateCommands:
+    def _serve_args(self, state, extra=()):
+        return _build_parser().parse_args(
+            ["serve", "--port", "0", "--n-gpus", "2",
+             "--state-dir", state, *extra]
+        )
+
+    def test_inspect_and_compact(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        gateway, tokens, server, _ = build_service(
+            self._serve_args(state, ["--tenant", "alice"])
+        )
+        server.server_close()
+        gateway.store.close()
+
+        assert main(["state", "inspect", "--state-dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "tenant_created: 1" in out
+        assert tokens["alice"] in out
+
+        assert main(
+            ["state", "inspect", "--state-dir", state, "--json"]
+        ) == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["tenants"]["alice"]["token"] == tokens["alice"]
+
+        assert main(["state", "compact", "--state-dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        assert main(["state", "inspect", "--state-dir", state]) == 0
+        assert "snapshot-" in capsys.readouterr().out
+
+    def test_inspect_rejects_non_state_dir(self, capsys, tmp_path):
+        assert main(
+            ["state", "inspect", "--state-dir", str(tmp_path)]
+        ) == 2
+        assert "not a state directory" in capsys.readouterr().err
 
 
 class TestRuntimeArrivals:
