@@ -8,8 +8,13 @@ three durability modes:
 * ``off``       — no state store attached (the PR-3 baseline);
 * ``buffered``  — journal appends flushed to the OS, fsync left to
   the kernel (a host crash may lose the tail; a process crash not);
+* ``group``     — appends share one fsync per commit convoy, run by
+  the gateway's ack barrier (the full WAL guarantee at a fraction of
+  the fsyncs: a multi-record operation pays one instead of one per
+  record, and concurrent writers ride each other's flushes);
 * ``fsync``     — every record fsynced before the request acks (the
-  full WAL guarantee; the default for ``repro serve --state-dir``).
+  full WAL guarantee, one fsync per record; the default for
+  ``repro serve --state-dir``).
 
 Run standalone (CI-friendly)::
 
@@ -45,7 +50,7 @@ from repro.utils.tables import ascii_table
 
 PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
 ZOO = ["naive-bayes", "ridge", "tree-d4"]
-MODES = ("off", "buffered", "fsync")
+MODES = ("off", "buffered", "group", "fsync")
 
 
 def _gateway_kwargs(seed):

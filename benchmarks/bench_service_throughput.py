@@ -1,13 +1,22 @@
 """Service throughput: requests/sec and latency percentiles over HTTP.
 
-Spins up the versioned v1 service (gateway + stdlib HTTP frontend) in
-process, onboards N tenants (register app, feed examples, train a
-couple of async jobs to completion), then drives N concurrent
+Spins up the versioned v1 service in process, onboards N tenants
+(register app, feed examples, train a couple of async jobs to
+completion), then drives N concurrent
 :class:`~repro.service.client.EaseMLClient` threads through a
 read-heavy request mix (infer / app-status / refine / events, with a
 periodic async submit+poll training cycle).  Reports aggregate
 requests/sec and per-request latency percentiles — the serving-path
 numbers later PRs optimize against.
+
+Two comparison races ride along:
+
+* **frontends** — the same read-only mix against ``threading`` (one
+  OS thread per connection) and ``asyncio`` (event loop; reads served
+  inline from the gateway's lock-free snapshots);
+* **journal sync modes** — a mutation-heavy mix (feed / toggle /
+  submit+wait cycles) against ``--sync off | buffered | group |
+  fsync``, the over-HTTP companion to ``bench_persist_overhead.py``.
 
 Run standalone (CI smoke uses ``--quick``)::
 
@@ -20,8 +29,11 @@ or under pytest like the figure benchmarks::
 """
 
 import argparse
+import shutil
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -90,21 +102,38 @@ def _drive(client, app, probe, n_requests, latencies, read_only=False):
             latencies.append(time.perf_counter() - start)
 
 
-def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0,
-                  *, shard_read_locks=True, read_only=False):
-    """Returns the report rows; prints nothing."""
-    gateway = ServiceGateway(
+def _make_gateway(n_gpus, seed, *, shard_read_locks=True, state_dir=None,
+                  sync=None):
+    quota = TenantQuota(
+        max_apps=2, max_pending_jobs=8,
+        max_store_bytes=64 * 1024 * 1024,
+    )
+    kwargs = dict(
         placement="partition",
         n_gpus=n_gpus,
         seed=seed,
         zoo=default_zoo().subset(ZOO),
-        default_quota=TenantQuota(
-            max_apps=2, max_pending_jobs=8,
-            max_store_bytes=64 * 1024 * 1024,
-        ),
+        default_quota=quota,
         shard_read_locks=shard_read_locks,
     )
-    server, _ = serve_background(gateway)
+    if sync is None:
+        return ServiceGateway(**kwargs)
+    from repro.persist import open_gateway
+
+    gateway, _ = open_gateway(
+        state_dir, sync=sync, snapshot_every=0, **kwargs
+    )
+    return gateway
+
+
+def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0,
+                  *, shard_read_locks=True, read_only=False,
+                  frontend="threading"):
+    """Returns the report rows; prints nothing."""
+    gateway = _make_gateway(
+        n_gpus, seed, shard_read_locks=shard_read_locks
+    )
+    server, _ = serve_background(gateway, frontend=frontend)
     try:
         tenants = [
             _onboard(server, gateway, i) for i in range(n_clients)
@@ -156,24 +185,23 @@ def render(rows):
     )
 
 
-def run_lock_comparison(n_clients=4, n_requests=100, n_gpus=4, seed=0):
-    """Race the two locking disciplines on the read-only mix.
+def run_frontend_comparison(n_clients=4, n_requests=100, n_gpus=4, seed=0):
+    """Race the two HTTP frontends on the read-only mix.
 
-    Same server shape, same request mix (app-status / refine / events —
-    exactly the endpoints the per-tenant shard locks cover); the only
-    variable is whether reads serialise on the gateway-wide RLock or
-    run under per-tenant locks.
+    Same server shape, same request mix (app-status / refine / events);
+    the only variable is the transport: one OS thread per connection
+    versus the asyncio event loop serving reads inline from the
+    gateway's lock-free snapshots.
     """
     rows = []
-    for label, shard in (("single lock", False),
-                         ("per-tenant locks", True)):
+    for frontend in ("threading", "asyncio"):
         result = run_benchmark(
             n_clients=n_clients, n_requests=n_requests, n_gpus=n_gpus,
-            seed=seed, shard_read_locks=shard, read_only=True,
+            seed=seed, read_only=True, frontend=frontend,
         )
         by_name = {name: value for name, value in result}
         rows.append([
-            label,
+            frontend,
             by_name["requests/sec"],
             by_name["latency p50 (ms)"],
             by_name["latency p99 (ms)"],
@@ -181,12 +209,110 @@ def run_lock_comparison(n_clients=4, n_requests=100, n_gpus=4, seed=0):
     return rows
 
 
-def render_lock_comparison(rows, n_clients):
+def render_frontend_comparison(rows, n_clients):
     return ascii_table(
-        ["locking", "requests/sec", "p50 (ms)", "p99 (ms)"],
+        ["frontend", "requests/sec", "p50 (ms)", "p99 (ms)"],
         rows,
-        title=f"Read-only mix: gateway lock discipline "
+        title=f"Read-only mix: HTTP frontend "
         f"({n_clients} concurrent tenants)",
+    )
+
+
+def _drive_mutations(client, app, rows, labels, n_cycles, latencies):
+    """One tenant's mutation loop: feed, toggle, submit, wait-to-done."""
+    for i in range(n_cycles):
+        start = time.perf_counter()
+        fed = client.feed(app, rows[i % len(rows)], labels[i % len(rows)])
+        client.set_example_enabled(
+            app, fed.example_ids[0], i % 2 == 0
+        )
+        handle = client.submit_training(app, steps=1)[0]
+        client.wait(handle.job_id, timeout=120)
+        latencies.append(time.perf_counter() - start)
+
+
+def run_sync_comparison(n_clients=4, n_cycles=10, n_gpus=4, seed=0):
+    """Race journal sync modes on a mutation-heavy mix over HTTP.
+
+    ``off`` is the no-store baseline; ``buffered`` / ``group`` /
+    ``fsync`` journal every mutation, differing only in when the fsync
+    happens (never / once per commit convoy / once per record).  With
+    N concurrent mutating tenants, ``group`` is where convoys actually
+    form: writers ride each other's flushes.
+    """
+    rows = []
+    state_root = Path(tempfile.mkdtemp(prefix="bench-service-sync-"))
+    try:
+        for sync in ("off", "buffered", "group", "fsync"):
+            gateway = _make_gateway(
+                n_gpus, seed,
+                state_dir=state_root / sync,
+                sync=None if sync == "off" else sync,
+            )
+            server, _ = serve_background(gateway)
+            try:
+                tenants = [
+                    _onboard(server, gateway, i) for i in range(n_clients)
+                ]
+                for client, app, _ in tenants:
+                    client.wait_all(client.submit_training(app, steps=1))
+                X, y = make_task(TaskSpec("moons", 100, 0.3, seed=seed))
+                batch = 5
+                feed_rows = [
+                    [list(map(float, r)) for r in X[i:i + batch]]
+                    for i in range(0, 100, batch)
+                ]
+                feed_labels = [
+                    [int(v) for v in y[i:i + batch]]
+                    for i in range(0, 100, batch)
+                ]
+                per_thread = [[] for _ in tenants]
+                threads = [
+                    threading.Thread(
+                        target=_drive_mutations,
+                        args=(client, app, feed_rows, feed_labels,
+                              n_cycles, latencies),
+                    )
+                    for (client, app, _), latencies in zip(
+                        tenants, per_thread
+                    )
+                ]
+                wall_start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - wall_start
+                journaled = (
+                    0 if gateway.store is None else gateway.store.last_seq
+                )
+            finally:
+                server.shutdown()
+                server.server_close()
+                if gateway.store is not None:
+                    gateway.store.close()
+            latencies = np.array(
+                [v for bucket in per_thread for v in bucket]
+            )
+            total = n_clients * n_cycles
+            rows.append([
+                sync,
+                journaled,
+                round(total / wall, 1),
+                round(1e3 * float(np.percentile(latencies, 50)), 2),
+                round(1e3 * float(np.percentile(latencies, 99)), 2),
+            ])
+    finally:
+        shutil.rmtree(state_root, ignore_errors=True)
+    return rows
+
+
+def render_sync_comparison(rows, n_clients):
+    return ascii_table(
+        ["sync", "records", "cycles/sec", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"Mutation mix (feed+toggle+submit+wait) over HTTP: "
+        f"journal sync mode ({n_clients} concurrent tenants)",
     )
 
 
@@ -204,6 +330,9 @@ def main(argv=None):
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=100,
                         help="measured requests per client")
+    parser.add_argument("--cycles", type=int, default=10,
+                        help="mutation cycles per client in the sync-"
+                        "mode race")
     parser.add_argument("--n-gpus", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -212,23 +341,31 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     if args.quick:
-        args.clients, args.requests = 2, 20
+        args.clients, args.requests, args.cycles = 2, 20, 4
     rows = run_benchmark(
         n_clients=args.clients,
         n_requests=args.requests,
         n_gpus=args.n_gpus,
         seed=args.seed,
     )
-    comparison = run_lock_comparison(
+    frontends = run_frontend_comparison(
         n_clients=args.clients,
         n_requests=args.requests,
+        n_gpus=args.n_gpus,
+        seed=args.seed,
+    )
+    syncs = run_sync_comparison(
+        n_clients=args.clients,
+        n_cycles=args.cycles,
         n_gpus=args.n_gpus,
         seed=args.seed,
     )
     report = (
         render(rows)
         + "\n\n"
-        + render_lock_comparison(comparison, args.clients)
+        + render_frontend_comparison(frontends, args.clients)
+        + "\n\n"
+        + render_sync_comparison(syncs, args.clients)
     )
     save_report("service_throughput", report)
     return 0

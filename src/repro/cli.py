@@ -19,10 +19,14 @@ Commands
     the determinism debugging tool.
 ``serve``
     Start the multi-tenant HTTP service (the versioned v1 API) and
-    print the created tenant tokens.  With ``--state-dir`` the control
-    plane is durable: every mutation is journaled before it is acked,
-    and a restart from the same directory recovers tenants, tokens,
-    quotas, apps, and job handles.
+    print the created tenant tokens.  ``--frontend asyncio`` swaps the
+    thread-per-connection server for the event-loop frontend (reads
+    never block, mutations drain per-tenant command queues, and
+    ``GET /v1/jobs/{id}?wait=`` long-polls instead of spinning).  With
+    ``--state-dir`` the control plane is durable: every mutation is
+    journaled before it is acked (``--sync group`` shares one fsync
+    per commit convoy), and a restart from the same directory recovers
+    tenants, tokens, quotas, apps, and job handles.
 ``state {inspect,compact}``
     Operator tools over a ``--state-dir``: summarise the journal /
     snapshots (and print tenant tokens), or replay-verify and compact
@@ -165,6 +169,14 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--port", type=int, default=8080,
                      help="listen port (0 picks a free one)")
     srv.add_argument(
+        "--frontend", default="threading",
+        choices=["threading", "asyncio"],
+        help="HTTP frontend: 'threading' (one OS thread per "
+        "connection) or 'asyncio' (event loop; reads served inline "
+        "from lock-free snapshots, mutations through per-tenant "
+        "command queues, long-polls on worker threads)",
+    )
+    srv.add_argument(
         "--placement", default="partition",
         choices=sorted(PLACEMENT_POLICIES),
         help="device-placement policy for training jobs",
@@ -188,10 +200,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "replay must match the journal",
     )
     srv.add_argument(
-        "--sync", default=None, choices=["fsync", "buffered"],
+        "--sync", default=None, choices=["fsync", "buffered", "group"],
         help="journal durability (fsync: every record hits disk "
-        "before the ack; buffered: OS-buffered writes; default fsync, "
-        "or whatever the state dir was created with)",
+        "before the ack; group: concurrent mutations share one fsync "
+        "per commit convoy, still acked only after a covering flush; "
+        "buffered: OS-buffered writes; default fsync, or whatever the "
+        "state dir was created with)",
     )
     srv.add_argument(
         "--snapshot-every", type=int, default=None, metavar="N",
@@ -550,7 +564,12 @@ def build_service(args: argparse.Namespace):
     tokens = {
         name: gateway.tenant_token(name) for name in gateway.tenant_names()
     }
-    server = bind_http(gateway, host=args.host, port=args.port)
+    server = bind_http(
+        gateway,
+        host=args.host,
+        port=args.port,
+        frontend=getattr(args, "frontend", "threading"),
+    )
     return gateway, tokens, server, report
 
 

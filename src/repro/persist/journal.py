@@ -14,8 +14,14 @@ Durability discipline
 on disk before the gateway acks the request — the WAL guarantee);
 ``sync="buffered"`` flushes to the OS after every append but leaves the
 fsync to the kernel (a host crash may lose the tail, a process crash
-does not).  The trade-off is measured in
-``benchmarks/bench_persist_overhead.py``.
+does not); ``sync="group"`` flushes per append but defers the fsync to
+the :meth:`Journal.commit` barrier the gateway runs before each ack —
+the first committer in becomes the convoy leader and fsyncs once for
+every record flushed so far, and committers whose records that flush
+already covered return without touching the disk.  Group commit keeps
+the full WAL guarantee (nothing is acked before a covering fsync)
+while paying one fsync per *convoy* instead of one per record.  The
+trade-offs are measured in ``benchmarks/bench_persist_overhead.py``.
 
 Crash tolerance on read
 -----------------------
@@ -35,7 +41,7 @@ import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import jsonify
 
@@ -81,7 +87,8 @@ EFFECT_TYPES = frozenset(
 
 #: Journal sync modes (``"off"`` means "no journal at all" and is only
 #: meaningful to the benchmark; a constructed Journal is never off).
-SYNC_MODES = ("fsync", "buffered")
+#: ``"group"`` defers fsync to the :meth:`Journal.commit` ack barrier.
+SYNC_MODES = ("fsync", "buffered", "group")
 
 
 class JournalError(Exception):
@@ -188,6 +195,10 @@ class Journal:
         self.sync = sync
         self._seq = int(start_seq)
         self._lock = threading.Lock()
+        #: Highest sequence number known to be on disk (group mode);
+        #: guarded by ``_flush_lock`` — the convoy gate.
+        self._flushed_seq = int(start_seq)
+        self._flush_lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
 
@@ -195,8 +206,18 @@ class Journal:
     def last_seq(self) -> int:
         return self._seq
 
+    @property
+    def flushed_seq(self) -> int:
+        """Highest seq covered by an fsync (only tracked in group mode)."""
+        return self._flushed_seq
+
     def append(self, rtype: str, payload: Dict[str, Any]) -> JournalRecord:
-        """Durably append one record; returns it with its sequence."""
+        """Append one record; returns it with its sequence.
+
+        In ``fsync`` mode the record is durable on return; in
+        ``group`` mode the caller must run :meth:`commit` before
+        acking whatever the record describes.
+        """
         with self._lock:
             if self._handle is None:
                 raise JournalError("journal is closed")
@@ -207,14 +228,54 @@ class Journal:
             self._handle.flush()
             if self.sync == "fsync":
                 os.fsync(self._handle.fileno())
+                self._flushed_seq = record.seq
             self._seq = record.seq
             return record
 
+    def commit(self, upto: Optional[int] = None) -> None:
+        """Group-commit barrier: records up to ``upto`` are on disk.
+
+        Only ``sync="group"`` does work here (``fsync`` is already
+        durable per append; ``buffered`` deliberately leaves fsync to
+        the kernel).  Concurrent committers convoy on the flush lock:
+        the leader fsyncs once for every record flushed to the fd so
+        far, and followers whose records that flush covered return
+        without issuing their own.  ``upto`` defaults to the last
+        appended record.
+        """
+        if self.sync != "group":
+            return
+        target = self._seq if upto is None else int(upto)
+        if self._flushed_seq >= target:
+            return  # a previous convoy's flush already covered us
+        with self._flush_lock:
+            if self._flushed_seq >= target:
+                return  # the leader's flush covered us while we queued
+            with self._lock:
+                if self._handle is None:
+                    raise JournalError("journal is closed")
+                fd = self._handle.fileno()
+                # Everything appended so far is flushed to the fd, so
+                # one fsync covers through the current tail — not just
+                # our own record.
+                cover = self._seq
+            os.fsync(fd)
+            self._flushed_seq = cover
+
     def close(self) -> None:
-        with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+        # Same lock order as commit (flush -> append), so a close
+        # cannot interleave with a leader mid-fsync and yank the fd.
+        with self._flush_lock:
+            with self._lock:
+                if self._handle is not None:
+                    if self.sync == "group":
+                        # Flush the tail: close must not silently drop
+                        # records a commit barrier never covered.
+                        self._handle.flush()
+                        os.fsync(self._handle.fileno())
+                        self._flushed_seq = self._seq
+                    self._handle.close()
+                    self._handle = None
 
 
 def read_journal(

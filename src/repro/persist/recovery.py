@@ -201,6 +201,7 @@ def _apply_cancellation(
             )
         gateway.server._deferred_outcomes.pop(record.job.job_id, None)
         record.cancelled = True
+        record.done_event.set()  # wake any long-poll on this handle
         if disposition is not None:
             record.disposition = disposition
 
@@ -492,6 +493,9 @@ def _recover_locked(
             gateway, lost, seq=last_seq, disposition="lost"
         )
         gateway._persist("job_cancelled", {"handles": lost})
+    # Group mode defers fsync to the commit barrier: everything
+    # recovery re-journaled must be durable before serving resumes.
+    store.commit()
     gateway._recovering = False
 
     report = RecoveryReport(

@@ -112,7 +112,8 @@ class StateStore:
     state_dir:
         Directory to own (created if missing).
     sync:
-        Journal durability mode (``"fsync"`` or ``"buffered"``).
+        Journal durability mode (``"fsync"``, ``"buffered"``, or
+        ``"group"`` — deferred fsync shared per commit convoy).
     snapshot_every:
         Take a snapshot (and truncate the journal) after this many
         appended records.  ``0`` disables automatic snapshots —
@@ -185,6 +186,15 @@ class StateStore:
         record = self.journal.append(rtype, payload)
         self._history.append(record)
         return record
+
+    def commit(self) -> None:
+        """Group-commit barrier (see :meth:`Journal.commit`).
+
+        The gateway runs this outside its lock before acking a
+        mutation; a no-op unless the store was opened with
+        ``sync="group"``.
+        """
+        self.journal.commit()
 
     @property
     def records_since_snapshot(self) -> int:

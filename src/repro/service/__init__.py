@@ -4,7 +4,8 @@ This package is the canonical way to talk to the platform: a typed
 request/response API with a structured error model
 (:mod:`repro.service.api`), a transport-agnostic gateway enforcing
 tenancy and quotas over async job handles
-(:mod:`repro.service.gateway`), a stdlib HTTP frontend
+(:mod:`repro.service.gateway`), two HTTP frontends — threading and
+asyncio event-loop — behind one route table
 (:mod:`repro.service.http`), and the Python SDK
 (:mod:`repro.service.client`).
 
@@ -24,8 +25,20 @@ from repro.service.api import (
     to_wire,
 )
 from repro.service.client import EaseMLClient
-from repro.service.gateway import ServiceGateway, Tenant, TenantQuota
-from repro.service.http import ServiceHTTPServer, serve, serve_background
+from repro.service.gateway import (
+    MAX_WAIT_SECONDS,
+    ServiceGateway,
+    Tenant,
+    TenantQuota,
+    TenantView,
+)
+from repro.service.http import (
+    FRONTENDS,
+    AsyncServiceHTTPServer,
+    ServiceHTTPServer,
+    serve,
+    serve_background,
+)
 
 __all__ = [
     "API_VERSION",
@@ -36,9 +49,13 @@ __all__ = [
     "Response",
     "to_wire",
     "from_wire",
+    "FRONTENDS",
+    "MAX_WAIT_SECONDS",
     "ServiceGateway",
     "Tenant",
     "TenantQuota",
+    "TenantView",
+    "AsyncServiceHTTPServer",
     "ServiceHTTPServer",
     "serve",
     "serve_background",

@@ -124,9 +124,20 @@ class SubmitTrainingRequest(Request):
 
 @dataclass(frozen=True, kw_only=True)
 class JobStatusRequest(Request):
-    """Poll one async job handle (advances the cluster as needed)."""
+    """Poll one async job handle (advances the cluster as needed).
+
+    ``wait`` turns the poll into a server-side long-poll: the gateway
+    holds the request up to that many seconds (capped server-side)
+    until the handle leaves PENDING/RUNNING, driving the shared
+    cluster and riding other tenants' completions via the per-handle
+    done event.  A wait that expires is *not* an error — the response
+    carries the current, still-running status.  ``wait=0`` (the v1
+    shape) answers immediately; servers predating long-poll ignore
+    the field.
+    """
 
     job_id: str
+    wait: float = 0.0
 
 
 @dataclass(frozen=True, kw_only=True)

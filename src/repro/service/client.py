@@ -232,38 +232,92 @@ class EaseMLClient:
         )
         return response.handles
 
-    def job_status(self, job_id: str) -> JobStatusResponse:
-        """Poll one job handle (advances the cluster when live)."""
-        return self._get(f"/{API_VERSION}/jobs/{job_id}")
+    def job_status(
+        self, job_id: str, *, wait: Optional[float] = None
+    ) -> JobStatusResponse:
+        """Poll one job handle (advances the cluster when live).
+
+        ``wait`` (seconds) long-polls: a server that supports it holds
+        the request until the handle leaves PENDING/RUNNING or the
+        window closes, and an expired wait is *not* an error — the
+        response carries the current, still-running status.  The
+        window is clamped safely below this client's socket timeout
+        (a server legitimately holding the request must not look like
+        a dead connection).  Servers predating long-poll ignore the
+        parameter and answer at once.
+        """
+        query = {}
+        if wait is not None and wait > 0:
+            ceiling = max(self.timeout / 2, self.timeout - 5.0, 0.1)
+            query["wait"] = round(min(float(wait), ceiling), 3)
+        return self._get(f"/{API_VERSION}/jobs/{job_id}", **query)
 
     def list_jobs(self, app: Optional[str] = None) -> ListJobsResponse:
         """This tenant's job handles, optionally for one app."""
         return self._get(f"/{API_VERSION}/jobs", app=app)
+
+    #: Longest single long-poll `wait` asks the server for; re-issued
+    #: until the overall timeout (servers cap waits anyway).
+    max_poll_wait = 10.0
 
     def wait(
         self,
         job_id: str,
         *,
         timeout: float = 60.0,
-        poll_interval: float = 0.0,
+        poll_interval: Optional[float] = None,
     ) -> JobStatusResponse:
-        """Poll ``job_id`` until it reaches a terminal state.
+        """Block until ``job_id`` reaches a terminal state.
 
-        ``poll_interval`` sleeps between polls (0 spins — fine against
-        the simulated cluster, where each poll makes progress).
+        Uses server-side long-poll (``wait=`` on the job route): each
+        request parks on the server until the handle leaves
+        PENDING/RUNNING or the poll window closes, so completion costs
+        one round trip instead of a busy-poll spin.  Against a server
+        that predates long-poll the parameter is silently ignored and
+        non-terminal statuses come straight back; the client detects
+        that (the poll returned much faster than the window it asked
+        for) and falls back to polling with exponential backoff, so an
+        old server is never hammered in a tight loop.
+
+        ``poll_interval`` pins the sleep between plain polls instead
+        (the legacy pre-long-poll behaviour; 0 spins).
         """
         deadline = time.monotonic() + float(timeout)
+        backoff = 0.0
+        # The long-poll window must stay safely below the socket
+        # timeout, or a server legitimately holding the request would
+        # look like a dead connection.
+        ceiling = min(self.max_poll_wait, max(self.timeout / 2, 0.1))
         while True:
-            status = self.job_status(job_id)
+            remaining = deadline - time.monotonic()
+            window = min(max(remaining, 0.0), ceiling)
+            start = time.monotonic()
+            status = self.job_status(
+                job_id,
+                wait=None if poll_interval is not None else window,
+            )
             if status.done:
                 return status
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"job {job_id!r} still {status.state!r} after "
                     f"{timeout}s"
                 )
-            if poll_interval > 0:
-                time.sleep(poll_interval)
+            if poll_interval is not None:
+                if poll_interval > 0:
+                    time.sleep(min(poll_interval, remaining))
+                continue
+            elapsed = time.monotonic() - start
+            if elapsed < min(window, 1.0) / 2:
+                # The server answered far sooner than the window we
+                # asked it to hold: it ignored ``wait`` (a pre-long-
+                # poll build).  Back off exponentially instead of
+                # busy-polling it.
+                backoff = min(max(2 * backoff, 0.02), 1.0)
+                time.sleep(min(backoff, remaining))
+            else:
+                backoff = 0.0
 
     def wait_all(
         self, handles: Iterable[Any], *, timeout: float = 60.0

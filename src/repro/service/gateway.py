@@ -24,15 +24,42 @@ with its event-driven runtime enabled; the gateway never exposes it
 directly — everything in and out is a typed message from
 :mod:`repro.service.api`, and every failure is an
 :class:`~repro.service.api.ApiError`.
+
+Request handling is split into two paths so an event-loop frontend
+never parks on the scheduler lock:
+
+* the **read path** (``_READ_REQUESTS``) takes no lock at all —
+  handlers consume immutable :class:`TenantView` snapshots that
+  writers republish before acking, plus GIL-atomic snapshots of
+  append-only shared structures;
+* the **write path** serialises on the gateway lock; frontends that
+  must not block enqueue mutations through :meth:`ServiceGateway.
+  submit_command`, a per-tenant FIFO command queue drained by worker
+  threads.
+
+``JobStatusRequest.wait`` long-polls server-side: the handler drives
+the cluster toward the handle's completion and parks on the handle's
+done event between advances, waking on completion, cancellation, or
+frontend shutdown (:meth:`ServiceGateway.add_wait_abort`).
+
+Durability visibility: a ``job_status`` poll always runs the group-
+commit ack barrier before answering, so a reported terminal state is
+covered by an fsync.  List-type reads (``list_jobs``, ``events``) are
+advisory snapshot views — under ``sync="group"`` they may briefly show
+a completion whose records a concurrent poll is still flushing; the
+authoritative ack for a job is its ``job_status`` response.
 """
 
 from __future__ import annotations
 
 import secrets
 import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,14 +106,15 @@ from repro.service.api import (
 #: Job states that still count against the pending-jobs quota.
 _LIVE_STATES = (JobState.PENDING, JobState.RUNNING, JobState.PREEMPTED)
 
-#: Request types served under the tenant's own lock instead of the
-#: gateway-wide one: they only read tenant-scoped state (plus
-#: GIL-atomic snapshots of shared structures), so concurrent readers
-#: from different tenants no longer serialise on one RLock.  Anything
-#: that mutates shared state — registration, feeds, submits, closes,
-#: and the runtime advance inside a live job poll — still takes the
-#: global lock.
-_SHARDED_REQUESTS = (
+#: Request types served on the lock-free read path: their handlers
+#: consume only immutable :class:`TenantView` snapshots (published by
+#: writers under the gateway lock) plus GIL-atomic snapshots of
+#: append-only shared structures, so they never take a lock at all and
+#: an asyncio event loop can run them inline.  Anything that mutates
+#: shared state — registration, feeds, submits, closes, and the
+#: runtime advance inside a live job poll — still runs under the
+#: global lock (a live ``JobStatusRequest`` upgrades internally).
+_READ_REQUESTS = (
     AppStatusRequest,
     EventsRequest,
     JobStatusRequest,
@@ -95,6 +123,10 @@ _SHARDED_REQUESTS = (
     RefineRequest,
     ServerInfoRequest,
 )
+
+#: Hard ceiling on one server-side long-poll (``JobStatusRequest.wait``);
+#: clients re-issue the poll to wait longer.
+MAX_WAIT_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -109,6 +141,22 @@ class TenantQuota:
         for name in ("max_apps", "max_pending_jobs", "max_store_bytes"):
             if int(getattr(self, name)) < 1:
                 raise ValueError(f"{name} must be >= 1")
+
+
+@dataclass(frozen=True)
+class TenantView:
+    """The immutable snapshot of tenant state the read path serves.
+
+    Writers replace ``Tenant.view`` with a fresh instance (under the
+    gateway lock, before the mutation acks) whenever membership or
+    retirement changes; lock-free readers grab the view once and never
+    touch the live ``Tenant`` lists, so a concurrent register or
+    retire can never surface a half-updated tenant to a read.
+    """
+
+    name: str
+    apps: Tuple[str, ...]
+    retired: bool
 
 
 @dataclass
@@ -126,11 +174,16 @@ class Tenant:
     #: ``cancelled``, infer keeps serving) but every mutation fails
     #: with FAILED_PRECONDITION.
     retired: bool = False
-    #: Per-tenant lock for read-only requests (see _SHARDED_REQUESTS);
-    #: different tenants' reads proceed concurrently.
-    lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
-    )
+    #: Immutable snapshot for the lock-free read path; republished by
+    #: writers after every membership/retirement change.
+    view: TenantView = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.republish()
+
+    def republish(self) -> None:
+        """Publish a fresh read-path snapshot (single reference swap)."""
+        self.view = TenantView(self.name, tuple(self.apps), self.retired)
 
 
 @dataclass
@@ -155,6 +208,13 @@ class _JobRecord:
     #: What crash recovery did to this handle (``"recovered"`` /
     #: ``"lost"``); session-local, never persisted.
     disposition: Optional[str] = None
+    #: Set exactly when the handle reaches a terminal state
+    #: (completion hook, gateway cancellation, recovery mark-lost);
+    #: long-poll waiters (``JobStatusRequest.wait``) park on it
+    #: instead of spinning when they cannot advance the cluster.
+    done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
 
 class ServiceGateway:
@@ -171,10 +231,13 @@ class ServiceGateway:
     default_quota:
         Quota applied to tenants created without an explicit one.
     shard_read_locks:
-        Serve read-only requests under per-tenant locks instead of the
-        gateway-wide one (see ``_SHARDED_REQUESTS``).  On by default;
-        the switch exists so the throughput benchmark can race the two
-        locking disciplines against each other.
+        Serve read-only requests on the lock-free snapshot read path
+        (see ``_READ_REQUESTS`` and :class:`TenantView`) instead of
+        under the gateway-wide lock.  On by default; the switch exists
+        so the throughput benchmark can race the two disciplines, and
+        the name is historical — PR 3's per-tenant shard locks were
+        this path's ancestor, and the config key is pinned by every
+        existing durable state directory.
     """
 
     def __init__(
@@ -219,6 +282,19 @@ class ServiceGateway:
         self._handles_by_outcome: Dict[tuple, str] = {}
         self._lock = threading.RLock()
         self._absorb_hook_installed = False
+        # --- serialized write path (per-tenant command queues) ------
+        #: token -> FIFO of (request, future) awaiting execution; one
+        #: drainer per tenant at a time, so a tenant's mutations apply
+        #: in submission order while different tenants' commands run
+        #: concurrently (and serialise only on the gateway lock).
+        self._commands: Dict[str, Deque[Tuple[Request, Future]]] = {}
+        self._command_active: set = set()
+        self._command_lock = threading.Lock()
+        self._command_pool: Optional[ThreadPoolExecutor] = None
+        #: Frontend shutdown events (see :meth:`add_wait_abort`): a set
+        #: event makes every in-flight long-poll return its current
+        #: status promptly instead of parking until its deadline.
+        self._wait_aborts: List[threading.Event] = []
         # --- durable control plane (repro.persist) ------------------
         #: The attached StateStore (journal + snapshots), or None for
         #: an in-memory-only gateway.
@@ -335,6 +411,20 @@ class ServiceGateway:
         self._append_record(rtype, jsonify(payload))
         self._op_boundary()
 
+    def _commit(self) -> None:
+        """Durability barrier before an ack (group commit).
+
+        Called outside the gateway lock once an operation's records
+        are appended: under ``sync="group"`` the first caller in
+        becomes the convoy leader and fsyncs once for every record
+        flushed so far, and callers that flush covered ride it for
+        free.  A no-op for the per-record ``fsync`` and ``buffered``
+        modes, and when no store is attached.
+        """
+        store = self._store
+        if store is not None and not self._replaying:
+            store.commit()
+
     def _on_server_persist_event(self, kind: str, info: Dict[str, Any]) -> None:
         """Platform-server hook: feeds/admissions/retirements."""
         if self._store is None and not self._replaying:
@@ -442,13 +532,15 @@ class ServiceGateway:
                 tenant.store_bytes += sum(
                     e.x.nbytes + e.y.nbytes for e in app.store
                 )
+            tenant.republish()
             self._tenants[token] = tenant
             self._tenant_names[name] = tenant
             self._persist(
                 "tenant_created",
                 {"name": name, "token": token, "quota": asdict(tenant.quota)},
             )
-            return token
+        self._commit()
+        return token
 
     def tenant_names(self) -> List[str]:
         with self._lock:
@@ -482,7 +574,8 @@ class ServiceGateway:
             self._persist(
                 "token_rotated", {"name": name, "token": new_token}
             )
-            return new_token
+        self._commit()
+        return new_token
 
     def set_quota(self, name: str, quota: TenantQuota) -> None:
         """Replace a tenant's quota (takes effect on the next request)."""
@@ -494,6 +587,7 @@ class ServiceGateway:
             self._persist(
                 "quota_changed", {"name": name, "quota": asdict(quota)}
             )
+        self._commit()
 
     def retire_tenant(self, name: str) -> List[str]:
         """Retire a tenant: close its open apps, cancel queued jobs.
@@ -517,13 +611,16 @@ class ServiceGateway:
                         record = self._jobs_by_runtime_id.get(jid)
                         if record is not None:
                             record.cancelled = True
+                            record.done_event.set()  # wake long-polls
                             cancelled.append(record.handle_id)
             tenant.retired = True
+            tenant.republish()
             cancelled.sort()
             if cancelled:
                 self._push_effect("job_cancelled", {"handles": cancelled})
             self._persist("tenant_retired", {"name": name})
-            return cancelled
+        self._commit()
+        return cancelled
 
     # ------------------------------------------------------------------
     # The single entry point
@@ -555,42 +652,179 @@ class ServiceGateway:
                 f"no handler for request type {type(request).__name__}",
             )
         # Token -> tenant is a single dict read (tenants are never
-        # deleted), safe without the lock; the request then runs under
-        # the tenant's own lock when it is read-only, or the gateway
-        # lock when it can mutate shared state.  Lock order is always
-        # tenant -> global (a live job poll upgrades), never the
-        # reverse, so the two tiers cannot deadlock.
+        # deleted), safe without the lock; the request then runs
+        # lock-free when it is read-only (handlers consume immutable
+        # TenantView / GIL-atomic snapshots), or under the gateway
+        # lock when it can mutate shared state.  A live job poll
+        # upgrades to the global lock internally.
         tenant = self._authenticate(request)
-        lock = (
-            tenant.lock
-            if self.shard_read_locks
-            and isinstance(request, _SHARDED_REQUESTS)
-            else self._lock
+        # Job polls never take the outer lock in either discipline:
+        # the handler is lock-free until it must advance the cluster
+        # (then it takes the global lock itself), and a long-poll that
+        # parked *holding* the global lock would stall every tenant
+        # for up to MAX_WAIT_SECONDS.
+        lock_free = isinstance(request, JobStatusRequest) or (
+            self.shard_read_locks and isinstance(request, _READ_REQUESTS)
         )
-        with lock:
+        # Ack barrier: only paths that may have journaled pay it — a
+        # pure snapshot read must never become the group-commit convoy
+        # leader (it could be running inline on an event loop, and an
+        # fsync there would stall every connection).  Job polls journal
+        # job_completed records when they advance a live job, so they
+        # commit unless classified as pure reads (terminal, no wait).
+        needs_commit = not lock_free or (
+            isinstance(request, JobStatusRequest)
+            and not self.is_read(request)
+        )
+        try:
+            if lock_free:
+                return self._dispatch(handler, tenant, request)
+            with self._lock:
+                return self._dispatch(handler, tenant, request)
+        finally:
+            if needs_commit:
+                # Outside the lock: under ``sync="group"`` concurrent
+                # mutations convoy behind one fsync here (a no-op for
+                # the other journal modes).
+                self._commit()
+
+    def _dispatch(self, handler, tenant: Tenant, request: Request) -> Response:
+        try:
+            return handler(tenant, request)
+        except ApiError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - boundary catch-all
+            # Nothing below the gateway may leak a raw traceback
+            # across the service boundary.
+            raise ApiError(
+                ApiErrorCode.INTERNAL,
+                f"unexpected {type(exc).__name__} while handling "
+                f"{type(request).__name__}: {exc}",
+                error_type=type(exc).__name__,
+            ) from exc
+        finally:
+            if self._pending_effects and not self._replaying:
+                # A handler failed *after* side-effects (say, an
+                # admission) already mutated shared state.  Those
+                # mutations happened, so their records must land:
+                # journal them top-level — replay re-applies
+                # top-level effects — instead of letting them
+                # desync the next operation's record group.
+                with self._lock:
+                    self._op_boundary()
+
+    # ------------------------------------------------------------------
+    # Frontend dispatch surface (read/write split, command queues)
+    # ------------------------------------------------------------------
+    def is_read(self, request: Request) -> bool:
+        """Would ``handle(request)`` run on the lock-free read path?
+
+        Frontends route on this: reads are served inline (an event
+        loop never parks on the scheduler lock), everything else goes
+        to a worker thread or :meth:`submit_command`.  A
+        ``JobStatusRequest`` counts as a read only when the handle is
+        already terminal and no long-poll was asked for — polling a
+        live handle advances the shared cluster, and a ``wait`` may
+        block for seconds.
+        """
+        if not self.shard_read_locks or not isinstance(
+            request, _READ_REQUESTS
+        ):
+            return False
+        if isinstance(request, JobStatusRequest):
+            if float(request.wait or 0.0) > 0:
+                return False
+            if (
+                self._store is not None
+                and getattr(self._store, "sync", "") == "group"
+            ):
+                # Under group commit a terminal poll may be the first
+                # to report a completion whose job_completed records
+                # are not yet covered by a flush; it must run the ack
+                # barrier, so it cannot be a pure read.
+                return False
+            record = self._jobs.get(request.job_id)
+            return (
+                record is None
+                or record.cancelled
+                or record.job.state not in _LIVE_STATES
+            )
+        return True
+
+    def submit_command(self, request: Request) -> Future:
+        """Enqueue a mutation on its tenant's serialized command queue.
+
+        Commands with the same auth token run strictly FIFO (one
+        drainer per tenant at a time), so a frontend that cannot block
+        — the asyncio event loop — still applies each tenant's
+        mutations in submission order.  Different tenants' commands
+        run concurrently on the worker pool and serialise only on the
+        gateway lock.  Returns a :class:`concurrent.futures.Future`
+        resolving to the response (or raising the ``ApiError``).
+        """
+        future: Future = Future()
+        key = request.auth_token
+        with self._command_lock:
+            pool = self._command_pool
+            if pool is None:
+                pool = self._command_pool = ThreadPoolExecutor(
+                    max_workers=8, thread_name_prefix="easeml-write"
+                )
+            self._commands.setdefault(key, deque()).append(
+                (request, future)
+            )
+            if key not in self._command_active:
+                self._command_active.add(key)
+                pool.submit(self._drain_commands, key)
+        return future
+
+    def _drain_commands(self, key: str) -> None:
+        """Worker: run one tenant's queued commands to exhaustion."""
+        while True:
+            with self._command_lock:
+                queue = self._commands.get(key)
+                if not queue:
+                    self._command_active.discard(key)
+                    self._commands.pop(key, None)
+                    return
+                request, future = queue.popleft()
+            if not future.set_running_or_notify_cancel():
+                continue
             try:
-                return handler(tenant, request)
-            except ApiError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - boundary catch-all
-                # Nothing below the gateway may leak a raw traceback
-                # across the service boundary.
-                raise ApiError(
-                    ApiErrorCode.INTERNAL,
-                    f"unexpected {type(exc).__name__} while handling "
-                    f"{type(request).__name__}: {exc}",
-                    error_type=type(exc).__name__,
-                ) from exc
-            finally:
-                if self._pending_effects and not self._replaying:
-                    # A handler failed *after* side-effects (say, an
-                    # admission) already mutated shared state.  Those
-                    # mutations happened, so their records must land:
-                    # journal them top-level — replay re-applies
-                    # top-level effects — instead of letting them
-                    # desync the next operation's record group.
-                    with self._lock:
-                        self._op_boundary()
+                future.set_result(self.handle(request))
+            except BaseException as exc:  # noqa: BLE001 - future boundary
+                future.set_exception(exc)
+
+    def shutdown_commands(self) -> None:
+        """Release the command-queue worker pool (frontend teardown).
+
+        Queued commands still drain (their drainers are already
+        running); the idle workers are released instead of lingering
+        for the process lifetime.  A later :meth:`submit_command`
+        lazily builds a fresh pool, so a gateway can be re-served.
+        """
+        with self._command_lock:
+            pool, self._command_pool = self._command_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def add_wait_abort(self, event: threading.Event) -> None:
+        """Register a frontend shutdown event that interrupts long-polls.
+
+        While ``event`` is set, every in-flight ``wait`` returns its
+        current (possibly still-running) status promptly, so a server
+        shutdown never hangs behind parked waiters.  Waiters capture
+        the registered events when they start parking, so
+        :meth:`remove_wait_abort` (after shutdown) cannot strand one.
+        """
+        self._wait_aborts.append(event)
+
+    def remove_wait_abort(self, event: threading.Event) -> None:
+        """Forget a frontend's shutdown event (idempotent)."""
+        try:
+            self._wait_aborts.remove(event)
+        except ValueError:
+            pass
 
     def _authenticate(self, request: Request) -> Tenant:
         tenant = self._tenants.get(request.auth_token)
@@ -653,6 +887,7 @@ class ServiceGateway:
                 app=name,
             ) from None
         tenant.apps.append(name)
+        tenant.republish()
         self._persist(
             "app_registered",
             {"tenant": tenant.name, "app": name, "program": request.program},
@@ -664,11 +899,15 @@ class ServiceGateway:
         )
 
     def _get_app(self, tenant: Tenant, name: str) -> EaseMLApp:
-        if name not in tenant.apps:
+        # Membership is checked against the immutable view so the
+        # lock-free read path never observes a half-appended app list;
+        # writers republish the view (under the lock) before acking.
+        apps = tenant.view.apps
+        if name not in apps:
             raise ApiError(
                 ApiErrorCode.NOT_FOUND,
                 f"tenant {tenant.name!r} has no app named {name!r}; "
-                f"its apps are {sorted(tenant.apps)}",
+                f"its apps are {sorted(apps)}",
                 app=name,
             )
         return self.server.get_app(name)
@@ -739,9 +978,17 @@ class ServiceGateway:
         self, tenant: Tenant, request: RefineRequest
     ) -> RefineResponse:
         app = self._get_app(tenant, request.app)
+        # Read the store view directly rather than via app.refine():
+        # the platform helper also appends a REFINE event to the
+        # shared log, and the lock-free read path must be side-effect
+        # free (an unlocked append racing a clock advance would trip
+        # the log's monotonicity check).  The store is append-only, so
+        # iterating it without a lock is a consistent snapshot.
         return RefineResponse(
             app=request.app,
-            examples=tuple(app.refine()),
+            examples=tuple(
+                (e.example_id, e.enabled) for e in app.store
+            ),
         )
 
     def _set_example_enabled(
@@ -850,6 +1097,7 @@ class ServiceGateway:
         ]
         for record in records:
             record.cancelled = True
+            record.done_event.set()  # wake long-polls on these handles
         cancelled = tuple(sorted(r.handle_id for r in records))
         if cancelled:
             self._push_effect("job_cancelled", {"handles": list(cancelled)})
@@ -1007,6 +1255,9 @@ class ServiceGateway:
             record.selection,
             job,
         )
+        # Absorption done: the handle is terminal and fully consistent
+        # (history row assigned), so long-poll waiters may wake now.
+        record.done_event.set()
 
     @staticmethod
     def _record_state(record: _JobRecord) -> str:
@@ -1038,11 +1289,48 @@ class ServiceGateway:
         self, tenant: Tenant, request: JobStatusRequest
     ) -> JobStatusResponse:
         record = self._get_job(tenant, request.job_id)
+        # NaN/negative waits collapse to 0 (NaN fails the > 0 test), so
+        # a hostile wait can neither spin forever nor dodge the cap.
+        wait = float(request.wait or 0.0)
+        wait = min(wait, MAX_WAIT_SECONDS) if wait > 0 else 0.0
+        response, advanced = self._poll_job(request, record)
+        if wait <= 0 or response.done:
+            return response
+        # Server-side push: park until the handle leaves
+        # PENDING/RUNNING, the wait expires, or the frontend shuts
+        # down.  The waiter drives the cluster itself while progress
+        # is possible (each advance completes one job — maybe another
+        # tenant's) and otherwise parks on the handle's done event,
+        # which completions and cancellations set.  A wait that
+        # expires is NOT an error: the caller gets the current,
+        # still-running status with a 200.
+        deadline = time.monotonic() + wait
+        aborts = tuple(self._wait_aborts)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or any(e.is_set() for e in aborts):
+                return response
+            if not advanced:
+                record.done_event.wait(min(remaining, 0.05))
+            response, advanced = self._poll_job(request, record)
+            if response.done:
+                return response
+
+    def _poll_job(
+        self, request: JobStatusRequest, record: _JobRecord
+    ) -> Tuple[JobStatusResponse, bool]:
+        """One poll: advance the cluster by at most one completion.
+
+        Returns ``(status, advanced)`` — ``advanced`` tells a long-poll
+        loop whether this call made progress (so it knows when to park
+        on the done event instead of spinning).
+        """
         runtime = self.server._runtime_oracle.runtime
+        advanced = False
         if record.job.state in _LIVE_STATES and not record.cancelled:
             # Advancing the shared cluster mutates global state, so a
-            # live-job poll upgrades from the tenant's shard lock to
-            # the gateway lock (tenant -> global, never the reverse).
+            # live-job poll upgrades from the lock-free read path to
+            # the gateway lock.
             with self._lock:
                 if record.job.state in _LIVE_STATES and not record.cancelled:
                     # Each poll of a live job advances the simulated
@@ -1056,6 +1344,7 @@ class ServiceGateway:
                     # entries (replay re-advances the cluster once per
                     # leading job_completed record).
                     self._op_boundary()
+                    advanced = bool(completed)
                     if not completed and not runtime.queue and (
                         record.job.state in _LIVE_STATES
                         and not record.cancelled
@@ -1080,7 +1369,7 @@ class ServiceGateway:
         if job.state is JobState.FINISHED and record.history_index is not None:
             app = self.server.get_app(record.app)
             outcome = app.history[record.history_index]
-        return JobStatusResponse(
+        response = JobStatusResponse(
             job_id=record.handle_id,
             app=record.app,
             candidate=record.candidate,
@@ -1093,6 +1382,7 @@ class ServiceGateway:
             preemptions=int(job.preemptions),
             disposition=record.disposition,
         )
+        return response, advanced
 
     def _list_jobs(
         self, tenant: Tenant, request: ListJobsRequest
@@ -1133,7 +1423,7 @@ class ServiceGateway:
     def _list_apps(
         self, tenant: Tenant, request: ListAppsRequest
     ) -> ListAppsResponse:
-        return ListAppsResponse(apps=tuple(sorted(tenant.apps)))
+        return ListAppsResponse(apps=tuple(sorted(tenant.view.apps)))
 
     def _events(
         self, tenant: Tenant, request: EventsRequest
@@ -1152,7 +1442,7 @@ class ServiceGateway:
         # Tenant isolation: only events attributable to this tenant's
         # apps are visible — by app name (platform events) or by the
         # app's user index (runtime job-lifecycle events).
-        apps = set(tenant.apps)
+        apps = set(tenant.view.apps)
         users = {
             i for i, app in enumerate(self.server.apps) if app.name in apps
         }

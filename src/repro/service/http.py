@@ -1,10 +1,23 @@
-"""Stdlib HTTP frontend: the typed API over REST-ish JSON routes.
+"""HTTP frontends: the typed API over REST-ish JSON routes.
 
-A thin transport over :class:`~repro.service.gateway.ServiceGateway`:
-each route builds one typed request, dispatches it, and writes the
-response's wire form.  Errors — including anything unexpected — come
-back as a JSON ``{"error": {code, message, details}}`` body with the
-matching HTTP status; a raw traceback never crosses the socket.
+Two interchangeable transports sit over
+:class:`~repro.service.gateway.ServiceGateway`, selected by the
+``frontend`` argument to :func:`serve` / :func:`serve_background`:
+
+* ``"threading"`` — the stdlib ``ThreadingHTTPServer``: one OS thread
+  per connection, every request a blocking ``gateway.handle`` call;
+* ``"asyncio"`` — an event-loop server (``asyncio.start_server`` plus
+  a small HTTP/1.1 codec, keep-alive preserved): read-path requests
+  run inline on the loop (the gateway serves them lock-free from
+  immutable snapshots), job polls and long-polls run on worker
+  threads, and mutations flow through the gateway's per-tenant
+  command queue — the loop never parks on the scheduler lock.
+
+Both share one route table (:func:`route_request`): each route builds
+one typed request, dispatches it, and writes the response's wire
+form.  Errors — including anything unexpected — come back as a JSON
+``{"error": {code, message, details}}`` body with the matching HTTP
+status; a raw traceback never crosses the socket.
 
 Routes (all under ``/v1``)::
 
@@ -19,7 +32,8 @@ Routes (all under ``/v1``)::
     POST   /v1/apps/{app}/infer               predict
     POST   /v1/jobs                           submit async training
     GET    /v1/jobs[?app=NAME]                list job handles
-    GET    /v1/jobs/{job_id}                  poll one handle
+    GET    /v1/jobs/{job_id}[?wait=SECONDS]   poll one handle
+                                              (``wait`` long-polls)
     GET    /v1/events[?kinds=a,b&since=T]     event-log slice
 
 Authentication is ``Authorization: Bearer <token>``.
@@ -27,10 +41,14 @@ Authentication is ``Authorization: Bearer <token>``.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.client import responses as _HTTP_REASONS
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.api import (
@@ -47,6 +65,7 @@ from repro.service.api import (
     ListJobsRequest,
     RefineRequest,
     RegisterAppRequest,
+    Request,
     ServerInfoRequest,
     SetExampleEnabledRequest,
     SubmitTrainingRequest,
@@ -56,7 +75,172 @@ from repro.service.gateway import ServiceGateway
 
 _PREFIX = f"/{API_VERSION}"
 
+#: The selectable HTTP frontends.
+FRONTENDS = ("threading", "asyncio")
 
+#: Header-count cap for the asyncio codec (mirrors the stdlib
+#: server's _MAXHEADERS guard against unbounded header streams).
+_MAX_HEADERS = 100
+
+#: Body-size cap for the asyncio codec: a declared Content-Length is
+#: attacker-controlled and buffered before auth, so it must be
+#: bounded.  64 MiB comfortably covers the largest legitimate feed
+#: batch (the default example-store quota is 16 MiB per tenant).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# The shared transport-neutral router
+# ----------------------------------------------------------------------
+def bearer_token(header: str) -> str:
+    """Extract the token from an ``Authorization: Bearer …`` value."""
+    if header.startswith("Bearer "):
+        return header[len("Bearer "):].strip()
+    return ""
+
+
+def decode_body(raw: bytes) -> Dict[str, Any]:
+    """Parse a request body; empty bytes mean an empty JSON object."""
+    if not raw:
+        return {}
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            "request body is not valid JSON",
+        ) from None
+    if not isinstance(data, dict):
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            "request body must be a JSON object",
+        )
+    return data
+
+
+def route_request(
+    method: str, path: str, body: Dict[str, Any], token: str
+) -> Request:
+    """Map one parsed HTTP exchange onto a typed gateway request.
+
+    ``path`` is the raw request target (query string included);
+    ``body`` the decoded JSON object (mutated: ``api_version`` is
+    popped).  Raises :class:`ApiError` for unknown routes and
+    malformed parameters — never anything untyped.
+    """
+    url = urlparse(path)
+    parts = [p for p in url.path.split("/") if p]
+    query = parse_qs(url.query)
+    if not parts or parts[0] != API_VERSION:
+        raise ApiError(
+            ApiErrorCode.NOT_FOUND,
+            f"unknown path {path!r}; routes live under "
+            f"{_PREFIX}/ (see the API reference in the README)",
+        )
+    version = body.pop("api_version", API_VERSION)
+    common = dict(auth_token=token, api_version=version)
+    try:
+        return _build_request(method, parts[1:], body, query, common, path)
+    except ApiError:
+        raise
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ApiError(
+            ApiErrorCode.INVALID_ARGUMENT,
+            f"malformed request for {method} {path!r}: {exc}",
+        ) from None
+
+
+def _build_request(method, rest, body, query, common, path) -> Request:
+    if rest == ["info"] and method == "GET":
+        return ServerInfoRequest(**common)
+    if rest == ["apps"]:
+        if method == "POST":
+            return RegisterAppRequest(
+                app=body["app"], program=body["program"], **common
+            )
+        if method == "GET":
+            return ListAppsRequest(**common)
+    if len(rest) == 2 and rest[0] == "apps" and method == "GET":
+        return AppStatusRequest(app=rest[1], **common)
+    if len(rest) == 2 and rest[0] == "apps" and method == "DELETE":
+        return CloseAppRequest(app=rest[1], **common)
+    if len(rest) == 3 and rest[0] == "apps" and rest[2] == "examples":
+        if method == "POST":
+            return FeedRequest(
+                app=rest[1],
+                inputs=tuple(body.get("inputs", ())),
+                outputs=tuple(body.get("outputs", ())),
+                **common,
+            )
+        if method == "GET":
+            return RefineRequest(app=rest[1], **common)
+    if (
+        len(rest) == 4
+        and rest[0] == "apps"
+        and rest[2] == "examples"
+        and method == "POST"
+    ):
+        enabled = body["enabled"]
+        if not isinstance(enabled, bool):
+            # bool("false") is True — reject instead of guessing.
+            raise ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                f"'enabled' must be a JSON boolean, got "
+                f"{enabled!r}",
+            )
+        return SetExampleEnabledRequest(
+            app=rest[1],
+            example_id=int(rest[3]),
+            enabled=enabled,
+            **common,
+        )
+    if (
+        len(rest) == 3
+        and rest[0] == "apps"
+        and rest[2] == "infer"
+        and method == "POST"
+    ):
+        # Single-row ({"x": [...]}, the v1 shape) and batch
+        # ({"rows": [[...], ...]}) share one route; the gateway
+        # validates that exactly one is present.
+        return InferRequest(
+            app=rest[1],
+            x=tuple(body.get("x", ())),
+            rows=tuple(tuple(row) for row in body.get("rows", ())),
+            **common,
+        )
+    if rest == ["jobs"]:
+        if method == "POST":
+            return SubmitTrainingRequest(
+                app=body["app"],
+                steps=int(body.get("steps", 1)),
+                **common,
+            )
+        if method == "GET":
+            app = query.get("app", [None])[0]
+            return ListJobsRequest(app=app, **common)
+    if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+        # ``wait`` long-polls: the gateway holds the request until the
+        # handle leaves PENDING/RUNNING or the wait expires.
+        wait = float(query.get("wait", ["0"])[0] or 0.0)
+        return JobStatusRequest(job_id=rest[1], wait=wait, **common)
+    if rest == ["events"] and method == "GET":
+        kinds = query.get("kinds", [None])[0]
+        return EventsRequest(
+            kinds=tuple(kinds.split(",")) if kinds else None,
+            since=float(query.get("since", ["0"])[0]),
+            **common,
+        )
+    raise ApiError(
+        ApiErrorCode.NOT_FOUND,
+        f"no route for {method} {path!r}; see the API "
+        "reference table in the README",
+    )
+
+
+# ----------------------------------------------------------------------
+# The threading frontend (stdlib ThreadingHTTPServer)
+# ----------------------------------------------------------------------
 class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the gateway for its handlers."""
 
@@ -65,6 +249,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, gateway: ServiceGateway) -> None:
         super().__init__(address, _Handler)
         self.gateway = gateway
+        #: Set on shutdown so in-flight long-polls return promptly
+        #: instead of parking until their deadline.
+        self._closing = threading.Event()
+        gateway.add_wait_abort(self._closing)
 
     @property
     def port(self) -> int:
@@ -75,32 +263,15 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         host = self.server_address[0]
         return f"http://{host}:{self.port}"
 
+    def shutdown(self) -> None:
+        self._closing.set()  # wake parked long-polls first
+        super().shutdown()
 
-def serve(
-    gateway: ServiceGateway,
-    host: str = "127.0.0.1",
-    port: int = 0,
-) -> ServiceHTTPServer:
-    """Bind (but do not start) an HTTP server for ``gateway``.
-
-    ``port=0`` picks a free port.  Call ``serve_forever()`` to block,
-    or :func:`serve_background` to run it on a daemon thread.
-    """
-    return ServiceHTTPServer((host, port), gateway)
-
-
-def serve_background(
-    gateway: ServiceGateway,
-    host: str = "127.0.0.1",
-    port: int = 0,
-) -> Tuple[ServiceHTTPServer, threading.Thread]:
-    """Start the HTTP server on a daemon thread; returns (server, thread)."""
-    server = serve(gateway, host, port)
-    thread = threading.Thread(
-        target=server.serve_forever, name="easeml-http", daemon=True
-    )
-    thread.start()
-    return server, thread
+    def server_close(self) -> None:
+        self._closing.set()
+        self.gateway.remove_wait_abort(self._closing)
+        self.gateway.shutdown_commands()
+        super().server_close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -122,30 +293,11 @@ class _Handler(BaseHTTPRequestHandler):
     def gateway(self) -> ServiceGateway:
         return self.server.gateway
 
-    def _token(self) -> str:
-        header = self.headers.get("Authorization", "")
-        if header.startswith("Bearer "):
-            return header[len("Bearer "):].strip()
-        return ""
-
     def _body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
-        raw = self.rfile.read(length)
-        try:
-            data = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            raise ApiError(
-                ApiErrorCode.INVALID_ARGUMENT,
-                "request body is not valid JSON",
-            ) from None
-        if not isinstance(data, dict):
-            raise ApiError(
-                ApiErrorCode.INVALID_ARGUMENT,
-                "request body must be a JSON object",
-            )
-        return data
+        return decode_body(self.rfile.read(length))
 
     def _write(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -155,17 +307,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _finish(self, request) -> None:
-        response = self.gateway.handle(request)
-        self._write(200, to_wire(response))
-
     def _dispatch(self, method: str) -> None:
         try:
-            url = urlparse(self.path)
-            parts = [p for p in url.path.split("/") if p]
-            query = parse_qs(url.query)
-            request = self._route(method, parts, query)
-            self._finish(request)
+            # Read the body before any routing decision — for EVERY
+            # method, not just POST: an unread body (say a DELETE sent
+            # with one) would desync this keep-alive connection (the
+            # next request would be parsed out of the leftover bytes).
+            body = self._body()
+            token = bearer_token(self.headers.get("Authorization", ""))
+            request = route_request(method, self.path, body, token)
+            response = self.gateway.handle(request)
+            self._write(200, to_wire(response))
         except ApiError as exc:
             self._write(
                 exc.http_status,
@@ -185,119 +337,6 @@ class _Handler(BaseHTTPRequestHandler):
                 {"api_version": API_VERSION, "error": error.to_dict()},
             )
 
-    # -- routing -------------------------------------------------------
-    def _route(self, method: str, parts, query):
-        # Read the body before any routing decision: an unread body
-        # would desync this keep-alive connection (the next request
-        # would be parsed out of the leftover bytes).
-        body = self._body() if method == "POST" else {}
-        if not parts or parts[0] != API_VERSION:
-            raise ApiError(
-                ApiErrorCode.NOT_FOUND,
-                f"unknown path {self.path!r}; routes live under "
-                f"{_PREFIX}/ (see the API reference in the README)",
-            )
-        token = self._token()
-        rest = parts[1:]
-        version = body.pop("api_version", API_VERSION)
-        common = dict(auth_token=token, api_version=version)
-
-        route = (method, *rest)
-        try:
-            return self._build(route, body, query, common)
-        except ApiError:
-            raise
-        except (TypeError, ValueError, KeyError) as exc:
-            raise ApiError(
-                ApiErrorCode.INVALID_ARGUMENT,
-                f"malformed request for {method} {self.path!r}: {exc}",
-            ) from None
-
-    def _build(self, route, body, query, common):
-        method, *rest = route
-        if rest == ["info"] and method == "GET":
-            return ServerInfoRequest(**common)
-        if rest == ["apps"]:
-            if method == "POST":
-                return RegisterAppRequest(
-                    app=body["app"], program=body["program"], **common
-                )
-            if method == "GET":
-                return ListAppsRequest(**common)
-        if len(rest) == 2 and rest[0] == "apps" and method == "GET":
-            return AppStatusRequest(app=rest[1], **common)
-        if len(rest) == 2 and rest[0] == "apps" and method == "DELETE":
-            return CloseAppRequest(app=rest[1], **common)
-        if len(rest) == 3 and rest[0] == "apps" and rest[2] == "examples":
-            if method == "POST":
-                return FeedRequest(
-                    app=rest[1],
-                    inputs=tuple(body.get("inputs", ())),
-                    outputs=tuple(body.get("outputs", ())),
-                    **common,
-                )
-            if method == "GET":
-                return RefineRequest(app=rest[1], **common)
-        if (
-            len(rest) == 4
-            and rest[0] == "apps"
-            and rest[2] == "examples"
-            and method == "POST"
-        ):
-            enabled = body["enabled"]
-            if not isinstance(enabled, bool):
-                # bool("false") is True — reject instead of guessing.
-                raise ApiError(
-                    ApiErrorCode.INVALID_ARGUMENT,
-                    f"'enabled' must be a JSON boolean, got "
-                    f"{enabled!r}",
-                )
-            return SetExampleEnabledRequest(
-                app=rest[1],
-                example_id=int(rest[3]),
-                enabled=enabled,
-                **common,
-            )
-        if (
-            len(rest) == 3
-            and rest[0] == "apps"
-            and rest[2] == "infer"
-            and method == "POST"
-        ):
-            # Single-row ({"x": [...]}, the v1 shape) and batch
-            # ({"rows": [[...], ...]}) share one route; the gateway
-            # validates that exactly one is present.
-            return InferRequest(
-                app=rest[1],
-                x=tuple(body.get("x", ())),
-                rows=tuple(tuple(row) for row in body.get("rows", ())),
-                **common,
-            )
-        if rest == ["jobs"]:
-            if method == "POST":
-                return SubmitTrainingRequest(
-                    app=body["app"],
-                    steps=int(body.get("steps", 1)),
-                    **common,
-                )
-            if method == "GET":
-                app = query.get("app", [None])[0]
-                return ListJobsRequest(app=app, **common)
-        if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
-            return JobStatusRequest(job_id=rest[1], **common)
-        if rest == ["events"] and method == "GET":
-            kinds = query.get("kinds", [None])[0]
-            return EventsRequest(
-                kinds=tuple(kinds.split(",")) if kinds else None,
-                since=float(query.get("since", ["0"])[0]),
-                **common,
-            )
-        raise ApiError(
-            ApiErrorCode.NOT_FOUND,
-            f"no route for {method} {self.path!r}; see the API "
-            "reference table in the README",
-        )
-
     # -- verbs ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("GET")
@@ -307,3 +346,361 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("DELETE")
+
+
+# ----------------------------------------------------------------------
+# The asyncio frontend (event loop + HTTP/1.1 codec)
+# ----------------------------------------------------------------------
+class AsyncServiceHTTPServer:
+    """Event-loop HTTP frontend (``frontend="asyncio"``).
+
+    One OS thread runs the asyncio loop; every connection is a
+    coroutine speaking a minimal HTTP/1.1 with keep-alive.  Requests
+    are dispatched by kind so the loop itself never blocks:
+
+    * **reads** (``gateway.is_read``) run inline — the gateway serves
+      them lock-free from immutable snapshots;
+    * **job polls / long-polls** run on this server's worker pool
+      (they may advance the simulated cluster or park on a handle's
+      done event);
+    * **mutations** go through the gateway's per-tenant command queue
+      (:meth:`~repro.service.gateway.ServiceGateway.submit_command`),
+      so one tenant's writes apply in submission order while the loop
+      keeps serving everyone else's reads.
+
+    The public surface mirrors ``ThreadingHTTPServer`` where the CLI
+    and tests need it: :meth:`serve_forever`, :meth:`shutdown`,
+    :meth:`server_close`, ``port``, ``url``.  The listening socket is
+    bound in the constructor, so ``port`` is valid before the loop
+    starts.
+    """
+
+    def __init__(self, address, gateway: ServiceGateway) -> None:
+        self.gateway = gateway
+        self._socket = socket.create_server(address)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aio_server: Optional[asyncio.base_events.Server] = None
+        self._shutdown_future: Optional[asyncio.Future] = None
+        self._conn_tasks: set = set()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        #: Interrupts gateway long-polls on shutdown (see
+        #: ServiceGateway.add_wait_abort).
+        self._closing = threading.Event()
+        gateway.add_wait_abort(self._closing)
+        #: Worker pools for job polls.  Private (not the loop's default
+        #: executor) so shutdown never joins a thread that is still
+        #: parked in a wait — and split in two so long-polls parked for
+        #: up to MAX_WAIT_SECONDS cannot starve ordinary live-job
+        #: polls of workers.
+        self._pool = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="easeml-aio"
+        )
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="easeml-aio-wait"
+        )
+
+    # -- ThreadingHTTPServer-compatible surface ------------------------
+    @property
+    def port(self) -> int:
+        return self._socket.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        host = self._socket.getsockname()[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._started.set()  # unblock a waiting serve_background
+            self._stopped.set()
+
+    def wait_started(self, timeout: float = 10.0) -> None:
+        """Block until the loop is accepting connections."""
+        if not self._started.wait(timeout):
+            raise RuntimeError(
+                "the asyncio frontend did not start within "
+                f"{timeout}s; is another serve_forever running?"
+            )
+        if self._stopped.is_set() and not self._closing.is_set():
+            raise RuntimeError(
+                "the asyncio frontend exited before accepting "
+                "connections (see the server thread's traceback)"
+            )
+
+    def shutdown(self) -> None:
+        """Stop serving: wakes long-polls, closes connections, returns
+        once the loop has exited (mirrors ``socketserver`` semantics)."""
+        self._closing.set()
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            def _resolve() -> None:
+                if (
+                    self._shutdown_future is not None
+                    and not self._shutdown_future.done()
+                ):
+                    self._shutdown_future.set_result(None)
+
+            try:
+                loop.call_soon_threadsafe(_resolve)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        if self._started.is_set():
+            self._stopped.wait(timeout=30.0)
+
+    def server_close(self) -> None:
+        self._closing.set()
+        self.gateway.remove_wait_abort(self._closing)
+        self._pool.shutdown(wait=False)
+        self._wait_pool.shutdown(wait=False)
+        self.gateway.shutdown_commands()
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- the loop ------------------------------------------------------
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_future = self._loop.create_future()
+        self._aio_server = await asyncio.start_server(
+            self._serve_connection, sock=self._socket
+        )
+        self._started.set()
+        if self._closing.is_set():
+            # shutdown() ran before the loop existed: honour it now
+            # (socketserver's shutdown-before-serve_forever exits too).
+            self._shutdown_future.set_result(None)
+        try:
+            await self._shutdown_future
+        finally:
+            self._aio_server.close()
+            await self._aio_server.wait_closed()
+            # In-flight handlers: cancel and collect.  Long-polls have
+            # already been woken via the abort event, so tasks pinned
+            # on executor futures resolve quickly.
+            pending = [t for t in list(self._conn_tasks) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=10.0)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            asyncio.CancelledError,
+            # StreamReader.readline signals an over-limit line (e.g. a
+            # 64KiB+ request line) as a bare ValueError.
+            ValueError,
+        ):
+            pass  # peer vanished / oversized / shutdown: just close
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _connection_loop(self, reader, writer) -> None:
+        while not self._closing.is_set():
+            head = await reader.readline()
+            if not head:
+                return  # clean keep-alive close from the peer
+            try:
+                method, target, version = (
+                    head.decode("latin-1").strip().split(" ", 2)
+                )
+            except ValueError:
+                return  # not HTTP; drop the connection
+            headers: Dict[str, str] = {}
+            n_header_lines = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                n_header_lines += 1
+                if n_header_lines > _MAX_HEADERS:
+                    # Same guard the stdlib server applies: a single
+                    # connection must not grow the header dict without
+                    # bound.
+                    error = ApiError(
+                        ApiErrorCode.INVALID_ARGUMENT,
+                        f"got more than {_MAX_HEADERS} headers",
+                    )
+                    await self._write_response(
+                        writer, error.http_status,
+                        {
+                            "api_version": API_VERSION,
+                            "error": error.to_dict(),
+                        },
+                        closing=True,
+                    )
+                    return
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                length = int(headers.get("content-length") or 0)
+                if length < 0:
+                    raise ValueError("negative Content-Length")
+                if length > _MAX_BODY_BYTES:
+                    raise ValueError("oversized Content-Length")
+            except ValueError:
+                # Malformed or abusive framing: answer 400 like every
+                # other bad input, then close (the body can't be — or
+                # must not be — buffered).
+                error = ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"malformed Content-Length header (bodies are "
+                    f"capped at {_MAX_BODY_BYTES} bytes)",
+                )
+                await self._write_response(
+                    writer, error.http_status,
+                    {"api_version": API_VERSION, "error": error.to_dict()},
+                    closing=True,
+                )
+                return
+            raw = await reader.readexactly(length) if length else b""
+            connection = headers.get("connection", "").lower()
+            keep_alive = (
+                connection != "close"
+                and not (version == "HTTP/1.0" and connection != "keep-alive")
+            )
+            status, payload, fatal = await self._respond(
+                method, target, headers, raw
+            )
+            closing = fatal or not keep_alive
+            await self._write_response(writer, status, payload,
+                                       closing=closing)
+            if closing:
+                return
+
+    @staticmethod
+    async def _write_response(writer, status, payload, *, closing) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _HTTP_REASONS.get(status, "Unknown")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'close' if closing else 'keep-alive'}"
+                "\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+    async def _respond(
+        self, method: str, target: str, headers: Dict[str, str], raw: bytes
+    ) -> Tuple[int, Dict[str, Any], bool]:
+        """One exchange -> (status, JSON payload, close-connection)."""
+        try:
+            body = decode_body(raw)
+            token = bearer_token(headers.get("authorization", ""))
+            request = route_request(method, target, body, token)
+            response = await self._dispatch(request)
+            return 200, to_wire(response), False
+        except ApiError as exc:
+            return (
+                exc.http_status,
+                {"api_version": API_VERSION, "error": exc.to_dict()},
+                False,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - transport boundary
+            error = ApiError(
+                ApiErrorCode.INTERNAL,
+                f"unexpected {type(exc).__name__} in the HTTP frontend",
+                error_type=type(exc).__name__,
+            )
+            # The connection state is unknown; close after replying.
+            return (
+                error.http_status,
+                {"api_version": API_VERSION, "error": error.to_dict()},
+                True,
+            )
+
+    async def _dispatch(self, request: Request):
+        gateway = self.gateway
+        if gateway.is_read(request):
+            # Lock-free snapshot read: safe (and fast) inline.
+            return gateway.handle(request)
+        if isinstance(request, JobStatusRequest):
+            # May advance the shared cluster or park in a long-poll —
+            # a worker thread takes that hit, never the loop.  Polls
+            # bypass the per-tenant command queue on purpose: a parked
+            # long-poll must not block the same tenant's mutations.
+            # Long-polls get their own pool so parked waiters cannot
+            # starve plain polls.
+            pool = (
+                self._wait_pool
+                if float(request.wait or 0.0) > 0
+                else self._pool
+            )
+            return await asyncio.get_running_loop().run_in_executor(
+                pool, gateway.handle, request
+            )
+        return await asyncio.wrap_future(gateway.submit_command(request))
+
+
+AnyServiceServer = Union[ServiceHTTPServer, AsyncServiceHTTPServer]
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def serve(
+    gateway: ServiceGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    frontend: str = "threading",
+) -> AnyServiceServer:
+    """Bind (but do not start) an HTTP server for ``gateway``.
+
+    ``port=0`` picks a free port.  ``frontend`` selects the transport
+    (see :data:`FRONTENDS`); both expose the same ``serve_forever`` /
+    ``shutdown`` / ``server_close`` / ``port`` / ``url`` surface.
+    Call ``serve_forever()`` to block, or :func:`serve_background` to
+    run it on a daemon thread.
+    """
+    if frontend not in FRONTENDS:
+        raise ValueError(
+            f"frontend must be one of {FRONTENDS}, got {frontend!r}"
+        )
+    if frontend == "asyncio":
+        return AsyncServiceHTTPServer((host, port), gateway)
+    return ServiceHTTPServer((host, port), gateway)
+
+
+def serve_background(
+    gateway: ServiceGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    frontend: str = "threading",
+) -> Tuple[AnyServiceServer, threading.Thread]:
+    """Start the HTTP server on a daemon thread; returns (server, thread)."""
+    server = serve(gateway, host, port, frontend=frontend)
+    thread = threading.Thread(
+        target=server.serve_forever, name="easeml-http", daemon=True
+    )
+    thread.start()
+    if isinstance(server, AsyncServiceHTTPServer):
+        server.wait_started()
+    return server, thread

@@ -33,9 +33,10 @@ BLOBS = "{input: {[Tensor[2]], []}, output: {[Tensor[3]], []}}"
 ZOO = ["naive-bayes", "ridge", "tree-d4"]
 
 
-def _open(state_dir):
+def _open(state_dir, sync=None):
     return open_gateway(
         state_dir,
+        sync=sync,
         placement="partition",
         n_gpus=4,
         min_examples=10,
@@ -52,9 +53,13 @@ def state_dir(tmp_path):
     return tmp_path / "state"
 
 
-def test_kill_and_restart_end_to_end(state_dir):
+@pytest.mark.parametrize("sync", ["fsync", "group"])
+def test_kill_and_restart_end_to_end(state_dir, sync):
     # ---------------- first life: real work over HTTP ----------------
-    gateway, report = _open(state_dir)
+    # ``group`` runs the identical scenario under group-commit
+    # journaling: every ack still happens only after a covering fsync,
+    # so the restart must recover exactly the same state.
+    gateway, report = _open(state_dir, sync=sync)
     assert report is None
     server, _ = serve_background(gateway)
     alice_token = gateway.create_tenant("alice")

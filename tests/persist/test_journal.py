@@ -143,3 +143,90 @@ class TestRewrite:
         assert a != b
         record = JournalRecord(seq=1, type="app_closed", payload={"app": "x"})
         assert record.crc == a
+
+
+class TestGroupCommit:
+    """``sync="group"``: deferred fsync shared per commit convoy."""
+
+    def test_records_land_and_commit_is_idempotent(self, journal_path):
+        journal = Journal(journal_path, sync="group")
+        journal.append("tenant_created", {"name": "a", "token": "t"})
+        journal.append("app_registered", {"app": "m"})
+        journal.commit()
+        assert journal.flushed_seq == 2
+        journal.commit()  # covered: must not fsync again
+        journal.close()
+        records, dropped = read_journal(journal_path)
+        assert dropped == 0
+        assert [r.seq for r in records] == [1, 2]
+
+    def test_append_defers_fsync_to_commit(self, journal_path, monkeypatch):
+        import os as os_module
+
+        import repro.persist.journal as journal_module
+
+        calls = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            journal_module.os, "fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd)),
+        )
+        journal = Journal(journal_path, sync="group")
+        for i in range(5):
+            journal.append("example_toggled", {"i": i})
+        assert calls == []  # appends alone never touch the disk
+        journal.commit()
+        assert len(calls) == 1  # one fsync covers all five records
+        assert journal.flushed_seq == 5
+
+    def test_convoy_shares_one_fsync(self, journal_path, monkeypatch):
+        """N concurrent append+commit cycles fsync far fewer than N times."""
+        import threading
+
+        import repro.persist.journal as journal_module
+
+        fsyncs = []
+        slow = threading.Event()
+
+        def counting_fsync(fd):
+            fsyncs.append(fd)
+            slow.wait(0.05)  # stretch the leader so followers convoy
+
+        monkeypatch.setattr(journal_module.os, "fsync", counting_fsync)
+        journal = Journal(journal_path, sync="group")
+        n = 16
+
+        def mutate(i):
+            record = journal.append("example_toggled", {"i": i})
+            journal.commit(record.seq)
+
+        threads = [
+            threading.Thread(target=mutate, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert journal.flushed_seq == n
+        # Every commit was covered by *some* fsync, but convoying means
+        # far fewer fsyncs than mutations (the close adds one more).
+        assert 1 <= len(fsyncs) < n
+        monkeypatch.setattr(journal_module.os, "fsync", lambda fd: None)
+        journal.close()
+        records, dropped = read_journal(journal_path)
+        assert dropped == 0
+        assert len(records) == n
+
+    def test_fsync_mode_tracks_flushed_seq_per_append(self, journal_path):
+        journal = Journal(journal_path, sync="fsync")
+        journal.append("app_closed", {})
+        assert journal.flushed_seq == 1
+        journal.commit()  # a no-op outside group mode
+        journal.close()
+
+    def test_commit_after_close_fails(self, journal_path):
+        journal = Journal(journal_path, sync="group")
+        journal.append("app_closed", {})
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.commit(99)

@@ -800,3 +800,97 @@ class TestLockSharding:
         register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
         response = gateway.handle(ListAppsRequest(auth_token=token))
         assert response.apps == ("moons",)
+
+
+class TestReadWriteSplit:
+    """The frontend dispatch surface: classification, queues, views."""
+
+    def test_read_classification(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        assert gateway.is_read(ListAppsRequest(auth_token=token))
+        assert gateway.is_read(AppStatusRequest(auth_token=token,
+                                                app="moons"))
+        assert gateway.is_read(ServerInfoRequest(auth_token=token))
+        assert not gateway.is_read(
+            FeedRequest(auth_token=token, app="moons")
+        )
+        assert not gateway.is_read(
+            SubmitTrainingRequest(auth_token=token, app="moons")
+        )
+
+    def test_job_status_classification_tracks_liveness(self, gateway):
+        token = gateway.create_tenant("alice")
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        handle = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=1)
+        ).handles[0]
+        live_poll = JobStatusRequest(auth_token=token, job_id=handle.job_id)
+        # Live handle: a poll advances the cluster -> write path.
+        assert not gateway.is_read(live_poll)
+        # A long-poll is never a read, even on a terminal handle.
+        drain(gateway, token, [handle])
+        assert gateway.is_read(live_poll)
+        assert not gateway.is_read(
+            JobStatusRequest(auth_token=token, job_id=handle.job_id,
+                             wait=5.0)
+        )
+        # Unknown handles classify as reads: the handler answers the
+        # NOT_FOUND without ever taking the lock.
+        assert gateway.is_read(
+            JobStatusRequest(auth_token=token, job_id="job-99999")
+        )
+
+    def test_single_lock_mode_classifies_everything_as_write(self):
+        gateway = make_gateway(shard_read_locks=False)
+        token = gateway.create_tenant("alice")
+        assert not gateway.is_read(ListAppsRequest(auth_token=token))
+
+    def test_submit_command_runs_tenant_fifo(self, gateway):
+        """Commands with one token apply strictly in submission order."""
+        token = gateway.create_tenant("alice")
+        gateway.handle(
+            RegisterAppRequest(auth_token=token, app="moons",
+                               program=MOONS_PROGRAM)
+        )
+        inputs, outputs = task_payload("moons")
+        futures = [
+            gateway.submit_command(
+                FeedRequest(
+                    auth_token=token,
+                    inputs=inputs[i:i + 5],
+                    outputs=outputs[i:i + 5],
+                    app="moons",
+                )
+            )
+            for i in range(0, 30, 5)
+        ]
+        responses = [f.result(timeout=30) for f in futures]
+        # FIFO: each batch's example ids continue where the last ended.
+        ids = [i for r in responses for i in r.example_ids]
+        assert ids == list(range(30))
+
+    def test_submit_command_propagates_api_errors(self, gateway):
+        token = gateway.create_tenant("alice")
+        future = gateway.submit_command(
+            FeedRequest(auth_token=token, app="ghost", inputs=((1.0,),),
+                        outputs=(0,))
+        )
+        with pytest.raises(ApiError) as excinfo:
+            future.result(timeout=30)
+        assert excinfo.value.code is ApiErrorCode.NOT_FOUND
+
+    def test_tenant_view_is_immutable_snapshot(self, gateway):
+        token = gateway.create_tenant("alice")
+        tenant = gateway._tenants[token]
+        before = tenant.view
+        assert before.apps == ()
+        assert not before.retired
+        register_and_feed(gateway, token, "moons", MOONS_PROGRAM, "moons")
+        after = tenant.view
+        assert after is not before  # republished, not mutated
+        assert before.apps == ()  # the old snapshot never changes
+        assert after.apps == ("moons",)
+        gateway.retire_tenant("alice")
+        assert tenant.view.retired
+        assert not after.retired
