@@ -9,11 +9,15 @@ periodic async submit+poll training cycle).  Reports aggregate
 requests/sec and per-request latency percentiles — the serving-path
 numbers later PRs optimize against.
 
-Two comparison races ride along:
+Three comparison races ride along:
 
 * **frontends** — the same read-only mix against ``threading`` (one
   OS thread per connection) and ``asyncio`` (event loop; reads served
   inline from the gateway's lock-free snapshots);
+* **metrics overhead** — the read-only mix with the metrics registry
+  enabled (default instrumentation) versus disabled
+  (``repro serve --no-metrics``), the observability plane's ~5%
+  overhead guard;
 * **journal sync modes** — a mutation-heavy mix (feed / toggle /
   submit+wait cycles) against ``--sync off | buffered | group |
   fsync``, the over-HTTP companion to ``bench_persist_overhead.py``.
@@ -103,7 +107,7 @@ def _drive(client, app, probe, n_requests, latencies, read_only=False):
 
 
 def _make_gateway(n_gpus, seed, *, shard_read_locks=True, state_dir=None,
-                  sync=None):
+                  sync=None, metrics=None):
     quota = TenantQuota(
         max_apps=2, max_pending_jobs=8,
         max_store_bytes=64 * 1024 * 1024,
@@ -116,6 +120,8 @@ def _make_gateway(n_gpus, seed, *, shard_read_locks=True, state_dir=None,
         default_quota=quota,
         shard_read_locks=shard_read_locks,
     )
+    if metrics is not None:
+        kwargs["metrics"] = metrics
     if sync is None:
         return ServiceGateway(**kwargs)
     from repro.persist import open_gateway
@@ -128,10 +134,10 @@ def _make_gateway(n_gpus, seed, *, shard_read_locks=True, state_dir=None,
 
 def run_benchmark(n_clients=4, n_requests=100, n_gpus=4, seed=0,
                   *, shard_read_locks=True, read_only=False,
-                  frontend="threading"):
+                  frontend="threading", metrics=None):
     """Returns the report rows; prints nothing."""
     gateway = _make_gateway(
-        n_gpus, seed, shard_read_locks=shard_read_locks
+        n_gpus, seed, shard_read_locks=shard_read_locks, metrics=metrics
     )
     server, _ = serve_background(gateway, frontend=frontend)
     try:
@@ -215,6 +221,77 @@ def render_frontend_comparison(rows, n_clients):
         rows,
         title=f"Read-only mix: HTTP frontend "
         f"({n_clients} concurrent tenants)",
+    )
+
+
+def run_metrics_overhead(n_clients=4, n_requests=100, n_gpus=4, seed=0):
+    """Race the read-only mix with the metrics registry on vs off.
+
+    The overhead guard for the observability plane: the instrumented
+    serving path (per-route counters + latency histograms + request
+    tracing, the default) against ``repro serve --no-metrics`` (a
+    disabled registry handing out no-op instruments).  The budget is
+    ~5% on requests/sec; the rendered row records the measured gap.
+
+    The effect being measured is ~10us per ~1ms request (~1%), which
+    is far below the 5-10% run-to-run scheduler noise of one smoke-
+    sized run — so the race interleaves five repetitions of each
+    configuration over at least 150 requests per client and compares
+    *medians*, the standard way to pull a small systematic effect out
+    of heavy-tailed timing noise.
+    """
+    import statistics
+
+    from repro.obs import MetricsRegistry
+
+    n_requests = max(n_requests, 150)
+    configs = (("instrumented", True), ("--no-metrics", False))
+    samples = {label: [] for label, _ in configs}
+    for _ in range(5):
+        for label, enabled in configs:
+            result = run_benchmark(
+                n_clients=n_clients, n_requests=n_requests,
+                n_gpus=n_gpus, seed=seed, read_only=True,
+                metrics=MetricsRegistry(enabled=enabled),
+            )
+            samples[label].append(
+                {name: value for name, value in result}
+            )
+    medians = {
+        label: {
+            key: round(
+                statistics.median(run[key] for run in runs), 2
+            )
+            for key in (
+                "requests/sec", "latency p50 (ms)", "latency p99 (ms)"
+            )
+        }
+        for label, runs in samples.items()
+    }
+    rows = [
+        [
+            label,
+            medians[label]["requests/sec"],
+            medians[label]["latency p50 (ms)"],
+            medians[label]["latency p99 (ms)"],
+        ]
+        for label, _ in configs
+    ]
+    overhead = 100.0 * (
+        1.0
+        - medians["instrumented"]["requests/sec"]
+        / medians["--no-metrics"]["requests/sec"]
+    )
+    rows.append(["overhead (%)", round(overhead, 2), "", ""])
+    return rows
+
+
+def render_metrics_overhead(rows, n_clients):
+    return ascii_table(
+        ["registry", "requests/sec", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"Read-only mix: metrics overhead guard "
+        f"({n_clients} concurrent tenants; budget ~5%)",
     )
 
 
@@ -354,6 +431,12 @@ def main(argv=None):
         n_gpus=args.n_gpus,
         seed=args.seed,
     )
+    overhead = run_metrics_overhead(
+        n_clients=args.clients,
+        n_requests=args.requests,
+        n_gpus=args.n_gpus,
+        seed=args.seed,
+    )
     syncs = run_sync_comparison(
         n_clients=args.clients,
         n_cycles=args.cycles,
@@ -364,6 +447,8 @@ def main(argv=None):
         render(rows)
         + "\n\n"
         + render_frontend_comparison(frontends, args.clients)
+        + "\n\n"
+        + render_metrics_overhead(overhead, args.clients)
         + "\n\n"
         + render_sync_comparison(syncs, args.clients)
     )

@@ -30,7 +30,14 @@ Commands
 ``state {inspect,compact}``
     Operator tools over a ``--state-dir``: summarise the journal /
     snapshots (and print tenant tokens), or replay-verify and compact
-    the history into a fresh snapshot.
+    the history into a fresh snapshot.  ``inspect`` derives its
+    journal summary (record counts by type, bytes, commit lag) from
+    the same metrics registry primitives the live server exposes.
+``metrics``
+    Scrape a running server's metrics endpoint and print it —
+    Prometheus text by default, the ``/v1/metrics`` JSON snapshot
+    with ``--json``.  No tenant token needed (the endpoint is
+    unauthenticated on purpose: scrape agents are not tenants).
 """
 
 from __future__ import annotations
@@ -218,6 +225,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="what recovery does with jobs that were in flight at the "
         "crash: requeue them on the rebuilt cluster, or mark them "
         "lost (terminal 'cancelled', disposition 'lost')",
+    )
+    srv.add_argument(
+        "--access-log", action="store_true",
+        help="log one line per HTTP request to stderr (method, path, "
+        "status, latency, request id); off by default",
+    )
+    srv.add_argument(
+        "--log-json", action="store_true",
+        help="structured logging: access and lifecycle events as "
+        "JSON lines on stderr (implies --access-log)",
+    )
+    srv.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry (instruments become "
+        "no-ops; /metrics serves an empty exposition)",
+    )
+
+    met = sub.add_parser(
+        "metrics",
+        help="scrape a live server's metrics endpoint and print it",
+    )
+    met.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="server base URL (default http://127.0.0.1:8080)",
+    )
+    met.add_argument(
+        "--json", action="store_true",
+        help="fetch the JSON snapshot (/v1/metrics, with derived "
+        "p50/p95/p99) instead of the Prometheus text exposition",
     )
 
     st = sub.add_parser(
@@ -517,8 +553,17 @@ def build_service(args: argparse.Namespace):
     element — the :class:`~repro.persist.RecoveryReport` or None —
     when ``--state-dir`` is set.
     """
+    from repro.obs import AccessLogger, MetricsRegistry
     from repro.service import ServiceGateway, serve as bind_http
 
+    metrics = MetricsRegistry(
+        enabled=not getattr(args, "no_metrics", False)
+    )
+    log_json = getattr(args, "log_json", False)
+    access_log = AccessLogger(
+        json_lines=log_json,
+        enabled=log_json or getattr(args, "access_log", False),
+    )
     kwargs = dict(
         placement=args.placement,
         n_gpus=args.n_gpus,
@@ -526,6 +571,7 @@ def build_service(args: argparse.Namespace):
         preemption_overhead=args.preemption_overhead,
         min_examples=args.min_examples,
         seed=args.seed,
+        metrics=metrics,
     )
     report = None
     if getattr(args, "state_dir", None):
@@ -569,6 +615,7 @@ def build_service(args: argparse.Namespace):
         host=args.host,
         port=args.port,
         frontend=getattr(args, "frontend", "threading"),
+        access_log=access_log,
     )
     return gateway, tokens, server, report
 
@@ -588,14 +635,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for name, token in tokens.items():
         print(f"tenant {name}: {token}")
     print("press Ctrl-C to stop")
+    server.access_log.event(
+        "serve_started",
+        url=server.url,
+        frontend=getattr(args, "frontend", "threading"),
+        tenants=sorted(tokens),
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        server.access_log.event("serve_stopped", url=server.url)
         server.server_close()
         if gateway.store is not None:
             gateway.store.close()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a live server's metrics endpoint and print the body."""
+    from http.client import HTTPConnection, HTTPException
+    from urllib.parse import urlparse
+
+    from repro.service.http import METRICS_JSON_PATH, METRICS_PATH
+
+    parsed = urlparse(args.url)
+    if parsed.scheme not in ("http", ""):
+        print(
+            f"only http:// endpoints are supported, got {args.url!r}",
+            file=sys.stderr,
+        )
+        return 2
+    path = METRICS_JSON_PATH if args.json else METRICS_PATH
+    try:
+        connection = HTTPConnection(
+            parsed.hostname or args.url, parsed.port or 80, timeout=10.0
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read().decode("utf-8", "replace")
+        finally:
+            connection.close()
+    except (ConnectionError, HTTPException, OSError) as exc:
+        print(
+            f"cannot scrape {args.url}{path}: {exc}", file=sys.stderr
+        )
+        return 2
+    if response.status != 200:
+        print(
+            f"server answered HTTP {response.status} for {path}: "
+            f"{body.strip()}",
+            file=sys.stderr,
+        )
+        return 2
+    sys.stdout.write(body if body.endswith("\n") else body + "\n")
     return 0
 
 
@@ -608,6 +703,7 @@ def _cmd_state(args: argparse.Namespace) -> int:
         has_state,
         list_snapshots,
         load_latest_snapshot,
+        journal_metrics,
         read_config,
         read_journal,
         recover_gateway,
@@ -653,11 +749,23 @@ def _cmd_state(args: argparse.Namespace) -> int:
     records = (snapshot.records if snapshot else []) + [
         r for r in journal_records if r.seq > snap_seq
     ]
-    histogram: dict = {}
+    # Record counts / bytes / commit lag come from the same registry
+    # primitives the live server scrapes through /metrics, so the
+    # offline and online views share one vocabulary.
+    mdict = journal_metrics(records, snapshot_seq=snap_seq).to_dict()
+    record_types = {
+        s["labels"]["type"]: int(s["value"])
+        for s in mdict["journal_records_total"]["series"]
+    }
+    journal_bytes = int(
+        sum(s["value"] for s in mdict["journal_bytes_total"]["series"])
+    )
+    commit_lag = int(
+        mdict["journal_commit_lag_records"]["series"][0]["value"]
+    )
     tenants: dict = {}
     jobs: dict = {}
     for record in records:
-        histogram[record.type] = histogram.get(record.type, 0) + 1
         p = record.payload
         if record.type == "tenant_created":
             tenants[p["name"]] = {"token": p["token"], "retired": False}
@@ -681,7 +789,9 @@ def _cmd_state(args: argparse.Namespace) -> int:
         "n_journal_records": len(journal_records),
         "dropped_tail": dropped,
         "last_seq": records[-1].seq if records else snap_seq,
-        "record_types": dict(sorted(histogram.items())),
+        "record_types": dict(sorted(record_types.items())),
+        "journal_bytes": journal_bytes,
+        "commit_lag_records": commit_lag,
         "tenants": tenants,
         "jobs": jobs,
     }
@@ -692,6 +802,8 @@ def _cmd_state(args: argparse.Namespace) -> int:
         ["snapshots", ", ".join(summary["snapshots"]) or "(none)"],
         ["snapshot seq", snap_seq],
         ["journal records", len(journal_records)],
+        ["journal bytes", journal_bytes],
+        ["commit lag (records)", commit_lag],
         ["last seq", summary["last_seq"]],
         ["tenants", len(tenants)],
         ["job handles", len(jobs)],
@@ -701,7 +813,7 @@ def _cmd_state(args: argparse.Namespace) -> int:
             ["field", "value"], rows, title=f"state: {state_dir}"
         )
     )
-    for rtype, count in sorted(histogram.items()):
+    for rtype, count in sorted(record_types.items()):
         print(f"  {rtype}: {count}")
     for name, info in sorted(tenants.items()):
         retired = " (retired)" if info["retired"] else ""
@@ -722,6 +834,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_diff(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "state":
         return _cmd_state(args)
     return _cmd_compare(args)

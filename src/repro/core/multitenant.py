@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -352,9 +353,32 @@ class MultiTenantScheduler:
         self.step_count = 0
         self.total_cost = 0.0
         self.records: List[StepRecord] = []
+        self.bind_metrics(None)
         for tenant_id in sorted(initial):
             self._admit(tenant_id, initial[tenant_id], None)
         self.user_picker.reset(self)
+
+    def bind_metrics(self, registry) -> None:
+        """Report per-step pick latency/counts into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (or None
+        to unbind — instruments revert to shared no-ops).  The core
+        stays importable without the service stack, so the obs import
+        is local and the default is the disabled registry.
+        """
+        from repro.obs.metrics import NULL_REGISTRY
+
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_pick_seconds = registry.histogram(
+            "scheduler_pick_seconds",
+            "Latency of one serving-path model pick "
+            "(TenantState.picker.select).",
+        )
+        self._m_picks = registry.counter(
+            "scheduler_picks_total",
+            "Model picks made on the serving path, by tenant.",
+            ["tenant"],
+        )
 
     # ------------------------------------------------------------------
     # Membership
@@ -469,7 +493,10 @@ class MultiTenantScheduler:
                 f"tenant (active ids: {self.active_ids()})"
             )
         tenant = self.tenants[user]
+        pick_started = time.perf_counter()
         selection = tenant.picker.select()
+        self._m_pick_seconds.observe(time.perf_counter() - pick_started)
+        self._m_picks.labels(user).inc()
         observation = self.oracle.observe(user, selection.arm)
         tenant.picker.observe(selection.arm, observation.reward)
         tenant.absorb(

@@ -10,7 +10,7 @@ package that sits above them.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -86,6 +86,12 @@ class ApiError(Exception):
     ``details`` carries structured context (the offending name, the
     quota limit, valid ranges) so clients can react programmatically
     instead of parsing messages.
+
+    ``request_id`` correlates a failure with one traced request: the
+    HTTP frontends stamp it before writing the error body, it rides
+    the wire inside the error dict, and the client restores it on the
+    reconstructed exception — so an operator can grep the server's
+    access log (or journal) for the exact request that failed.
     """
 
     def __init__(
@@ -98,25 +104,31 @@ class ApiError(Exception):
         self.code = ApiErrorCode(code)
         self.message = str(message)
         self.details: Dict[str, Any] = jsonify(details)
+        self.request_id: Optional[str] = None
 
     @property
     def http_status(self) -> int:
         return HTTP_STATUS[self.code]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "code": self.code.value,
             "message": self.message,
             "details": dict(self.details),
         }
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ApiError":
-        return cls(
+        error = cls(
             ApiErrorCode(data["code"]),
             data.get("message", ""),
             **data.get("details", {}),
         )
+        error.request_id = data.get("request_id")
+        return error
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ApiError({self.code.value!r}, {self.message!r})"

@@ -1,0 +1,55 @@
+"""Observability plane: metrics registry, request tracing, access logs.
+
+Zero-dependency (stdlib only) by design — the service must stay
+installable with nothing but Python.  Three pieces:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket latency histograms, labelable,
+  cardinality-guarded) with Prometheus-text and JSON exposition;
+* :mod:`repro.obs.context` — the per-request :class:`RequestContext`
+  (``request_id`` minted at the frontends, echoed as ``X-Request-ID``,
+  propagated through the command queue into journal records);
+* :mod:`repro.obs.logging` — opt-in structured access/event logging
+  (:class:`AccessLogger`), human or JSON-lines.
+"""
+
+from repro.obs.context import (
+    RequestContext,
+    bind_request,
+    clear_request,
+    current_request,
+    current_request_id,
+    new_request_id,
+    run_in_context,
+)
+from repro.obs.logging import NULL_ACCESS_LOG, AccessLogger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+)
+
+__all__ = [
+    "AccessLogger",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_ACCESS_LOG",
+    "NULL_REGISTRY",
+    "NullInstrument",
+    "OVERFLOW_LABEL",
+    "RequestContext",
+    "bind_request",
+    "clear_request",
+    "current_request",
+    "current_request_id",
+    "new_request_id",
+    "run_in_context",
+]

@@ -1,0 +1,147 @@
+"""Request tracing context: one ``request_id`` from socket to WAL.
+
+Both HTTP frontends mint (or accept) a request id per request, bind a
+:class:`RequestContext` for the duration of handling, and echo the id
+back as ``X-Request-ID``.  Everything downstream — gateway handlers,
+the per-tenant command-queue drainers, journal appends, error bodies,
+access-log lines — reads the ambient context instead of threading the
+id through every signature.
+
+The carrier is a :mod:`contextvars` variable, which follows the
+request across ``await`` points on the asyncio frontend and stays
+thread-local on the threading frontend.  Two hops do NOT propagate it
+automatically and must capture it explicitly:
+
+* ``loop.run_in_executor`` starts the callable in an *empty* context —
+  wrap it with ``contextvars.copy_context().run(...)`` at submit time;
+* the gateway's command-queue drainer threads run long after the
+  submitting request returned — the queue entry stores
+  ``current_context()`` at enqueue and the drainer re-enters it via
+  :func:`run_in_context` around ``handle()``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TypeVar
+
+__all__ = [
+    "RequestContext",
+    "bind_request",
+    "clear_request",
+    "current_request",
+    "current_request_id",
+    "new_request_id",
+    "run_in_context",
+]
+
+T = TypeVar("T")
+
+#: Header both frontends read (client-supplied id) and always write.
+REQUEST_ID_HEADER = "X-Request-ID"
+
+#: Request ids the server will accept from clients must stay modest:
+#: they land in log lines and journal records verbatim.
+_MAX_CLIENT_ID_LEN = 128
+
+
+def new_request_id() -> str:
+    """A fresh server-minted request id (``req-`` + 16 hex chars)."""
+    return f"req-{secrets.token_hex(8)}"
+
+
+def sanitize_client_id(raw: Optional[str]) -> Optional[str]:
+    """A client-supplied ``X-Request-ID``, or None if unusable.
+
+    Printable ASCII only, bounded length — the id is echoed into logs,
+    error bodies, and durable journal records.
+    """
+    if not raw:
+        return None
+    raw = raw.strip()
+    if not raw or len(raw) > _MAX_CLIENT_ID_LEN:
+        return None
+    if any(c in "\r\n\t" or not c.isprintable() for c in raw):
+        return None
+    return raw
+
+
+@dataclass
+class RequestContext:
+    """Everything tracing carries alongside one in-flight request."""
+
+    request_id: str = field(default_factory=new_request_id)
+    #: Monotonic start, for duration math in access logs.
+    started: float = field(default_factory=time.perf_counter)
+    #: Which frontend accepted the request ("threading" | "asyncio"
+    #: | "cli" | ...), for log lines.
+    frontend: str = ""
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+
+_current: contextvars.ContextVar[Optional[RequestContext]] = (
+    contextvars.ContextVar("repro_request_context", default=None)
+)
+
+
+def bind_request(
+    context: Optional[RequestContext] = None,
+    *,
+    request_id: Optional[str] = None,
+    frontend: str = "",
+) -> RequestContext:
+    """Install ``context`` (or a fresh one) as the ambient request.
+
+    Returns the bound context.  Callers that need strict scoping keep
+    the returned token discipline out of the hot path by calling
+    :func:`clear_request` in a ``finally``.
+    """
+    if context is None:
+        context = RequestContext(
+            request_id=request_id or new_request_id(), frontend=frontend
+        )
+    _current.set(context)
+    return context
+
+
+def clear_request() -> None:
+    """Drop the ambient request context."""
+    _current.set(None)
+
+
+def current_request() -> Optional[RequestContext]:
+    """The ambient :class:`RequestContext`, or None outside a request."""
+    return _current.get()
+
+
+def current_request_id() -> Optional[str]:
+    """Shorthand for the ambient request id (None outside a request)."""
+    context = _current.get()
+    return context.request_id if context is not None else None
+
+
+def run_in_context(
+    snapshot: Optional[contextvars.Context],
+    func: Callable[..., T],
+    *args: Any,
+    **kwargs: Any,
+) -> T:
+    """Run ``func`` inside a captured context snapshot.
+
+    ``snapshot`` is what ``contextvars.copy_context()`` returned at
+    capture time (e.g. when a command was enqueued); ``None`` runs the
+    callable directly.  ``Context.run`` refuses re-entry, so a snapshot
+    already running on this thread falls back to a direct call — the
+    ambient context is then already the right one.
+    """
+    if snapshot is None:
+        return func(*args, **kwargs)
+    try:
+        return snapshot.run(func, *args, **kwargs)
+    except RuntimeError:
+        return func(*args, **kwargs)

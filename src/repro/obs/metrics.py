@@ -1,0 +1,572 @@
+"""A zero-dependency metrics substrate: counters, gauges, histograms.
+
+:class:`MetricsRegistry` is the process-local home of every metric the
+service emits.  Three instrument kinds cover the catalog:
+
+* :class:`Counter` — a monotonically increasing float (requests,
+  records, bytes);
+* :class:`Gauge` — a value that goes both ways (queue depth, lag);
+* :class:`Histogram` — fixed-bucket latency distribution from which
+  p50/p95/p99 are derivable without storing samples.
+
+Every family is **labelable** (``labels(tenant, endpoint, ...)``
+returns the per-label-set child) and **thread-safe**: child lookups
+take the family lock, child updates take a per-child lock, and reading
+(:meth:`MetricsRegistry.render_prometheus`,
+:meth:`MetricsRegistry.to_dict`) never blocks writers for longer than
+one child copy — which is what lets the service serve ``GET /metrics``
+on its lock-free read path.
+
+Cardinality is bounded by construction: a family accepts at most
+``max_label_sets`` distinct label combinations; past that, new
+combinations collapse into one ``__overflow__`` child and the
+registry-level ``obs_label_overflow_total`` counter records the drops,
+so a hostile (or buggy) label source can never grow memory without
+bound.
+
+A registry built with ``enabled=False`` hands out no-op instruments —
+the instrumentation call sites stay branch-free and the overhead drops
+to one attribute lookup per event (the ``repro serve --no-metrics``
+escape hatch, raced in ``benchmarks/bench_service_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullInstrument",
+]
+
+#: Latency bucket upper bounds (seconds) sized for this service: the
+#: read path answers in tens of microseconds, fsyncs in milliseconds,
+#: and long-polls park for up to 30s.  ``+Inf`` is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Label value every over-cardinality label set collapses into.
+OVERFLOW_LABEL = "__overflow__"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition escaping for label values."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Children (one per label set)
+# ----------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counters only go up; inc({amount}) is negative — "
+                "use a Gauge for values that fall"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can rise and fall (depths, lags, temperatures)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution; percentiles derive from the counts.
+
+    ``buckets`` are the inclusive upper bounds of each bucket, strictly
+    increasing; an implicit ``+Inf`` bucket catches the tail.  Each
+    observation lands in the first bucket whose bound is >= the value
+    (``bisect_left``, so a value exactly on a bound belongs to that
+    bound's bucket — the Prometheus ``le`` convention).
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(
+            b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])
+        ):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got "
+                f"{self.bounds}"
+            )
+        self._lock = threading.Lock()
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += 1
+            self.sum += value
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """``with histogram.time():`` — observe the block's duration."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (q in [0, 100]) from buckets.
+
+        Linear interpolation inside the target bucket, the same
+        estimate ``histogram_quantile`` computes server-side in
+        Prometheus.  Observations in the ``+Inf`` bucket clamp to the
+        largest finite bound (there is no upper edge to interpolate
+        toward).  Returns ``nan`` when nothing was observed.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.total
+        if total == 0:
+            return math.nan
+        rank = (q / 100.0) * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]  # +Inf bucket: clamp
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.bounds[-1]  # pragma: no cover - rank <= total always
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent copy for exposition (one short lock hold)."""
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "counts": list(self.counts),
+                "count": self.total,
+                "sum": self.sum,
+            }
+
+
+class NullInstrument:
+    """The no-op stand-in a disabled registry hands out.
+
+    Accepts the whole Counter/Gauge/Histogram surface so call sites
+    never branch on whether metrics are enabled.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
+    def percentile(self, q: float) -> float:
+        return math.nan
+
+    def labels(self, *values: Any) -> "NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+# ----------------------------------------------------------------------
+# Families (one per metric name)
+# ----------------------------------------------------------------------
+class MetricFamily:
+    """One named metric and all of its label-set children.
+
+    A family declared with ``label_names=()`` is its own single child:
+    ``family.inc()`` / ``family.observe()`` work directly.  Labelled
+    families hand out children via :meth:`labels`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,  # noqa: A002 - prometheus vocabulary
+        label_names: Tuple[str, ...],
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        max_label_sets: int = 64,
+        overflow_counter: Optional[Counter] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.buckets = tuple(buckets)
+        self.max_label_sets = int(max_label_sets)
+        self._overflow_counter = overflow_counter
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not label_names:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> Any:
+        if self.kind == "histogram":
+            return Histogram(self.buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values: Any) -> Any:
+        """The child for one label-value combination (created lazily).
+
+        Past ``max_label_sets`` distinct combinations, every *new*
+        combination collapses into the shared ``__overflow__`` child —
+        existing children keep updating — and the registry's
+        ``obs_label_overflow_total`` counter ticks once per collapsed
+        call, so runaway cardinality is visible instead of fatal.
+        """
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} declares labels {self.label_names}, got "
+                f"{len(values)} value(s): {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if (
+                len(self._children) >= self.max_label_sets
+                and OVERFLOW_LABEL not in key
+            ):
+                if self._overflow_counter is not None:
+                    self._overflow_counter.inc()
+                # Resolve the overflow child inline: the family lock
+                # is not reentrant, so recursing into labels() here
+                # would deadlock.
+                key = tuple(OVERFLOW_LABEL for _ in self.label_names)
+                child = self._children.get(key)
+                if child is not None:
+                    return child
+            child = self._make_child()
+            self._children[key] = child
+            return child
+
+    # -- unlabelled families act as their own child --------------------
+    def _solo(self) -> Any:
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} declares labels {self.label_names}; "
+                "address a child via .labels(...)"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def time(self):
+        return self._solo().time()
+
+    def percentile(self, q: float) -> float:
+        return self._solo().percentile(q)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """A stable-ordered snapshot of (label values, child)."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Process-local metric store with Prometheus and JSON exposition.
+
+    Families register once by name; a second registration with the
+    same (kind, labels) returns the existing family, and a conflicting
+    one raises — two subsystems can therefore share a family (the
+    journal and the offline ``repro state inspect`` both build
+    ``journal_records_total``) without coordinating imports.
+    """
+
+    def __init__(
+        self, *, enabled: bool = True, max_label_sets: int = 64
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.max_label_sets = int(max_label_sets)
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        #: Ticks once per labels() call that collapsed into the
+        #: overflow child (see MetricFamily.labels).
+        self.overflow = Counter()
+        if self.enabled:
+            self._families["obs_label_overflow_total"] = MetricFamily(
+                "obs_label_overflow_total",
+                "counter",
+                "Label sets collapsed by the cardinality guard.",
+                (),
+            )
+            self._families["obs_label_overflow_total"]._children[()] = (
+                self.overflow
+            )
+
+    # -- registration --------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,  # noqa: A002 - prometheus vocabulary
+        labels: Sequence[str],
+        **kwargs: Any,
+    ) -> Any:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(str(label) for label in labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{family.kind} with labels {family.label_names}; "
+                        f"cannot re-register as a {kind} with labels "
+                        f"{label_names}"
+                    )
+                return family
+            family = MetricFamily(
+                name,
+                kind,
+                help,
+                label_names,
+                max_label_sets=self.max_label_sets,
+                overflow_counter=self.overflow,
+                **kwargs,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Any:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Any:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(
+            name, "histogram", help, labels, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.children():
+                pairs = ",".join(
+                    f'{label}="{_escape_label_value(value)}"'
+                    for label, value in zip(family.label_names, values)
+                )
+                if family.kind == "histogram":
+                    snap = child.snapshot()
+                    cumulative = 0
+                    bounds = list(snap["bounds"]) + [math.inf]
+                    for bound, count in zip(bounds, snap["counts"]):
+                        cumulative += count
+                        le = _format_value(bound)
+                        bucket_pairs = (
+                            f'{pairs},le="{le}"' if pairs else f'le="{le}"'
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{{{bucket_pairs}}} "
+                            f"{cumulative}"
+                        )
+                    suffix = f"{{{pairs}}}" if pairs else ""
+                    lines.append(
+                        f"{family.name}_sum{suffix} "
+                        f"{_format_value(snap['sum'])}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{suffix} {snap['count']}"
+                    )
+                else:
+                    suffix = f"{{{pairs}}}" if pairs else ""
+                    lines.append(
+                        f"{family.name}{suffix} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (the ``GET /v1/metrics`` body).
+
+        Histogram series carry derived p50/p95/p99 alongside the raw
+        bucket counts, so a caller needs no quantile math of its own.
+        """
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            series = []
+            for values, child in family.children():
+                labels = dict(zip(family.label_names, values))
+                if family.kind == "histogram":
+                    snap = child.snapshot()
+                    entry: Dict[str, Any] = {
+                        "labels": labels,
+                        "count": snap["count"],
+                        "sum": snap["sum"],
+                        "buckets": [
+                            {"le": b, "count": c}
+                            for b, c in zip(
+                                list(snap["bounds"]) + ["+Inf"],
+                                snap["counts"],
+                            )
+                        ],
+                    }
+                    for q in (50, 95, 99):
+                        p = child.percentile(q)
+                        entry[f"p{q}"] = None if math.isnan(p) else p
+                else:
+                    entry = {"labels": labels, "value": child.value}
+                series.append(entry)
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out
+
+
+#: The shared disabled registry: every instrument is a no-op.  Used as
+#: the default for subsystems (scheduler, journal) that only emit when
+#: a live registry is bound to them.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

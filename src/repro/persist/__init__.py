@@ -37,6 +37,7 @@ from repro.persist.journal import (
     record_checksum,
     rewrite_journal,
 )
+from repro.persist.metrics import journal_metrics
 from repro.persist.recovery import (
     IN_FLIGHT_POLICIES,
     RecoveryError,
@@ -76,6 +77,7 @@ __all__ = [
     "canonical_json",
     "compact_records",
     "has_state",
+    "journal_metrics",
     "list_snapshots",
     "load_latest_snapshot",
     "open_gateway",

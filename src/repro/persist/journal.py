@@ -38,12 +38,14 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import jsonify
+from repro.obs.metrics import NULL_REGISTRY
 
 #: File name of the live journal inside a state directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -201,6 +203,51 @@ class Journal:
         self._flush_lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        self.bind_metrics(NULL_REGISTRY)
+
+    def bind_metrics(self, registry) -> None:
+        """Report append/fsync/commit timings into ``registry``.
+
+        Unbound journals report into the shared disabled registry
+        (every instrument a no-op), so the hot path never branches on
+        whether observability is on.  The gateway binds its registry
+        via :meth:`StateStore.bind_metrics` when a store is attached.
+        """
+        self._m_append_seconds = registry.histogram(
+            "journal_append_seconds",
+            "Latency of one journal append (serialise + write + "
+            "flush, + fsync in fsync mode).",
+        )
+        self._m_records = registry.counter(
+            "journal_records_total",
+            "Records appended to the journal, by type.",
+            ["type"],
+        )
+        self._m_bytes = registry.counter(
+            "journal_bytes_total",
+            "Bytes appended to the journal.",
+        )
+        self._m_fsync_seconds = registry.histogram(
+            "journal_fsync_seconds",
+            "Latency of one journal fsync (per-append or convoy).",
+        )
+        self._m_fsyncs = registry.counter(
+            "journal_fsyncs_total",
+            "Journal fsyncs issued.",
+        )
+        self._m_commit_seconds = registry.histogram(
+            "journal_commit_seconds",
+            "Latency of one group-commit barrier (leaders only).",
+        )
+        self._m_commit_rides = registry.counter(
+            "journal_commit_rides_total",
+            "Group commits satisfied by another convoy's fsync.",
+        )
+        self._m_flush_lag = registry.gauge(
+            "journal_flush_lag_records",
+            "Appended records not yet covered by an fsync "
+            "(last_seq - flushed_seq).",
+        )
 
     @property
     def last_seq(self) -> int:
@@ -218,19 +265,31 @@ class Journal:
         ``group`` mode the caller must run :meth:`commit` before
         acking whatever the record describes.
         """
+        started = time.perf_counter()
         with self._lock:
             if self._handle is None:
                 raise JournalError("journal is closed")
             record = JournalRecord(
                 seq=self._seq + 1, type=rtype, payload=jsonify(payload)
             )
-            self._handle.write(record.to_line() + "\n")
+            line = record.to_line() + "\n"
+            self._handle.write(line)
             self._handle.flush()
             if self.sync == "fsync":
+                fsync_started = time.perf_counter()
                 os.fsync(self._handle.fileno())
+                self._m_fsync_seconds.observe(
+                    time.perf_counter() - fsync_started
+                )
+                self._m_fsyncs.inc()
                 self._flushed_seq = record.seq
             self._seq = record.seq
-            return record
+        self._m_append_seconds.observe(time.perf_counter() - started)
+        self._m_records.labels(rtype).inc()
+        self._m_bytes.inc(len(line))
+        if self.sync != "fsync":
+            self._m_flush_lag.set(self._seq - self._flushed_seq)
+        return record
 
     def commit(self, upto: Optional[int] = None) -> None:
         """Group-commit barrier: records up to ``upto`` are on disk.
@@ -247,9 +306,12 @@ class Journal:
             return
         target = self._seq if upto is None else int(upto)
         if self._flushed_seq >= target:
+            self._m_commit_rides.inc()
             return  # a previous convoy's flush already covered us
+        started = time.perf_counter()
         with self._flush_lock:
             if self._flushed_seq >= target:
+                self._m_commit_rides.inc()
                 return  # the leader's flush covered us while we queued
             with self._lock:
                 if self._handle is None:
@@ -259,8 +321,15 @@ class Journal:
                 # one fsync covers through the current tail — not just
                 # our own record.
                 cover = self._seq
+            fsync_started = time.perf_counter()
             os.fsync(fd)
+            self._m_fsync_seconds.observe(
+                time.perf_counter() - fsync_started
+            )
+            self._m_fsyncs.inc()
             self._flushed_seq = cover
+        self._m_commit_seconds.observe(time.perf_counter() - started)
+        self._m_flush_lag.set(self._seq - self._flushed_seq)
 
     def close(self) -> None:
         # Same lock order as commit (flush -> append), so a close

@@ -1,0 +1,64 @@
+"""Offline journal metrics: the ``state inspect`` view of a directory.
+
+Builds a :class:`~repro.obs.metrics.MetricsRegistry` from a record
+basis read off disk, using the *same* family names and primitives the
+live journal reports through ``/metrics`` — so an operator inspecting
+a cold state directory and one scraping a running server read the
+same vocabulary (``journal_records_total{type=...}``,
+``journal_bytes_total``), plus a commit-lag gauge only the offline
+view can compute (how far the journal tail has run past the last
+snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.persist.journal import JournalRecord
+
+
+def journal_metrics(
+    records: Iterable[JournalRecord],
+    *,
+    snapshot_seq: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Populate a registry from journal/snapshot records.
+
+    Parameters
+    ----------
+    records:
+        The record basis, in order (snapshot records + journal tail).
+    snapshot_seq:
+        Sequence number the latest snapshot covers through; the
+        commit-lag gauge reports how many records the tail holds past
+        it (what a crash right now would have to replay).
+    registry:
+        Populate this registry instead of a fresh one (family
+        re-registration makes sharing safe).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    m_records = registry.counter(
+        "journal_records_total",
+        "Records appended to the journal, by type.",
+        ["type"],
+    )
+    m_bytes = registry.counter(
+        "journal_bytes_total",
+        "Bytes appended to the journal.",
+    )
+    m_lag = registry.gauge(
+        "journal_commit_lag_records",
+        "Records in the journal tail past the last snapshot "
+        "(replay work after a crash right now).",
+    )
+    last_seq = int(snapshot_seq)
+    for record in records:
+        m_records.labels(record.type).inc()
+        # +1 for the newline the on-disk framing appends per record.
+        m_bytes.inc(len(record.to_line().encode("utf-8")) + 1)
+        if record.seq > last_seq:
+            last_seq = record.seq
+    m_lag.set(last_seq - int(snapshot_seq))
+    return registry

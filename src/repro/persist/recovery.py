@@ -110,10 +110,16 @@ class RecoveryReport:
 def _build_gateway(
     config: Dict[str, Any],
     gateway_factory: Optional[Callable[[Optional[dict]], ServiceGateway]],
+    metrics=None,
 ) -> ServiceGateway:
     if gateway_factory is not None:
         return gateway_factory(config)
     kwargs: Dict[str, Any] = {}
+    if metrics is not None:
+        # Observability plumbing, not backend shape: never journaled,
+        # so the replayed gateway can report into the caller's
+        # registry without perturbing the stored config.
+        kwargs["metrics"] = metrics
     for key in (
         "placement",
         "n_gpus",
@@ -361,12 +367,18 @@ def recover_gateway(
     gateway_factory: Optional[
         Callable[[Optional[dict]], ServiceGateway]
     ] = None,
+    metrics=None,
 ) -> Tuple[ServiceGateway, RecoveryReport]:
     """Rebuild a gateway from ``state_dir`` and re-attach its store.
 
     ``sync`` / ``snapshot_every`` default to the values stored in the
-    directory's config.  Raises :class:`RecoveryError` (or a journal /
-    snapshot corruption error) rather than serving diverged state.
+    directory's config.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) is handed to the
+    rebuilt gateway — it is observability plumbing, not backend shape,
+    so it is never journaled and never conflicts with the stored
+    config (ignored when ``gateway_factory`` owns construction).
+    Raises :class:`RecoveryError` (or a journal / snapshot corruption
+    error) rather than serving diverged state.
     """
     if in_flight not in IN_FLIGHT_POLICIES:
         raise ValueError(
@@ -392,6 +404,7 @@ def recover_gateway(
             sync=sync,
             snapshot_every=snapshot_every,
             gateway_factory=gateway_factory,
+            metrics=metrics,
         )
     except BaseException:
         lock_handle.close()
@@ -407,6 +420,7 @@ def _recover_locked(
     sync: Optional[str],
     snapshot_every: Optional[int],
     gateway_factory,
+    metrics=None,
 ) -> Tuple[ServiceGateway, RecoveryReport]:
     snapshot = load_latest_snapshot(state_dir)
     journal_records, dropped = read_journal(state_dir / JOURNAL_NAME)
@@ -421,7 +435,7 @@ def _recover_locked(
             f"{snap_seq + 1}..{tail[0].seq - 1} are missing"
         )
 
-    gateway = _build_gateway(config, gateway_factory)
+    gateway = _build_gateway(config, gateway_factory, metrics=metrics)
     gateway._recovering = True
     gateway._replaying = True
     digest_verified = False
@@ -530,7 +544,9 @@ def open_gateway(
 
     The fresh path writes ``config.json`` (the backend shape recovery
     will rebuild) and attaches an empty store; the recover path honours
-    the stored config and ignores ``gateway_kwargs``.
+    the stored config and ignores ``gateway_kwargs`` — except
+    ``metrics``, which is observability plumbing (never journaled) and
+    rides through to the rebuilt gateway on both paths.
     """
     state_dir = Path(state_dir)
     if has_state(state_dir):
@@ -540,6 +556,7 @@ def open_gateway(
             sync=sync,
             snapshot_every=snapshot_every,
             gateway_factory=gateway_factory,
+            metrics=gateway_kwargs.get("metrics"),
         )
     gateway = (
         gateway_factory(None)

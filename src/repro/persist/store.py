@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.persist.journal import (
     JOURNAL_NAME,
     Journal,
@@ -164,10 +166,33 @@ class StateStore:
         self.journal = Journal(
             self.journal_path, sync=sync, start_seq=start_seq
         )
+        self.bind_metrics(NULL_REGISTRY)
         try:  # best-effort: tokens live in these files
             os.chmod(self.journal_path, _PRIVATE_MODE)
         except OSError:  # pragma: no cover - permissions are advisory
             pass
+
+    def bind_metrics(self, registry) -> None:
+        """Report journal/snapshot activity into ``registry``.
+
+        The gateway calls this from ``attach_store``; the binding
+        survives :meth:`snapshot` recreating the journal (the fresh
+        journal is re-bound to the same registry).
+        """
+        self._metrics = registry
+        self.journal.bind_metrics(registry)
+        self._m_snapshots = registry.counter(
+            "journal_snapshots_total",
+            "Snapshots taken (automatic cadence plus manual compacts).",
+        )
+        self._m_snapshot_seconds = registry.histogram(
+            "journal_snapshot_seconds",
+            "Latency of one snapshot (compact + publish + truncate).",
+        )
+        self._m_compaction_dropped = registry.counter(
+            "journal_compaction_dropped_total",
+            "Records removed from history by snapshot compaction.",
+        )
 
     @property
     def journal_path(self) -> Path:
@@ -208,7 +233,9 @@ class StateStore:
 
     def snapshot(self, state_digest: Optional[str] = None) -> Path:
         """Compact history, publish a snapshot, truncate the journal."""
+        started = time.perf_counter()
         records = compact_records(self._history)
+        self._m_compaction_dropped.inc(len(self._history) - len(records))
         path = write_snapshot(
             self.state_dir,
             self.last_seq,
@@ -226,6 +253,9 @@ class StateStore:
         self.journal = Journal(
             self.journal_path, sync=self.sync, start_seq=self.last_seq
         )
+        self.journal.bind_metrics(self._metrics)
+        self._m_snapshots.inc()
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
         return path
 
     def close(self) -> None:

@@ -106,6 +106,27 @@ class ClusterRuntime:
             EventKind.USER_ARRIVED: self._on_arrival,
             EventKind.USER_DEPARTED: self._on_departure,
         }
+        self.bind_metrics(None)
+
+    def bind_metrics(self, registry) -> None:
+        """Report kernel event throughput into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (or None
+        to unbind — instruments revert to shared no-ops).  Kept as a
+        local import so the runtime stays importable standalone.
+        """
+        from repro.obs.metrics import NULL_REGISTRY
+
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_events = registry.counter(
+            "kernel_events_total",
+            "Kernel events processed, by kind.",
+            ["kind"],
+        )
+        self._m_queue_depth = registry.gauge(
+            "kernel_event_queue_depth",
+            "Events waiting in the kernel's event queue.",
+        )
 
     # ------------------------------------------------------------------
     # Submitting work
@@ -166,6 +187,8 @@ class ClusterRuntime:
                 f"the kernel cannot handle {event.kind.value!r} events; "
                 f"expected one of {[k.value for k in _KERNEL_KINDS]}"
             )
+        self._m_events.labels(event.kind.value).inc()
+        self._m_queue_depth.set(len(self.queue))
         return handler(event)
 
     def run_until_next_completion(self) -> List[Job]:

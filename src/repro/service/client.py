@@ -28,6 +28,7 @@ from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 from urllib.parse import urlencode, urlparse
 
+from repro.obs.context import REQUEST_ID_HEADER, new_request_id
 from repro.service.api import (
     API_VERSION,
     ApiError,
@@ -102,21 +103,36 @@ class EaseMLClient:
         if query:
             path = f"{path}?{urlencode(query)}"
         payload = None
-        headers = {"Authorization": f"Bearer {self.token}"}
+        # Client-minted request id: the server adopts it (instead of
+        # minting its own), echoes it back as X-Request-ID, stamps it
+        # into journal records, and attaches it to error bodies — so
+        # one id correlates this call end to end.
+        request_id = new_request_id()
+        headers = {
+            "Authorization": f"Bearer {self.token}",
+            REQUEST_ID_HEADER: request_id,
+        }
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         with self._lock:
             response, raw = self._exchange(method, path, payload, headers)
+        echoed = response.getheader(REQUEST_ID_HEADER) or request_id
         try:
             data = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            raise ApiError(
+            error = ApiError(
                 ApiErrorCode.INTERNAL,
                 f"server returned a non-JSON body (HTTP {response.status})",
-            ) from None
+            )
+            error.request_id = echoed
+            raise error from None
         if "error" in data:
-            raise ApiError.from_dict(data["error"])
+            error = ApiError.from_dict(data["error"])
+            # Older servers omit the id from the body; the header (or
+            # our own minted id) still correlates the failure.
+            error.request_id = error.request_id or echoed
+            raise error
         return from_wire(data)
 
     def _exchange(self, method, path, payload, headers):

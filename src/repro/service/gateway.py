@@ -52,6 +52,7 @@ authoritative ack for a job is its ``job_status`` response.
 
 from __future__ import annotations
 
+import contextvars
 import secrets
 import threading
 import time
@@ -66,6 +67,7 @@ import numpy as np
 from repro.engine.events import EventKind
 from repro.engine.jobs import Job, JobState
 from repro.errors import jsonify
+from repro.obs import MetricsRegistry, current_request_id, run_in_context
 from repro.platform.server import EaseMLApp, EaseMLServer
 from repro.runtime.trace import event_to_dict
 from repro.service.api import (
@@ -127,6 +129,24 @@ _READ_REQUESTS = (
 #: Hard ceiling on one server-side long-poll (``JobStatusRequest.wait``);
 #: clients re-issue the poll to wait longer.
 MAX_WAIT_SECONDS = 30.0
+
+#: Short metric-label names for request types ("RegisterAppRequest"
+#: -> "register_app"), so dashboards read naturally.
+_REQUEST_TYPE_NAMES = {
+    AppStatusRequest: "app_status",
+    CloseAppRequest: "close_app",
+    EventsRequest: "events",
+    FeedRequest: "feed",
+    InferRequest: "infer",
+    JobStatusRequest: "job_status",
+    ListAppsRequest: "list_apps",
+    ListJobsRequest: "list_jobs",
+    RefineRequest: "refine",
+    RegisterAppRequest: "register_app",
+    ServerInfoRequest: "server_info",
+    SetExampleEnabledRequest: "set_example_enabled",
+    SubmitTrainingRequest: "submit_training",
+}
 
 
 @dataclass(frozen=True)
@@ -238,6 +258,12 @@ class ServiceGateway:
         the name is historical — PR 3's per-tenant shard locks were
         this path's ancestor, and the config key is pinned by every
         existing durable state directory.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` this gateway reports
+        into (default: a fresh enabled registry).  Pass a disabled
+        registry (``MetricsRegistry(enabled=False)``) to strip every
+        instrument down to a no-op — the ``repro serve --no-metrics``
+        escape hatch the overhead benchmark races.
     """
 
     def __init__(
@@ -253,6 +279,7 @@ class ServiceGateway:
         default_quota: Optional[TenantQuota] = None,
         shard_read_locks: bool = True,
         zoo=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         server_provided = server is not None
         if server is None:
@@ -273,6 +300,49 @@ class ServiceGateway:
         self.server = server
         self.default_quota = default_quota or TenantQuota()
         self.shard_read_locks = bool(shard_read_locks)
+        # --- observability ------------------------------------------
+        #: The metrics registry every layer below reports into (the
+        #: HTTP frontends read it for GET /metrics; attach_store binds
+        #: it to the journal; _ensure_app_scheduled to the scheduler).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "gateway_requests_total",
+            "Gateway requests handled, by tenant, type, and outcome.",
+            ["tenant", "type", "outcome"],
+        )
+        self._m_request_seconds = m.histogram(
+            "gateway_request_seconds",
+            "Gateway handler latency, by request type.",
+            ["type"],
+        )
+        self._m_queue_depth = m.gauge(
+            "gateway_command_queue_depth",
+            "Mutations waiting in the per-tenant command queues.",
+        )
+        self._m_command_wait = m.histogram(
+            "gateway_command_wait_seconds",
+            "Time a queued command waited before its drainer ran it.",
+        )
+        self._m_parks = m.counter(
+            "gateway_longpoll_parks_total",
+            "Long-poll waits that parked on a job's done event.",
+        )
+        self._m_wakes = m.counter(
+            "gateway_longpoll_wakes_total",
+            "Long-poll waits resolved, by reason.",
+            ["reason"],
+        )
+        self._m_pick_seconds = m.histogram(
+            "scheduler_pick_seconds",
+            "Latency of one serving-path model pick "
+            "(TenantState.picker.select).",
+        )
+        self._m_picks = m.counter(
+            "scheduler_picks_total",
+            "Model picks made on the serving path, by tenant.",
+            ["tenant"],
+        )
         self._tenants: Dict[str, Tenant] = {}  # token -> tenant
         self._tenant_names: Dict[str, Tenant] = {}
         self._jobs: Dict[str, _JobRecord] = {}  # handle id -> record
@@ -283,11 +353,12 @@ class ServiceGateway:
         self._lock = threading.RLock()
         self._absorb_hook_installed = False
         # --- serialized write path (per-tenant command queues) ------
-        #: token -> FIFO of (request, future) awaiting execution; one
-        #: drainer per tenant at a time, so a tenant's mutations apply
-        #: in submission order while different tenants' commands run
-        #: concurrently (and serialise only on the gateway lock).
-        self._commands: Dict[str, Deque[Tuple[Request, Future]]] = {}
+        #: token -> FIFO of (request, future, context snapshot,
+        #: enqueue time) awaiting execution; one drainer per tenant at
+        #: a time, so a tenant's mutations apply in submission order
+        #: while different tenants' commands run concurrently (and
+        #: serialise only on the gateway lock).
+        self._commands: Dict[str, Deque[Tuple[Request, Future, Any, float]]] = {}
         self._command_active: set = set()
         self._command_lock = threading.Lock()
         self._command_pool: Optional[ThreadPoolExecutor] = None
@@ -366,6 +437,9 @@ class ServiceGateway:
             if self._store is not None:
                 raise ValueError("a state store is already attached")
             self._store = store
+            bind = getattr(store, "bind_metrics", None)
+            if bind is not None:
+                bind(self.metrics)
 
     @property
     def store(self) -> Any:
@@ -404,11 +478,28 @@ class ServiceGateway:
 
             self._store.snapshot(state_digest(self))
 
+    @staticmethod
+    def _stamp_request_id(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach the ambient request id to a PRIMARY record payload.
+
+        Only primary records may carry it: effect records
+        (``EFFECT_TYPES``) are byte-compared against their replayed
+        twins by recovery's ``_consume_effect``, and the replayed run
+        has no request context — an extra key there would fail
+        verification.  Primary replay reads named keys, so the extra
+        key is inert on old and new journals alike.
+        """
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in payload:
+            payload = dict(payload)
+            payload["request_id"] = request_id
+        return payload
+
     def _persist(self, rtype: str, payload: Dict[str, Any]) -> None:
         """Journal one primary record, then its buffered effects."""
         if self._replaying or self._store is None:
             return
-        self._append_record(rtype, jsonify(payload))
+        self._append_record(rtype, self._stamp_request_id(jsonify(payload)))
         self._op_boundary()
 
     def _commit(self) -> None:
@@ -442,15 +533,17 @@ class ServiceGateway:
             )
             self._append_record(
                 "examples_fed",
-                jsonify(
-                    {
-                        "app": info["app"],
-                        "tenant": owner,
-                        "via": "gateway" if self._feed_ctx else "server",
-                        "inputs": info["inputs"],
-                        "outputs": info["outputs"],
-                        "example_ids": info["example_ids"],
-                    }
+                self._stamp_request_id(
+                    jsonify(
+                        {
+                            "app": info["app"],
+                            "tenant": owner,
+                            "via": "gateway" if self._feed_ctx else "server",
+                            "inputs": info["inputs"],
+                            "outputs": info["outputs"],
+                            "example_ids": info["example_ids"],
+                        }
+                    )
                 ),
             )
             return
@@ -657,7 +750,17 @@ class ServiceGateway:
         # TenantView / GIL-atomic snapshots), or under the gateway
         # lock when it can mutate shared state.  A live job poll
         # upgrades to the global lock internally.
-        tenant = self._authenticate(request)
+        started = time.perf_counter()
+        rtype = _REQUEST_TYPE_NAMES.get(
+            type(request), type(request).__name__
+        )
+        try:
+            tenant = self._authenticate(request)
+        except ApiError as exc:
+            self._m_requests.labels(
+                "(unauthenticated)", rtype, exc.code.value
+            ).inc()
+            raise
         # Job polls never take the outer lock in either discipline:
         # the handler is lock-free until it must advance the cluster
         # (then it takes the global lock itself), and a long-poll that
@@ -676,17 +779,25 @@ class ServiceGateway:
             isinstance(request, JobStatusRequest)
             and not self.is_read(request)
         )
+        outcome = "ok"
         try:
             if lock_free:
                 return self._dispatch(handler, tenant, request)
             with self._lock:
                 return self._dispatch(handler, tenant, request)
+        except ApiError as exc:
+            outcome = exc.code.value
+            raise
         finally:
             if needs_commit:
                 # Outside the lock: under ``sync="group"`` concurrent
                 # mutations convoy behind one fsync here (a no-op for
                 # the other journal modes).
                 self._commit()
+            self._m_requests.labels(tenant.name, rtype, outcome).inc()
+            self._m_request_seconds.labels(rtype).observe(
+                time.perf_counter() - started
+            )
 
     def _dispatch(self, handler, tenant: Tenant, request: Request) -> Response:
         try:
@@ -764,15 +875,23 @@ class ServiceGateway:
         """
         future: Future = Future()
         key = request.auth_token
+        # The drainer runs on a pool thread long after this frontend
+        # call returned; snapshot the caller's context so the request
+        # id survives the queue hop into handlers and journal records.
+        entry = (
+            request,
+            future,
+            contextvars.copy_context(),
+            time.perf_counter(),
+        )
         with self._command_lock:
             pool = self._command_pool
             if pool is None:
                 pool = self._command_pool = ThreadPoolExecutor(
                     max_workers=8, thread_name_prefix="easeml-write"
                 )
-            self._commands.setdefault(key, deque()).append(
-                (request, future)
-            )
+            self._commands.setdefault(key, deque()).append(entry)
+            self._m_queue_depth.inc()
             if key not in self._command_active:
                 self._command_active.add(key)
                 pool.submit(self._drain_commands, key)
@@ -787,11 +906,15 @@ class ServiceGateway:
                     self._command_active.discard(key)
                     self._commands.pop(key, None)
                     return
-                request, future = queue.popleft()
+                request, future, snapshot, enqueued = queue.popleft()
+                self._m_queue_depth.dec()
+            self._m_command_wait.observe(time.perf_counter() - enqueued)
             if not future.set_running_or_notify_cancel():
                 continue
             try:
-                future.set_result(self.handle(request))
+                future.set_result(
+                    run_in_context(snapshot, self.handle, request)
+                )
             except BaseException as exc:  # noqa: BLE001 - future boundary
                 future.set_exception(exc)
 
@@ -1115,10 +1238,14 @@ class ServiceGateway:
     # ------------------------------------------------------------------
     def _install_absorb_hook(self) -> None:
         if not self._absorb_hook_installed:
-            self.server._runtime_oracle.runtime.on_completion(
-                self._on_job_completed
-            )
+            runtime = self.server._runtime_oracle.runtime
+            runtime.on_completion(self._on_job_completed)
             self.server._runtime_oracle.on_absorb(self._on_absorbed)
+            # The event kernel under the oracle reports its queue
+            # depth and event counts into this gateway's registry.
+            bind = getattr(runtime, "bind_metrics", None)
+            if bind is not None:
+                bind(self.metrics)
             self._absorb_hook_installed = True
 
     def _require_enough_examples(self, app) -> None:
@@ -1159,6 +1286,11 @@ class ServiceGateway:
                     ApiErrorCode.FAILED_PRECONDITION,
                     f"cannot start training: {exc}",
                 ) from None
+            # The simulation-side scheduler (MultiTenantScheduler.step)
+            # reports its own pick latency/counts into this registry.
+            bind = getattr(self.server.scheduler, "bind_metrics", None)
+            if bind is not None:
+                bind(self.metrics)
         self._install_absorb_hook()
         if not self.server.is_admitted(app.name):
             try:
@@ -1206,7 +1338,12 @@ class ServiceGateway:
             tenant_state = scheduler.tenants[user]
             handles = []
             for _ in range(steps):
+                pick_started = time.perf_counter()
                 selection = tenant_state.picker.select()
+                self._m_pick_seconds.observe(
+                    time.perf_counter() - pick_started
+                )
+                self._m_picks.labels(tenant.name).inc()
                 reward, gpu_time = oracle.trainer.train(user, selection.arm)
                 job = oracle.runtime.submit(
                     user, selection.arm, gpu_time, reward
@@ -1306,14 +1443,20 @@ class ServiceGateway:
         # still-running status with a 200.
         deadline = time.monotonic() + wait
         aborts = tuple(self._wait_aborts)
+        self._m_parks.inc()
         while True:
             remaining = deadline - time.monotonic()
-            if remaining <= 0 or any(e.is_set() for e in aborts):
+            if remaining <= 0:
+                self._m_wakes.labels("timeout").inc()
+                return response
+            if any(e.is_set() for e in aborts):
+                self._m_wakes.labels("abort").inc()
                 return response
             if not advanced:
                 record.done_event.wait(min(remaining, 0.05))
             response, advanced = self._poll_job(request, record)
             if response.done:
+                self._m_wakes.labels("done").inc()
                 return response
 
     def _poll_job(

@@ -42,6 +42,7 @@ Authentication is ``Authorization: Bearer <token>``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import socket
 import threading
@@ -51,6 +52,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import (
+    NULL_ACCESS_LOG,
+    AccessLogger,
+    RequestContext,
+    bind_request,
+    clear_request,
+    current_request,
+)
+from repro.obs.context import REQUEST_ID_HEADER, sanitize_client_id
 from repro.service.api import (
     API_VERSION,
     ApiError,
@@ -92,6 +102,88 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 # ----------------------------------------------------------------------
 # The shared transport-neutral router
 # ----------------------------------------------------------------------
+#: Operator endpoints served by the frontends themselves, before
+#: routing and before auth (a scrape agent holds no tenant token):
+#: Prometheus text and the JSON equivalent.  Both read the registry
+#: lock-free (families snapshot their children per read).
+METRICS_PATH = "/metrics"
+METRICS_JSON_PATH = f"{_PREFIX}/metrics"
+
+
+def route_template(method: str, path: str) -> str:
+    """Collapse a request target onto its route template.
+
+    Metric labels must be bounded: labelling by raw path would mint
+    one time series per app name, job id, and typo'd URL.  Unknown
+    paths all collapse into ``(unmatched)``.
+    """
+    url = urlparse(path)
+    parts = [p for p in url.path.split("/") if p]
+    if url.path == METRICS_PATH:
+        return METRICS_PATH
+    if not parts or parts[0] != API_VERSION:
+        return "(unmatched)"
+    rest = parts[1:]
+    if rest == ["metrics"]:
+        return METRICS_JSON_PATH
+    if rest in (["info"], ["apps"], ["jobs"], ["events"]):
+        return f"{_PREFIX}/{rest[0]}"
+    if len(rest) == 2 and rest[0] == "apps":
+        return f"{_PREFIX}/apps/{{app}}"
+    if len(rest) == 2 and rest[0] == "jobs":
+        return f"{_PREFIX}/jobs/{{job}}"
+    if len(rest) == 3 and rest[0] == "apps" and rest[2] in (
+        "examples", "infer"
+    ):
+        return f"{_PREFIX}/apps/{{app}}/{rest[2]}"
+    if len(rest) == 4 and rest[0] == "apps" and rest[2] == "examples":
+        return f"{_PREFIX}/apps/{{app}}/examples/{{id}}"
+    return "(unmatched)"
+
+
+def _register_http_metrics(gateway: ServiceGateway):
+    """The per-route request metric families (shared by both frontends)."""
+    registry = gateway.metrics
+    return (
+        registry.counter(
+            "http_requests_total",
+            "HTTP requests completed, by route and status.",
+            ["frontend", "method", "route", "status"],
+        ),
+        registry.histogram(
+            "http_request_seconds",
+            "Wall-clock request latency at the HTTP frontend.",
+            ["frontend", "route"],
+        ),
+        registry.counter(
+            "http_errors_total",
+            "HTTP requests that answered with an ApiError, by code.",
+            ["frontend", "route", "code"],
+        ),
+    )
+
+
+def metrics_endpoint(
+    gateway: ServiceGateway, path: str
+) -> Optional[Tuple[int, bytes, str]]:
+    """Serve ``GET /metrics`` / ``GET /v1/metrics`` if ``path`` is one.
+
+    Returns ``(status, body, content_type)`` or ``None`` when the path
+    is not a metrics endpoint.  Exposition is read-only over snapshot
+    copies, so both frontends serve it inline on the lock-free path.
+    """
+    bare = urlparse(path).path
+    if bare == METRICS_PATH:
+        body = gateway.metrics.render_prometheus().encode("utf-8")
+        return 200, body, "text/plain; version=0.0.4; charset=utf-8"
+    if bare == METRICS_JSON_PATH:
+        body = json.dumps(
+            {"api_version": API_VERSION, "metrics": gateway.metrics.to_dict()}
+        ).encode("utf-8")
+        return 200, body, "application/json"
+    return None
+
+
 def bearer_token(header: str) -> str:
     """Extract the token from an ``Authorization: Bearer …`` value."""
     if header.startswith("Bearer "):
@@ -246,9 +338,21 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, gateway: ServiceGateway) -> None:
+    def __init__(
+        self,
+        address,
+        gateway: ServiceGateway,
+        *,
+        access_log: Optional[AccessLogger] = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.gateway = gateway
+        self.access_log = access_log or NULL_ACCESS_LOG
+        (
+            self.m_requests,
+            self.m_latency,
+            self.m_errors,
+        ) = _register_http_metrics(gateway)
         #: Set on shutdown so in-flight long-polls return promptly
         #: instead of parking until their deadline.
         self._closing = threading.Event()
@@ -281,13 +385,28 @@ class _Handler(BaseHTTPRequestHandler):
     #: Nagle + delayed-ACK stalls keep-alive round trips by ~40ms;
     #: responses are single small JSON writes, so push them at once.
     disable_nagle_algorithm = True
-    #: Silence per-request stderr logging (set True for debugging).
-    verbose = False
 
     # -- plumbing ------------------------------------------------------
+    def log_request(self, code="-", size="-") -> None:
+        # The stdlib per-request line is superseded by the structured
+        # access line _dispatch emits (which carries the request id
+        # and duration); suppress it so enabling the access log does
+        # not double-report every exchange.
+        pass
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.verbose:  # pragma: no cover - debug aid
-            super().log_message(format, *args)
+        # Formerly hard-silenced; now routed through the structured
+        # access logger (stdlib calls land here for transport-level
+        # errors, e.g. a malformed request line).  Still a no-op
+        # unless the operator enabled --access-log / --log-json.
+        self.server.access_log.event(
+            "http_log",
+            frontend="threading",
+            client=self.address_string(),
+            message=format % args,
+        )
+
+    log_error = log_message
 
     @property
     def gateway(self) -> ServiceGateway:
@@ -301,26 +420,58 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _write(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._write_raw(status, body, "application/json")
+
+    def _write_raw(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        context = current_request()
+        if context is not None:
+            self.send_header(REQUEST_ID_HEADER, context.request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
+        context = bind_request(
+            request_id=sanitize_client_id(
+                self.headers.get(REQUEST_ID_HEADER)
+            ),
+            frontend="threading",
+        )
+        status = 500
         try:
             # Read the body before any routing decision — for EVERY
             # method, not just POST: an unread body (say a DELETE sent
             # with one) would desync this keep-alive connection (the
             # next request would be parsed out of the leftover bytes).
             body = self._body()
+            served = (
+                metrics_endpoint(self.gateway, self.path)
+                if method == "GET"
+                else None
+            )
+            if served is not None:
+                status, raw, content_type = served
+                self._write_raw(status, raw, content_type)
+                return
             token = bearer_token(self.headers.get("Authorization", ""))
             request = route_request(method, self.path, body, token)
             response = self.gateway.handle(request)
+            status = 200
             self._write(200, to_wire(response))
         except ApiError as exc:
+            exc.request_id = exc.request_id or context.request_id
+            status = exc.http_status
+            self.server.m_errors.labels(
+                "threading",
+                route_template(method, self.path),
+                exc.code.value,
+            ).inc()
             self._write(
-                exc.http_status,
+                status,
                 {"api_version": API_VERSION, "error": exc.to_dict()},
             )
         except Exception as exc:  # noqa: BLE001 - transport boundary
@@ -332,10 +483,36 @@ class _Handler(BaseHTTPRequestHandler):
                 f"unexpected {type(exc).__name__} in the HTTP frontend",
                 error_type=type(exc).__name__,
             )
+            error.request_id = context.request_id
+            status = error.http_status
+            self.server.m_errors.labels(
+                "threading",
+                route_template(method, self.path),
+                error.code.value,
+            ).inc()
             self._write(
-                error.http_status,
+                status,
                 {"api_version": API_VERSION, "error": error.to_dict()},
             )
+        finally:
+            duration = context.elapsed()
+            route = route_template(method, self.path)
+            self.server.m_requests.labels(
+                "threading", method, route, status
+            ).inc()
+            self.server.m_latency.labels("threading", route).observe(
+                duration
+            )
+            self.server.access_log.access(
+                method=method,
+                path=self.path,
+                status=status,
+                duration=duration,
+                request_id=context.request_id,
+                client=self.address_string(),
+                frontend="threading",
+            )
+            clear_request()
 
     # -- verbs ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -375,8 +552,20 @@ class AsyncServiceHTTPServer:
     starts.
     """
 
-    def __init__(self, address, gateway: ServiceGateway) -> None:
+    def __init__(
+        self,
+        address,
+        gateway: ServiceGateway,
+        *,
+        access_log: Optional[AccessLogger] = None,
+    ) -> None:
         self.gateway = gateway
+        self.access_log = access_log or NULL_ACCESS_LOG
+        (
+            self.m_requests,
+            self.m_latency,
+            self.m_errors,
+        ) = _register_http_metrics(gateway)
         self._socket = socket.create_server(address)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._aio_server: Optional[asyncio.base_events.Server] = None
@@ -579,24 +768,83 @@ class AsyncServiceHTTPServer:
                 connection != "close"
                 and not (version == "HTTP/1.0" and connection != "keep-alive")
             )
-            status, payload, fatal = await self._respond(
-                method, target, headers, raw
+            context = bind_request(
+                request_id=sanitize_client_id(
+                    headers.get(REQUEST_ID_HEADER.lower())
+                ),
+                frontend="asyncio",
             )
-            closing = fatal or not keep_alive
-            await self._write_response(writer, status, payload,
-                                       closing=closing)
+            status, closing = 500, True  # until proven otherwise
+            try:
+                served = (
+                    metrics_endpoint(self.gateway, target)
+                    if method == "GET"
+                    else None
+                )
+                if served is not None:
+                    status, body_bytes, content_type = served
+                    fatal = False
+                else:
+                    status, payload, fatal = await self._respond(
+                        method, target, headers, raw, context
+                    )
+                    body_bytes = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
+                closing = fatal or not keep_alive
+                await self._write_response(
+                    writer,
+                    status,
+                    body_bytes,
+                    closing=closing,
+                    content_type=content_type,
+                    request_id=context.request_id,
+                )
+            finally:
+                duration = context.elapsed()
+                route = route_template(method, target)
+                self.m_requests.labels(
+                    "asyncio", method, route, status
+                ).inc()
+                self.m_latency.labels("asyncio", route).observe(duration)
+                peer = writer.get_extra_info("peername")
+                self.access_log.access(
+                    method=method,
+                    path=target,
+                    status=status,
+                    duration=duration,
+                    request_id=context.request_id,
+                    client=peer[0] if peer else "",
+                    frontend="asyncio",
+                )
+                clear_request()
             if closing:
                 return
 
     @staticmethod
-    async def _write_response(writer, status, payload, *, closing) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    async def _write_response(
+        writer,
+        status,
+        payload,
+        *,
+        closing,
+        content_type: str = "application/json",
+        request_id: Optional[str] = None,
+    ) -> None:
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8")
+        )
         reason = _HTTP_REASONS.get(status, "Unknown")
+        rid_header = (
+            f"{REQUEST_ID_HEADER}: {request_id}\r\n" if request_id else ""
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{rid_header}"
                 f"Connection: {'close' if closing else 'keep-alive'}"
                 "\r\n\r\n"
             ).encode("latin-1")
@@ -605,7 +853,12 @@ class AsyncServiceHTTPServer:
         await writer.drain()
 
     async def _respond(
-        self, method: str, target: str, headers: Dict[str, str], raw: bytes
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        raw: bytes,
+        context: RequestContext,
     ) -> Tuple[int, Dict[str, Any], bool]:
         """One exchange -> (status, JSON payload, close-connection)."""
         try:
@@ -615,6 +868,10 @@ class AsyncServiceHTTPServer:
             response = await self._dispatch(request)
             return 200, to_wire(response), False
         except ApiError as exc:
+            exc.request_id = exc.request_id or context.request_id
+            self.m_errors.labels(
+                "asyncio", route_template(method, target), exc.code.value
+            ).inc()
             return (
                 exc.http_status,
                 {"api_version": API_VERSION, "error": exc.to_dict()},
@@ -628,6 +885,10 @@ class AsyncServiceHTTPServer:
                 f"unexpected {type(exc).__name__} in the HTTP frontend",
                 error_type=type(exc).__name__,
             )
+            error.request_id = context.request_id
+            self.m_errors.labels(
+                "asyncio", route_template(method, target), error.code.value
+            ).inc()
             # The connection state is unknown; close after replying.
             return (
                 error.http_status,
@@ -652,8 +913,12 @@ class AsyncServiceHTTPServer:
                 if float(request.wait or 0.0) > 0
                 else self._pool
             )
+            # run_in_executor starts the callable in an EMPTY context;
+            # snapshot this coroutine's context so the worker thread
+            # sees the same request id (it lands in journal records).
+            snapshot = contextvars.copy_context()
             return await asyncio.get_running_loop().run_in_executor(
-                pool, gateway.handle, request
+                pool, lambda: snapshot.run(gateway.handle, request)
             )
         return await asyncio.wrap_future(gateway.submit_command(request))
 
@@ -670,22 +935,26 @@ def serve(
     port: int = 0,
     *,
     frontend: str = "threading",
+    access_log: Optional[AccessLogger] = None,
 ) -> AnyServiceServer:
     """Bind (but do not start) an HTTP server for ``gateway``.
 
     ``port=0`` picks a free port.  ``frontend`` selects the transport
     (see :data:`FRONTENDS`); both expose the same ``serve_forever`` /
     ``shutdown`` / ``server_close`` / ``port`` / ``url`` surface.
-    Call ``serve_forever()`` to block, or :func:`serve_background` to
-    run it on a daemon thread.
+    ``access_log`` enables per-request structured logging (default:
+    disabled).  Call ``serve_forever()`` to block, or
+    :func:`serve_background` to run it on a daemon thread.
     """
     if frontend not in FRONTENDS:
         raise ValueError(
             f"frontend must be one of {FRONTENDS}, got {frontend!r}"
         )
     if frontend == "asyncio":
-        return AsyncServiceHTTPServer((host, port), gateway)
-    return ServiceHTTPServer((host, port), gateway)
+        return AsyncServiceHTTPServer(
+            (host, port), gateway, access_log=access_log
+        )
+    return ServiceHTTPServer((host, port), gateway, access_log=access_log)
 
 
 def serve_background(
@@ -694,9 +963,12 @@ def serve_background(
     port: int = 0,
     *,
     frontend: str = "threading",
+    access_log: Optional[AccessLogger] = None,
 ) -> Tuple[AnyServiceServer, threading.Thread]:
     """Start the HTTP server on a daemon thread; returns (server, thread)."""
-    server = serve(gateway, host, port, frontend=frontend)
+    server = serve(
+        gateway, host, port, frontend=frontend, access_log=access_log
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="easeml-http", daemon=True
     )

@@ -1,0 +1,111 @@
+"""Access/event logging: formats, enablement, concurrency."""
+
+import io
+import json
+import threading
+
+from repro.obs import NULL_ACCESS_LOG, AccessLogger
+
+
+def make_logger(**kwargs):
+    stream = io.StringIO()
+    return AccessLogger(stream, **kwargs), stream
+
+
+class TestHumanFormat:
+    def test_access_line(self):
+        logger, stream = make_logger()
+        logger.access(
+            method="POST", path="/v1/apps", status=200,
+            duration=0.00123, request_id="req-ab", client="127.0.0.1",
+        )
+        line = stream.getvalue().strip()
+        assert '127.0.0.1 "POST /v1/apps" 200 1.2ms req-ab' in line
+        assert line.split(" ", 1)[0].endswith("Z")  # UTC stamp first
+
+    def test_access_line_without_request_id(self):
+        logger, stream = make_logger()
+        logger.access(method="GET", path="/metrics", status=200,
+                      duration=0.0)
+        assert stream.getvalue().strip().endswith('"GET /metrics" 200 0.0ms')
+
+    def test_event_line(self):
+        logger, stream = make_logger()
+        logger.event("serve_started", url="http://x", port=80)
+        assert "[serve_started] url=http://x port=80" in stream.getvalue()
+
+
+class TestJsonFormat:
+    def test_access_record(self):
+        logger, stream = make_logger(json_lines=True)
+        logger.access(
+            method="GET", path="/v1/info", status=200, duration=0.002,
+            request_id="req-1", client="c", frontend="asyncio",
+            tenant="acme",
+        )
+        record = json.loads(stream.getvalue())
+        assert record["kind"] == "access"
+        assert record["method"] == "GET"
+        assert record["status"] == 200
+        assert record["duration_ms"] == 2.0
+        assert record["request_id"] == "req-1"
+        assert record["tenant"] == "acme"
+        assert record["frontend"] == "asyncio"
+
+    def test_optional_fields_omitted(self):
+        logger, stream = make_logger(json_lines=True)
+        logger.access(method="GET", path="/metrics", status=200,
+                      duration=0.0)
+        record = json.loads(stream.getvalue())
+        assert "request_id" not in record
+        assert "tenant" not in record
+
+    def test_event_record(self):
+        logger, stream = make_logger(json_lines=True)
+        logger.event("recovery", records=12)
+        record = json.loads(stream.getvalue())
+        assert record["kind"] == "recovery"
+        assert record["records"] == 12
+        assert "ts" in record
+
+
+class TestEnablement:
+    def test_disabled_logger_emits_nothing(self):
+        logger, stream = make_logger(enabled=False)
+        logger.access(method="GET", path="/", status=200, duration=0.0)
+        logger.event("anything", x=1)
+        assert stream.getvalue() == ""
+
+    def test_null_logger_is_disabled(self):
+        assert NULL_ACCESS_LOG.enabled is False
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        logger = AccessLogger(stream)
+        stream.close()
+        logger.access(method="GET", path="/", status=200, duration=0.0)
+        logger.event("late", x=1)
+
+
+class TestConcurrency:
+    def test_lines_never_interleave(self):
+        logger, stream = make_logger(json_lines=True)
+
+        def hammer(i):
+            for _ in range(50):
+                logger.access(
+                    method="GET", path=f"/t/{i}", status=200,
+                    duration=0.001,
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 400
+        for line in lines:
+            json.loads(line)  # every line is one intact record

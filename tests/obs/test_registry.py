@@ -1,0 +1,300 @@
+"""The metrics substrate: instruments, families, registry, exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullInstrument,
+    OVERFLOW_LABEL,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(7)
+        assert gauge.value == 8.0
+
+
+class TestHistogram:
+    def test_boundary_lands_in_le_bucket(self):
+        """A value exactly on a bound belongs to that bound's bucket."""
+        h = Histogram([0.1, 0.2, 0.4])
+        h.observe(0.1)
+        h.observe(0.2)
+        assert h.counts == [1, 1, 0, 0]
+
+    def test_tail_goes_to_inf_bucket(self):
+        h = Histogram([0.1, 0.2])
+        h.observe(99.0)
+        assert h.counts == [0, 0, 1]
+        assert h.total == 1
+        assert h.sum == 99.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([0.1, 0.1])
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram([])
+
+    def test_percentile_interpolates(self):
+        # 10 observations spread evenly through the (0.0, 0.1] bucket:
+        # the estimator interpolates linearly inside the bucket.
+        h = Histogram([0.1, 0.2])
+        for _ in range(10):
+            h.observe(0.05)
+        assert h.percentile(50) == pytest.approx(0.05)
+        assert h.percentile(100) == pytest.approx(0.1)
+
+    def test_percentile_across_buckets(self):
+        h = Histogram([0.1, 0.2, 0.4])
+        for _ in range(8):
+            h.observe(0.05)  # first bucket
+        for _ in range(2):
+            h.observe(0.3)  # third bucket
+        # p80 sits exactly at the cumulative edge of bucket one.
+        assert h.percentile(80) == pytest.approx(0.1)
+        assert h.percentile(99) == pytest.approx(
+            0.2 + 0.2 * ((9.9 - 8) / 2)
+        )
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(Histogram([1.0]).percentile(50))
+
+    def test_percentile_inf_bucket_clamps(self):
+        h = Histogram([0.1, 0.2])
+        h.observe(50.0)
+        assert h.percentile(99) == 0.2
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            Histogram([1.0]).percentile(101)
+
+    def test_time_contextmanager(self):
+        h = Histogram(DEFAULT_LATENCY_BUCKETS)
+        with h.time():
+            pass
+        assert h.total == 1
+        assert h.sum >= 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labels=["worker"])
+        histogram = registry.histogram(
+            "lat_seconds", buckets=[0.001, 1.0]
+        )
+        n_threads, n_iter = 8, 500
+
+        def hammer(worker):
+            for _ in range(n_iter):
+                counter.labels(worker % 4).inc()
+                histogram.observe(0.0005)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(
+            child.value for _, child in counter.children()
+        )
+        assert total == n_threads * n_iter
+        assert histogram._solo().total == n_threads * n_iter
+
+    def test_concurrent_label_creation(self):
+        registry = MetricsRegistry(max_label_sets=1024)
+        family = registry.counter("fan_total", labels=["k"])
+        barrier = threading.Barrier(8)
+
+        def create(base):
+            barrier.wait()
+            for i in range(100):
+                family.labels(f"{base}-{i}").inc()
+
+        threads = [
+            threading.Thread(target=create, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(family.children()) == 800
+        assert all(c.value == 1.0 for _, c in family.children())
+
+
+class TestCardinalityGuard:
+    def test_overflow_collapses(self):
+        registry = MetricsRegistry(max_label_sets=4)
+        family = registry.counter("c_total", labels=["tenant"])
+        for i in range(10):
+            family.labels(f"t{i}").inc()
+        children = dict(family.children())
+        # 4 real children + the shared overflow child.
+        assert (OVERFLOW_LABEL,) in children
+        assert children[(OVERFLOW_LABEL,)].value == 6.0
+        assert registry.overflow.value == 6.0
+        # Existing children keep updating post-overflow.
+        family.labels("t0").inc()
+        assert dict(family.children())[("t0",)].value == 2.0
+
+    def test_overflow_visible_in_exposition(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        family = registry.counter("c_total", labels=["k"])
+        family.labels("a").inc()
+        family.labels("b").inc()
+        text = registry.render_prometheus()
+        assert 'c_total{k="__overflow__"} 1' in text
+        assert "obs_label_overflow_total 1" in text
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help", ["a"])
+        second = registry.counter("x_total", "other help", ["a"])
+        assert first is second
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=["a"])
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labels=["b"])
+
+    def test_name_and_label_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labels=["bad-label"])
+
+    def test_labels_arity_checked(self):
+        family = MetricsRegistry().counter("x_total", labels=["a", "b"])
+        with pytest.raises(ValueError, match="declares labels"):
+            family.labels("only-one")
+
+    def test_unlabelled_family_needs_no_labels_call(self):
+        family = MetricsRegistry().counter("x_total")
+        family.inc()
+        assert family.value == 1.0
+        labelled = MetricsRegistry().counter("y_total", labels=["a"])
+        with pytest.raises(ValueError, match="address a child"):
+            labelled.inc()
+
+
+class TestPrometheusExposition:
+    def test_golden(self):
+        """Byte-for-byte exposition of one small registry."""
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "http_requests_total", "Requests served.", ["route"]
+        )
+        requests.labels("/v1/info").inc(3)
+        depth = registry.gauge("queue_depth", "Commands waiting.")
+        depth.set(2)
+        lat = registry.histogram(
+            "req_seconds", "Request latency.", buckets=[0.1, 0.5]
+        )
+        lat.observe(0.05)
+        lat.observe(0.05)
+        lat.observe(0.3)
+        lat.observe(7.0)
+        expected = "\n".join([
+            "# HELP http_requests_total Requests served.",
+            "# TYPE http_requests_total counter",
+            'http_requests_total{route="/v1/info"} 3',
+            "# HELP obs_label_overflow_total "
+            "Label sets collapsed by the cardinality guard.",
+            "# TYPE obs_label_overflow_total counter",
+            "obs_label_overflow_total 0",
+            "# HELP queue_depth Commands waiting.",
+            "# TYPE queue_depth gauge",
+            "queue_depth 2",
+            "# HELP req_seconds Request latency.",
+            "# TYPE req_seconds histogram",
+            'req_seconds_bucket{le="0.1"} 2',
+            'req_seconds_bucket{le="0.5"} 3',
+            'req_seconds_bucket{le="+Inf"} 4',
+            "req_seconds_sum 7.4",
+            "req_seconds_count 4",
+        ]) + "\n"
+        assert registry.render_prometheus() == expected
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=["path"])
+        family.labels('a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert r'x_total{path="a\"b\\c\nd"} 1' in text
+
+    def test_integer_values_render_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc(2)
+        assert "x_total 2\n" in registry.render_prometheus()
+
+
+class TestJsonExposition:
+    def test_histogram_series_carry_percentiles(self):
+        registry = MetricsRegistry()
+        lat = registry.histogram("h_seconds", buckets=[0.1, 0.2])
+        for _ in range(10):
+            lat.observe(0.05)
+        entry = registry.to_dict()["h_seconds"]["series"][0]
+        assert entry["count"] == 10
+        assert entry["p50"] == pytest.approx(0.05)
+        assert entry["p95"] == pytest.approx(0.095)
+        assert entry["buckets"][-1]["le"] == "+Inf"
+
+    def test_empty_histogram_percentiles_are_null(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds")
+        entry = registry.to_dict()["h_seconds"]["series"][0]
+        assert entry["p50"] is None
+
+
+class TestDisabledRegistry:
+    def test_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x_total", labels=["a"])
+        assert isinstance(counter, NullInstrument)
+        # The whole instrument surface no-ops without branching.
+        counter.labels("t").inc()
+        counter.dec()
+        counter.set(5)
+        counter.observe(1.0)
+        with counter.time():
+            pass
+        assert counter.value == 0.0
+        assert math.isnan(counter.percentile(50))
+
+    def test_renders_empty(self):
+        assert NULL_REGISTRY.render_prometheus() == "\n"
+        assert NULL_REGISTRY.to_dict() == {}
+        assert NULL_REGISTRY.families() == []

@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_all_exports_resolve():
@@ -35,10 +35,12 @@ def test_subpackages_importable():
     import repro.experiments
     import repro.gp
     import repro.ml
+    import repro.obs
     import repro.platform
     import repro.service
     import repro.utils
 
     assert repro.core.__doc__
+    assert repro.obs.__doc__
     assert repro.platform.__doc__
     assert repro.service.__doc__
