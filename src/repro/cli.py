@@ -241,6 +241,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the metrics registry (instruments become "
         "no-ops; /metrics serves an empty exposition)",
     )
+    srv.add_argument(
+        "--metrics-token", default=None, metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on /metrics and "
+        "/v1/metrics (by default scrapes are open, which exposes "
+        "tenant names and per-tenant traffic to any network peer)",
+    )
 
     met = sub.add_parser(
         "metrics",
@@ -254,6 +260,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="fetch the JSON snapshot (/v1/metrics, with derived "
         "p50/p95/p99) instead of the Prometheus text exposition",
+    )
+    met.add_argument(
+        "--metrics-token", default=None, metavar="TOKEN",
+        help="bearer token to send, for servers started with "
+        "--metrics-token",
     )
 
     st = sub.add_parser(
@@ -616,6 +627,7 @@ def build_service(args: argparse.Namespace):
         port=args.port,
         frontend=getattr(args, "frontend", "threading"),
         access_log=access_log,
+        metrics_token=getattr(args, "metrics_token", None),
     )
     return gateway, tokens, server, report
 
@@ -672,8 +684,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         connection = HTTPConnection(
             parsed.hostname or args.url, parsed.port or 80, timeout=10.0
         )
+        headers = {}
+        if getattr(args, "metrics_token", None):
+            headers["Authorization"] = f"Bearer {args.metrics_token}"
         try:
-            connection.request("GET", path)
+            connection.request("GET", path, headers=headers)
             response = connection.getresponse()
             body = response.read().decode("utf-8", "replace")
         finally:

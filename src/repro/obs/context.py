@@ -137,11 +137,22 @@ def run_in_context(
     capture time (e.g. when a command was enqueued); ``None`` runs the
     callable directly.  ``Context.run`` refuses re-entry, so a snapshot
     already running on this thread falls back to a direct call — the
-    ambient context is then already the right one.
+    ambient context is then already the right one.  The fallback fires
+    only when ``func`` never started: a RuntimeError raised by ``func``
+    itself must propagate, not trigger a second invocation.
     """
     if snapshot is None:
         return func(*args, **kwargs)
+    started = False
+
+    def _invoke() -> T:
+        nonlocal started
+        started = True
+        return func(*args, **kwargs)
+
     try:
-        return snapshot.run(func, *args, **kwargs)
+        return snapshot.run(_invoke)
     except RuntimeError:
+        if started:
+            raise
         return func(*args, **kwargs)

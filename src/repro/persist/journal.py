@@ -286,7 +286,7 @@ class Journal:
             self._seq = record.seq
         self._m_append_seconds.observe(time.perf_counter() - started)
         self._m_records.labels(rtype).inc()
-        self._m_bytes.inc(len(line))
+        self._m_bytes.inc(len(line.encode("utf-8")))
         if self.sync != "fsync":
             self._m_flush_lag.set(self._seq - self._flushed_seq)
         return record

@@ -788,6 +788,11 @@ class ServiceGateway:
         except ApiError as exc:
             outcome = exc.code.value
             raise
+        except BaseException:
+            # Anything else escaping _dispatch surfaces as a 500
+            # INTERNAL at the frontend — count it that way too.
+            outcome = "internal"
+            raise
         finally:
             if needs_commit:
                 # Outside the lock: under ``sync="group"`` concurrent

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import hmac
 import json
 import socket
 import threading
@@ -164,24 +165,47 @@ def _register_http_metrics(gateway: ServiceGateway):
 
 
 def metrics_endpoint(
-    gateway: ServiceGateway, path: str
+    gateway: ServiceGateway,
+    path: str,
+    *,
+    auth_header: str = "",
+    metrics_token: Optional[str] = None,
 ) -> Optional[Tuple[int, bytes, str]]:
     """Serve ``GET /metrics`` / ``GET /v1/metrics`` if ``path`` is one.
 
     Returns ``(status, body, content_type)`` or ``None`` when the path
     is not a metrics endpoint.  Exposition is read-only over snapshot
     copies, so both frontends serve it inline on the lock-free path.
+
+    By default scrapes are unauthenticated (a scrape agent holds no
+    tenant token), which exposes tenant names and per-tenant traffic
+    patterns to any network peer.  ``metrics_token`` opts into gating:
+    when set, scrapes must present ``Authorization: Bearer <token>``
+    or they answer 401 (``--metrics-token`` on ``repro serve``).
     """
     bare = urlparse(path).path
+    if bare not in (METRICS_PATH, METRICS_JSON_PATH):
+        return None
+    if metrics_token is not None and not hmac.compare_digest(
+        bearer_token(auth_header), metrics_token
+    ):
+        error = ApiError(
+            ApiErrorCode.UNAUTHORIZED,
+            "metrics scrapes on this server require "
+            "'Authorization: Bearer <metrics token>' "
+            "(started with --metrics-token)",
+        )
+        body = json.dumps(
+            {"api_version": API_VERSION, "error": error.to_dict()}
+        ).encode("utf-8")
+        return error.http_status, body, "application/json"
     if bare == METRICS_PATH:
         body = gateway.metrics.render_prometheus().encode("utf-8")
         return 200, body, "text/plain; version=0.0.4; charset=utf-8"
-    if bare == METRICS_JSON_PATH:
-        body = json.dumps(
-            {"api_version": API_VERSION, "metrics": gateway.metrics.to_dict()}
-        ).encode("utf-8")
-        return 200, body, "application/json"
-    return None
+    body = json.dumps(
+        {"api_version": API_VERSION, "metrics": gateway.metrics.to_dict()}
+    ).encode("utf-8")
+    return 200, body, "application/json"
 
 
 def bearer_token(header: str) -> str:
@@ -344,10 +368,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         gateway: ServiceGateway,
         *,
         access_log: Optional[AccessLogger] = None,
+        metrics_token: Optional[str] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
+        self.metrics_token = metrics_token
         (
             self.m_requests,
             self.m_latency,
@@ -449,7 +475,12 @@ class _Handler(BaseHTTPRequestHandler):
             # next request would be parsed out of the leftover bytes).
             body = self._body()
             served = (
-                metrics_endpoint(self.gateway, self.path)
+                metrics_endpoint(
+                    self.gateway,
+                    self.path,
+                    auth_header=self.headers.get("Authorization", ""),
+                    metrics_token=self.server.metrics_token,
+                )
                 if method == "GET"
                 else None
             )
@@ -558,9 +589,11 @@ class AsyncServiceHTTPServer:
         gateway: ServiceGateway,
         *,
         access_log: Optional[AccessLogger] = None,
+        metrics_token: Optional[str] = None,
     ) -> None:
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
+        self.metrics_token = metrics_token
         (
             self.m_requests,
             self.m_latency,
@@ -777,7 +810,12 @@ class AsyncServiceHTTPServer:
             status, closing = 500, True  # until proven otherwise
             try:
                 served = (
-                    metrics_endpoint(self.gateway, target)
+                    metrics_endpoint(
+                        self.gateway,
+                        target,
+                        auth_header=headers.get("authorization", ""),
+                        metrics_token=self.metrics_token,
+                    )
                     if method == "GET"
                     else None
                 )
@@ -936,6 +974,7 @@ def serve(
     *,
     frontend: str = "threading",
     access_log: Optional[AccessLogger] = None,
+    metrics_token: Optional[str] = None,
 ) -> AnyServiceServer:
     """Bind (but do not start) an HTTP server for ``gateway``.
 
@@ -943,8 +982,10 @@ def serve(
     (see :data:`FRONTENDS`); both expose the same ``serve_forever`` /
     ``shutdown`` / ``server_close`` / ``port`` / ``url`` surface.
     ``access_log`` enables per-request structured logging (default:
-    disabled).  Call ``serve_forever()`` to block, or
-    :func:`serve_background` to run it on a daemon thread.
+    disabled).  ``metrics_token`` gates the otherwise-unauthenticated
+    ``/metrics`` endpoints behind a bearer token (default: open).
+    Call ``serve_forever()`` to block, or :func:`serve_background`
+    to run it on a daemon thread.
     """
     if frontend not in FRONTENDS:
         raise ValueError(
@@ -952,9 +993,13 @@ def serve(
         )
     if frontend == "asyncio":
         return AsyncServiceHTTPServer(
-            (host, port), gateway, access_log=access_log
+            (host, port), gateway,
+            access_log=access_log, metrics_token=metrics_token,
         )
-    return ServiceHTTPServer((host, port), gateway, access_log=access_log)
+    return ServiceHTTPServer(
+        (host, port), gateway,
+        access_log=access_log, metrics_token=metrics_token,
+    )
 
 
 def serve_background(
@@ -964,10 +1009,12 @@ def serve_background(
     *,
     frontend: str = "threading",
     access_log: Optional[AccessLogger] = None,
+    metrics_token: Optional[str] = None,
 ) -> Tuple[AnyServiceServer, threading.Thread]:
     """Start the HTTP server on a daemon thread; returns (server, thread)."""
     server = serve(
-        gateway, host, port, frontend=frontend, access_log=access_log
+        gateway, host, port, frontend=frontend,
+        access_log=access_log, metrics_token=metrics_token,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="easeml-http", daemon=True

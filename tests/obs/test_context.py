@@ -101,6 +101,49 @@ class TestRunInContext:
 
         assert snapshot.run(nested) == "req-outer"
 
+    def test_func_runtime_error_propagates_without_rerun(self):
+        """A RuntimeError raised by ``func`` itself must NOT trigger
+        the re-entry fallback: that would execute ``func`` twice
+        (duplicate journal records, double-applied mutations)."""
+        bind_request(request_id="req-captured")
+        snapshot = contextvars.copy_context()
+        clear_request()
+        calls = []
+
+        def failing():
+            calls.append(current_request_id())
+            raise RuntimeError("handler blew up after side-effects")
+
+        try:
+            run_in_context(snapshot, failing)
+        except RuntimeError as exc:
+            assert "blew up" in str(exc)
+        else:  # pragma: no cover - the call must raise
+            raise AssertionError("expected RuntimeError to propagate")
+        assert calls == ["req-captured"]
+
+    def test_func_runtime_error_in_nested_reentry_runs_once(self):
+        """Even on the fallback path (re-entry), a failing ``func``
+        runs exactly once and its error propagates."""
+        bind_request(request_id="req-outer")
+        snapshot = contextvars.copy_context()
+        calls = []
+
+        def failing():
+            calls.append(current_request_id())
+            raise RuntimeError("boom")
+
+        def nested():
+            return run_in_context(snapshot, failing)
+
+        try:
+            snapshot.run(nested)
+        except RuntimeError as exc:
+            assert "boom" in str(exc)
+        else:  # pragma: no cover - the call must raise
+            raise AssertionError("expected RuntimeError to propagate")
+        assert calls == ["req-outer"]
+
     def test_context_dataclass_defaults(self):
         context = RequestContext()
         assert context.request_id.startswith("req-")

@@ -36,6 +36,24 @@ class TestJournalMetrics:
         assert registry.get("journal_bytes_total").value == 0.0
         assert registry.get("journal_commit_lag_records").value == 0.0
 
+    def test_live_and_offline_bytes_agree_on_non_ascii(self, tmp_path):
+        """``journal_bytes_total`` counts on-disk utf-8 bytes in both
+        the live journal and the offline ``state inspect`` view — a
+        character count would diverge for any non-ASCII payload."""
+        from repro.persist.journal import Journal, read_journal
+
+        path = tmp_path / "wal.jsonl"
+        registry = MetricsRegistry()
+        journal = Journal(path, sync="buffered")
+        journal.bind_metrics(registry)
+        journal.append("tenant_created", {"name": "café-über-☃"})
+        journal.close()
+        live = registry.get("journal_bytes_total").value
+        records, dropped = read_journal(path)
+        assert dropped == 0
+        offline = journal_metrics(records).get("journal_bytes_total").value
+        assert live == offline == path.stat().st_size
+
     def test_shares_families_with_a_live_registry(self):
         """Same names as the live journal: re-registration, no clash."""
         registry = MetricsRegistry()

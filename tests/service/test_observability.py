@@ -210,6 +210,38 @@ class TestMetricsEndpoints:
             server.server_close()
 
 
+class TestMetricsToken:
+    @pytest.mark.parametrize("frontend", ["threading", "asyncio"])
+    def test_gated_scrapes_require_bearer(self, frontend):
+        gateway = make_gateway()
+        server, _ = serve_background(
+            gateway, frontend=frontend, metrics_token="scrape-secret"
+        )
+        try:
+            response, raw = raw_get(server, METRICS_PATH)
+            assert response.status == 401
+            body = json.loads(raw.decode("utf-8"))
+            assert body["error"]["code"] == "unauthorized"
+            response, _ = raw_get(
+                server,
+                METRICS_JSON_PATH,
+                headers={"Authorization": "Bearer wrong"},
+            )
+            assert response.status == 401
+            good = {"Authorization": "Bearer scrape-secret"}
+            response, raw = raw_get(server, METRICS_PATH, headers=good)
+            assert response.status == 200
+            assert b"http_requests_total" in raw
+            response, raw = raw_get(
+                server, METRICS_JSON_PATH, headers=good
+            )
+            assert response.status == 200
+            assert json.loads(raw.decode("utf-8"))["api_version"] == "v1"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestJournalMetricsFamilies:
     def test_store_reports_into_gateway_registry(self, tmp_path):
         gateway, _ = open_durable_gateway(tmp_path / "state")
