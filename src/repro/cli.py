@@ -26,7 +26,13 @@ Commands
     ``--state-dir`` the control plane is durable: every mutation is
     journaled before it is acked (``--sync group`` shares one fsync
     per commit convoy), and a restart from the same directory recovers
-    tenants, tokens, quotas, apps, and job handles.
+    tenants, tokens, quotas, apps, and job handles.  ``--replicas N``
+    adds N WAL-tailing read-replica processes behind a shared
+    ``SO_REUSEPORT`` front port; one is promoted to writer if the
+    writer dies (``--max-lag-records`` bounds read staleness).
+``replica status``
+    Topology and per-member replication lag for a running serving
+    plane (reads the plane's ``cluster.json``, scrapes each member).
 ``state {inspect,compact}``
     Operator tools over a ``--state-dir``: summarise the journal /
     snapshots (and print tenant tokens), or replay-verify and compact
@@ -44,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.datasets import load_benchmark_suite
@@ -247,6 +254,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "/v1/metrics (by default scrapes are open, which exposes "
         "tenant names and per-tenant traffic to any network peer)",
     )
+    srv.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="scale-out serving: run N WAL-tailing read-replica "
+        "processes next to the writer, all sharing the front port "
+        "(SO_REUSEPORT).  Replicas serve reads, answer writes with a "
+        "redirect to the writer, and one of them is promoted to "
+        "writer if the writer dies.  Requires --state-dir",
+    )
+    srv.add_argument(
+        "--max-lag-records", type=int, default=None, metavar="M",
+        help="staleness bound for replica reads: a replica more than "
+        "M journal records behind the writer answers reads with 503 "
+        "UNAVAILABLE_RECOVERING instead of stale data (default: "
+        "serve regardless of lag; every response carries "
+        "X-Replica-Lag either way)",
+    )
 
     met = sub.add_parser(
         "metrics",
@@ -287,6 +310,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot (truncates the journal)",
     )
     compact.add_argument("--state-dir", required=True, metavar="DIR")
+
+    repl = sub.add_parser(
+        "replica",
+        help="operator tools over a scale-out serving plane",
+    )
+    replica_sub = repl.add_subparsers(
+        dest="replica_command", required=True
+    )
+    status = replica_sub.add_parser(
+        "status",
+        help="cluster topology and per-member replication lag (reads "
+        "cluster.json and scrapes each member's metrics endpoint)",
+    )
+    status.add_argument("--state-dir", required=True, metavar="DIR")
+    status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
+    status.add_argument(
+        "--metrics-token", default=None, metavar="TOKEN",
+        help="bearer token for members started with --metrics-token",
+    )
     return parser
 
 
@@ -635,6 +680,8 @@ def build_service(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.persist import JournalError
 
+    if getattr(args, "replicas", 0):
+        return _cmd_serve_plane(args)
     try:
         gateway, tokens, server, report = build_service(args)
     except (ValueError, OSError, JournalError) as exc:
@@ -662,6 +709,167 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if gateway.store is not None:
             gateway.store.close()
+    return 0
+
+
+def _cmd_serve_plane(args: argparse.Namespace) -> int:
+    """``serve --replicas N``: writer + N replicas + front tier."""
+    from repro.persist import JournalError
+    from repro.replica import ServingPlane
+
+    if not getattr(args, "state_dir", None):
+        print(
+            "--replicas requires --state-dir: replicas tail the "
+            "writer's journal",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "frontend", "threading") != "threading":
+        print(
+            "note: --frontend is per-process; the serving plane "
+            "always uses the threading frontend",
+            file=sys.stderr,
+        )
+    plane = ServingPlane(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        max_lag_records=args.max_lag_records,
+        tenants=args.tenant or ["default"],
+        sync=args.sync,
+        snapshot_every=args.snapshot_every,
+        in_flight=args.in_flight,
+        gateway_kwargs=dict(
+            placement=args.placement,
+            n_gpus=args.n_gpus,
+            scaling_efficiency=args.scaling_efficiency,
+            preemption_overhead=args.preemption_overhead,
+            min_examples=args.min_examples,
+            seed=args.seed,
+        ),
+    )
+    try:
+        plane.start()
+    except (ValueError, OSError, JournalError, RuntimeError) as exc:
+        print(f"cannot start the serving plane: {exc}", file=sys.stderr)
+        plane.stop()
+        return 2
+    mode = "SO_REUSEPORT" if plane.reuse_port else "forwarding proxy"
+    print(
+        f"ease.ml serving plane on {plane.front_url} "
+        f"({mode}; API v1)"
+    )
+    print(f"  writer: {plane.writer_url}")
+    for url in plane.replica_urls():
+        print(f"  replica: {url}")
+    for name, token in plane.tokens.items():
+        print(f"tenant {name}: {token}")
+    print("press Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        plane.stop()
+    return 0
+
+
+def _scrape_json_metrics(url, path, token=None, timeout=5.0):
+    """GET ``url+path`` and parse the JSON body; None on any failure."""
+    import json
+    from http.client import HTTPConnection, HTTPException
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url)
+    headers = {}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    try:
+        connection = HTTPConnection(
+            parsed.hostname or url, parsed.port or 80, timeout=timeout
+        )
+        try:
+            connection.request("GET", path, headers=headers)
+            response = connection.getresponse()
+            body = response.read()
+        finally:
+            connection.close()
+        if response.status != 200:
+            return None
+        return json.loads(body.decode("utf-8"))
+    except (ConnectionError, HTTPException, OSError, ValueError):
+        return None
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    """``replica status``: topology + per-member lag."""
+    import json
+
+    from repro.replica import read_cluster
+    from repro.service.http import METRICS_JSON_PATH
+
+    cluster = read_cluster(args.state_dir)
+    if cluster is None:
+        print(
+            f"{args.state_dir} has no cluster.json — start the plane "
+            "with `repro serve --replicas N --state-dir ...`",
+            file=sys.stderr,
+        )
+        return 2
+
+    def gauge(document, name):
+        if not document:
+            return None
+        metrics = document.get("metrics", document)
+        series = metrics.get(name, {}).get("series") or []
+        return series[0]["value"] if series else None
+
+    members = []
+    for member in cluster.get("members", []):
+        metrics = _scrape_json_metrics(
+            member.get("url", ""),
+            METRICS_JSON_PATH,
+            token=getattr(args, "metrics_token", None),
+        )
+        members.append(
+            {
+                "name": member.get("name"),
+                "role": member.get("role"),
+                "url": member.get("url"),
+                "pid": member.get("pid"),
+                "reachable": metrics is not None,
+                "applied_seq": gauge(metrics, "replica_applied_seq"),
+                "lag_records": gauge(metrics, "replica_lag_records"),
+                "lag_seconds": gauge(metrics, "replica_lag_seconds"),
+                "is_writer": gauge(metrics, "replica_is_writer"),
+            }
+        )
+    out = {
+        "front_url": cluster.get("front_url"),
+        "writer_url": cluster.get("writer_url"),
+        "promotions": cluster.get("promotions", 0),
+        "members": members,
+    }
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    print(f"front:  {out['front_url']}")
+    print(f"writer: {out['writer_url']}")
+    if out["promotions"]:
+        print(f"promotions: {out['promotions']}")
+    for member in members:
+        lag = member["lag_records"]
+        lag_text = "-" if lag is None else f"{int(lag)}"
+        applied = member["applied_seq"]
+        applied_text = "-" if applied is None else f"{int(applied)}"
+        state = "up" if member["reachable"] else "unreachable"
+        print(
+            f"  {member['name']:<12} {member['role']:<8} "
+            f"{member['url']:<28} {state:<12} "
+            f"applied={applied_text} lag={lag_text}"
+        )
     return 0
 
 
@@ -853,6 +1061,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "state":
         return _cmd_state(args)
+    if args.command == "replica":
+        return _cmd_replica(args)
     return _cmd_compare(args)
 
 

@@ -34,6 +34,7 @@ from repro.persist.journal import (
     RECORD_TYPES,
     canonical_json,
     read_journal,
+    read_records_from,
     record_checksum,
     rewrite_journal,
 )
@@ -42,25 +43,33 @@ from repro.persist.recovery import (
     IN_FLIGHT_POLICIES,
     RecoveryError,
     RecoveryReport,
+    build_follower_gateway,
+    cancel_in_flight,
     open_gateway,
     recover_gateway,
+    replay_records,
 )
 from repro.persist.snapshot import (
+    COMPACTION_POINTER_NAME,
     Snapshot,
     SnapshotError,
     compact_records,
     list_snapshots,
     load_latest_snapshot,
+    read_compaction_pointer,
+    write_compaction_pointer,
     write_snapshot,
 )
 from repro.persist.store import (
     StateStore,
+    acquire_lock,
     has_state,
     read_config,
     write_config,
 )
 
 __all__ = [
+    "COMPACTION_POINTER_NAME",
     "EFFECT_TYPES",
     "IN_FLIGHT_POLICIES",
     "JOURNAL_NAME",
@@ -74,6 +83,9 @@ __all__ = [
     "Snapshot",
     "SnapshotError",
     "StateStore",
+    "acquire_lock",
+    "build_follower_gateway",
+    "cancel_in_flight",
     "canonical_json",
     "compact_records",
     "has_state",
@@ -81,13 +93,17 @@ __all__ = [
     "list_snapshots",
     "load_latest_snapshot",
     "open_gateway",
+    "read_compaction_pointer",
     "read_config",
     "read_journal",
+    "read_records_from",
     "record_checksum",
     "recover_gateway",
+    "replay_records",
     "rewrite_journal",
     "state_digest",
     "state_view",
+    "write_compaction_pointer",
     "write_config",
     "write_snapshot",
 ]

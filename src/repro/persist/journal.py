@@ -42,7 +42,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import jsonify
 from repro.obs.metrics import NULL_REGISTRY
@@ -331,6 +331,22 @@ class Journal:
         self._m_commit_seconds.observe(time.perf_counter() - started)
         self._m_flush_lag.set(self._seq - self._flushed_seq)
 
+    def records_from(self, since_seq: int) -> Iterator[JournalRecord]:
+        """Validated records after ``since_seq``, read back off disk.
+
+        The public tailing surface: a reader (a replica's WAL tailer,
+        an operator tool) iterates records strictly greater than its
+        frontier without taking the writer's flock — appends are
+        whole-line writes, so a concurrent reader only ever sees
+        complete records plus at most one torn final line, which is
+        skipped exactly like crash recovery skips it.  Raises
+        :class:`JournalCorruptionError` when the file does not
+        contain ``since_seq + 1`` onward (the journal was compacted
+        past the caller's frontier — re-seed from the snapshot the
+        compaction pointer names).
+        """
+        return read_records_from(self.path, since_seq)
+
     def close(self) -> None:
         # Same lock order as commit (flush -> append), so a close
         # cannot interleave with a leader mid-fsync and yank the fd.
@@ -388,6 +404,67 @@ def read_journal(
             )
         records.append(record)
     return records, dropped
+
+
+def read_records_from(
+    path: Union[str, Path], since_seq: int
+) -> Iterator[JournalRecord]:
+    """Yield validated records with seq > ``since_seq`` from a journal.
+
+    Tolerates what a *live* journal legally exhibits under a
+    concurrent writer: a torn (incomplete or half-flushed) final line
+    is skipped, and records at or below ``since_seq`` (pre-snapshot
+    overlap after a crash mid-compaction) are passed over.  A journal
+    whose first surviving record is *past* ``since_seq + 1`` raises
+    :class:`JournalCorruptionError` — the file was compacted beyond
+    the caller's frontier and the caller must re-seed from a snapshot
+    (see the compaction pointer in :mod:`repro.persist.snapshot`).
+    """
+    path = Path(path)
+    since_seq = int(since_seq)
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    lines = blob.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    previous = None
+    for line_no, line in enumerate(lines, start=1):
+        last_line = line_no == len(lines)
+        try:
+            data = json.loads(line.decode("utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("not a JSON object")
+            record = JournalRecord.from_wire(data, line_no=line_no)
+        except (ValueError, UnicodeDecodeError):
+            if last_line:
+                return  # torn tail: the writer is (or died) mid-append
+            raise JournalCorruptionError(
+                f"journal line {line_no} is not valid JSON but is not "
+                "the final line — the file is damaged beyond a torn "
+                "tail; restore from a snapshot"
+            ) from None
+        except JournalCorruptionError:
+            if last_line:
+                return  # half-flushed final line: not yet a record
+            raise
+        if previous is not None and record.seq != previous + 1:
+            raise JournalCorruptionError(
+                f"journal line {line_no} has seq {record.seq} but the "
+                f"previous record was seq {previous}; records must be "
+                "contiguous"
+            )
+        if previous is None and record.seq > since_seq + 1:
+            raise JournalCorruptionError(
+                f"journal starts at seq {record.seq} but the caller's "
+                f"frontier is {since_seq}; records "
+                f"{since_seq + 1}..{record.seq - 1} were compacted "
+                "away — re-seed from the latest snapshot"
+            )
+        previous = record.seq
+        if record.seq > since_seq:
+            yield record
 
 
 def rewrite_journal(

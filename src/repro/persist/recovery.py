@@ -356,6 +356,63 @@ def _replay_records(
 
 
 # ----------------------------------------------------------------------
+# Follower-mode apply (the replica subsystem builds on these)
+# ----------------------------------------------------------------------
+def build_follower_gateway(
+    config: Dict[str, Any],
+    *,
+    metrics=None,
+    gateway_factory: Optional[
+        Callable[[Optional[dict]], ServiceGateway]
+    ] = None,
+) -> ServiceGateway:
+    """Build the gateway shape a read replica replays records into.
+
+    Identical construction to recovery (same config keys, same zoo
+    subset, same seeded RNG), but the gateway is left in *follower
+    mode*: ``_replaying`` stays True for the process lifetime, so
+    applying records through the real handlers never re-journals and
+    effects fired by replay are buffered for byte-verification against
+    the journal's effect records — exactly the recovery discipline,
+    applied incrementally.  No store is attached and no flock is
+    taken: a follower is a pure reader of the writer's directory.
+    """
+    gateway = _build_gateway(config, gateway_factory, metrics=metrics)
+    gateway._replaying = True
+    return gateway
+
+
+def replay_records(
+    gateway: ServiceGateway, records: List[JournalRecord]
+) -> None:
+    """Re-execute journal records through the gateway's handlers.
+
+    The follower-mode apply path: primaries re-run their real
+    handlers, effect records are byte-verified against the effects the
+    replay fired (buffered in the gateway while ``_replaying``), and a
+    mismatch raises :class:`RecoveryError` rather than serving
+    diverged state.  A record group may arrive split across calls — a
+    tailer can observe a primary before its effect records land — so
+    unconsumed effects legally carry over between calls; they are
+    matched when the rest of the group arrives.
+    """
+    _replay_records(gateway, records)
+
+
+def cancel_in_flight(
+    gateway: ServiceGateway,
+    handles: List[str],
+    *,
+    seq: int,
+    disposition: Optional[str] = None,
+) -> None:
+    """Cancel handles recovery/promotion marked lost (public surface)."""
+    _apply_cancellation(
+        gateway, handles, seq=seq, disposition=disposition
+    )
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def recover_gateway(

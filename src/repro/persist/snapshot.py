@@ -47,6 +47,12 @@ from repro.persist.journal import (
 #: Bumped when the snapshot document shape changes incompatibly.
 SNAPSHOT_FORMAT = 1
 
+#: File left behind by every compaction: a ``seq -> snapshot`` pointer
+#: (see :func:`write_compaction_pointer`) so a WAL tailer that finds
+#: the live journal truncated past its frontier gets a clean "re-seed
+#: from snapshot S" signal instead of a checksum/gap error.
+COMPACTION_POINTER_NAME = "compaction.json"
+
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
 
 
@@ -122,6 +128,57 @@ def write_snapshot(
     for stale in list_snapshots(state_dir)[:-max(int(keep), 1)]:
         stale.unlink(missing_ok=True)
     return path
+
+
+def write_compaction_pointer(
+    state_dir: Union[str, Path], seq: int, snapshot_name: str
+) -> Path:
+    """Publish the ``seq -> snapshot`` pointer a compaction leaves.
+
+    Written (atomically, like every durable artefact here) *after* the
+    snapshot renames into place and *before* the live journal is
+    truncated, so any tailer that observes the truncation is
+    guaranteed to find a pointer at or past the records it lost.
+    """
+    state_dir = Path(state_dir)
+    path = state_dir / COMPACTION_POINTER_NAME
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(
+            canonical_json(
+                {"seq": int(seq), "snapshot": str(snapshot_name)}
+            )
+            + "\n"
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_compaction_pointer(
+    state_dir: Union[str, Path]
+) -> Optional[Dict[str, Union[int, str]]]:
+    """The last compaction's ``{"seq": ..., "snapshot": ...}``, or None.
+
+    Malformed pointers read as None (the pointer is an optimisation
+    for tailers — :func:`load_latest_snapshot` remains the authority).
+    """
+    path = Path(state_dir) / COMPACTION_POINTER_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "seq" not in data:
+        return None
+    try:
+        return {
+            "seq": int(data["seq"]),
+            "snapshot": str(data.get("snapshot", "")),
+        }
+    except (TypeError, ValueError):
+        return None
 
 
 def list_snapshots(state_dir: Union[str, Path]) -> List[Path]:

@@ -38,7 +38,11 @@ from repro.persist.journal import (
     SYNC_MODES,
     canonical_json,
 )
-from repro.persist.snapshot import compact_records, write_snapshot
+from repro.persist.snapshot import (
+    compact_records,
+    write_compaction_pointer,
+    write_snapshot,
+)
 
 CONFIG_NAME = "config.json"
 
@@ -244,6 +248,12 @@ class StateStore:
         )
         self._history = records
         self.snapshot_seq = self.last_seq
+        # Published after the snapshot but before the truncation below:
+        # a concurrent WAL tailer that observes the journal shrinking
+        # past its frontier follows this pointer to the snapshot that
+        # now covers the records it lost (a clean re-seed signal
+        # instead of a checksum/gap error).
+        write_compaction_pointer(self.state_dir, self.last_seq, path.name)
         # The snapshot now covers every journaled record: restart the
         # journal empty (crash between the rename above and this
         # rewrite is safe — recovery skips journal records at or below

@@ -1,0 +1,54 @@
+"""Scale-out serving: WAL-tailing read replicas and writer promotion.
+
+One process owns the write path — the flock, the journal, the
+scheduler clock.  This package adds horizontal *read* capacity without
+touching that invariant:
+
+* :mod:`repro.replica.tailer` — an incremental WAL tailer that seeds
+  from the newest snapshot, follows journal appends from a byte
+  offset, and re-seeds cleanly when compaction truncates the journal
+  past its frontier (the writer leaves a ``compaction.json`` pointer
+  exactly for this hand-off);
+* :mod:`repro.replica.replica` — a read replica: replays the tail
+  through the recovery module's follower-mode apply path (real
+  handlers, effect byte-verification, never re-journaling) and serves
+  every read route; writes come back ``NOT_WRITER`` carrying the
+  writer's address.  On writer death :meth:`ReadReplica.promote`
+  acquires the flock, drains the tail, and takes over the write path;
+* :mod:`repro.replica.supervisor` — the process supervisor: one
+  writer plus N replicas behind an ``SO_REUSEPORT`` front tier (or a
+  tiny forwarding proxy where the platform lacks it), heartbeat
+  liveness, and automatic promotion of the most-caught-up replica.
+
+The staleness contract: every replica exports
+``replica_applied_seq`` / ``replica_lag_records`` /
+``replica_lag_seconds`` gauges, stamps ``X-Replica-Lag`` on each
+response, and — when started with a ``max_lag_records`` bound —
+answers reads beyond the bound with ``UNAVAILABLE_RECOVERING`` rather
+than serving arbitrarily stale state.
+"""
+
+from repro.replica.tailer import TailBatch, WalTailer
+from repro.replica.replica import (
+    PromotionReport,
+    ReadReplica,
+    ReplicaGateway,
+)
+from repro.replica.supervisor import (
+    CLUSTER_NAME,
+    ForwardingProxy,
+    ServingPlane,
+    read_cluster,
+)
+
+__all__ = [
+    "CLUSTER_NAME",
+    "ForwardingProxy",
+    "PromotionReport",
+    "ReadReplica",
+    "ReplicaGateway",
+    "ServingPlane",
+    "TailBatch",
+    "WalTailer",
+    "read_cluster",
+]

@@ -24,7 +24,7 @@ from repro.service.api import (
     from_wire,
     to_wire,
 )
-from repro.service.client import EaseMLClient
+from repro.service.client import AmbiguousMutationError, EaseMLClient
 from repro.service.gateway import (
     MAX_WAIT_SECONDS,
     ServiceGateway,
@@ -59,5 +59,6 @@ __all__ = [
     "ServiceHTTPServer",
     "serve",
     "serve_background",
+    "AmbiguousMutationError",
     "EaseMLClient",
 ]

@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 from urllib.parse import urlencode, urlparse
 
 from repro.obs.context import REQUEST_ID_HEADER, new_request_id
+from repro.service.http import REPLICA_LAG_HEADER
 from repro.service.api import (
     API_VERSION,
     ApiError,
@@ -49,6 +50,15 @@ from repro.service.api import (
     SubmitTrainingResponse,
     from_wire,
 )
+
+
+class AmbiguousMutationError(ConnectionError):
+    """A mutating request was sent but no response came back.
+
+    The server may or may not have applied it; the client will not
+    replay it automatically (that could apply it twice).  Callers that
+    know the operation is safe to repeat can catch this and retry.
+    """
 
 
 class EaseMLClient:
@@ -82,13 +92,36 @@ class EaseMLClient:
         # one client per thread parallelises better.
         self._connection: Optional[HTTPConnection] = None
         self._lock = threading.Lock()
+        # Scale-out awareness: when the base URL points at a read
+        # replica, mutations come back NOT_WRITER with the writer's
+        # address in the error details.  The client learns it once and
+        # routes subsequent mutations there directly (reads keep
+        # hitting the replica); a dead learned writer is forgotten and
+        # re-learned from the next redirect.
+        self._writer: Optional[Tuple[str, int]] = None
+        self._writer_connection: Optional[HTTPConnection] = None
+        #: Records-behind-the-writer reported by the last response
+        #: that carried an ``X-Replica-Lag`` header (None when the
+        #: server is not a replica).
+        self.last_replica_lag: Optional[int] = None
 
     def close(self) -> None:
-        """Drop the persistent connection (reopened on next request)."""
+        """Drop the persistent connections (reopened on next request)."""
         with self._lock:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+            if self._writer_connection is not None:
+                self._writer_connection.close()
+                self._writer_connection = None
+
+    @property
+    def writer_url(self) -> Optional[str]:
+        """The writer address learned from a replica redirect, if any."""
+        if self._writer is None:
+            return None
+        host, port = self._writer
+        return f"http://{host}:{port}"
 
     # ------------------------------------------------------------------
     # Transport
@@ -99,6 +132,7 @@ class EaseMLClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         query: Optional[Dict[str, Any]] = None,
+        _via_writer: bool = False,
     ) -> Any:
         if query:
             path = f"{path}?{urlencode(query)}"
@@ -115,8 +149,46 @@ class EaseMLClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        idempotent = method == "GET"
         with self._lock:
-            response, raw = self._exchange(method, path, payload, headers)
+            # Mutations go straight to a learned writer; reads keep
+            # hitting the (possibly replica) base address unless this
+            # call is an explicit writer-side retry.
+            use_writer = self._writer is not None and (
+                _via_writer or not idempotent
+            )
+            try:
+                response, raw = self._exchange(
+                    method,
+                    path,
+                    payload,
+                    headers,
+                    idempotent=idempotent,
+                    writer=use_writer,
+                )
+            except AmbiguousMutationError:
+                raise
+            except (ConnectionError, HTTPException, OSError):
+                if not use_writer:
+                    raise
+                # The learned writer went away (a promotion elects a
+                # new one): forget it and fall back to the base
+                # address, which will re-redirect us if needed.
+                self._writer = None
+                response, raw = self._exchange(
+                    method,
+                    path,
+                    payload,
+                    headers,
+                    idempotent=idempotent,
+                    writer=False,
+                )
+        lag = response.getheader(REPLICA_LAG_HEADER)
+        if lag is not None:
+            try:
+                self.last_replica_lag = int(lag)
+            except ValueError:  # pragma: no cover - malformed header
+                pass
         echoed = response.getheader(REQUEST_ID_HEADER) or request_id
         try:
             data = json.loads(raw.decode("utf-8"))
@@ -132,32 +204,91 @@ class EaseMLClient:
             # Older servers omit the id from the body; the header (or
             # our own minted id) still correlates the failure.
             error.request_id = error.request_id or echoed
+            writer = (error.details or {}).get("writer_url")
+            if (
+                writer
+                and not _via_writer
+                and error.code
+                in (ApiErrorCode.NOT_WRITER, ApiErrorCode.UNAVAILABLE_RECOVERING)
+            ):
+                # A replica told us where the writer lives: learn the
+                # address and re-issue this one request there (the
+                # guard keeps a confused cluster from bouncing us
+                # around forever).
+                self._learn_writer(writer)
+                if self._writer is not None:
+                    return self._request(
+                        method, path, body=body, _via_writer=True
+                    )
             raise error
         return from_wire(data)
 
-    def _exchange(self, method, path, payload, headers):
-        """One HTTP exchange over the persistent connection.
+    def _learn_writer(self, url: str) -> None:
+        parsed = urlparse(url if "//" in url else f"//{url}")
+        if not parsed.hostname or not parsed.port:
+            return
+        with self._lock:
+            if self._writer != (parsed.hostname, parsed.port):
+                self._writer = (parsed.hostname, parsed.port)
+                if self._writer_connection is not None:
+                    self._writer_connection.close()
+                    self._writer_connection = None
+
+    def _exchange(
+        self, method, path, payload, headers, *, idempotent=False, writer=False
+    ):
+        """One HTTP exchange over a persistent connection.
 
         A stale keep-alive socket (server closed it between requests)
         surfaces as a connection error on the first attempt; reconnect
-        once before giving up.
+        and retry.  Idempotent reads get an extra attempt with a short
+        grace sleep (a replica restart shows up as a reset mid-read);
+        a mutation is never replayed once the request bytes may have
+        reached the server — re-sending it could apply it twice.
         """
-        for attempt in (0, 1):
-            if self._connection is None:
-                self._connection = HTTPConnection(
-                    self.host, self.port, timeout=self.timeout
-                )
+        attempts = 3 if idempotent else 2
+        for attempt in range(attempts):
+            reused = (
+                self._writer_connection if writer else self._connection
+            ) is not None
+            if reused:
+                conn = self._writer_connection if writer else self._connection
+            else:
+                host, port = self._writer if writer else (self.host, self.port)
+                conn = HTTPConnection(host, port, timeout=self.timeout)
+                if writer:
+                    self._writer_connection = conn
+                else:
+                    self._connection = conn
+            sent = False
             try:
-                self._connection.request(
-                    method, path, body=payload, headers=headers
-                )
-                response = self._connection.getresponse()
+                conn.request(method, path, body=payload, headers=headers)
+                sent = True
+                response = conn.getresponse()
                 return response, response.read()
-            except (ConnectionError, HTTPException, OSError):
-                self._connection.close()
-                self._connection = None
-                if attempt:
+            except (ConnectionError, HTTPException, OSError) as exc:
+                conn.close()
+                if writer:
+                    self._writer_connection = None
+                else:
+                    self._connection = None
+                if sent and not idempotent and not reused:
+                    # The request bytes left on a fresh connection and
+                    # no response came back: the server may or may not
+                    # have applied the mutation, so replaying it could
+                    # apply it twice.  (A *reused* keep-alive socket
+                    # dying before any response is the idle-close race
+                    # — the server never read the request — so that
+                    # case retries on a fresh connection.)
+                    raise AmbiguousMutationError(
+                        f"{method} {path} failed after the request was "
+                        "sent; the server may or may not have applied "
+                        f"it ({exc})"
+                    ) from exc
+                if attempt == attempts - 1:
                     raise
+                if attempt:
+                    time.sleep(0.05)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _get(self, path: str, **query: Any) -> Any:

@@ -110,6 +110,12 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 METRICS_PATH = "/metrics"
 METRICS_JSON_PATH = f"{_PREFIX}/metrics"
 
+#: Response header a read replica attaches to every reply: how many
+#: journal records behind the writer the serving replica was at
+#: dispatch time.  The SDK reads it (``EaseMLClient.last_replica_lag``)
+#: to decide when to fall back to the writer.
+REPLICA_LAG_HEADER = "X-Replica-Lag"
+
 
 def route_template(method: str, path: str) -> str:
     """Collapse a request target onto its route template.
@@ -369,11 +375,37 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         *,
         access_log: Optional[AccessLogger] = None,
         metrics_token: Optional[str] = None,
+        reuse_port: bool = False,
     ) -> None:
-        super().__init__(address, _Handler)
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError(
+                "SO_REUSEPORT is not available on this platform"
+            )
+        # Bind deferred so the socket option lands before bind() —
+        # SO_REUSEPORT lets N server processes share one listening
+        # port (the kernel balances connections across them), which is
+        # how the replica front tier stacks processes behind one
+        # address.
+        super().__init__(address, _Handler, bind_and_activate=False)
+        if reuse_port:
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        try:
+            self.server_bind()
+            self.server_activate()
+        except BaseException:
+            self.socket.close()
+            raise
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
         self.metrics_token = metrics_token
+        #: Optional per-response header hook: a gateway (the replica
+        #: facade) exposing ``extra_response_headers()`` gets its
+        #: headers (e.g. ``X-Replica-Lag``) attached to every reply.
+        self.extra_headers = getattr(
+            gateway, "extra_response_headers", None
+        )
         (
             self.m_requests,
             self.m_latency,
@@ -457,6 +489,9 @@ class _Handler(BaseHTTPRequestHandler):
         context = current_request()
         if context is not None:
             self.send_header(REQUEST_ID_HEADER, context.request_id)
+        if self.server.extra_headers is not None:
+            for name, value in self.server.extra_headers().items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -590,16 +625,24 @@ class AsyncServiceHTTPServer:
         *,
         access_log: Optional[AccessLogger] = None,
         metrics_token: Optional[str] = None,
+        reuse_port: bool = False,
     ) -> None:
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
         self.metrics_token = metrics_token
+        #: See ServiceHTTPServer.extra_headers: replica facades attach
+        #: staleness headers (X-Replica-Lag) to every response.
+        self.extra_headers = getattr(
+            gateway, "extra_response_headers", None
+        )
         (
             self.m_requests,
             self.m_latency,
             self.m_errors,
         ) = _register_http_metrics(gateway)
-        self._socket = socket.create_server(address)
+        self._socket = socket.create_server(
+            address, reuse_port=reuse_port
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._aio_server: Optional[asyncio.base_events.Server] = None
         self._shutdown_future: Optional[asyncio.Future] = None
@@ -836,6 +879,11 @@ class AsyncServiceHTTPServer:
                     closing=closing,
                     content_type=content_type,
                     request_id=context.request_id,
+                    extra_headers=(
+                        self.extra_headers()
+                        if self.extra_headers is not None
+                        else None
+                    ),
                 )
             finally:
                 duration = context.elapsed()
@@ -867,6 +915,7 @@ class AsyncServiceHTTPServer:
         closing,
         content_type: str = "application/json",
         request_id: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = (
             payload
@@ -877,12 +926,17 @@ class AsyncServiceHTTPServer:
         rid_header = (
             f"{REQUEST_ID_HEADER}: {request_id}\r\n" if request_id else ""
         )
+        more = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"{rid_header}"
+                f"{more}"
                 f"Connection: {'close' if closing else 'keep-alive'}"
                 "\r\n\r\n"
             ).encode("latin-1")
@@ -967,6 +1021,11 @@ AnyServiceServer = Union[ServiceHTTPServer, AsyncServiceHTTPServer]
 # ----------------------------------------------------------------------
 # Construction helpers
 # ----------------------------------------------------------------------
+def supports_reuse_port() -> bool:
+    """Can this platform stack server processes on one port?"""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
 def serve(
     gateway: ServiceGateway,
     host: str = "127.0.0.1",
@@ -975,6 +1034,7 @@ def serve(
     frontend: str = "threading",
     access_log: Optional[AccessLogger] = None,
     metrics_token: Optional[str] = None,
+    reuse_port: bool = False,
 ) -> AnyServiceServer:
     """Bind (but do not start) an HTTP server for ``gateway``.
 
@@ -984,6 +1044,8 @@ def serve(
     ``access_log`` enables per-request structured logging (default:
     disabled).  ``metrics_token`` gates the otherwise-unauthenticated
     ``/metrics`` endpoints behind a bearer token (default: open).
+    ``reuse_port`` binds with ``SO_REUSEPORT`` so multiple server
+    processes (the replica front tier) can share one listening port.
     Call ``serve_forever()`` to block, or :func:`serve_background`
     to run it on a daemon thread.
     """
@@ -995,10 +1057,12 @@ def serve(
         return AsyncServiceHTTPServer(
             (host, port), gateway,
             access_log=access_log, metrics_token=metrics_token,
+            reuse_port=reuse_port,
         )
     return ServiceHTTPServer(
         (host, port), gateway,
         access_log=access_log, metrics_token=metrics_token,
+        reuse_port=reuse_port,
     )
 
 
@@ -1010,11 +1074,13 @@ def serve_background(
     frontend: str = "threading",
     access_log: Optional[AccessLogger] = None,
     metrics_token: Optional[str] = None,
+    reuse_port: bool = False,
 ) -> Tuple[AnyServiceServer, threading.Thread]:
     """Start the HTTP server on a daemon thread; returns (server, thread)."""
     server = serve(
         gateway, host, port, frontend=frontend,
         access_log=access_log, metrics_token=metrics_token,
+        reuse_port=reuse_port,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="easeml-http", daemon=True

@@ -1,0 +1,8 @@
+"""Fixtures for the replica tests (helpers: replica_helpers.py)."""
+
+import pytest
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "state"

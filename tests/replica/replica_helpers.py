@@ -1,0 +1,56 @@
+"""Shared helpers for the scale-out serving (replica) tests."""
+
+from repro.ml.zoo import default_zoo
+
+SMALL_ZOO = ["naive-bayes", "ridge", "tree-d4"]
+MOONS_PROGRAM = "{input: {[Tensor[2]], []}, output: {[Tensor[2]], []}}"
+
+
+def writer_kwargs(**overrides):
+    """Gateway keyword arguments for open_gateway's fresh path."""
+    kwargs = dict(
+        placement="partition",
+        n_gpus=4,
+        min_examples=10,
+        seed=0,
+        zoo=default_zoo().subset(SMALL_ZOO),
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def open_writer(state_dir, *, sync="buffered", snapshot_every=0, **over):
+    """A durable writer gateway with one tenant; (gateway, token)."""
+    from repro.persist import open_gateway
+
+    gateway, _ = open_gateway(
+        state_dir,
+        sync=sync,
+        snapshot_every=snapshot_every,
+        **writer_kwargs(**over),
+    )
+    token = gateway.create_tenant("acme")
+    return gateway, token
+
+
+def task_payload(kind, n=60, seed=0):
+    from repro.ml.data import TaskSpec, make_task
+
+    X, y = make_task(TaskSpec(kind, n, 0.3, seed=seed))
+    return (
+        tuple(tuple(float(v) for v in row) for row in X),
+        tuple(int(v) for v in y),
+    )
+
+
+def onboard(gateway, token, app="moons"):
+    """Register an app and feed it enough examples to train."""
+    from repro.service.api import FeedRequest, RegisterAppRequest
+
+    gateway.handle(
+        RegisterAppRequest(auth_token=token, app=app, program=MOONS_PROGRAM)
+    )
+    inputs, outputs = task_payload("moons")
+    gateway.handle(
+        FeedRequest(auth_token=token, app=app, inputs=inputs, outputs=outputs)
+    )

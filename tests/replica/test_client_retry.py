@@ -1,0 +1,82 @@
+"""EaseMLClient retry discipline: idempotent reads retry, ambiguous
+mutations surface instead of being silently replayed."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import AmbiguousMutationError, EaseMLClient
+
+
+class FlakyServer:
+    """Accepts connections and drops them after reading the request.
+
+    From the client's point of view every exchange is "bytes sent, no
+    response" — the worst case for retry safety. Counts connections so
+    tests can assert how many attempts the client made.
+    """
+
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        self.sock.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.settimeout(1.0)
+                conn.recv(65536)  # read the request, answer nothing
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=2)
+        self.sock.close()
+
+
+@pytest.fixture
+def flaky():
+    server = FlakyServer()
+    yield server
+    server.close()
+
+
+class TestRetryDiscipline:
+    def test_idempotent_read_is_retried(self, flaky):
+        client = EaseMLClient(f"http://127.0.0.1:{flaky.port}", "t")
+        with pytest.raises(ConnectionError):
+            client.list_apps()
+        # Three attempts for a GET: the read is safe to replay.
+        assert flaky.connections == 3
+        client.close()
+
+    def test_mutation_on_fresh_connection_is_ambiguous(self, flaky):
+        client = EaseMLClient(f"http://127.0.0.1:{flaky.port}", "t")
+        with pytest.raises(AmbiguousMutationError):
+            client.register_app("x", "{input: {[], []}, output: {[], []}}")
+        # Exactly one attempt: the bytes may have been applied, so the
+        # client must NOT replay the mutation blindly.
+        assert flaky.connections == 1
+        client.close()
+
+    def test_ambiguous_is_a_connection_error(self):
+        # Callers with existing ConnectionError handling still catch it.
+        assert issubclass(AmbiguousMutationError, ConnectionError)

@@ -1,0 +1,217 @@
+"""Replica promotion: lock arbitration, dispositions, tripwires."""
+
+import threading
+import time
+
+import pytest
+
+from replica_helpers import MOONS_PROGRAM, onboard, open_writer
+from repro.persist import (
+    JOURNAL_NAME,
+    JournalError,
+    read_journal,
+    recover_gateway,
+    state_digest,
+)
+from repro.service.api import (
+    JobStatusRequest,
+    ListJobsRequest,
+    RegisterAppRequest,
+    SubmitTrainingRequest,
+)
+from repro.replica import ReadReplica, ReplicaGateway
+
+
+def follow(state_dir):
+    """A caught-up replica, stepped manually (no tail thread)."""
+    replica = ReadReplica(state_dir)
+    replica._apply(replica.tailer.seed())
+    while replica.step():
+        pass
+    return replica
+
+
+def poll_to_done(gateway, token, handle_id):
+    while True:
+        status = gateway.handle(
+            JobStatusRequest(auth_token=token, job_id=handle_id)
+        )
+        if status.done:
+            return status
+
+
+def live_handles(gateway, token):
+    return sorted(
+        h.job_id
+        for h in gateway.handle(ListJobsRequest(auth_token=token)).jobs
+        if h.state in ("pending", "running", "preempted")
+    )
+
+
+class TestPromotionBasics:
+    def test_promote_preserves_state_and_accepts_writes(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        onboard(gateway, token)
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=2)
+        ).handles
+        for handle in handles:
+            poll_to_done(gateway, token, handle.job_id)
+        pre_kill = state_digest(gateway)
+        gateway.store.close()  # writer dies; flock released
+
+        replica = follow(state_dir)
+        report = replica.promote()
+        assert replica.promoted
+        assert report.final_seq == replica.applied_seq
+        assert report.recovered == [] and report.lost == []
+        assert state_digest(replica.gateway) == pre_kill
+
+        # The promoted replica is a writer: mutations persist.
+        facade = ReplicaGateway(replica)
+        facade.handle(
+            RegisterAppRequest(
+                auth_token=token, app="after", program=MOONS_PROGRAM
+            )
+        )
+        promoted_digest = state_digest(replica.gateway)
+        replica.gateway.store.close()
+
+        # No double-applied records: the rewritten journal is strictly
+        # increasing, and a plain recovery agrees with the promoted
+        # state byte for byte (the digest tripwire).
+        seqs = [r.seq for r in read_journal(state_dir / JOURNAL_NAME)[0]]
+        assert seqs == sorted(set(seqs))
+        recovered, _ = recover_gateway(state_dir)
+        assert state_digest(recovered) == promoted_digest
+        recovered.store.close()
+
+    def test_promote_while_writer_alive_is_refused(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        replica = follow(state_dir)
+        with pytest.raises(JournalError, match="lock"):
+            replica.promote(lock_timeout=0.2)
+        assert not replica.promoted
+        gateway.store.close()
+
+    def test_promote_drains_unread_tail(self, state_dir):
+        """Records appended after the last poll survive promotion."""
+        gateway, token = open_writer(state_dir)
+        replica = follow(state_dir)
+        # The writer races ahead of the tailer, then dies.
+        onboard(gateway, token)
+        final = gateway.store.last_seq
+        gateway.store.close()
+        report = replica.promote()
+        assert report.drained_records > 0
+        assert replica.applied_seq == final
+
+
+class TestDispositions:
+    def _kill_with_in_flight(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        onboard(gateway, token)
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=3)
+        ).handles
+        poll_to_done(gateway, token, handles[0].job_id)
+        in_flight = live_handles(gateway, token)
+        assert in_flight, "scenario needs at least one in-flight job"
+        gateway.store.close()
+        return token, in_flight
+
+    def test_requeue_recovers_and_completes(self, state_dir):
+        token, in_flight = self._kill_with_in_flight(state_dir)
+        replica = follow(state_dir)
+        report = replica.promote(in_flight="requeue")
+        assert report.recovered == in_flight
+        assert report.lost == []
+        facade = ReplicaGateway(replica)
+        for handle_id in in_flight:
+            status = facade.handle(
+                JobStatusRequest(auth_token=token, job_id=handle_id)
+            )
+            assert status.disposition == "recovered"
+        # Requeued jobs run to completion on the promoted cluster.
+        for handle_id in in_flight:
+            status = poll_to_done(facade, token, handle_id)
+            assert status.state == "finished"
+        replica.gateway.store.close()
+
+    def test_mark_lost_is_journaled(self, state_dir):
+        token, in_flight = self._kill_with_in_flight(state_dir)
+        replica = follow(state_dir)
+        report = replica.promote(in_flight="mark-lost")
+        assert report.lost == in_flight
+        facade = ReplicaGateway(replica)
+        for handle_id in in_flight:
+            status = facade.handle(
+                JobStatusRequest(auth_token=token, job_id=handle_id)
+            )
+            assert status.state == "cancelled"
+            assert status.disposition == "lost"
+        replica.gateway.store.close()
+        # The cancellations were journaled: a later recovery agrees
+        # instead of resurrecting the jobs.
+        again, _ = recover_gateway(state_dir)
+        for handle_id in in_flight:
+            status = again.handle(
+                JobStatusRequest(auth_token=token, job_id=handle_id)
+            )
+            assert status.state == "cancelled"
+        again.store.close()
+
+    def test_bad_policy_rejected(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        gateway.store.close()
+        replica = follow(state_dir)
+        with pytest.raises(ValueError, match="in_flight"):
+            replica.promote(in_flight="psychic")
+
+
+class TestParkedWaiters:
+    def test_waiter_rides_over_failover(self, state_dir):
+        """A long-poll parked on the dying writer is released by the
+        frontend's wait-abort, and the re-issued wait completes on the
+        promoted replica."""
+        gateway, token = open_writer(state_dir)
+        onboard(gateway, token)
+        handles = gateway.handle(
+            SubmitTrainingRequest(auth_token=token, app="moons", steps=6)
+        ).handles
+        target = handles[-1].job_id
+        # Freeze the writer's cluster so the waiter genuinely parks.
+        runtime = gateway.server._runtime_oracle.runtime
+        runtime.run_until_next_completion = lambda: []
+        abort = threading.Event()
+        gateway.add_wait_abort(abort)
+        results = {}
+
+        def park():
+            results["status"] = gateway.handle(
+                JobStatusRequest(auth_token=token, job_id=target, wait=20)
+            )
+
+        waiter = threading.Thread(target=park)
+        waiter.start()
+        time.sleep(0.15)  # let it park on the done event
+        # The writer dies: the frontend aborts parked waiters on the
+        # way down rather than hanging them for the full wait.
+        abort.set()
+        waiter.join(timeout=5)
+        assert not waiter.is_alive(), "abort did not wake the waiter"
+        assert not results["status"].done  # released mid-flight
+        gateway.store.close()
+
+        # The client re-issues the same wait against the promoted
+        # replica and rides it to a terminal state.
+        replica = follow(state_dir)
+        replica.promote(in_flight="requeue")
+        facade = ReplicaGateway(replica)
+        status = facade.handle(
+            JobStatusRequest(auth_token=token, job_id=target, wait=30)
+        )
+        assert status.done
+        assert status.state == "finished"
+        assert status.disposition == "recovered"
+        replica.gateway.store.close()

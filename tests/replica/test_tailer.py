@@ -1,0 +1,170 @@
+"""WalTailer: seeding, following, torn tails, compaction re-seeds."""
+
+import pytest
+
+from replica_helpers import MOONS_PROGRAM, open_writer
+from repro.persist import (
+    JOURNAL_NAME,
+    Journal,
+    JournalCorruptionError,
+    read_compaction_pointer,
+    read_records_from,
+)
+from repro.persist.digest import state_digest
+from repro.replica import WalTailer
+
+
+def make_journal(tmp_path, n=5):
+    journal = Journal(tmp_path / JOURNAL_NAME, sync="buffered")
+    for i in range(n):
+        journal.append("tenant_created", {"i": i})
+    return journal
+
+
+class TestReadRecordsFrom:
+    """The public incremental read API on Journal."""
+
+    def test_reads_past_the_frontier(self, tmp_path):
+        journal = make_journal(tmp_path, n=5)
+        assert [r.seq for r in journal.records_from(0)] == [1, 2, 3, 4, 5]
+        assert [r.seq for r in journal.records_from(3)] == [4, 5]
+        assert [r.seq for r in journal.records_from(5)] == []
+        journal.close()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = make_journal(tmp_path, n=3)
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "type": "tenant_cre')
+        assert [r.seq for r in read_records_from(path, 0)] == [1, 2, 3]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = make_journal(tmp_path, n=3)
+        journal.close()
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-4] + 'xxx"'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError):
+            list(read_records_from(path, 0))
+
+    def test_compacted_past_frontier_raises_reseed_signal(self, tmp_path):
+        journal = Journal(
+            tmp_path / JOURNAL_NAME, sync="buffered", start_seq=10
+        )
+        journal.append("tenant_created", {})
+        journal.close()
+        with pytest.raises(JournalCorruptionError, match="re-seed"):
+            list(read_records_from(tmp_path / JOURNAL_NAME, 3))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert list(read_records_from(tmp_path / "nope.jsonl", 0)) == []
+
+
+class TestTailerFollow:
+    def test_seed_then_follow(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        tailer = WalTailer(state_dir)
+        batch = tailer.seed()
+        assert [r.seq for r in batch.records] == [1]
+        assert tailer.emitted_seq == 1
+
+        from repro.service.api import RegisterAppRequest
+
+        gateway.handle(
+            RegisterAppRequest(
+                auth_token=token, app="m", program=MOONS_PROGRAM
+            )
+        )
+        batch = tailer.poll()
+        assert batch.records and not batch.reseeded
+        assert tailer.emitted_seq == gateway.store.last_seq
+        assert not tailer.poll()  # idle poll is falsy
+        gateway.store.close()
+
+    def test_partial_line_left_unconsumed(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        tailer = WalTailer(state_dir)
+        tailer.seed()
+        path = state_dir / JOURNAL_NAME
+        whole = (
+            '{"seq": 2, "type": "tenant_created", "payload": '
+            '{"name": "x", "quota": null, "token": "t"}, "crc": 0}\n'
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(whole[:30])
+            handle.flush()
+            assert not tailer.poll()  # incomplete line: no progress
+        gateway.store.close()
+
+    def test_seed_twice_rejected(self, state_dir):
+        open_writer(state_dir)[0].store.close()
+        tailer = WalTailer(state_dir)
+        tailer.seed()
+        with pytest.raises(RuntimeError):
+            tailer.seed()
+        fresh = WalTailer(state_dir)
+        with pytest.raises(RuntimeError):
+            fresh.poll()  # poll before seed
+
+
+class TestCompactionRace:
+    """Regression: compaction mid-tail must re-seed, not corrupt."""
+
+    def test_reseed_after_compaction_past_frontier(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        tailer = WalTailer(state_dir)
+        tailer.seed()
+
+        # Writer appends, then compacts: the journal is truncated past
+        # everything the tailer has not read yet.
+        for _ in range(6):
+            gateway.rotate_token("acme")
+        gateway.store.snapshot(state_digest(gateway))
+        assert read_compaction_pointer(state_dir) is not None
+
+        batch = tailer.poll()
+        assert batch.reseeded
+        assert tailer.reseeds == 1
+        assert tailer.emitted_seq == gateway.store.last_seq
+        # The re-seed hands over the compacted basis for promotion use.
+        assert batch.snapshot_seq == gateway.store.snapshot_seq
+        assert batch.snapshot_records
+        # Compaction dropped the superseded rotations: the emitted gap
+        # records may skip seqs but stay ordered.
+        seqs = [r.seq for r in batch.records]
+        assert seqs == sorted(seqs)
+        gateway.store.close()
+
+    def test_applied_state_converges_after_reseed(self, state_dir):
+        gateway, token = open_writer(state_dir)
+
+        from repro.replica import ReadReplica
+
+        replica = ReadReplica(state_dir)
+        replica._apply(replica.tailer.seed())
+
+        for _ in range(5):
+            gateway.rotate_token("acme")
+        gateway.store.snapshot(state_digest(gateway))
+        while replica.step():
+            pass
+        assert replica.applied_seq == gateway.store.last_seq
+        assert state_digest(replica.gateway) == state_digest(gateway)
+        gateway.store.close()
+
+    def test_truly_corrupt_journal_raises(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        tailer = WalTailer(state_dir)
+        tailer.seed()
+        for _ in range(2):
+            gateway.rotate_token("acme")
+        path = state_dir / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("token_rotated", "token_rotatex")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError, match="no progress"):
+            for _ in range(10):
+                tailer.poll()
+        gateway.store.close()
