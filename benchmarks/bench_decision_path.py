@@ -1,0 +1,300 @@
+"""Decision hot path: time per scheduler pick, vectorized vs seed stack.
+
+Measures one GREEDY scheduler round (user pick → model pick → oracle →
+absorb) across #tenants × #arms × history-length configurations, for
+
+* the **current** stack — contiguous-buffer incremental GP with one
+  LAPACK triangular solve per update, memoized UCB scores, and the
+  scheduler's per-tenant decision cache; and
+* the **seed** stack (``legacy_decision.py``) — Python-loop forward
+  substitution with per-observation reallocation, non-memoized scores,
+  and per-pick list comprehensions over every tenant.
+
+Pick latency is also reported through the PR-6 metrics substrate: each
+scheduler binds a :class:`repro.obs.MetricsRegistry` and the table
+quotes the ``scheduler_pick_seconds`` histogram's p50/p95/p99.
+
+A parity phase runs both stacks from scratch through identical GREEDY
+and HYBRID scenarios and diffs the traces with
+:func:`repro.runtime.first_divergence` — the speedup table only counts
+if the decisions are bit-identical.
+
+Run standalone (CI smoke uses ``--quick``, which asserts the ≥ 3×
+floor at t=500, K=100, 64 tenants)::
+
+    PYTHONPATH=src python benchmarks/bench_decision_path.py --quick
+
+The full run also asserts the ≥ 10× acceptance target at the flagship
+configuration and writes ``benchmarks/reports/decision_path.txt``.
+"""
+
+import argparse
+import math
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from conftest import save_report
+import legacy_decision
+
+from repro.core.beta import AlgorithmOneBeta
+from repro.core.model_picking import GPUCBPicker
+from repro.core.multitenant import MultiTenantScheduler
+from repro.core.oracles import MatrixOracle
+from repro.core.user_picking import GreedyPicker, HybridPicker
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import first_divergence
+from repro.utils.tables import ascii_table
+
+FLAGSHIP = (64, 100, 500)  # tenants, arms, history — the acceptance config
+
+#: Record fields exactly determined by the pick sequence (rewards and
+#: costs come from the oracle rng, consumed in pick order) — these must
+#: be bit-identical between the stacks.  ucb_value/sigma_tilde are
+#: diagnostics whose last ulps depend on summation order and are
+#: checked to 1e-9 instead.
+DECISION_FIELDS = ("t", "user", "arm", "reward", "cost", "cumulative_cost")
+
+
+def _rbf_cov(rng, k):
+    X = rng.normal(size=(k, 3))
+    sq = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+    return np.exp(-0.5 * sq / 1.5**2) + 1e-6 * np.eye(k)
+
+
+def build_scheduler(*, legacy, n_tenants, n_arms, history, seed):
+    """A GREEDY scheduler with ``history`` observations pre-injected
+    into every tenant, plus its bound metrics registry."""
+    rng = np.random.default_rng(seed)
+    quality = rng.uniform(0.2, 0.95, size=(n_tenants, n_arms))
+    cov = _rbf_cov(rng, n_arms)
+    oracle = MatrixOracle(quality, noise_std=0.05, seed=seed + 1)
+
+    picker_cls = (
+        legacy_decision.LegacyGPUCBPicker if legacy else GPUCBPicker
+    )
+    user_picker = (
+        legacy_decision.LegacyGreedyPicker() if legacy else GreedyPicker()
+    )
+    pickers = [
+        picker_cls(cov, AlgorithmOneBeta(n_arms), noise=0.1)
+        for _ in range(n_tenants)
+    ]
+    sched = MultiTenantScheduler(oracle, pickers, user_picker)
+    registry = MetricsRegistry()
+    sched.bind_metrics(registry)
+
+    for u in range(n_tenants):
+        arms = rng.integers(0, n_arms, size=history)
+        rewards = np.clip(
+            quality[u, arms] + rng.normal(0.0, 0.05, size=history),
+            0.0, 1.0,
+        )
+        tenant = sched.tenants[u]
+        if legacy:
+            tenant.picker._ucb.gp = legacy_decision.LegacyFiniteArmGP.from_history(
+                cov, arms, rewards, noise=0.1
+            )
+        else:
+            tenant.picker._ucb.gp.update_batch(arms, rewards)
+        bound = tenant.picker.best_ucb()
+        tenant.serves = history
+        tenant.best_observed = float(rewards.max())
+        tenant.ecb_min = bound
+        tenant.sigma_tilde = bound - float(rewards[-1])
+        sched.invalidate_tenant(u)
+    sched.user_picker.reset(sched)
+    return sched, registry
+
+
+def measure(sched, n_steps, *, warmup=3, repeats=3):
+    """Seconds per scheduler round, plus pick-histogram percentiles.
+
+    Times ``repeats`` blocks of ``n_steps`` rounds and keeps the
+    fastest block — the minimum is the least noise-contaminated
+    estimate of the code's cost (scheduler jitter and frequency
+    scaling only ever add time).
+    """
+    for _ in range(warmup):
+        sched.step()
+    per_step = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(n_steps):
+            sched.step()
+        per_step = min(
+            per_step, (time.perf_counter() - started) / n_steps
+        )
+    hist = sched._m_pick_seconds
+    return per_step, {
+        "p50": hist.percentile(50),
+        "p95": hist.percentile(95),
+        "p99": hist.percentile(99),
+    }
+
+
+def run_config(n_tenants, n_arms, history, *, n_steps, seed=0):
+    new_sched, _ = build_scheduler(
+        legacy=False, n_tenants=n_tenants, n_arms=n_arms,
+        history=history, seed=seed,
+    )
+    new_step, new_pick = measure(new_sched, n_steps)
+    old_sched, _ = build_scheduler(
+        legacy=True, n_tenants=n_tenants, n_arms=n_arms,
+        history=history, seed=seed,
+    )
+    old_step, old_pick = measure(old_sched, n_steps)
+    return {
+        "tenants": n_tenants,
+        "arms": n_arms,
+        "history": history,
+        "seed_s": old_step,
+        "new_s": new_step,
+        "speedup": old_step / new_step,
+        "seed_pick": old_pick,
+        "new_pick": new_pick,
+    }
+
+
+def run_parity(*, steps=400, seed=11):
+    """Both stacks, from scratch, identical scenario — diff the traces."""
+
+    def trace(picker_cls, user_picker):
+        rng = np.random.default_rng(seed)
+        n_tenants, n_arms = 16, 20
+        quality = rng.uniform(0.2, 0.95, size=(n_tenants, n_arms))
+        cov = _rbf_cov(rng, n_arms)
+        oracle = MatrixOracle(quality, noise_std=0.05, seed=seed + 1)
+        sched = MultiTenantScheduler(
+            oracle,
+            [
+                picker_cls(cov, AlgorithmOneBeta(n_arms), noise=0.1)
+                for _ in range(n_tenants)
+            ],
+            user_picker,
+        )
+        for _ in range(steps):
+            sched.step()
+        return [asdict(r) for r in sched.records]
+
+    outcomes = {}
+    for name, legacy_up, new_up in (
+        ("GREEDY", legacy_decision.LegacyGreedyPicker(), GreedyPicker()),
+        (
+            "HYBRID",
+            legacy_decision.LegacyHybridPicker(s=8),
+            HybridPicker(s=8),
+        ),
+    ):
+        left = trace(legacy_decision.LegacyGPUCBPicker, legacy_up)
+        right = trace(GPUCBPicker, new_up)
+        divergence = first_divergence(
+            [{k: r[k] for k in DECISION_FIELDS} for r in left],
+            [{k: r[k] for k in DECISION_FIELDS} for r in right],
+        )
+        if divergence is None:
+            for field in ("ucb_value", "sigma_tilde"):
+                a = np.array([r[field] for r in left])
+                b = np.array([r[field] for r in right])
+                finite = np.isfinite(a)
+                if not np.array_equal(finite, np.isfinite(b)) or not np.allclose(
+                    a[finite], b[finite], rtol=1e-9, atol=1e-9
+                ):
+                    divergence = f"{field} drifted beyond 1e-9"
+                    break
+        outcomes[name] = divergence
+    return outcomes
+
+
+def render(rows, parity, *, quick):
+    def fmt_us(seconds):
+        return f"{seconds * 1e6:.1f}"
+
+    table_rows = [
+        [
+            r["tenants"], r["arms"], r["history"],
+            fmt_us(r["seed_s"]), fmt_us(r["new_s"]),
+            f"{r['speedup']:.1f}x",
+            fmt_us(r["new_pick"]["p50"]),
+            fmt_us(r["new_pick"]["p95"]),
+            fmt_us(r["new_pick"]["p99"]),
+        ]
+        for r in rows
+    ]
+    lines = [
+        ascii_table(
+            [
+                "tenants", "arms", "history",
+                "seed us/step", "new us/step", "speedup",
+                "pick p50 us", "pick p95 us", "pick p99 us",
+            ],
+            table_rows,
+            title="Decision path: seconds per scheduler round "
+            "(seed vs vectorized; pick percentiles from "
+            "scheduler_pick_seconds)"
+            + (" [--quick]" if quick else ""),
+        ),
+        "",
+    ]
+    for name, divergence in parity.items():
+        verdict = (
+            "bit-identical (ucb/sigma diagnostics within 1e-9)"
+            if divergence is None
+            else f"DIVERGED: {divergence}"
+        )
+        lines.append(f"{name} pick-sequence parity vs seed stack: {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="flagship config only, fewer steps (CI smoke; asserts >= 3x)",
+    )
+    parser.add_argument("--steps", type=int, default=None,
+                        help="measured rounds per configuration")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        configs = [FLAGSHIP]
+        n_steps = args.steps or 40
+        parity = run_parity(steps=200, seed=args.seed + 11)
+    else:
+        configs = [
+            (4, 20, 100), (16, 20, 100), (64, 20, 100),
+            (16, 100, 100), (64, 100, 100),
+            (16, 100, 500), FLAGSHIP,
+        ]
+        n_steps = args.steps or 100
+        parity = run_parity(steps=400, seed=args.seed + 11)
+
+    rows = [
+        run_config(n, k, t, n_steps=n_steps, seed=args.seed)
+        for n, k, t in configs
+    ]
+    report = render(rows, parity, quick=args.quick)
+    save_report("decision_path", report)
+
+    for name, divergence in parity.items():
+        assert divergence is None, (
+            f"{name} pick sequence diverged from the seed stack: "
+            f"{divergence}"
+        )
+    flagship = next(
+        r for r in rows
+        if (r["tenants"], r["arms"], r["history"]) == FLAGSHIP
+    )
+    floor = 3.0 if args.quick else 10.0
+    assert flagship["speedup"] >= floor, (
+        f"flagship speedup {flagship['speedup']:.1f}x below the "
+        f"{floor:.0f}x floor at tenants={FLAGSHIP[0]}, "
+        f"arms={FLAGSHIP[1]}, history={FLAGSHIP[2]}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

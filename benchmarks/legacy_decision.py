@@ -1,0 +1,314 @@
+"""Frozen pre-vectorization decision-path implementations.
+
+These are the seed's `FiniteArmGP` / GP-UCB scoring / GREEDY / HYBRID
+code paths exactly as they existed before the vectorized hot path
+landed: the Python-loop forward substitution with `vstack`/`append`
+reallocation per observation, the non-memoized score vector, and the
+per-pick list comprehensions over every tenant.
+
+`bench_decision_path.py` times the new stack against this baseline and
+`tests/core/test_decision_parity.py` asserts both produce bit-identical
+pick traces.  Do not "fix" or optimise anything here — the whole point
+of this module is to stay byte-faithful to the slow implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.core.model_picking import GPUCBPicker, Selection
+from repro.core.ucb import GPUCB
+from repro.core.user_picking import UserPicker
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_matrix, check_positive
+
+
+class LegacyFiniteArmGP:
+    """Seed incremental GP: row-list Cholesky, Python forward solve."""
+
+    def __init__(
+        self,
+        prior_cov: np.ndarray,
+        prior_mean: Optional[np.ndarray] = None,
+        *,
+        noise: float = 0.1,
+        jitter: float = 1e-10,
+    ) -> None:
+        self._cov = check_matrix(prior_cov, "prior_cov", square=True)
+        self._n_arms = self._cov.shape[0]
+        if prior_mean is None:
+            self._prior_mean = np.zeros(self._n_arms)
+        else:
+            self._prior_mean = np.asarray(prior_mean, dtype=float)
+        self.noise = check_positive(noise, "noise")
+        self.jitter = check_positive(jitter, "jitter")
+
+        self._obs_arms: List[int] = []
+        self._obs_y: List[float] = []
+        self._L_rows: List[np.ndarray] = []
+        self._V = np.empty((0, self._n_arms))
+        self._z = np.empty(0)
+        self._posterior_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @property
+    def n_arms(self) -> int:
+        return self._n_arms
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._obs_y)
+
+    def _check_arm(self, arm: int) -> int:
+        arm = int(arm)
+        if not 0 <= arm < self._n_arms:
+            raise IndexError(f"arm {arm} out of range [0, {self._n_arms})")
+        return arm
+
+    def update(self, arm: int, reward: float) -> None:
+        """Seed update: O(t²) scalar forward substitution + realloc."""
+        arm = self._check_arm(arm)
+        reward = float(reward)
+        if not np.isfinite(reward):
+            raise ValueError(f"reward must be finite, got {reward}")
+
+        t = self.n_observations
+        b = self._cov[self._obs_arms, arm] if t else np.empty(0)
+        d = self._cov[arm, arm] + self.noise**2
+
+        w = np.empty(t)
+        for i, row in enumerate(self._L_rows):
+            w[i] = (b[i] - row[:i] @ w[:i]) / row[i]
+
+        pivot_sq = d - w @ w
+        pivot = math.sqrt(max(pivot_sq, self.jitter))
+
+        new_row = np.empty(t + 1)
+        new_row[:t] = w
+        new_row[t] = pivot
+        self._L_rows.append(new_row)
+
+        v_new = (self._cov[arm, :] - w @ self._V) / pivot
+        self._V = np.vstack([self._V, v_new])
+
+        resid = reward - self._prior_mean[arm]
+        z_new = (resid - w @ self._z) / pivot
+        self._z = np.append(self._z, z_new)
+
+        self._obs_arms.append(arm)
+        self._obs_y.append(reward)
+        self._posterior_cache = None
+
+    def posterior(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._posterior_cache is None:
+            mean = self._prior_mean + self._V.T @ self._z
+            variance = np.diag(self._cov) - np.einsum(
+                "tk,tk->k", self._V, self._V
+            )
+            np.maximum(variance, 0.0, out=variance)
+            self._posterior_cache = (mean, variance)
+        mean, variance = self._posterior_cache
+        return mean.copy(), variance.copy()
+
+    def posterior_mean(self, arm: Optional[int] = None):
+        mean, _ = self.posterior()
+        if arm is None:
+            return mean
+        return float(mean[self._check_arm(arm)])
+
+    def posterior_variance(self, arm: Optional[int] = None):
+        _, variance = self.posterior()
+        if arm is None:
+            return variance
+        return float(variance[self._check_arm(arm)])
+
+    def posterior_std(self, arm: Optional[int] = None):
+        return np.sqrt(self.posterior_variance(arm))
+
+    @classmethod
+    def from_history(
+        cls,
+        prior_cov: np.ndarray,
+        arms,
+        rewards,
+        *,
+        noise: float = 0.1,
+        jitter: float = 1e-10,
+    ) -> "LegacyFiniteArmGP":
+        """Block-build the seed's internal state from a history (the
+        seed `refit()` construction) — warm-state injection for the
+        benchmark without paying t O(t²) Python updates."""
+        gp = cls(prior_cov, noise=noise, jitter=jitter)
+        arms = [int(a) for a in arms]
+        y = np.asarray(rewards, dtype=float)
+        t = len(arms)
+        if t:
+            gram = gp._cov[np.ix_(arms, arms)] + gp.noise**2 * np.eye(t)
+            L = np.linalg.cholesky(gram + gp.jitter * np.eye(t))
+            gp._L_rows = [L[i, : i + 1].copy() for i in range(t)]
+            gp._V = solve_triangular(L, gp._cov[arms, :], lower=True)
+            gp._z = solve_triangular(
+                L, y - gp._prior_mean[arms], lower=True
+            )
+            gp._obs_arms = arms
+            gp._obs_y = list(y)
+        return gp
+
+
+class LegacyGPUCB(GPUCB):
+    """Seed scoring: recompute the score vector on every call."""
+
+    def ucb_scores(self, t: Optional[int] = None) -> np.ndarray:
+        t = self.t_next if t is None else int(t)
+        beta_t = self.beta(t)
+        mean, variance = self.gp.posterior()
+        return mean + np.sqrt(beta_t / self.costs) * np.sqrt(variance)
+
+
+class LegacyGPUCBPicker(GPUCBPicker):
+    """Seed per-tenant picker: three posterior evaluations per round."""
+
+    def __init__(
+        self,
+        prior_cov: np.ndarray,
+        beta,
+        costs=None,
+        *,
+        noise: float = 0.1,
+        prior_mean=None,
+        seed=None,
+    ) -> None:
+        gp = LegacyFiniteArmGP(prior_cov, prior_mean, noise=noise)
+        self._ucb = LegacyGPUCB(gp, beta, costs, seed=seed)
+
+    def select(self) -> Selection:
+        scores = self._ucb.ucb_scores()
+        arm = int(np.argmax(scores))
+        mean = self._ucb.gp.posterior_mean(arm)
+        std = float(self._ucb.gp.posterior_std(arm))
+        return Selection(arm, float(scores[arm]), float(mean), std)
+
+
+class LegacyGreedyPicker(UserPicker):
+    """Seed GREEDY: full-tenant warm-up scan + list comprehensions."""
+
+    _RULES = ("max_gap", "max_potential", "random")
+
+    def __init__(self, rule: str = "max_gap", *, seed=None) -> None:
+        if rule not in self._RULES:
+            raise ValueError(f"rule must be one of {self._RULES}, got {rule!r}")
+        self.rule = rule
+        self._rng = RandomState(seed)
+        self.last_candidate_set = frozenset()
+
+    def candidate_set(self, scheduler) -> List[int]:
+        ids = scheduler.active_ids()
+        potentials = np.array(
+            [t.sigma_tilde for t in scheduler.tenants]
+        )
+        finite = potentials[np.isfinite(potentials)]
+        if finite.size == 0:
+            return ids
+        threshold = float(np.mean(finite))
+        candidates = [
+            tenant_id
+            for tenant_id, value in zip(ids, potentials)
+            if not math.isfinite(value) or value >= threshold
+        ]
+        return candidates if candidates else ids
+
+    def pick(self, scheduler) -> int:
+        for tenant in scheduler.tenants:
+            if tenant.serves == 0:
+                return tenant.index
+
+        candidates = self.candidate_set(scheduler)
+        self.last_candidate_set = frozenset(candidates)
+        if self.rule == "random":
+            return int(self._rng.choice(candidates))
+        if self.rule == "max_potential":
+            scores = [scheduler.tenants[i].sigma_tilde for i in candidates]
+        else:  # max_gap
+            scores = [
+                scheduler.tenants[i].potential_gap() for i in candidates
+            ]
+        best = int(np.argmax(scores))
+        return candidates[best]
+
+
+class LegacyHybridPicker(UserPicker):
+    """Seed HYBRID: the seed GREEDY plus the freeze detector."""
+
+    def __init__(
+        self,
+        s: int = 10,
+        rule: str = "max_gap",
+        *,
+        allow_reentry: bool = False,
+        progress_tolerance: float = 1e-12,
+        seed=None,
+    ) -> None:
+        if s < 1:
+            raise ValueError(f"s must be >= 1, got {s}")
+        self.s = int(s)
+        self.allow_reentry = bool(allow_reentry)
+        self.progress_tolerance = float(progress_tolerance)
+        self._greedy = LegacyGreedyPicker(rule, seed=seed)
+        self._round_robin_counter = 0
+        self.switched = False
+        self.switch_step = None
+        self._stall_rounds = 0
+        self._last_candidates = None
+        self._last_progress = -math.inf
+
+    def reset(self, scheduler) -> None:
+        self._round_robin_counter = 0
+        self.switched = False
+        self.switch_step = None
+        self._stall_rounds = 0
+        self._last_candidates = None
+        self._last_progress = -math.inf
+
+    def on_arrival(self, scheduler, tenant_id: int) -> None:
+        self.switched = False
+        self.switch_step = None
+        self._stall_rounds = 0
+        self._last_candidates = None
+
+    def on_departure(self, scheduler, tenant_id: int) -> None:
+        self._stall_rounds = 0
+        self._last_candidates = None
+
+    def pick(self, scheduler) -> int:
+        if self.switched:
+            ids = scheduler.active_ids()
+            user = ids[self._round_robin_counter % len(ids)]
+            self._round_robin_counter += 1
+            return user
+        return self._greedy.pick(scheduler)
+
+    def notify(self, scheduler, record) -> None:
+        progress = float(
+            sum(t.best_observed for t in scheduler.tenants)
+        )
+        candidates = frozenset(self._greedy.candidate_set(scheduler))
+        stalled = (
+            self._last_candidates is not None
+            and candidates == self._last_candidates
+            and progress <= self._last_progress + self.progress_tolerance
+        )
+        if stalled:
+            self._stall_rounds += 1
+        else:
+            self._stall_rounds = 0
+            if self.switched and self.allow_reentry:
+                self.switched = False
+                self.switch_step = None
+        self._last_candidates = candidates
+        self._last_progress = max(self._last_progress, progress)
+        if not self.switched and self._stall_rounds >= self.s:
+            self.switched = True
+            self.switch_step = record.t

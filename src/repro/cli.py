@@ -826,6 +826,19 @@ def _cmd_replica(args: argparse.Namespace) -> int:
         series = metrics.get(name, {}).get("series") or []
         return series[0]["value"] if series else None
 
+    def histogram(document, name):
+        """count + p50/p95/p99 of a histogram family, or None."""
+        if not document:
+            return None
+        metrics = document.get("metrics", document)
+        series = metrics.get(name, {}).get("series") or []
+        if not series:
+            return None
+        entry = series[0]
+        return {
+            key: entry.get(key) for key in ("count", "p50", "p95", "p99")
+        }
+
     members = []
     for member in cluster.get("members", []):
         metrics = _scrape_json_metrics(
@@ -844,6 +857,11 @@ def _cmd_replica(args: argparse.Namespace) -> int:
                 "lag_records": gauge(metrics, "replica_lag_records"),
                 "lag_seconds": gauge(metrics, "replica_lag_seconds"),
                 "is_writer": gauge(metrics, "replica_is_writer"),
+                # The writer's decision latency, next to its replicas'
+                # lag: percentiles of one serving-path model pick.
+                "pick_seconds": histogram(
+                    metrics, "scheduler_pick_seconds"
+                ),
             }
         )
     out = {
@@ -865,10 +883,19 @@ def _cmd_replica(args: argparse.Namespace) -> int:
         applied = member["applied_seq"]
         applied_text = "-" if applied is None else f"{int(applied)}"
         state = "up" if member["reachable"] else "unreachable"
+        pick = member["pick_seconds"]
+        if pick and pick.get("count"):
+            pick_text = (
+                f" pick_p50={pick['p50'] * 1e6:.0f}us"
+                f" p95={pick['p95'] * 1e6:.0f}us"
+                f" p99={pick['p99'] * 1e6:.0f}us"
+            )
+        else:
+            pick_text = ""
         print(
             f"  {member['name']:<12} {member['role']:<8} "
             f"{member['url']:<28} {state:<12} "
-            f"applied={applied_text} lag={lag_text}"
+            f"applied={applied_text} lag={lag_text}{pick_text}"
         )
     return 0
 

@@ -116,11 +116,17 @@ class GPUCBPicker(ModelPicker):
         return self._ucb.gp.n_observations
 
     def select(self) -> Selection:
+        # One memoized score evaluation; the posterior views are cached
+        # inside the GP, so this allocates nothing per pick.
         scores = self._ucb.ucb_scores()
         arm = int(np.argmax(scores))
-        mean = self._ucb.gp.posterior_mean(arm)
-        std = float(self._ucb.gp.posterior_std(arm))
-        return Selection(arm, float(scores[arm]), float(mean), std)
+        mean, variance = self._ucb.gp.posterior()
+        return Selection(
+            arm,
+            float(scores[arm]),
+            float(mean[arm]),
+            math.sqrt(float(variance[arm])),
+        )
 
     def observe(self, arm: int, reward: float) -> None:
         self._ucb.observe(arm, reward)

@@ -44,6 +44,10 @@ from repro.core.model_picking import ModelPicker, Selection
 from repro.core.oracles import RewardOracle
 from repro.core.user_picking import UserPicker
 
+#: Initial size of the scheduler's per-tenant-id decision-cache arrays
+#: (doubled as larger ids are admitted).
+_DECISION_MIN_CAPACITY = 16
+
 
 @dataclass
 class TenantState:
@@ -135,6 +139,14 @@ class TenantRegistry:
     def __init__(self) -> None:
         self._states: Dict[int, TenantState] = {}
         self._active: List[int] = []  # sorted ascending
+        self._version = 0  # bumped on every active-set change
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of active-set changes (adds, retires,
+        reactivations).  Lets callers cache views derived from the
+        active set and refresh them only when membership moved."""
+        return self._version
 
     # -- membership ----------------------------------------------------
     def add(self, state: TenantState) -> TenantState:
@@ -175,10 +187,12 @@ class TenantRegistry:
         if not self.is_active(tenant_id):
             raise ValueError(f"tenant {tenant_id} is not active")
         self._active.remove(tenant_id)
+        self._version += 1
         return self._states[tenant_id]
 
     def _activate(self, tenant_id: int) -> None:
         bisect.insort(self._active, tenant_id)
+        self._version += 1
 
     # -- views ---------------------------------------------------------
     def __getitem__(self, tenant_id: int) -> TenantState:
@@ -354,6 +368,15 @@ class MultiTenantScheduler:
         self.total_cost = 0.0
         self.records: List[StepRecord] = []
         self.bind_metrics(None)
+        # Decision cache: per-tenant-id dense arrays of the quantities
+        # the user-picking phase ranges over every round.  See the
+        # "Decision cache" section below.
+        self._dc_sigma = np.full(_DECISION_MIN_CAPACITY, math.inf)
+        self._dc_best_obs = np.zeros(_DECISION_MIN_CAPACITY)
+        self._dc_best_ucb = np.full(_DECISION_MIN_CAPACITY, math.inf)
+        self._dc_dirty: set = set()
+        self._dc_active = np.empty(0, dtype=np.intp)
+        self._dc_active_version = -1
         for tenant_id in sorted(initial):
             self._admit(tenant_id, initial[tenant_id], None)
         self.user_picker.reset(self)
@@ -366,13 +389,14 @@ class MultiTenantScheduler:
         stays importable without the service stack, so the obs import
         is local and the default is the disabled registry.
         """
-        from repro.obs.metrics import NULL_REGISTRY
+        from repro.obs.metrics import NULL_REGISTRY, PICK_LATENCY_BUCKETS
 
         registry = registry if registry is not None else NULL_REGISTRY
         self._m_pick_seconds = registry.histogram(
             "scheduler_pick_seconds",
             "Latency of one serving-path model pick "
             "(TenantState.picker.select).",
+            buckets=PICK_LATENCY_BUCKETS,
         )
         self._m_picks = registry.counter(
             "scheduler_picks_total",
@@ -403,10 +427,12 @@ class MultiTenantScheduler:
             )
         if costs is None:
             costs = self.oracle.costs(tenant_id)
-        return self.tenants.add(
+        state = self.tenants.add(
             TenantState(index=tenant_id, picker=picker,
                         costs=np.asarray(costs, dtype=float))
         )
+        self.invalidate_tenant(tenant_id)
+        return state
 
     def add_tenant(
         self,
@@ -433,6 +459,7 @@ class MultiTenantScheduler:
             state = self.tenants.reactivate(tenant_id)
             if picker is not None:
                 state.picker = picker
+            self.invalidate_tenant(tenant_id)
         else:
             if picker is None:
                 raise ValueError(
@@ -467,15 +494,105 @@ class MultiTenantScheduler:
         """Stable ids of the active tenants, ascending."""
         return self.tenants.active_ids()
 
+    # ------------------------------------------------------------------
+    # Decision cache
+    # ------------------------------------------------------------------
+    # The user-picking phase ranges over three per-tenant scalars every
+    # round: σ̃ (Algorithm 2 line 7's candidate filter), the tenant's
+    # best observed accuracy, and its largest UCB (line 8's max-gap
+    # rule).  Recomputing them per pick via Python attribute walks (and
+    # a posterior evaluation per tenant for the UCB) made one pick
+    # O(n·t²); the scheduler instead keeps them in dense arrays indexed
+    # by stable tenant id, refreshed only for the tenant whose state
+    # actually changed.  Every mutation path funnels through
+    # :meth:`invalidate_tenant` — ``step()``, admission, reactivation,
+    # and the async oracle's out-of-band ``absorb``.
+
+    def _ensure_decision_capacity(self, tenant_id: int) -> None:
+        capacity = self._dc_sigma.shape[0]
+        if tenant_id < capacity:
+            return
+        while capacity <= tenant_id:
+            capacity *= 2
+        for name, fill in (
+            ("_dc_sigma", math.inf),
+            ("_dc_best_obs", 0.0),
+            ("_dc_best_ucb", math.inf),
+        ):
+            old = getattr(self, name)
+            grown = np.full(capacity, fill)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+
+    def invalidate_tenant(self, tenant_id: int) -> None:
+        """Refresh the decision cache for one tenant.
+
+        Must be called after anything mutates a tenant's state outside
+        :meth:`step` (the async oracle's completion path does).  The
+        σ̃ / best-observed columns are copied immediately; the best-UCB
+        column is marked dirty and recomputed lazily on the next read,
+        so invalidation stays O(1).
+        """
+        tenant_id = int(tenant_id)
+        state = self.tenants.get(tenant_id)
+        if state is None:
+            raise KeyError(f"unknown tenant id {tenant_id}")
+        self._ensure_decision_capacity(tenant_id)
+        self._dc_sigma[tenant_id] = state.sigma_tilde
+        self._dc_best_obs[tenant_id] = state.best_observed
+        self._dc_dirty.add(tenant_id)
+
+    def active_id_array(self) -> np.ndarray:
+        """Active tenant ids as a read-only ascending numpy array.
+
+        Cached against the registry's membership version, so steady
+        rounds (no churn) pay nothing to rebuild it.
+        """
+        version = self.tenants.version
+        if self._dc_active_version != version:
+            active = np.array(self.tenants.active_ids(), dtype=np.intp)
+            active.setflags(write=False)
+            self._dc_active = active
+            self._dc_active_version = version
+            if active.size:
+                self._ensure_decision_capacity(int(active[-1]))
+        return self._dc_active
+
+    def _refresh_best_ucbs(self) -> None:
+        if not self._dc_dirty:
+            return
+        for tenant_id in tuple(self._dc_dirty):
+            if self.tenants.is_active(tenant_id):
+                picker = self.tenants[tenant_id].picker
+                self._dc_best_ucb[tenant_id] = picker.best_ucb()
+                self._dc_dirty.discard(tenant_id)
+            # Retired tenants stay dirty: reactivation re-invalidates,
+            # and the active slices below never read their rows.
+
     def potentials(self) -> np.ndarray:
         """Current σ̃ across *active* tenants (∞ for never-served),
         aligned with :meth:`active_ids`."""
-        return np.array([t.sigma_tilde for t in self.tenants])
+        return self._dc_sigma[self.active_id_array()]
+
+    def decision_best_ucbs(self) -> np.ndarray:
+        """``max_k B(k)`` per active tenant, aligned with
+        :meth:`active_ids` (∞ for heuristic pickers)."""
+        self._refresh_best_ucbs()
+        return self._dc_best_ucb[self.active_id_array()]
+
+    def decision_gaps(self) -> np.ndarray:
+        """ease.ml's line-8 quantity per active tenant — largest UCB
+        minus best accuracy so far — aligned with :meth:`active_ids`."""
+        index = self.active_id_array()
+        self._refresh_best_ucbs()
+        return self._dc_best_ucb[index] - self._dc_best_obs[index]
 
     def global_best_sum(self) -> float:
         """Σ_i best accuracy so far over active tenants — the progress
         signal HYBRID watches."""
-        return float(sum(t.best_observed for t in self.tenants))
+        # Plain left-to-right summation (not np.sum's pairwise order)
+        # keeps the value bit-identical to the pre-cache implementation.
+        return float(sum(self._dc_best_obs[self.active_id_array()].tolist()))
 
     # ------------------------------------------------------------------
     # The serve loop
@@ -505,6 +622,7 @@ class MultiTenantScheduler:
             observation.cost,
             clamp_potential=self.clamp_potential,
         )
+        self.invalidate_tenant(user)
 
         self.step_count += 1
         self.total_cost += observation.cost

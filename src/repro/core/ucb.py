@@ -83,6 +83,13 @@ class GPUCB:
         self.arms_played: List[int] = []
         self.rewards_seen: List[float] = []
 
+        # Memoized score vector keyed by (n_observations, t, β_t): one
+        # posterior evaluation is shared by select(), best_ucb() and
+        # the scheduler's potential_gap() within a round.
+        self._scores_cache: Optional[
+            Tuple[int, int, float, np.ndarray]
+        ] = None
+
     # ------------------------------------------------------------------
     # Scores
     # ------------------------------------------------------------------
@@ -92,11 +99,30 @@ class GPUCB:
         return self.gp.n_observations + 1
 
     def ucb_scores(self, t: Optional[int] = None) -> np.ndarray:
-        """``B_t(k) = μ_{t-1}(k) + sqrt(β_t / c_k) σ_{t-1}(k)`` for all k."""
+        """``B_t(k) = μ_{t-1}(k) + sqrt(β_t / c_k) σ_{t-1}(k)`` for all k.
+
+        The score vector is memoized per ``(t, β_t)`` against the GP's
+        observation count, and returned as a **read-only** array:
+        ``select()``, :meth:`best_ucb` and the greedy user-picking
+        phase all share one posterior evaluation per round instead of
+        recomputing it three times.
+        """
         t = self.t_next if t is None else int(t)
         beta_t = self.beta(t)
+        cache = self._scores_cache
+        n_obs = self.gp.n_observations
+        if (
+            cache is not None
+            and cache[0] == n_obs
+            and cache[1] == t
+            and cache[2] == beta_t
+        ):
+            return cache[3]
         mean, variance = self.gp.posterior()
-        return mean + np.sqrt(beta_t / self.costs) * np.sqrt(variance)
+        scores = mean + np.sqrt(beta_t / self.costs) * np.sqrt(variance)
+        scores.setflags(write=False)
+        self._scores_cache = (n_obs, t, beta_t, scores)
+        return scores
 
     def best_ucb(self) -> float:
         """``max_k B_t(k)`` — the optimistic quality reachable next."""

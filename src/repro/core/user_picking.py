@@ -172,38 +172,90 @@ class GreedyPicker(UserPicker):
         self.rule = rule
         self._rng = RandomState(seed)
         self.last_candidate_set: FrozenSet[int] = frozenset()
+        # Ids that may still need their warm-up serve.  Entries are
+        # validated lazily at pick time (a stale id — served, or no
+        # longer active — is simply dropped), so steady-state picks pay
+        # one empty-set check instead of a scan over every tenant.
+        self._unserved: Optional[set] = None
+
+    def reset(self, scheduler: "MultiTenantScheduler") -> None:
+        self._unserved = {
+            tenant.index for tenant in scheduler.tenants
+            if tenant.serves == 0
+        }
+
+    def on_arrival(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        if self._unserved is None:
+            return  # never attached; pick() will rebuild lazily
+        state = scheduler.tenants.get(int(tenant_id))
+        if state is not None and state.serves == 0:
+            self._unserved.add(int(tenant_id))
+
+    def on_departure(
+        self, scheduler: "MultiTenantScheduler", tenant_id: int
+    ) -> None:
+        if self._unserved is not None:
+            self._unserved.discard(int(tenant_id))
+
+    def _next_unserved(
+        self, scheduler: "MultiTenantScheduler"
+    ) -> Optional[int]:
+        """Lowest-id active tenant still awaiting its warm-up serve."""
+        if self._unserved is None:
+            self.reset(scheduler)
+        while self._unserved:
+            tenant_id = min(self._unserved)
+            state = scheduler.tenants.get(tenant_id)
+            if (
+                state is not None
+                and scheduler.tenants.is_active(tenant_id)
+                and state.serves == 0
+            ):
+                return tenant_id
+            self._unserved.discard(tenant_id)
+        return None
+
+    def _candidates(self, scheduler: "MultiTenantScheduler"):
+        """``(ids, mask, potentials)`` for the line-7 candidate filter.
+
+        ``ids`` is the candidate id array; ``mask`` is the boolean
+        filter over the active set (``None`` when every active tenant
+        is a candidate), letting callers slice other aligned arrays.
+        """
+        active = scheduler.active_id_array()
+        potentials = scheduler.potentials()  # aligned with active
+        finite = np.isfinite(potentials)
+        if not finite.any():
+            return active, None, potentials
+        threshold = potentials[finite].mean()
+        mask = ~finite | (potentials >= threshold)
+        if not mask.any():
+            return active, None, potentials
+        return active[mask], mask, potentials
 
     def candidate_set(self, scheduler: "MultiTenantScheduler") -> List[int]:
         """``V_t = {i : σ̃_i ≥ mean(σ̃)}`` over active tenants
         (Algorithm 2 line 7)."""
-        ids = scheduler.active_ids()
-        potentials = scheduler.potentials()  # aligned with ids
-        finite = potentials[np.isfinite(potentials)]
-        if finite.size == 0:
-            return ids
-        threshold = float(np.mean(finite))
-        candidates = [
-            tenant_id
-            for tenant_id, value in zip(ids, potentials)
-            if not math.isfinite(value) or value >= threshold
-        ]
-        return candidates if candidates else ids
+        ids, _, _ = self._candidates(scheduler)
+        return [int(i) for i in ids]
 
     def pick(self, scheduler: "MultiTenantScheduler") -> int:
-        for tenant in scheduler.tenants:
-            if tenant.serves == 0:
-                return tenant.index
+        warm = self._next_unserved(scheduler)
+        if warm is not None:
+            return warm
 
-        candidates = self.candidate_set(scheduler)
-        self.last_candidate_set = frozenset(candidates)
+        ids, mask, potentials = self._candidates(scheduler)
+        self.last_candidate_set = frozenset(int(i) for i in ids)
         if self.rule == "random":
-            return int(self._rng.choice(candidates))
+            return int(self._rng.choice([int(i) for i in ids]))
         if self.rule == "max_potential":
-            scores = [scheduler.tenants[i].sigma_tilde for i in candidates]
+            scores = potentials if mask is None else potentials[mask]
         else:  # max_gap
-            scores = [scheduler.tenants[i].potential_gap() for i in candidates]
-        best = int(np.argmax(scores))
-        return candidates[best]
+            gaps = scheduler.decision_gaps()  # aligned with active
+            scores = gaps if mask is None else gaps[mask]
+        return int(ids[int(np.argmax(scores))])
 
 
 class HybridPicker(UserPicker):
@@ -256,7 +308,9 @@ class HybridPicker(UserPicker):
         self, scheduler: "MultiTenantScheduler", tenant_id: int
     ) -> None:
         # A newcomer deserves the GREEDY exploration phase: re-enter it
-        # and restart the freeze detector.
+        # and restart the freeze detector.  The inner greedy picker
+        # needs the hook too, so its unserved set learns the arrival.
+        self._greedy.on_arrival(scheduler, tenant_id)
         self.switched = False
         self.switch_step = None
         self._stall_rounds = 0
@@ -267,6 +321,7 @@ class HybridPicker(UserPicker):
     ) -> None:
         # The candidate set shrank; don't let a stale stall streak
         # carry over the membership change.
+        self._greedy.on_departure(scheduler, tenant_id)
         self._stall_rounds = 0
         self._last_candidates = None
 

@@ -12,20 +12,35 @@ observations ``y_{1:t}`` at arms ``a_{1:t}``,
 
 The implementation grows a Cholesky factor of ``Σ_t + σ²I`` one row per
 observation, so an update costs O(tK) instead of the O(t³ + t²K) of a
-full refit.  ``refit()`` recomputes everything from scratch and is used
-by the test suite to validate the incremental path.
+full refit.  The factor lives in a contiguous capacity-doubling buffer;
+the forward-substitution vector each extension needs is a column of the
+maintained ``V = L⁻¹ Σ_t(·)`` matrix, so the update is a strided read
+plus a handful of vectorized dots — no triangular solve, no per-element
+Python arithmetic, and no reallocation on the hot path.  The posterior
+mean and variance are O(K) running accumulators (appending row ``t``
+adds ``z_t·V_t`` and ``V_t²``), so queries never re-reduce the history.
+:meth:`update_batch` absorbs a whole observation block with one
+capacity reservation (recovery/replay uses it so replaying t records
+costs one buffer growth, not t).
+``refit()`` recomputes everything from scratch through a different code
+path (block Cholesky) and is used by the test suite to validate the
+incremental path.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.linalg import solve_triangular
 
 from repro.utils.validation import check_matrix, check_positive
 
 _LOG_2PI = math.log(2.0 * math.pi)
+
+#: Initial capacity (rows) of the incremental buffers.
+_MIN_CAPACITY = 16
 
 
 class FiniteArmGP:
@@ -70,18 +85,29 @@ class FiniteArmGP:
         self.noise = check_positive(noise, "noise")
         self.jitter = check_positive(jitter, "jitter")
 
-        # Observation history.
-        self._obs_arms: List[int] = []
-        self._obs_y: List[float] = []
-
-        # Incremental state: L is the lower Cholesky factor of
-        # (Σ_t + σ²I) stored as a list of rows; V = L⁻¹ Σ_t(·) is
-        # (t, K); z = L⁻¹ (y - m(a)).
-        self._L_rows: List[np.ndarray] = []
+        # Incremental state, stored in contiguous capacity-doubling
+        # buffers whose first ``_t`` rows are live: ``L`` is the lower
+        # Cholesky factor of (Σ_t + σ²I); V = L⁻¹ Σ_t(·) is (t, K);
+        # z = L⁻¹ (y - m(a)); ``arms``/``y`` are the observation
+        # history.
+        self._t = 0
+        self._capacity = 0
+        self._L = np.empty((0, 0))
         self._V = np.empty((0, self._n_arms))
         self._z = np.empty(0)
+        self._arms = np.empty(0, dtype=np.intp)
+        self._y = np.empty(0)
 
-        # Cached posterior (invalidated on update).
+        # Running posterior sufficient statistics: appending row t
+        # changes the mean by z_t·V_t and the explained variance by
+        # V_t², so both are maintained as O(K) accumulators instead of
+        # re-reducing the whole (t, K) V matrix on every query.
+        self._prior_var = np.ascontiguousarray(np.diag(self._cov))
+        self._mean_acc = np.zeros(self._n_arms)
+        self._explained_acc = np.zeros(self._n_arms)
+
+        # Cached posterior (invalidated on update); the cached arrays
+        # are handed out as read-only views, never copied.
         self._posterior_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
@@ -95,15 +121,15 @@ class FiniteArmGP:
     @property
     def n_observations(self) -> int:
         """Number of observations incorporated so far (the paper's t)."""
-        return len(self._obs_y)
+        return self._t
 
     @property
     def observed_arms(self) -> Tuple[int, ...]:
-        return tuple(self._obs_arms)
+        return tuple(int(a) for a in self._arms[: self._t])
 
     @property
     def observed_rewards(self) -> Tuple[float, ...]:
-        return tuple(self._obs_y)
+        return tuple(float(v) for v in self._y[: self._t])
 
     @property
     def prior_cov(self) -> np.ndarray:
@@ -116,71 +142,149 @@ class FiniteArmGP:
         return arm
 
     # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def _reserve(self, rows: int) -> None:
+        """Grow the incremental buffers to hold at least ``rows``."""
+        if rows <= self._capacity:
+            return
+        capacity = max(_MIN_CAPACITY, self._capacity)
+        while capacity < rows:
+            capacity *= 2
+        L = np.zeros((capacity, capacity))
+        V = np.empty((capacity, self._n_arms))
+        z = np.empty(capacity)
+        arms = np.empty(capacity, dtype=np.intp)
+        y = np.empty(capacity)
+        t = self._t
+        if t:
+            L[:t, :t] = self._L[:t, :t]
+            V[:t] = self._V[:t]
+            z[:t] = self._z[:t]
+            arms[:t] = self._arms[:t]
+            y[:t] = self._y[:t]
+        self._L, self._V, self._z = L, V, z
+        self._arms, self._y = arms, y
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    def _append_row(self, arm: int, reward: float) -> None:
+        """Extend the Cholesky factor by one observation (O(tK)).
+
+        The caller has already validated ``arm``/``reward`` and
+        reserved capacity for the new row.
+        """
+        t = self._t
+        # New column of (Σ_t + σ²I): covariance of the new point with
+        # the already observed points, plus its own noisy variance.
+        d = self._cov[arm, arm] + self.noise**2
+        if t:
+            # The forward-substitution solution w = L⁻¹ Σ_t(a_new) is
+            # column a_new of V = L⁻¹ Σ_t(·), which the recurrence
+            # below already maintains — a strided O(t) read replaces
+            # the O(t²) triangular solve (and the 2t²-byte copy scipy
+            # would make of the non-contiguous L[:t, :t] view).
+            w = np.ascontiguousarray(self._V[:t, arm])
+            pivot_sq = d - w @ w
+        else:
+            w = None
+            pivot_sq = d
+        pivot = math.sqrt(max(pivot_sq, self.jitter))
+
+        self._L[t, t] = pivot
+        if t:
+            self._L[t, :t] = w
+            # V row: (Σ(a_new, ·) − wᵀ V) / pivot.
+            self._V[t] = (self._cov[arm, :] - w @ self._V[:t]) / pivot
+            # z entry: centred residual.
+            resid = reward - self._prior_mean[arm]
+            self._z[t] = (resid - w @ self._z[:t]) / pivot
+        else:
+            self._V[t] = self._cov[arm, :] / pivot
+            self._z[t] = (reward - self._prior_mean[arm]) / pivot
+        row = self._V[t]
+        self._mean_acc += self._z[t] * row
+        self._explained_acc += row * row
+        self._arms[t] = arm
+        self._y[t] = reward
+        self._t = t + 1
+
     def update(self, arm: int, reward: float) -> None:
         """Incorporate one observation ``reward`` at ``arm`` (O(tK))."""
         arm = self._check_arm(arm)
         reward = float(reward)
         if not np.isfinite(reward):
             raise ValueError(f"reward must be finite, got {reward}")
+        self._reserve(self._t + 1)
+        self._append_row(arm, reward)
+        self._posterior_cache = None
 
-        t = self.n_observations
-        # New column of (Σ_t + σ²I): covariance of the new point with
-        # the already observed points, plus its own noisy variance.
-        b = self._cov[self._obs_arms, arm] if t else np.empty(0)
-        d = self._cov[arm, arm] + self.noise**2
+    def update_batch(
+        self, arms: Sequence[int], rewards: Sequence[float]
+    ) -> None:
+        """Incorporate a block of observations in one call.
 
-        # Forward-substitute w = L⁻¹ b using the stored rows.
-        w = np.empty(t)
-        for i, row in enumerate(self._L_rows):
-            w[i] = (b[i] - row[:i] @ w[:i]) / row[i]
-
-        pivot_sq = d - w @ w
-        pivot = math.sqrt(max(pivot_sq, self.jitter))
-
-        new_row = np.empty(t + 1)
-        new_row[:t] = w
-        new_row[t] = pivot
-        self._L_rows.append(new_row)
-
-        # V row: (Σ(a_new, ·) − wᵀ V) / pivot.
-        v_new = (self._cov[arm, :] - w @ self._V) / pivot
-        self._V = np.vstack([self._V, v_new])
-
-        # z entry: centred residual.
-        resid = reward - self._prior_mean[arm]
-        z_new = (resid - w @ self._z) / pivot
-        self._z = np.append(self._z, z_new)
-
-        self._obs_arms.append(arm)
-        self._obs_y.append(reward)
+        Numerically **bit-identical** to calling :meth:`update` once
+        per ``(arm, reward)`` pair — the same incremental kernel runs
+        row by row — but the buffers are reserved once for the whole
+        block, inputs are validated in bulk, and the posterior cache is
+        invalidated once.  Recovery/replay uses this so absorbing a
+        t-record history costs a single capacity reservation instead of
+        t reallocations.
+        """
+        arms = np.asarray(arms, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        if arms.shape != rewards.shape:
+            raise ValueError(
+                f"arms and rewards must have matching lengths, got "
+                f"{arms.shape[0]} arms and {rewards.shape[0]} rewards"
+            )
+        if arms.size == 0:
+            return
+        if arms.min() < 0 or arms.max() >= self._n_arms:
+            bad = arms[(arms < 0) | (arms >= self._n_arms)][0]
+            raise IndexError(
+                f"arm {int(bad)} out of range [0, {self._n_arms})"
+            )
+        if not np.all(np.isfinite(rewards)):
+            bad = rewards[~np.isfinite(rewards)][0]
+            raise ValueError(f"reward must be finite, got {bad}")
+        self._reserve(self._t + arms.size)
+        for arm, reward in zip(arms, rewards):
+            self._append_row(int(arm), float(reward))
         self._posterior_cache = None
 
     # ------------------------------------------------------------------
     # Posterior queries
     # ------------------------------------------------------------------
     def posterior(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Posterior ``(mean, variance)`` vectors over all K arms."""
+        """Posterior ``(mean, variance)`` vectors over all K arms.
+
+        Returns **read-only views** of the cached posterior (writing to
+        them raises) so repeated queries between observations cost one
+        attribute lookup, not an O(K) copy.  Callers that need a
+        mutable array must copy explicitly.
+        """
         if self._posterior_cache is None:
-            mean = self._prior_mean + self._V.T @ self._z
-            variance = np.diag(self._cov) - np.einsum(
-                "tk,tk->k", self._V, self._V
-            )
+            mean = self._prior_mean + self._mean_acc
+            variance = self._prior_var - self._explained_acc
             np.maximum(variance, 0.0, out=variance)
+            mean.setflags(write=False)
+            variance.setflags(write=False)
             self._posterior_cache = (mean, variance)
-        mean, variance = self._posterior_cache
-        return mean.copy(), variance.copy()
+        return self._posterior_cache
 
     def posterior_mean(self, arm: Optional[int] = None):
-        """Posterior mean for one arm, or the full vector."""
+        """Posterior mean for one arm, or the full (read-only) vector."""
         mean, _ = self.posterior()
         if arm is None:
             return mean
         return float(mean[self._check_arm(arm)])
 
     def posterior_variance(self, arm: Optional[int] = None):
-        """Posterior variance for one arm, or the full vector."""
+        """Posterior variance for one arm, or the full (read-only) vector."""
         _, variance = self.posterior()
         if arm is None:
             return variance
@@ -196,13 +300,12 @@ class FiniteArmGP:
     # ------------------------------------------------------------------
     def log_marginal_likelihood(self) -> float:
         """Log p(y | arms, Σ, σ) of the observations seen so far."""
-        t = self.n_observations
+        t = self._t
         if t == 0:
             return 0.0
-        log_det_half = sum(math.log(row[i]) for i, row in enumerate(self._L_rows))
-        return float(
-            -0.5 * (self._z @ self._z) - log_det_half - 0.5 * t * _LOG_2PI
-        )
+        z = self._z[:t]
+        log_det_half = float(np.sum(np.log(np.diag(self._L[:t, :t]))))
+        return float(-0.5 * (z @ z) - log_det_half - 0.5 * t * _LOG_2PI)
 
     def refit(self) -> "FiniteArmGP":
         """Fresh GP replaying the full history (numerical ground truth)."""
@@ -212,24 +315,27 @@ class FiniteArmGP:
             noise=self.noise,
             jitter=self.jitter,
         )
-        if self.n_observations:
-            arms = np.array(self._obs_arms)
-            y = np.array(self._obs_y)
-            gram = self._cov[np.ix_(arms, arms)] + self.noise**2 * np.eye(
-                len(arms)
+        t = self._t
+        if t:
+            arms = self._arms[:t].copy()
+            y = self._y[:t].copy()
+            gram = self._cov[np.ix_(arms, arms)] + self.noise**2 * np.eye(t)
+            L = np.linalg.cholesky(gram + self.jitter * np.eye(t))
+            clone._reserve(t)
+            clone._L[:t, :t] = L
+            clone._V[:t] = solve_triangular(
+                L, self._cov[arms, :], lower=True
             )
-            L = np.linalg.cholesky(
-                gram + self.jitter * np.eye(len(arms))
+            clone._z[:t] = solve_triangular(
+                L, y - self._prior_mean[arms], lower=True
             )
-            from scipy.linalg import solve_triangular
-
-            V = solve_triangular(L, self._cov[arms, :], lower=True)
-            z = solve_triangular(L, y - self._prior_mean[arms], lower=True)
-            clone._L_rows = [L[i, : i + 1].copy() for i in range(len(arms))]
-            clone._V = V
-            clone._z = z
-            clone._obs_arms = list(arms)
-            clone._obs_y = list(y)
+            clone._mean_acc = clone._V[:t].T @ clone._z[:t]
+            clone._explained_acc = np.einsum(
+                "tk,tk->k", clone._V[:t], clone._V[:t]
+            )
+            clone._arms[:t] = arms
+            clone._y[:t] = y
+            clone._t = t
         return clone
 
     def copy(self) -> "FiniteArmGP":
@@ -240,11 +346,17 @@ class FiniteArmGP:
             noise=self.noise,
             jitter=self.jitter,
         )
-        clone._obs_arms = list(self._obs_arms)
-        clone._obs_y = list(self._obs_y)
-        clone._L_rows = [row.copy() for row in self._L_rows]
-        clone._V = self._V.copy()
-        clone._z = self._z.copy()
+        t = self._t
+        if t:
+            clone._reserve(t)
+            clone._L[:t, :t] = self._L[:t, :t]
+            clone._V[:t] = self._V[:t]
+            clone._z[:t] = self._z[:t]
+            clone._mean_acc = self._mean_acc.copy()
+            clone._explained_acc = self._explained_acc.copy()
+            clone._arms[:t] = self._arms[:t]
+            clone._y[:t] = self._y[:t]
+            clone._t = t
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -25,6 +25,7 @@ from repro.obs.context import (
 from repro.obs.logging import NULL_ACCESS_LOG, AccessLogger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    PICK_LATENCY_BUCKETS,
     NULL_REGISTRY,
     OVERFLOW_LABEL,
     Counter,
@@ -38,6 +39,7 @@ __all__ = [
     "AccessLogger",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "PICK_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "PICK_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,6 +58,13 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+#: The vectorized decision path picks in single-digit microseconds, so
+#: the request-latency buckets above (first bound 100µs) would collapse
+#: every pick into one bucket and make the percentiles meaningless.
+PICK_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+) + DEFAULT_LATENCY_BUCKETS
 
 #: Label value every over-cardinality label set collapses into.
 OVERFLOW_LABEL = "__overflow__"

@@ -374,6 +374,9 @@ class AsyncClusterOracle(RewardOracle):
             selection, job.reward, cost,
             clamp_potential=scheduler.clamp_potential,
         )
+        # This path bypasses scheduler.step(), so the decision cache
+        # must be told the tenant's σ̃ / best-observed / best-UCB moved.
+        scheduler.invalidate_tenant(tenant.index)
         scheduler.step_count += 1
         scheduler.total_cost += cost
         record = StepRecord(

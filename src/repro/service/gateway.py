@@ -67,7 +67,12 @@ import numpy as np
 from repro.engine.events import EventKind
 from repro.engine.jobs import Job, JobState
 from repro.errors import jsonify
-from repro.obs import MetricsRegistry, current_request_id, run_in_context
+from repro.obs import (
+    PICK_LATENCY_BUCKETS,
+    MetricsRegistry,
+    current_request_id,
+    run_in_context,
+)
 from repro.platform.server import EaseMLApp, EaseMLServer
 from repro.runtime.trace import event_to_dict
 from repro.service.api import (
@@ -337,6 +342,7 @@ class ServiceGateway:
             "scheduler_pick_seconds",
             "Latency of one serving-path model pick "
             "(TenantState.picker.select).",
+            buckets=PICK_LATENCY_BUCKETS,
         )
         self._m_picks = m.counter(
             "scheduler_picks_total",

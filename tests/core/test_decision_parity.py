@@ -1,0 +1,161 @@
+"""Pick-sequence parity: vectorized decision path vs the seed stack.
+
+The vectorization PR (contiguous-buffer GP, memoized scores, scheduler
+decision cache, vectorized GREEDY) must not change a single scheduling
+decision.  These tests run the frozen pre-PR implementations (kept in
+``benchmarks/legacy_decision.py``) and the current stack through
+identical scenarios and diff the traces with the runtime's
+:func:`first_divergence` determinism tool.
+"""
+
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "benchmarks")
+)
+import legacy_decision  # noqa: E402
+
+from repro.core.beta import AlgorithmOneBeta
+from repro.core.model_picking import GPUCBPicker
+from repro.core.multitenant import MultiTenantScheduler
+from repro.core.oracles import MatrixOracle
+from repro.core.user_picking import GreedyPicker, HybridPicker
+from repro.runtime import first_divergence
+
+N_USERS, N_ARMS = 12, 8
+
+
+def _rbf_cov(rng, k):
+    X = rng.normal(size=(k, 3))
+    sq = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+    return np.exp(-0.5 * sq / 1.5**2) + 1e-6 * np.eye(k)
+
+
+def _run(user_picker, picker_cls, *, churn=False, steps=400, seed=0):
+    """One scheduler run; returns the records as plain dicts."""
+    rng = np.random.default_rng(seed)
+    quality = rng.uniform(0.2, 0.95, size=(N_USERS, N_ARMS))
+    cov = _rbf_cov(rng, N_ARMS)
+    oracle = MatrixOracle(quality, noise_std=0.05, seed=seed + 1)
+
+    def make_picker():
+        return picker_cls(cov, AlgorithmOneBeta(N_ARMS), noise=0.1)
+
+    if churn:
+        initial = {u: make_picker() for u in range(N_USERS - 2)}
+    else:
+        initial = [make_picker() for _ in range(N_USERS)]
+    sched = MultiTenantScheduler(oracle, initial, user_picker)
+    for step in range(steps):
+        if churn:
+            if step == 120:
+                sched.add_tenant(make_picker(), tenant_id=N_USERS - 2)
+            if step == 160:
+                sched.retire_tenant(3)
+            if step == 220:
+                sched.add_tenant(make_picker(), tenant_id=N_USERS - 1)
+            if step == 260:
+                sched.add_tenant(tenant_id=3)  # reactivate, picker kept
+        sched.step()
+    return [asdict(r) for r in sched.records]
+
+
+# The decision trace: every field here is exactly determined by the
+# pick sequence (rewards/costs come from the oracle's rng, which both
+# runs consume in the same order iff every pick matches), so we require
+# bit-equality.  ucb_value / sigma_tilde are diagnostics whose last
+# couple of ulps depend on floating-point summation order (the
+# vectorized GP reads the forward-substitution vector out of its
+# maintained V matrix instead of re-solving), so they get a 1e-9 bound
+# instead.
+DECISION_FIELDS = ("t", "user", "arm", "reward", "cost", "cumulative_cost")
+
+
+def _assert_identical(legacy_records, new_records):
+    left = [{k: r[k] for k in DECISION_FIELDS} for r in legacy_records]
+    right = [{k: r[k] for k in DECISION_FIELDS} for r in new_records]
+    divergence = first_divergence(left, right)
+    assert divergence is None, f"pick traces diverge: {divergence}"
+    for field in ("ucb_value", "sigma_tilde"):
+        a = np.array([r[field] for r in legacy_records])
+        b = np.array([r[field] for r in new_records])
+        finite = np.isfinite(a)
+        np.testing.assert_array_equal(finite, np.isfinite(b))
+        np.testing.assert_allclose(
+            a[finite], b[finite], rtol=1e-9, atol=1e-9
+        )
+
+
+class TestPickSequenceParity:
+    def test_greedy_trace_identical(self):
+        legacy = _run(
+            legacy_decision.LegacyGreedyPicker(),
+            legacy_decision.LegacyGPUCBPicker,
+        )
+        new = _run(GreedyPicker(), GPUCBPicker)
+        _assert_identical(legacy, new)
+
+    def test_greedy_max_potential_trace_identical(self):
+        legacy = _run(
+            legacy_decision.LegacyGreedyPicker("max_potential"),
+            legacy_decision.LegacyGPUCBPicker,
+            seed=5,
+        )
+        new = _run(GreedyPicker("max_potential"), GPUCBPicker, seed=5)
+        _assert_identical(legacy, new)
+
+    def test_hybrid_trace_identical(self):
+        legacy = _run(
+            legacy_decision.LegacyHybridPicker(s=8),
+            legacy_decision.LegacyGPUCBPicker,
+            steps=600,
+            seed=2,
+        )
+        new = _run(HybridPicker(s=8), GPUCBPicker, steps=600, seed=2)
+        _assert_identical(legacy, new)
+
+    def test_greedy_trace_identical_under_churn(self):
+        legacy = _run(
+            legacy_decision.LegacyGreedyPicker(),
+            legacy_decision.LegacyGPUCBPicker,
+            churn=True,
+            seed=3,
+        )
+        new = _run(GreedyPicker(), GPUCBPicker, churn=True, seed=3)
+        _assert_identical(legacy, new)
+
+    def test_hybrid_trace_identical_under_churn(self):
+        legacy = _run(
+            legacy_decision.LegacyHybridPicker(s=8),
+            legacy_decision.LegacyGPUCBPicker,
+            churn=True,
+            steps=500,
+            seed=7,
+        )
+        new = _run(HybridPicker(s=8), GPUCBPicker, churn=True, steps=500, seed=7)
+        _assert_identical(legacy, new)
+
+
+class TestScoreMemoization:
+    def test_scores_shared_within_round(self):
+        rng = np.random.default_rng(0)
+        cov = _rbf_cov(rng, N_ARMS)
+        picker = GPUCBPicker(cov, AlgorithmOneBeta(N_ARMS), noise=0.1)
+        first = picker._ucb.ucb_scores()
+        again = picker._ucb.ucb_scores()
+        assert first is again  # one evaluation per (t, beta) round
+        assert not first.flags.writeable
+
+    def test_memo_invalidated_by_observation(self):
+        rng = np.random.default_rng(1)
+        cov = _rbf_cov(rng, N_ARMS)
+        picker = GPUCBPicker(cov, AlgorithmOneBeta(N_ARMS), noise=0.1)
+        before = picker._ucb.ucb_scores()
+        picker.observe(0, 0.6)
+        after = picker._ucb.ucb_scores()
+        assert after is not before
+        assert not np.array_equal(after, before)

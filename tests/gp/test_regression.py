@@ -160,11 +160,22 @@ class TestPosteriorProperties:
             clone.posterior_mean(1)
         )
 
-    def test_posterior_returns_copies(self):
+    def test_posterior_returns_read_only_views(self):
         gp, _, _ = make_gp()
-        mean, _ = gp.posterior()
-        mean[:] = 99.0
+        mean, var = gp.posterior()
+        with pytest.raises(ValueError):
+            mean[:] = 99.0
+        with pytest.raises(ValueError):
+            var[:] = 99.0
         assert not np.allclose(gp.posterior_mean(), 99.0)
+
+    def test_posterior_views_stay_valid_across_updates(self):
+        gp, _, _ = make_gp()
+        mean_before, _ = gp.posterior()
+        snapshot = mean_before.copy()
+        gp.update(1, 0.9)
+        # The old view must not silently change under the caller.
+        np.testing.assert_array_equal(mean_before, snapshot)
 
     def test_lml_empty_is_zero(self):
         gp, _, _ = make_gp()
@@ -188,4 +199,93 @@ class TestAgainstClosedForm:
         )
         assert gp.posterior_variance(1) == pytest.approx(
             cov[1, 1] - cov[1, 0] ** 2 / denom
+        )
+
+
+class TestUpdateBatch:
+    """`update_batch` must be bit-identical to sequential `update`."""
+
+    @staticmethod
+    def _history(seed, n, n_arms=6):
+        rng = np.random.default_rng(seed)
+        arms = rng.integers(0, n_arms, size=n)
+        rewards = rng.normal(scale=0.3, size=n)
+        return arms, rewards
+
+    def test_bit_identical_to_sequential_update(self):
+        arms, rewards = self._history(seed=3, n=200)
+        seq, _, _ = make_gp(seed=1)
+        batch, _, _ = make_gp(seed=1)
+        for a, r in zip(arms, rewards):
+            seq.update(int(a), float(r))
+        batch.update_batch(arms, rewards)
+        np.testing.assert_array_equal(seq.posterior()[0], batch.posterior()[0])
+        np.testing.assert_array_equal(seq.posterior()[1], batch.posterior()[1])
+        assert seq.log_marginal_likelihood() == batch.log_marginal_likelihood()
+        assert seq.observed_arms == batch.observed_arms
+        assert seq.observed_rewards == batch.observed_rewards
+
+    def test_chunked_batches_bit_identical(self):
+        arms, rewards = self._history(seed=7, n=150)
+        whole, _, _ = make_gp(seed=1)
+        chunked, _, _ = make_gp(seed=1)
+        whole.update_batch(arms, rewards)
+        for start in range(0, 150, 40):
+            chunked.update_batch(
+                arms[start:start + 40], rewards[start:start + 40]
+            )
+        np.testing.assert_array_equal(
+            whole.posterior()[0], chunked.posterior()[0]
+        )
+        np.testing.assert_array_equal(
+            whole.posterior()[1], chunked.posterior()[1]
+        )
+
+    def test_empty_batch_is_noop(self):
+        gp, _, _ = make_gp()
+        gp.update(0, 0.4)
+        mean_before = gp.posterior()[0].copy()
+        gp.update_batch([], [])
+        assert gp.n_observations == 1
+        np.testing.assert_array_equal(gp.posterior()[0], mean_before)
+
+    def test_batch_validates_before_mutating(self):
+        gp, _, _ = make_gp()
+        with pytest.raises(IndexError):
+            gp.update_batch([0, 99], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            gp.update_batch([0, 1], [0.1, float("nan")])
+        with pytest.raises(ValueError, match="matching lengths"):
+            gp.update_batch([0, 1], [0.1])
+        assert gp.n_observations == 0
+
+
+class TestLongHorizonParity:
+    """Incremental Cholesky vs block refit at t >= 1000 (repeated arms,
+    tiny noise) — the regime where per-row error accumulation would
+    show up if the one-row extension drifted."""
+
+    @pytest.mark.parametrize("n_arms", [8, 20])
+    def test_incremental_matches_refit_at_t_1000(self, n_arms):
+        rng = np.random.default_rng(42)
+        base = rng.normal(size=(n_arms, n_arms))
+        cov = base @ base.T / n_arms + 0.5 * np.eye(n_arms)
+        gp = FiniteArmGP(cov, noise=1e-3)
+        arms = rng.integers(0, n_arms, size=1000)
+        rewards = rng.normal(scale=0.2, size=1000)
+        gp.update_batch(arms, rewards)
+        assert gp.n_observations == 1000
+
+        ref = gp.refit()
+        np.testing.assert_allclose(
+            gp.posterior()[0], ref.posterior()[0], rtol=0, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            gp.posterior()[1], ref.posterior()[1], rtol=0, atol=1e-8
+        )
+        # refit() regularises the whole Gram diagonal with jitter while
+        # the incremental path only floors degenerate pivots, so the
+        # (huge, ~1e7) log-likelihoods agree in relative terms only.
+        assert gp.log_marginal_likelihood() == pytest.approx(
+            ref.log_marginal_likelihood(), rel=1e-3
         )

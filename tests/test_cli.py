@@ -292,3 +292,102 @@ class TestRuntimeArrivals:
         trace.write_text('{"action": "arrive", "time": 0.0, "user": 99}\n')
         assert main(["runtime", "--arrivals", str(trace)]) == 2
         assert "only has" in capsys.readouterr().err
+
+
+class TestReplicaStatus:
+    """`replica status` surfaces the writer's pick-latency histogram."""
+
+    CLUSTER = {
+        "front_url": "http://127.0.0.1:9000",
+        "writer_url": "http://127.0.0.1:9001",
+        "promotions": 0,
+        "members": [
+            {
+                "name": "writer",
+                "role": "writer",
+                "url": "http://127.0.0.1:9001",
+                "pid": 111,
+            }
+        ],
+    }
+
+    METRICS = {
+        "metrics": {
+            "replica_applied_seq": {"series": [{"value": 42}]},
+            "replica_lag_records": {"series": [{"value": 0}]},
+            "replica_is_writer": {"series": [{"value": 1}]},
+            "scheduler_pick_seconds": {
+                "series": [
+                    {
+                        "count": 17,
+                        "sum": 0.0009,
+                        "p50": 3.2e-05,
+                        "p95": 9.1e-05,
+                        "p99": 0.00013,
+                    }
+                ]
+            },
+        }
+    }
+
+    def _patch(self, monkeypatch):
+        import repro.cli as cli_mod
+        import repro.replica as replica_mod
+
+        monkeypatch.setattr(
+            replica_mod, "read_cluster", lambda state_dir: self.CLUSTER
+        )
+        monkeypatch.setattr(
+            cli_mod,
+            "_scrape_json_metrics",
+            lambda url, path, token=None, timeout=5.0: self.METRICS,
+        )
+
+    def test_json_includes_pick_percentiles(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        self._patch(monkeypatch)
+        assert main(
+            ["replica", "status", "--state-dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (member,) = payload["members"]
+        assert member["pick_seconds"] == {
+            "count": 17,
+            "p50": 3.2e-05,
+            "p95": 9.1e-05,
+            "p99": 0.00013,
+        }
+
+    def test_text_output_quotes_pick_latency(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._patch(monkeypatch)
+        assert main(
+            ["replica", "status", "--state-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pick_p50=32us p95=91us p99=130us" in out
+
+    def test_unreachable_member_omits_pick_latency(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli_mod
+        import repro.replica as replica_mod
+
+        monkeypatch.setattr(
+            replica_mod, "read_cluster", lambda state_dir: self.CLUSTER
+        )
+        monkeypatch.setattr(
+            cli_mod,
+            "_scrape_json_metrics",
+            lambda url, path, token=None, timeout=5.0: None,
+        )
+        assert main(
+            ["replica", "status", "--state-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+        assert "pick_p50" not in out
