@@ -41,9 +41,17 @@ Commands
     the same metrics registry primitives the live server exposes.
 ``metrics``
     Scrape a running server's metrics endpoint and print it —
-    Prometheus text by default, the ``/v1/metrics`` JSON snapshot
+    Prometheus text by default (families sorted, histogram
+    p50/p95/p99 rendered inline), the ``/v1/metrics`` JSON snapshot
     with ``--json``.  No tenant token needed (the endpoint is
     unauthenticated on purpose: scrape agents are not tenants).
+``slow``
+    Fetch retained traces from a live server (``/v1/traces``) and
+    print a span waterfall per trace — frontend decode, queue wait,
+    gateway handler, journal append/fsync/commit, long-poll park.
+``slo status``
+    Per-tenant windowed SLO attainment and error-budget burn, read
+    from the ``slo_*`` gauges a live server exports.
 """
 
 from __future__ import annotations
@@ -250,9 +258,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--metrics-token", default=None, metavar="TOKEN",
-        help="require 'Authorization: Bearer TOKEN' on /metrics and "
-        "/v1/metrics (by default scrapes are open, which exposes "
-        "tenant names and per-tenant traffic to any network peer)",
+        help="require 'Authorization: Bearer TOKEN' on /metrics, "
+        "/v1/metrics and /v1/traces (by default scrapes are open, "
+        "which exposes tenant names and per-tenant traffic to any "
+        "network peer)",
+    )
+    srv.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="head-sampling rate for request tracing in [0, 1] "
+        "(default 1.0: every request carries spans; completed traces "
+        "are then tail-sampled — errors and the slowest per route are "
+        "always kept.  0 disables tracing entirely)",
+    )
+    srv.add_argument(
+        "--slo-config", default=None, metavar="FILE",
+        help="per-tenant SLO objectives as JSON: "
+        '{"default": {"latency_ms": 1000, "target": 0.99}, '
+        '"tenants": {"name": {...}}}.  Attainment and error-budget '
+        "burn gauges land on /metrics; `repro slo status` reads them",
     )
     srv.add_argument(
         "--replicas", type=int, default=0, metavar="N",
@@ -331,6 +354,64 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--metrics-token", default=None, metavar="TOKEN",
         help="bearer token for members started with --metrics-token",
+    )
+
+    slow = sub.add_parser(
+        "slow",
+        help="fetch retained traces from a live server and print a "
+        "span waterfall per trace (slowest first)",
+    )
+    slow.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="server base URL (default http://127.0.0.1:8080)",
+    )
+    slow.add_argument(
+        "--route", default=None, metavar="TEMPLATE",
+        help='only traces for this route template, e.g. "/v1/jobs/{id}"',
+    )
+    slow.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="only traces for this tenant",
+    )
+    slow.add_argument(
+        "--min-ms", type=float, default=0.0, metavar="MS",
+        help="only traces at least this slow (default 0)",
+    )
+    slow.add_argument(
+        "--limit", type=int, default=10,
+        help="maximum traces to print (default 10)",
+    )
+    slow.add_argument(
+        "--json", action="store_true",
+        help="print the raw trace JSON instead of waterfalls",
+    )
+    slow.add_argument(
+        "--metrics-token", default=None, metavar="TOKEN",
+        help="bearer token to send, for servers started with "
+        "--metrics-token",
+    )
+
+    slo = sub.add_parser(
+        "slo", help="per-tenant SLO tooling over a live server"
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_status = slo_sub.add_parser(
+        "status",
+        help="windowed SLO attainment and error-budget burn per "
+        "tenant (reads the slo_* gauges from /v1/metrics)",
+    )
+    slo_status.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="server base URL (default http://127.0.0.1:8080)",
+    )
+    slo_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output",
+    )
+    slo_status.add_argument(
+        "--metrics-token", default=None, metavar="TOKEN",
+        help="bearer token to send, for servers started with "
+        "--metrics-token",
     )
     return parser
 
@@ -601,6 +682,31 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _service_observability(args: argparse.Namespace, metrics):
+    """Tracer/SLO overrides for ``serve``; (None, None) = defaults."""
+    from repro.obs import NULL_TRACER, SLOEngine, Tracer, load_slo_config
+
+    tracer = None
+    rate = getattr(args, "trace_sample", None)
+    if rate is not None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"--trace-sample must be in [0, 1], got {rate}"
+            )
+        if rate == 0.0 or not metrics.enabled:
+            tracer = NULL_TRACER
+        else:
+            tracer = Tracer(sample_rate=rate)
+    slo = None
+    path = getattr(args, "slo_config", None)
+    if path:
+        default, objectives = load_slo_config(path)
+        slo = SLOEngine(
+            registry=metrics, objectives=objectives, default=default
+        )
+    return tracer, slo
+
+
 def build_service(args: argparse.Namespace):
     """Construct (gateway, {tenant: token}, http server) for ``serve``.
 
@@ -620,6 +726,7 @@ def build_service(args: argparse.Namespace):
         json_lines=log_json,
         enabled=log_json or getattr(args, "access_log", False),
     )
+    tracer, slo = _service_observability(args, metrics)
     kwargs = dict(
         placement=args.placement,
         n_gpus=args.n_gpus,
@@ -659,6 +766,13 @@ def build_service(args: argparse.Namespace):
                 )
     else:
         gateway = ServiceGateway(**kwargs)
+    # Applied as attribute overrides so the durable path works too:
+    # open_gateway only forwards the backend-shape kwargs, and the
+    # frontends read gateway.tracer at bind time, below.
+    if tracer is not None:
+        gateway.tracer = tracer
+    if slo is not None:
+        gateway.slo = slo
     existing = set(gateway.tenant_names())
     for name in args.tenant or ["default"]:
         if name not in existing:
@@ -940,7 +1054,270 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not args.json:
+        body = _render_metrics_text(body)
     sys.stdout.write(body if body.endswith("\n") else body + "\n")
+    return 0
+
+
+def _parse_prometheus_families(body: str):
+    """Split exposition text into a preamble and ``# HELP`` blocks."""
+    preamble: list = []
+    families: list = []
+    current = None
+    for line in body.splitlines():
+        if line.startswith("# HELP "):
+            current = {
+                "name": line.split(" ", 3)[2], "kind": "", "lines": [line]
+            }
+            families.append(current)
+        elif current is None:
+            if line.strip():
+                preamble.append(line)
+        elif line.strip():
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) >= 4:
+                    current["kind"] = parts[3]
+            current["lines"].append(line)
+    return preamble, families
+
+
+def _bucket_percentile(bounds, counts, total, q):
+    """histogram_quantile over per-bucket counts (not cumulative)."""
+    rank = (q / 100.0) * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(bounds):
+                return bounds[-1]  # +Inf bucket: clamp
+            upper = bounds[index]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return bounds[-1]
+
+
+def _histogram_percentile_lines(name: str, lines) -> list:
+    """Derived ``# name{labels} p50=... p95=... p99=...`` comments."""
+    import math
+    import re
+
+    pair_re = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+    series: dict = {}
+    for line in lines:
+        if not line.startswith(name + "_bucket"):
+            continue
+        brace, end = line.find("{"), line.rfind("}")
+        if brace < 0 or end < brace:
+            continue
+        value = line[end + 1 :].split()
+        if not value:
+            continue
+        le = None
+        rest = []
+        for key, val in pair_re.findall(line[brace + 1 : end]):
+            if key == "le":
+                le = math.inf if val == "+Inf" else float(val)
+            else:
+                rest.append(f'{key}="{val}"')
+        if le is None:
+            continue
+        series.setdefault(",".join(rest), []).append(
+            (le, float(value[0]))
+        )
+    out = []
+    for key in sorted(series):
+        buckets = sorted(series[key])
+        bounds = [b for b, _ in buckets if b != math.inf]
+        cumulative = [c for _, c in buckets]
+        counts = [cumulative[0]] + [
+            after - before
+            for before, after in zip(cumulative, cumulative[1:])
+        ]
+        total = cumulative[-1]
+        if total <= 0 or not bounds:
+            continue
+        quantiles = " ".join(
+            f"p{q}={_bucket_percentile(bounds, counts, total, q):.6g}"
+            for q in (50, 95, 99)
+        )
+        labels = f"{{{key}}}" if key else ""
+        out.append(f"# {name}{labels} {quantiles}")
+    return out
+
+
+def _render_metrics_text(body: str) -> str:
+    """``repro metrics`` text view: families sorted by name, each
+    histogram series annotated with derived p50/p95/p99 comments."""
+    preamble, families = _parse_prometheus_families(body)
+    out = list(preamble)
+    for family in sorted(families, key=lambda f: f["name"]):
+        out.extend(family["lines"])
+        if family["kind"] == "histogram":
+            out.extend(
+                _histogram_percentile_lines(
+                    family["name"], family["lines"]
+                )
+            )
+    if not out:
+        return body
+    return "\n".join(out) + "\n"
+
+
+def _render_waterfall(trace: dict, width: int = 44) -> str:
+    """One retained trace as an indented span waterfall."""
+    total = max(float(trace.get("duration_ms", 0.0)), 1e-9)
+    lines = [
+        f"trace {trace.get('trace_id', '?')}  {trace.get('route', '?')}"
+        f"  status={trace.get('status', '?')}  {total:.3f} ms"
+        f"  tenant={trace.get('tenant') or '-'}"
+        f"  frontend={trace.get('frontend') or '-'}"
+        f"  kept={trace.get('kept', '?')}"
+        + ("  ERROR" if trace.get("error") else "")
+    ]
+    spans = list(trace.get("spans", []))
+    by_sid = {s.get("sid"): s for s in spans}
+
+    def depth(span: dict) -> int:
+        seen: set = set()
+        level = 0
+        parent = span.get("parent")
+        while parent is not None and parent in by_sid and parent not in seen:
+            seen.add(parent)
+            level += 1
+            parent = by_sid[parent].get("parent")
+        return level
+
+    name_width = max(
+        (len(str(s.get("name", ""))) + 2 * depth(s) for s in spans),
+        default=1,
+    )
+    ordered = sorted(
+        spans,
+        key=lambda s: (float(s.get("start_ms", 0.0)), s.get("sid", 0)),
+    )
+    for span in ordered:
+        start = float(span.get("start_ms", 0.0))
+        duration = float(span.get("duration_ms", 0.0))
+        offset = min(max(int(width * start / total), 0), width - 1)
+        length = min(
+            max(int(round(width * duration / total)), 1), width - offset
+        )
+        bar = " " * offset + "#" * length
+        label = "  " * depth(span) + str(span.get("name", "?"))
+        attrs = span.get("attrs") or {}
+        extra = "".join(
+            f"  {k}={v}" for k, v in sorted(attrs.items())
+        )
+        lines.append(
+            f"  {label:<{name_width}}  |{bar:<{width}}|"
+            f" {duration:9.3f} ms{extra}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    """``slow``: fetch /v1/traces and print waterfalls."""
+    import json
+    from urllib.parse import urlencode
+
+    from repro.service.http import TRACES_PATH
+
+    query = {"limit": args.limit, "min_ms": args.min_ms}
+    if args.route:
+        query["route"] = args.route
+    if args.tenant:
+        query["tenant"] = args.tenant
+    document = _scrape_json_metrics(
+        args.url,
+        f"{TRACES_PATH}?{urlencode(query)}",
+        token=getattr(args, "metrics_token", None),
+    )
+    if document is None:
+        print(
+            f"cannot fetch {args.url}{TRACES_PATH} — is the server "
+            "running with metrics on (and the token right)?",
+            file=sys.stderr,
+        )
+        return 2
+    traces = document.get("traces", [])
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True))
+        return 0
+    if not traces:
+        print("no retained traces match the filters (drive traffic, "
+              "or relax --route/--tenant/--min-ms)")
+        return 0
+    for trace in traces:
+        print(_render_waterfall(trace))
+        print()
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """``slo status``: per-tenant attainment/burn from /v1/metrics."""
+    import json
+
+    from repro.service.http import METRICS_JSON_PATH
+
+    document = _scrape_json_metrics(
+        args.url,
+        METRICS_JSON_PATH,
+        token=getattr(args, "metrics_token", None),
+    )
+    if document is None:
+        print(
+            f"cannot fetch {args.url}{METRICS_JSON_PATH} — is the "
+            "server running with metrics on (and the token right)?",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = document.get("metrics", document)
+    tenants: dict = {}
+    for family, field in (
+        ("slo_attainment_ratio", "attainment"),
+        ("slo_error_budget_burn", "burn"),
+    ):
+        for sample in metrics.get(family, {}).get("series", []):
+            labels = sample.get("labels", {})
+            tenant = labels.get("tenant", "?")
+            window = labels.get("window", "?")
+            cell = tenants.setdefault(tenant, {}).setdefault(window, {})
+            cell[field] = sample.get("value")
+    if args.json:
+        print(json.dumps(tenants, indent=2, sort_keys=True))
+        return 0
+    if not tenants:
+        print(
+            "no slo_* gauges exported yet — drive some traffic (the "
+            "gauges appear after the first scraped request)"
+        )
+        return 0
+    rows = []
+    for tenant in sorted(tenants):
+        for window in sorted(
+            tenants[tenant], key=lambda w: (len(w), w)
+        ):
+            cell = tenants[tenant][window]
+            attainment = cell.get("attainment")
+            burn = cell.get("burn")
+            rows.append([
+                tenant,
+                window,
+                "-" if attainment is None else f"{attainment:.4f}",
+                "-" if burn is None
+                else ("inf" if burn >= 1e9 else f"{burn:.2f}"),
+            ])
+    print(
+        ascii_table(
+            ["tenant", "window", "attainment", "budget burn"],
+            rows,
+            title="SLO status (burn > 1 eats error budget)",
+        )
+    )
     return 0
 
 
@@ -1086,6 +1463,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "slow":
+        return _cmd_slow(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
     if args.command == "state":
         return _cmd_state(args)
     if args.command == "replica":

@@ -79,6 +79,13 @@ class RequestContext:
     #: Which frontend accepted the request ("threading" | "asyncio"
     #: | "cli" | ...), for log lines.
     frontend: str = ""
+    #: The span accumulator (:class:`repro.obs.tracing.TraceState`)
+    #: when head sampling kept this request; None when dropped —
+    #: every ``span()`` call site then costs one attribute read.
+    trace: Optional[Any] = None
+    #: Authenticated tenant name, filled in by the gateway once the
+    #: token resolves; access logs and traces read it on the way out.
+    tenant: str = ""
 
     def elapsed(self) -> float:
         return time.perf_counter() - self.started

@@ -93,8 +93,14 @@ class AccessLogger:
         client: str = "",
         frontend: str = "",
         tenant: Optional[str] = None,
+        route: Optional[str] = None,
     ) -> None:
-        """One completed HTTP exchange."""
+        """One completed HTTP exchange.
+
+        ``route`` is the route *template* (``/v1/apps/{app}``), not the
+        concrete path — the same key traces and per-route histograms
+        use, so one grep joins all three.
+        """
         if not self.enabled:
             return
         now = time.time()
@@ -109,6 +115,8 @@ class AccessLogger:
                 "status": int(status),
                 "duration_ms": round(duration * 1000.0, 3),
             }
+            if route:
+                record["route"] = route
             if request_id:
                 record["request_id"] = request_id
             if tenant:
@@ -116,10 +124,15 @@ class AccessLogger:
             self._emit(json.dumps(record, separators=(",", ":")))
         else:
             rid = f" {request_id}" if request_id else ""
+            extra = ""
+            if route:
+                extra += f" route={route}"
+            if tenant:
+                extra += f" tenant={tenant}"
             self._emit(
                 f"{_utc_stamp(now)} {client or '-'} "
                 f'"{method} {path}" {int(status)} '
-                f"{duration * 1000.0:.1f}ms{rid}"
+                f"{duration * 1000.0:.1f}ms{rid}{extra}"
             )
 
     def event(self, kind: str, **fields: Any) -> None:

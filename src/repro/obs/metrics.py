@@ -40,6 +40,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.context import current_request
+
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -154,7 +156,7 @@ class Histogram:
     bound's bucket — the Prometheus ``le`` convention).
     """
 
-    __slots__ = ("_lock", "bounds", "counts", "total", "sum")
+    __slots__ = ("_lock", "bounds", "counts", "total", "sum", "_exemplars")
 
     def __init__(self, bounds: Sequence[float]) -> None:
         self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
@@ -171,13 +173,20 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
         self.total = 0
         self.sum = 0.0
+        #: Latest (trace_id, value) per bucket index, recorded only for
+        #: requests whose trace survived head sampling — so a bad
+        #: bucket in the JSON view links to a concrete fetchable trace.
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.bounds, value)
+        context = current_request()
         with self._lock:
             self.counts[index] += 1
             self.total += 1
             self.sum += value
+            if context is not None and context.trace is not None:
+                self._exemplars[index] = (context.request_id, value)
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -226,6 +235,7 @@ class Histogram:
                 "counts": list(self.counts),
                 "count": self.total,
                 "sum": self.sum,
+                "exemplars": dict(self._exemplars),
             }
 
 
@@ -548,17 +558,27 @@ class MetricsRegistry:
                 labels = dict(zip(family.label_names, values))
                 if family.kind == "histogram":
                     snap = child.snapshot()
+                    exemplars = snap.get("exemplars", {})
+                    buckets = []
+                    for index, (b, c) in enumerate(
+                        zip(
+                            list(snap["bounds"]) + ["+Inf"],
+                            snap["counts"],
+                        )
+                    ):
+                        bucket: Dict[str, Any] = {"le": b, "count": c}
+                        exemplar = exemplars.get(index)
+                        if exemplar is not None:
+                            bucket["exemplar"] = {
+                                "trace_id": exemplar[0],
+                                "value": exemplar[1],
+                            }
+                        buckets.append(bucket)
                     entry: Dict[str, Any] = {
                         "labels": labels,
                         "count": snap["count"],
                         "sum": snap["sum"],
-                        "buckets": [
-                            {"le": b, "count": c}
-                            for b, c in zip(
-                                list(snap["bounds"]) + ["+Inf"],
-                                snap["counts"],
-                            )
-                        ],
+                        "buckets": buckets,
                     }
                     for q in (50, 95, 99):
                         p = child.percentile(q)

@@ -1,0 +1,295 @@
+"""Per-tenant SLO tracking: windowed attainment and burn rate.
+
+An :class:`SLOObjective` says what a tenant was promised — "99% of
+requests answer within 250ms, errors count as misses".  The
+:class:`SLOEngine` measures what they got: every completed gateway
+request is scored good/bad against the tenant's objective, accumulated
+into one-second buckets, and read back as **attainment** (good/total
+over a window) and **error-budget burn rate** (the multi-window SRE
+number: how many times faster than "exactly on target" the tenant is
+consuming its budget — burn 1.0 means on target, 14+ over a short
+window is the classic page-now threshold).
+
+The engine is O(1) per request and allocation-free after the first
+request per tenant: a circular array of ``max(window)+1`` one-second
+buckets per tenant, stamp-validated so stale buckets self-clear as the
+clock wraps.  Two windows by default (60s fast-burn, 600s slow-burn).
+Gauges ``slo_attainment_ratio`` / ``slo_error_budget_burn`` (labels:
+tenant, window) refresh on every export, so ``GET /metrics`` always
+scrapes current values.
+
+Objectives come from ``repro serve --slo-config slo.json``::
+
+    {"default": {"latency_ms": 1000, "target": 0.99},
+     "tenants": {"acme": {"latency_ms": 250, "target": 0.999}}}
+
+or fall back to the engine default (1s @ 99%).  The clock is
+injectable so window-boundary math is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+__all__ = [
+    "DEFAULT_OBJECTIVE",
+    "SLOEngine",
+    "SLOObjective",
+    "load_slo_config",
+]
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One tenant's promise: latency bound + attainment target."""
+
+    #: Requests slower than this are budget misses.
+    latency_ms: float = 1000.0
+    #: Fraction of requests that must be good (0 < target < 1].
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError(
+                f"latency_ms must be positive, got {self.latency_ms}"
+            )
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(
+                f"target must be in (0, 1], got {self.target}"
+            )
+
+
+DEFAULT_OBJECTIVE = SLOObjective()
+
+
+class _TenantTrack:
+    """Circular one-second good/total buckets for one tenant."""
+
+    __slots__ = ("objective", "size", "stamp", "good", "total")
+
+    def __init__(self, objective: SLOObjective, size: int) -> None:
+        self.objective = objective
+        self.size = size
+        self.stamp = [-1] * size  # absolute second each slot holds
+        self.good = [0] * size
+        self.total = [0] * size
+
+    def record(self, second: int, good: bool) -> None:
+        index = second % self.size
+        if self.stamp[index] != second:
+            self.stamp[index] = second
+            self.good[index] = 0
+            self.total[index] = 0
+        self.total[index] += 1
+        if good:
+            self.good[index] += 1
+
+    def window_counts(self, second: int, window: int) -> Tuple[int, int]:
+        """(good, total) over the ``window`` seconds ending at
+        ``second`` inclusive — stamps in ``(second-window, second]``."""
+        good = total = 0
+        floor = second - window
+        for index in range(self.size):
+            stamp = self.stamp[index]
+            if floor < stamp <= second:
+                good += self.good[index]
+                total += self.total[index]
+        return good, total
+
+
+class SLOEngine:
+    """Scores requests against per-tenant objectives, exports gauges."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        objectives: Optional[Dict[str, SLOObjective]] = None,
+        default: Optional[SLOObjective] = None,
+        windows: Tuple[int, ...] = (60, 600),
+        clock: Callable[[], float] = time.monotonic,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        registry = registry if registry is not None else NULL_REGISTRY
+        if not windows or any(w < 1 for w in windows):
+            raise ValueError(f"windows must be positive, got {windows}")
+        self.registry = registry
+        self.objectives: Dict[str, SLOObjective] = dict(objectives or {})
+        self.default = default or DEFAULT_OBJECTIVE
+        self.windows = tuple(sorted(int(w) for w in windows))
+        self.clock = clock
+        self.enabled = (
+            bool(enabled) if enabled is not None else registry.enabled
+        )
+        self._size = self.windows[-1] + 1
+        self._tracks: Dict[str, _TenantTrack] = {}
+        self._m_attainment = registry.gauge(
+            "slo_attainment_ratio",
+            "Fraction of requests meeting the tenant's SLO over the "
+            "window.",
+            labels=("tenant", "window"),
+        )
+        self._m_burn = registry.gauge(
+            "slo_error_budget_burn",
+            "Error-budget burn rate over the window (1.0 = exactly on "
+            "target).",
+            labels=("tenant", "window"),
+        )
+
+    def objective_for(self, tenant: str) -> SLOObjective:
+        return self.objectives.get(tenant, self.default)
+
+    # -- the per-request hot path --------------------------------------
+    def record(
+        self,
+        tenant: str,
+        duration: float,
+        *,
+        error: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        """Score one completed request (``duration`` in seconds)."""
+        if not self.enabled:
+            return
+        track = self._tracks.get(tenant)
+        if track is None:
+            # First request for the tenant; registration is rare and
+            # dict assignment is atomic under the GIL, so a racing
+            # duplicate build just wastes one allocation.
+            track = _TenantTrack(self.objective_for(tenant), self._size)
+            self._tracks.setdefault(tenant, track)
+            track = self._tracks[tenant]
+        good = (not error) and (
+            duration * 1000.0 <= track.objective.latency_ms
+        )
+        second = int(now if now is not None else self.clock())
+        track.record(second, good)
+
+    # -- reading -------------------------------------------------------
+    def attainment(
+        self, tenant: str, window: int, *, now: Optional[float] = None
+    ) -> float:
+        """good/total over the window; 1.0 with no traffic (an idle
+        tenant is not out of SLO)."""
+        track = self._tracks.get(tenant)
+        if track is None:
+            return 1.0
+        second = int(now if now is not None else self.clock())
+        good, total = track.window_counts(second, int(window))
+        if total == 0:
+            return 1.0
+        return good / total
+
+    def burn_rate(
+        self, tenant: str, window: int, *, now: Optional[float] = None
+    ) -> float:
+        """(1 - attainment) / (1 - target): budget-consumption speed.
+
+        1.0 means missing exactly as often as the objective allows; a
+        target of 1.0 (zero budget) burns at ``inf`` on any miss.
+        """
+        attainment = self.attainment(tenant, window, now=now)
+        objective = self.objective_for(tenant)
+        budget = 1.0 - objective.target
+        miss = 1.0 - attainment
+        if budget <= 0.0:
+            return math.inf if miss > 0.0 else 0.0
+        return miss / budget
+
+    def export(self, *, now: Optional[float] = None) -> None:
+        """Refresh the gauges (called just before a scrape renders)."""
+        if not self.enabled:
+            return
+        for tenant in list(self._tracks):
+            for window in self.windows:
+                label = f"{window}s"
+                self._m_attainment.labels(tenant, label).set(
+                    self.attainment(tenant, window, now=now)
+                )
+                burn = self.burn_rate(tenant, window, now=now)
+                if math.isinf(burn):
+                    burn = float(10 ** 9)  # exposition-safe sentinel
+                self._m_burn.labels(tenant, label).set(burn)
+
+    def status(self, *, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """JSON-safe per-tenant summary for ``repro slo status``."""
+        out: List[Dict[str, Any]] = []
+        for tenant in sorted(self._tracks):
+            objective = self._tracks[tenant].objective
+            row: Dict[str, Any] = {
+                "tenant": tenant,
+                "latency_ms": objective.latency_ms,
+                "target": objective.target,
+                "windows": {},
+            }
+            for window in self.windows:
+                burn = self.burn_rate(tenant, window, now=now)
+                row["windows"][f"{window}s"] = {
+                    "attainment": round(
+                        self.attainment(tenant, window, now=now), 6
+                    ),
+                    "burn": (
+                        None if math.isinf(burn) else round(burn, 4)
+                    ),
+                }
+            out.append(row)
+        return out
+
+
+def load_slo_config(path: str) -> Tuple[SLOObjective, Dict[str, SLOObjective]]:
+    """Parse an ``--slo-config`` JSON file.
+
+    Returns ``(default_objective, per_tenant_objectives)``.  Raises
+    ``ValueError`` with a pointed message on malformed input — serve
+    startup should fail loudly, not silently un-SLO a tenant.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"--slo-config must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    unknown = set(document) - {"default", "tenants"}
+    if unknown:
+        raise ValueError(
+            f"--slo-config has unknown top-level keys {sorted(unknown)}; "
+            "expected 'default' and/or 'tenants'"
+        )
+
+    def _objective(raw: Any, where: str) -> SLOObjective:
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"{where} must be an object with latency_ms/target"
+            )
+        extra = set(raw) - {"latency_ms", "target"}
+        if extra:
+            raise ValueError(
+                f"{where} has unknown keys {sorted(extra)}"
+            )
+        try:
+            return SLOObjective(
+                latency_ms=float(raw.get("latency_ms", 1000.0)),
+                target=float(raw.get("target", 0.99)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{where}: {exc}") from exc
+
+    default = DEFAULT_OBJECTIVE
+    if "default" in document:
+        default = _objective(document["default"], "--slo-config default")
+    tenants: Dict[str, SLOObjective] = {}
+    raw_tenants = document.get("tenants", {})
+    if not isinstance(raw_tenants, dict):
+        raise ValueError("--slo-config 'tenants' must be an object")
+    for name, raw in raw_tenants.items():
+        tenants[str(name)] = _objective(
+            raw, f"--slo-config tenants[{name!r}]"
+        )
+    return default, tenants

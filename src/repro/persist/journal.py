@@ -46,6 +46,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import jsonify
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.tracing import add_span
 
 #: File name of the live journal inside a state directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -278,13 +279,16 @@ class Journal:
             if self.sync == "fsync":
                 fsync_started = time.perf_counter()
                 os.fsync(self._handle.fileno())
-                self._m_fsync_seconds.observe(
-                    time.perf_counter() - fsync_started
-                )
+                fsync_ended = time.perf_counter()
+                self._m_fsync_seconds.observe(fsync_ended - fsync_started)
                 self._m_fsyncs.inc()
+                add_span("journal.fsync", fsync_started, fsync_ended)
                 self._flushed_seq = record.seq
             self._seq = record.seq
-        self._m_append_seconds.observe(time.perf_counter() - started)
+        ended = time.perf_counter()
+        self._m_append_seconds.observe(ended - started)
+        add_span("journal.append", started, ended, type=rtype,
+                 seq=record.seq)
         self._m_records.labels(rtype).inc()
         self._m_bytes.inc(len(line.encode("utf-8")))
         if self.sync != "fsync":
@@ -312,6 +316,10 @@ class Journal:
         with self._flush_lock:
             if self._flushed_seq >= target:
                 self._m_commit_rides.inc()
+                # Rode an earlier convoy: the barrier still cost the
+                # queueing time, so the trace shows it.
+                add_span("journal.commit", started,
+                         time.perf_counter(), rode=True)
                 return  # the leader's flush covered us while we queued
             with self._lock:
                 if self._handle is None:
@@ -323,12 +331,14 @@ class Journal:
                 cover = self._seq
             fsync_started = time.perf_counter()
             os.fsync(fd)
-            self._m_fsync_seconds.observe(
-                time.perf_counter() - fsync_started
-            )
+            fsync_ended = time.perf_counter()
+            self._m_fsync_seconds.observe(fsync_ended - fsync_started)
             self._m_fsyncs.inc()
+            add_span("journal.fsync", fsync_started, fsync_ended)
             self._flushed_seq = cover
-        self._m_commit_seconds.observe(time.perf_counter() - started)
+        ended = time.perf_counter()
+        self._m_commit_seconds.observe(ended - started)
+        add_span("journal.commit", started, ended, rode=False)
         self._m_flush_lag.set(self._seq - self._flushed_seq)
 
     def records_from(self, since_seq: int) -> Iterator[JournalRecord]:

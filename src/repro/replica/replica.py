@@ -239,8 +239,11 @@ class ReadReplica:
             self._history = list(batch.snapshot_records) + tail
             self._snapshot_seq = max(self._snapshot_seq, snapshot_seq)
         if batch.records:
+            apply_started = time.perf_counter()
             with self.gateway._lock:
                 replay_records(self.gateway, batch.records)
+            apply_duration = time.perf_counter() - apply_started
+            self._record_apply_spans(batch.records, apply_duration)
             self._history.extend(batch.records)
             self.applied_seq = batch.records[-1].seq
         elif batch.reseeded:
@@ -249,6 +252,36 @@ class ReadReplica:
             # frontier past the compaction boundary.
             self.applied_seq = max(self.applied_seq, self.tailer.emitted_seq)
         self._publish_lag()
+
+    def _record_apply_spans(
+        self, records, duration: float
+    ) -> None:
+        """Join replica-side apply time to the writer's traces.
+
+        Primary WAL records carry the ``request_id`` of the request
+        that produced them (stamped by the gateway), and the tracer's
+        ``trace_id`` *is* that id — so a replica apply span lands in
+        this replica's ring under the same id the writer's trace
+        kept, and a cross-process waterfall is one ring lookup per
+        side.  The whole batch replays under one lock hold, so each
+        joined record reports the batch duration with the batch size
+        attached.
+        """
+        tracer = getattr(self.gateway, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return
+        for record in records:
+            request_id = record.payload.get("request_id")
+            if not request_id:
+                continue
+            tracer.record_remote(
+                str(request_id),
+                "replica.apply",
+                duration,
+                seq=record.seq,
+                type=record.type,
+                batch=len(records),
+            )
 
     # ------------------------------------------------------------------
     # Promotion

@@ -68,10 +68,16 @@ from repro.engine.events import EventKind
 from repro.engine.jobs import Job, JobState
 from repro.errors import jsonify
 from repro.obs import (
+    NULL_TRACER,
     PICK_LATENCY_BUCKETS,
     MetricsRegistry,
+    SLOEngine,
+    Tracer,
+    add_span,
+    current_request,
     current_request_id,
     run_in_context,
+    span,
 )
 from repro.platform.server import EaseMLApp, EaseMLServer
 from repro.runtime.trace import event_to_dict
@@ -285,6 +291,8 @@ class ServiceGateway:
         shard_read_locks: bool = True,
         zoo=None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Any] = None,
+        slo: Optional[SLOEngine] = None,
     ) -> None:
         server_provided = server is not None
         if server is None:
@@ -310,6 +318,17 @@ class ServiceGateway:
         #: HTTP frontends read it for GET /metrics; attach_store binds
         #: it to the journal; _ensure_app_scheduled to the scheduler).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The span tracer the frontends start/finish traces through;
+        #: deep layers (journal, scheduler) emit via the ambient
+        #: context instead.  ``--no-metrics`` disables tracing too.
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if self.metrics.enabled else NULL_TRACER
+        )
+        #: Per-tenant SLO scoring; every completed handle() records
+        #: into it, and /metrics scrapes refresh its gauges.
+        self.slo = slo if slo is not None else SLOEngine(
+            registry=self.metrics
+        )
         m = self.metrics
         self._m_requests = m.counter(
             "gateway_requests_total",
@@ -767,6 +786,11 @@ class ServiceGateway:
                 "(unauthenticated)", rtype, exc.code.value
             ).inc()
             raise
+        context = current_request()
+        if context is not None and not context.tenant:
+            # Traces and access-log lines read the tenant on the way
+            # out; the auth token is the first place it is known.
+            context.tenant = tenant.name
         # Job polls never take the outer lock in either discipline:
         # the handler is lock-free until it must advance the cluster
         # (then it takes the global lock itself), and a long-poll that
@@ -786,18 +810,22 @@ class ServiceGateway:
             and not self.is_read(request)
         )
         outcome = "ok"
+        slo_error = False
         try:
-            if lock_free:
-                return self._dispatch(handler, tenant, request)
-            with self._lock:
-                return self._dispatch(handler, tenant, request)
+            with span("gateway.handle", type=rtype):
+                if lock_free:
+                    return self._dispatch(handler, tenant, request)
+                with self._lock:
+                    return self._dispatch(handler, tenant, request)
         except ApiError as exc:
             outcome = exc.code.value
+            slo_error = exc.http_status >= 500
             raise
         except BaseException:
             # Anything else escaping _dispatch surfaces as a 500
             # INTERNAL at the frontend — count it that way too.
             outcome = "internal"
+            slo_error = True
             raise
         finally:
             if needs_commit:
@@ -805,10 +833,12 @@ class ServiceGateway:
                 # mutations convoy behind one fsync here (a no-op for
                 # the other journal modes).
                 self._commit()
+            duration = time.perf_counter() - started
             self._m_requests.labels(tenant.name, rtype, outcome).inc()
-            self._m_request_seconds.labels(rtype).observe(
-                time.perf_counter() - started
-            )
+            self._m_request_seconds.labels(rtype).observe(duration)
+            # SLO scoring counts server faults as budget misses;
+            # client errors (4xx) are the tenant's own doing.
+            self.slo.record(tenant.name, duration, error=slo_error)
 
     def _dispatch(self, handler, tenant: Tenant, request: Request) -> Response:
         try:
@@ -919,15 +949,30 @@ class ServiceGateway:
                     return
                 request, future, snapshot, enqueued = queue.popleft()
                 self._m_queue_depth.dec()
-            self._m_command_wait.observe(time.perf_counter() - enqueued)
+            dequeued = time.perf_counter()
+            self._m_command_wait.observe(dequeued - enqueued)
             if not future.set_running_or_notify_cancel():
                 continue
             try:
                 future.set_result(
-                    run_in_context(snapshot, self.handle, request)
+                    run_in_context(
+                        snapshot,
+                        self._run_command,
+                        request,
+                        enqueued,
+                        dequeued,
+                    )
                 )
             except BaseException as exc:  # noqa: BLE001 - future boundary
                 future.set_exception(exc)
+
+    def _run_command(
+        self, request: Request, enqueued: float, dequeued: float
+    ) -> Response:
+        """One dequeued command, inside the submitter's context
+        snapshot — so the queue-wait span lands in the right trace."""
+        add_span("queue.wait", enqueued, dequeued)
+        return self.handle(request)
 
     def shutdown_commands(self) -> None:
         """Release the command-queue worker pool (frontend teardown).
@@ -1351,8 +1396,11 @@ class ServiceGateway:
             for _ in range(steps):
                 pick_started = time.perf_counter()
                 selection = tenant_state.picker.select()
-                self._m_pick_seconds.observe(
-                    time.perf_counter() - pick_started
+                pick_ended = time.perf_counter()
+                self._m_pick_seconds.observe(pick_ended - pick_started)
+                add_span(
+                    "scheduler.pick", pick_started, pick_ended,
+                    arm=int(selection.arm),
                 )
                 self._m_picks.labels(tenant.name).inc()
                 reward, gpu_time = oracle.trainer.train(user, selection.arm)
@@ -1455,20 +1503,30 @@ class ServiceGateway:
         deadline = time.monotonic() + wait
         aborts = tuple(self._wait_aborts)
         self._m_parks.inc()
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                self._m_wakes.labels("timeout").inc()
-                return response
-            if any(e.is_set() for e in aborts):
-                self._m_wakes.labels("abort").inc()
-                return response
-            if not advanced:
-                record.done_event.wait(min(remaining, 0.05))
-            response, advanced = self._poll_job(request, record)
-            if response.done:
-                self._m_wakes.labels("done").inc()
-                return response
+        park_started = time.perf_counter()
+        reason = "timeout"
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._m_wakes.labels("timeout").inc()
+                    return response
+                if any(e.is_set() for e in aborts):
+                    reason = "abort"
+                    self._m_wakes.labels("abort").inc()
+                    return response
+                if not advanced:
+                    record.done_event.wait(min(remaining, 0.05))
+                response, advanced = self._poll_job(request, record)
+                if response.done:
+                    reason = "done"
+                    self._m_wakes.labels("done").inc()
+                    return response
+        finally:
+            add_span(
+                "longpoll.wait", park_started, time.perf_counter(),
+                reason=reason,
+            )
 
     def _poll_job(
         self, request: JobStatusRequest, record: _JobRecord

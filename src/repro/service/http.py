@@ -47,6 +47,7 @@ import hmac
 import json
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.client import responses as _HTTP_REASONS
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -55,11 +56,15 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.obs import (
     NULL_ACCESS_LOG,
+    NULL_TRACER,
     AccessLogger,
     RequestContext,
+    add_span,
     bind_request,
     clear_request,
     current_request,
+    new_request_id,
+    span,
 )
 from repro.obs.context import REQUEST_ID_HEADER, sanitize_client_id
 from repro.service.api import (
@@ -110,6 +115,12 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 METRICS_PATH = "/metrics"
 METRICS_JSON_PATH = f"{_PREFIX}/metrics"
 
+#: Kept traces from the tracer's ring buffer, slowest first.  Filters:
+#: ``?tenant=`` / ``?route=`` / ``?min_ms=`` / ``?limit=``.  Gated by
+#: the same ``--metrics-token`` as the metrics endpoints (traces leak
+#: tenant names and request shapes).
+TRACES_PATH = f"{_PREFIX}/traces"
+
 #: Response header a read replica attaches to every reply: how many
 #: journal records behind the writer the serving replica was at
 #: dispatch time.  The SDK reads it (``EaseMLClient.last_replica_lag``)
@@ -133,6 +144,8 @@ def route_template(method: str, path: str) -> str:
     rest = parts[1:]
     if rest == ["metrics"]:
         return METRICS_JSON_PATH
+    if rest == ["traces"]:
+        return TRACES_PATH
     if rest in (["info"], ["apps"], ["jobs"], ["events"]):
         return f"{_PREFIX}/{rest[0]}"
     if len(rest) == 2 and rest[0] == "apps":
@@ -177,20 +190,24 @@ def metrics_endpoint(
     auth_header: str = "",
     metrics_token: Optional[str] = None,
 ) -> Optional[Tuple[int, bytes, str]]:
-    """Serve ``GET /metrics`` / ``GET /v1/metrics`` if ``path`` is one.
+    """Serve the operator plane if ``path`` is one of its endpoints:
+    ``GET /metrics``, ``GET /v1/metrics``, ``GET /v1/traces``.
 
     Returns ``(status, body, content_type)`` or ``None`` when the path
-    is not a metrics endpoint.  Exposition is read-only over snapshot
-    copies, so both frontends serve it inline on the lock-free path.
+    is not an operator endpoint.  Exposition is read-only over
+    snapshot copies, so both frontends serve it inline on the
+    lock-free path.
 
     By default scrapes are unauthenticated (a scrape agent holds no
     tenant token), which exposes tenant names and per-tenant traffic
     patterns to any network peer.  ``metrics_token`` opts into gating:
     when set, scrapes must present ``Authorization: Bearer <token>``
-    or they answer 401 (``--metrics-token`` on ``repro serve``).
+    or they answer 401 (``--metrics-token`` on ``repro serve``).  The
+    token gates traces too — a trace body names tenants and routes.
     """
-    bare = urlparse(path).path
-    if bare not in (METRICS_PATH, METRICS_JSON_PATH):
+    url = urlparse(path)
+    bare = url.path
+    if bare not in (METRICS_PATH, METRICS_JSON_PATH, TRACES_PATH):
         return None
     if metrics_token is not None and not hmac.compare_digest(
         bearer_token(auth_header), metrics_token
@@ -205,6 +222,36 @@ def metrics_endpoint(
             {"api_version": API_VERSION, "error": error.to_dict()}
         ).encode("utf-8")
         return error.http_status, body, "application/json"
+    if bare == TRACES_PATH:
+        query = parse_qs(url.query)
+        try:
+            min_ms = float(query.get("min_ms", ["0"])[0] or 0.0)
+            limit = int(query.get("limit", ["50"])[0] or 50)
+        except ValueError:
+            error = ApiError(
+                ApiErrorCode.INVALID_ARGUMENT,
+                "traces filters min_ms/limit must be numeric",
+            )
+            body = json.dumps(
+                {"api_version": API_VERSION, "error": error.to_dict()}
+            ).encode("utf-8")
+            return error.http_status, body, "application/json"
+        tracer = getattr(gateway, "tracer", NULL_TRACER)
+        traces = tracer.snapshot(
+            tenant=query.get("tenant", [None])[0],
+            route=query.get("route", [None])[0],
+            min_ms=min_ms,
+            limit=limit,
+        )
+        body = json.dumps(
+            {"api_version": API_VERSION, "traces": traces}
+        ).encode("utf-8")
+        return 200, body, "application/json"
+    # SLO gauges are derived values; refresh them so the scrape reads
+    # the attainment/burn of this instant, not of the last request.
+    slo = getattr(gateway, "slo", None)
+    if slo is not None:
+        slo.export()
     if bare == METRICS_PATH:
         body = gateway.metrics.render_prometheus().encode("utf-8")
         return 200, body, "text/plain; version=0.0.4; charset=utf-8"
@@ -400,6 +447,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
         self.metrics_token = metrics_token
+        self.tracer = getattr(gateway, "tracer", NULL_TRACER)
         #: Optional per-response header hook: a gateway (the replica
         #: facade) exposing ``extra_response_headers()`` gets its
         #: headers (e.g. ``X-Replica-Lag``) attached to every reply.
@@ -502,13 +550,15 @@ class _Handler(BaseHTTPRequestHandler):
             ),
             frontend="threading",
         )
+        self.server.tracer.start(context)
         status = 500
         try:
             # Read the body before any routing decision — for EVERY
             # method, not just POST: an unread body (say a DELETE sent
             # with one) would desync this keep-alive connection (the
             # next request would be parsed out of the leftover bytes).
-            body = self._body()
+            with span("frontend.decode"):
+                body = self._body()
             served = (
                 metrics_endpoint(
                     self.gateway,
@@ -569,6 +619,15 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.m_latency.labels("threading", route).observe(
                 duration
             )
+            # After the latency observation (so the histogram can pick
+            # up this trace as an exemplar), before the access line.
+            self.server.tracer.finish(
+                context,
+                route=route,
+                status=status,
+                tenant=context.tenant,
+                frontend="threading",
+            )
             self.server.access_log.access(
                 method=method,
                 path=self.path,
@@ -577,6 +636,8 @@ class _Handler(BaseHTTPRequestHandler):
                 request_id=context.request_id,
                 client=self.address_string(),
                 frontend="threading",
+                tenant=context.tenant or None,
+                route=route,
             )
             clear_request()
 
@@ -630,6 +691,7 @@ class AsyncServiceHTTPServer:
         self.gateway = gateway
         self.access_log = access_log or NULL_ACCESS_LOG
         self.metrics_token = metrics_token
+        self.tracer = getattr(gateway, "tracer", NULL_TRACER)
         #: See ServiceHTTPServer.extra_headers: replica facades attach
         #: staleness headers (X-Replica-Lag) to every response.
         self.extra_headers = getattr(
@@ -785,6 +847,9 @@ class AsyncServiceHTTPServer:
             head = await reader.readline()
             if not head:
                 return  # clean keep-alive close from the peer
+            # The request clock starts when the request line lands —
+            # not when the connection went idle on keep-alive.
+            decode_started = time.perf_counter()
             try:
                 method, target, version = (
                     head.decode("latin-1").strip().split(" ", 2)
@@ -839,17 +904,24 @@ class AsyncServiceHTTPServer:
                 )
                 return
             raw = await reader.readexactly(length) if length else b""
+            decode_end = time.perf_counter()
             connection = headers.get("connection", "").lower()
             keep_alive = (
                 connection != "close"
                 and not (version == "HTTP/1.0" and connection != "keep-alive")
             )
             context = bind_request(
-                request_id=sanitize_client_id(
-                    headers.get(REQUEST_ID_HEADER.lower())
-                ),
-                frontend="asyncio",
+                RequestContext(
+                    request_id=sanitize_client_id(
+                        headers.get(REQUEST_ID_HEADER.lower())
+                    )
+                    or new_request_id(),
+                    started=decode_started,
+                    frontend="asyncio",
+                )
             )
+            self.tracer.start(context)
+            add_span("frontend.decode", decode_started, decode_end)
             status, closing = 500, True  # until proven otherwise
             try:
                 served = (
@@ -892,6 +964,13 @@ class AsyncServiceHTTPServer:
                     "asyncio", method, route, status
                 ).inc()
                 self.m_latency.labels("asyncio", route).observe(duration)
+                self.tracer.finish(
+                    context,
+                    route=route,
+                    status=status,
+                    tenant=context.tenant,
+                    frontend="asyncio",
+                )
                 peer = writer.get_extra_info("peername")
                 self.access_log.access(
                     method=method,
@@ -901,6 +980,8 @@ class AsyncServiceHTTPServer:
                     request_id=context.request_id,
                     client=peer[0] if peer else "",
                     frontend="asyncio",
+                    tenant=context.tenant or None,
+                    route=route,
                 )
                 clear_request()
             if closing:

@@ -34,6 +34,16 @@ class TestHumanFormat:
         logger.event("serve_started", url="http://x", port=80)
         assert "[serve_started] url=http://x port=80" in stream.getvalue()
 
+    def test_route_and_tenant_ride_the_line(self):
+        logger, stream = make_logger()
+        logger.access(
+            method="GET", path="/v1/apps/moons", status=200,
+            duration=0.001, request_id="req-1", tenant="acme",
+            route="/v1/apps/{app}",
+        )
+        line = stream.getvalue().strip()
+        assert line.endswith("req-1 route=/v1/apps/{app} tenant=acme")
+
 
 class TestJsonFormat:
     def test_access_record(self):
@@ -51,6 +61,15 @@ class TestJsonFormat:
         assert record["request_id"] == "req-1"
         assert record["tenant"] == "acme"
         assert record["frontend"] == "asyncio"
+
+    def test_route_template_recorded(self):
+        logger, stream = make_logger(json_lines=True)
+        logger.access(
+            method="GET", path="/v1/apps/moons", status=200,
+            duration=0.001, route="/v1/apps/{app}",
+        )
+        record = json.loads(stream.getvalue())
+        assert record["route"] == "/v1/apps/{app}"
 
     def test_optional_fields_omitted(self):
         logger, stream = make_logger(json_lines=True)

@@ -1,0 +1,185 @@
+"""The SLO engine: window math, burn rates, config loading, gauges."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVE,
+    SLOEngine,
+    SLOObjective,
+    load_slo_config,
+)
+
+
+def engine(**kwargs):
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("windows", (10, 100))
+    return SLOEngine(**kwargs)
+
+
+class TestObjective:
+    def test_defaults(self):
+        assert DEFAULT_OBJECTIVE.latency_ms == 1000.0
+        assert DEFAULT_OBJECTIVE.target == 0.99
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(latency_ms=0.0), dict(latency_ms=-5.0),
+         dict(target=0.0), dict(target=1.5)],
+    )
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOObjective(**kwargs)
+
+
+class TestWindowMath:
+    def test_attainment_counts_only_the_window(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=0.9))
+        # Misses at t=5, hits at t=50: the short window ending at t=55
+        # sees only the hits; the long window sees both.
+        for _ in range(4):
+            slo.record("acme", 0.5, now=5.0)  # 500ms > 100ms: miss
+        for _ in range(4):
+            slo.record("acme", 0.01, now=50.0)  # hit
+        assert slo.attainment("acme", 10, now=55.0) == 1.0
+        assert slo.attainment("acme", 100, now=55.0) == 0.5
+
+    def test_window_boundary_is_half_open(self):
+        slo = engine()
+        slo.record("acme", 10.0, now=0.0)  # miss stamped second 0
+        # Window (now-w, now]: second 0 is inside at now=10 (floor=0
+        # excludes nothing below stamp 0? floor < stamp: 0 < 0 false)
+        assert slo.attainment("acme", 10, now=10.0) == 1.0
+        assert slo.attainment("acme", 10, now=9.0) == 0.0
+        assert slo.attainment("acme", 11, now=10.0) == 0.0
+
+    def test_stale_buckets_self_clear_on_wraparound(self):
+        slo = engine(windows=(5,))
+        slo.record("acme", 10.0, now=0.0)  # miss in slot 0 (size 6)
+        # One full wrap later the same slot is re-stamped by a hit.
+        slo.record("acme", 0.001, now=6.0)
+        assert slo.attainment("acme", 5, now=6.0) == 1.0
+
+    def test_idle_tenant_is_in_slo(self):
+        slo = engine()
+        assert slo.attainment("ghost", 10, now=50.0) == 1.0
+        assert slo.burn_rate("ghost", 10, now=50.0) == 0.0
+
+    def test_burn_rate_scales_miss_by_budget(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=0.9))
+        for _ in range(8):
+            slo.record("acme", 0.01, now=5.0)
+        for _ in range(2):
+            slo.record("acme", 0.5, now=5.0)
+        # 20% missing against a 10% budget: burning twice as fast.
+        assert slo.burn_rate("acme", 10, now=6.0) == pytest.approx(2.0)
+
+    def test_zero_budget_burns_infinite_on_any_miss(self):
+        import math
+
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=1.0))
+        slo.record("acme", 0.01, now=5.0)
+        assert slo.burn_rate("acme", 10, now=5.0) == 0.0
+        slo.record("acme", 9.0, now=5.0)
+        assert math.isinf(slo.burn_rate("acme", 10, now=5.0))
+
+    def test_errors_are_misses_regardless_of_latency(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=0.9))
+        slo.record("acme", 0.001, error=True, now=5.0)
+        assert slo.attainment("acme", 10, now=5.0) == 0.0
+
+    def test_per_tenant_objectives_override_the_default(self):
+        slo = engine(
+            default=SLOObjective(latency_ms=1000.0),
+            objectives={"picky": SLOObjective(latency_ms=1.0)},
+        )
+        slo.record("picky", 0.05, now=5.0)   # 50ms > 1ms: miss
+        slo.record("easy", 0.05, now=5.0)    # 50ms < 1000ms: hit
+        assert slo.attainment("picky", 10, now=5.0) == 0.0
+        assert slo.attainment("easy", 10, now=5.0) == 1.0
+
+
+class TestExport:
+    def test_gauges_land_in_the_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        slo = SLOEngine(
+            registry=registry, windows=(10,),
+            default=SLOObjective(latency_ms=100.0, target=0.9),
+        )
+        for _ in range(4):
+            slo.record("acme", 0.01, now=5.0)
+        slo.record("acme", 0.5, now=5.0)
+        slo.export(now=6.0)
+        text = registry.render_prometheus()
+        assert 'slo_attainment_ratio{tenant="acme",window="10s"} 0.8' in text
+        assert 'slo_error_budget_burn{tenant="acme",window="10s"} 2' in text
+
+    def test_infinite_burn_exports_the_sentinel(self):
+        registry = MetricsRegistry(enabled=True)
+        slo = SLOEngine(
+            registry=registry, windows=(10,),
+            default=SLOObjective(latency_ms=100.0, target=1.0),
+        )
+        slo.record("acme", 9.0, now=5.0)
+        slo.export(now=5.0)
+        document = registry.to_dict()
+        (sample,) = document["slo_error_budget_burn"]["series"]
+        assert sample["value"] == float(10 ** 9)
+
+    def test_disabled_engine_records_nothing(self):
+        slo = SLOEngine(enabled=False)
+        slo.record("acme", 9.0, now=5.0)
+        slo.export(now=5.0)
+        assert slo.status(now=5.0) == []
+
+    def test_status_is_json_safe(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=1.0))
+        slo.record("acme", 9.0, now=5.0)
+        (row,) = slo.status(now=5.0)
+        assert row["tenant"] == "acme"
+        assert row["windows"]["10s"]["attainment"] == 0.0
+        assert row["windows"]["10s"]["burn"] is None  # inf -> None
+        json.dumps(slo.status(now=5.0))  # must not raise
+
+
+class TestConfig:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "default": {"latency_ms": 500, "target": 0.95},
+            "tenants": {"acme": {"latency_ms": 250, "target": 0.999}},
+        }))
+        default, tenants = load_slo_config(str(path))
+        assert default == SLOObjective(latency_ms=500.0, target=0.95)
+        assert tenants == {
+            "acme": SLOObjective(latency_ms=250.0, target=0.999)
+        }
+
+    def test_partial_objective_fills_defaults(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"tenants": {"a": {"target": 0.9}}}))
+        default, tenants = load_slo_config(str(path))
+        assert default is DEFAULT_OBJECTIVE
+        assert tenants["a"] == SLOObjective(latency_ms=1000.0, target=0.9)
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            ["not", "an", "object"],
+            {"defautl": {}},
+            {"default": {"latency": 5}},
+            {"default": {"latency_ms": -1}},
+            {"default": {"target": 2.0}},
+            {"tenants": ["a"]},
+            {"tenants": {"a": {"burn": 1}}},
+        ],
+    )
+    def test_malformed_config_raises_pointed_errors(
+        self, tmp_path, document
+    ):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError):
+            load_slo_config(str(path))

@@ -1,0 +1,57 @@
+"""Replica apply spans join the writer's trace by WAL request_id."""
+
+from replica_helpers import MOONS_PROGRAM, open_writer
+from repro.obs.context import (
+    RequestContext,
+    bind_request,
+    clear_request,
+)
+from repro.replica import ReadReplica
+from repro.service.api import RegisterAppRequest
+
+
+def write_as_request(gateway, token, request_id):
+    """One HTTP-shaped mutation: the ambient request id reaches the
+    journal record exactly as the frontend's dispatch would stamp it."""
+    bind_request(RequestContext(request_id=request_id))
+    try:
+        gateway.handle(
+            RegisterAppRequest(
+                auth_token=token, app="moons", program=MOONS_PROGRAM
+            )
+        )
+    finally:
+        clear_request()
+
+
+class TestCrossProcessJoin:
+    def test_apply_span_lands_under_the_writers_trace_id(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        try:
+            write_as_request(gateway, token, "req-join-42")
+        finally:
+            gateway.store.close()
+
+        # A separate follower (the cross-process seam: only the WAL
+        # connects them) tails and applies the history.
+        replica = ReadReplica(state_dir)
+        replica._apply(replica.tailer.seed())
+        tracer = replica.gateway.tracer
+        entries = tracer.get("req-join-42")
+        assert entries, "replica kept no trace for the writer's id"
+        (entry,) = entries
+        assert entry["kept"] == "remote"
+        assert entry["frontend"] == "replica"
+        (span,) = entry["spans"]
+        assert span["name"] == "replica.apply"
+        assert span["attrs"]["type"] == "app_registered"
+        assert span["attrs"]["batch"] >= 1
+        assert span["duration_ms"] > 0.0
+
+    def test_records_without_request_id_do_not_join(self, state_dir):
+        gateway, token = open_writer(state_dir)
+        gateway.store.close()  # tenant_created only, no ambient request
+
+        replica = ReadReplica(state_dir)
+        replica._apply(replica.tailer.seed())
+        assert len(replica.gateway.tracer) == 0

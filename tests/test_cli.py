@@ -294,7 +294,219 @@ class TestRuntimeArrivals:
         assert "only has" in capsys.readouterr().err
 
 
-class TestReplicaStatus:
+class TestServeObservabilityFlags:
+    def _args(self, extra=()):
+        return _build_parser().parse_args(
+            ["serve", "--port", "0", "--n-gpus", "2", *extra]
+        )
+
+    def test_trace_sample_zero_disables_tracing(self):
+        from repro.obs.tracing import NULL_TRACER
+
+        gateway, _, server, _ = build_service(
+            self._args(["--trace-sample", "0"])
+        )
+        try:
+            assert gateway.tracer is NULL_TRACER
+            assert server.tracer is NULL_TRACER
+        finally:
+            server.server_close()
+
+    def test_trace_sample_sets_the_rate(self):
+        gateway, _, server, _ = build_service(
+            self._args(["--trace-sample", "0.25"])
+        )
+        try:
+            assert gateway.tracer.sample_rate == 0.25
+            assert server.tracer is gateway.tracer
+        finally:
+            server.server_close()
+
+    def test_trace_sample_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_service(self._args(["--trace-sample", "1.5"]))
+
+    def test_slo_config_reaches_the_gateway(self, tmp_path):
+        import json
+
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "default": {"latency_ms": 500, "target": 0.95},
+            "tenants": {"acme": {"latency_ms": 250, "target": 0.999}},
+        }))
+        gateway, _, server, _ = build_service(
+            self._args(["--slo-config", str(path)])
+        )
+        try:
+            assert gateway.slo.default.latency_ms == 500.0
+            objective = gateway.slo.objective_for("acme")
+            assert objective.latency_ms == 250.0
+            assert objective.target == 0.999
+        finally:
+            server.server_close()
+
+    def test_malformed_slo_config_fails_serve(self, capsys, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"tenats": {}}')
+        assert main(
+            ["serve", "--port", "0", "--n-gpus", "2",
+             "--slo-config", str(path)]
+        ) == 2
+        assert "unknown top-level keys" in capsys.readouterr().err
+
+
+class TestSlowCommand:
+    TRACE = {
+        "trace_id": "req-slow1",
+        "route": "/v1/jobs",
+        "tenant": "acme",
+        "frontend": "threading",
+        "status": 200,
+        "error": False,
+        "duration_ms": 10.0,
+        "kept": "slow",
+        "spans": [
+            {"sid": 0, "name": "request", "parent": None,
+             "start_ms": 0.0, "duration_ms": 10.0},
+            {"sid": 1, "name": "gateway.handle", "parent": 0,
+             "start_ms": 1.0, "duration_ms": 8.0,
+             "attrs": {"type": "submit_training"}},
+            {"sid": 2, "name": "journal.append", "parent": 1,
+             "start_ms": 2.0, "duration_ms": 3.0},
+        ],
+    }
+
+    def _patch(self, monkeypatch, document):
+        import repro.cli as cli_mod
+
+        calls = []
+
+        def fake(url, path, token=None, timeout=5.0):
+            calls.append((url, path, token))
+            return document
+
+        monkeypatch.setattr(cli_mod, "_scrape_json_metrics", fake)
+        return calls
+
+    def test_waterfall_renders_nested_spans(self, capsys, monkeypatch):
+        calls = self._patch(monkeypatch, {"traces": [self.TRACE]})
+        assert main(
+            ["slow", "--route", "/v1/jobs", "--tenant", "acme",
+             "--min-ms", "5", "--metrics-token", "sec"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace req-slow1" in out
+        assert "gateway.handle" in out
+        # Depth-indented child, with its attrs alongside the bar.
+        assert "    journal.append" in out
+        assert "type=submit_training" in out
+        assert "#" in out
+        (call,) = calls
+        assert call[2] == "sec"
+        assert "route=%2Fv1%2Fjobs" in call[1]
+        assert "tenant=acme" in call[1]
+
+    def test_json_passthrough(self, capsys, monkeypatch):
+        import json
+
+        self._patch(monkeypatch, {"traces": [self.TRACE]})
+        assert main(["slow", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == [self.TRACE]
+
+    def test_no_traces_says_so(self, capsys, monkeypatch):
+        self._patch(monkeypatch, {"traces": []})
+        assert main(["slow"]) == 0
+        assert "no retained traces" in capsys.readouterr().out
+
+    def test_unreachable_server_is_exit_2(self, capsys, monkeypatch):
+        self._patch(monkeypatch, None)
+        assert main(["slow"]) == 2
+        assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    METRICS = {
+        "metrics": {
+            "slo_attainment_ratio": {"series": [
+                {"labels": {"tenant": "acme", "window": "60s"},
+                 "value": 0.8},
+            ]},
+            "slo_error_budget_burn": {"series": [
+                {"labels": {"tenant": "acme", "window": "60s"},
+                 "value": 2.0},
+            ]},
+        }
+    }
+
+    def _patch(self, monkeypatch, document):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            cli_mod,
+            "_scrape_json_metrics",
+            lambda url, path, token=None, timeout=5.0: document,
+        )
+
+    def test_table_shows_attainment_and_burn(self, capsys, monkeypatch):
+        self._patch(monkeypatch, self.METRICS)
+        assert main(["slo", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "acme" in out
+        assert "0.8000" in out
+        assert "2.00" in out
+
+    def test_json_output(self, capsys, monkeypatch):
+        import json
+
+        self._patch(monkeypatch, self.METRICS)
+        assert main(["slo", "status", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["acme"]["60s"] == {
+            "attainment": 0.8, "burn": 2.0
+        }
+
+    def test_no_gauges_yet(self, capsys, monkeypatch):
+        self._patch(monkeypatch, {"metrics": {}})
+        assert main(["slo", "status"]) == 0
+        assert "no slo_* gauges" in capsys.readouterr().out
+
+    def test_unreachable_server_is_exit_2(self, capsys, monkeypatch):
+        self._patch(monkeypatch, None)
+        assert main(["slo", "status"]) == 2
+        assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestMetricsTextRendering:
+    BODY = (
+        "# HELP zeta_total Last family by registration.\n"
+        "# TYPE zeta_total counter\n"
+        "zeta_total 3\n"
+        "# HELP alpha_seconds A histogram.\n"
+        "# TYPE alpha_seconds histogram\n"
+        'alpha_seconds_bucket{route="/v1/info",le="0.1"} 8\n'
+        'alpha_seconds_bucket{route="/v1/info",le="1"} 10\n'
+        'alpha_seconds_bucket{route="/v1/info",le="+Inf"} 10\n'
+        'alpha_seconds_sum{route="/v1/info"} 1.2\n'
+        'alpha_seconds_count{route="/v1/info"} 10\n'
+    )
+
+    def test_families_sorted_and_percentiles_inline(self):
+        from repro.cli import _render_metrics_text
+
+        out = _render_metrics_text(self.BODY)
+        lines = out.splitlines()
+        helps = [l for l in lines if l.startswith("# HELP ")]
+        assert helps == sorted(helps)  # alpha before zeta now
+        (pctl,) = [l for l in lines if " p50=" in l]
+        assert pctl.startswith('# alpha_seconds{route="/v1/info"} p50=')
+        # 8 of 10 under 0.1s: p50 interpolates inside the first bucket.
+        assert "p50=0.0625" in pctl
+        assert "p95=" in pctl and "p99=" in pctl
+
+    def test_empty_body_unharmed(self):
+        from repro.cli import _render_metrics_text
+
+        assert _render_metrics_text("\n") == "\n"
     """`replica status` surfaces the writer's pick-latency histogram."""
 
     CLUSTER = {
