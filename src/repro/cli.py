@@ -278,6 +278,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "burn gauges land on /metrics; `repro slo status` reads them",
     )
     srv.add_argument(
+        "--infer-batch-window", default="adaptive", metavar="MODE",
+        help="inference cross-request coalescing: 'adaptive' (default; "
+        "a GACER-style controller widens/narrows the window and max "
+        "batch from observed flush p99 vs the tenant's SLO bound), "
+        "'off' (vectorized predict, no coalescing), or a fixed window "
+        "in seconds (e.g. 0.002)",
+    )
+    srv.add_argument(
+        "--infer-cache", type=int, default=4096, metavar="ROWS",
+        help="prediction-cache capacity in rows, keyed by (app, model "
+        "version, canonical row bytes) and invalidated on promotion "
+        "(default 4096; 0 disables)",
+    )
+    srv.add_argument(
+        "--infer-rate", type=float, default=None, metavar="ROWS_PER_S",
+        help="default per-tenant inference rate limit in rows/second "
+        "(token bucket; requests over it answer 429 with Retry-After)."
+        "  Default: unlimited; per-tenant quotas override",
+    )
+    srv.add_argument(
         "--replicas", type=int, default=0, metavar="N",
         help="scale-out serving: run N WAL-tailing read-replica "
         "processes next to the writer, all sharing the front port "
@@ -707,6 +727,33 @@ def _service_observability(args: argparse.Namespace, metrics):
     return tracer, slo
 
 
+def _infer_plane_config(args: argparse.Namespace):
+    """Build an :class:`InferPlaneConfig` from serve flags, or None.
+
+    None means "keep the gateway's default plane" so programmatic
+    callers of :func:`build_service` with a bare namespace are not
+    forced to carry the infer flags.
+    """
+    window_text = getattr(args, "infer_batch_window", None)
+    cache_rows = getattr(args, "infer_cache", None)
+    rate = getattr(args, "infer_rate", None)
+    if window_text is None and cache_rows is None and rate is None:
+        return None
+    from repro.infer import InferPlaneConfig, parse_batch_window
+
+    mode, window = parse_batch_window(window_text or "adaptive")
+    kwargs = dict(mode=mode, default_rate=rate)
+    if window is not None:
+        kwargs["window"] = window
+    if cache_rows is not None:
+        if cache_rows < 0:
+            raise ValueError(
+                f"--infer-cache must be >= 0 rows, got {cache_rows}"
+            )
+        kwargs["cache_rows"] = cache_rows
+    return InferPlaneConfig(**kwargs)
+
+
 def build_service(args: argparse.Namespace):
     """Construct (gateway, {tenant: token}, http server) for ``serve``.
 
@@ -773,6 +820,9 @@ def build_service(args: argparse.Namespace):
         gateway.tracer = tracer
     if slo is not None:
         gateway.slo = slo
+    infer_config = _infer_plane_config(args)
+    if infer_config is not None:
+        gateway.configure_infer_plane(infer_config)
     existing = set(gateway.tenant_names())
     for name in args.tenant or ["default"]:
         if name not in existing:
@@ -1276,19 +1326,29 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         )
         return 2
     metrics = document.get("metrics", document)
+    # Keyed (tenant, route class); "all" is the tenant-wide track, and
+    # per-class rows (e.g. the infer data plane) sort beneath it.
     tenants: dict = {}
     for family, field in (
         ("slo_attainment_ratio", "attainment"),
         ("slo_error_budget_burn", "burn"),
+        ("slo_class_attainment_ratio", "attainment"),
+        ("slo_class_error_budget_burn", "burn"),
     ):
         for sample in metrics.get(family, {}).get("series", []):
             labels = sample.get("labels", {})
             tenant = labels.get("tenant", "?")
+            route_class = labels.get("route_class", "all")
             window = labels.get("window", "?")
-            cell = tenants.setdefault(tenant, {}).setdefault(window, {})
+            cell = tenants.setdefault(
+                (tenant, route_class), {}
+            ).setdefault(window, {})
             cell[field] = sample.get("value")
     if args.json:
-        print(json.dumps(tenants, indent=2, sort_keys=True))
+        document = {}
+        for (tenant, route_class), windows in tenants.items():
+            document.setdefault(tenant, {})[route_class] = windows
+        print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     if not tenants:
         print(
@@ -1297,15 +1357,17 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         )
         return 0
     rows = []
-    for tenant in sorted(tenants):
-        for window in sorted(
-            tenants[tenant], key=lambda w: (len(w), w)
-        ):
-            cell = tenants[tenant][window]
+    for tenant, route_class in sorted(
+        tenants, key=lambda k: (k[0], k[1] != "all", k[1])
+    ):
+        windows = tenants[(tenant, route_class)]
+        for window in sorted(windows, key=lambda w: (len(w), w)):
+            cell = windows[window]
             attainment = cell.get("attainment")
             burn = cell.get("burn")
             rows.append([
                 tenant,
+                route_class,
                 window,
                 "-" if attainment is None else f"{attainment:.4f}",
                 "-" if burn is None
@@ -1313,7 +1375,7 @@ def _cmd_slo(args: argparse.Namespace) -> int:
             ])
     print(
         ascii_table(
-            ["tenant", "window", "attainment", "budget burn"],
+            ["tenant", "class", "window", "attainment", "budget burn"],
             rows,
             title="SLO status (burn > 1 eats error budget)",
         )

@@ -1,0 +1,282 @@
+"""Cross-request coalescing: the adaptive window and the batch queue.
+
+Concurrent infer requests for one app park briefly in a
+:class:`BatchQueue`; the first arrival becomes the *leader*, waits up
+to one coalescing window for followers, then executes every parked
+row as a single vectorized predict and distributes the per-request
+slices.  While a leader executes, the next arrival becomes the next
+leader — window waits pipeline with predicts, so the queue never adds
+more than one window of latency.
+
+The window itself is regulated GACER-style (arXiv 2304.11745) by
+:class:`AdaptiveBatchController`: widen the window and the early-flush
+row target while the observed p99 of ``infer_batch_seconds`` has
+headroom against the tenant's SLO latency objective *and* flushes are
+actually coalescing; narrow multiplicatively as p99 approaches the
+bound; decay the window toward zero when flushes are singletons (an
+idle app must not tax every request with a pointless wait).  Even at
+window zero a loaded queue still batches — arrivals that land while a
+leader is executing convoy into the next flush, the same group-commit
+effect the journal uses.
+
+``max_batch`` is the early-flush trigger, not a hard cap: a flush
+always takes *every* parked entry (a partial take would strand the
+remainder with no leader thread to flush it), so one oversized client
+batch simply flushes alone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AdaptiveBatchController", "BatchQueue"]
+
+#: A follower gives up after this long parked on its flush event; the
+#: leader distributing results (or errors) makes this unreachable in
+#: practice — it guards against a leader thread dying mid-flush.
+FOLLOWER_TIMEOUT = 60.0
+
+#: The window a grow step starts from once decay reached zero.
+_REGROW_STEP = 0.0005
+
+#: Windows below this flush immediately (a sub-50µs sleep is all
+#: scheduler jitter, no coalescing value).
+_WINDOW_FLOOR = 5e-5
+
+
+class AdaptiveBatchController:
+    """Regulates (window, max_batch) from observed flush latency.
+
+    Parameters
+    ----------
+    objective_ms:
+        The tenant's SLO latency bound (``obs/slo.py`` objective).  The
+        controller keeps ``window + p99(flush)`` comfortably inside it:
+        above ``shrink_at`` (default 50%) of the bound it halves both
+        knobs; below ``grow_at`` (default 20%) — with real coalescing
+        happening — it multiplies them back up.
+    window / max_batch:
+        Starting point; also the fixed values when the controller is
+        bypassed (``mode="fixed"``).
+    """
+
+    def __init__(
+        self,
+        *,
+        objective_ms: float = 1000.0,
+        window: float = 0.002,
+        max_window: float = 0.02,
+        max_batch: int = 64,
+        min_batch: int = 8,
+        max_batch_cap: int = 512,
+        period: int = 16,
+        sample: int = 128,
+        shrink_at: float = 0.5,
+        grow_at: float = 0.2,
+    ) -> None:
+        self.objective_ms = float(objective_ms)
+        self.window = float(window)
+        self.max_window = float(max_window)
+        self.max_batch = int(max_batch)
+        self.min_batch = int(min_batch)
+        self.max_batch_cap = int(max_batch_cap)
+        self.period = max(1, int(period))
+        self.shrink_at = float(shrink_at)
+        self.grow_at = float(grow_at)
+        self._lock = threading.Lock()
+        self._flush_seconds: deque = deque(maxlen=int(sample))
+        self._flush_requests: deque = deque(maxlen=int(sample))
+        self._since_adjust = 0
+        #: (reason, window, max_batch) history of adjustments; bounded,
+        #: for tests and the bench report.
+        self.adjustments: deque = deque(maxlen=64)
+
+    def observe(self, flush_seconds: float, n_requests: int) -> None:
+        """Feed one flush; every ``period`` flushes, adjust the knobs."""
+        with self._lock:
+            self._flush_seconds.append(float(flush_seconds))
+            self._flush_requests.append(int(n_requests))
+            self._since_adjust += 1
+            if self._since_adjust < self.period:
+                return
+            self._since_adjust = 0
+            self._adjust()
+
+    def _adjust(self) -> None:
+        latency_ms = (
+            self.window
+            + float(np.quantile(np.asarray(self._flush_seconds), 0.99))
+        ) * 1000.0
+        coalescing = (
+            sum(self._flush_requests) / len(self._flush_requests)
+        ) > 1.05
+        if latency_ms > self.shrink_at * self.objective_ms:
+            # p99 is eating the SLO budget: back off both knobs.
+            self.window = (
+                self.window / 2.0
+                if self.window / 2.0 >= _WINDOW_FLOOR
+                else 0.0
+            )
+            self.max_batch = max(self.min_batch, self.max_batch // 2)
+            self.adjustments.append(
+                ("shrink", self.window, self.max_batch)
+            )
+        elif not coalescing:
+            # Nothing to coalesce: decay the window so sequential
+            # traffic stops paying for an empty wait.
+            if self.window > 0.0:
+                self.window = (
+                    self.window / 2.0
+                    if self.window / 2.0 >= _WINDOW_FLOOR
+                    else 0.0
+                )
+                self.adjustments.append(
+                    ("decay", self.window, self.max_batch)
+                )
+        elif latency_ms < self.grow_at * self.objective_ms:
+            # Real coalescing with latency headroom: push throughput.
+            self.window = min(
+                self.max_window, max(self.window * 1.5, _REGROW_STEP)
+            )
+            self.max_batch = min(self.max_batch_cap, self.max_batch * 2)
+            self.adjustments.append(("grow", self.window, self.max_batch))
+
+
+class _Entry:
+    """One parked request: its rows, and the flush's answer for them."""
+
+    __slots__ = ("rows", "result", "meta", "error", "ready")
+
+    def __init__(self, rows: np.ndarray) -> None:
+        self.rows = rows
+        self.result: Optional[np.ndarray] = None
+        self.meta: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+        self.ready = threading.Event()
+
+
+class BatchQueue:
+    """Leader/follower coalescing queue for one app.
+
+    ``execute`` is the vectorized predict: ``execute(X) ->
+    (predictions, meta)`` where ``meta`` is a dict (at least ``model``
+    and ``model_version``); the queue adds ``batch_rows`` /
+    ``batch_requests`` before handing each request its slice.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[np.ndarray], Tuple[np.ndarray, Dict[str, Any]]],
+        *,
+        window: float = 0.0,
+        max_batch: int = 64,
+        controller: Optional[AdaptiveBatchController] = None,
+        on_flush: Optional[Callable[..., None]] = None,
+    ) -> None:
+        self._execute = execute
+        self._fixed_window = float(window)
+        self._fixed_max_batch = int(max_batch)
+        self.controller = controller
+        self._on_flush = on_flush
+        self._lock = threading.Lock()
+        self._entries: List[_Entry] = []
+        self._pending_rows = 0
+        self._leader_active = False
+        self._full = threading.Event()
+
+    @property
+    def window(self) -> float:
+        c = self.controller
+        return c.window if c is not None else self._fixed_window
+
+    @property
+    def max_batch(self) -> int:
+        c = self.controller
+        return c.max_batch if c is not None else self._fixed_max_batch
+
+    def submit(
+        self, X: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Park ``X`` (one request's rows) and return its predictions.
+
+        Called from the request's own thread (both HTTP frontends give
+        each infer request one); the thread either leads the flush or
+        parks until a leader answers for it.
+        """
+        entry = _Entry(X)
+        with self._lock:
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+                self._full.clear()
+            self._entries.append(entry)
+            self._pending_rows += len(X)
+            if not leader and self._pending_rows >= self.max_batch:
+                self._full.set()  # enough rows: end the window early
+        if not leader:
+            if not entry.ready.wait(timeout=FOLLOWER_TIMEOUT):
+                raise RuntimeError(
+                    "coalesced infer batch was never flushed (leader "
+                    "thread lost); retry the request"
+                )
+            if entry.error is not None:
+                raise entry.error
+            meta = dict(entry.meta or {})
+            return entry.result, meta
+        return self._lead(entry)
+
+    def _lead(
+        self, own: _Entry
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        window = self.window
+        if window > 0.0:
+            with self._lock:
+                full = self._pending_rows >= self.max_batch
+            if not full:
+                self._full.wait(timeout=window)
+        with self._lock:
+            batch = self._entries
+            self._entries = []
+            self._pending_rows = 0
+            # From here on the next arrival leads the next flush; its
+            # window wait overlaps this flush's predict.
+            self._leader_active = False
+        started = time.perf_counter()
+        try:
+            if len(batch) == 1:
+                X_all = batch[0].rows
+            else:
+                X_all = np.concatenate([e.rows for e in batch], axis=0)
+            predictions, meta = self._execute(X_all)
+        except BaseException as exc:
+            for e in batch:
+                e.error = exc
+                e.ready.set()
+            raise
+        duration = time.perf_counter() - started
+        meta = dict(meta)
+        meta["batch_rows"] = int(len(X_all))
+        meta["batch_requests"] = len(batch)
+        meta["window"] = window
+        if self.controller is not None:
+            self.controller.observe(duration, len(batch))
+        if self._on_flush is not None:
+            self._on_flush(
+                rows=len(X_all),
+                requests=len(batch),
+                window=window,
+                seconds=duration,
+            )
+        offset = 0
+        for e in batch:
+            k = len(e.rows)
+            e.result = predictions[offset:offset + k]
+            e.meta = meta
+            e.ready.set()
+            offset += k
+        return own.result, dict(meta)

@@ -1,0 +1,335 @@
+"""The inference data plane: cache -> admission -> coalescing queue.
+
+One :class:`InferPlane` hangs off the service gateway and owns, per
+app, a :class:`~repro.infer.batching.BatchQueue` (with an adaptive
+controller tuned to the owning tenant's SLO objective) plus one shared
+:class:`~repro.infer.cache.PredictionCache` and per-tenant
+:class:`~repro.infer.limits.TokenBucket` rate limits.  The gateway's
+``_infer`` hands it validated ``(B, n)`` batches; everything below —
+hit splitting, window waits, the single vectorized predict under the
+gateway lock — happens here.
+
+The plane is configured once at construction and reconfigured whole
+(:meth:`ServiceGateway.configure_infer_plane`) rather than mutated
+knob-by-knob, so a running server's queues never see half-applied
+settings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ApiError, ApiErrorCode
+from repro.infer.batching import AdaptiveBatchController, BatchQueue
+from repro.infer.cache import PredictionCache
+from repro.infer.limits import TokenBucket
+from repro.obs.tracing import add_span
+
+__all__ = ["InferPlane", "InferPlaneConfig", "parse_batch_window"]
+
+#: Rows-per-flush histogram bounds (powers of two; flushes are small).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+#: Requests coalesced per flush.
+QUEUE_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+#: Coalescing-window bounds (sub-millisecond matters here).
+WINDOW_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+)
+
+
+@dataclass(frozen=True)
+class InferPlaneConfig:
+    """Operator-facing knobs for the inference data plane."""
+
+    #: ``"adaptive"`` (GACER-style controller), ``"fixed"`` (constant
+    #: window), or ``"off"`` (vectorized predict, no cross-request
+    #: coalescing).
+    mode: str = "adaptive"
+    #: Fixed-mode window, and the adaptive controller's starting point.
+    window: float = 0.002
+    #: Ceiling the adaptive controller may widen the window to.
+    max_window: float = 0.02
+    #: Early-flush row target (adaptive start / fixed value).
+    max_batch: int = 64
+    #: Prediction-cache capacity in rows; 0 disables the cache.
+    cache_rows: int = 4096
+    #: Default per-tenant rate limit (rows/second) applied when the
+    #: tenant's quota carries none; None = unlimited.
+    default_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("adaptive", "fixed", "off"):
+            raise ValueError(
+                f"mode must be adaptive/fixed/off, got {self.mode!r}"
+            )
+        if self.window < 0 or self.max_window < self.window:
+            raise ValueError(
+                "need 0 <= window <= max_window, got "
+                f"{self.window}/{self.max_window}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.cache_rows < 0:
+            raise ValueError(f"cache_rows must be >= 0, got {self.cache_rows}")
+
+
+def parse_batch_window(text: str) -> Tuple[str, float]:
+    """Parse a ``--infer-batch-window`` value into ``(mode, window)``.
+
+    Accepts ``"off"``, ``"adaptive"``, or a window in seconds (fixed
+    mode); raises ``ValueError`` with a pointed message otherwise.
+    """
+    text = str(text).strip().lower()
+    if text in ("off", "none", "0"):
+        return "off", 0.0
+    if text == "adaptive":
+        return "adaptive", InferPlaneConfig.window
+    try:
+        window = float(text)
+    except ValueError:
+        raise ValueError(
+            f"--infer-batch-window must be 'off', 'adaptive', or a "
+            f"window in seconds, got {text!r}"
+        ) from None
+    if not 0.0 < window <= 1.0:
+        raise ValueError(
+            f"a fixed batch window must be in (0, 1] seconds, got {window}"
+        )
+    return "fixed", window
+
+
+class InferPlane:
+    """Per-gateway inference data plane (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[InferPlaneConfig] = None,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or InferPlaneConfig()
+        self.clock = clock
+        self.cache = PredictionCache(
+            self.config.cache_rows, metrics=metrics
+        )
+        self._lock = Lock()
+        self._queues: Dict[str, BatchQueue] = {}
+        #: tenant -> (bucket, rate, burst); rebuilt when the quota's
+        #: rate changes (set_quota takes effect on the next request).
+        self._buckets: Dict[str, Tuple[TokenBucket, float, float]] = {}
+        if metrics is not None:
+            self._m_batch_size = metrics.histogram(
+                "infer_batch_size",
+                "Rows per coalesced predict flush.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._m_queue_depth = metrics.histogram(
+                "infer_queue_depth",
+                "Requests coalesced into one flush.",
+                buckets=QUEUE_DEPTH_BUCKETS,
+            )
+            self._m_window = metrics.histogram(
+                "infer_batch_window_seconds",
+                "Coalescing window in force at each flush.",
+                buckets=WINDOW_BUCKETS,
+            )
+            self._m_flush_seconds = metrics.histogram(
+                "infer_batch_seconds",
+                "Latency of one vectorized predict flush (the "
+                "adaptive controller's input).",
+            )
+            self._m_rate_limited = metrics.counter(
+                "infer_rate_limited_total",
+                "Infer requests refused by the per-tenant token "
+                "bucket, by tenant.",
+                ["tenant"],
+            )
+        else:
+            self._m_batch_size = self._m_queue_depth = None
+            self._m_window = self._m_flush_seconds = None
+            self._m_rate_limited = None
+
+    # -- admission -----------------------------------------------------
+    def admit(self, tenant: str, rate_limit, rows: int) -> None:
+        """Charge ``rows`` against the tenant's token bucket.
+
+        ``rate_limit`` is ``(rows_per_second, burst_rows)`` off the
+        tenant's quota (either may be None).  Raises ``QUOTA_EXCEEDED``
+        with a ``retry_after`` detail — the HTTP frontends turn that
+        into a 429 with a ``Retry-After`` header.
+        """
+        rate, burst = rate_limit
+        if rate is None:
+            rate = self.config.default_rate
+        if rate is None:
+            return
+        bucket = self._bucket(tenant, float(rate), burst)
+        wait = bucket.try_acquire(rows)
+        if wait > 0.0:
+            if self._m_rate_limited is not None:
+                self._m_rate_limited.labels(tenant).inc()
+            raise ApiError(
+                ApiErrorCode.QUOTA_EXCEEDED,
+                f"tenant {tenant!r} exceeded its inference rate "
+                f"({rate:g} rows/s); retry in {wait:.3f}s",
+                rate_rows_per_second=float(rate),
+                rows=int(rows),
+                retry_after=round(float(wait), 3),
+            )
+
+    def _bucket(
+        self, tenant: str, rate: float, burst
+    ) -> TokenBucket:
+        burst = float(burst) if burst is not None else None
+        with self._lock:
+            held = self._buckets.get(tenant)
+            if held is not None and held[1] == rate and held[2] == burst:
+                return held[0]
+            bucket = TokenBucket(rate, burst, clock=self.clock)
+            self._buckets[tenant] = (bucket, rate, burst)
+            return bucket
+
+    # -- the predict path ----------------------------------------------
+    def predict(
+        self,
+        app: str,
+        X: np.ndarray,
+        execute: Callable[[np.ndarray], Tuple[np.ndarray, Dict[str, Any]]],
+        *,
+        peek: Optional[Callable[[], Tuple[Any, Any]]] = None,
+        objective_ms: float = 1000.0,
+    ) -> Tuple[np.ndarray, Dict[str, Any], int]:
+        """Answer one validated ``(B, n)`` batch.
+
+        ``execute`` runs the vectorized predict (under the gateway
+        lock) and returns ``(predictions, meta)`` with ``model`` /
+        ``model_version`` in ``meta``; ``peek`` reads the currently
+        served ``(model, model_version)`` without a lock, for cache
+        keys.  Returns ``(predictions, meta, rows_from_cache)``.
+        """
+        started = time.perf_counter()
+        version0 = model0 = None
+        hits: Dict[int, int] = {}
+        keys = None
+        if self.cache.capacity and peek is not None:
+            model0, version0 = peek()
+            if version0 is not None:
+                hits, miss_idx, keys = self.cache.lookup(
+                    app, version0, X
+                )
+                if not miss_idx:
+                    predictions = np.fromiter(
+                        (hits[i] for i in range(len(X))),
+                        dtype=np.int64,
+                        count=len(X),
+                    )
+                    meta = {"model": model0, "model_version": version0}
+                    add_span(
+                        "batch.coalesce",
+                        started,
+                        time.perf_counter(),
+                        rows=int(len(X)),
+                        cached=int(len(X)),
+                    )
+                    return predictions, meta, len(X)
+                X_miss = X[miss_idx]
+            else:
+                miss_idx = list(range(len(X)))
+                X_miss = X
+        else:
+            miss_idx = list(range(len(X)))
+            X_miss = X
+
+        if self.config.mode == "off":
+            flush_started = time.perf_counter()
+            miss_predictions, meta = execute(X_miss)
+            self._observe_flush(
+                rows=len(X_miss),
+                requests=1,
+                window=0.0,
+                seconds=time.perf_counter() - flush_started,
+            )
+            meta = dict(meta)
+        else:
+            queue = self._queue_for(app, execute, objective_ms)
+            miss_predictions, meta = queue.submit(X_miss)
+
+        version = meta.get("model_version")
+        if hits and version != version0:
+            # The model was promoted between the cache read and the
+            # flush: the hit rows answered with the old model.  Re-run
+            # the whole batch against the new one — correctness over
+            # the (rare) double predict.
+            miss_predictions, meta = execute(X)
+            meta = dict(meta)
+            hits, miss_idx = {}, list(range(len(X)))
+            version = meta.get("model_version")
+        elif keys is not None and version is not None:
+            self.cache.store(
+                app, version, keys, miss_idx, miss_predictions
+            )
+
+        predictions = np.empty(len(X), dtype=np.int64)
+        predictions[miss_idx] = np.asarray(
+            miss_predictions, dtype=np.int64
+        )
+        for i, value in hits.items():
+            predictions[i] = value
+        add_span(
+            "batch.coalesce",
+            started,
+            time.perf_counter(),
+            rows=int(len(X)),
+            cached=int(len(hits)),
+            batch_rows=int(meta.get("batch_rows", len(miss_idx))),
+            batch_requests=int(meta.get("batch_requests", 1)),
+        )
+        return predictions, meta, len(hits)
+
+    def _queue_for(
+        self, app: str, execute, objective_ms: float
+    ) -> BatchQueue:
+        queue = self._queues.get(app)
+        if queue is not None:
+            return queue
+        with self._lock:
+            queue = self._queues.get(app)
+            if queue is None:
+                controller = None
+                if self.config.mode == "adaptive":
+                    controller = AdaptiveBatchController(
+                        objective_ms=objective_ms,
+                        window=self.config.window,
+                        max_window=self.config.max_window,
+                        max_batch=self.config.max_batch,
+                    )
+                queue = BatchQueue(
+                    execute,
+                    window=self.config.window,
+                    max_batch=self.config.max_batch,
+                    controller=controller,
+                    on_flush=self._observe_flush,
+                )
+                self._queues[app] = queue
+            return queue
+
+    def _observe_flush(
+        self, *, rows: int, requests: int, window: float, seconds: float
+    ) -> None:
+        if self._m_batch_size is None:
+            return
+        self._m_batch_size.observe(rows)
+        self._m_queue_depth.observe(requests)
+        self._m_window.observe(window)
+        self._m_flush_seconds.observe(seconds)
+
+    # -- promotion hook ------------------------------------------------
+    def invalidate_app(self, app: str) -> int:
+        """Drop the app's cached predictions (model promotion)."""
+        return self.cache.invalidate_app(app)

@@ -141,6 +141,23 @@ class SLOEngine:
             "target).",
             labels=("tenant", "window"),
         )
+        #: Route-class tracks: ``(tenant, class)`` -> _TenantTrack.
+        #: Additive — the tenant-wide gauges above keep scoring every
+        #: request; a classed request *additionally* lands here so
+        #: serving-path (infer) attainment is visible on its own.
+        self._class_tracks: Dict[Tuple[str, str], _TenantTrack] = {}
+        self._m_class_attainment = registry.gauge(
+            "slo_class_attainment_ratio",
+            "Fraction of requests meeting the tenant's SLO over the "
+            "window, by route class.",
+            labels=("tenant", "route_class", "window"),
+        )
+        self._m_class_burn = registry.gauge(
+            "slo_class_error_budget_burn",
+            "Error-budget burn rate over the window by route class "
+            "(1.0 = exactly on target).",
+            labels=("tenant", "route_class", "window"),
+        )
 
     def objective_for(self, tenant: str) -> SLOObjective:
         return self.objectives.get(tenant, self.default)
@@ -153,8 +170,14 @@ class SLOEngine:
         *,
         error: bool = False,
         now: Optional[float] = None,
+        route_class: Optional[str] = None,
     ) -> None:
-        """Score one completed request (``duration`` in seconds)."""
+        """Score one completed request (``duration`` in seconds).
+
+        ``route_class`` (e.g. ``"infer"``) additionally scores the
+        request into a per-class track so attainment for that route is
+        visible on its own; the tenant-wide numbers always include it.
+        """
         if not self.enabled:
             return
         track = self._tracks.get(tenant)
@@ -170,6 +193,14 @@ class SLOEngine:
         )
         second = int(now if now is not None else self.clock())
         track.record(second, good)
+        if route_class is not None:
+            key = (tenant, route_class)
+            class_track = self._class_tracks.get(key)
+            if class_track is None:
+                class_track = _TenantTrack(track.objective, self._size)
+                self._class_tracks.setdefault(key, class_track)
+                class_track = self._class_tracks[key]
+            class_track.record(second, good)
 
     # -- reading -------------------------------------------------------
     def attainment(
@@ -202,6 +233,42 @@ class SLOEngine:
             return math.inf if miss > 0.0 else 0.0
         return miss / budget
 
+    def class_attainment(
+        self,
+        tenant: str,
+        route_class: str,
+        window: int,
+        *,
+        now: Optional[float] = None,
+    ) -> float:
+        """good/total for one route class; 1.0 with no traffic."""
+        track = self._class_tracks.get((tenant, route_class))
+        if track is None:
+            return 1.0
+        second = int(now if now is not None else self.clock())
+        good, total = track.window_counts(second, int(window))
+        if total == 0:
+            return 1.0
+        return good / total
+
+    def class_burn_rate(
+        self,
+        tenant: str,
+        route_class: str,
+        window: int,
+        *,
+        now: Optional[float] = None,
+    ) -> float:
+        attainment = self.class_attainment(
+            tenant, route_class, window, now=now
+        )
+        objective = self.objective_for(tenant)
+        budget = 1.0 - objective.target
+        miss = 1.0 - attainment
+        if budget <= 0.0:
+            return math.inf if miss > 0.0 else 0.0
+        return miss / budget
+
     def export(self, *, now: Optional[float] = None) -> None:
         """Refresh the gauges (called just before a scrape renders)."""
         if not self.enabled:
@@ -216,6 +283,24 @@ class SLOEngine:
                 if math.isinf(burn):
                     burn = float(10 ** 9)  # exposition-safe sentinel
                 self._m_burn.labels(tenant, label).set(burn)
+        for (tenant, route_class) in list(self._class_tracks):
+            for window in self.windows:
+                label = f"{window}s"
+                self._m_class_attainment.labels(
+                    tenant, route_class, label
+                ).set(
+                    self.class_attainment(
+                        tenant, route_class, window, now=now
+                    )
+                )
+                burn = self.class_burn_rate(
+                    tenant, route_class, window, now=now
+                )
+                if math.isinf(burn):
+                    burn = float(10 ** 9)
+                self._m_class_burn.labels(
+                    tenant, route_class, label
+                ).set(burn)
 
     def status(self, *, now: Optional[float] = None) -> List[Dict[str, Any]]:
         """JSON-safe per-tenant summary for ``repro slo status``."""
@@ -238,6 +323,32 @@ class SLOEngine:
                         None if math.isinf(burn) else round(burn, 4)
                     ),
                 }
+            classes = sorted(
+                route_class
+                for (track_tenant, route_class) in self._class_tracks
+                if track_tenant == tenant
+            )
+            if classes:
+                row["classes"] = {}
+                for route_class in classes:
+                    row["classes"][route_class] = {}
+                    for window in self.windows:
+                        burn = self.class_burn_rate(
+                            tenant, route_class, window, now=now
+                        )
+                        row["classes"][route_class][f"{window}s"] = {
+                            "attainment": round(
+                                self.class_attainment(
+                                    tenant, route_class, window, now=now
+                                ),
+                                6,
+                            ),
+                            "burn": (
+                                None
+                                if math.isinf(burn)
+                                else round(burn, 4)
+                            ),
+                        }
             out.append(row)
         return out
 

@@ -209,19 +209,36 @@ class EaseMLApp:
 
     def infer(self, x: np.ndarray) -> int:
         """Predict with the best model so far (the ``infer`` operator)."""
+        x = np.asarray(x, dtype=float).ravel()[None, :]
+        return int(self.infer_rows(x)[0])
+
+    def infer_rows(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized ``infer``: one ``(B, n)`` batch, one ``predict``.
+
+        Every estimator in ``repro.ml`` predicts rows independently, so
+        the batch answer is bit-identical to B scalar :meth:`infer`
+        calls — but it costs one transform, one predict, and ONE
+        :data:`EventKind.INFER` event (with a ``rows=`` attribute)
+        instead of B of each.
+        """
         if self._best_estimator is None:
             raise RuntimeError(
                 f"app {self.name!r} has no trained model yet; run the "
                 "server first"
             )
-        x = np.asarray(x, dtype=float).ravel()[None, :]
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(
+                f"infer_rows expects a (B, n) matrix, got shape {X.shape}"
+            )
         if self._best_transform is not None:
-            x = self._best_transform(x)
-        prediction = self._best_estimator.predict(x)
+            X = self._best_transform(X)
+        predictions = self._best_estimator.predict(X)
         self._server.log.append(
             self._server.clock.now, EventKind.INFER, app=self.name,
+            rows=int(len(X)),
         )
-        return int(prediction[0])
+        return np.asarray(predictions, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Reporting (Figure 3d's "report")
@@ -350,6 +367,11 @@ class EaseMLServer:
         # Runtime backend: outcomes banked at dispatch, keyed by the
         # job id the imminent submit will create, applied on completion.
         self._deferred_outcomes: Dict[int, Tuple] = {}
+        # Fired (under whatever lock the caller holds) whenever a
+        # training outcome improves an app's best model; the serving
+        # layer uses this to invalidate prediction caches and publish
+        # promotion events.
+        self._promotion_callbacks: List[Callable[[EaseMLApp], None]] = []
         # Keyed by stable tenant id (the app's index in self.apps) so
         # membership can be sparse: late arrivals fill their slot when
         # admitted, never shifting anyone else's.
@@ -372,6 +394,16 @@ class EaseMLServer:
         the journal in the order they happened.
         """
         self._persist_hooks.append(callback)
+
+    def on_promotion(self, callback: Callable[[EaseMLApp], None]) -> None:
+        """Register ``callback(app)`` to fire when a training outcome
+        becomes an app's new best model.
+
+        The callback runs inline inside :meth:`_apply_outcome` — under
+        the gateway lock when training completes through the service —
+        so it must be fast and must not call back into the platform.
+        """
+        self._promotion_callbacks.append(callback)
 
     def _notify_persist(self, kind: str, **info) -> None:
         for callback in self._persist_hooks:
@@ -718,6 +750,8 @@ class EaseMLServer:
                 self.clock.now, EventKind.MODEL_RETURNED, app=app.name,
                 candidate=candidate.name, accuracy=accuracy,
             )
+            for callback in self._promotion_callbacks:
+                callback(app)
         app.history.append(
             TrainingOutcome(
                 step=len(app.history) + 1,

@@ -166,10 +166,16 @@ class EventsRequest(Request):
     Only events attributable to the requesting tenant's own apps are
     returned.  ``kinds`` filters by event-kind value strings;
     ``since`` drops events before that simulated time.
+
+    ``stream`` asks for a live Server-Sent Events subscription instead
+    of a snapshot (``GET /v1/events?stream=1``).  Streaming is a
+    transport feature of the asyncio frontend; the typed handler
+    answers ``UNSUPPORTED`` so other transports fail loudly.
     """
 
     kinds: Optional[Tuple[str, ...]] = None
     since: float = 0.0
+    stream: bool = False
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -489,3 +489,73 @@ class EaseMLClient:
             kinds=",".join(kinds) if kinds else None,
             since=since if since else None,
         )
+
+    def stream_events(
+        self, *, timeout: Optional[float] = None
+    ) -> Iterable[Dict[str, Any]]:
+        """Subscribe to live server-push events (SSE).
+
+        Yields one dict per event — ``{"seq": ..., "event":
+        "job_completed" | "model_promoted", ...}`` — until the server
+        closes the stream, ``timeout`` seconds pass with no event
+        (None = wait forever), or the caller abandons the generator.
+        Requires the asyncio frontend; other transports answer
+        ``UNSUPPORTED``, surfaced as an :class:`ApiError`.
+
+        The subscription rides its own connection (the persistent
+        keep-alive socket must stay request/response), so a streaming
+        client can keep issuing ordinary calls concurrently.
+        """
+        conn = HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request(
+                "GET",
+                f"/{API_VERSION}/events?stream=1",
+                headers={
+                    "Authorization": f"Bearer {self.token}",
+                    "Accept": "text/event-stream",
+                },
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    wire = json.loads(raw.decode("utf-8"))
+                    raise ApiError.from_dict(wire["error"])
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    raise ApiError(
+                        ApiErrorCode.INTERNAL,
+                        f"event stream refused with HTTP "
+                        f"{response.status}",
+                    ) from None
+            data_lines: list = []
+            while True:
+                try:
+                    line = response.fp.readline()
+                except (TimeoutError, OSError):
+                    return  # silence beyond timeout: end the stream
+                if not line:
+                    return  # server closed the stream
+                text = line.decode("utf-8").rstrip("\r\n")
+                if not text:
+                    # Frame boundary: emit the accumulated event (the
+                    # data payload already carries seq + event type).
+                    if data_lines:
+                        try:
+                            event = json.loads("\n".join(data_lines))
+                        except ValueError:
+                            event = {"data": "\n".join(data_lines)}
+                        if isinstance(event, dict):
+                            yield event
+                    data_lines = []
+                    continue
+                if text.startswith(":"):
+                    continue  # keep-alive comment
+                name, _, value = text.partition(":")
+                if name == "data":
+                    value = value[1:] if value.startswith(" ") else value
+                    data_lines.append(value)
+        finally:
+            conn.close()

@@ -79,8 +79,10 @@ from repro.obs import (
     run_in_context,
     span,
 )
+from repro.infer import InferPlane, InferPlaneConfig
 from repro.platform.server import EaseMLApp, EaseMLServer
 from repro.runtime.trace import event_to_dict
+from repro.service.stream import EventBroker
 from repro.service.api import (
     API_VERSION,
     ApiError,
@@ -167,11 +169,26 @@ class TenantQuota:
     max_apps: int = 4
     max_pending_jobs: int = 8
     max_store_bytes: int = 16 * 1024 * 1024
+    #: Inference admission (token bucket, counted in rows): None
+    #: defers to the infer plane's default (unlimited out of the box).
+    #: Journaled with the quota, so a restart keeps the limit.
+    infer_rows_per_second: Optional[float] = None
+    infer_burst_rows: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name in ("max_apps", "max_pending_jobs", "max_store_bytes"):
             if int(getattr(self, name)) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if (
+            self.infer_rows_per_second is not None
+            and self.infer_rows_per_second <= 0
+        ):
+            raise ValueError("infer_rows_per_second must be positive")
+        if (
+            self.infer_burst_rows is not None
+            and self.infer_burst_rows < 1
+        ):
+            raise ValueError("infer_burst_rows must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -293,6 +310,7 @@ class ServiceGateway:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Any] = None,
         slo: Optional[SLOEngine] = None,
+        infer_config: Optional[InferPlaneConfig] = None,
     ) -> None:
         server_provided = server is not None
         if server is None:
@@ -329,6 +347,16 @@ class ServiceGateway:
         self.slo = slo if slo is not None else SLOEngine(
             registry=self.metrics
         )
+        #: The inference data plane (repro.infer): vectorized predict,
+        #: cross-request coalescing, prediction cache, admission.
+        #: Reconfigure whole via :meth:`configure_infer_plane`.
+        self.infer_plane = InferPlane(
+            config=infer_config, metrics=self.metrics
+        )
+        #: Server-push notifications (SSE on the asyncio frontend):
+        #: job completions and model promotions, the infer plane's
+        #: companions.
+        self.events_broker = EventBroker()
         m = self.metrics
         self._m_requests = m.counter(
             "gateway_requests_total",
@@ -426,6 +454,7 @@ class ServiceGateway:
             }
         )
         self.server.on_persist(self._on_server_persist_event)
+        self.server.on_promotion(self._on_promotion)
         if self.server._runtime_oracle is not None:
             # Wrapping a server whose scheduler already started: hook
             # completions now, or job results would never be absorbed.
@@ -795,8 +824,13 @@ class ServiceGateway:
         # the handler is lock-free until it must advance the cluster
         # (then it takes the global lock itself), and a long-poll that
         # parked *holding* the global lock would stall every tenant
-        # for up to MAX_WAIT_SECONDS.
-        lock_free = isinstance(request, JobStatusRequest) or (
+        # for up to MAX_WAIT_SECONDS.  Infer is the same shape: its
+        # coalescing convoy parks request threads, so only the flush
+        # inside _predict_batch may hold the lock — an infer running
+        # under the outer lock would deadlock its own followers.
+        lock_free = isinstance(
+            request, (JobStatusRequest, InferRequest)
+        ) or (
             self.shard_read_locks and isinstance(request, _READ_REQUESTS)
         )
         # Ack barrier: only paths that may have journaled pay it — a
@@ -837,8 +871,19 @@ class ServiceGateway:
             self._m_requests.labels(tenant.name, rtype, outcome).inc()
             self._m_request_seconds.labels(rtype).observe(duration)
             # SLO scoring counts server faults as budget misses;
-            # client errors (4xx) are the tenant's own doing.
-            self.slo.record(tenant.name, duration, error=slo_error)
+            # client errors (4xx) are the tenant's own doing.  Infer
+            # additionally scores into its own route class so `repro
+            # slo status` can show serving-path attainment separately.
+            self.slo.record(
+                tenant.name,
+                duration,
+                error=slo_error,
+                route_class=(
+                    "infer"
+                    if isinstance(request, InferRequest)
+                    else None
+                ),
+            )
 
     def _dispatch(self, handler, tenant: Tenant, request: Request) -> Response:
         try:
@@ -1014,6 +1059,19 @@ class ServiceGateway:
                 "token (created via ServiceGateway.create_tenant)",
             )
         return tenant
+
+    def authenticate_token(self, token: str) -> str:
+        """Resolve an auth token to its tenant name (for transports
+        that authenticate outside the typed request path, like the SSE
+        event stream).  Raises ``UNAUTHORIZED`` like any request."""
+        tenant = self._tenants.get(token)
+        if tenant is None:
+            raise ApiError(
+                ApiErrorCode.UNAUTHORIZED,
+                "unknown auth token; ask the operator for a tenant "
+                "token (created via ServiceGateway.create_tenant)",
+            )
+        return tenant.name
 
     def _require_active(self, tenant: Tenant) -> None:
         if tenant.retired:
@@ -1192,6 +1250,13 @@ class ServiceGateway:
         )
 
     def _infer(self, tenant: Tenant, request: InferRequest) -> InferResponse:
+        # Runs on the lock-free path (like job polls): validation, the
+        # cache, admission, and the coalescing window all happen
+        # outside the gateway lock; only the flush itself — one
+        # vectorized predict + one INFER event — takes it, inside
+        # _predict_batch.  Running infer *under* the outer lock would
+        # deadlock the convoy (a parked follower would hold the lock
+        # its leader needs).
         app = self._get_app(tenant, request.app)
         batch = bool(request.rows)
         if batch and request.x:
@@ -1201,42 +1266,117 @@ class ServiceGateway:
                 "(a batch), not both",
             )
         rows = request.rows if batch else (request.x,)
-        arrays = []
-        for i, row in enumerate(rows):
-            try:
-                x = np.asarray(row, dtype=float)
-            except (ValueError, TypeError) as exc:
-                raise ApiError(
-                    ApiErrorCode.INVALID_ARGUMENT,
-                    f"infer input row {i} is not numeric: {exc}",
-                    row=i,
-                ) from None
-            if x.size != app.program.input.flat_size:
-                raise ApiError(
-                    ApiErrorCode.INVALID_ARGUMENT,
-                    f"infer input row {i} has {x.size} scalars, app "
-                    f"{request.app!r} declares "
-                    f"{app.program.input.flat_size}",
-                    expected=app.program.input.flat_size,
-                    got=int(x.size),
-                    row=i,
-                )
-            arrays.append(x)
+        X = self._rows_to_matrix(rows, app, request.app)
+        self.infer_plane.admit(
+            tenant.name,
+            (
+                tenant.quota.infer_rows_per_second,
+                tenant.quota.infer_burst_rows,
+            ),
+            len(X),
+        )
         try:
-            predictions = tuple(int(app.infer(x)) for x in arrays)
+            prediction_rows, meta, _cached = self.infer_plane.predict(
+                request.app,
+                X,
+                lambda X_flush: self._predict_batch(app, X_flush),
+                peek=lambda: (app.best_candidate, self._model_version(app)),
+                objective_ms=self.slo.objective_for(
+                    tenant.name
+                ).latency_ms,
+            )
         except RuntimeError as exc:
             raise ApiError(
                 ApiErrorCode.FAILED_PRECONDITION,
                 f"{exc}; submit training and poll the job handle first",
                 app=request.app,
             ) from None
+        predictions = tuple(int(p) for p in prediction_rows)
         return InferResponse(
             app=request.app,
             prediction=None if batch else predictions[0],
             predictions=predictions,
-            model=app.best_candidate,
-            model_version=self._model_version(app),
+            model=meta.get("model"),
+            model_version=meta.get("model_version"),
         )
+
+    def _rows_to_matrix(
+        self, rows, app: EaseMLApp, app_name: str
+    ) -> np.ndarray:
+        """Validate a batch of input rows into one ``(B, n)`` matrix.
+
+        The fast path vectorizes the whole conversion; the fallback
+        reproduces the v1 loop's per-row diagnostics for ragged or
+        non-numeric input.  Non-finite rows are rejected here — NaN
+        would poison both the estimator and the cache key.
+        """
+        flat_size = app.program.input.flat_size
+        X: Optional[np.ndarray] = None
+        try:
+            X = np.asarray(rows, dtype=float)
+        except (ValueError, TypeError):
+            X = None  # ragged or non-numeric: diagnose per row below
+        if (
+            X is not None
+            and len(rows) > 0
+            and X.size == len(rows) * flat_size
+        ):
+            X = X.reshape(len(rows), flat_size)
+        else:
+            arrays = []
+            for i, row in enumerate(rows):
+                try:
+                    x = np.asarray(row, dtype=float)
+                except (ValueError, TypeError) as exc:
+                    raise ApiError(
+                        ApiErrorCode.INVALID_ARGUMENT,
+                        f"infer input row {i} is not numeric: {exc}",
+                        row=i,
+                    ) from None
+                if x.size != flat_size:
+                    raise ApiError(
+                        ApiErrorCode.INVALID_ARGUMENT,
+                        f"infer input row {i} has {x.size} scalars, app "
+                        f"{app_name!r} declares {flat_size}",
+                        expected=flat_size,
+                        got=int(x.size),
+                        row=i,
+                    )
+                arrays.append(x.ravel())
+            X = (
+                np.stack(arrays)
+                if arrays
+                else np.empty((0, flat_size), dtype=float)
+            )
+        if X.size:
+            finite = np.isfinite(X).all(axis=1)
+            if not finite.all():
+                i = int(np.flatnonzero(~finite)[0])
+                raise ApiError(
+                    ApiErrorCode.INVALID_ARGUMENT,
+                    f"infer input row {i} contains non-finite values "
+                    "(NaN or inf); the model and the prediction cache "
+                    "require finite features",
+                    row=i,
+                )
+        return X
+
+    def _predict_batch(
+        self, app: EaseMLApp, X: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """One coalesced flush: a single vectorized predict + ONE
+        INFER event, under the gateway lock.
+
+        The lock makes the (model, version) pair coherent for the
+        whole flush and serialises the event-log append (the log
+        refuses out-of-order timestamps).
+        """
+        with self._lock:
+            predictions = app.infer_rows(X)
+            return predictions, {
+                "model": app.best_candidate,
+                "model_version": self._model_version(app),
+            }
 
     def _model_version(self, app) -> Optional[str]:
         """The job handle (or run number) that trained the served model."""
@@ -1454,6 +1594,51 @@ class ServiceGateway:
         # Absorption done: the handle is terminal and fully consistent
         # (history row assigned), so long-poll waiters may wake now.
         record.done_event.set()
+        outcome = (
+            app.history[record.history_index]
+            if 0 <= record.history_index < len(app.history)
+            else None
+        )
+        self.events_broker.publish(
+            "job_completed",
+            tenant=record.tenant,
+            app=record.app,
+            job_id=record.handle_id,
+            candidate=record.candidate,
+            accuracy=(
+                float(outcome.accuracy) if outcome is not None else None
+            ),
+            improved=(
+                bool(outcome.improved) if outcome is not None else None
+            ),
+        )
+
+    def _on_promotion(self, app: EaseMLApp) -> None:
+        """A training outcome became ``app``'s new best model: stale
+        cached predictions are unreachable (version-stamped keys) —
+        reclaim their memory now, and tell stream subscribers."""
+        self.infer_plane.invalidate_app(app.name)
+        tenant_name = None
+        for tenant in self._tenant_names.values():
+            if app.name in tenant.view.apps:
+                tenant_name = tenant.name
+                break
+        self.events_broker.publish(
+            "model_promoted",
+            tenant=tenant_name,
+            app=app.name,
+            candidate=app.best_candidate,
+            accuracy=float(app.best_accuracy),
+            model_version=self._model_version(app),
+        )
+
+    def configure_infer_plane(self, config: InferPlaneConfig) -> None:
+        """Swap in a freshly-configured inference data plane (the
+        ``repro serve --infer-batch-window/--infer-cache`` hook).
+        Existing queues and cached predictions are discarded."""
+        self.infer_plane = InferPlane(
+            config=config, metrics=self.metrics
+        )
 
     @staticmethod
     def _record_state(record: _JobRecord) -> str:
@@ -1640,6 +1825,13 @@ class ServiceGateway:
     def _events(
         self, tenant: Tenant, request: EventsRequest
     ) -> EventsResponse:
+        if request.stream:
+            raise ApiError(
+                ApiErrorCode.UNSUPPORTED,
+                "event streaming (stream=1) is a transport feature of "
+                "the asyncio HTTP frontend (serve --frontend asyncio); "
+                "this transport only answers snapshot reads",
+            )
         kinds = None
         if request.kinds is not None:
             valid = {k.value for k in EventKind}

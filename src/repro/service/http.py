@@ -35,6 +35,8 @@ Routes (all under ``/v1``)::
     GET    /v1/jobs/{job_id}[?wait=SECONDS]   poll one handle
                                               (``wait`` long-polls)
     GET    /v1/events[?kinds=a,b&since=T]     event-log slice
+    GET    /v1/events?stream=1                live Server-Sent Events
+                                              (asyncio frontend only)
 
 Authentication is ``Authorization: Bearer <token>``.
 """
@@ -45,6 +47,7 @@ import asyncio
 import contextvars
 import hmac
 import json
+import math
 import socket
 import threading
 import time
@@ -88,6 +91,7 @@ from repro.service.api import (
     to_wire,
 )
 from repro.service.gateway import ServiceGateway
+from repro.service.stream import sse_frame
 
 _PREFIX = f"/{API_VERSION}"
 
@@ -261,6 +265,19 @@ def metrics_endpoint(
     return 200, body, "application/json"
 
 
+def error_headers(exc: ApiError) -> Optional[Dict[str, str]]:
+    """Transport headers an error carries: a rate-limited request
+    (429, ``retry_after`` detail from the infer plane's token bucket)
+    gets a standard ``Retry-After`` header so generic HTTP clients
+    back off without parsing the JSON body."""
+    retry_after = exc.details.get("retry_after")
+    if retry_after is None:
+        return None
+    # Retry-After is delta-seconds; ceil so "0.2s" doesn't round to an
+    # immediate (still-limited) retry.
+    return {"Retry-After": str(max(1, math.ceil(float(retry_after))))}
+
+
 def bearer_token(header: str) -> str:
     """Extract the token from an ``Authorization: Bearer …`` value."""
     if header.startswith("Bearer "):
@@ -395,9 +412,11 @@ def _build_request(method, rest, body, query, common, path) -> Request:
         return JobStatusRequest(job_id=rest[1], wait=wait, **common)
     if rest == ["events"] and method == "GET":
         kinds = query.get("kinds", [None])[0]
+        stream = query.get("stream", ["0"])[0]
         return EventsRequest(
             kinds=tuple(kinds.split(",")) if kinds else None,
             since=float(query.get("since", ["0"])[0]),
+            stream=stream.lower() in ("1", "true", "yes"),
             **common,
         )
     raise ApiError(
@@ -524,12 +543,21 @@ class _Handler(BaseHTTPRequestHandler):
             return {}
         return decode_body(self.rfile.read(length))
 
-    def _write(self, status: int, payload: Dict[str, Any]) -> None:
+    def _write(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._write_raw(status, body, "application/json")
+        self._write_raw(status, body, "application/json", headers)
 
     def _write_raw(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -539,6 +567,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(REQUEST_ID_HEADER, context.request_id)
         if self.server.extra_headers is not None:
             for name, value in self.server.extra_headers().items():
+                self.send_header(name, value)
+        if headers:
+            for name, value in headers.items():
                 self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
@@ -589,6 +620,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._write(
                 status,
                 {"api_version": API_VERSION, "error": exc.to_dict()},
+                error_headers(exc),
             )
         except Exception as exc:  # noqa: BLE001 - transport boundary
             # The request stream may be in an unknown state; don't let
@@ -934,29 +966,47 @@ class AsyncServiceHTTPServer:
                     if method == "GET"
                     else None
                 )
-                if served is not None:
-                    status, body_bytes, content_type = served
-                    fatal = False
-                else:
-                    status, payload, fatal = await self._respond(
-                        method, target, headers, raw, context
+                if _wants_stream(method, target):
+                    # SSE subscription: the response never ends, so it
+                    # bypasses the framed write below entirely and the
+                    # connection dies with the stream.
+                    status = await self._stream_events(
+                        writer, headers, context
                     )
-                    body_bytes = json.dumps(payload).encode("utf-8")
-                    content_type = "application/json"
-                closing = fatal or not keep_alive
-                await self._write_response(
-                    writer,
-                    status,
-                    body_bytes,
-                    closing=closing,
-                    content_type=content_type,
-                    request_id=context.request_id,
-                    extra_headers=(
-                        self.extra_headers()
+                    closing = True
+                else:
+                    if served is not None:
+                        status, body_bytes, content_type = served
+                        fatal = False
+                        error_hdrs = None
+                    else:
+                        (
+                            status,
+                            payload,
+                            fatal,
+                            error_hdrs,
+                        ) = await self._respond(
+                            method, target, headers, raw, context
+                        )
+                        body_bytes = json.dumps(payload).encode("utf-8")
+                        content_type = "application/json"
+                    closing = fatal or not keep_alive
+                    extra = (
+                        dict(self.extra_headers())
                         if self.extra_headers is not None
-                        else None
-                    ),
-                )
+                        else {}
+                    )
+                    if error_hdrs:
+                        extra.update(error_hdrs)
+                    await self._write_response(
+                        writer,
+                        status,
+                        body_bytes,
+                        closing=closing,
+                        content_type=content_type,
+                        request_id=context.request_id,
+                        extra_headers=extra or None,
+                    )
             finally:
                 duration = context.elapsed()
                 route = route_template(method, target)
@@ -1032,14 +1082,15 @@ class AsyncServiceHTTPServer:
         headers: Dict[str, str],
         raw: bytes,
         context: RequestContext,
-    ) -> Tuple[int, Dict[str, Any], bool]:
-        """One exchange -> (status, JSON payload, close-connection)."""
+    ) -> Tuple[int, Dict[str, Any], bool, Optional[Dict[str, str]]]:
+        """One exchange -> (status, JSON payload, close-connection,
+        extra response headers)."""
         try:
             body = decode_body(raw)
             token = bearer_token(headers.get("authorization", ""))
             request = route_request(method, target, body, token)
             response = await self._dispatch(request)
-            return 200, to_wire(response), False
+            return 200, to_wire(response), False, None
         except ApiError as exc:
             exc.request_id = exc.request_id or context.request_id
             self.m_errors.labels(
@@ -1049,6 +1100,7 @@ class AsyncServiceHTTPServer:
                 exc.http_status,
                 {"api_version": API_VERSION, "error": exc.to_dict()},
                 False,
+                error_headers(exc),
             )
         except asyncio.CancelledError:
             raise
@@ -1067,6 +1119,7 @@ class AsyncServiceHTTPServer:
                 error.http_status,
                 {"api_version": API_VERSION, "error": error.to_dict()},
                 True,
+                None,
             )
 
     async def _dispatch(self, request: Request):
@@ -1074,16 +1127,21 @@ class AsyncServiceHTTPServer:
         if gateway.is_read(request):
             # Lock-free snapshot read: safe (and fast) inline.
             return gateway.handle(request)
-        if isinstance(request, JobStatusRequest):
-            # May advance the shared cluster or park in a long-poll —
-            # a worker thread takes that hit, never the loop.  Polls
-            # bypass the per-tenant command queue on purpose: a parked
-            # long-poll must not block the same tenant's mutations.
-            # Long-polls get their own pool so parked waiters cannot
-            # starve plain polls.
+        if isinstance(request, (JobStatusRequest, InferRequest)):
+            # May advance the shared cluster, park in a long-poll, or
+            # (infer) park in a coalescing window — a worker thread
+            # takes that hit, never the loop.  Both bypass the
+            # per-tenant command queue on purpose: a parked wait must
+            # not block the same tenant's mutations, and infer through
+            # the FIFO queue would serialise the very requests the
+            # batch queue wants concurrent.  Long-polls get their own
+            # pool so parked waiters cannot starve plain polls/infers.
             pool = (
                 self._wait_pool
-                if float(request.wait or 0.0) > 0
+                if (
+                    isinstance(request, JobStatusRequest)
+                    and float(request.wait or 0.0) > 0
+                )
                 else self._pool
             )
             # run_in_executor starts the callable in an EMPTY context;
@@ -1094,6 +1152,93 @@ class AsyncServiceHTTPServer:
                 pool, lambda: snapshot.run(gateway.handle, request)
             )
         return await asyncio.wrap_future(gateway.submit_command(request))
+
+    # -- server-sent events (GET /v1/events?stream=1) ------------------
+    async def _stream_events(
+        self, writer, headers: Dict[str, str], context: RequestContext
+    ) -> int:
+        """Serve one SSE subscription until the peer or server closes.
+
+        Frames are ``id:``/``event:``/``data:`` per event (see
+        :func:`repro.service.stream.sse_frame`), with a comment-line
+        keep-alive every second of silence so dead peers are detected
+        and proxies keep the connection warm.
+        """
+        gateway = self.gateway
+        token = bearer_token(headers.get("authorization", ""))
+        broker = getattr(gateway, "events_broker", None)
+        try:
+            if broker is None:
+                raise ApiError(
+                    ApiErrorCode.UNSUPPORTED,
+                    "this server does not publish an event stream "
+                    "(replicas serve snapshot reads only; subscribe "
+                    "on the writer)",
+                )
+            tenant = gateway.authenticate_token(token)
+        except ApiError as exc:
+            exc.request_id = exc.request_id or context.request_id
+            await self._write_response(
+                writer,
+                exc.http_status,
+                {"api_version": API_VERSION, "error": exc.to_dict()},
+                closing=True,
+                request_id=context.request_id,
+            )
+            self.m_errors.labels(
+                "asyncio", f"{_PREFIX}/events", exc.code.value
+            ).inc()
+            return exc.http_status
+        context.tenant = tenant
+        subscription = broker.subscribe(tenant)
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                f"{REQUEST_ID_HEADER}: {context.request_id}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+                ": stream open\n\n"
+            ).encode("latin-1")
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            await writer.drain()
+            while not self._closing.is_set():
+                # The 1s tick doubles as the shutdown check and the
+                # keep-alive beat; the blocking get runs on a worker
+                # thread so the loop stays free.
+                event = await loop.run_in_executor(
+                    self._wait_pool, subscription.get, 1.0
+                )
+                if self._closing.is_set():
+                    break
+                if event is None:
+                    writer.write(b": keep-alive\n\n")
+                else:
+                    writer.write(sse_frame(event))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer hung up: normal end of a stream
+        except RuntimeError:
+            # Executor already shut down: the server is closing; the
+            # connection is torn down right after this returns.
+            pass
+        finally:
+            subscription.close()
+        return 200
+
+
+def _wants_stream(method: str, target: str) -> bool:
+    """Is this exchange asking for the SSE event stream?"""
+    if method != "GET":
+        return False
+    url = urlparse(target)
+    if url.path != f"{_PREFIX}/events":
+        return False
+    raw = parse_qs(url.query).get("stream", ["0"])[0]
+    return raw.lower() in ("1", "true", "yes")
 
 
 AnyServiceServer = Union[ServiceHTTPServer, AsyncServiceHTTPServer]

@@ -1,0 +1,199 @@
+"""The coalescing queue and its adaptive controller."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.infer import AdaptiveBatchController, BatchQueue
+
+
+def echo_execute(calls):
+    """An execute that predicts row sums and records each flush."""
+
+    def execute(X):
+        calls.append(np.array(X))
+        return X.sum(axis=1).astype(np.int64), {
+            "model": "m", "model_version": "v1",
+        }
+
+    return execute
+
+
+def submit_concurrently(queue, matrices):
+    """Run one submit per thread; returns results in matrix order."""
+    results = [None] * len(matrices)
+    errors = []
+    barrier = threading.Barrier(len(matrices))
+
+    def worker(i, X):
+        barrier.wait()
+        try:
+            results[i] = queue.submit(X)
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, X))
+        for i, X in enumerate(matrices)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestBatchQueue:
+    def test_single_submit_flushes_alone(self):
+        calls = []
+        queue = BatchQueue(echo_execute(calls), window=0.0)
+        predictions, meta = queue.submit(
+            np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        assert predictions.tolist() == [3, 7]
+        assert meta["batch_rows"] == 2
+        assert meta["batch_requests"] == 1
+        assert len(calls) == 1
+
+    def test_concurrent_submits_coalesce(self):
+        calls = []
+        queue = BatchQueue(echo_execute(calls), window=0.05)
+        matrices = [
+            np.array([[float(i), 1.0]]) for i in range(8)
+        ]
+        results, errors = submit_concurrently(queue, matrices)
+        assert not errors
+        for i, (predictions, _) in enumerate(results):
+            assert predictions.tolist() == [i + 1]
+        # Fewer flushes than requests: the window did its job.
+        assert len(calls) < 8
+        assert sum(len(c) for c in calls) == 8
+
+    def test_full_batch_flushes_early(self):
+        calls = []
+        queue = BatchQueue(
+            echo_execute(calls), window=10.0, max_batch=4
+        )
+        matrices = [np.array([[float(i), 0.0]]) for i in range(8)]
+        # A 10-second window would time the test out unless the row
+        # target ends it early.
+        results, errors = submit_concurrently(queue, matrices)
+        assert not errors
+        assert sum(len(c) for c in calls) == 8
+
+    def test_slices_match_request_order(self):
+        calls = []
+        queue = BatchQueue(echo_execute(calls), window=0.05)
+        matrices = [
+            np.array([[10.0 * i + j, 0.0] for j in range(3)])
+            for i in range(4)
+        ]
+        results, errors = submit_concurrently(queue, matrices)
+        assert not errors
+        for i, (predictions, _) in enumerate(results):
+            assert predictions.tolist() == [
+                10 * i, 10 * i + 1, 10 * i + 2
+            ]
+
+    def test_execute_failure_reaches_every_request(self):
+        def explode(X):
+            raise RuntimeError("model fell over")
+
+        queue = BatchQueue(explode, window=0.05)
+        matrices = [np.array([[1.0, 2.0]]) for _ in range(4)]
+        results, errors = submit_concurrently(queue, matrices)
+        assert all(r is None for r in results)
+        assert len(errors) == 4
+        assert all("model fell over" in str(e) for e in errors)
+
+    def test_fixed_knobs_without_controller(self):
+        queue = BatchQueue(lambda X: (X, {}), window=0.003, max_batch=32)
+        assert queue.window == 0.003
+        assert queue.max_batch == 32
+
+    def test_controller_supplies_knobs(self):
+        controller = AdaptiveBatchController(window=0.008, max_batch=16)
+        queue = BatchQueue(
+            lambda X: (X, {}), window=0.001, controller=controller
+        )
+        assert queue.window == 0.008
+        assert queue.max_batch == 16
+
+
+class TestAdaptiveBatchController:
+    def feed(self, controller, seconds, requests, n=None):
+        for _ in range(n or controller.period):
+            controller.observe(seconds, requests)
+
+    def test_shrinks_when_p99_eats_the_budget(self):
+        controller = AdaptiveBatchController(
+            objective_ms=100.0, window=0.008, max_batch=64
+        )
+        self.feed(controller, 0.09, 4)  # 90ms flushes vs 100ms bound
+        assert controller.adjustments[-1][0] == "shrink"
+        assert controller.window < 0.008
+        assert controller.max_batch == 32
+
+    def test_grows_with_headroom_and_coalescing(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.002, max_batch=64
+        )
+        self.feed(controller, 0.001, 8)  # fast flushes, real batches
+        assert controller.adjustments[-1][0] == "grow"
+        assert controller.window == 0.003
+        assert controller.max_batch == 128
+
+    def test_decays_window_on_singleton_flushes(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.002, max_batch=64
+        )
+        self.feed(controller, 0.001, 1)  # nothing coalesces
+        assert controller.adjustments[-1][0] == "decay"
+        assert controller.window < 0.002
+        assert controller.max_batch == 64  # decay leaves the cap alone
+
+    def test_window_decays_to_zero_not_below_floor(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.0001, max_batch=64
+        )
+        self.feed(controller, 0.001, 1)  # 0.0001 -> 5e-5 (the floor)
+        self.feed(controller, 0.001, 1)  # halving again would sink
+        assert controller.window == 0.0  # below the floor: snap to 0
+
+    def test_regrows_from_zero(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.0, max_batch=64
+        )
+        self.feed(controller, 0.001, 8)
+        assert controller.window == pytest.approx(0.0005)
+
+    def test_window_capped_at_max(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.015, max_window=0.02,
+            max_batch=64,
+        )
+        self.feed(controller, 0.001, 8)
+        assert controller.window == 0.02
+
+    def test_batch_floor_and_cap(self):
+        controller = AdaptiveBatchController(
+            objective_ms=100.0, window=0.001, max_batch=8, min_batch=8
+        )
+        self.feed(controller, 0.09, 4)
+        assert controller.max_batch == 8  # respects min_batch
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.001, max_batch=512,
+            max_batch_cap=512,
+        )
+        self.feed(controller, 0.001, 8)
+        assert controller.max_batch == 512  # respects the cap
+
+    def test_adjusts_only_every_period(self):
+        controller = AdaptiveBatchController(
+            objective_ms=1000.0, window=0.002, max_batch=64, period=16
+        )
+        self.feed(controller, 0.001, 8, n=15)
+        assert not controller.adjustments
+        controller.observe(0.001, 8)
+        assert controller.adjustments

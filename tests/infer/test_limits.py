@@ -1,0 +1,69 @@
+"""The per-tenant token bucket: grants, refusals, refill math."""
+
+import pytest
+
+from repro.infer import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestAcquire:
+    def test_burst_grants_then_refuses(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        assert bucket.try_acquire(5) == 0.0
+        assert bucket.try_acquire(1) > 0.0
+
+    def test_retry_hint_is_deficit_over_rate(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        bucket.try_acquire(5)
+        # Empty bucket, asking for 3 rows at 10 rows/s: 0.3 seconds.
+        assert bucket.try_acquire(3) == pytest.approx(0.3)
+
+    def test_refill_restores_tokens(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        bucket.try_acquire(5)
+        clock.now = 0.5  # 5 tokens refill
+        assert bucket.try_acquire(5) == 0.0
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        clock.now = 100.0
+        assert bucket.tokens == 5.0
+
+    def test_zero_rows_counts_as_one(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        assert bucket.try_acquire(0) == 0.0
+        assert bucket.tokens == 4.0
+
+    def test_oversized_request_hint(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        # 50 rows can never fit a burst of 5; the hint covers the
+        # full shortfall, and the caller should split the batch.
+        assert bucket.try_acquire(50) == pytest.approx(4.5)
+
+
+class TestConstruction:
+    def test_default_burst_is_one_second(self):
+        assert TokenBucket(20.0).burst == 20.0
+
+    def test_default_burst_floor_one_row(self):
+        assert TokenBucket(0.5).burst == 1.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(0.0)
+
+    def test_rejects_sub_row_burst(self):
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(10.0, burst=0.5)

@@ -183,3 +183,55 @@ class TestConfig:
         path.write_text(json.dumps(document))
         with pytest.raises(ValueError):
             load_slo_config(str(path))
+
+
+class TestRouteClasses:
+    def test_class_track_is_additive(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=0.9))
+        slo.record("acme", 0.01, now=5.0)  # tenant-wide hit
+        slo.record("acme", 0.5, now=5.0, route_class="infer")  # miss
+        # The tenant-wide track saw both; the class track only its own.
+        assert slo.attainment("acme", 10, now=6.0) == 0.5
+        assert (
+            slo.class_attainment("acme", "infer", 10, now=6.0) == 0.0
+        )
+
+    def test_idle_class_is_in_slo(self):
+        slo = engine()
+        assert slo.class_attainment("ghost", "infer", 10, now=5.0) == 1.0
+        assert slo.class_burn_rate("ghost", "infer", 10, now=5.0) == 0.0
+
+    def test_class_burn_uses_the_tenant_objective(self):
+        slo = engine(default=SLOObjective(latency_ms=100.0, target=0.9))
+        for _ in range(8):
+            slo.record("acme", 0.01, now=5.0, route_class="infer")
+        for _ in range(2):
+            slo.record("acme", 0.5, now=5.0, route_class="infer")
+        assert slo.class_burn_rate(
+            "acme", "infer", 10, now=6.0
+        ) == pytest.approx(2.0)
+
+    def test_class_gauges_export(self):
+        registry = MetricsRegistry()
+        slo = engine(registry=registry, windows=(10,))
+        slo.record("acme", 0.01, now=5.0, route_class="infer")
+        slo.export(now=6.0)
+        attainment = registry.get("slo_class_attainment_ratio")
+        assert attainment.labels("acme", "infer", "10s").value == 1.0
+        burn = registry.get("slo_class_error_budget_burn")
+        assert burn.labels("acme", "infer", "10s").value == 0.0
+
+    def test_status_includes_classes(self):
+        slo = engine(windows=(10,))
+        slo.record("acme", 0.01, now=5.0, route_class="infer")
+        slo.record("acme", 0.01, now=5.0)
+        rows = slo.status(now=6.0)
+        row = next(r for r in rows if r["tenant"] == "acme")
+        assert row["classes"]["infer"]["10s"]["attainment"] == 1.0
+        assert row["classes"]["infer"]["10s"]["burn"] == 0.0
+
+    def test_status_omits_classes_when_none(self):
+        slo = engine(windows=(10,))
+        slo.record("acme", 0.01, now=5.0)
+        (row,) = slo.status(now=6.0)
+        assert "classes" not in row

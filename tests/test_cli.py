@@ -435,6 +435,16 @@ class TestSloCommand:
                 {"labels": {"tenant": "acme", "window": "60s"},
                  "value": 2.0},
             ]},
+            "slo_class_attainment_ratio": {"series": [
+                {"labels": {"tenant": "acme", "route_class": "infer",
+                            "window": "60s"},
+                 "value": 0.5},
+            ]},
+            "slo_class_error_budget_burn": {"series": [
+                {"labels": {"tenant": "acme", "route_class": "infer",
+                            "window": "60s"},
+                 "value": 5.0},
+            ]},
         }
     }
 
@@ -454,6 +464,15 @@ class TestSloCommand:
         assert "acme" in out
         assert "0.8000" in out
         assert "2.00" in out
+        # The per-class row (infer data plane) prints beneath the
+        # tenant-wide "all" row.
+        lines = out.splitlines()
+        all_row = next(i for i, l in enumerate(lines) if " all " in l)
+        infer_row = next(
+            i for i, l in enumerate(lines) if " infer " in l
+        )
+        assert all_row < infer_row
+        assert "0.5000" in lines[infer_row]
 
     def test_json_output(self, capsys, monkeypatch):
         import json
@@ -461,8 +480,11 @@ class TestSloCommand:
         self._patch(monkeypatch, self.METRICS)
         assert main(["slo", "status", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["acme"]["60s"] == {
+        assert payload["acme"]["all"]["60s"] == {
             "attainment": 0.8, "burn": 2.0
+        }
+        assert payload["acme"]["infer"]["60s"] == {
+            "attainment": 0.5, "burn": 5.0
         }
 
     def test_no_gauges_yet(self, capsys, monkeypatch):
